@@ -1,0 +1,250 @@
+// Benchmarks, one per paper table/figure (the experiment index is
+// DESIGN.md §4). Each benchmark exercises the code path that
+// regenerates the corresponding experiment; cmd/capebench prints the
+// actual rows and EXPERIMENTS.md records measured-vs-paper values.
+//
+// Run with: go test -bench=. -benchmem .
+package cape
+
+import (
+	"testing"
+
+	"cape/internal/core"
+	"cape/internal/emu"
+	"cape/internal/isa"
+	"cape/internal/ooo"
+	"cape/internal/report"
+	"cape/internal/roofline"
+	"cape/internal/sram"
+	"cape/internal/timing"
+	"cape/internal/trace"
+	"cape/internal/tt"
+	"cape/internal/workloads"
+)
+
+// BenchmarkTableI derives the per-instruction metrics (microcode
+// generation + mix extraction + energy) for all eleven Table I rows.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := emu.ProfileTableI(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableI_SelfCheck runs the associative emulator's functional
+// validation (every Table I instruction on the bit-level CSB vs golden
+// semantics).
+func BenchmarkTableI_SelfCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := emu.SelfCheck(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableII renders the microoperation constant table.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.TableII().String()
+	}
+}
+
+// BenchmarkTableIII renders the configuration table.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.TableIII().String()
+	}
+}
+
+// BenchmarkFig1Increment executes the Fig. 1 walk-through — a vector
+// increment as real search/update microcode on the bit-level CSB.
+func BenchmarkFig1Increment(b *testing.B) {
+	cfg := CAPE32k()
+	cfg.Chains = 8
+	cfg.Backend = BackendBitLevel
+	cfg.RAMBytes = 1 << 20
+	prog := NewProgram("inc").
+		Li(1, 256).
+		Vsetvli(2, 1).
+		Li(3, 1).
+		VaddVX(4, 5, 3).
+		Halt().
+		MustBuild()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := NewMachine(cfg)
+		if _, err := m.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Area evaluates the area model.
+func BenchmarkFig8Area(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.Fig8().String()
+	}
+}
+
+// benchCAPERun measures one workload's full CAPE simulation (build,
+// run, check).
+func benchCAPERun(b *testing.B, w workloads.Workload, cfg core.Config) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		m := workloads.NewMachine(cfg)
+		prog, err := w.BuildCAPE(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := m.Run(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Check(m); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.TimePS)/1e6, "simulated-µs")
+	}
+}
+
+// BenchmarkFig9Micro simulates each §VI-D microbenchmark on CAPE32k.
+func BenchmarkFig9Micro(b *testing.B) {
+	for _, w := range workloads.Micro() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			benchCAPERun(b, w, core.CAPE32k())
+		})
+	}
+}
+
+// BenchmarkFig9MicroBaseline replays each microbenchmark's scalar
+// trace through the out-of-order baseline model.
+func BenchmarkFig9MicroBaseline(b *testing.B) {
+	for _, w := range workloads.Micro() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			stream := w.Scalar(1, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := ooo.New(ooo.Baseline()).Run(stream)
+				b.ReportMetric(float64(st.TimePS(timing.BaselineFreqGHz))/1e6, "simulated-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkFig10Roofline classifies a measured run in roofline space.
+func BenchmarkFig10Roofline(b *testing.B) {
+	model := roofline.ForConfig(core.CAPE32k())
+	res := core.Result{LaneOps: 1 << 30, MemBytes: 1 << 28, TimePS: 1e9}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := model.Classify("x", res)
+		if p.ThroughputGops <= 0 {
+			b.Fatal("degenerate point")
+		}
+	}
+}
+
+// BenchmarkFig11Phoenix simulates each Phoenix application on CAPE32k
+// (the numerator of Fig. 11's area-equivalent comparison).
+func BenchmarkFig11Phoenix(b *testing.B) {
+	for _, w := range workloads.Phoenix() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			benchCAPERun(b, w, core.CAPE32k())
+		})
+	}
+}
+
+// BenchmarkFig11Phoenix131k simulates the larger configuration.
+func BenchmarkFig11Phoenix131k(b *testing.B) {
+	for _, w := range workloads.Phoenix() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			benchCAPERun(b, w, core.CAPE131k())
+		})
+	}
+}
+
+// BenchmarkFig11Baseline replays each Phoenix scalar trace on the
+// baseline core (the denominator of Fig. 11).
+func BenchmarkFig11Baseline(b *testing.B) {
+	for _, w := range workloads.Phoenix() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			stream := w.Scalar(1, 0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := ooo.New(ooo.Baseline()).Run(stream)
+				b.ReportMetric(float64(st.TimePS(timing.BaselineFreqGHz))/1e6, "simulated-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkFig12SVE replays each application's 512-bit SIMD trace on
+// the SVE-augmented core (Fig. 12's strongest configuration).
+func BenchmarkFig12SVE(b *testing.B) {
+	for _, w := range workloads.Phoenix() {
+		w := w
+		b.Run(w.Name, func(b *testing.B) {
+			stream := w.SIMD(512)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := ooo.New(ooo.WithSVE(512)).Run(stream)
+				b.ReportMetric(float64(st.TimePS(timing.BaselineFreqGHz))/1e6, "simulated-µs")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRedsum evaluates the redsum-vs-add trade table.
+func BenchmarkAblationRedsum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = report.AblationRedsum().String()
+	}
+}
+
+// BenchmarkAblationReplicaLoad runs the vlrw.v ablation pair.
+func BenchmarkAblationReplicaLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := report.AblationReplicaLoad(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- simulator-throughput benchmarks (not paper experiments) ---
+
+// BenchmarkCSBSearch measures the bit-level model's search throughput:
+// one bit-parallel search broadcast to a 1,024-chain CSB.
+func BenchmarkCSBSearch(b *testing.B) {
+	back := core.NewBitBackend(1024)
+	op := tt.MicroOp{Kind: tt.KSearchAll, Key: sram.Key{}.Match1(2).Match0(3), Cycles: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back.CSB().Execute(op)
+	}
+}
+
+// BenchmarkVAddMicrocode measures generating + executing a full vadd
+// on a one-chain bit-level CSB.
+func BenchmarkVAddMicrocode(b *testing.B) {
+	back := core.NewBitBackend(1)
+	inst := isa.Inst{Op: isa.OpVADD_VV, Vd: 1, Vs2: 2, Vs1: 3}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back.Exec(inst, 0)
+	}
+}
+
+// BenchmarkOoOStep measures the baseline core model's replay rate.
+func BenchmarkOoOStep(b *testing.B) {
+	c := ooo.New(ooo.Baseline())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Step(trace.Op{Kind: trace.IntALU})
+	}
+}

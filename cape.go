@@ -1,0 +1,144 @@
+// Package cape is a full-system simulator of CAPE, the
+// Content-Addressable Processing Engine of Caminal et al. (HPCA 2021):
+// an associative-computing processor built from compute-capable 6T
+// SRAM arrays and programmed with the standard RISC-V vector ISA.
+//
+// The simulator is a faithful reconstruction of the paper's stack:
+//
+//   - a bit-level model of the split-wordline subarrays, chains and
+//     Compute-Storage Block, executing real associative microcode
+//     (truth-table sequences of search/update microoperations);
+//   - the Control Processor / Vector Control Unit / Vector Memory Unit
+//     organization with the paper's timing model (Table I/II) over an
+//     HBM main memory;
+//   - baseline out-of-order, multicore and SVE-style SIMD core models
+//     for area-equivalent comparisons;
+//   - the paper's evaluation: Phoenix-style applications,
+//     microbenchmarks, roofline analysis, and per-table/figure
+//     regeneration (see cmd/capebench and EXPERIMENTS.md).
+//
+// Quick start:
+//
+//	m := cape.NewMachine(cape.CAPE32k())
+//	m.RAM().WriteWords(0x1000, data)
+//	prog, _ := cape.Assemble("inc", `
+//	    li      x1, 1024
+//	    vsetvli x2, x1, e32
+//	    li      x10, 0x1000
+//	    vle32.v v1, (x10)
+//	    li      x3, 1
+//	    vadd.vx v1, v1, x3
+//	    vse32.v v1, (x10)
+//	    halt`)
+//	res, _ := m.Run(prog)
+//	fmt.Println(res.Seconds(), "simulated seconds")
+package cape
+
+import (
+	"cape/internal/asm"
+	"cape/internal/core"
+	"cape/internal/csb"
+	"cape/internal/isa"
+	"cape/internal/memonly"
+)
+
+// Config selects a CAPE configuration (chain count, backend, memory
+// system).
+type Config = core.Config
+
+// Result summarises a program run: CP statistics, wall time, CSB
+// energy, and the roofline inputs (lane operations, memory bytes).
+type Result = core.Result
+
+// Program is a decoded instruction sequence.
+type Program = isa.Program
+
+// Builder assembles programs programmatically with label-based control
+// flow; see also Assemble for textual input.
+type Builder = isa.Builder
+
+// Backend selection for the functional CSB model.
+const (
+	// BackendFast applies golden ISA semantics directly (default; use
+	// for system-scale workloads).
+	BackendFast = core.BackendFast
+	// BackendBitLevel executes real associative microcode on the
+	// bit-level subarray model (slower; bit-faithful).
+	BackendBitLevel = core.BackendBitLevel
+)
+
+// CAPE32k returns the paper's smaller configuration: 1,024 chains,
+// 32,768 vector lanes, area-equivalent to one out-of-order core tile.
+func CAPE32k() Config { return core.CAPE32k() }
+
+// CAPE131k returns the larger configuration: 4,096 chains, 131,072
+// lanes, area-equivalent to two tiles.
+func CAPE131k() Config { return core.CAPE131k() }
+
+// Machine is a full CAPE system (Control Processor, VCU, VMU, CSB and
+// HBM).
+type Machine struct {
+	*core.Machine
+}
+
+// NewMachine builds a machine.
+func NewMachine(cfg Config) *Machine {
+	return &Machine{core.New(cfg)}
+}
+
+// NewProgram starts a programmatic program builder.
+func NewProgram(name string) *Builder { return isa.NewBuilder(name) }
+
+// Assemble parses RISC-V(-subset) assembly text into a Program.
+func Assemble(name, src string) (*Program, error) {
+	return asm.Assemble(name, src)
+}
+
+// Disassemble renders a program back to assembly text.
+func Disassemble(p *Program) string { return asm.Format(p) }
+
+// Scratchpad reconfigures a machine's CSB as a flat scratchpad
+// (paper §VII). The machine must use the bit-level backend.
+func (m *Machine) Scratchpad() (*memonly.Scratchpad, error) {
+	c, err := m.bitCSB()
+	if err != nil {
+		return nil, err
+	}
+	return memonly.NewScratchpad(c), nil
+}
+
+// KVStore reconfigures a machine's CSB as a content-addressed
+// key-value store (paper §VII). The machine must use the bit-level
+// backend.
+func (m *Machine) KVStore() (*memonly.KVStore, error) {
+	c, err := m.bitCSB()
+	if err != nil {
+		return nil, err
+	}
+	return memonly.NewKVStore(c), nil
+}
+
+// VictimCache reconfigures a machine's CSB as a victim cache
+// (paper §VII). The machine must use the bit-level backend.
+func (m *Machine) VictimCache() (*memonly.VictimCache, error) {
+	c, err := m.bitCSB()
+	if err != nil {
+		return nil, err
+	}
+	return memonly.NewVictimCache(c), nil
+}
+
+func (m *Machine) bitCSB() (*csb.CSB, error) {
+	if b, ok := m.Backend().(*core.BitBackend); ok {
+		return b.CSB(), nil
+	}
+	return nil, errBitLevelRequired
+}
+
+type bitLevelError struct{}
+
+func (bitLevelError) Error() string {
+	return "cape: memory-only modes need Config.Backend = BackendBitLevel (the CSB contents are the storage)"
+}
+
+var errBitLevelRequired = bitLevelError{}

@@ -1,0 +1,94 @@
+package cape
+
+import "testing"
+
+func TestFacadeQuickstart(t *testing.T) {
+	cfg := CAPE32k()
+	cfg.Chains = 4
+	cfg.RAMBytes = 1 << 20
+	m := NewMachine(cfg)
+	data := []uint32{10, 20, 30, 40}
+	m.RAM().WriteWords(0x1000, data)
+	prog, err := Assemble("inc", `
+	    li      x1, 4
+	    vsetvli x2, x1, e32
+	    li      x10, 0x1000
+	    vle32.v v1, (x10)
+	    li      x3, 1
+	    vadd.vx v1, v1, x3
+	    vse32.v v1, (x10)
+	    halt`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := m.RAM().ReadWords(0x1000, 4)
+	for i := range data {
+		if out[i] != data[i]+1 {
+			t.Fatalf("elem %d: %d", i, out[i])
+		}
+	}
+	if res.Seconds() <= 0 {
+		t.Fatal("no simulated time")
+	}
+}
+
+func TestFacadeBuilderAndDisassemble(t *testing.T) {
+	prog := NewProgram("t").
+		Li(1, 7).
+		Label("spin").
+		Addi(1, 1, -1).
+		Bne(1, 0, "spin").
+		Halt().
+		MustBuild()
+	text := Disassemble(prog)
+	prog2, err := Assemble("t2", text)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+	if len(prog2.Insts) != len(prog.Insts) {
+		t.Fatal("round trip length mismatch")
+	}
+}
+
+func TestFacadeMemoryOnlyModes(t *testing.T) {
+	cfg := CAPE32k()
+	cfg.Chains = 2
+	cfg.Backend = BackendBitLevel
+	m := NewMachine(cfg)
+
+	sp, err := m.Scratchpad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Write32(10, 0xBEEF)
+	if sp.Read32(10) != 0xBEEF {
+		t.Fatal("scratchpad")
+	}
+
+	kv, err := m.KVStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.Put(5, 55)
+	if v, ok := kv.Get(5); !ok || v != 55 {
+		t.Fatal("kv store")
+	}
+
+	vc, err := m.VictimCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vc.Lines() == 0 {
+		t.Fatal("victim cache")
+	}
+
+	// Fast backend must refuse with a helpful error.
+	fast := NewMachine(func() Config { c := CAPE32k(); c.Chains = 2; return c }())
+	if _, err := fast.KVStore(); err == nil {
+		t.Fatal("fast backend should not expose memory-only modes")
+	}
+}

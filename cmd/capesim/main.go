@@ -1,0 +1,143 @@
+// Command capesim runs a CAPE assembly program on the full-system
+// simulator and reports timing, energy and microarchitectural
+// statistics.
+//
+// Usage:
+//
+//	capesim [flags] program.s
+//
+//	-config CAPE32k|CAPE131k   machine configuration (default CAPE32k)
+//	-chains N                  override the chain count
+//	-backend fast|bitlevel     functional CSB model (default fast)
+//	-x N=V                     preset scalar register xN to V (repeatable)
+//	-dump addr,words           print a memory range after the run
+//	-disasm                    print the assembled program and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"cape"
+)
+
+type regFlags map[int]int64
+
+func (r regFlags) String() string { return fmt.Sprint(map[int]int64(r)) }
+
+func (r regFlags) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want xN=value, got %q", s)
+	}
+	n, err := strconv.Atoi(strings.TrimPrefix(name, "x"))
+	if err != nil || n < 0 || n > 31 {
+		return fmt.Errorf("bad register %q", name)
+	}
+	v, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q", val)
+	}
+	r[n] = v
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "capesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		configName = flag.String("config", "CAPE32k", "machine configuration (CAPE32k or CAPE131k)")
+		chains     = flag.Int("chains", 0, "override the CSB chain count")
+		backend    = flag.String("backend", "fast", "functional CSB model: fast or bitlevel")
+		dump       = flag.String("dump", "", "memory range to print after the run: addr,words")
+		disasm     = flag.Bool("disasm", false, "print the assembled program and exit")
+		regs       = regFlags{}
+	)
+	flag.Var(regs, "x", "preset scalar register, e.g. -x x10=4096 (repeatable)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: capesim [flags] program.s")
+	}
+
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		return err
+	}
+	prog, err := cape.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		return err
+	}
+	if *disasm {
+		fmt.Print(cape.Disassemble(prog))
+		return nil
+	}
+
+	var cfg cape.Config
+	switch *configName {
+	case "CAPE32k":
+		cfg = cape.CAPE32k()
+	case "CAPE131k":
+		cfg = cape.CAPE131k()
+	default:
+		return fmt.Errorf("unknown config %q", *configName)
+	}
+	if *chains > 0 {
+		cfg.Chains = *chains
+	}
+	switch *backend {
+	case "fast":
+		cfg.Backend = cape.BackendFast
+	case "bitlevel":
+		cfg.Backend = cape.BackendBitLevel
+	default:
+		return fmt.Errorf("unknown backend %q", *backend)
+	}
+
+	m := cape.NewMachine(cfg)
+	for r, v := range regs {
+		m.CP().SetX(r, v)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("config          %s (%d chains, MAXVL=%d, backend=%s)\n",
+		cfg.Name, cfg.Chains, m.MaxVL(), *backend)
+	fmt.Printf("cycles          %d (%.3f µs at 2.7 GHz)\n", res.CP.Cycles, float64(res.TimePS)/1e6)
+	fmt.Printf("scalar insts    %d\n", res.CP.ScalarInsts)
+	fmt.Printf("vector insts    %d (%d ALU/red, %d memory)\n",
+		res.CP.VectorInsts, res.VectorALUInsts, res.VectorMemInsts)
+	fmt.Printf("vector lane ops %d\n", res.LaneOps)
+	fmt.Printf("vector mem      %d bytes\n", res.MemBytes)
+	fmt.Printf("branches        %d (%d mispredicted)\n", res.CP.Branches, res.CP.Mispredicts)
+	fmt.Printf("CSB energy      %.2f nJ\n", res.EnergyPJ/1000)
+
+	if *dump != "" {
+		addrStr, wordsStr, ok := strings.Cut(*dump, ",")
+		if !ok {
+			return fmt.Errorf("-dump wants addr,words")
+		}
+		addr, err1 := strconv.ParseUint(addrStr, 0, 64)
+		words, err2 := strconv.Atoi(wordsStr)
+		if err1 != nil || err2 != nil {
+			return fmt.Errorf("bad -dump %q", *dump)
+		}
+		for i, w := range m.RAM().ReadWords(addr, words) {
+			if i%8 == 0 {
+				fmt.Printf("\n%08x:", addr+uint64(4*i))
+			}
+			fmt.Printf(" %08x", w)
+		}
+		fmt.Println()
+	}
+	return nil
+}

@@ -1,0 +1,33 @@
+# saxpy.s — fixed-point a*X + Y over 4,096 elements, chunked VLA-style.
+#
+# Inputs (preset with capesim -x, or use the defaults below):
+#   x5  = a (scalar multiplier)
+#   x20 = X base, x21 = Y base, x22 = output base, x23 = element count
+#
+# Run:
+#   go run ./cmd/capesim -x x5=3 -dump 0x300000,8 examples/asm/saxpy.s
+
+    li      x5, 3           # a
+    li      x20, 0x100000   # X
+    li      x21, 0x200000   # Y
+    li      x22, 0x300000   # out
+    li      x23, 4096       # n
+
+chunk:
+    beq     x23, x0, done
+    vsetvli x2, x23, e32    # vl = min(remaining, MAXVL)
+    vle32.v v1, (x20)       # X chunk
+    vle32.v v2, (x21)       # Y chunk
+    vmv.v.x v3, x5          # splat a
+    vmul.vv v4, v1, v3      # a*X   (bit-serial shift-and-add)
+    vadd.vv v4, v4, v2      # + Y   (8n+2 cycles, element-parallel)
+    vse32.v v4, (x22)
+    slli    x8, x2, 2
+    add     x20, x20, x8
+    add     x21, x21, x8
+    add     x22, x22, x8
+    sub     x23, x23, x2
+    j       chunk
+
+done:
+    halt

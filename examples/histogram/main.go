@@ -1,0 +1,85 @@
+// Histogram: the paper's motivating example (§II) — instead of a
+// per-pixel scatter, CAPE brute-force-searches every possible pixel
+// value across the whole image at once (vmseq.vx + vcpop.m), which the
+// paper reports as a 13x win over an area-comparable core.
+//
+// Run with: go run ./examples/histogram
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cape"
+)
+
+const (
+	nPixels  = 1 << 18
+	bins     = 64
+	pixBase  = 0x0010_0000
+	histBase = 0x0800_0000
+)
+
+func main() {
+	m := cape.NewMachine(cape.CAPE32k())
+
+	rng := rand.New(rand.NewSource(42))
+	pixels := make([]uint32, nPixels)
+	want := make([]uint32, bins)
+	for i := range pixels {
+		pixels[i] = uint32(rng.Intn(bins))
+		want[pixels[i]]++
+	}
+	m.RAM().WriteWords(pixBase, pixels)
+
+	// The program is built programmatically here (the assembler form
+	// is shown in examples/quickstart).
+	prog := cape.NewProgram("histogram").
+		Li(20, pixBase).
+		Li(21, nPixels).
+		Li(28, histBase).
+		Label("chunk").
+		Beq(21, 0, "done").
+		Vsetvli(2, 21). // vl = min(remaining, 32768)
+		Vle32(1, 20).
+		Li(3, 0).
+		Label("bin").
+		VmseqVX(0, 1, 3). // one content search finds EVERY pixel == bin
+		VcpopM(4, 0).     // population count through the reduction tree
+		Slli(5, 3, 2).
+		Add(5, 5, 28).
+		Lw(6, 0, 5).
+		Add(6, 6, 4).
+		Sw(6, 0, 5).
+		Addi(3, 3, 1).
+		Li(7, bins).
+		Blt(3, 7, "bin").
+		Slli(8, 2, 2).
+		Add(20, 20, 8).
+		Sub(21, 21, 2).
+		J("chunk").
+		Label("done").
+		Halt().
+		MustBuild()
+
+	res, err := m.Run(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := m.RAM().ReadWords(histBase, bins)
+	for b := range want {
+		if got[b] != want[b] {
+			log.Fatalf("bin %d: got %d want %d", b, got[b], want[b])
+		}
+	}
+
+	fmt.Printf("histogram of %d pixels into %d bins: correct\n", nPixels, bins)
+	fmt.Printf("  searches issued:  %d vector instructions\n", res.VectorALUInsts)
+	fmt.Printf("  simulated time:   %.2f µs\n", float64(res.TimePS)/1e6)
+	fmt.Printf("  HBM traffic:      %d bytes (pixels are loaded once per chunk)\n", res.MemBytes)
+	fmt.Println()
+	fmt.Println("each vmseq.vx compares one candidate value against all 32,768")
+	fmt.Println("resident pixels simultaneously; vcpop.m collapses the match")
+	fmt.Println("mask through the global reduction tree in ~6 cycles.")
+}

@@ -1,0 +1,200 @@
+// Kmeans: demonstrates the CSB-residency effect behind the paper's
+// most dramatic Fig. 11 result. The same k-means program runs on
+// CAPE32k (dataset larger than the register file — reloaded every
+// iteration) and CAPE131k (dataset resident — loaded once), and the
+// example reports both simulated times.
+//
+// Run with: go run ./examples/kmeans
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cape"
+)
+
+const (
+	n     = 1 << 16 // 65,536 2-D points
+	k     = 4
+	iters = 6
+
+	xsBase  = 0x0010_0000
+	ysBase  = 0x0200_0000
+	cxBase  = 0x0400_0000
+	cyBase  = cxBase + 4*k
+	accBase = 0x0600_0000
+	outBase = 0x0800_0000
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]uint32, n)
+	ys := make([]uint32, n)
+	for i := range xs {
+		c := rng.Intn(k)
+		xs[i] = uint32(c*2000 + rng.Intn(300))
+		ys[i] = uint32(c*2000 + rng.Intn(300))
+	}
+
+	for _, build := range []func() cape.Config{cape.CAPE32k, cape.CAPE131k} {
+		cfg := build()
+		m := cape.NewMachine(cfg)
+		m.RAM().WriteWords(xsBase, xs)
+		m.RAM().WriteWords(ysBase, ys)
+		for c := 0; c < k; c++ {
+			m.RAM().Store32(cxBase+uint64(4*c), xs[c*(n/k)])
+			m.RAM().Store32(cyBase+uint64(4*c), ys[c*(n/k)])
+		}
+		res, err := m.Run(program())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-9s  %8.1f µs   %6d vector insts   %5.1f nJ CSB energy\n",
+			cfg.Name, float64(res.TimePS)/1e6, res.CP.VectorInsts, res.EnergyPJ/1000)
+		fmt.Print("  final centroids:")
+		for c := 0; c < k; c++ {
+			fmt.Printf("  (%d, %d)",
+				m.RAM().Load32(outBase+uint64(4*c)),
+				m.RAM().Load32(outBase+uint64(4*(k+c))))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	fmt.Println("with 65,536 points, CAPE131k holds each coordinate vector in a")
+	fmt.Println("single register and touches memory only once; CAPE32k streams")
+	fmt.Println("the dataset through the CSB every iteration.")
+}
+
+// program builds the chunked k-means kernel (a compact version of the
+// internal/workloads one).
+func program() *cape.Program {
+	b := cape.NewProgram("kmeans").
+		Li(29, 0)
+	b.Label("iter").
+		Li(4, iters).
+		Bge(29, 4, "finish").
+		Li(5, accBase).
+		Li(6, 3*k).
+		Label("zero").
+		Beq(6, 0, "zeroDone").
+		Sw(0, 0, 5).
+		Addi(5, 5, 4).
+		Addi(6, 6, -1).
+		J("zero").
+		Label("zeroDone").
+		Li(20, xsBase).
+		Li(21, ysBase).
+		Li(23, n)
+	b.Label("chunk").
+		Beq(23, 0, "iterNext").
+		Vsetvli(2, 23).
+		Vle32(1, 20).
+		Vle32(2, 21).
+		Li(7, 0x7FFFFFFF).
+		VmvVX(4, 7).
+		VmvVX(5, 0).
+		Li(22, 0)
+	b.Label("kLoop").
+		Li(4, k).
+		Bge(22, 4, "assigned").
+		Slli(8, 22, 2).
+		Addi(9, 8, cxBase).
+		Lw(10, 0, 9).
+		Addi(9, 8, cyBase).
+		Lw(11, 0, 9).
+		VsubVX(6, 1, 10).
+		VmulVV(6, 6, 6).
+		VsubVX(7, 2, 11).
+		VmulVV(7, 7, 7).
+		VaddVV(3, 6, 7).
+		VmsltVV(0, 3, 4).
+		VmergeVVM(4, 4, 3).
+		VmvVX(6, 22).
+		VmergeVVM(5, 5, 6).
+		Addi(22, 22, 1).
+		J("kLoop")
+	b.Label("assigned").
+		Li(22, 0)
+	b.Label("acc").
+		Li(4, k).
+		Bge(22, 4, "accDone").
+		VmseqVX(0, 5, 22).
+		VcpopM(10, 0).
+		VmvVX(6, 0).
+		VmergeVVM(7, 6, 1).
+		VmvVX(8, 0).
+		VredsumVS(8, 7, 8).
+		VmvXS(11, 8).
+		VmvVX(6, 0).
+		VmergeVVM(7, 6, 2).
+		VmvVX(8, 0).
+		VredsumVS(8, 7, 8).
+		VmvXS(12, 8).
+		Li(14, 3).
+		Mul(13, 22, 14).
+		Slli(13, 13, 2).
+		Addi(13, 13, accBase).
+		Lw(15, 0, 13).
+		Add(15, 15, 11).
+		Sw(15, 0, 13).
+		Lw(15, 4, 13).
+		Add(15, 15, 12).
+		Sw(15, 4, 13).
+		Lw(15, 8, 13).
+		Add(15, 15, 10).
+		Sw(15, 8, 13).
+		Addi(22, 22, 1).
+		J("acc")
+	b.Label("accDone").
+		Slli(8, 2, 2).
+		Add(20, 20, 8).
+		Add(21, 21, 8).
+		Sub(23, 23, 2).
+		J("chunk")
+	b.Label("iterNext").
+		Li(22, 0)
+	b.Label("upd").
+		Li(4, k).
+		Bge(22, 4, "updDone").
+		Li(14, 3).
+		Mul(13, 22, 14).
+		Slli(13, 13, 2).
+		Addi(13, 13, accBase).
+		Lw(15, 0, 13).
+		Lw(16, 4, 13).
+		Lw(17, 8, 13).
+		Beq(17, 0, "skip").
+		Div(15, 15, 17).
+		Div(16, 16, 17).
+		Slli(8, 22, 2).
+		Addi(9, 8, cxBase).
+		Sw(15, 0, 9).
+		Addi(9, 8, cyBase).
+		Sw(16, 0, 9).
+		Label("skip").
+		Addi(22, 22, 1).
+		J("upd")
+	b.Label("updDone").
+		Addi(29, 29, 1).
+		J("iter")
+	b.Label("finish").
+		Li(22, 0)
+	b.Label("out").
+		Li(4, k).
+		Bge(22, 4, "done").
+		Slli(8, 22, 2).
+		Addi(9, 8, cxBase).
+		Lw(10, 0, 9).
+		Addi(9, 8, outBase).
+		Sw(10, 0, 9).
+		Addi(9, 8, cyBase).
+		Lw(10, 0, 9).
+		Addi(9, 8, outBase+4*k).
+		Sw(10, 0, 9).
+		Addi(22, 22, 1).
+		J("out")
+	b.Label("done").Halt()
+	return b.MustBuild()
+}

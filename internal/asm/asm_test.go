@@ -1,0 +1,167 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+)
+
+const vvaddSrc = `
+# C = A + B over n elements
+    li      x1, 64
+    vsetvli x2, x1, e32
+    li      x10, 0x1000
+    li      x11, 0x2000
+    li      x12, 0x3000
+loop:
+    vle32.v v1, (x10)
+    vle32.v v2, (x11)
+    vadd.vv v3, v1, v2
+    vse32.v v3, (x12)
+    halt
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	prog, err := Assemble("vvadd", vvaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.CAPE32k()
+	cfg.Chains = 2
+	cfg.RAMBytes = 1 << 20
+	m := core.New(cfg)
+	a := make([]uint32, 64)
+	b := make([]uint32, 64)
+	for i := range a {
+		a[i] = uint32(i)
+		b[i] = uint32(100 * i)
+	}
+	m.RAM().WriteWords(0x1000, a)
+	m.RAM().WriteWords(0x2000, b)
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := m.RAM().ReadWords(0x3000, 64)
+	for i := range out {
+		if out[i] != a[i]+b[i] {
+			t.Fatalf("elem %d: %d", i, out[i])
+		}
+	}
+}
+
+func TestAssembleAllFormats(t *testing.T) {
+	src := `
+start:
+    add   x1, x2, x3
+    addi  x4, x5, -12
+    li    x6, 0x1F
+    mv    x7, x8
+    lw    x9, 8(x10)
+    sw    x9, -4(x10)
+    lbu   x9, (x10)
+    beq   x1, x2, start
+    blt   x3, x4, start
+    j     end
+    nop
+    vsetvli x1, x2, e32
+    csrw.vstart x3
+    vle32.v  v1, (x4)
+    vse32.v  v2, (x5)
+    vlrw.v   v3, x6, x7
+    vadd.vx  v4, v5, x8
+    vmseq.vx v0, v6, x9
+    vmerge.vvm v7, v8, v9, v0
+    vmv.v.x  v10, x11
+    vmv.x.s  x12, v13
+    vredsum.vs v14, v15, v16
+    vcpop.m  x17, v18
+    vfirst.m x19, v20
+    vmsne.vv v21, v22, v23
+    vmsne.vx v0, v24, x20
+    vmax.vv  v25, v26, v27
+    vmin.vv  v25, v26, v27
+    vrsub.vx v28, v29, x21
+    vmv.v.v  v30, v31
+    vsll.vi  v1, v2, 5
+    vsrl.vi  v1, v2, 31
+end:
+    halt
+`
+	prog, err := Assemble("all", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.Validate(prog); err != nil {
+		t.Fatal(err)
+	}
+	if prog.Insts[7].Target != 0 { // beq start
+		t.Fatalf("branch target: %d", prog.Insts[7].Target)
+	}
+}
+
+func TestRoundTripThroughFormat(t *testing.T) {
+	prog, err := Assemble("rt", vvaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(prog)
+	prog2, err := Assemble("rt2", text)
+	if err != nil {
+		t.Fatalf("reassembling formatted output: %v\n%s", err, text)
+	}
+	if len(prog2.Insts) != len(prog.Insts) {
+		t.Fatalf("round trip changed length: %d vs %d", len(prog2.Insts), len(prog.Insts))
+	}
+	for i := range prog.Insts {
+		if prog.Insts[i] != prog2.Insts[i] {
+			t.Fatalf("inst %d: %v vs %v", i, prog.Insts[i], prog2.Insts[i])
+		}
+	}
+}
+
+func TestComments(t *testing.T) {
+	prog, err := Assemble("c", "li x1, 5 # trailing\n// full line\n; also\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Insts) != 2 {
+		t.Fatalf("insts: %d", len(prog.Insts))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "fadd x1, x2, x3", "unknown mnemonic"},
+		{"bad register", "add x1, x99, x3", "bad register"},
+		{"wrong operand count", "add x1, x2", "expects 3 operands"},
+		{"undefined label", "j nowhere", "undefined label"},
+		{"duplicate label", "a:\na:\nhalt", "duplicate label"},
+		{"bad immediate", "li x1, zork", "bad immediate"},
+		{"bad mem operand", "lw x1, x2", "expected imm(xN)"},
+		{"bad vmerge mask", "vmerge.vvm v1, v2, v3, v4", "mask must be v0"},
+		{"bad vsetvli width", "vsetvli x1, x2, e64", "element width must be"},
+		{"bad vector mem", "vle32.v v1, x2", "must be (xN)"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Assemble(tc.name, tc.src)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
+func TestLabelOnSameLine(t *testing.T) {
+	prog, err := Assemble("l", "top: addi x1, x1, 1\nj top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Insts[1].Op != isa.OpJ || prog.Insts[1].Target != 0 {
+		t.Fatalf("label on instruction line mishandled: %+v", prog.Insts[1])
+	}
+}

@@ -1,0 +1,235 @@
+package cache
+
+import "fmt"
+
+// MESI coherence for the multicore baseline (Table III lists the
+// private caches as MESI). The model is a directory at the shared L3:
+// each line tracks its per-core state; reads obtain Shared/Exclusive
+// copies (with cache-to-cache intervention when another core holds the
+// line Modified), writes obtain Modified ownership by invalidating the
+// other sharers.
+//
+// The Phoenix multicore runs partition their data, so coherence
+// traffic there is negligible — this substrate exists to model the
+// protocol cost honestly where sharing does occur (see the
+// producer-consumer and false-sharing tests).
+
+// MESIState is a line's state in one core's private hierarchy.
+type MESIState uint8
+
+const (
+	Invalid MESIState = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+func (s MESIState) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return "?"
+}
+
+// CoherentSystem is a set of private per-core hierarchies kept
+// coherent over a shared L3 and main memory.
+type CoherentSystem struct {
+	cores  []*coreCaches
+	shared *Level
+	// states[core][line] is the MESI state; absent means Invalid.
+	states []map[uint64]MESIState
+	// Latencies.
+	memLatency      int
+	interventionLat int
+	invalidationLat int
+	upgradeLatency  int
+	lineBytes       uint64
+
+	// Stats.
+	Interventions uint64 // cache-to-cache transfers of Modified lines
+	Invalidations uint64 // sharers killed by write ownership requests
+	Upgrades      uint64 // S->M transitions
+	MemBytes      uint64
+}
+
+type coreCaches struct {
+	l1, l2 *Level
+}
+
+// NewCoherentSystem builds an n-core system with Table III private
+// caches and the shared L3.
+func NewCoherentSystem(n int) *CoherentSystem {
+	cs := &CoherentSystem{
+		shared:          NewLevel(BaselineL3),
+		memLatency:      300,
+		interventionLat: 40, // remote-L2 cache-to-cache transfer
+		invalidationLat: 20, // snoop round trip
+		upgradeLatency:  12,
+		lineBytes:       64,
+	}
+	for i := 0; i < n; i++ {
+		cs.cores = append(cs.cores, &coreCaches{
+			l1: NewLevel(BaselineL1D),
+			l2: NewLevel(BaselineL2),
+		})
+		cs.states = append(cs.states, make(map[uint64]MESIState))
+	}
+	return cs
+}
+
+// NumCores returns the core count.
+func (cs *CoherentSystem) NumCores() int { return len(cs.cores) }
+
+// State returns core's MESI state for the line containing addr.
+func (cs *CoherentSystem) State(core int, addr uint64) MESIState {
+	return cs.states[core][addr/cs.lineBytes]
+}
+
+func (cs *CoherentSystem) checkCore(core int) {
+	if core < 0 || core >= len(cs.cores) {
+		panic(fmt.Sprintf("cache: core %d out of range", core))
+	}
+}
+
+// Access performs a coherent load (write=false) or store (write=true)
+// by core at addr and returns the latency plus memory traffic.
+func (cs *CoherentSystem) Access(core int, addr uint64, write bool) Result {
+	cs.checkCore(core)
+	line := addr / cs.lineBytes
+	c := cs.cores[core]
+	st := cs.states[core][line]
+	var r Result
+
+	if st != Invalid {
+		// Private hit; writes may need ownership.
+		r.LatencyCycles = c.l1.Config().LatencyCycles
+		if !c.l1.Lookup(addr, write) {
+			r.LatencyCycles += c.l2.Config().LatencyCycles
+			if c.l2.Lookup(addr, write) {
+				c.l1.Fill(addr, write)
+			} else {
+				// State said present but capacity evicted it silently;
+				// treat as a miss below.
+				st = Invalid
+				delete(cs.states[core], line)
+			}
+		}
+		if st != Invalid {
+			if write && st == Shared {
+				// Upgrade: invalidate the other sharers.
+				cs.Upgrades++
+				r.LatencyCycles += cs.upgradeLatency
+				cs.invalidateOthers(core, line, &r)
+			}
+			if write {
+				cs.states[core][line] = Modified
+			}
+			r.HitLevel = 0
+			return r
+		}
+	}
+
+	// Private miss: consult the directory.
+	r.LatencyCycles = c.l1.Config().LatencyCycles + c.l2.Config().LatencyCycles
+	owner, ownerState := cs.findOwner(core, line)
+	switch {
+	case ownerState == Modified:
+		// Cache-to-cache intervention: the dirty copy is forwarded.
+		cs.Interventions++
+		r.LatencyCycles += cs.interventionLat
+		if write {
+			cs.states[owner] = deleteState(cs.states[owner], line)
+			cs.invalidateLine(owner, addr)
+			cs.Invalidations++
+		} else {
+			cs.states[owner][line] = Shared
+		}
+	default:
+		if owner >= 0 && ownerState == Exclusive && !write {
+			// A remote read downgrades the exclusive owner (silent on
+			// the owner's side; the snoop is covered by the L3 probe).
+			cs.states[owner][line] = Shared
+		}
+		// Fetch from L3 / memory.
+		r.LatencyCycles += cs.shared.Config().LatencyCycles
+		if !cs.shared.Lookup(addr, false) {
+			r.LatencyCycles += cs.memLatency
+			cs.shared.Fill(addr, false)
+			r.MemBytes += cs.shared.Config().LineBytes
+			cs.MemBytes += uint64(cs.shared.Config().LineBytes)
+			r.HitLevel = 3
+		} else {
+			r.HitLevel = 2
+		}
+		if write {
+			cs.invalidateOthers(core, line, &r)
+		}
+	}
+
+	// Install in the private hierarchy.
+	c.l2.Fill(addr, write)
+	c.l1.Fill(addr, write)
+	newState := Shared
+	if write {
+		newState = Modified
+	} else if !cs.hasOtherSharer(core, line) {
+		newState = Exclusive
+	}
+	cs.states[core][line] = newState
+	return r
+}
+
+// findOwner returns a core (other than `core`) holding the line and
+// its state, preferring a Modified owner.
+func (cs *CoherentSystem) findOwner(core int, line uint64) (int, MESIState) {
+	owner, state := -1, Invalid
+	for i := range cs.states {
+		if i == core {
+			continue
+		}
+		if s := cs.states[i][line]; s != Invalid {
+			if s == Modified {
+				return i, s
+			}
+			owner, state = i, s
+		}
+	}
+	return owner, state
+}
+
+func (cs *CoherentSystem) hasOtherSharer(core int, line uint64) bool {
+	_, s := cs.findOwner(core, line)
+	return s != Invalid
+}
+
+func (cs *CoherentSystem) invalidateOthers(core int, line uint64, r *Result) {
+	for i := range cs.states {
+		if i == core {
+			continue
+		}
+		if cs.states[i][line] != Invalid {
+			cs.Invalidations++
+			r.LatencyCycles += cs.invalidationLat
+			delete(cs.states[i], line)
+			cs.invalidateLine(i, line*cs.lineBytes)
+		}
+	}
+}
+
+// invalidateLine drops the line from a core's private levels. The
+// Level structure has no explicit invalidate, so the state map is the
+// source of truth; stale Level contents are harmless because every
+// access consults the state first.
+func (cs *CoherentSystem) invalidateLine(core int, addr uint64) {}
+
+func deleteState(m map[uint64]MESIState, line uint64) map[uint64]MESIState {
+	delete(m, line)
+	return m
+}

@@ -1,0 +1,132 @@
+package cache
+
+import "testing"
+
+func TestMESIReadGetsExclusiveThenShared(t *testing.T) {
+	cs := NewCoherentSystem(2)
+	cs.Access(0, 0x1000, false)
+	if s := cs.State(0, 0x1000); s != Exclusive {
+		t.Fatalf("sole reader should be Exclusive, got %v", s)
+	}
+	cs.Access(1, 0x1000, false)
+	if s := cs.State(1, 0x1000); s != Shared {
+		t.Fatalf("second reader should be Shared, got %v", s)
+	}
+	// Note: the first core's E copy is observed as a sharer by the
+	// directory; a subsequent write by core 0 must still invalidate.
+}
+
+func TestMESIWriteInvalidatesSharers(t *testing.T) {
+	cs := NewCoherentSystem(3)
+	cs.Access(0, 0x2000, false)
+	cs.Access(1, 0x2000, false)
+	cs.Access(2, 0x2000, false)
+	cs.Access(0, 0x2000, true) // upgrade
+	if cs.State(0, 0x2000) != Modified {
+		t.Fatalf("writer should be Modified, got %v", cs.State(0, 0x2000))
+	}
+	if cs.State(1, 0x2000) != Invalid || cs.State(2, 0x2000) != Invalid {
+		t.Fatal("sharers not invalidated")
+	}
+	if cs.Invalidations < 2 {
+		t.Fatalf("invalidations: %d", cs.Invalidations)
+	}
+	if cs.Upgrades != 1 {
+		t.Fatalf("upgrades: %d", cs.Upgrades)
+	}
+}
+
+func TestMESIInterventionOnDirtyLine(t *testing.T) {
+	cs := NewCoherentSystem(2)
+	cs.Access(0, 0x3000, true) // core 0 owns Modified
+	if cs.State(0, 0x3000) != Modified {
+		t.Fatal("writer not Modified")
+	}
+	r := cs.Access(1, 0x3000, false) // reader triggers intervention
+	if cs.Interventions != 1 {
+		t.Fatalf("interventions: %d", cs.Interventions)
+	}
+	if cs.State(0, 0x3000) != Shared || cs.State(1, 0x3000) != Shared {
+		t.Fatalf("post-intervention states: %v/%v",
+			cs.State(0, 0x3000), cs.State(1, 0x3000))
+	}
+	// Intervention is faster than memory but slower than a local hit.
+	if r.LatencyCycles < 40 || r.LatencyCycles > 200 {
+		t.Fatalf("intervention latency %d", r.LatencyCycles)
+	}
+}
+
+func TestMESIWriteStealsDirtyLine(t *testing.T) {
+	cs := NewCoherentSystem(2)
+	cs.Access(0, 0x4000, true)
+	cs.Access(1, 0x4000, true) // RFO against a Modified owner
+	if cs.State(0, 0x4000) != Invalid {
+		t.Fatal("previous owner not invalidated")
+	}
+	if cs.State(1, 0x4000) != Modified {
+		t.Fatal("new owner not Modified")
+	}
+}
+
+func TestMESIPrivateHitsAreCheap(t *testing.T) {
+	cs := NewCoherentSystem(2)
+	cs.Access(0, 0x5000, false)
+	r := cs.Access(0, 0x5000, false)
+	if r.LatencyCycles != BaselineL1D.LatencyCycles {
+		t.Fatalf("private hit latency %d", r.LatencyCycles)
+	}
+	// Exclusive->Modified needs no bus traffic.
+	before := cs.Invalidations
+	cs.Access(0, 0x5000, true)
+	if cs.Invalidations != before {
+		t.Fatal("silent E->M upgrade generated invalidations")
+	}
+	if cs.State(0, 0x5000) != Modified {
+		t.Fatal("E->M missing")
+	}
+}
+
+// TestMESIPingPong measures the canonical false-sharing pathology: two
+// cores alternately writing the same line pay an intervention or
+// invalidation on every access.
+func TestMESIPingPong(t *testing.T) {
+	cs := NewCoherentSystem(2)
+	var pingPong int
+	for i := 0; i < 100; i++ {
+		r := cs.Access(i%2, 0x6000, true)
+		pingPong += r.LatencyCycles
+	}
+	csLocal := NewCoherentSystem(2)
+	var local int
+	for i := 0; i < 100; i++ {
+		r := csLocal.Access(0, 0x6000, true)
+		local += r.LatencyCycles
+	}
+	if pingPong < local*3 {
+		t.Fatalf("false sharing too cheap: %d vs %d cycles", pingPong, local)
+	}
+	if cs.Interventions+cs.Invalidations < 90 {
+		t.Fatalf("coherence events: %d", cs.Interventions+cs.Invalidations)
+	}
+}
+
+// TestMESIPartitionedWorkloadIsQuiet mirrors the Phoenix setup: cores
+// touching disjoint ranges generate no coherence traffic.
+func TestMESIPartitionedWorkloadIsQuiet(t *testing.T) {
+	cs := NewCoherentSystem(2)
+	for i := 0; i < 1000; i++ {
+		cs.Access(0, uint64(i*64), true)
+		cs.Access(1, uint64(1<<20+i*64), true)
+	}
+	if cs.Interventions != 0 || cs.Invalidations != 0 {
+		t.Fatalf("partitioned run generated coherence traffic: %d/%d",
+			cs.Interventions, cs.Invalidations)
+	}
+}
+
+func TestMESIStateStrings(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" ||
+		Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Fatal("state strings")
+	}
+}

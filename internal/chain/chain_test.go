@@ -1,0 +1,216 @@
+package chain
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cape/internal/sram"
+)
+
+func TestElementRoundTrip(t *testing.T) {
+	c := New()
+	f := func(reg, col uint8, v uint32) bool {
+		r := int(reg) % sram.DataRows
+		cc := int(col) % ColsPerChain
+		c.WriteElement(r, cc, v)
+		return c.ReadElement(r, cc) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestElementBitSlicing(t *testing.T) {
+	c := New()
+	c.WriteElement(3, 5, 0b1010)
+	// Bit s of the element must land in subarray s, row 3, column 5.
+	if c.Sub(0).ReadBit(3, 5) || !c.Sub(1).ReadBit(3, 5) ||
+		c.Sub(2).ReadBit(3, 5) || !c.Sub(3).ReadBit(3, 5) {
+		t.Fatal("element bits not sliced one-per-subarray")
+	}
+	for s := 4; s < SubPerChain; s++ {
+		if c.Sub(s).ReadBit(3, 5) {
+			t.Fatalf("stray bit in subarray %d", s)
+		}
+	}
+}
+
+func TestElementsDoNotInterfere(t *testing.T) {
+	c := New()
+	vals := map[[2]int]uint32{}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		reg, col := rng.Intn(sram.DataRows), rng.Intn(ColsPerChain)
+		v := rng.Uint32()
+		c.WriteElement(reg, col, v)
+		vals[[2]int{reg, col}] = v
+	}
+	for k, want := range vals {
+		if got := c.ReadElement(k[0], k[1]); got != want {
+			t.Fatalf("element (v%d, col %d): got %#x want %#x", k[0], k[1], got, want)
+		}
+	}
+}
+
+func TestSelectMaskSources(t *testing.T) {
+	c := New()
+	c.Sub(4).SetTag(0b1100)
+	c.Sub(5).SetTag(0b0110)
+	c.SetEnable(EnLoad, 0b1010)
+
+	cases := []struct {
+		name string
+		sel  Selector
+		sub  int
+		want uint32
+	}{
+		{"own tag", Selector{Src: SrcOwnTag}, 5, 0b0110},
+		{"prev tag", Selector{Src: SrcPrevTag}, 5, 0b1100},
+		{"prev tag of sub0 is zero", Selector{Src: SrcPrevTag}, 0, 0},
+		{"broadcast tag", Selector{Src: SrcSubTag, Sub: 4}, 9, 0b1100},
+		{"all columns", Selector{Src: SrcAllCols}, 0, sram.AllCols},
+		{"enable", Selector{Src: SrcEnable}, 0, 0b1010},
+		{"inverted own tag", Selector{Src: SrcOwnTag, Invert: true}, 5, ^uint32(0b0110)},
+		{"own tag gated by enable", Selector{Src: SrcOwnTag, GateEnable: true}, 5, 0b0010},
+	}
+	for _, tc := range cases {
+		if got := c.SelectMask(tc.sel, tc.sub); got != tc.want {
+			t.Errorf("%s: got %#b want %#b", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestActiveWindowGatesUpdates(t *testing.T) {
+	c := New()
+	c.SetActiveMask(0x0000FFFF) // only the low 16 columns active
+	c.Sub(0).SetTag(sram.AllCols)
+	c.Update(0, 7, true, Selector{Src: SrcOwnTag})
+	if got := c.Sub(0).ReadRow(7); got != 0x0000FFFF {
+		t.Fatalf("update escaped the active window: row %#x", got)
+	}
+	// Tail columns (beyond vl) must remain unchanged even with
+	// SrcAllCols (RISC-V tail-undisturbed policy, paper §V-F).
+	c.UpdateAll(8, true, Selector{Src: SrcAllCols})
+	for s := 0; s < SubPerChain; s++ {
+		if got := c.Sub(s).ReadRow(8); got != 0x0000FFFF {
+			t.Fatalf("subarray %d: bulk update escaped active window: %#x", s, got)
+		}
+	}
+}
+
+func TestPopCountTagRespectsActiveWindow(t *testing.T) {
+	c := New()
+	c.Sub(3).SetTag(0xFF00FF00)
+	if got := c.PopCountTag(3); got != 16 {
+		t.Fatalf("full window popcount: got %d want 16", got)
+	}
+	c.SetActiveMask(0x0000FFFF)
+	if got := c.PopCountTag(3); got != 8 {
+		t.Fatalf("half window popcount: got %d want 8", got)
+	}
+}
+
+func TestEnableOps(t *testing.T) {
+	c := New()
+	c.SetEnable(EnLoad, 0b1100)
+	if c.Enable() != 0b1100 {
+		t.Fatalf("EnLoad: %#b", c.Enable())
+	}
+	c.SetEnable(EnAnd, 0b0110)
+	if c.Enable() != 0b0100 {
+		t.Fatalf("EnAnd: %#b", c.Enable())
+	}
+	c.SetEnable(EnOr, 0b0011)
+	if c.Enable() != 0b0111 {
+		t.Fatalf("EnOr: %#b", c.Enable())
+	}
+	c.SetEnable(EnAndNot, 0b0101)
+	if c.Enable() != 0b0010 {
+		t.Fatalf("EnAndNot: %#b", c.Enable())
+	}
+	c.SetEnable(EnSetAll, 0)
+	if c.Enable() != sram.AllCols {
+		t.Fatalf("EnSetAll: %#b", c.Enable())
+	}
+}
+
+// TestFigure1Increment reproduces the paper's Fig. 1 walk-through at
+// chain level: incrementing a vector by sequencing half-adder
+// search/update pairs over the carry metadata row, bit-serially from
+// the LSB. Three elements are used, as in the figure.
+func TestFigure1Increment(t *testing.T) {
+	c := New()
+	vals := []uint32{0b01, 0b10, 0b11, 5, 0xFFFFFFFF, 41}
+	for col, v := range vals {
+		c.WriteElement(2, col, v) // v2 <- vals
+	}
+	// Initialize the running carry to 1 in subarray 0 (adds one), and
+	// to 0 elsewhere, with a single bulk update per value.
+	c.UpdateAll(sram.RowCarry, false, Selector{Src: SrcAllCols})
+	c.Update(0, sram.RowCarry, true, Selector{Src: SrcAllCols})
+	for bit := 0; bit < ElemBits; bit++ {
+		// Pair 1: v=0, c=1 -> v=1, c=0.
+		k := sram.Key{}.Match0(2).Match1(sram.RowCarry)
+		c.Search(bit, k, sram.AccSet)
+		c.Update(bit, 2, true, Selector{Src: SrcOwnTag})
+		c.Update(bit, sram.RowCarry, false, Selector{Src: SrcOwnTag})
+		// Pair 2: v=1, c=1 -> v=0, carry propagates to bit+1.
+		k = sram.Key{}.Match1(2).Match1(sram.RowCarry)
+		c.Search(bit, k, sram.AccSet)
+		c.Update(bit, 2, false, Selector{Src: SrcOwnTag})
+		c.Update(bit, sram.RowCarry, false, Selector{Src: SrcOwnTag})
+		if bit+1 < ElemBits {
+			c.Update(bit+1, sram.RowCarry, true, Selector{Src: SrcPrevTag})
+		}
+	}
+	for col, v := range vals {
+		want := v + 1
+		if got := c.ReadElement(2, col); got != want {
+			t.Fatalf("element %d: got %#x want %#x", col, got, want)
+		}
+	}
+}
+
+// TestFigure6Redsum reproduces Fig. 6: bit-serial reduction sum of a
+// four-element vector, echoing tag bits from MSB to LSB and
+// accumulating shifted popcounts.
+func TestFigure6Redsum(t *testing.T) {
+	c := New()
+	vals := []uint32{0b10, 0b01, 0b11, 0b01}
+	for col, v := range vals {
+		c.WriteElement(1, col, v)
+	}
+	c.SetActiveMask(0b1111) // vl = 4
+	var acc uint64
+	for bit := ElemBits - 1; bit >= 0; bit-- {
+		c.Search(bit, sram.Key{}.Match1(1), sram.AccSet)
+		acc = acc<<1 + uint64(c.PopCountTag(bit))
+	}
+	if want := uint64(2 + 1 + 3 + 1); acc != want {
+		t.Fatalf("redsum: got %d want %d", acc, want)
+	}
+}
+
+func TestRowWiseAccess(t *testing.T) {
+	c := New()
+	c.WriteRowWise(7, 3, 0xCAFEBABE)
+	if got := c.ReadRowWise(7, 3); got != 0xCAFEBABE {
+		t.Fatalf("row-wise round trip: %#x", got)
+	}
+	// Row-wise data is NOT bit-sliced: other subarrays are untouched.
+	if c.ReadRowWise(8, 3) != 0 || c.ReadRowWise(6, 3) != 0 {
+		t.Fatal("row-wise write leaked into neighbouring subarrays")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := New()
+	c.WriteElement(0, 0, 123)
+	c.SetActiveMask(1)
+	c.SetEnable(EnLoad, 2)
+	c.Reset()
+	if c.ReadElement(0, 0) != 0 || c.ActiveMask() != sram.AllCols || c.Enable() != sram.AllCols {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"cape/internal/csb"
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+// Backend is the functional model of the Compute-Storage Block used by
+// the Machine. Two implementations exist:
+//
+//   - BitBackend executes real associative microcode on the bit-level
+//     chain/subarray model — the faithful simulator;
+//   - FastBackend applies the golden ISA semantics directly — used for
+//     system-scale workloads where simulating every search/update of
+//     tens of thousands of subarrays would dominate wall-clock time.
+//
+// Cross-validation tests run identical programs on both and require
+// bit-identical architectural state. Timing and energy are computed by
+// the Machine from the instruction stream and are backend-independent.
+type Backend interface {
+	// MaxVL returns the hardware lane count.
+	MaxVL() int
+	// SetWindow installs the active element window and element width.
+	SetWindow(vstart, vl, sew int)
+	// Exec executes one vector ALU/reduction instruction functionally.
+	// x is the scalar operand of .vx forms. Reductions and vmv.x.s
+	// return a scalar result.
+	Exec(inst isa.Inst, x uint64) (result int64, hasResult bool)
+	// ReadElem/WriteElem are the VMU element access path.
+	ReadElem(v, e int) uint32
+	WriteElem(v, e int, val uint32)
+}
+
+// FastBackend holds architectural vector state as plain slices.
+type FastBackend struct {
+	reg    [isa.NumVRegs][]uint32
+	window isa.Window
+}
+
+// NewFastBackend builds a fast functional backend with maxVL lanes.
+func NewFastBackend(maxVL int) *FastBackend {
+	b := &FastBackend{}
+	for v := range b.reg {
+		b.reg[v] = make([]uint32, maxVL)
+	}
+	b.window = isa.Window{Start: 0, VL: maxVL}
+	return b
+}
+
+// MaxVL returns the lane count.
+func (b *FastBackend) MaxVL() int { return len(b.reg[0]) }
+
+// SetWindow installs the active window and element width.
+func (b *FastBackend) SetWindow(vstart, vl, sew int) {
+	b.window = isa.Window{Start: vstart, VL: vl, SEW: sew}
+}
+
+// ReadElem returns element e of register v.
+func (b *FastBackend) ReadElem(v, e int) uint32 { return b.reg[v][e] }
+
+// WriteElem stores element e of register v.
+func (b *FastBackend) WriteElem(v, e int, val uint32) { b.reg[v][e] = val }
+
+// Exec applies golden semantics.
+func (b *FastBackend) Exec(inst isa.Inst, x uint64) (int64, bool) {
+	w := b.window
+	vd, vs2, vs1 := int(inst.Vd), int(inst.Vs2), int(inst.Vs1)
+	switch inst.Op {
+	case isa.OpVADD_VV, isa.OpVSUB_VV, isa.OpVMUL_VV, isa.OpVAND_VV,
+		isa.OpVOR_VV, isa.OpVXOR_VV, isa.OpVMSEQ_VV, isa.OpVMSLT_VV,
+		isa.OpVMSNE_VV, isa.OpVMAX_VV, isa.OpVMIN_VV:
+		isa.GoldenVV(inst.Op, b.reg[vd], b.reg[vs2], b.reg[vs1], w)
+	case isa.OpVADD_VX, isa.OpVSUB_VX, isa.OpVMSEQ_VX, isa.OpVMSLT_VX,
+		isa.OpVMSNE_VX, isa.OpVRSUB_VX:
+		isa.GoldenVX(inst.Op, b.reg[vd], b.reg[vs2], uint32(x), w)
+	case isa.OpVMV_VV:
+		isa.GoldenCopy(b.reg[vd], b.reg[vs2], w)
+	case isa.OpVSLL_VI, isa.OpVSRL_VI:
+		isa.GoldenShift(inst.Op, b.reg[vd], b.reg[vs2], uint(x), w)
+	case isa.OpVMERGE_VVM:
+		isa.GoldenMerge(b.reg[vd], b.reg[vs2], b.reg[vs1], b.reg[0], w)
+	case isa.OpVMV_VX:
+		isa.GoldenSplat(b.reg[vd], uint32(x), w)
+	case isa.OpVREDSUM_VS:
+		sum := isa.GoldenRedsum(b.reg[vs2], b.reg[vs1], w)
+		b.reg[vd][0] = sum
+	case isa.OpVMV_XS:
+		v := b.reg[vs2][0] & w.Mask()
+		k := 32 - uint(w.Bits())
+		return int64(int32(v<<k) >> k), true
+	case isa.OpVCPOP_M:
+		return isa.GoldenCpop(b.reg[vs2], w), true
+	case isa.OpVFIRST_M:
+		return isa.GoldenFirst(b.reg[vs2], w), true
+	default:
+		panic(fmt.Sprintf("core: fast backend cannot execute %v", inst.Op))
+	}
+	return 0, false
+}
+
+// BitBackend executes associative microcode on the bit-level CSB.
+type BitBackend struct {
+	csb *csb.CSB
+	sew int
+}
+
+// NewBitBackend builds a bit-level backend with the given chain count.
+func NewBitBackend(chains int) *BitBackend {
+	return &BitBackend{csb: csb.New(chains), sew: 32}
+}
+
+// CSB exposes the underlying block (memory-only mode, tests).
+func (b *BitBackend) CSB() *csb.CSB { return b.csb }
+
+// MaxVL returns the lane count.
+func (b *BitBackend) MaxVL() int { return b.csb.MaxVL() }
+
+// SetWindow installs the active window and element width.
+func (b *BitBackend) SetWindow(vstart, vl, sew int) {
+	b.csb.SetWindow(vstart, vl)
+	if sew == 0 {
+		sew = 32
+	}
+	b.sew = sew
+}
+
+// ReadElem returns element e of register v.
+func (b *BitBackend) ReadElem(v, e int) uint32 { return b.csb.ReadElement(v, e) }
+
+// WriteElem stores element e of register v.
+func (b *BitBackend) WriteElem(v, e int, val uint32) { b.csb.WriteElement(v, e, val) }
+
+// Exec generates and runs the instruction's microcode.
+func (b *BitBackend) Exec(inst isa.Inst, x uint64) (int64, bool) {
+	vd, vs2, vs1 := int(inst.Vd), int(inst.Vs2), int(inst.Vs1)
+	w := isa.Window{SEW: b.sew}
+	if inst.Op == isa.OpVMV_XS {
+		v := b.csb.ReadElement(vs2, 0) & w.Mask()
+		k := 32 - uint(w.Bits())
+		return int64(int32(v<<k) >> k), true
+	}
+	ops, err := tt.GenerateSEW(inst.Op, vd, vs2, vs1, x, b.sew)
+	if err != nil {
+		panic(fmt.Sprintf("core: bit backend: %v", err))
+	}
+	b.csb.ResetReduction()
+	b.csb.Run(ops)
+	switch inst.Op {
+	case isa.OpVREDSUM_VS:
+		sum := (uint32(b.csb.ReductionResult()) + b.csb.ReadElement(vs1, 0)) & w.Mask()
+		b.csb.WriteElement(vd, 0, sum)
+		return 0, false
+	case isa.OpVCPOP_M:
+		return int64(b.csb.ReductionResult()), true
+	case isa.OpVFIRST_M:
+		return b.csb.FirstSetTag(), true
+	}
+	return 0, false
+}

@@ -1,0 +1,365 @@
+// Package core assembles the CAPE system of paper Fig. 2: the Control
+// Processor, the Vector Control Unit, the Vector Memory Unit, and the
+// Compute-Storage Block, around a shared HBM main memory. This is the
+// paper's primary contribution as a runnable machine.
+package core
+
+import (
+	"fmt"
+
+	"cape/internal/cache"
+	"cape/internal/cp"
+	"cape/internal/energy"
+	"cape/internal/hbm"
+	"cape/internal/isa"
+	"cape/internal/timing"
+	"cape/internal/tt"
+	"cape/internal/vcu"
+	"cape/internal/vmu"
+)
+
+// BackendKind selects the functional CSB model.
+type BackendKind uint8
+
+const (
+	// BackendFast applies golden semantics (system-scale runs).
+	BackendFast BackendKind = iota
+	// BackendBitLevel executes real microcode on the subarray model.
+	BackendBitLevel
+)
+
+// Config describes one CAPE configuration.
+type Config struct {
+	Name    string
+	Chains  int
+	Backend BackendKind
+	HBM     hbm.Config
+	CP      cp.Config
+	// RAMBytes sizes main memory for the run.
+	RAMBytes int
+}
+
+// CAPE32k is the paper's smaller configuration: 1,024 chains = 32,768
+// lanes, area-equivalent to one baseline tile.
+func CAPE32k() Config {
+	return Config{
+		Name:     "CAPE32k",
+		Chains:   1024,
+		Backend:  BackendFast,
+		HBM:      hbm.Default(),
+		CP:       cp.DefaultConfig(),
+		RAMBytes: 256 << 20,
+	}
+}
+
+// CAPE131k is the larger configuration: 4,096 chains = 131,072 lanes,
+// area-equivalent to two baseline tiles.
+func CAPE131k() Config {
+	c := CAPE32k()
+	c.Name = "CAPE131k"
+	c.Chains = 4096
+	return c
+}
+
+// Result summarises one program run.
+type Result struct {
+	CP cp.Stats
+	// TimePS is total wall time in picoseconds.
+	TimePS int64
+	// EnergyPJ is the CSB dynamic energy estimate.
+	EnergyPJ float64
+	// LaneOps counts executed vector element operations (roofline
+	// numerator).
+	LaneOps uint64
+	// MemBytes counts main-memory traffic from vector transfers
+	// (roofline denominator).
+	MemBytes uint64
+	// VectorALUInsts / VectorMemInsts break down the offloaded work.
+	VectorALUInsts uint64
+	VectorMemInsts uint64
+	// PageFaults counts vector-memory page faults handled via the
+	// vstart restart mechanism (paper §V-C).
+	PageFaults uint64
+}
+
+// Seconds returns the wall time in seconds.
+func (r Result) Seconds() float64 { return float64(r.TimePS) * 1e-12 }
+
+// Machine is a full CAPE system instance. It implements cp.VectorUnit.
+type Machine struct {
+	cfg     Config
+	backend Backend
+	vcu     *vcu.VCU
+	vmu     *vmu.VMU
+	hbm     *hbm.HBM
+	ram     *RAM
+	proc    *cp.CP
+
+	vstart, vl, sew int
+
+	energyPJ   float64
+	laneOps    uint64
+	memBytes   uint64
+	aluInsts   uint64
+	memInsts   uint64
+	pageFaults uint64
+}
+
+// New builds a machine from a configuration.
+func New(cfg Config) *Machine {
+	if cfg.RAMBytes <= 0 {
+		cfg.RAMBytes = 64 << 20
+	}
+	m := &Machine{cfg: cfg}
+	switch cfg.Backend {
+	case BackendBitLevel:
+		m.backend = NewBitBackend(cfg.Chains)
+	default:
+		m.backend = NewFastBackend(cfg.Chains * 32)
+	}
+	m.hbm = hbm.New(cfg.HBM)
+	m.vcu = vcu.New(cfg.Chains)
+	m.vmu = vmu.New(m.hbm, cfg.Chains)
+	m.ram = NewRAM(cfg.RAMBytes)
+	caches := cache.NewHierarchy(memLatencyCycles(cfg.HBM), cache.CPL1D, cache.CPL2)
+	m.proc = cp.New(cfg.CP, m, m.ram, caches)
+	m.vl = m.backend.MaxVL()
+	m.sew = 32
+	return m
+}
+
+// pageInCycles is the CP-cycle cost of handling one vector page fault
+// (trap, page-in, vstart restart of the instruction — §V-C).
+const pageInCycles = 2000
+
+// pageInPS is the same penalty in picoseconds.
+var pageInPS = func() int64 { c := timing.CAPECyclePS; return int64(pageInCycles * c) }()
+
+// memElemBytes returns the memory element size of a vector memory op.
+func memElemBytes(op isa.Opcode) int {
+	switch op {
+	case isa.OpVLE16, isa.OpVSE16:
+		return 2
+	case isa.OpVLE8, isa.OpVSE8:
+		return 1
+	}
+	return 4
+}
+
+// memLatencyCycles converts the HBM device latency plus one packet
+// transfer into CP cycles for the scalar cache-miss path.
+func memLatencyCycles(h hbm.Config) int {
+	ns := h.LatencyNS + float64(h.PacketBytes)/h.BytesPerNSPerChannel
+	return int(ns * 1000 / timing.CAPECyclePS)
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// RAM returns main memory for workload setup.
+func (m *Machine) RAM() *RAM { return m.ram }
+
+// CP returns the control processor (argument registers, test hooks).
+func (m *Machine) CP() *cp.CP { return m.proc }
+
+// Backend returns the functional CSB model.
+func (m *Machine) Backend() Backend { return m.backend }
+
+// MaxVL implements cp.VectorUnit.
+func (m *Machine) MaxVL() int { return m.backend.MaxVL() }
+
+// SetWindow implements cp.VectorUnit.
+func (m *Machine) SetWindow(vstart, vl, sew int) {
+	if sew == 0 {
+		sew = 32
+	}
+	m.vstart, m.vl, m.sew = vstart, vl, sew
+	m.backend.SetWindow(vstart, vl, sew)
+}
+
+// activeLanes returns the live window length.
+func (m *Machine) activeLanes() int {
+	n := m.vl - m.vstart
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// activeChains estimates chains with live columns (for energy): lanes
+// spread round-robin across chains, so up to `lanes` chains are live.
+func (m *Machine) activeChains() int {
+	if lanes := m.vl; lanes < m.cfg.Chains {
+		return lanes
+	}
+	return m.cfg.Chains
+}
+
+// Issue implements cp.VectorUnit: functional execution plus the
+// VCU/VMU timing models.
+func (m *Machine) Issue(inst isa.Inst, x1, x2 int64, now int64) (int64, int64, bool) {
+	switch inst.Op.Class() {
+	case isa.ClassVectorALU, isa.ClassVectorRed:
+		return m.issueALU(inst, x1, now)
+	case isa.ClassVectorMem:
+		return m.issueMem(inst, x1, x2, now), 0, false
+	}
+	panic(fmt.Sprintf("core: cannot issue %v to the vector unit", inst.Op))
+}
+
+func (m *Machine) issueALU(inst isa.Inst, x1 int64, now int64) (int64, int64, bool) {
+	x := uint64(uint32(x1))
+	if inst.Op.Info().Format == isa.FmtVVI {
+		// Immediate-shift forms carry their operand in the
+		// instruction, not a register.
+		x = uint64(inst.Imm)
+	}
+	result, hasResult := m.backend.Exec(inst, x)
+	cycles, err := m.vcu.InstrCycles(inst, m.sew)
+	if err != nil {
+		panic("core: " + err.Error())
+	}
+	m.aluInsts++
+	m.laneOps += uint64(m.activeLanes())
+	m.energyPJ += m.instrEnergy(inst, x)
+	return now + int64(cycles), result, hasResult
+}
+
+func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
+	startPS := int64(float64(now) * timing.CAPECyclePS)
+	vd := int(inst.Vd)
+	addr := uint64(x1)
+	var donePS int64
+	switch inst.Op {
+	case isa.OpVLE32, isa.OpVLE16, isa.OpVLE8:
+		sz := memElemBytes(inst.Op)
+		for e := m.vstart; e < m.vl; e++ {
+			a := addr + uint64(sz*e)
+			if m.ram.faultAndPageIn(a) {
+				// The VMU reports the faulting index; the CP services
+				// the fault and restarts the load at vstart = e.
+				m.pageFaults++
+				startPS += pageInPS
+			}
+			var v uint32
+			switch sz {
+			case 4:
+				v = m.ram.Load32(a)
+			case 2:
+				v = uint32(m.ram.Load16(a))
+			default:
+				v = uint32(m.ram.LoadByte(a))
+			}
+			m.backend.WriteElem(vd, e, v)
+		}
+		bytes := sz * m.activeLanes()
+		donePS = m.vmu.UnitStride(startPS, addr+uint64(sz*m.vstart), bytes, false)
+		m.memBytes += uint64(bytes)
+	case isa.OpVSE32, isa.OpVSE16, isa.OpVSE8:
+		sz := memElemBytes(inst.Op)
+		for e := m.vstart; e < m.vl; e++ {
+			a := addr + uint64(sz*e)
+			if m.ram.faultAndPageIn(a) {
+				m.pageFaults++
+				startPS += pageInPS
+			}
+			v := m.backend.ReadElem(vd, e)
+			switch sz {
+			case 4:
+				m.ram.Store32(a, v)
+			case 2:
+				m.ram.Store16(a, uint16(v))
+			default:
+				m.ram.StoreByte(a, byte(v))
+			}
+		}
+		bytes := sz * m.activeLanes()
+		donePS = m.vmu.UnitStride(startPS, addr+uint64(sz*m.vstart), bytes, true)
+		m.memBytes += uint64(bytes)
+	case isa.OpVLRW:
+		chunk := int(x2)
+		if chunk <= 0 {
+			panic("core: vlrw.v with non-positive chunk length")
+		}
+		for e := m.vstart; e < m.vl; e++ {
+			m.backend.WriteElem(vd, e, m.ram.Load32(addr+uint64(4*(e%chunk))))
+		}
+		donePS = m.vmu.Replica(startPS, addr, 4*chunk, 4*m.activeLanes())
+		m.memBytes += uint64(4 * chunk)
+	default:
+		panic(fmt.Sprintf("core: unknown vector memory op %v", inst.Op))
+	}
+	m.memInsts++
+	done := int64(float64(donePS)/timing.CAPECyclePS) + 1
+	if done < now {
+		done = now
+	}
+	return done
+}
+
+// instrEnergy returns the CSB energy of one executed instruction:
+// Table I's per-lane figure where published, otherwise the bottom-up
+// microoperation-mix estimate from the instruction's own microcode.
+func (m *Machine) instrEnergy(inst isa.Inst, x uint64) float64 {
+	lanes := m.activeLanes()
+	chains := m.activeChains()
+	if perLane, ok := timing.PaperLaneEnergyPJ(inst.Op); ok {
+		// Bit-serial energy scales with the element width; Table I's
+		// figures are for 32-bit elements.
+		return perLane * float64(lanes) * float64(m.sew) / 32
+	}
+	switch inst.Op {
+	case isa.OpVMV_XS:
+		return timing.EnergyBPReadPJ
+	case isa.OpVCPOP_M, isa.OpVFIRST_M:
+		return (timing.EnergyBPSearchPJ + timing.EnergyBPReducePJ) * float64(chains) / 32
+	}
+	ops, err := tt.GenerateSEW(inst.Op, int(inst.Vd), int(inst.Vs2), int(inst.Vs1), x, m.sew)
+	if err != nil {
+		return 0
+	}
+	return energy.MixEnergyPJ(tt.MixOf(ops), chains)
+}
+
+// Run validates and executes a program; the machine's clock, caches
+// and statistics continue across calls (use a fresh Machine per
+// experiment).
+func (m *Machine) Run(prog *isa.Program) (Result, error) {
+	if err := Validate(prog); err != nil {
+		return Result{}, err
+	}
+	stats, err := m.proc.Run(prog)
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		CP:             stats,
+		TimePS:         int64(float64(stats.Cycles) * timing.CAPECyclePS),
+		EnergyPJ:       m.energyPJ,
+		LaneOps:        m.laneOps,
+		MemBytes:       m.memBytes,
+		VectorALUInsts: m.aluInsts,
+		VectorMemInsts: m.memInsts,
+		PageFaults:     m.pageFaults,
+	}
+	return r, nil
+}
+
+// Validate checks that every opcode in prog is executable by this
+// machine and that branch targets are in range.
+func Validate(prog *isa.Program) error {
+	for pc := range prog.Insts {
+		inst := &prog.Insts[pc]
+		info := inst.Op.Info()
+		if info.Name == "" || inst.Op == isa.OpInvalid {
+			return fmt.Errorf("core: %q pc %d: invalid opcode", prog.Name, pc)
+		}
+		switch info.Format {
+		case isa.FmtBranch, isa.FmtJump:
+			if inst.Target < 0 || inst.Target > len(prog.Insts) {
+				return fmt.Errorf("core: %q pc %d: branch target %d out of range", prog.Name, pc, inst.Target)
+			}
+		}
+	}
+	return nil
+}

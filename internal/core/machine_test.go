@@ -1,0 +1,403 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cape/internal/isa"
+)
+
+// small returns a machine with few chains and a bit-level or fast
+// backend for program-level tests.
+func small(kind BackendKind) *Machine {
+	cfg := CAPE32k()
+	cfg.Chains = 4 // MaxVL = 128
+	cfg.Backend = kind
+	cfg.RAMBytes = 1 << 20
+	return New(cfg)
+}
+
+func TestRAMRoundTrip(t *testing.T) {
+	r := NewRAM(1024)
+	r.Store32(16, 0xAABBCCDD)
+	if r.Load32(16) != 0xAABBCCDD {
+		t.Fatal("word round trip")
+	}
+	if r.LoadByte(16) != 0xDD || r.LoadByte(19) != 0xAA {
+		t.Fatal("not little-endian")
+	}
+	r.WriteWords(100, []uint32{1, 2, 3})
+	got := r.ReadWords(100, 3)
+	if got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("bulk words: %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access must panic")
+		}
+	}()
+	r.Load32(1022)
+}
+
+// TestVVAddProgram runs a complete vector add kernel: C = A + B.
+func TestVVAddProgram(t *testing.T) {
+	for _, kind := range []BackendKind{BackendFast, BackendBitLevel} {
+		m := small(kind)
+		n := 100
+		a := make([]uint32, n)
+		bv := make([]uint32, n)
+		for i := range a {
+			a[i] = uint32(i * 3)
+			bv[i] = uint32(1000 - i)
+		}
+		m.RAM().WriteWords(0x1000, a)
+		m.RAM().WriteWords(0x2000, bv)
+
+		prog := isa.NewBuilder("vvadd").
+			Li(1, int64(n)).
+			Vsetvli(2, 1).
+			Li(10, 0x1000).
+			Li(11, 0x2000).
+			Li(12, 0x3000).
+			Vle32(1, 10).
+			Vle32(2, 11).
+			VaddVV(3, 1, 2).
+			Vse32(3, 12).
+			Halt().
+			MustBuild()
+
+		res, err := m.Run(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := m.RAM().ReadWords(0x3000, n)
+		for i := range out {
+			if out[i] != a[i]+bv[i] {
+				t.Fatalf("backend %d elem %d: got %d want %d", kind, i, out[i], a[i]+bv[i])
+			}
+		}
+		if res.CP.VectorInsts != 4 {
+			t.Fatalf("vector instructions: %d", res.CP.VectorInsts)
+		}
+		if res.TimePS <= 0 || res.EnergyPJ <= 0 {
+			t.Fatalf("degenerate result: %+v", res)
+		}
+	}
+}
+
+// TestScalarLoop checks CP control flow and memory: sum an array with
+// a scalar loop.
+func TestScalarLoop(t *testing.T) {
+	m := small(BackendFast)
+	n := 50
+	vals := make([]uint32, n)
+	var want int64
+	for i := range vals {
+		vals[i] = uint32(i * i)
+		want += int64(i * i)
+	}
+	m.RAM().WriteWords(0x800, vals)
+
+	prog := isa.NewBuilder("scalar-sum").
+		Li(5, 0).        // sum
+		Li(6, 0x800).    // ptr
+		Li(7, int64(n)). // count
+		Label("loop").
+		Beq(7, 0, "done").
+		Lw(8, 0, 6).
+		Add(5, 5, 8).
+		Addi(6, 6, 4).
+		Addi(7, 7, -1).
+		J("loop").
+		Label("done").
+		Halt().
+		MustBuild()
+
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CP().X(5); got != want {
+		t.Fatalf("scalar sum: got %d want %d", got, want)
+	}
+}
+
+// TestRedsumToScalar checks the reduction + scalar readback path.
+func TestRedsumToScalar(t *testing.T) {
+	for _, kind := range []BackendKind{BackendFast, BackendBitLevel} {
+		m := small(kind)
+		n := 64
+		vals := make([]uint32, n)
+		var want uint32
+		for i := range vals {
+			vals[i] = uint32(7 * i)
+			want += vals[i]
+		}
+		m.RAM().WriteWords(0, vals)
+		prog := isa.NewBuilder("redsum").
+			Li(1, int64(n)).
+			Vsetvli(2, 1).
+			Li(10, 0).
+			Vle32(1, 10).
+			VmvVX(2, 0).        // v2 = 0 (accumulator seed)
+			VredsumVS(3, 1, 2). // v3[0] = sum(v1)
+			VmvXS(5, 3).
+			Halt().
+			MustBuild()
+		if _, err := m.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		if got := uint32(m.CP().X(5)); got != want {
+			t.Fatalf("backend %d: redsum %d want %d", kind, got, want)
+		}
+	}
+}
+
+// TestMaskPipeline exercises vmseq/vcpop/vfirst/vmerge end to end: a
+// histogram-style count plus a predicated select.
+func TestMaskPipeline(t *testing.T) {
+	for _, kind := range []BackendKind{BackendFast, BackendBitLevel} {
+		m := small(kind)
+		n := 96
+		vals := make([]uint32, n)
+		wantCount := int64(0)
+		firstIdx := int64(-1)
+		for i := range vals {
+			vals[i] = uint32(i % 5)
+			if vals[i] == 3 {
+				wantCount++
+				if firstIdx < 0 {
+					firstIdx = int64(i)
+				}
+			}
+		}
+		m.RAM().WriteWords(0, vals)
+		prog := isa.NewBuilder("mask").
+			Li(1, int64(n)).
+			Vsetvli(2, 1).
+			Li(10, 0).
+			Vle32(1, 10).
+			Li(3, 3).
+			VmseqVX(0, 1, 3). // v0 = (v1 == 3)
+			VcpopM(5, 0).
+			VfirstM(6, 0).
+			Li(4, 100).
+			VmvVX(2, 4).        // v2 = 100
+			VmergeVVM(4, 1, 2). // v4 = mask ? 100 : v1
+			Li(12, 0x4000).
+			Vse32(4, 12).
+			Halt().
+			MustBuild()
+		if _, err := m.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.CP().X(5); got != wantCount {
+			t.Fatalf("backend %d: cpop %d want %d", kind, got, wantCount)
+		}
+		if got := m.CP().X(6); got != firstIdx {
+			t.Fatalf("backend %d: vfirst %d want %d", kind, got, firstIdx)
+		}
+		out := m.RAM().ReadWords(0x4000, n)
+		for i := range out {
+			want := vals[i]
+			if vals[i] == 3 {
+				want = 100
+			}
+			if out[i] != want {
+				t.Fatalf("backend %d: merge elem %d: got %d want %d", kind, i, out[i], want)
+			}
+		}
+	}
+}
+
+// TestReplicaLoad checks vlrw.v semantics: a chunk repeated along the
+// register (paper §V-G).
+func TestReplicaLoad(t *testing.T) {
+	m := small(BackendFast)
+	chunk := []uint32{5, 6, 7}
+	m.RAM().WriteWords(0x100, chunk)
+	prog := isa.NewBuilder("vlrw").
+		Li(1, 30).
+		Vsetvli(2, 1).
+		Li(10, 0x100).
+		Li(11, 3).
+		Vlrw(4, 10, 11).
+		Li(12, 0x900).
+		Vse32(4, 12).
+		Halt().
+		MustBuild()
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := m.RAM().ReadWords(0x900, 30)
+	for i := range out {
+		if out[i] != chunk[i%3] {
+			t.Fatalf("elem %d: got %d want %d", i, out[i], chunk[i%3])
+		}
+	}
+}
+
+// TestBackendsAgreeOnRandomPrograms is the cross-validation property:
+// random straight-line vector programs must leave identical
+// architectural state on both backends.
+func TestBackendsAgreeOnRandomPrograms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	aluOps := []func(b *isa.Builder, vd, vs2, vs1 int){
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VaddVV(vd, vs2, vs1) },
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VsubVV(vd, vs2, vs1) },
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VmulVV(vd, vs2, vs1) },
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VandVV(vd, vs2, vs1) },
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VorVV(vd, vs2, vs1) },
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VxorVV(vd, vs2, vs1) },
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VmseqVV(vd, vs2, vs1) },
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VmsltVV(vd, vs2, vs1) },
+		func(b *isa.Builder, vd, vs2, vs1 int) { b.VmergeVVM(vd, vs2, vs1) },
+	}
+	for trial := 0; trial < 6; trial++ {
+		n := 32 + rng.Intn(90)
+		numRegs := 6
+		init := make([][]uint32, numRegs)
+		for v := 1; v < numRegs; v++ {
+			init[v] = make([]uint32, n)
+			for i := range init[v] {
+				init[v][i] = rng.Uint32()
+			}
+		}
+		b := isa.NewBuilder("random").
+			Li(1, int64(n)).
+			Vsetvli(2, 1)
+		for v := 1; v < numRegs; v++ {
+			b.Li(10, int64(0x1000*v)).Vle32(v, 10)
+		}
+		for k := 0; k < 12; k++ {
+			vd := 1 + rng.Intn(numRegs-1)
+			vs2 := 1 + rng.Intn(numRegs-1)
+			vs1 := 1 + rng.Intn(numRegs-1)
+			aluOps[rng.Intn(len(aluOps))](b, vd, vs2, vs1)
+		}
+		for v := 1; v < numRegs; v++ {
+			b.Li(10, int64(0x8000+0x1000*v)).Vse32(v, 10)
+		}
+		prog := b.Halt().MustBuild()
+
+		var outputs [2][][]uint32
+		for bi, kind := range []BackendKind{BackendFast, BackendBitLevel} {
+			m := small(kind)
+			for v := 1; v < numRegs; v++ {
+				m.RAM().WriteWords(uint64(0x1000*v), init[v])
+			}
+			if _, err := m.Run(prog); err != nil {
+				t.Fatal(err)
+			}
+			for v := 1; v < numRegs; v++ {
+				outputs[bi] = append(outputs[bi], m.RAM().ReadWords(uint64(0x8000+0x1000*v), n))
+			}
+		}
+		for v := range outputs[0] {
+			for i := range outputs[0][v] {
+				if outputs[0][v][i] != outputs[1][v][i] {
+					t.Fatalf("trial %d: backends disagree at v%d[%d]: fast %#x bit %#x",
+						trial, v+1, i, outputs[0][v][i], outputs[1][v][i])
+				}
+			}
+		}
+	}
+}
+
+// TestVectorSerialization checks the paper's issue rule: back-to-back
+// vector instructions serialize, so CSB busy time is the sum of their
+// latencies.
+func TestVectorSerialization(t *testing.T) {
+	m := small(BackendFast)
+	prog := isa.NewBuilder("serialize").
+		Li(1, 64).
+		Vsetvli(2, 1).
+		VmvVX(1, 0).
+		VmvVX(2, 0).
+		VaddVV(3, 1, 2).
+		VaddVV(4, 1, 2).
+		VaddVV(5, 1, 2).
+		Halt().
+		MustBuild()
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three 258-cycle adds plus distribution must dominate the run.
+	if res.CP.Cycles < 3*258 {
+		t.Fatalf("cycles %d: vector instructions did not serialize", res.CP.Cycles)
+	}
+}
+
+// TestScalarOverlapsVectorShadow checks that independent scalar work
+// hides under an outstanding vector instruction.
+func TestScalarOverlapsVectorShadow(t *testing.T) {
+	base := isa.NewBuilder("no-shadow").
+		Li(1, 64).
+		Vsetvli(2, 1).
+		VmulVV(3, 1, 2). // ~4k cycles
+		Halt().
+		MustBuild()
+	withScalar := isa.NewBuilder("shadow")
+	withScalar.Li(1, 64).
+		Vsetvli(2, 1).
+		VmulVV(3, 1, 2)
+	for i := 0; i < 500; i++ {
+		withScalar.Addi(5, 5, 1)
+	}
+	progShadow := withScalar.Halt().MustBuild()
+
+	m1 := small(BackendFast)
+	r1, err := m1.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := small(BackendFast)
+	r2, err := m2.Run(progShadow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 500 scalar adds at 2-wide = 250 cycles, fully hidden under the
+	// ~4k-cycle multiply.
+	if r2.CP.Cycles > r1.CP.Cycles+10 {
+		t.Fatalf("scalar work not hidden: %d vs %d cycles", r2.CP.Cycles, r1.CP.Cycles)
+	}
+}
+
+func TestValidateCatchesBadPrograms(t *testing.T) {
+	bad := &isa.Program{Name: "bad", Insts: []isa.Inst{{Op: isa.OpBEQ, Target: 99}}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("out-of-range branch target must fail validation")
+	}
+	if err := Validate(&isa.Program{Name: "inv", Insts: []isa.Inst{{}}}); err == nil {
+		t.Fatal("invalid opcode must fail validation")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	c32 := CAPE32k()
+	if c32.Chains != 1024 {
+		t.Fatal("CAPE32k must have 1,024 chains")
+	}
+	if m := New(c32); m.MaxVL() != 32768 {
+		t.Fatalf("CAPE32k MaxVL %d", m.MaxVL())
+	}
+	c131 := CAPE131k()
+	if c131.Chains != 4096 {
+		t.Fatal("CAPE131k must have 4,096 chains")
+	}
+}
+
+func TestVsetvliClampsToMaxVL(t *testing.T) {
+	m := small(BackendFast)
+	prog := isa.NewBuilder("clamp").
+		Li(1, 1<<30).
+		Vsetvli(5, 1).
+		Halt().
+		MustBuild()
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CP().X(5); got != int64(m.MaxVL()) {
+		t.Fatalf("vsetvli returned %d want MaxVL %d", got, m.MaxVL())
+	}
+}

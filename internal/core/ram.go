@@ -1,0 +1,122 @@
+package core
+
+import "fmt"
+
+// PageBytes is the virtual page size used for fault injection.
+const PageBytes = 4096
+
+// RAM is the flat little-endian main memory backing both CAPE and the
+// baseline models. Functionally it is a plain byte array; timing is
+// owned by the HBM model.
+//
+// Pages can be marked not-present to exercise the paper's §V-C vector
+// page-fault handling: "load/store operations can be restarted at the
+// index where a page fault occurred" via the vstart CSR. The Machine
+// detects the fault mid-transfer, charges the page-in penalty, and
+// restarts the instruction at the faulting element.
+type RAM struct {
+	data []byte
+	// notPresent marks faulting pages by page index.
+	notPresent map[uint64]bool
+}
+
+// NewRAM allocates size bytes of zeroed memory.
+func NewRAM(size int) *RAM {
+	return &RAM{data: make([]byte, size)}
+}
+
+// MarkNotPresent injects a page fault on the page containing addr; the
+// first vector access to it faults once, then the page is "paged in".
+func (r *RAM) MarkNotPresent(addr uint64) {
+	if r.notPresent == nil {
+		r.notPresent = make(map[uint64]bool)
+	}
+	r.notPresent[addr/PageBytes] = true
+}
+
+// faultAndPageIn reports whether addr faults, clearing the fault (the
+// OS pages it in).
+func (r *RAM) faultAndPageIn(addr uint64) bool {
+	if r.notPresent == nil {
+		return false
+	}
+	page := addr / PageBytes
+	if r.notPresent[page] {
+		delete(r.notPresent, page)
+		return true
+	}
+	return false
+}
+
+// Size returns the capacity in bytes.
+func (r *RAM) Size() int { return len(r.data) }
+
+func (r *RAM) check(addr uint64, n int) {
+	if addr+uint64(n) > uint64(len(r.data)) {
+		panic(fmt.Sprintf("ram: access at %#x+%d exceeds size %#x", addr, n, len(r.data)))
+	}
+}
+
+// Load32 reads a little-endian 32-bit word.
+func (r *RAM) Load32(addr uint64) uint32 {
+	r.check(addr, 4)
+	return uint32(r.data[addr]) | uint32(r.data[addr+1])<<8 |
+		uint32(r.data[addr+2])<<16 | uint32(r.data[addr+3])<<24
+}
+
+// Store32 writes a little-endian 32-bit word.
+func (r *RAM) Store32(addr uint64, v uint32) {
+	r.check(addr, 4)
+	r.data[addr] = byte(v)
+	r.data[addr+1] = byte(v >> 8)
+	r.data[addr+2] = byte(v >> 16)
+	r.data[addr+3] = byte(v >> 24)
+}
+
+// Load16 reads a little-endian 16-bit halfword.
+func (r *RAM) Load16(addr uint64) uint16 {
+	r.check(addr, 2)
+	return uint16(r.data[addr]) | uint16(r.data[addr+1])<<8
+}
+
+// Store16 writes a little-endian 16-bit halfword.
+func (r *RAM) Store16(addr uint64, v uint16) {
+	r.check(addr, 2)
+	r.data[addr] = byte(v)
+	r.data[addr+1] = byte(v >> 8)
+}
+
+// LoadByte reads one byte.
+func (r *RAM) LoadByte(addr uint64) byte {
+	r.check(addr, 1)
+	return r.data[addr]
+}
+
+// StoreByte writes one byte.
+func (r *RAM) StoreByte(addr uint64, v byte) {
+	r.check(addr, 1)
+	r.data[addr] = v
+}
+
+// WriteWords bulk-stores 32-bit words starting at addr (test and
+// workload setup helper).
+func (r *RAM) WriteWords(addr uint64, words []uint32) {
+	for i, w := range words {
+		r.Store32(addr+uint64(4*i), w)
+	}
+}
+
+// ReadWords bulk-loads n 32-bit words starting at addr.
+func (r *RAM) ReadWords(addr uint64, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = r.Load32(addr + uint64(4*i))
+	}
+	return out
+}
+
+// WriteBytes bulk-stores raw bytes.
+func (r *RAM) WriteBytes(addr uint64, b []byte) {
+	r.check(addr, len(b))
+	copy(r.data[addr:], b)
+}

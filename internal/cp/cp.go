@@ -1,0 +1,418 @@
+// Package cp models CAPE's Control Processor: a small dual-issue
+// in-order RISC-V core (the paper configures gem5's MinorCPU) that
+// executes scalar instructions locally and offloads vector
+// instructions to the VCU/VMU at commit (paper §III, §V-B, Table III).
+//
+// The model couples a functional RV64 interpreter with an approximate
+// in-order timing model: two-wide issue, a bimodal branch predictor
+// with a fixed misprediction penalty, load latencies from the CP's
+// cache hierarchy, and the paper's vector offload rules — scalar
+// instructions may issue and execute in the shadow of an outstanding
+// vector instruction, but a subsequent vector instruction stalls until
+// the previous one commits, and scalar consumers of vector results
+// stall until the producing instruction completes.
+package cp
+
+import (
+	"fmt"
+
+	"cape/internal/cache"
+	"cape/internal/isa"
+)
+
+// Memory is the CP's view of main memory (implemented by core.RAM).
+type Memory interface {
+	Load32(addr uint64) uint32
+	Store32(addr uint64, v uint32)
+	LoadByte(addr uint64) byte
+	StoreByte(addr uint64, v byte)
+}
+
+// VectorUnit receives offloaded vector instructions (implemented by
+// the core.Machine, which routes them to the VCU or VMU).
+type VectorUnit interface {
+	// MaxVL returns the hardware vector-length limit.
+	MaxVL() int
+	// SetWindow installs the active window and element width for
+	// subsequent vector instructions.
+	SetWindow(vstart, vl, sew int)
+	// Issue executes inst functionally and returns its completion time
+	// in CP cycles, given that it issues at cycle `now`. Instructions
+	// returning a scalar value (reductions, vmv.x.s) set hasResult.
+	Issue(inst isa.Inst, x1, x2 int64, now int64) (done int64, result int64, hasResult bool)
+}
+
+// Config holds the CP timing parameters (Table III, right column).
+type Config struct {
+	// IssueWidth is the superscalar width (2).
+	IssueWidth int
+	// BranchPenalty is the misprediction penalty in cycles.
+	BranchPenalty int
+	// PredictorEntries sizes the bimodal predictor table.
+	PredictorEntries int
+	// MaxInsts aborts runaway programs.
+	MaxInsts int64
+}
+
+// DefaultConfig returns the paper's CP configuration.
+func DefaultConfig() Config {
+	return Config{
+		IssueWidth:       2,
+		BranchPenalty:    8,
+		PredictorEntries: 4096,
+		MaxInsts:         2_000_000_000,
+	}
+}
+
+// Stats aggregates one run.
+type Stats struct {
+	Cycles        int64
+	ScalarInsts   int64
+	VectorInsts   int64
+	Branches      int64
+	Mispredicts   int64
+	LoadStallCyc  int64
+	VecStallCyc   int64
+	VectorBusyCyc int64
+}
+
+// CP is one control-processor instance.
+type CP struct {
+	cfg    Config
+	vu     VectorUnit
+	mem    Memory
+	caches *cache.Hierarchy
+
+	x         [isa.NumXRegs]int64
+	vl        int
+	vstart    int
+	sew       int
+	predictor []uint8
+
+	// issued counts instructions in the current issue group.
+	issued int
+	now    int64
+	// vecBusyUntil is when the outstanding vector instruction commits.
+	vecBusyUntil int64
+
+	Stats Stats
+}
+
+// New builds a CP. caches may be nil for a perfect-cache model.
+func New(cfg Config, vu VectorUnit, mem Memory, caches *cache.Hierarchy) *CP {
+	if cfg.IssueWidth <= 0 {
+		panic("cp: issue width must be positive")
+	}
+	return &CP{
+		cfg:       cfg,
+		vu:        vu,
+		mem:       mem,
+		caches:    caches,
+		predictor: make([]uint8, cfg.PredictorEntries),
+		vl:        vu.MaxVL(),
+		sew:       32,
+	}
+}
+
+// X returns the architectural value of scalar register r (test hook).
+func (c *CP) X(r int) int64 { return c.x[r] }
+
+// SetX pre-loads a scalar register (argument passing for kernels).
+func (c *CP) SetX(r int, v int64) {
+	if r != 0 {
+		c.x[r] = v
+	}
+}
+
+// VL returns the current vector length CSR.
+func (c *CP) VL() int { return c.vl }
+
+// SEW returns the selected element width in bits.
+func (c *CP) SEW() int { return c.sew }
+
+// tick advances time by one issue slot.
+func (c *CP) tick() {
+	c.issued++
+	if c.issued >= c.cfg.IssueWidth {
+		c.issued = 0
+		c.now++
+	}
+}
+
+// stall advances time to at least t, abandoning the current group.
+func (c *CP) stall(t int64) {
+	if t > c.now {
+		c.now = t
+		c.issued = 0
+	}
+}
+
+// Run executes prog to completion (HALT or falling off the end) and
+// returns the statistics. The clock does not reset between runs.
+func (c *CP) Run(prog *isa.Program) (Stats, error) {
+	start := c.now
+	var executed int64
+	pc := 0
+	for pc < len(prog.Insts) {
+		if executed++; executed > c.cfg.MaxInsts {
+			return c.Stats, fmt.Errorf("cp: instruction limit exceeded in %q (pc=%d)", prog.Name, pc)
+		}
+		inst := &prog.Insts[pc]
+		next := pc + 1
+		switch inst.Op.Class() {
+		case isa.ClassScalarALU:
+			c.execALU(inst)
+			c.tick()
+			c.Stats.ScalarInsts++
+		case isa.ClassScalarMem:
+			c.execMem(inst)
+			c.Stats.ScalarInsts++
+		case isa.ClassBranch:
+			next = c.execBranch(inst, pc)
+			c.Stats.ScalarInsts++
+			c.Stats.Branches++
+		case isa.ClassVectorCfg:
+			c.execVectorCfg(inst)
+			c.tick()
+			c.Stats.ScalarInsts++
+		case isa.ClassVectorALU, isa.ClassVectorMem, isa.ClassVectorRed:
+			c.execVector(inst)
+			c.Stats.VectorInsts++
+		case isa.ClassSystem:
+			if inst.Op == isa.OpHALT {
+				c.drain()
+				c.Stats.Cycles = c.now - start
+				return c.Stats, nil
+			}
+			c.tick()
+		default:
+			return c.Stats, fmt.Errorf("cp: cannot execute %v", inst)
+		}
+		c.x[0] = 0
+		pc = next
+	}
+	c.drain()
+	c.Stats.Cycles = c.now - start
+	return c.Stats, nil
+}
+
+// drain waits for the outstanding vector instruction at program end.
+func (c *CP) drain() {
+	if c.vecBusyUntil > c.now {
+		c.Stats.VecStallCyc += c.vecBusyUntil - c.now
+		c.stall(c.vecBusyUntil)
+	}
+}
+
+func (c *CP) execALU(i *isa.Inst) {
+	a, b, imm := c.x[i.Rs1], c.x[i.Rs2], i.Imm
+	var v int64
+	switch i.Op {
+	case isa.OpADD:
+		v = a + b
+	case isa.OpSUB:
+		v = a - b
+	case isa.OpMUL:
+		v = a * b
+	case isa.OpDIV:
+		if b == 0 {
+			v = -1 // RISC-V semantics
+		} else {
+			v = a / b
+		}
+	case isa.OpREM:
+		if b == 0 {
+			v = a
+		} else {
+			v = a % b
+		}
+	case isa.OpAND:
+		v = a & b
+	case isa.OpOR:
+		v = a | b
+	case isa.OpXOR:
+		v = a ^ b
+	case isa.OpSLL:
+		v = a << uint(b&63)
+	case isa.OpSRL:
+		v = int64(uint64(a) >> uint(b&63))
+	case isa.OpSRA:
+		v = a >> uint(b&63)
+	case isa.OpSLT:
+		v = boolToInt(a < b)
+	case isa.OpSLTU:
+		v = boolToInt(uint64(a) < uint64(b))
+	case isa.OpADDI:
+		v = a + imm
+	case isa.OpANDI:
+		v = a & imm
+	case isa.OpORI:
+		v = a | imm
+	case isa.OpXORI:
+		v = a ^ imm
+	case isa.OpSLLI:
+		v = a << uint(imm&63)
+	case isa.OpSRLI:
+		v = int64(uint64(a) >> uint(imm&63))
+	case isa.OpSRAI:
+		v = a >> uint(imm&63)
+	case isa.OpSLTI:
+		v = boolToInt(a < imm)
+	case isa.OpLI:
+		v = imm
+	case isa.OpMV:
+		v = a
+	case isa.OpNOP:
+		return
+	default:
+		panic("cp: not a scalar ALU op: " + i.Op.String())
+	}
+	if i.Rd != 0 {
+		c.x[i.Rd] = v
+	}
+}
+
+func (c *CP) execMem(i *isa.Inst) {
+	addr := uint64(c.x[i.Rs1] + i.Imm)
+	switch i.Op {
+	case isa.OpLW:
+		v := c.mem.Load32(addr)
+		if i.Rd != 0 {
+			c.x[i.Rd] = int64(int32(v))
+		}
+		c.memTiming(addr, false)
+	case isa.OpLBU:
+		v := c.mem.LoadByte(addr)
+		if i.Rd != 0 {
+			c.x[i.Rd] = int64(v)
+		}
+		c.memTiming(addr, false)
+	case isa.OpSW:
+		c.mem.Store32(addr, uint32(c.x[i.Rd]))
+		c.memTiming(addr, true)
+	case isa.OpSB:
+		c.mem.StoreByte(addr, byte(c.x[i.Rd]))
+		c.memTiming(addr, true)
+	default:
+		panic("cp: not a scalar memory op: " + i.Op.String())
+	}
+}
+
+// memTiming charges the access latency beyond the pipelined L1 hit.
+func (c *CP) memTiming(addr uint64, write bool) {
+	c.tick()
+	if c.caches == nil {
+		return
+	}
+	r := c.caches.Access(addr, write)
+	hitLat := c.caches.Levels[0].Config().LatencyCycles
+	if !write && r.LatencyCycles > hitLat {
+		extra := int64(r.LatencyCycles - hitLat)
+		c.Stats.LoadStallCyc += extra
+		c.stall(c.now + extra)
+	}
+}
+
+func (c *CP) execBranch(i *isa.Inst, pc int) int {
+	taken := false
+	a, b := c.x[i.Rs1], c.x[i.Rs2]
+	switch i.Op {
+	case isa.OpBEQ:
+		taken = a == b
+	case isa.OpBNE:
+		taken = a != b
+	case isa.OpBLT:
+		taken = a < b
+	case isa.OpBGE:
+		taken = a >= b
+	case isa.OpBLTU:
+		taken = uint64(a) < uint64(b)
+	case isa.OpBGEU:
+		taken = uint64(a) >= uint64(b)
+	case isa.OpJ:
+		c.tick()
+		return i.Target
+	default:
+		panic("cp: not a branch: " + i.Op.String())
+	}
+	c.tick()
+	// Bimodal 2-bit predictor indexed by pc.
+	idx := pc & (len(c.predictor) - 1)
+	ctr := c.predictor[idx]
+	predicted := ctr >= 2
+	if predicted != taken {
+		c.Stats.Mispredicts++
+		c.stall(c.now + int64(c.cfg.BranchPenalty))
+	}
+	if taken && ctr < 3 {
+		c.predictor[idx] = ctr + 1
+	} else if !taken && ctr > 0 {
+		c.predictor[idx] = ctr - 1
+	}
+	if taken {
+		return i.Target
+	}
+	return pc + 1
+}
+
+func (c *CP) execVectorCfg(i *isa.Inst) {
+	switch i.Op {
+	case isa.OpVSETVLI:
+		req := c.x[i.Rs1]
+		vl := int(req)
+		if vl > c.vu.MaxVL() || req < 0 {
+			vl = c.vu.MaxVL()
+		}
+		c.vl = vl
+		c.vstart = 0 // vset resets vstart, per the RVV spec
+		if sew := int(i.Imm); sew == 8 || sew == 16 || sew == 32 {
+			c.sew = sew
+		} else if sew == 0 {
+			c.sew = 32
+		}
+		c.vu.SetWindow(c.vstart, c.vl, c.sew)
+		if i.Rd != 0 {
+			c.x[i.Rd] = int64(vl)
+		}
+	case isa.OpCSRWVstart:
+		c.vstart = int(c.x[i.Rs1])
+		c.vu.SetWindow(c.vstart, c.vl, c.sew)
+	case isa.OpCSRRVl:
+		if i.Rs1 != 0 {
+			c.x[i.Rs1] = int64(c.vl)
+		}
+	default:
+		panic("cp: not a vector config op: " + i.Op.String())
+	}
+}
+
+func (c *CP) execVector(i *isa.Inst) {
+	// A vector instruction stalls at issue until the previous vector
+	// instruction commits (paper §III).
+	if c.vecBusyUntil > c.now {
+		c.Stats.VecStallCyc += c.vecBusyUntil - c.now
+		c.stall(c.vecBusyUntil)
+	}
+	c.tick()
+	done, result, hasResult := c.vu.Issue(*i, c.x[i.Rs1], c.x[i.Rs2], c.now)
+	if done < c.now {
+		done = c.now
+	}
+	c.Stats.VectorBusyCyc += done - c.now
+	c.vecBusyUntil = done
+	if hasResult {
+		// The scalar consumer is data-dependent: wait for completion.
+		if i.Rd != 0 {
+			c.x[i.Rd] = result
+		}
+		c.Stats.VecStallCyc += done - c.now
+		c.stall(done)
+	}
+}
+
+func boolToInt(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,288 @@
+package cp
+
+import (
+	"testing"
+
+	"cape/internal/cache"
+	"cape/internal/isa"
+)
+
+// fakeVU is a minimal vector unit: fixed-latency instructions, canned
+// scalar results.
+type fakeVU struct {
+	maxVL   int
+	latency int64
+	issued  []isa.Opcode
+	vstart  int
+	vl      int
+	sew     int
+}
+
+func (f *fakeVU) MaxVL() int { return f.maxVL }
+func (f *fakeVU) SetWindow(vstart, vl, sew int) {
+	f.vstart, f.vl, f.sew = vstart, vl, sew
+}
+func (f *fakeVU) Issue(inst isa.Inst, x1, x2 int64, now int64) (int64, int64, bool) {
+	f.issued = append(f.issued, inst.Op)
+	switch inst.Op {
+	case isa.OpVCPOP_M:
+		return now + f.latency, 42, true
+	}
+	return now + f.latency, 0, false
+}
+
+type flatMem map[uint64]byte
+
+func (m flatMem) Load32(a uint64) uint32 {
+	return uint32(m[a]) | uint32(m[a+1])<<8 | uint32(m[a+2])<<16 | uint32(m[a+3])<<24
+}
+func (m flatMem) Store32(a uint64, v uint32) {
+	m[a], m[a+1], m[a+2], m[a+3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+}
+func (m flatMem) LoadByte(a uint64) byte     { return m[a] }
+func (m flatMem) StoreByte(a uint64, v byte) { m[a] = v }
+
+func newCP(vu VectorUnit) (*CP, flatMem) {
+	mem := flatMem{}
+	return New(DefaultConfig(), vu, mem, nil), mem
+}
+
+func TestScalarALUSemantics(t *testing.T) {
+	c, _ := newCP(&fakeVU{maxVL: 64})
+	prog := isa.NewBuilder("alu").
+		Li(1, 10).
+		Li(2, -3).
+		Add(3, 1, 2).   // 7
+		Sub(4, 1, 2).   // 13
+		Mul(5, 1, 2).   // -30
+		Div(6, 1, 2).   // -3 (truncating)
+		Rem(7, 1, 2).   // 1
+		And(8, 1, 2).   // 10 & -3 = 8
+		Slt(9, 2, 1).   // 1
+		Slli(11, 1, 3). // 80
+		Halt().
+		MustBuild()
+	if _, err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int64{3: 7, 4: 13, 5: -30, 6: -3, 7: 1, 8: 8, 9: 1, 11: 80}
+	for r, v := range want {
+		if got := c.X(r); got != v {
+			t.Errorf("x%d: got %d want %d", r, got, v)
+		}
+	}
+}
+
+func TestDivRemByZero(t *testing.T) {
+	c, _ := newCP(&fakeVU{maxVL: 64})
+	prog := isa.NewBuilder("div0").
+		Li(1, 10).
+		Li(2, 0).
+		Div(3, 1, 2).
+		Rem(4, 1, 2).
+		Halt().
+		MustBuild()
+	if _, err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if c.X(3) != -1 || c.X(4) != 10 {
+		t.Fatalf("RISC-V div-by-zero semantics: div=%d rem=%d", c.X(3), c.X(4))
+	}
+}
+
+func TestX0Hardwired(t *testing.T) {
+	c, _ := newCP(&fakeVU{maxVL: 64})
+	prog := isa.NewBuilder("x0").
+		Li(0, 99).
+		Addi(0, 0, 5).
+		Mv(1, 0).
+		Halt().
+		MustBuild()
+	if _, err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if c.X(0) != 0 || c.X(1) != 0 {
+		t.Fatalf("x0 not hardwired: x0=%d x1=%d", c.X(0), c.X(1))
+	}
+}
+
+func TestMemoryAndBytes(t *testing.T) {
+	c, mem := newCP(&fakeVU{maxVL: 64})
+	mem.Store32(0x40, 0xFFFFFFFE) // -2 as int32
+	prog := isa.NewBuilder("mem").
+		Li(1, 0x40).
+		Lw(2, 0, 1).  // sign-extended -2
+		Sb(2, 8, 1).  // store low byte 0xFE
+		Lbu(3, 8, 1). // zero-extended 0xFE
+		Sw(3, 12, 1).
+		Halt().
+		MustBuild()
+	if _, err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if c.X(2) != -2 {
+		t.Fatalf("lw sign extension: %d", c.X(2))
+	}
+	if c.X(3) != 0xFE {
+		t.Fatalf("lbu zero extension: %d", c.X(3))
+	}
+	if mem.Load32(0x4C) != 0xFE {
+		t.Fatalf("sw: %#x", mem.Load32(0x4C))
+	}
+}
+
+func TestBranchesAndLoops(t *testing.T) {
+	c, _ := newCP(&fakeVU{maxVL: 64})
+	// Compute 10th Fibonacci number iteratively.
+	prog := isa.NewBuilder("fib").
+		Li(1, 0).
+		Li(2, 1).
+		Li(3, 10).
+		Label("loop").
+		Beq(3, 0, "done").
+		Add(4, 1, 2).
+		Mv(1, 2).
+		Mv(2, 4).
+		Addi(3, 3, -1).
+		J("loop").
+		Label("done").
+		Halt().
+		MustBuild()
+	stats, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.X(1) != 55 {
+		t.Fatalf("fib(10): got %d", c.X(1))
+	}
+	if stats.Branches == 0 {
+		t.Fatal("branches not counted")
+	}
+}
+
+func TestVsetvliClampAndWindow(t *testing.T) {
+	vu := &fakeVU{maxVL: 64}
+	c, _ := newCP(vu)
+	prog := isa.NewBuilder("vset").
+		Li(1, 1000).
+		Vsetvli(2, 1). // clamp to 64
+		Li(3, 16).
+		Vsetvli(4, 3). // exact 16
+		Li(5, 4).
+		CsrwVstart(5).
+		Halt().
+		MustBuild()
+	if _, err := c.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if c.X(2) != 64 || c.X(4) != 16 {
+		t.Fatalf("vsetvli results: %d %d", c.X(2), c.X(4))
+	}
+	if vu.vl != 16 || vu.vstart != 4 {
+		t.Fatalf("window not propagated: vstart=%d vl=%d", vu.vstart, vu.vl)
+	}
+}
+
+func TestVectorResultStalls(t *testing.T) {
+	vu := &fakeVU{maxVL: 64, latency: 500}
+	c, _ := newCP(vu)
+	prog := isa.NewBuilder("stall").
+		VcpopM(5, 1). // result-producing: CP must wait 500 cycles
+		Halt().
+		MustBuild()
+	stats, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.X(5) != 42 {
+		t.Fatalf("vector result: %d", c.X(5))
+	}
+	if stats.Cycles < 500 {
+		t.Fatalf("CP did not stall for the vector result: %d cycles", stats.Cycles)
+	}
+}
+
+func TestVectorsSerializeScalarsOverlap(t *testing.T) {
+	vu := &fakeVU{maxVL: 64, latency: 300}
+	c, _ := newCP(vu)
+	b := isa.NewBuilder("overlap").
+		VaddVV(1, 2, 3) // occupies the CSB for 300 cycles
+	for i := 0; i < 100; i++ {
+		b.Addi(6, 6, 1) // 50 cycles of scalar work at 2-wide
+	}
+	b.VaddVV(4, 2, 3) // must wait for the first vadd
+	prog := b.Halt().MustBuild()
+	stats, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.X(6); got != 100 {
+		t.Fatalf("scalar work lost: %d", got)
+	}
+	// Total ≈ 300 (first vadd, hiding scalars) + 300 (second vadd).
+	if stats.Cycles < 600 || stats.Cycles > 650 {
+		t.Fatalf("cycles %d, want ~600 (serialized vectors, hidden scalars)", stats.Cycles)
+	}
+	if stats.VecStallCyc < 200 {
+		t.Fatalf("vector stall cycles %d", stats.VecStallCyc)
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	c, _ := newCP(&fakeVU{maxVL: 64})
+	b := isa.NewBuilder("predict").
+		Li(1, 1000).
+		Label("loop").
+		Addi(1, 1, -1).
+		Bne(1, 0, "loop")
+	prog := b.Halt().MustBuild()
+	stats, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 1000-iteration loop must mispredict only a handful of times.
+	if stats.Mispredicts > 5 {
+		t.Fatalf("mispredicts %d — predictor not learning", stats.Mispredicts)
+	}
+	// ~2 instructions per iteration at 2-wide ≈ 1000 cycles.
+	if stats.Cycles > 1300 {
+		t.Fatalf("loop cycles %d, expected ~1000", stats.Cycles)
+	}
+}
+
+func TestCacheMissStalls(t *testing.T) {
+	vu := &fakeVU{maxVL: 64}
+	mem := flatMem{}
+	caches := cache.NewHierarchy(300, cache.CPL1D, cache.CPL2)
+	c := New(DefaultConfig(), vu, mem, caches)
+	// Two loads of the same line: first one cold-misses, second hits.
+	prog := isa.NewBuilder("miss").
+		Li(1, 0x1000).
+		Lw(2, 0, 1).
+		Lw(3, 4, 1).
+		Halt().
+		MustBuild()
+	stats, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.LoadStallCyc < 300 {
+		t.Fatalf("cold miss not charged: stall %d", stats.LoadStallCyc)
+	}
+	if stats.LoadStallCyc > 400 {
+		t.Fatalf("second load should hit: stall %d", stats.LoadStallCyc)
+	}
+}
+
+func TestInstructionLimit(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 100
+	c := New(cfg, &fakeVU{maxVL: 64}, flatMem{}, nil)
+	prog := isa.NewBuilder("infinite").
+		Label("loop").
+		J("loop").
+		MustBuild()
+	if _, err := c.Run(prog); err == nil {
+		t.Fatal("runaway program must be aborted")
+	}
+}

@@ -1,0 +1,292 @@
+// Package csb models CAPE's Compute-Storage Block: the full array of
+// chains, the element interleave used by the Vector Memory Unit, the
+// active window (vl/vstart), the global reduction tree, and the
+// execution of broadcast microoperation commands (paper §III–§V).
+package csb
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cape/internal/chain"
+	"cape/internal/isa"
+	"cape/internal/sram"
+	"cape/internal/tt"
+)
+
+// CSB is the functional model of the compute-storage block.
+type CSB struct {
+	chains []*chain.Chain
+	vl     int
+	vstart int
+
+	// redAcc is the global reduction accumulator (popcount tree +
+	// shifter + adder + scalar register of §IV-E).
+	redAcc uint64
+
+	// Stats accumulates the microoperation mix executed so far.
+	Stats Stats
+}
+
+// Stats counts executed microoperations, split the way the energy
+// model needs them (Table II distinguishes bit-serial and bit-parallel
+// flavours).
+type Stats struct {
+	SearchSerial   uint64
+	SearchParallel uint64
+	UpdateSerial   uint64
+	UpdateProp     uint64
+	UpdateParallel uint64
+	Reduce         uint64
+	Enable         uint64
+	ElemReads      uint64
+	ElemWrites     uint64
+	Cycles         uint64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.SearchSerial += o.SearchSerial
+	s.SearchParallel += o.SearchParallel
+	s.UpdateSerial += o.UpdateSerial
+	s.UpdateProp += o.UpdateProp
+	s.UpdateParallel += o.UpdateParallel
+	s.Reduce += o.Reduce
+	s.Enable += o.Enable
+	s.ElemReads += o.ElemReads
+	s.ElemWrites += o.ElemWrites
+	s.Cycles += o.Cycles
+}
+
+// New builds a CSB with numChains chains. CAPE32k uses 1,024 chains,
+// CAPE131k uses 4,096 (paper §VI).
+func New(numChains int) *CSB {
+	if numChains <= 0 {
+		panic("csb: chain count must be positive")
+	}
+	c := &CSB{chains: make([]*chain.Chain, numChains)}
+	for i := range c.chains {
+		c.chains[i] = chain.New()
+	}
+	c.SetWindow(0, c.MaxVL())
+	return c
+}
+
+// NumChains returns the chain count.
+func (c *CSB) NumChains() int { return len(c.chains) }
+
+// MaxVL is the hardware vector-length limit: one element per column per
+// chain.
+func (c *CSB) MaxVL() int { return len(c.chains) * chain.ColsPerChain }
+
+// Chain returns chain k (for tests and the memory-only mode).
+func (c *CSB) Chain(k int) *chain.Chain { return c.chains[k] }
+
+// Window returns the current active element window.
+func (c *CSB) Window() isa.Window { return isa.Window{Start: c.vstart, VL: c.vl} }
+
+// chainOf maps element index e to its chain and column. Adjacent
+// elements live in different chains so that one memory sub-request can
+// be consumed by many chains in a single cycle (paper §V-E).
+func (c *CSB) chainOf(e int) (chainIdx, col int) {
+	return e % len(c.chains), e / len(c.chains)
+}
+
+// ElementIndex is the inverse mapping (chain, column) -> element.
+func (c *CSB) ElementIndex(chainIdx, col int) int {
+	return col*len(c.chains) + chainIdx
+}
+
+// SetWindow installs vstart/vl and recomputes each chain's
+// active-column mask (paper §V-F: "each chain controller locally
+// computes a mask given its chain ID, the vstart value, the vl value").
+func (c *CSB) SetWindow(vstart, vl int) {
+	if vl < 0 || vl > c.MaxVL() {
+		panic(fmt.Sprintf("csb: vl %d out of range [0,%d]", vl, c.MaxVL()))
+	}
+	if vstart < 0 {
+		panic("csb: negative vstart")
+	}
+	c.vstart = vstart
+	c.vl = vl
+	n := len(c.chains)
+	for k, ch := range c.chains {
+		var m uint32
+		for col := 0; col < chain.ColsPerChain; col++ {
+			e := col*n + k
+			if e >= vstart && e < vl {
+				m |= 1 << uint(col)
+			}
+		}
+		ch.SetActiveMask(m)
+	}
+}
+
+// ActiveChains counts chains with at least one active column; fully
+// masked chains power-gate their peripherals (paper §V-F).
+func (c *CSB) ActiveChains() int {
+	n := 0
+	for _, ch := range c.chains {
+		if ch.ActiveMask() != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ReadElement returns element e of vector register v.
+func (c *CSB) ReadElement(v, e int) uint32 {
+	k, col := c.chainOf(e)
+	c.Stats.ElemReads++
+	return c.chains[k].ReadElement(v, col)
+}
+
+// WriteElement stores element e of vector register v (the VMU store
+// path; it ignores the active window — the VMU applies its own
+// masking).
+func (c *CSB) WriteElement(v, e int, val uint32) {
+	k, col := c.chainOf(e)
+	c.Stats.ElemWrites++
+	c.chains[k].WriteElement(v, col, val)
+}
+
+// ResetReduction clears the global reduction accumulator.
+func (c *CSB) ResetReduction() { c.redAcc = 0 }
+
+// ReductionResult returns the accumulator contents.
+func (c *CSB) ReductionResult() uint64 { return c.redAcc }
+
+// Execute broadcasts one microoperation command to every chain and
+// updates the statistics. It is the functional equivalent of the chain
+// controllers driving their subarrays for one (or, for combines,
+// several) CSB cycles.
+func (c *CSB) Execute(op tt.MicroOp) {
+	switch op.Kind {
+	case tt.KSearch:
+		for _, ch := range c.chains {
+			ch.Search(op.Sub, op.Key, op.Acc)
+		}
+		c.Stats.SearchSerial++
+	case tt.KSearchAll:
+		for _, ch := range c.chains {
+			ch.SearchAll(op.Key, op.Acc)
+		}
+		c.Stats.SearchParallel++
+	case tt.KSearchX:
+		for _, ch := range c.chains {
+			for s := 0; s < chain.SubPerChain; s++ {
+				k := sram.Key{}
+				if op.X&(1<<uint(s)) != 0 {
+					k = k.Match1(op.Row)
+				} else {
+					k = k.Match0(op.Row)
+				}
+				ch.Search(s, k, op.Acc)
+			}
+		}
+		c.Stats.SearchParallel++
+	case tt.KUpdate:
+		if op.Sub == chain.SubPerChain {
+			// Dropped carry-out of the last subarray: the cycle is
+			// spent, nothing is written.
+			c.Stats.UpdateProp++
+			break
+		}
+		for _, ch := range c.chains {
+			ch.Update(op.Sub, op.Row, op.Value, op.Sel)
+		}
+		if op.Sel.Src == chain.SrcPrevTag {
+			c.Stats.UpdateProp++
+		} else {
+			c.Stats.UpdateSerial++
+		}
+	case tt.KUpdateAll:
+		for _, ch := range c.chains {
+			ch.UpdateAll(op.Row, op.Value, op.Sel)
+		}
+		c.Stats.UpdateParallel++
+	case tt.KUpdateX:
+		for _, ch := range c.chains {
+			for s := 0; s < chain.SubPerChain; s++ {
+				ch.Update(s, op.Row, op.X&(1<<uint(s)) != 0,
+					chain.Selector{Src: chain.SrcAllCols})
+			}
+		}
+		c.Stats.UpdateParallel++
+	case tt.KEnable:
+		for _, ch := range c.chains {
+			src := ch.TagOf(op.Sub)
+			if op.EnInvert {
+				src = ^src
+			}
+			ch.SetEnable(op.EnOp, src)
+		}
+		c.Stats.Enable++
+	case tt.KEnableCombine:
+		for _, ch := range c.chains {
+			var acc uint32
+			if op.Combine == tt.CombineAnd {
+				acc = sram.AllCols
+			}
+			for s := 0; s < chain.SubPerChain; s++ {
+				if op.Combine == tt.CombineAnd {
+					acc &= ch.TagOf(s)
+				} else {
+					acc |= ch.TagOf(s)
+				}
+			}
+			if op.CombineInvert {
+				acc = ^acc
+			}
+			ch.SetEnable(chain.EnLoad, acc)
+		}
+		c.Stats.Enable++
+	case tt.KReduce:
+		var sum uint64
+		for _, ch := range c.chains {
+			sum += uint64(ch.PopCountTag(op.Sub))
+		}
+		c.redAcc = c.redAcc<<1 + sum
+		c.Stats.Reduce++
+	default:
+		panic(fmt.Sprintf("csb: unknown microop kind %v", op.Kind))
+	}
+	c.Stats.Cycles += uint64(op.Cycles)
+}
+
+// Run executes a microcode sequence and returns its cycle cost.
+func (c *CSB) Run(ops []tt.MicroOp) int {
+	for i := range ops {
+		c.Execute(ops[i])
+	}
+	return tt.Cost(ops)
+}
+
+// FirstSetTag scans subarray-0 tag bits in element order and returns
+// the lowest active element index whose tag is set, or -1 — the
+// priority encoder behind vfirst.m.
+func (c *CSB) FirstSetTag() int64 {
+	best := int64(-1)
+	for k, ch := range c.chains {
+		tags := ch.TagOf(0) & ch.ActiveMask()
+		if tags == 0 {
+			continue
+		}
+		col := bits.TrailingZeros32(tags)
+		e := int64(c.ElementIndex(k, col))
+		if best < 0 || e < best {
+			best = e
+		}
+	}
+	return best
+}
+
+// Reset clears every chain and the reduction accumulator, and restores
+// the full window. Statistics are preserved.
+func (c *CSB) Reset() {
+	for _, ch := range c.chains {
+		ch.Reset()
+	}
+	c.redAcc = 0
+	c.SetWindow(0, c.MaxVL())
+}

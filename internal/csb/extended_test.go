@@ -1,0 +1,162 @@
+package csb
+
+import (
+	"math/rand"
+	"testing"
+
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+// TestExtendedOpsMatchGolden covers the instructions beyond Table I
+// (vmsne, vmax/vmin, vrsub, vmv.v.v, shifts) on the bit-level CSB.
+func TestExtendedOpsMatchGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	vvOps := []isa.Opcode{isa.OpVMSNE_VV, isa.OpVMAX_VV, isa.OpVMIN_VV}
+	vxOps := []isa.Opcode{isa.OpVMSNE_VX, isa.OpVRSUB_VX}
+
+	for _, op := range vvOps {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			f := newFixture(t, 2, rng)
+			maxVL := f.c.MaxVL()
+			for trial := 0; trial < 8; trial++ {
+				vd := 1 + rng.Intn(isa.NumVRegs-1)
+				vs2 := 1 + rng.Intn(isa.NumVRegs-1)
+				vs1 := 1 + rng.Intn(isa.NumVRegs-1)
+				w := isa.Window{Start: 0, VL: maxVL}
+				if trial%2 == 1 {
+					w = isa.Window{Start: rng.Intn(maxVL / 2), VL: maxVL/2 + rng.Intn(maxVL/2)}
+				}
+				ops, err := tt.Generate(op, vd, vs2, vs1, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.c.SetWindow(w.Start, w.VL)
+				f.c.Run(ops)
+				isa.GoldenVV(op, f.reg[vd], f.reg[vs2], f.reg[vs1], w)
+				for e := 0; e < maxVL; e++ {
+					if got := f.c.ReadElement(vd, e); got != f.reg[vd][e] {
+						t.Fatalf("%v v%d,v%d,v%d elem %d: CSB %#x golden %#x",
+							op, vd, vs2, vs1, e, got, f.reg[vd][e])
+					}
+				}
+			}
+		})
+	}
+
+	for _, op := range vxOps {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			f := newFixture(t, 2, rng)
+			maxVL := f.c.MaxVL()
+			for trial := 0; trial < 8; trial++ {
+				vd := 1 + rng.Intn(isa.NumVRegs-1)
+				vs2 := 1 + rng.Intn(isa.NumVRegs-1)
+				x := uint64(rng.Uint32())
+				w := isa.Window{Start: 0, VL: maxVL}
+				ops, err := tt.Generate(op, vd, vs2, 0, x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.c.SetWindow(w.Start, w.VL)
+				f.c.Run(ops)
+				isa.GoldenVX(op, f.reg[vd], f.reg[vs2], uint32(x), w)
+				for e := 0; e < maxVL; e++ {
+					if got := f.c.ReadElement(vd, e); got != f.reg[vd][e] {
+						t.Fatalf("%v elem %d: CSB %#x golden %#x", op, e, got, f.reg[vd][e])
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestRegisterCopyMicrocode(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := newFixture(t, 1, rng)
+	maxVL := f.c.MaxVL()
+	w := isa.Window{Start: 0, VL: maxVL}
+	for _, pair := range [][2]int{{4, 9}, {7, 7}} { // including self-copy
+		vd, vs2 := pair[0], pair[1]
+		ops, err := tt.Generate(isa.OpVMV_VV, vd, vs2, 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.c.SetWindow(0, maxVL)
+		f.c.Run(ops)
+		isa.GoldenCopy(f.reg[vd], f.reg[vs2], w)
+		for e := 0; e < maxVL; e++ {
+			if got := f.c.ReadElement(vd, e); got != f.reg[vd][e] {
+				t.Fatalf("copy v%d<-v%d elem %d: %#x want %#x", vd, vs2, e, got, f.reg[vd][e])
+			}
+		}
+		if got := tt.Cost(ops); got != 3 {
+			t.Fatalf("register copy must cost 3 cycles, got %d", got)
+		}
+	}
+}
+
+// TestShiftsMatchGolden validates the neighbour-tag-path shifts for
+// every shift amount, both directions, including aliased forms.
+func TestShiftsMatchGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, op := range []isa.Opcode{isa.OpVSLL_VI, isa.OpVSRL_VI} {
+		op := op
+		t.Run(op.String(), func(t *testing.T) {
+			for _, k := range []int{0, 1, 2, 7, 16, 31} {
+				f := newFixture(t, 1, rng)
+				maxVL := f.c.MaxVL()
+				w := isa.Window{Start: 0, VL: maxVL}
+				vd, vs2 := 3, 5
+				if k%2 == 1 {
+					vd = vs2 // in-place shift
+				}
+				ops, err := tt.Generate(op, vd, vs2, 0, uint64(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				f.c.Run(ops)
+				isa.GoldenShift(op, f.reg[vd], f.reg[vs2], uint(k), w)
+				for e := 0; e < maxVL; e++ {
+					if got := f.c.ReadElement(vd, e); got != f.reg[vd][e] {
+						t.Fatalf("%v k=%d elem %d: CSB %#x golden %#x", op, k, e, got, f.reg[vd][e])
+					}
+				}
+				// Cost scales with the shift amount: 3 per step plus
+				// the copy when not in place.
+				want := 3 * k
+				if vd != vs2 {
+					want += 3
+				}
+				if got := tt.Cost(ops); got != want {
+					t.Fatalf("%v k=%d: cost %d want %d", op, k, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestMinMaxAliased exercises the destination-aliasing paths of the
+// composed min/max microcode.
+func TestMinMaxAliased(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cases := [][3]int{{5, 5, 6}, {5, 6, 5}, {5, 5, 5}, {5, 6, 6}}
+	for _, op := range []isa.Opcode{isa.OpVMAX_VV, isa.OpVMIN_VV} {
+		for _, c := range cases {
+			f := newFixture(t, 1, rng)
+			w := isa.Window{Start: 0, VL: f.c.MaxVL()}
+			ops, err := tt.Generate(op, c[0], c[1], c[2], 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f.c.Run(ops)
+			isa.GoldenVV(op, f.reg[c[0]], f.reg[c[1]], f.reg[c[2]], w)
+			for e := 0; e < f.c.MaxVL(); e++ {
+				if got := f.c.ReadElement(c[0], e); got != f.reg[c[0]][e] {
+					t.Fatalf("%v %v elem %d: %#x want %#x", op, c, e, got, f.reg[c[0]][e])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package csb
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+// TestWindowPartitionProperty: for any (vstart, vl), the per-chain
+// active masks must partition the element space exactly — every
+// element in [vstart, vl) active exactly once, everything else
+// inactive.
+func TestWindowPartitionProperty(t *testing.T) {
+	f := func(chainsSeed uint8, a, b uint16) bool {
+		numChains := 1 + int(chainsSeed)%8
+		c := New(numChains)
+		maxVL := c.MaxVL()
+		vstart := int(a) % maxVL
+		vl := int(b) % (maxVL + 1)
+		c.SetWindow(vstart, vl)
+		active := 0
+		for k := 0; k < numChains; k++ {
+			m := c.Chain(k).ActiveMask()
+			for col := 0; col < 32; col++ {
+				e := c.ElementIndex(k, col)
+				want := e >= vstart && e < vl
+				got := m&(1<<uint(col)) != 0
+				if got != want {
+					return false
+				}
+				if got {
+					active++
+				}
+			}
+		}
+		wantActive := vl - vstart
+		if wantActive < 0 {
+			wantActive = 0
+		}
+		return active == wantActive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestElementMappingBijectionProperty: chainOf/ElementIndex are
+// inverse bijections over the whole element space.
+func TestElementMappingBijectionProperty(t *testing.T) {
+	f := func(chainsSeed uint8, eSeed uint16) bool {
+		numChains := 1 + int(chainsSeed)%16
+		c := New(numChains)
+		e := int(eSeed) % c.MaxVL()
+		k, col := c.chainOf(e)
+		return k >= 0 && k < numChains && col >= 0 && col < 32 &&
+			c.ElementIndex(k, col) == e
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNonDestinationRegistersInvariant: any single generated
+// instruction may modify only its destination register (and scratch
+// metadata); all 31 other architectural registers are bit-identical
+// afterwards. Runs across random ops/operands/windows.
+func TestNonDestinationRegistersInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(3331))
+	ops := []isa.Opcode{
+		isa.OpVADD_VV, isa.OpVSUB_VV, isa.OpVXOR_VV, isa.OpVMSEQ_VV,
+		isa.OpVMSLT_VV, isa.OpVMERGE_VVM, isa.OpVMAX_VV, isa.OpVSLL_VI,
+		isa.OpVMV_VV, isa.OpVRSUB_VX,
+	}
+	for trial := 0; trial < 30; trial++ {
+		c := New(1)
+		maxVL := c.MaxVL()
+		before := make([][]uint32, isa.NumVRegs)
+		for v := range before {
+			before[v] = make([]uint32, maxVL)
+			for e := range before[v] {
+				before[v][e] = rng.Uint32()
+				c.WriteElement(v, e, before[v][e])
+			}
+		}
+		op := ops[rng.Intn(len(ops))]
+		vd := rng.Intn(isa.NumVRegs)
+		vs2 := rng.Intn(isa.NumVRegs)
+		vs1 := rng.Intn(isa.NumVRegs)
+		if op == isa.OpVMERGE_VVM && vd == 0 {
+			vd = 1 // the mask register is an implicit source
+		}
+		c.SetWindow(rng.Intn(maxVL/2), 1+rng.Intn(maxVL))
+		prog, err := tt.Generate(op, vd, vs2, vs1, uint64(rng.Intn(32)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(prog)
+		for v := 0; v < isa.NumVRegs; v++ {
+			if v == vd {
+				continue
+			}
+			for e := 0; e < maxVL; e++ {
+				if got := c.ReadElement(v, e); got != before[v][e] {
+					t.Fatalf("trial %d: %v vd=v%d clobbered v%d[%d]: %#x -> %#x",
+						trial, op, vd, v, e, before[v][e], got)
+				}
+			}
+		}
+	}
+}
+
+// TestRedsumEqualsSumProperty: the chain/tree reduction equals the
+// plain sum for arbitrary contents and windows.
+func TestRedsumEqualsSumProperty(t *testing.T) {
+	f := func(seed int64, aRaw, bRaw uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := New(2)
+		maxVL := c.MaxVL()
+		vals := make([]uint32, maxVL)
+		for e := range vals {
+			vals[e] = rng.Uint32()
+			c.WriteElement(9, e, vals[e])
+		}
+		vstart := int(aRaw) % maxVL
+		vl := int(bRaw) % (maxVL + 1)
+		c.SetWindow(vstart, vl)
+		prog, err := tt.Generate(isa.OpVREDSUM_VS, 1, 9, 2, 0)
+		if err != nil {
+			return false
+		}
+		c.ResetReduction()
+		c.Run(prog)
+		var want uint32
+		for e := vstart; e < vl; e++ {
+			want += vals[e]
+		}
+		return uint32(c.ReductionResult()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,158 @@
+package csb
+
+import (
+	"math/rand"
+	"testing"
+
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+// TestNarrowElementsMatchGolden is the §V-A extension validation:
+// microcode generated for 8- and 16-bit elements must match the golden
+// semantics at that width on the bit-level CSB. Register state is
+// zero-padded above the element width, as the VMU's narrow loads
+// guarantee.
+func TestNarrowElementsMatchGolden(t *testing.T) {
+	ops := []isa.Opcode{
+		isa.OpVADD_VV, isa.OpVSUB_VV, isa.OpVMUL_VV,
+		isa.OpVAND_VV, isa.OpVOR_VV, isa.OpVXOR_VV,
+		isa.OpVMSEQ_VV, isa.OpVMSLT_VV, isa.OpVMSNE_VV,
+		isa.OpVMAX_VV, isa.OpVMIN_VV,
+	}
+	for _, sew := range []int{8, 16} {
+		sew := sew
+		rng := rand.New(rand.NewSource(int64(900 + sew)))
+		mask := uint32(1)<<uint(sew) - 1
+		t.Run(map[int]string{8: "e8", 16: "e16"}[sew], func(t *testing.T) {
+			c := New(2)
+			maxVL := c.MaxVL()
+			reg := make([][]uint32, isa.NumVRegs)
+			for v := range reg {
+				reg[v] = make([]uint32, maxVL)
+				for e := range reg[v] {
+					reg[v][e] = rng.Uint32() & mask
+					c.WriteElement(v, e, reg[v][e])
+				}
+			}
+			w := isa.Window{Start: 0, VL: maxVL, SEW: sew}
+			for _, op := range ops {
+				vd := 1 + rng.Intn(isa.NumVRegs-1)
+				vs2 := 1 + rng.Intn(isa.NumVRegs-1)
+				vs1 := 1 + rng.Intn(isa.NumVRegs-1)
+				prog, err := tt.GenerateSEW(op, vd, vs2, vs1, 0, sew)
+				if err != nil {
+					t.Fatalf("%v: %v", op, err)
+				}
+				c.Run(prog)
+				isa.GoldenVV(op, reg[vd], reg[vs2], reg[vs1], w)
+				for e := 0; e < maxVL; e++ {
+					if got := c.ReadElement(vd, e); got != reg[vd][e] {
+						t.Fatalf("%v sew=%d elem %d: CSB %#x golden %#x",
+							op, sew, e, got, reg[vd][e])
+					}
+				}
+			}
+			// vx forms with a wide scalar: the generator truncates.
+			for _, op := range []isa.Opcode{isa.OpVADD_VX, isa.OpVMSEQ_VX, isa.OpVMSLT_VX} {
+				vd, vs2 := 3, 7
+				x := uint64(rng.Uint32()) // deliberately unmasked
+				prog, err := tt.GenerateSEW(op, vd, vs2, 0, x, sew)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c.Run(prog)
+				isa.GoldenVX(op, reg[vd], reg[vs2], uint32(x), w)
+				for e := 0; e < maxVL; e++ {
+					if got := c.ReadElement(vd, e); got != reg[vd][e] {
+						t.Fatalf("%v sew=%d elem %d: CSB %#x golden %#x",
+							op, sew, e, got, reg[vd][e])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestNarrowPaddingInvariant checks that narrow-width microcode never
+// writes above the element width (the invariant the full-width
+// bit-parallel searches rely on).
+func TestNarrowPaddingInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	c := New(1)
+	maxVL := c.MaxVL()
+	for v := 1; v < 8; v++ {
+		for e := 0; e < maxVL; e++ {
+			c.WriteElement(v, e, rng.Uint32()&0xFF)
+		}
+	}
+	progs := []isa.Opcode{isa.OpVADD_VV, isa.OpVMUL_VV, isa.OpVSLL_VI, isa.OpVRSUB_VX}
+	for _, op := range progs {
+		prog, err := tt.GenerateSEW(op, 2, 3, 4, 7, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(prog)
+		for e := 0; e < maxVL; e++ {
+			if got := c.ReadElement(2, e); got>>8 != 0 {
+				t.Fatalf("%v wrote above bit 8: elem %d = %#x", op, e, got)
+			}
+		}
+	}
+}
+
+// TestNarrowRedsum checks the reduction at narrow widths.
+func TestNarrowRedsum(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	c := New(2)
+	maxVL := c.MaxVL()
+	vals := make([]uint32, maxVL)
+	var want uint32
+	for e := range vals {
+		vals[e] = rng.Uint32() & 0xFFFF
+		want += vals[e]
+		c.WriteElement(6, e, vals[e])
+	}
+	want &= 0xFFFF
+	prog, err := tt.GenerateSEW(isa.OpVREDSUM_VS, 1, 6, 2, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.ResetReduction()
+	cycles := c.Run(prog)
+	if got := uint32(c.ReductionResult()) & 0xFFFF; got != want {
+		t.Fatalf("narrow redsum: got %d want %d", got, want)
+	}
+	// Bit-serial cost halves at half the width.
+	if cycles != 16 {
+		t.Fatalf("e16 redsum cycles %d, want 16", cycles)
+	}
+}
+
+// TestNarrowCyclesScale pins the headline benefit: bit-serial cost is
+// proportional to the element width.
+func TestNarrowCyclesScale(t *testing.T) {
+	for _, tc := range []struct {
+		sew, wantAdd, wantMul int
+	}{
+		{8, 8*8 + 2, 0},
+		{16, 8*16 + 2, 0},
+		{32, 8*32 + 2, 0},
+	} {
+		prog, err := tt.GenerateSEW(isa.OpVADD_VV, 1, 2, 3, 0, tc.sew)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := tt.Cost(prog); got != tc.wantAdd {
+			t.Fatalf("sew=%d vadd cycles %d want %d", tc.sew, got, tc.wantAdd)
+		}
+	}
+}
+
+func TestGenerateSEWRejectsBadWidths(t *testing.T) {
+	for _, sew := range []int{0, 4, 12, 64} {
+		if _, err := tt.GenerateSEW(isa.OpVADD_VV, 1, 2, 3, 0, sew); err == nil {
+			t.Fatalf("sew=%d must be rejected", sew)
+		}
+	}
+}

@@ -1,0 +1,209 @@
+// Package emu is the associative behavioral emulator of paper §VI-B:
+// it executes each vector instruction's associative algorithm on the
+// bit-level subarray model, extracts the microoperation mix, and
+// derives instruction-level cycle and energy estimates, which the
+// bench harness prints next to the paper's Table I.
+package emu
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cape/internal/csb"
+	"cape/internal/energy"
+	"cape/internal/isa"
+	"cape/internal/timing"
+	"cape/internal/tt"
+)
+
+// InstrProfile is one derived Table I row.
+type InstrProfile struct {
+	Op       isa.Opcode
+	Mnemonic string
+	Group    string
+	// Mix is the microoperation mix of one execution (n = 32 bits).
+	Mix tt.Mix
+	// Cycles is the microcode-derived CSB cycle count.
+	Cycles int
+	// PaperCycles is Table I's closed form evaluated at n = 32
+	// (reduction-tree drain excluded, as in the paper's table).
+	PaperCycles int
+	// CyclesMatch reports whether our derived algorithm reproduces the
+	// paper's count exactly.
+	CyclesMatch bool
+	// DerivedLaneEnergyPJ is the bottom-up energy (mix × Table II) per
+	// vector lane.
+	DerivedLaneEnergyPJ float64
+	// PaperLaneEnergyPJ is Table I's published per-lane energy.
+	PaperLaneEnergyPJ float64
+	// MaxSearchRows / MaxUpdateRows are the circuit-activity columns.
+	MaxSearchRows, MaxUpdateRows int
+	// RedCycles is the reduction step count.
+	RedCycles int
+}
+
+// tableIOps lists the instructions of Table I in paper order.
+var tableIOps = []struct {
+	op    isa.Opcode
+	group string
+}{
+	{isa.OpVADD_VV, "Arith."},
+	{isa.OpVSUB_VV, "Arith."},
+	{isa.OpVMUL_VV, "Arith."},
+	{isa.OpVREDSUM_VS, "Arith."},
+	{isa.OpVAND_VV, "Logic"},
+	{isa.OpVOR_VV, "Logic"},
+	{isa.OpVXOR_VV, "Logic"},
+	{isa.OpVMSEQ_VX, "Comp."},
+	{isa.OpVMSEQ_VV, "Comp."},
+	{isa.OpVMSLT_VV, "Comp."},
+	{isa.OpVMERGE_VVM, "Other"},
+}
+
+// paperCycles evaluates Table I's total-cycle column at n = 32,
+// without the reduction-tree drain the system model adds.
+func paperCycles(op isa.Opcode) int {
+	n := timing.ElemBits
+	switch op {
+	case isa.OpVADD_VV, isa.OpVSUB_VV:
+		return 8*n + 2
+	case isa.OpVMUL_VV:
+		return 4*n*n - 4*n
+	case isa.OpVREDSUM_VS:
+		return n
+	case isa.OpVAND_VV, isa.OpVOR_VV:
+		return 3
+	case isa.OpVXOR_VV:
+		return 4
+	case isa.OpVMSEQ_VX:
+		return n + 1
+	case isa.OpVMSEQ_VV:
+		return n + 4
+	case isa.OpVMSLT_VV:
+		return 3*n + 6
+	case isa.OpVMERGE_VVM:
+		return 4
+	}
+	return 0
+}
+
+// Profile derives the Table I metrics of one instruction from its
+// microcode.
+func Profile(op isa.Opcode, group string) (InstrProfile, error) {
+	ops, err := tt.Generate(op, 1, 2, 3, 0x5A5A5A5A)
+	if err != nil {
+		return InstrProfile{}, err
+	}
+	mix := tt.MixOf(ops)
+	p := InstrProfile{
+		Op:          op,
+		Mnemonic:    op.String(),
+		Group:       group,
+		Mix:         mix,
+		Cycles:      tt.Cost(ops),
+		PaperCycles: paperCycles(op),
+		RedCycles:   mix.Reduce,
+		// One chain = 32 lanes.
+		DerivedLaneEnergyPJ: energy.MixEnergyPJ(mix, 1) / 32,
+	}
+	if e, ok := timing.PaperLaneEnergyPJ(op); ok {
+		p.PaperLaneEnergyPJ = e
+	}
+	p.CyclesMatch = p.Cycles == p.PaperCycles
+	p.MaxUpdateRows = 1
+	for i := range ops {
+		if k := ops[i].Kind; k == tt.KSearch || k == tt.KSearchAll {
+			if n := ops[i].Key.RowCount(); n > p.MaxSearchRows {
+				p.MaxSearchRows = n
+			}
+		}
+		if ops[i].Kind == tt.KSearchX {
+			if p.MaxSearchRows < 1 {
+				p.MaxSearchRows = 1
+			}
+		}
+	}
+	return p, nil
+}
+
+// ProfileTableI derives every Table I row.
+func ProfileTableI() ([]InstrProfile, error) {
+	out := make([]InstrProfile, 0, len(tableIOps))
+	for _, e := range tableIOps {
+		p, err := Profile(e.op, e.group)
+		if err != nil {
+			return nil, fmt.Errorf("emu: %v: %w", e.op, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SelfCheck executes every profiled instruction on a small bit-level
+// CSB against the golden semantics with randomized inputs — the
+// behavioural validation the paper's emulator provides. It returns an
+// error naming the first mismatching instruction.
+func SelfCheck(seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	c := csb.New(2)
+	maxVL := c.MaxVL()
+	regs := make([][]uint32, isa.NumVRegs)
+	for v := range regs {
+		regs[v] = make([]uint32, maxVL)
+		for e := range regs[v] {
+			regs[v][e] = rng.Uint32()
+			if v == 0 {
+				regs[v][e] &= 1
+			}
+			c.WriteElement(v, e, regs[v][e])
+		}
+	}
+	w := isa.Window{Start: 0, VL: maxVL}
+	for _, entry := range tableIOps {
+		op := entry.op
+		vd, vs2, vs1 := 1, 2, 3
+		x := uint64(rng.Uint32())
+		ops, err := tt.Generate(op, vd, vs2, vs1, x)
+		if err != nil {
+			return err
+		}
+		c.ResetReduction()
+		c.Run(ops)
+		switch op {
+		case isa.OpVREDSUM_VS:
+			got := uint32(c.ReductionResult()) + regs[vs1][0]
+			want := isa.GoldenRedsum(regs[vs2], regs[vs1], w)
+			if got != want {
+				return fmt.Errorf("emu: %v: got %d want %d", op, got, want)
+			}
+			continue
+		case isa.OpVMSEQ_VX, isa.OpVMSLT_VX:
+			isa.GoldenVX(op, regs[vd], regs[vs2], uint32(x), w)
+		case isa.OpVMERGE_VVM:
+			isa.GoldenMerge(regs[vd], regs[vs2], regs[vs1], regs[0], w)
+		default:
+			isa.GoldenVV(op, regs[vd], regs[vs2], regs[vs1], w)
+		}
+		for e := 0; e < maxVL; e++ {
+			if got := c.ReadElement(vd, e); got != regs[vd][e] {
+				return fmt.Errorf("emu: %v elem %d: CSB %#x golden %#x", op, e, got, regs[vd][e])
+			}
+		}
+	}
+	return nil
+}
+
+// MicroopDelaysFitCycle verifies the Table II consistency condition:
+// every microoperation delay fits within the derated CAPE cycle.
+func MicroopDelaysFitCycle() bool {
+	delays := []float64{
+		timing.DelayReadPS, timing.DelayWritePS, timing.DelaySearchPS,
+		timing.DelayUpdatePS, timing.DelayUpdatePropPS, timing.DelayReducePS,
+	}
+	for _, d := range delays {
+		if d > timing.CAPECyclePS {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+package emu
+
+import (
+	"testing"
+
+	"cape/internal/isa"
+)
+
+func TestProfileTableI(t *testing.T) {
+	rows, err := ProfileTableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 11 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	byName := map[string]InstrProfile{}
+	for _, r := range rows {
+		byName[r.Mnemonic] = r
+	}
+	// Instructions whose derived algorithm reproduces Table I exactly.
+	exact := []string{"vadd.vv", "vsub.vv", "vand.vv", "vor.vv", "vxor.vv", "vmseq.vv", "vredsum.vs"}
+	for _, name := range exact {
+		r, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing row %s", name)
+		}
+		if !r.CyclesMatch {
+			t.Errorf("%s: derived %d cycles, paper %d — expected exact match", name, r.Cycles, r.PaperCycles)
+		}
+	}
+	// Instructions with documented deltas must still be same order.
+	for _, r := range rows {
+		if r.PaperCycles == 0 {
+			t.Errorf("%s: no paper reference", r.Mnemonic)
+			continue
+		}
+		ratio := float64(r.Cycles) / float64(r.PaperCycles)
+		if ratio > 2.1 || ratio < 0.4 {
+			t.Errorf("%s: derived %d vs paper %d — out of documented band", r.Mnemonic, r.Cycles, r.PaperCycles)
+		}
+	}
+	// Search-row circuit bound (§V-A).
+	for _, r := range rows {
+		if r.MaxSearchRows > 4 {
+			t.Errorf("%s: %d search rows exceeds the 4-row circuit", r.Mnemonic, r.MaxSearchRows)
+		}
+		if r.MaxUpdateRows != 1 {
+			t.Errorf("%s: updates must drive one row per subarray", r.Mnemonic)
+		}
+	}
+	// Energy: derived values for the matching instructions land near
+	// Table I.
+	add := byName["vadd.vv"]
+	if add.DerivedLaneEnergyPJ < 7.5 || add.DerivedLaneEnergyPJ > 9.5 {
+		t.Errorf("vadd derived lane energy %.2f pJ, Table I says 8.4", add.DerivedLaneEnergyPJ)
+	}
+	mul := byName["vmul.vv"]
+	if mul.DerivedLaneEnergyPJ < 50 || mul.DerivedLaneEnergyPJ > 250 {
+		t.Errorf("vmul derived lane energy %.2f pJ, Table I says 99.9", mul.DerivedLaneEnergyPJ)
+	}
+}
+
+func TestProfileRejectsUnknown(t *testing.T) {
+	if _, err := Profile(isa.OpADD, "x"); err == nil {
+		t.Fatal("scalar op must be rejected")
+	}
+}
+
+func TestSelfCheck(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		if err := SelfCheck(seed); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMicroopDelaysFitCycle(t *testing.T) {
+	if !MicroopDelaysFitCycle() {
+		t.Fatal("a Table II microop delay exceeds the CAPE cycle time")
+	}
+}

@@ -1,0 +1,91 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"cape/internal/csb"
+	"cape/internal/isa"
+	"cape/internal/timing"
+	"cape/internal/tt"
+)
+
+// TestDerivedLaneEnergyMatchesTableI is the §VI-B validation: the
+// bottom-up energy (microoperation mix × Table II) must land close to
+// Table I's published per-lane numbers for the instructions whose
+// microcode matches the paper's operation counts.
+func TestDerivedLaneEnergyMatchesTableI(t *testing.T) {
+	cases := []struct {
+		op        isa.Opcode
+		perLane   float64 // Table I
+		tolerance float64 // relative
+	}{
+		{isa.OpVADD_VV, 8.4, 0.05},
+		{isa.OpVSUB_VV, 8.4, 0.05},
+		{isa.OpVAND_VV, 0.4, 0.10},
+		{isa.OpVOR_VV, 0.4, 0.10},
+		{isa.OpVXOR_VV, 0.5, 0.20},
+	}
+	for _, tc := range cases {
+		ops, err := tt.Generate(tc.op, 1, 2, 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mix := tt.MixOf(ops)
+		perLane := MixEnergyPJ(mix, 1) / 32 // one chain = 32 lanes
+		if rel := math.Abs(perLane-tc.perLane) / tc.perLane; rel > tc.tolerance {
+			t.Errorf("%v: derived %.2f pJ/lane, Table I %.2f (rel err %.2f)",
+				tc.op, perLane, tc.perLane, rel)
+		}
+	}
+}
+
+func TestInstrEnergyUsesPaperNumbers(t *testing.T) {
+	got := InstrEnergyPJ(isa.OpVADD_VV, 32768, 1024, tt.Mix{})
+	want := 8.4 * 32768
+	if got != want {
+		t.Fatalf("vadd energy: got %v want %v", got, want)
+	}
+	// Unlisted opcode falls back to the mix estimate.
+	mix := tt.Mix{SearchParallel: 1}
+	got = InstrEnergyPJ(isa.OpVMV_VX, 32, 1, mix)
+	if got != timing.EnergyBPSearchPJ {
+		t.Fatalf("fallback energy: got %v", got)
+	}
+}
+
+func TestAreaModel(t *testing.T) {
+	// One chain is 13x175 µm² (Fig. 8).
+	if math.Abs(ChainAreaMM2-13*175*1e-6) > 1e-12 {
+		t.Fatalf("chain area %v", ChainAreaMM2)
+	}
+	// CAPE32k (1,024 chains) must be "slightly under 9 mm²" and
+	// area-comparable to one baseline tile.
+	a32k := CAPEAreaMM2(1024)
+	if a32k >= 9.0 || a32k < 6.0 {
+		t.Fatalf("CAPE32k area %v mm², want slightly under 9", a32k)
+	}
+	if EquivalentBaselineCores(1024) != 1 {
+		t.Fatalf("CAPE32k should be area-equivalent to 1 core, got %d",
+			EquivalentBaselineCores(1024))
+	}
+	// CAPE131k (4,096 chains) is area-comparable to two cores.
+	if EquivalentBaselineCores(4096) != 2 {
+		t.Fatalf("CAPE131k should be area-equivalent to 2 cores, got %d (area %v)",
+			EquivalentBaselineCores(4096), CAPEAreaMM2(4096))
+	}
+}
+
+func TestStatsEnergyMonotonic(t *testing.T) {
+	s1 := statsWith(10, 5)
+	s2 := statsWith(20, 10)
+	if StatsEnergyPJ(s2, 1024) <= StatsEnergyPJ(s1, 1024) {
+		t.Fatal("energy must grow with operation count")
+	}
+}
+
+func statsWith(searches, updates uint64) (s csb.Stats) {
+	s.SearchSerial = searches
+	s.UpdateSerial = updates
+	return
+}

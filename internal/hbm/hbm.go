@@ -1,0 +1,128 @@
+// Package hbm models the HBM main-memory system shared by CAPE's VMU
+// and the baseline cores (paper Table III: 4-high HBM, 8 channels,
+// 16 GB/s and 512 MB per channel).
+//
+// The model is bandwidth- and occupancy-oriented: each access occupies
+// its channel for the transfer duration and observes a fixed device
+// latency, which is what CAPE's throughput behaviour (and the roofline
+// memory roof) depends on. Addresses interleave across channels at the
+// memory bus packet granularity.
+package hbm
+
+// Config describes the memory system.
+type Config struct {
+	// Channels is the number of independent HBM channels.
+	Channels int
+	// BytesPerNSPerChannel is the per-channel bandwidth (16 GB/s =
+	// 16 B/ns).
+	BytesPerNSPerChannel float64
+	// LatencyNS is the fixed device access latency.
+	LatencyNS float64
+	// PacketBytes is the data-bus packet (sub-request) size: 512 B,
+	// matching the last-level cache line of Table III.
+	PacketBytes int
+	// ChannelCapacity is the per-channel capacity in bytes.
+	ChannelCapacity uint64
+}
+
+// Default is the paper's configuration.
+func Default() Config {
+	return Config{
+		Channels:             8,
+		BytesPerNSPerChannel: 16.0,
+		LatencyNS:            80.0,
+		PacketBytes:          512,
+		ChannelCapacity:      512 << 20,
+	}
+}
+
+// TotalBandwidthGBs returns the aggregate bandwidth in GB/s.
+func (c Config) TotalBandwidthGBs() float64 {
+	return float64(c.Channels) * c.BytesPerNSPerChannel
+}
+
+// HBM is the timing model instance. Times are picoseconds on the
+// global simulation clock.
+type HBM struct {
+	cfg       Config
+	busyUntil []int64
+
+	// Stats.
+	Accesses  uint64
+	BytesRead uint64
+	BytesWrit uint64
+}
+
+// New builds an HBM model.
+func New(cfg Config) *HBM {
+	return &HBM{cfg: cfg, busyUntil: make([]int64, cfg.Channels)}
+}
+
+// Config returns the configuration.
+func (h *HBM) Config() Config { return h.cfg }
+
+func (h *HBM) channelOf(addr uint64) int {
+	return int((addr / uint64(h.cfg.PacketBytes)) % uint64(h.cfg.Channels))
+}
+
+// Access issues a transfer of `bytes` at addr starting no earlier than
+// startPS and returns the completion time in picoseconds. Transfers
+// larger than one packet are split into packets that walk consecutive
+// channels, so a full-width burst engages all channels in parallel.
+func (h *HBM) Access(startPS int64, addr uint64, bytes int, write bool) (donePS int64) {
+	if bytes <= 0 {
+		return startPS
+	}
+	done := startPS
+	for off := 0; off < bytes; off += h.cfg.PacketBytes {
+		sz := h.cfg.PacketBytes
+		if rem := bytes - off; rem < sz {
+			sz = rem
+		}
+		ch := h.channelOf(addr + uint64(off))
+		transferPS := int64(float64(sz) / h.cfg.BytesPerNSPerChannel * 1000)
+		begin := startPS
+		if h.busyUntil[ch] > begin {
+			begin = h.busyUntil[ch]
+		}
+		finish := begin + int64(h.cfg.LatencyNS*1000) + transferPS
+		h.busyUntil[ch] = begin + transferPS // channel occupied for the burst
+		if finish > done {
+			done = finish
+		}
+		h.Accesses++
+	}
+	if write {
+		h.BytesWrit += uint64(bytes)
+	} else {
+		h.BytesRead += uint64(bytes)
+	}
+	return done
+}
+
+// DrainPS returns the time at which all channels become idle.
+func (h *HBM) DrainPS() int64 {
+	var m int64
+	for _, b := range h.busyUntil {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Reset clears channel occupancy and statistics.
+func (h *HBM) Reset() {
+	for i := range h.busyUntil {
+		h.busyUntil[i] = 0
+	}
+	h.Accesses, h.BytesRead, h.BytesWrit = 0, 0, 0
+}
+
+// StreamTimePS returns the minimum time to move `bytes` sequential
+// bytes assuming perfect channel utilization — the bandwidth roof used
+// by the roofline model and by the interval-style baseline core model.
+func (c Config) StreamTimePS(bytes uint64) int64 {
+	ns := float64(bytes) / c.TotalBandwidthGBs()
+	return int64(ns * 1000)
+}

@@ -1,0 +1,103 @@
+package hbm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesTableIII(t *testing.T) {
+	c := Default()
+	if c.Channels != 8 {
+		t.Errorf("channels %d", c.Channels)
+	}
+	if c.BytesPerNSPerChannel != 16.0 {
+		t.Errorf("per-channel bandwidth %v", c.BytesPerNSPerChannel)
+	}
+	if c.TotalBandwidthGBs() != 128.0 {
+		t.Errorf("total bandwidth %v GB/s, want 128", c.TotalBandwidthGBs())
+	}
+	if c.ChannelCapacity != 512<<20 {
+		t.Errorf("per-channel capacity %d", c.ChannelCapacity)
+	}
+	if c.PacketBytes != 512 {
+		t.Errorf("packet size %d", c.PacketBytes)
+	}
+}
+
+func TestSinglePacketLatency(t *testing.T) {
+	h := New(Default())
+	done := h.Access(0, 0, 512, false)
+	// latency 80ns + 512B/16B-per-ns = 32ns -> 112ns = 112000ps.
+	if done != 112000 {
+		t.Fatalf("single packet completion %d ps, want 112000", done)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	h := New(Default())
+	// 8 packets spanning all 8 channels complete in single-packet time.
+	done := h.Access(0, 0, 8*512, false)
+	if done != 112000 {
+		t.Fatalf("8-channel burst: %d ps, want 112000", done)
+	}
+	// 16 packets: two per channel, transfers serialize per channel.
+	h.Reset()
+	done = h.Access(0, 0, 16*512, false)
+	if done != 112000+32000 {
+		t.Fatalf("double burst: %d ps, want %d", done, 112000+32000)
+	}
+}
+
+func TestChannelContention(t *testing.T) {
+	h := New(Default())
+	d1 := h.Access(0, 0, 512, false)
+	// Same channel, issued at time 0: must queue behind the first.
+	d2 := h.Access(0, 0, 512, false)
+	if d2 <= d1 {
+		t.Fatalf("contended access %d must finish after %d", d2, d1)
+	}
+	// A different channel is free.
+	d3 := h.Access(0, 512, 512, false)
+	if d3 != d1 {
+		t.Fatalf("independent channel should be unaffected: %d vs %d", d3, d1)
+	}
+}
+
+func TestStreamTime(t *testing.T) {
+	c := Default()
+	// 128e9 bytes at 128 GB/s = 1 s = 1e12 ps.
+	if got := c.StreamTimePS(128e9); got != 1e12 {
+		t.Fatalf("stream time %d", got)
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	h := New(Default())
+	h.Access(0, 0, 1024, false)
+	h.Access(0, 4096, 512, true)
+	if h.BytesRead != 1024 || h.BytesWrit != 512 {
+		t.Fatalf("byte stats: r=%d w=%d", h.BytesRead, h.BytesWrit)
+	}
+	if h.Accesses != 3 {
+		t.Fatalf("packet accesses: %d", h.Accesses)
+	}
+	h.Reset()
+	if h.Accesses != 0 || h.DrainPS() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+// TestCompletionMonotonicInSize checks that transferring more bytes
+// never completes earlier.
+func TestCompletionMonotonicInSize(t *testing.T) {
+	f := func(sz uint16) bool {
+		h1 := New(Default())
+		h2 := New(Default())
+		small := int(sz)%4096 + 1
+		large := small + 512
+		return h2.Access(0, 0, large, false) >= h1.Access(0, 0, small, false)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,268 @@
+package isa
+
+import "fmt"
+
+// Builder assembles Programs in Go with label-based control flow. It
+// is the programmatic twin of the textual assembler in internal/asm;
+// workloads and tests use it to write kernels the way §V-G writes
+// RISC-V vector assembly.
+type Builder struct {
+	name   string
+	insts  []Inst
+	labels map[string]int
+	fixups map[int]string
+	err    error
+}
+
+// NewBuilder starts a program.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:   name,
+		labels: make(map[string]int),
+		fixups: make(map[int]string),
+	}
+}
+
+// Label defines a branch target at the current position.
+func (b *Builder) Label(name string) *Builder {
+	if _, dup := b.labels[name]; dup && b.err == nil {
+		b.err = fmt.Errorf("isa: duplicate label %q", name)
+	}
+	b.labels[name] = len(b.insts)
+	return b
+}
+
+func (b *Builder) emit(i Inst) *Builder {
+	b.insts = append(b.insts, i)
+	return b
+}
+
+func (b *Builder) emitBranch(i Inst, label string) *Builder {
+	b.fixups[len(b.insts)] = label
+	return b.emit(i)
+}
+
+// Build resolves labels and returns the program.
+func (b *Builder) Build() (*Program, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	for pc, label := range b.fixups {
+		target, ok := b.labels[label]
+		if !ok {
+			return nil, fmt.Errorf("isa: undefined label %q at pc %d", label, pc)
+		}
+		b.insts[pc].Target = target
+	}
+	return &Program{Name: b.name, Insts: b.insts}, nil
+}
+
+// MustBuild is Build for statically-known-correct programs.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// --- scalar ALU ---
+
+func (b *Builder) Add(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpADD, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Sub(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpSUB, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Mul(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpMUL, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Div(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpDIV, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Rem(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpREM, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) And(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpAND, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Or(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpOR, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Xor(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpXOR, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Sll(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpSLL, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Slt(rd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpSLT, Rd: uint8(rd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+func (b *Builder) Addi(rd, rs1 int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpADDI, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+func (b *Builder) Andi(rd, rs1 int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpANDI, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+func (b *Builder) Slli(rd, rs1 int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpSLLI, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+func (b *Builder) Srli(rd, rs1 int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpSRLI, Rd: uint8(rd), Rs1: uint8(rs1), Imm: imm})
+}
+func (b *Builder) Li(rd int, imm int64) *Builder {
+	return b.emit(Inst{Op: OpLI, Rd: uint8(rd), Imm: imm})
+}
+func (b *Builder) Mv(rd, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpMV, Rd: uint8(rd), Rs1: uint8(rs1)})
+}
+func (b *Builder) Nop() *Builder { return b.emit(Inst{Op: OpNOP}) }
+
+// --- scalar memory ---
+
+func (b *Builder) Lw(rd int, off int64, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpLW, Rd: uint8(rd), Rs1: uint8(rs1), Imm: off})
+}
+func (b *Builder) Sw(rd int, off int64, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpSW, Rd: uint8(rd), Rs1: uint8(rs1), Imm: off})
+}
+func (b *Builder) Lbu(rd int, off int64, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpLBU, Rd: uint8(rd), Rs1: uint8(rs1), Imm: off})
+}
+func (b *Builder) Sb(rd int, off int64, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpSB, Rd: uint8(rd), Rs1: uint8(rs1), Imm: off})
+}
+
+// --- control flow ---
+
+func (b *Builder) Beq(rs1, rs2 int, label string) *Builder {
+	return b.emitBranch(Inst{Op: OpBEQ, Rs1: uint8(rs1), Rs2: uint8(rs2)}, label)
+}
+func (b *Builder) Bne(rs1, rs2 int, label string) *Builder {
+	return b.emitBranch(Inst{Op: OpBNE, Rs1: uint8(rs1), Rs2: uint8(rs2)}, label)
+}
+func (b *Builder) Blt(rs1, rs2 int, label string) *Builder {
+	return b.emitBranch(Inst{Op: OpBLT, Rs1: uint8(rs1), Rs2: uint8(rs2)}, label)
+}
+func (b *Builder) Bge(rs1, rs2 int, label string) *Builder {
+	return b.emitBranch(Inst{Op: OpBGE, Rs1: uint8(rs1), Rs2: uint8(rs2)}, label)
+}
+func (b *Builder) Bltu(rs1, rs2 int, label string) *Builder {
+	return b.emitBranch(Inst{Op: OpBLTU, Rs1: uint8(rs1), Rs2: uint8(rs2)}, label)
+}
+func (b *Builder) J(label string) *Builder {
+	return b.emitBranch(Inst{Op: OpJ}, label)
+}
+func (b *Builder) Halt() *Builder { return b.emit(Inst{Op: OpHALT}) }
+
+// --- vector configuration ---
+
+// Vsetvli selects the default 32-bit element width.
+func (b *Builder) Vsetvli(rd, rs1 int) *Builder {
+	return b.VsetvliSEW(rd, rs1, 32)
+}
+
+// VsetvliSEW selects an explicit element width (8, 16 or 32 bits).
+func (b *Builder) VsetvliSEW(rd, rs1, sew int) *Builder {
+	return b.emit(Inst{Op: OpVSETVLI, Rd: uint8(rd), Rs1: uint8(rs1), Imm: int64(sew)})
+}
+func (b *Builder) CsrwVstart(rs1 int) *Builder {
+	return b.emit(Inst{Op: OpCSRWVstart, Rs1: uint8(rs1)})
+}
+
+// --- vector memory ---
+
+func (b *Builder) Vle32(vd, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVLE32, Vd: uint8(vd), Rs1: uint8(rs1)})
+}
+func (b *Builder) Vse32(vs, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVSE32, Vd: uint8(vs), Rs1: uint8(rs1)})
+}
+func (b *Builder) Vle16(vd, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVLE16, Vd: uint8(vd), Rs1: uint8(rs1)})
+}
+func (b *Builder) Vse16(vs, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVSE16, Vd: uint8(vs), Rs1: uint8(rs1)})
+}
+func (b *Builder) Vle8(vd, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVLE8, Vd: uint8(vd), Rs1: uint8(rs1)})
+}
+func (b *Builder) Vse8(vs, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVSE8, Vd: uint8(vs), Rs1: uint8(rs1)})
+}
+func (b *Builder) Vlrw(vd, rs1, rs2 int) *Builder {
+	return b.emit(Inst{Op: OpVLRW, Vd: uint8(vd), Rs1: uint8(rs1), Rs2: uint8(rs2)})
+}
+
+// --- vector ALU ---
+
+func (b *Builder) vvv(op Opcode, vd, vs2, vs1 int) *Builder {
+	return b.emit(Inst{Op: op, Vd: uint8(vd), Vs2: uint8(vs2), Vs1: uint8(vs1)})
+}
+func (b *Builder) vvx(op Opcode, vd, vs2, rs1 int) *Builder {
+	return b.emit(Inst{Op: op, Vd: uint8(vd), Vs2: uint8(vs2), Rs1: uint8(rs1)})
+}
+
+func (b *Builder) VaddVV(vd, vs2, vs1 int) *Builder  { return b.vvv(OpVADD_VV, vd, vs2, vs1) }
+func (b *Builder) VsubVV(vd, vs2, vs1 int) *Builder  { return b.vvv(OpVSUB_VV, vd, vs2, vs1) }
+func (b *Builder) VmulVV(vd, vs2, vs1 int) *Builder  { return b.vvv(OpVMUL_VV, vd, vs2, vs1) }
+func (b *Builder) VandVV(vd, vs2, vs1 int) *Builder  { return b.vvv(OpVAND_VV, vd, vs2, vs1) }
+func (b *Builder) VorVV(vd, vs2, vs1 int) *Builder   { return b.vvv(OpVOR_VV, vd, vs2, vs1) }
+func (b *Builder) VxorVV(vd, vs2, vs1 int) *Builder  { return b.vvv(OpVXOR_VV, vd, vs2, vs1) }
+func (b *Builder) VmseqVV(vd, vs2, vs1 int) *Builder { return b.vvv(OpVMSEQ_VV, vd, vs2, vs1) }
+func (b *Builder) VmsltVV(vd, vs2, vs1 int) *Builder { return b.vvv(OpVMSLT_VV, vd, vs2, vs1) }
+func (b *Builder) VaddVX(vd, vs2, rs1 int) *Builder  { return b.vvx(OpVADD_VX, vd, vs2, rs1) }
+func (b *Builder) VsubVX(vd, vs2, rs1 int) *Builder  { return b.vvx(OpVSUB_VX, vd, vs2, rs1) }
+func (b *Builder) VmseqVX(vd, vs2, rs1 int) *Builder { return b.vvx(OpVMSEQ_VX, vd, vs2, rs1) }
+func (b *Builder) VmsltVX(vd, vs2, rs1 int) *Builder { return b.vvx(OpVMSLT_VX, vd, vs2, rs1) }
+
+// VmergeVVM emits vmerge.vvm vd, vs2, vs1, v0.
+func (b *Builder) VmergeVVM(vd, vs2, vs1 int) *Builder {
+	return b.vvv(OpVMERGE_VVM, vd, vs2, vs1)
+}
+
+// VmvVX splats rs1 into vd.
+func (b *Builder) VmvVX(vd, rs1 int) *Builder {
+	return b.emit(Inst{Op: OpVMV_VX, Vd: uint8(vd), Rs1: uint8(rs1)})
+}
+
+// VmvXS moves element 0 of vs2 into rd.
+func (b *Builder) VmvXS(rd, vs2 int) *Builder {
+	return b.emit(Inst{Op: OpVMV_XS, Rd: uint8(rd), Vs2: uint8(vs2)})
+}
+
+// VredsumVS emits vredsum.vs vd, vs2, vs1.
+func (b *Builder) VredsumVS(vd, vs2, vs1 int) *Builder {
+	return b.vvv(OpVREDSUM_VS, vd, vs2, vs1)
+}
+
+// VcpopM counts set mask elements of vs2 into rd.
+func (b *Builder) VcpopM(rd, vs2 int) *Builder {
+	return b.emit(Inst{Op: OpVCPOP_M, Rd: uint8(rd), Vs2: uint8(vs2)})
+}
+
+// VfirstM finds the first set mask element of vs2 into rd (-1 if none).
+func (b *Builder) VfirstM(rd, vs2 int) *Builder {
+	return b.emit(Inst{Op: OpVFIRST_M, Rd: uint8(rd), Vs2: uint8(vs2)})
+}
+
+// --- extended subset ---
+
+func (b *Builder) VmsneVV(vd, vs2, vs1 int) *Builder { return b.vvv(OpVMSNE_VV, vd, vs2, vs1) }
+func (b *Builder) VmsneVX(vd, vs2, rs1 int) *Builder { return b.vvx(OpVMSNE_VX, vd, vs2, rs1) }
+func (b *Builder) VmaxVV(vd, vs2, vs1 int) *Builder  { return b.vvv(OpVMAX_VV, vd, vs2, vs1) }
+func (b *Builder) VminVV(vd, vs2, vs1 int) *Builder  { return b.vvv(OpVMIN_VV, vd, vs2, vs1) }
+func (b *Builder) VrsubVX(vd, vs2, rs1 int) *Builder { return b.vvx(OpVRSUB_VX, vd, vs2, rs1) }
+
+// VmvVV copies register vs2 into vd.
+func (b *Builder) VmvVV(vd, vs2 int) *Builder {
+	return b.emit(Inst{Op: OpVMV_VV, Vd: uint8(vd), Vs2: uint8(vs2)})
+}
+
+// VsllVI / VsrlVI shift every element by the immediate (0..31).
+func (b *Builder) VsllVI(vd, vs2 int, k int64) *Builder {
+	return b.emit(Inst{Op: OpVSLL_VI, Vd: uint8(vd), Vs2: uint8(vs2), Imm: k})
+}
+func (b *Builder) VsrlVI(vd, vs2 int, k int64) *Builder {
+	return b.emit(Inst{Op: OpVSRL_VI, Vd: uint8(vd), Vs2: uint8(vs2), Imm: k})
+}

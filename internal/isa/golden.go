@@ -1,0 +1,191 @@
+package isa
+
+// Golden reference semantics for the vector subset, operating on plain
+// Go slices. These definitions serve three purposes: they are the
+// specification the bit-level CSB microcode is differentially tested
+// against, they implement the fast functional backend used for
+// system-scale simulations, and they document the architectural
+// behaviour (active window, tail-undisturbed policy, mask layout).
+//
+// Masks: this model stores mask registers one element per lane with
+// value 0 or 1 (rather than RVV's packed-bit layout). The CSB stores a
+// mask as the bit-0 slice of a vector register, which is exactly this
+// shape; see DESIGN.md for the deviation note.
+
+// Window is the active element window of a vector instruction,
+// [Start, VL) in element indices (paper §V-F), together with the
+// selected element width. SEW == 0 means the default 32 bits; 8 and 16
+// select the narrow-element modes the paper's §V-A describes
+// ("element types smaller than 32 bits … by configuring the microcode
+// to handle sequences under 32 bits").
+type Window struct {
+	Start int
+	VL    int
+	SEW   int
+}
+
+// Bits returns the effective element width.
+func (w Window) Bits() int {
+	if w.SEW == 0 {
+		return 32
+	}
+	return w.SEW
+}
+
+// Mask returns the value mask of the effective element width.
+func (w Window) Mask() uint32 {
+	if b := w.Bits(); b < 32 {
+		return 1<<uint(b) - 1
+	}
+	return 0xFFFFFFFF
+}
+
+// signExtend interprets v as a Bits()-wide signed value.
+func (w Window) signExtend(v uint32) int32 {
+	b := uint(w.Bits())
+	return int32(v<<(32-b)) >> (32 - b)
+}
+
+// Lanes iterates over the active lanes, calling fn for each.
+func (w Window) Lanes(fn func(i int)) {
+	for i := w.Start; i < w.VL; i++ {
+		fn(i)
+	}
+}
+
+// Len returns the number of active lanes.
+func (w Window) Len() int {
+	if w.VL <= w.Start {
+		return 0
+	}
+	return w.VL - w.Start
+}
+
+// GoldenVV applies the element-wise semantics of a .vv opcode.
+// Destination elements outside the window are left undisturbed.
+func GoldenVV(op Opcode, vd, vs2, vs1 []uint32, w Window) {
+	w.Lanes(func(i int) {
+		vd[i] = goldenElem(op, vs2[i], vs1[i], w)
+	})
+}
+
+// GoldenVX applies the element-wise semantics of a .vx opcode with
+// scalar operand x (truncated to the element width, as RVV does).
+func GoldenVX(op Opcode, vd, vs2 []uint32, x uint32, w Window) {
+	x &= w.Mask()
+	w.Lanes(func(i int) {
+		vd[i] = goldenElem(op, vs2[i], x, w)
+	})
+}
+
+func goldenElem(op Opcode, a, b uint32, w Window) uint32 {
+	mask := w.Mask()
+	switch op {
+	case OpVADD_VV, OpVADD_VX:
+		return (a + b) & mask
+	case OpVSUB_VV, OpVSUB_VX:
+		return (a - b) & mask
+	case OpVMUL_VV:
+		return (a * b) & mask
+	case OpVAND_VV:
+		return a & b
+	case OpVOR_VV:
+		return a | b
+	case OpVXOR_VV:
+		return a ^ b
+	case OpVMSEQ_VV, OpVMSEQ_VX:
+		if a == b {
+			return 1
+		}
+		return 0
+	case OpVMSLT_VV, OpVMSLT_VX:
+		if w.signExtend(a) < w.signExtend(b) {
+			return 1
+		}
+		return 0
+	case OpVMSNE_VV, OpVMSNE_VX:
+		if a != b {
+			return 1
+		}
+		return 0
+	case OpVMAX_VV:
+		if w.signExtend(a) >= w.signExtend(b) {
+			return a
+		}
+		return b
+	case OpVMIN_VV:
+		if w.signExtend(a) < w.signExtend(b) {
+			return a
+		}
+		return b
+	case OpVRSUB_VX:
+		return (b - a) & mask
+	}
+	panic("isa: opcode " + op.String() + " has no element-wise golden semantics")
+}
+
+// GoldenCopy implements vmv.v.v.
+func GoldenCopy(vd, vs2 []uint32, w Window) {
+	w.Lanes(func(i int) { vd[i] = vs2[i] })
+}
+
+// GoldenShift implements vsll.vi / vsrl.vi with shift amount k, modulo
+// the element width.
+func GoldenShift(op Opcode, vd, vs2 []uint32, k uint, w Window) {
+	b := uint(w.Bits())
+	k %= b
+	w.Lanes(func(i int) {
+		if op == OpVSLL_VI {
+			vd[i] = (vs2[i] << k) & w.Mask()
+		} else {
+			vd[i] = vs2[i] >> k
+		}
+	})
+}
+
+// GoldenMerge implements vmerge.vvm: vd[i] = mask[i]!=0 ? vs1[i] : vs2[i].
+func GoldenMerge(vd, vs2, vs1, mask []uint32, w Window) {
+	w.Lanes(func(i int) {
+		if mask[i]&1 != 0 {
+			vd[i] = vs1[i]
+		} else {
+			vd[i] = vs2[i]
+		}
+	})
+}
+
+// GoldenSplat implements vmv.v.x.
+func GoldenSplat(vd []uint32, x uint32, w Window) {
+	x &= w.Mask()
+	w.Lanes(func(i int) { vd[i] = x })
+}
+
+// GoldenRedsum implements vredsum.vs: the scalar sum of the active
+// elements of vs2 plus element 0 of vs1, modulo the element width.
+func GoldenRedsum(vs2, vs1 []uint32, w Window) uint32 {
+	sum := vs1[0]
+	w.Lanes(func(i int) { sum += vs2[i] })
+	return sum & w.Mask()
+}
+
+// GoldenCpop implements vcpop.m over the unpacked mask layout.
+func GoldenCpop(vs2 []uint32, w Window) int64 {
+	var n int64
+	w.Lanes(func(i int) {
+		if vs2[i]&1 != 0 {
+			n++
+		}
+	})
+	return n
+}
+
+// GoldenFirst implements vfirst.m: the lowest active index holding a
+// set mask element, or -1.
+func GoldenFirst(vs2 []uint32, w Window) int64 {
+	for i := w.Start; i < w.VL; i++ {
+		if vs2[i]&1 != 0 {
+			return int64(i)
+		}
+	}
+	return -1
+}

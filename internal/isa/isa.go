@@ -1,0 +1,356 @@
+// Package isa defines the RISC-V subset CAPE is programmed with
+// (paper §V-A): the RV64 scalar instructions the Control Processor
+// executes locally, plus the standard-vector-extension subset that is
+// offloaded to the Compute-Storage Block, and the CAPE-specific replica
+// vector load (paper §V-G).
+//
+// Programs are represented as decoded instruction slices rather than
+// machine encodings; the textual assembler in internal/asm maps
+// standard mnemonics onto this representation.
+package isa
+
+import "fmt"
+
+// NumXRegs and NumVRegs are the architectural register counts.
+const (
+	NumXRegs = 32
+	NumVRegs = 32
+)
+
+// Opcode enumerates the supported instructions.
+type Opcode uint8
+
+const (
+	OpInvalid Opcode = iota
+
+	// Scalar ALU (register-register).
+	OpADD
+	OpSUB
+	OpMUL
+	OpDIV
+	OpREM
+	OpAND
+	OpOR
+	OpXOR
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLT
+	OpSLTU
+
+	// Scalar ALU (register-immediate).
+	OpADDI
+	OpANDI
+	OpORI
+	OpXORI
+	OpSLLI
+	OpSRLI
+	OpSRAI
+	OpSLTI
+	OpLI // pseudo: load immediate
+	OpMV // pseudo: register move
+
+	// Scalar memory.
+	OpLW
+	OpSW
+	OpLBU
+	OpSB
+
+	// Control flow.
+	OpBEQ
+	OpBNE
+	OpBLT
+	OpBGE
+	OpBLTU
+	OpBGEU
+	OpJ
+	OpNOP
+	OpHALT
+
+	// Vector configuration.
+	OpVSETVLI // vsetvli rd, rs1, e32 : vl = min(rs1, MAXVL); rd = vl
+	OpCSRWVstart
+	OpCSRRVl
+
+	// Vector memory (handled by the VMU).
+	OpVLE32 // vle32.v  vd, (rs1)        : unit-stride load
+	OpVSE32 // vse32.v  vs, (rs1)        : unit-stride store
+	OpVLE16 // vle16.v  vd, (rs1)        : 16-bit elements
+	OpVSE16 // vse16.v  vs, (rs1)
+	OpVLE8  // vle8.v   vd, (rs1)        : 8-bit elements
+	OpVSE8  // vse8.v   vs, (rs1)
+	OpVLRW  // vlrw.v   vd, rs1, rs2     : replica vector load (§V-G)
+
+	// Vector arithmetic/logic (handled by the VCU + CSB).
+	OpVADD_VV
+	OpVADD_VX
+	OpVSUB_VV
+	OpVSUB_VX
+	OpVMUL_VV
+	OpVAND_VV
+	OpVOR_VV
+	OpVXOR_VV
+	OpVMSEQ_VV
+	OpVMSEQ_VX
+	OpVMSLT_VV
+	OpVMSLT_VX
+	OpVMERGE_VVM // vmerge.vvm vd, vs2, vs1, v0 : vd[i] = mask ? vs1[i] : vs2[i]
+	OpVMV_VX     // vmv.v.x vd, rs1 : splat
+	OpVMV_XS     // vmv.x.s rd, vs2 : element 0 -> scalar
+	OpVREDSUM_VS // vredsum.vs vd, vs2, vs1 : vd[0] = vs1[0] + sum(vs2)
+	OpVCPOP_M    // vcpop.m rd, vs2 : population count of mask register
+	OpVFIRST_M   // vfirst.m rd, vs2 : index of first set mask element, or -1
+
+	// Extended subset beyond the paper's Table I (same associative
+	// building blocks; see DESIGN.md).
+	OpVMSNE_VV
+	OpVMSNE_VX
+	OpVMAX_VV // signed max
+	OpVMIN_VV // signed min
+	OpVRSUB_VX
+	OpVMV_VV  // vmv.v.v vd, vs2 : register copy (3-cycle bit-parallel)
+	OpVSLL_VI // vsll.vi vd, vs2, k : shift left by immediate
+	OpVSRL_VI // vsrl.vi vd, vs2, k : logical shift right by immediate
+
+	opLast
+)
+
+// Class partitions opcodes by which unit executes them.
+type Class uint8
+
+const (
+	ClassScalarALU Class = iota
+	ClassScalarMem
+	ClassBranch
+	ClassVectorCfg
+	ClassVectorMem
+	ClassVectorALU
+	ClassVectorRed // reductions / mask collapses that return to scalar side
+	ClassSystem
+)
+
+// Format describes operand shapes for assembly parsing and printing.
+type Format uint8
+
+const (
+	FmtRRR     Format = iota // op rd, rs1, rs2
+	FmtRRI                   // op rd, rs1, imm
+	FmtRI                    // op rd, imm
+	FmtRR                    // op rd, rs1
+	FmtMem                   // op rd, imm(rs1)
+	FmtBranch                // op rs1, rs2, label
+	FmtJump                  // op label
+	FmtNone                  // op
+	FmtVVV                   // op vd, vs2, vs1
+	FmtVVX                   // op vd, vs2, rs1
+	FmtVX                    // op vd, rs1
+	FmtXV                    // op rd, vs2
+	FmtVMem                  // op vd, (rs1)
+	FmtVLRW                  // op vd, rs1, rs2
+	FmtVMerge                // op vd, vs2, vs1, v0
+	FmtVsetvli               // op rd, rs1, e32
+	FmtR                     // op rs1
+	FmtVVCopy                // op vd, vs2
+	FmtVVI                   // op vd, vs2, imm
+)
+
+// Info is static metadata about one opcode.
+type Info struct {
+	Name   string
+	Class  Class
+	Format Format
+}
+
+var infos = [opLast]Info{
+	OpADD:  {"add", ClassScalarALU, FmtRRR},
+	OpSUB:  {"sub", ClassScalarALU, FmtRRR},
+	OpMUL:  {"mul", ClassScalarALU, FmtRRR},
+	OpDIV:  {"div", ClassScalarALU, FmtRRR},
+	OpREM:  {"rem", ClassScalarALU, FmtRRR},
+	OpAND:  {"and", ClassScalarALU, FmtRRR},
+	OpOR:   {"or", ClassScalarALU, FmtRRR},
+	OpXOR:  {"xor", ClassScalarALU, FmtRRR},
+	OpSLL:  {"sll", ClassScalarALU, FmtRRR},
+	OpSRL:  {"srl", ClassScalarALU, FmtRRR},
+	OpSRA:  {"sra", ClassScalarALU, FmtRRR},
+	OpSLT:  {"slt", ClassScalarALU, FmtRRR},
+	OpSLTU: {"sltu", ClassScalarALU, FmtRRR},
+
+	OpADDI: {"addi", ClassScalarALU, FmtRRI},
+	OpANDI: {"andi", ClassScalarALU, FmtRRI},
+	OpORI:  {"ori", ClassScalarALU, FmtRRI},
+	OpXORI: {"xori", ClassScalarALU, FmtRRI},
+	OpSLLI: {"slli", ClassScalarALU, FmtRRI},
+	OpSRLI: {"srli", ClassScalarALU, FmtRRI},
+	OpSRAI: {"srai", ClassScalarALU, FmtRRI},
+	OpSLTI: {"slti", ClassScalarALU, FmtRRI},
+	OpLI:   {"li", ClassScalarALU, FmtRI},
+	OpMV:   {"mv", ClassScalarALU, FmtRR},
+
+	OpLW:  {"lw", ClassScalarMem, FmtMem},
+	OpSW:  {"sw", ClassScalarMem, FmtMem},
+	OpLBU: {"lbu", ClassScalarMem, FmtMem},
+	OpSB:  {"sb", ClassScalarMem, FmtMem},
+
+	OpBEQ:  {"beq", ClassBranch, FmtBranch},
+	OpBNE:  {"bne", ClassBranch, FmtBranch},
+	OpBLT:  {"blt", ClassBranch, FmtBranch},
+	OpBGE:  {"bge", ClassBranch, FmtBranch},
+	OpBLTU: {"bltu", ClassBranch, FmtBranch},
+	OpBGEU: {"bgeu", ClassBranch, FmtBranch},
+	OpJ:    {"j", ClassBranch, FmtJump},
+	OpNOP:  {"nop", ClassScalarALU, FmtNone},
+	OpHALT: {"halt", ClassSystem, FmtNone},
+
+	OpVSETVLI:    {"vsetvli", ClassVectorCfg, FmtVsetvli},
+	OpCSRWVstart: {"csrw.vstart", ClassVectorCfg, FmtR},
+	OpCSRRVl:     {"csrr.vl", ClassVectorCfg, FmtR},
+
+	OpVLE32: {"vle32.v", ClassVectorMem, FmtVMem},
+	OpVSE32: {"vse32.v", ClassVectorMem, FmtVMem},
+	OpVLE16: {"vle16.v", ClassVectorMem, FmtVMem},
+	OpVSE16: {"vse16.v", ClassVectorMem, FmtVMem},
+	OpVLE8:  {"vle8.v", ClassVectorMem, FmtVMem},
+	OpVSE8:  {"vse8.v", ClassVectorMem, FmtVMem},
+	OpVLRW:  {"vlrw.v", ClassVectorMem, FmtVLRW},
+
+	OpVADD_VV:    {"vadd.vv", ClassVectorALU, FmtVVV},
+	OpVADD_VX:    {"vadd.vx", ClassVectorALU, FmtVVX},
+	OpVSUB_VV:    {"vsub.vv", ClassVectorALU, FmtVVV},
+	OpVSUB_VX:    {"vsub.vx", ClassVectorALU, FmtVVX},
+	OpVMUL_VV:    {"vmul.vv", ClassVectorALU, FmtVVV},
+	OpVAND_VV:    {"vand.vv", ClassVectorALU, FmtVVV},
+	OpVOR_VV:     {"vor.vv", ClassVectorALU, FmtVVV},
+	OpVXOR_VV:    {"vxor.vv", ClassVectorALU, FmtVVV},
+	OpVMSEQ_VV:   {"vmseq.vv", ClassVectorALU, FmtVVV},
+	OpVMSEQ_VX:   {"vmseq.vx", ClassVectorALU, FmtVVX},
+	OpVMSLT_VV:   {"vmslt.vv", ClassVectorALU, FmtVVV},
+	OpVMSLT_VX:   {"vmslt.vx", ClassVectorALU, FmtVVX},
+	OpVMERGE_VVM: {"vmerge.vvm", ClassVectorALU, FmtVMerge},
+	OpVMV_VX:     {"vmv.v.x", ClassVectorALU, FmtVX},
+	OpVMV_XS:     {"vmv.x.s", ClassVectorRed, FmtXV},
+	OpVREDSUM_VS: {"vredsum.vs", ClassVectorRed, FmtVVV},
+	OpVCPOP_M:    {"vcpop.m", ClassVectorRed, FmtXV},
+	OpVFIRST_M:   {"vfirst.m", ClassVectorRed, FmtXV},
+
+	OpVMSNE_VV: {"vmsne.vv", ClassVectorALU, FmtVVV},
+	OpVMSNE_VX: {"vmsne.vx", ClassVectorALU, FmtVVX},
+	OpVMAX_VV:  {"vmax.vv", ClassVectorALU, FmtVVV},
+	OpVMIN_VV:  {"vmin.vv", ClassVectorALU, FmtVVV},
+	OpVRSUB_VX: {"vrsub.vx", ClassVectorALU, FmtVVX},
+	OpVMV_VV:   {"vmv.v.v", ClassVectorALU, FmtVVCopy},
+	OpVSLL_VI:  {"vsll.vi", ClassVectorALU, FmtVVI},
+	OpVSRL_VI:  {"vsrl.vi", ClassVectorALU, FmtVVI},
+}
+
+// Lookup returns metadata for op.
+func (op Opcode) Info() Info {
+	if op <= OpInvalid || op >= opLast {
+		return Info{Name: fmt.Sprintf("op(%d)", op)}
+	}
+	return infos[op]
+}
+
+// String returns the standard mnemonic.
+func (op Opcode) String() string { return op.Info().Name }
+
+// Class returns the execution class of op.
+func (op Opcode) Class() Class { return op.Info().Class }
+
+// IsVector reports whether op is offloaded to the VCU/VMU.
+func (op Opcode) IsVector() bool {
+	switch op.Class() {
+	case ClassVectorALU, ClassVectorMem, ClassVectorRed:
+		return true
+	}
+	return false
+}
+
+// byName maps mnemonics back to opcodes for the assembler.
+var byName = func() map[string]Opcode {
+	m := make(map[string]Opcode, int(opLast))
+	for op := OpInvalid + 1; op < opLast; op++ {
+		m[infos[op].Name] = op
+	}
+	return m
+}()
+
+// OpcodeByName resolves a mnemonic; ok is false for unknown names.
+func OpcodeByName(name string) (Opcode, bool) {
+	op, ok := byName[name]
+	return op, ok
+}
+
+// Inst is one decoded instruction. Register fields are indices into the
+// scalar (Rd/Rs1/Rs2) or vector (Vd/Vs1/Vs2) register files, with
+// usage determined by the opcode's Format.
+type Inst struct {
+	Op  Opcode
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Vd  uint8
+	Vs1 uint8
+	Vs2 uint8
+	Imm int64
+	// Target is the branch/jump destination as an instruction index in
+	// the program (resolved from labels by the assembler or builder).
+	Target int
+}
+
+func (i Inst) String() string {
+	info := i.Op.Info()
+	switch info.Format {
+	case FmtRRR:
+		return fmt.Sprintf("%s x%d, x%d, x%d", info.Name, i.Rd, i.Rs1, i.Rs2)
+	case FmtRRI:
+		return fmt.Sprintf("%s x%d, x%d, %d", info.Name, i.Rd, i.Rs1, i.Imm)
+	case FmtRI:
+		return fmt.Sprintf("%s x%d, %d", info.Name, i.Rd, i.Imm)
+	case FmtRR:
+		return fmt.Sprintf("%s x%d, x%d", info.Name, i.Rd, i.Rs1)
+	case FmtMem:
+		return fmt.Sprintf("%s x%d, %d(x%d)", info.Name, i.Rd, i.Imm, i.Rs1)
+	case FmtBranch:
+		return fmt.Sprintf("%s x%d, x%d, @%d", info.Name, i.Rs1, i.Rs2, i.Target)
+	case FmtJump:
+		return fmt.Sprintf("%s @%d", info.Name, i.Target)
+	case FmtVVV:
+		return fmt.Sprintf("%s v%d, v%d, v%d", info.Name, i.Vd, i.Vs2, i.Vs1)
+	case FmtVVX:
+		return fmt.Sprintf("%s v%d, v%d, x%d", info.Name, i.Vd, i.Vs2, i.Rs1)
+	case FmtVX:
+		return fmt.Sprintf("%s v%d, x%d", info.Name, i.Vd, i.Rs1)
+	case FmtXV:
+		return fmt.Sprintf("%s x%d, v%d", info.Name, i.Rd, i.Vs2)
+	case FmtVMem:
+		return fmt.Sprintf("%s v%d, (x%d)", info.Name, i.Vd, i.Rs1)
+	case FmtVLRW:
+		return fmt.Sprintf("%s v%d, x%d, x%d", info.Name, i.Vd, i.Rs1, i.Rs2)
+	case FmtVMerge:
+		return fmt.Sprintf("%s v%d, v%d, v%d, v0", info.Name, i.Vd, i.Vs2, i.Vs1)
+	case FmtVsetvli:
+		sew := i.Imm
+		if sew == 0 {
+			sew = 32
+		}
+		return fmt.Sprintf("%s x%d, x%d, e%d", info.Name, i.Rd, i.Rs1, sew)
+	case FmtR:
+		return fmt.Sprintf("%s x%d", info.Name, i.Rs1)
+	case FmtVVCopy:
+		return fmt.Sprintf("%s v%d, v%d", info.Name, i.Vd, i.Vs2)
+	case FmtVVI:
+		return fmt.Sprintf("%s v%d, v%d, %d", info.Name, i.Vd, i.Vs2, i.Imm)
+	case FmtNone:
+		return info.Name
+	}
+	return info.Name
+}
+
+// Program is a flat instruction sequence. Instruction indices serve as
+// program counters; branch targets are pre-resolved indices.
+type Program struct {
+	Insts []Inst
+	// Name is used in diagnostics and reports.
+	Name string
+}

@@ -1,0 +1,156 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOpcodeMetadataComplete(t *testing.T) {
+	for op := OpInvalid + 1; op < opLast; op++ {
+		info := op.Info()
+		if info.Name == "" {
+			t.Errorf("opcode %d has no metadata", op)
+		}
+		if strings.Contains(info.Name, "(") {
+			t.Errorf("opcode %d fell through to placeholder name %q", op, info.Name)
+		}
+	}
+}
+
+func TestOpcodeByNameRoundTrip(t *testing.T) {
+	for op := OpInvalid + 1; op < opLast; op++ {
+		got, ok := OpcodeByName(op.Info().Name)
+		if !ok || got != op {
+			t.Errorf("round trip failed for %q: got %v ok=%v", op.Info().Name, got, ok)
+		}
+	}
+	if _, ok := OpcodeByName("vfmadd.vv"); ok {
+		t.Error("unknown mnemonic resolved")
+	}
+}
+
+func TestIsVector(t *testing.T) {
+	vector := []Opcode{OpVADD_VV, OpVLE32, OpVSE32, OpVLRW, OpVREDSUM_VS, OpVCPOP_M, OpVMV_XS}
+	for _, op := range vector {
+		if !op.IsVector() {
+			t.Errorf("%v should be vector", op)
+		}
+	}
+	scalar := []Opcode{OpADD, OpLW, OpBEQ, OpHALT, OpVSETVLI, OpLI}
+	for _, op := range scalar {
+		if op.IsVector() {
+			t.Errorf("%v should not be offloaded as vector work", op)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: OpADD, Rd: 1, Rs1: 2, Rs2: 3}, "add x1, x2, x3"},
+		{Inst{Op: OpADDI, Rd: 1, Rs1: 2, Imm: -4}, "addi x1, x2, -4"},
+		{Inst{Op: OpLW, Rd: 5, Rs1: 6, Imm: 8}, "lw x5, 8(x6)"},
+		{Inst{Op: OpBNE, Rs1: 1, Rs2: 0, Target: 7}, "bne x1, x0, @7"},
+		{Inst{Op: OpVADD_VV, Vd: 1, Vs2: 2, Vs1: 3}, "vadd.vv v1, v2, v3"},
+		{Inst{Op: OpVMSEQ_VX, Vd: 4, Vs2: 5, Rs1: 6}, "vmseq.vx v4, v5, x6"},
+		{Inst{Op: OpVMERGE_VVM, Vd: 1, Vs2: 2, Vs1: 3}, "vmerge.vvm v1, v2, v3, v0"},
+		{Inst{Op: OpVSETVLI, Rd: 1, Rs1: 2}, "vsetvli x1, x2, e32"},
+		{Inst{Op: OpVLE32, Vd: 3, Rs1: 10}, "vle32.v v3, (x10)"},
+		{Inst{Op: OpVLRW, Vd: 3, Rs1: 10, Rs2: 11}, "vlrw.v v3, x10, x11"},
+		{Inst{Op: OpHALT}, "halt"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String: got %q want %q", got, tc.want)
+		}
+	}
+}
+
+func TestGoldenElementwise(t *testing.T) {
+	a := []uint32{1, 2, 0xFFFFFFFF, 100}
+	b := []uint32{5, 2, 1, 0xFFFFFF9C} // 0xFFFFFF9C = -100
+	w := Window{Start: 0, VL: 4}
+
+	check := func(op Opcode, want []uint32) {
+		t.Helper()
+		vd := make([]uint32, 4)
+		GoldenVV(op, vd, a, b, w)
+		for i := range want {
+			if vd[i] != want[i] {
+				t.Errorf("%v lane %d: got %#x want %#x", op, i, vd[i], want[i])
+			}
+		}
+	}
+	check(OpVADD_VV, []uint32{6, 4, 0, 0})
+	check(OpVSUB_VV, []uint32{0xFFFFFFFC, 0, 0xFFFFFFFE, 200})
+	check(OpVMUL_VV, []uint32{5, 4, 0xFFFFFFFF, 100 * 0xFFFFFF9C & 0xFFFFFFFF})
+	check(OpVAND_VV, []uint32{1, 2, 1, 100 & 0xFFFFFF9C})
+	check(OpVOR_VV, []uint32{5, 2, 0xFFFFFFFF, 100 | 0xFFFFFF9C})
+	check(OpVXOR_VV, []uint32{4, 0, 0xFFFFFFFE, 100 ^ 0xFFFFFF9C})
+	check(OpVMSEQ_VV, []uint32{0, 1, 0, 0})
+	// signed compares: 1 < 5 yes; 2<2 no; -1 < 1 yes; 100 < -100 no.
+	check(OpVMSLT_VV, []uint32{1, 0, 1, 0})
+}
+
+func TestGoldenWindowTailUndisturbed(t *testing.T) {
+	vd := []uint32{9, 9, 9, 9, 9, 9}
+	a := []uint32{1, 1, 1, 1, 1, 1}
+	b := []uint32{2, 2, 2, 2, 2, 2}
+	GoldenVV(OpVADD_VV, vd, a, b, Window{Start: 1, VL: 4})
+	want := []uint32{9, 3, 3, 3, 9, 9}
+	for i := range want {
+		if vd[i] != want[i] {
+			t.Fatalf("lane %d: got %d want %d", i, vd[i], want[i])
+		}
+	}
+}
+
+func TestGoldenMergeSplat(t *testing.T) {
+	vd := make([]uint32, 4)
+	GoldenMerge(vd, []uint32{10, 20, 30, 40}, []uint32{1, 2, 3, 4},
+		[]uint32{0, 1, 0, 1}, Window{VL: 4})
+	want := []uint32{10, 2, 30, 4}
+	for i := range want {
+		if vd[i] != want[i] {
+			t.Fatalf("merge lane %d: got %d want %d", i, vd[i], want[i])
+		}
+	}
+	GoldenSplat(vd, 7, Window{Start: 1, VL: 3})
+	if vd[0] != 10 || vd[1] != 7 || vd[2] != 7 || vd[3] != 4 {
+		t.Fatalf("splat: %v", vd)
+	}
+}
+
+func TestGoldenReductions(t *testing.T) {
+	v := []uint32{1, 2, 3, 4, 5}
+	if got := GoldenRedsum(v, []uint32{100}, Window{VL: 5}); got != 115 {
+		t.Fatalf("redsum: got %d", got)
+	}
+	if got := GoldenRedsum(v, []uint32{0}, Window{Start: 2, VL: 4}); got != 7 {
+		t.Fatalf("windowed redsum: got %d", got)
+	}
+	m := []uint32{1, 0, 1, 1, 0}
+	if got := GoldenCpop(m, Window{VL: 5}); got != 3 {
+		t.Fatalf("cpop: got %d", got)
+	}
+	if got := GoldenFirst(m, Window{Start: 1, VL: 5}); got != 2 {
+		t.Fatalf("first: got %d", got)
+	}
+	if got := GoldenFirst([]uint32{0, 0}, Window{VL: 2}); got != -1 {
+		t.Fatalf("first empty: got %d", got)
+	}
+}
+
+func TestWindowLen(t *testing.T) {
+	if (Window{Start: 3, VL: 3}).Len() != 0 {
+		t.Error("empty window should have zero length")
+	}
+	if (Window{Start: 5, VL: 2}).Len() != 0 {
+		t.Error("inverted window should clamp to zero")
+	}
+	if (Window{Start: 2, VL: 10}).Len() != 8 {
+		t.Error("window length wrong")
+	}
+}

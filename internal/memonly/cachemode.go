@@ -1,0 +1,67 @@
+package memonly
+
+import (
+	"cape/internal/cache"
+	"cape/internal/csb"
+)
+
+// CacheMode is the third §VII use: the CSB working "as a shared victim
+// cache of the L2 caches". An L2-like level is augmented with a
+// CSB-backed victim buffer: lines displaced from the L2 are parked in
+// the CSB row-wise; on an L2 miss the controller probes the victim
+// store concurrently with the next-level access ("an L2 cache
+// controller sends a message to the CAPE tile to check if the block is
+// present in the victim cache CAPE is emulating").
+type CacheMode struct {
+	l2     *cache.Level
+	victim *VictimCache
+	// Latencies in cycles.
+	l2Lat, victimLat, memLat int
+
+	// Stats.
+	L2Hits      uint64
+	VictimHits  uint64
+	MemAccesses uint64
+}
+
+// NewCacheMode builds the demo pair: an L2 of the given configuration
+// over a CSB victim store.
+func NewCacheMode(l2cfg cache.Config, c *csb.CSB) *CacheMode {
+	return &CacheMode{
+		l2:        cache.NewLevel(l2cfg),
+		victim:    NewVictimCache(c),
+		l2Lat:     l2cfg.LatencyCycles,
+		victimLat: 25, // a few CSB microinstructions + transfer (§VII)
+		memLat:    300,
+	}
+}
+
+// Access returns the latency of one L2-side access.
+func (cm *CacheMode) Access(addr uint64, write bool) int {
+	if cm.l2.Lookup(addr, write) {
+		cm.L2Hits++
+		return cm.l2Lat
+	}
+	lat := cm.l2Lat
+	// Victim probe runs concurrently with the memory access; a hit
+	// cancels it.
+	lineAddr := addr &^ uint64(LineBytes-1)
+	if _, ok := cm.victim.Lookup(lineAddr); ok {
+		cm.VictimHits++
+		lat += cm.victimLat
+	} else {
+		cm.MemAccesses++
+		lat += cm.memLat
+	}
+	if v, had, _ := cm.l2.FillReturningVictim(addr, write); had {
+		// Park the displaced line in the CSB. The data payload is the
+		// line's contents; the demo stores a synthesized pattern since
+		// the timing model owns no memory image.
+		line := make([]uint32, LineBytes/4)
+		for i := range line {
+			line[i] = uint32(v) + uint32(i)
+		}
+		cm.victim.Insert(v&^uint64(LineBytes-1), line)
+	}
+	return lat
+}

@@ -1,0 +1,283 @@
+// Package memonly implements the paper's §VII: reconfiguring CAPE's
+// CSB as storage rather than compute — a scratchpad, a content-
+// addressed key-value store, and a victim cache. These modes use the
+// same chains as the compute mode; what changes is the data layout
+// (row-wise instead of bit-sliced where noted) and the VMU/VCU role.
+package memonly
+
+import (
+	"fmt"
+	"math/bits"
+
+	"cape/internal/chain"
+	"cape/internal/csb"
+	"cape/internal/sram"
+)
+
+// --- Scratchpad -----------------------------------------------------
+
+// Scratchpad maps a flat word address space onto the CSB row-wise:
+// word w lives at chain w/(32*32), subarray (w/32)%32, row w%32...
+// column selection uses Jeloka et al.'s one-cycle row read / two-cycle
+// row write, so the scratchpad behaves like ordinary SRAM reachable
+// through the VMU (paper: "all is needed is for the VMU to be able to
+// take in memory requests from remote nodes").
+type Scratchpad struct {
+	csb *csb.CSB
+	// Stats in CSB cycles: reads cost 1, writes 2 (Jeloka row ops).
+	Cycles uint64
+}
+
+// NewScratchpad wraps a CSB as a scratchpad.
+func NewScratchpad(c *csb.CSB) *Scratchpad {
+	return &Scratchpad{csb: c}
+}
+
+// Words returns the capacity in 32-bit words.
+func (s *Scratchpad) Words() int {
+	return s.csb.NumChains() * chain.SubPerChain * sram.DataRows
+}
+
+// Bytes returns the capacity in bytes.
+func (s *Scratchpad) Bytes() int { return s.Words() * 4 }
+
+func (s *Scratchpad) locate(wordAddr int) (ch, sub, row int) {
+	if wordAddr < 0 || wordAddr >= s.Words() {
+		panic(fmt.Sprintf("memonly: scratchpad word %d out of range [0,%d)", wordAddr, s.Words()))
+	}
+	row = wordAddr % sram.DataRows
+	sub = (wordAddr / sram.DataRows) % chain.SubPerChain
+	ch = wordAddr / (sram.DataRows * chain.SubPerChain)
+	return
+}
+
+// Read32 reads one word (one-cycle row read).
+func (s *Scratchpad) Read32(wordAddr int) uint32 {
+	ch, sub, row := s.locate(wordAddr)
+	s.Cycles++
+	return s.csb.Chain(ch).ReadRowWise(sub, row)
+}
+
+// Write32 writes one word (two-cycle row write).
+func (s *Scratchpad) Write32(wordAddr int, v uint32) {
+	ch, sub, row := s.locate(wordAddr)
+	s.Cycles += 2
+	s.csb.Chain(ch).WriteRowWise(sub, row, v)
+}
+
+// --- Key-value store ------------------------------------------------
+
+// KVStore is the content-addressed key-value mode: 32-bit keys and
+// values are bit-sliced like compute operands, with register rows
+// paired as (key, value) slots — 16 pairs per column, 512 pairs per
+// chain (paper: "a chain can store 16 × 32 = 512 key-value pairs").
+// Lookups run one bit-parallel search per pair row, reusing exactly
+// the compute mode's search circuitry; the free list is maintained by
+// a small control-processor program, modelled here as Go state.
+type KVStore struct {
+	csb *csb.CSB
+	// free lists per slot row: free[slot] is a bitmap per (chain,col)
+	// element index.
+	used []map[int]bool
+	// SearchCycles accumulates the CSB cycles spent on lookups.
+	SearchCycles uint64
+}
+
+// PairSlots is the number of (key, value) row pairs.
+const PairSlots = sram.DataRows / 2
+
+// NewKVStore wraps a CSB as a key-value store.
+func NewKVStore(c *csb.CSB) *KVStore {
+	used := make([]map[int]bool, PairSlots)
+	for i := range used {
+		used[i] = make(map[int]bool)
+	}
+	return &KVStore{csb: c, used: used}
+}
+
+// Capacity returns the maximum number of pairs.
+func (kv *KVStore) Capacity() int {
+	return PairSlots * kv.csb.MaxVL()
+}
+
+// Len returns the stored pair count.
+func (kv *KVStore) Len() int {
+	n := 0
+	for _, m := range kv.used {
+		n += len(m)
+	}
+	return n
+}
+
+func slotRows(slot int) (keyRow, valRow int) { return 2 * slot, 2*slot + 1 }
+
+// Put inserts or updates a key. It first searches for the key (update
+// in place), then takes a free slot. It returns false when full.
+func (kv *KVStore) Put(key, value uint32) bool {
+	if slot, elem, ok := kv.find(key); ok {
+		_, vr := slotRows(slot)
+		kv.csb.WriteElement(vr, elem, value)
+		return true
+	}
+	for slot := 0; slot < PairSlots; slot++ {
+		if len(kv.used[slot]) == kv.csb.MaxVL() {
+			continue
+		}
+		// The CP's free-list program yields the lowest free element.
+		for elem := 0; elem < kv.csb.MaxVL(); elem++ {
+			if kv.used[slot][elem] {
+				continue
+			}
+			kr, vr := slotRows(slot)
+			kv.csb.WriteElement(kr, elem, key)
+			kv.csb.WriteElement(vr, elem, value)
+			kv.used[slot][elem] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Get looks a key up via content search.
+func (kv *KVStore) Get(key uint32) (uint32, bool) {
+	slot, elem, ok := kv.find(key)
+	if !ok {
+		return 0, false
+	}
+	_, vr := slotRows(slot)
+	return kv.csb.ReadElement(vr, elem), true
+}
+
+// Delete removes a key.
+func (kv *KVStore) Delete(key uint32) bool {
+	slot, elem, ok := kv.find(key)
+	if !ok {
+		return false
+	}
+	kv.used[slot][elem] = false
+	delete(kv.used[slot], elem)
+	return true
+}
+
+// find runs the bit-parallel key search on every pair row until a
+// valid match surfaces. Cost: one searchX (1 cycle) plus the n-cycle
+// tag combine per probed slot.
+func (kv *KVStore) find(key uint32) (slot, elem int, ok bool) {
+	for slot = 0; slot < PairSlots; slot++ {
+		if len(kv.used[slot]) == 0 {
+			continue
+		}
+		kr, _ := slotRows(slot)
+		kv.SearchCycles += 1 + chain.SubPerChain
+		for ch := 0; ch < kv.csb.NumChains(); ch++ {
+			match := kv.searchChain(ch, kr, key)
+			for match != 0 {
+				col := bits.TrailingZeros32(match)
+				match &= match - 1
+				e := kv.csb.ElementIndex(ch, col)
+				if kv.used[slot][e] {
+					return slot, e, true
+				}
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// searchChain performs the per-subarray comparand-distributed search
+// (the vmseq.vx circuit path) and returns the per-column AND.
+func (kv *KVStore) searchChain(ch, row int, key uint32) uint32 {
+	c := kv.csb.Chain(ch)
+	match := uint32(sram.AllCols)
+	for s := 0; s < chain.SubPerChain; s++ {
+		k := sram.Key{}
+		if key&(1<<uint(s)) != 0 {
+			k = k.Match1(row)
+		} else {
+			k = k.Match0(row)
+		}
+		match &= c.Search(s, k, sram.AccSet)
+	}
+	return match
+}
+
+// --- Victim cache ---------------------------------------------------
+
+// VictimCache emulates a shared victim cache for an L2 (paper §VII):
+// cache lines are stored ROW-wise (not bit-sliced) — a 128-byte line
+// occupies one bitcell row across a chain's 32 subarrays — and tag
+// lookups use a few search microinstructions over the tag rows. The
+// CSB provides 32 subarray-rows × 32 bitcell-rows = 1,024 indexable
+// rows per chain group, i.e. up to ten index bits.
+type VictimCache struct {
+	csb   *csb.CSB
+	lines int
+	// tags[i] is the full line address stored at row i; valid tracked
+	// CP-side like the KV free list.
+	tags  []uint64
+	valid []bool
+	next  int
+
+	Hits   uint64
+	Misses uint64
+}
+
+// LineBytes is the victim cache line size: one bitcell row across a
+// chain (32 subarrays × 32 bits).
+const LineBytes = chain.SubPerChain * 4
+
+// NewVictimCache wraps a CSB; capacity is one line per bitcell row per
+// chain.
+func NewVictimCache(c *csb.CSB) *VictimCache {
+	n := c.NumChains() * sram.Rows
+	return &VictimCache{
+		csb:   c,
+		lines: n,
+		tags:  make([]uint64, n),
+		valid: make([]bool, n),
+	}
+}
+
+// Lines returns the line capacity.
+func (vc *VictimCache) Lines() int { return vc.lines }
+
+func (vc *VictimCache) locate(idx int) (ch, row int) {
+	return idx / sram.Rows, idx % sram.Rows
+}
+
+// Insert stores an evicted line (FIFO replacement over the whole
+// structure, as a victim buffer).
+func (vc *VictimCache) Insert(addr uint64, line []uint32) {
+	if len(line) != LineBytes/4 {
+		panic(fmt.Sprintf("memonly: victim line must be %d words", LineBytes/4))
+	}
+	idx := vc.next
+	vc.next = (vc.next + 1) % vc.lines
+	vc.tags[idx] = addr / LineBytes
+	vc.valid[idx] = true
+	ch, row := vc.locate(idx)
+	for s, w := range line {
+		vc.csb.Chain(ch).WriteRowWise(s, row, w)
+	}
+}
+
+// Lookup probes for a line; on a hit the line data is returned and the
+// entry invalidated (victim semantics: the line moves back up).
+func (vc *VictimCache) Lookup(addr uint64) ([]uint32, bool) {
+	tag := addr / LineBytes
+	for idx := range vc.tags {
+		if !vc.valid[idx] || vc.tags[idx] != tag {
+			continue
+		}
+		vc.Hits++
+		vc.valid[idx] = false
+		ch, row := vc.locate(idx)
+		out := make([]uint32, LineBytes/4)
+		for s := range out {
+			out[s] = vc.csb.Chain(ch).ReadRowWise(s, row)
+		}
+		return out, true
+	}
+	vc.Misses++
+	return nil, false
+}

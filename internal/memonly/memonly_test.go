@@ -1,0 +1,181 @@
+package memonly
+
+import (
+	"math/rand"
+	"testing"
+
+	"cape/internal/csb"
+)
+
+func TestScratchpadRoundTrip(t *testing.T) {
+	s := NewScratchpad(csb.New(2))
+	if s.Words() != 2*32*32 {
+		t.Fatalf("capacity: %d words", s.Words())
+	}
+	rng := rand.New(rand.NewSource(5))
+	ref := make(map[int]uint32)
+	for i := 0; i < 500; i++ {
+		addr := rng.Intn(s.Words())
+		v := rng.Uint32()
+		s.Write32(addr, v)
+		ref[addr] = v
+	}
+	for addr, want := range ref {
+		if got := s.Read32(addr); got != want {
+			t.Fatalf("word %d: got %#x want %#x", addr, got, want)
+		}
+	}
+	// Jeloka costs: reads 1 cycle, writes 2.
+	if s.Cycles != uint64(500*2+len(ref)) {
+		t.Fatalf("cycle accounting: %d", s.Cycles)
+	}
+}
+
+func TestScratchpadOutOfRange(t *testing.T) {
+	s := NewScratchpad(csb.New(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Read32(s.Words())
+}
+
+func TestKVStoreBasics(t *testing.T) {
+	kv := NewKVStore(csb.New(1))
+	// Paper capacity claim: 512 pairs per chain.
+	if kv.Capacity() != 512 {
+		t.Fatalf("capacity per chain: %d, paper says 512", kv.Capacity())
+	}
+	if !kv.Put(100, 1) || !kv.Put(200, 2) {
+		t.Fatal("put failed")
+	}
+	if v, ok := kv.Get(100); !ok || v != 1 {
+		t.Fatalf("get 100: %d %v", v, ok)
+	}
+	if _, ok := kv.Get(999); ok {
+		t.Fatal("missing key found")
+	}
+	// Update in place.
+	kv.Put(100, 42)
+	if v, _ := kv.Get(100); v != 42 {
+		t.Fatalf("update: %d", v)
+	}
+	if kv.Len() != 2 {
+		t.Fatalf("len: %d", kv.Len())
+	}
+	if !kv.Delete(100) || kv.Delete(100) {
+		t.Fatal("delete semantics")
+	}
+	if _, ok := kv.Get(100); ok {
+		t.Fatal("deleted key still found")
+	}
+	if kv.SearchCycles == 0 {
+		t.Fatal("lookups must cost search cycles")
+	}
+}
+
+// TestKVStoreModelBased drives the store against a Go map with random
+// operations.
+func TestKVStoreModelBased(t *testing.T) {
+	kv := NewKVStore(csb.New(2))
+	ref := map[uint32]uint32{}
+	rng := rand.New(rand.NewSource(77))
+	for op := 0; op < 3000; op++ {
+		key := uint32(rng.Intn(300))
+		switch rng.Intn(3) {
+		case 0:
+			v := rng.Uint32()
+			kv.Put(key, v)
+			ref[key] = v
+		case 1:
+			got, ok := kv.Get(key)
+			want, wok := ref[key]
+			if ok != wok || (ok && got != want) {
+				t.Fatalf("op %d: get(%d) = (%d,%v), want (%d,%v)", op, key, got, ok, want, wok)
+			}
+		case 2:
+			ok := kv.Delete(key)
+			_, wok := ref[key]
+			if ok != wok {
+				t.Fatalf("op %d: delete(%d) = %v want %v", op, key, ok, wok)
+			}
+			delete(ref, key)
+		}
+	}
+	if kv.Len() != len(ref) {
+		t.Fatalf("len %d vs ref %d", kv.Len(), len(ref))
+	}
+}
+
+func TestKVStoreFillsToCapacity(t *testing.T) {
+	kv := NewKVStore(csb.New(1))
+	for i := 0; i < kv.Capacity(); i++ {
+		if !kv.Put(uint32(i)+1000, uint32(i)) {
+			t.Fatalf("store filled early at %d of %d", i, kv.Capacity())
+		}
+	}
+	if kv.Put(1<<31, 0) {
+		t.Fatal("over-capacity put should fail")
+	}
+	// Every key is still retrievable (content search over full store).
+	for _, i := range []int{0, 17, 255, 511} {
+		if v, ok := kv.Get(uint32(i) + 1000); !ok || v != uint32(i) {
+			t.Fatalf("key %d lost after fill: %d %v", i, v, ok)
+		}
+	}
+}
+
+func TestVictimCache(t *testing.T) {
+	vc := NewVictimCache(csb.New(1))
+	if vc.Lines() != 36 {
+		t.Fatalf("lines per chain: %d", vc.Lines())
+	}
+	line := make([]uint32, LineBytes/4)
+	for i := range line {
+		line[i] = uint32(i * 7)
+	}
+	addr := uint64(0x10000)
+	vc.Insert(addr, line)
+	got, ok := vc.Lookup(addr + 4) // same line, different offset
+	if !ok {
+		t.Fatal("inserted line not found")
+	}
+	for i := range line {
+		if got[i] != line[i] {
+			t.Fatalf("word %d: %d want %d", i, got[i], line[i])
+		}
+	}
+	// Victim semantics: a hit removes the line.
+	if _, ok := vc.Lookup(addr); ok {
+		t.Fatal("line should move out on hit")
+	}
+	if vc.Hits != 1 || vc.Misses != 1 {
+		t.Fatalf("stats: %d/%d", vc.Hits, vc.Misses)
+	}
+}
+
+func TestVictimCacheFIFOReplacement(t *testing.T) {
+	vc := NewVictimCache(csb.New(1))
+	line := make([]uint32, LineBytes/4)
+	n := vc.Lines()
+	for i := 0; i <= n; i++ { // one more than capacity
+		vc.Insert(uint64(i)*LineBytes, line)
+	}
+	if _, ok := vc.Lookup(0); ok {
+		t.Fatal("oldest line should have been replaced")
+	}
+	if _, ok := vc.Lookup(uint64(n) * LineBytes); !ok {
+		t.Fatal("newest line missing")
+	}
+}
+
+// TestPaperKVCapacityClaim pins §VII's arithmetic: "a chain can store
+// 16 × 32 = 512 key-value pairs (that's about half a million key-value
+// pairs in the smaller CAPE configuration of our evaluation, CAPE32k)".
+func TestPaperKVCapacityClaim(t *testing.T) {
+	kv := NewKVStore(csb.New(1024)) // CAPE32k's chain count
+	if got := kv.Capacity(); got != 524288 {
+		t.Fatalf("CAPE32k KV capacity %d, paper says ~half a million (524,288)", got)
+	}
+}

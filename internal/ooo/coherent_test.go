@@ -1,0 +1,58 @@
+package ooo
+
+import (
+	"testing"
+
+	"cape/internal/trace"
+)
+
+// partitionedStreams builds disjoint-range streaming traces.
+func partitionedStreams(cores int) []trace.Stream {
+	streams := make([]trace.Stream, cores)
+	for c := 0; c < cores; c++ {
+		base := uint64(c) << 24
+		streams[c] = func(emit func(trace.Op)) {
+			for i := 0; i < 20000; i++ {
+				emit(trace.Op{Kind: trace.Load, Addr: base + uint64(4*i)})
+				emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+				emit(trace.Op{Kind: trace.Store, Addr: base + 1<<22 + uint64(4*i)})
+				emit(trace.Op{Kind: trace.Branch, PC: 9, Taken: i != 19999})
+			}
+		}
+	}
+	return streams
+}
+
+// TestCoherentMatchesPrivateOnPartitionedWork: with disjoint data the
+// MESI system costs nothing extra — the Phoenix-baseline assumption.
+func TestCoherentMatchesPrivateOnPartitionedWork(t *testing.T) {
+	streams := partitionedStreams(2)
+	private := RunMulticore(Baseline(), streams)
+	coherent, sys := RunMulticoreCoherent(Baseline(), streams)
+	if sys.Interventions != 0 || sys.Invalidations != 0 {
+		t.Fatalf("partitioned run generated coherence traffic: %d/%d",
+			sys.Interventions, sys.Invalidations)
+	}
+	// Timing within 25% (the coherent model lacks the L3-shared
+	// hierarchy's exact latencies but must be in the same regime).
+	ratio := float64(coherent.Cycles) / float64(private.Cycles)
+	if ratio < 0.5 || ratio > 1.5 {
+		t.Fatalf("coherent %d vs private %d cycles (ratio %.2f)",
+			coherent.Cycles, private.Cycles, ratio)
+	}
+}
+
+// TestCoherentChargesSharing: cores touching the same lines pay for
+// interventions.
+func TestCoherentChargesSharing(t *testing.T) {
+	shared := func(emit func(trace.Op)) {
+		for i := 0; i < 5000; i++ {
+			emit(trace.Op{Kind: trace.Store, Addr: uint64(4 * (i % 64))})
+			emit(trace.Op{Kind: trace.Branch, PC: 3, Taken: i != 4999})
+		}
+	}
+	_, sys := RunMulticoreCoherent(Baseline(), []trace.Stream{shared, shared})
+	if sys.Invalidations+sys.Interventions == 0 {
+		t.Fatal("shared writes must generate coherence traffic")
+	}
+}

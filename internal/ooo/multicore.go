@@ -1,0 +1,60 @@
+package ooo
+
+import (
+	"cape/internal/hbm"
+	"cape/internal/trace"
+)
+
+// RunMulticore replays one stream per core on identical cores and
+// combines the results: execution time is the slowest core, bounded
+// below by the shared HBM bandwidth over the aggregate memory traffic
+// (the paper's multicore baselines run data-parallel partitions of the
+// Phoenix applications, so inter-core sharing is negligible but the
+// memory system is shared).
+func RunMulticore(cfg Config, streams []trace.Stream) Stats {
+	var agg Stats
+	var worst int64
+	for _, s := range streams {
+		core := New(cfg)
+		st := core.Run(s)
+		if st.Cycles > worst {
+			worst = st.Cycles
+		}
+		agg.Ops += st.Ops
+		agg.Branches += st.Branches
+		agg.Mispredicts += st.Mispredicts
+		agg.MemBytes += st.MemBytes
+		for i := range st.LoadsByLevel {
+			agg.LoadsByLevel[i] += st.LoadsByLevel[i]
+		}
+	}
+	agg.Cycles = worst
+	// Shared-bandwidth floor: all cores together cannot move bytes
+	// faster than the HBM system allows.
+	bwPS := hbm.Default().StreamTimePS(agg.MemBytes)
+	bwCycles := int64(float64(bwPS) / 1000 * cfg.FreqGHz)
+	if bwCycles > agg.Cycles {
+		agg.Cycles = bwCycles
+	}
+	return agg
+}
+
+// Partition splits n items into `cores` nearly equal [start, end)
+// ranges (helper for workload generators).
+func Partition(n, cores, part int) (start, end int) {
+	base := n / cores
+	rem := n % cores
+	start = part*base + min(part, rem)
+	end = start + base
+	if part < rem {
+		end++
+	}
+	return start, end
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

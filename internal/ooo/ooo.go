@@ -1,0 +1,409 @@
+// Package ooo is the trace-driven model of the baseline out-of-order
+// core (paper §VI-C, Table III left column): 8-issue, 224-entry ROB,
+// tournament-class branch prediction, four integer ALUs and multiplier
+// pipes, three memory ports, and a three-level cache hierarchy over
+// HBM.
+//
+// The model is a scoreboard approximation in the style of interval
+// simulation: each dynamic operation receives a dispatch time bounded
+// by fetch/issue bandwidth, ROB occupancy and branch redirects, an
+// execution start bounded by its producer (the generator-marked
+// critical dependency) and a functional-unit slot, and a completion
+// time from its latency — load latencies come from the cache model, so
+// memory-level parallelism emerges naturally within the ROB window.
+// This captures the first-order terms the CAPE comparison depends on:
+// ILP limits, cache behaviour, bandwidth saturation and branchiness.
+package ooo
+
+import (
+	"cape/internal/cache"
+	"cape/internal/hbm"
+	"cape/internal/timing"
+	"cape/internal/trace"
+)
+
+// Config are the core parameters.
+type Config struct {
+	Name       string
+	IssueWidth int
+	ROB        int
+	// FUs holds functional-unit counts per pool.
+	IntALUs, IntMuls, MemPorts, BrUnits int
+	// SIMDALUs is the vector pipe count (0 disables vector kinds).
+	SIMDALUs int
+	// SIMDWidthBits is the vector register width for vector ops.
+	SIMDWidthBits int
+	// Latencies in cycles.
+	IntALULat, IntMulLat, IntDivLat, FPLat, VecALULat, VecMulLat int
+	// MispredictPenalty is the pipeline redirect cost.
+	MispredictPenalty int
+	// PredictorEntries sizes the bimodal table standing in for the
+	// tournament predictor.
+	PredictorEntries int
+	// FreqGHz is the core clock.
+	FreqGHz float64
+	// CacheCfgs describes the hierarchy, innermost first.
+	CacheCfgs []cache.Config
+	// MemLatencyCycles is the main-memory latency seen past the last
+	// cache level.
+	MemLatencyCycles int
+}
+
+// Baseline returns the Table III out-of-order configuration.
+func Baseline() Config {
+	return Config{
+		Name:              "ooo-baseline",
+		IssueWidth:        8,
+		ROB:               224,
+		IntALUs:           4,
+		IntMuls:           4,
+		MemPorts:          3,
+		BrUnits:           1,
+		IntALULat:         1,
+		IntMulLat:         3,
+		IntDivLat:         12,
+		FPLat:             4,
+		VecALULat:         2,
+		VecMulLat:         4,
+		MispredictPenalty: 14,
+		PredictorEntries:  4096,
+		FreqGHz:           timing.BaselineFreqGHz,
+		CacheCfgs:         []cache.Config{cache.BaselineL1D, cache.BaselineL2, cache.BaselineL3},
+		MemLatencyCycles:  memCycles(timing.BaselineFreqGHz),
+	}
+}
+
+// WithSVE returns the baseline core augmented with an SVE-style vector
+// engine of the given register width (Fig. 12's configurations).
+func WithSVE(widthBits int) Config {
+	c := Baseline()
+	c.Name = "ooo-sve"
+	c.SIMDALUs = 4
+	c.SIMDWidthBits = widthBits
+	c.VecALULat = 2
+	c.VecMulLat = 4
+	return c
+}
+
+func memCycles(freqGHz float64) int {
+	h := hbm.Default()
+	ns := h.LatencyNS + float64(h.PacketBytes)/h.BytesPerNSPerChannel
+	return int(ns * freqGHz)
+}
+
+// Stats summarises a replay.
+type Stats struct {
+	Cycles      int64
+	Ops         uint64
+	Branches    uint64
+	Mispredicts uint64
+	// MemBytes is main-memory traffic (fills + writebacks).
+	MemBytes uint64
+	// LoadsByLevel counts where loads hit (index len = memory).
+	LoadsByLevel [8]uint64
+}
+
+// Seconds converts cycles at the configured frequency.
+func (s Stats) Seconds(freqGHz float64) float64 {
+	return float64(s.Cycles) / (freqGHz * 1e9)
+}
+
+// TimePS converts cycles to picoseconds.
+func (s Stats) TimePS(freqGHz float64) int64 {
+	return int64(float64(s.Cycles) * 1000 / freqGHz)
+}
+
+// MemPort abstracts the core's data-memory system: the private
+// hierarchy by default, or a port into a shared MESI-coherent system
+// for multicore runs.
+type MemPort interface {
+	Access(addr uint64, write bool) cache.Result
+}
+
+// Core is one baseline core instance.
+type Core struct {
+	cfg    Config
+	caches *cache.Hierarchy
+	mem    MemPort
+
+	// completion ring for dependency resolution.
+	ring    []int64
+	ringPos uint64
+	// rob ring of in-flight completion times.
+	rob               []int64
+	robHead, robCount int
+	// per-pool next-free times, one slot per unit.
+	fu [5][]int64
+
+	predictor []uint8
+
+	// streams is the hardware stream-prefetcher table: sequential load
+	// streams are detected and their lines served at near-L2 latency
+	// while still paying full memory bandwidth. A stream allocates
+	// only after two adjacent-line misses (the candidates table), so
+	// random traffic cannot thrash it.
+	streams    [16]streamEntry
+	streamsPos int
+	candidates [16]uint64
+	candPos    int
+
+	dispatch   int64 // next dispatch cycle
+	slotsUsed  int   // issue slots used this cycle
+	lastCommit int64
+	fetchStall int64
+
+	Stats Stats
+}
+
+type streamEntry struct {
+	valid  bool
+	expect uint64 // next expected line index
+}
+
+// pool indices into fu.
+const (
+	poolIALU = iota
+	poolIMul
+	poolMem
+	poolBr
+	poolSIMD
+)
+
+// New builds a core.
+func New(cfg Config) *Core {
+	c := &Core{
+		cfg:       cfg,
+		caches:    cache.NewHierarchy(cfg.MemLatencyCycles, cfg.CacheCfgs...),
+		ring:      make([]int64, 1024),
+		rob:       make([]int64, cfg.ROB),
+		predictor: make([]uint8, cfg.PredictorEntries),
+	}
+	c.mem = c.caches
+	c.fu[poolIALU] = make([]int64, max1(cfg.IntALUs))
+	c.fu[poolIMul] = make([]int64, max1(cfg.IntMuls))
+	c.fu[poolMem] = make([]int64, max1(cfg.MemPorts))
+	c.fu[poolBr] = make([]int64, max1(cfg.BrUnits))
+	c.fu[poolSIMD] = make([]int64, max1(cfg.SIMDALUs))
+	return c
+}
+
+func max1(n int) int {
+	if n < 1 {
+		return 1
+	}
+	return n
+}
+
+// Caches exposes the hierarchy for statistics.
+func (c *Core) Caches() *cache.Hierarchy { return c.caches }
+
+// SetMemPort replaces the core's memory system (coherent multicore
+// runs). Must be called before Run.
+func (c *Core) SetMemPort(p MemPort) { c.mem = p }
+
+// Run replays a stream and returns the statistics.
+func (c *Core) Run(s trace.Stream) Stats {
+	s(c.Step)
+	c.Stats.Cycles = c.lastCommit
+	// Bandwidth floor: the core cannot finish before its memory
+	// traffic fits through HBM.
+	bwPS := hbm.Default().StreamTimePS(c.Stats.MemBytes)
+	if bwCycles := int64(float64(bwPS) / 1000 * c.cfg.FreqGHz); bwCycles > c.Stats.Cycles {
+		c.Stats.Cycles = bwCycles
+	}
+	return c.Stats
+}
+
+// prefetched reports (and trains) whether a load address continues a
+// detected sequential stream.
+func (c *Core) prefetched(addr uint64) bool {
+	line := addr >> 6
+	for i := range c.streams {
+		e := &c.streams[i]
+		if e.valid && (line == e.expect || line == e.expect-1) {
+			if line == e.expect {
+				e.expect++
+			}
+			return true
+		}
+	}
+	// Confirmation: a stream allocates only when this line extends a
+	// recently seen one.
+	for i := range c.candidates {
+		if c.candidates[i] != 0 && line == c.candidates[i]+1 {
+			c.candidates[i] = 0
+			c.streams[c.streamsPos] = streamEntry{valid: true, expect: line + 1}
+			c.streamsPos = (c.streamsPos + 1) % len(c.streams)
+			return false
+		}
+	}
+	c.candidates[c.candPos] = line
+	c.candPos = (c.candPos + 1) % len(c.candidates)
+	return false
+}
+
+// Step processes one dynamic op.
+func (c *Core) Step(op trace.Op) {
+	c.Stats.Ops++
+
+	// Dispatch: issue bandwidth.
+	if c.slotsUsed >= c.cfg.IssueWidth {
+		c.dispatch++
+		c.slotsUsed = 0
+	}
+	if c.fetchStall > c.dispatch {
+		c.dispatch = c.fetchStall
+		c.slotsUsed = 0
+	}
+	// ROB back-pressure: the oldest in-flight op must have retired.
+	if c.robCount == len(c.rob) {
+		head := c.rob[c.robHead]
+		c.robHead = (c.robHead + 1) % len(c.rob)
+		c.robCount--
+		if head > c.dispatch {
+			c.dispatch = head
+			c.slotsUsed = 0
+		}
+	}
+	c.slotsUsed++
+
+	start := c.dispatch
+	// Producer dependency.
+	if op.Dep != 0 && uint64(op.Dep) <= c.ringPos {
+		ready := c.ring[(c.ringPos-uint64(op.Dep))%uint64(len(c.ring))]
+		if ready > start {
+			start = ready
+		}
+	}
+
+	// Functional unit and latency.
+	var pool int
+	var lat int64
+	switch op.Kind {
+	case trace.IntALU:
+		pool, lat = poolIALU, int64(c.cfg.IntALULat)
+	case trace.IntMul:
+		pool, lat = poolIMul, int64(c.cfg.IntMulLat)
+	case trace.IntDiv:
+		pool, lat = poolIMul, int64(c.cfg.IntDivLat)
+	case trace.FPALU:
+		pool, lat = poolIMul, int64(c.cfg.FPLat)
+	case trace.Load:
+		pool = poolMem
+		r := c.mem.Access(op.Addr, false)
+		lat = int64(r.LatencyCycles)
+		if c.prefetched(op.Addr) && r.HitLevel > 1 {
+			// The stream prefetcher ran ahead: the line arrives by the
+			// time the demand load needs it, at L2-like latency. The
+			// memory traffic was still paid.
+			lat = int64(c.cfg.CacheCfgs[0].LatencyCycles + c.cfg.CacheCfgs[1].LatencyCycles)
+		}
+		c.Stats.MemBytes += uint64(r.MemBytes)
+		c.noteLoadLevel(r.HitLevel)
+	case trace.Store:
+		pool = poolMem
+		r := c.mem.Access(op.Addr, true)
+		lat = 1 // retire through the store buffer
+		c.Stats.MemBytes += uint64(r.MemBytes)
+	case trace.Branch:
+		pool, lat = poolBr, 1
+		c.branch(op, start)
+	case trace.VecALU:
+		pool, lat = poolSIMD, int64(c.cfg.VecALULat)
+	case trace.VecMul:
+		pool, lat = poolSIMD, int64(c.cfg.VecMulLat)
+	case trace.VecLoad:
+		pool = poolMem
+		lat = int64(c.vecMemAccess(op.Addr, false))
+	case trace.VecStore:
+		pool = poolMem
+		lat = 1
+		c.vecMemAccess(op.Addr, true)
+	default:
+		pool, lat = poolIALU, 1
+	}
+	if (op.Kind == trace.VecALU || op.Kind == trace.VecMul) && c.cfg.SIMDALUs == 0 {
+		// No vector engine: should not happen; treated as scalar.
+		pool = poolIALU
+	}
+
+	// Claim the earliest-free unit in the pool.
+	units := c.fu[pool]
+	best := 0
+	for i := 1; i < len(units); i++ {
+		if units[i] < units[best] {
+			best = i
+		}
+	}
+	if units[best] > start {
+		start = units[best]
+	}
+	units[best] = start + 1 // unit busy for one issue slot (pipelined)
+
+	complete := start + lat
+	// In-order retirement: completion times are monotone at commit.
+	if complete < c.lastCommit {
+		complete = c.lastCommit
+	}
+	c.lastCommit = complete
+
+	// Record for dependents and the ROB.
+	c.ring[c.ringPos%uint64(len(c.ring))] = complete
+	c.ringPos++
+	c.rob[(c.robHead+c.robCount)%len(c.rob)] = complete
+	if c.robCount < len(c.rob) {
+		c.robCount++
+	}
+}
+
+// vecMemAccess touches every cache line covered by one vector memory
+// operation and returns the worst latency.
+func (c *Core) vecMemAccess(addr uint64, write bool) int {
+	bytes := c.cfg.SIMDWidthBits / 8
+	if bytes == 0 {
+		bytes = 64
+	}
+	line := uint64(c.cfg.CacheCfgs[0].LineBytes)
+	worst := 0
+	for off := uint64(0); off < uint64(bytes); off += line {
+		r := c.mem.Access(addr+off, write)
+		c.Stats.MemBytes += uint64(r.MemBytes)
+		lat := r.LatencyCycles
+		if !write {
+			if c.prefetched(addr+off) && r.HitLevel > 1 {
+				lat = c.cfg.CacheCfgs[0].LatencyCycles + c.cfg.CacheCfgs[1].LatencyCycles
+			}
+			c.noteLoadLevel(r.HitLevel)
+		}
+		if lat > worst {
+			worst = lat
+		}
+	}
+	return worst
+}
+
+func (c *Core) noteLoadLevel(level int) {
+	if level >= len(c.Stats.LoadsByLevel) {
+		level = len(c.Stats.LoadsByLevel) - 1
+	}
+	c.Stats.LoadsByLevel[level]++
+}
+
+func (c *Core) branch(op trace.Op, start int64) {
+	c.Stats.Branches++
+	idx := int(op.PC) & (len(c.predictor) - 1)
+	ctr := c.predictor[idx]
+	predicted := ctr >= 2
+	if predicted != op.Taken {
+		c.Stats.Mispredicts++
+		redirect := start + 1 + int64(c.cfg.MispredictPenalty)
+		if redirect > c.fetchStall {
+			c.fetchStall = redirect
+		}
+	}
+	if op.Taken && ctr < 3 {
+		c.predictor[idx] = ctr + 1
+	} else if !op.Taken && ctr > 0 {
+		c.predictor[idx] = ctr - 1
+	}
+}

@@ -1,0 +1,186 @@
+package ooo
+
+import (
+	"testing"
+
+	"cape/internal/trace"
+)
+
+// loopStream emits n iterations of a simple loop body: k ALU ops (with
+// an optional loop-carried dependency), one load with the given stride
+// and a backwards branch.
+func loopStream(n, alus int, depChain bool, stride uint64) trace.Stream {
+	return func(emit func(op trace.Op)) {
+		for i := 0; i < n; i++ {
+			for a := 0; a < alus; a++ {
+				var dep uint32
+				if depChain {
+					dep = uint32(alus + 2) // previous iteration's same op
+				}
+				emit(trace.Op{Kind: trace.IntALU, Dep: dep})
+			}
+			emit(trace.Op{Kind: trace.Load, Addr: uint64(i) * stride})
+			emit(trace.Op{Kind: trace.Branch, PC: 1, Taken: i != n-1})
+		}
+	}
+}
+
+func TestILPBoundedByIssueWidth(t *testing.T) {
+	cfg := Baseline()
+	core := New(cfg)
+	n := 10000
+	st := core.Run(func(emit func(trace.Op)) {
+		for i := 0; i < n; i++ {
+			emit(trace.Op{Kind: trace.IntALU})
+		}
+	})
+	// Independent ALU ops: bounded by min(issue width 8, 4 ALUs).
+	// Our pipelined-unit model sustains ~4/cycle.
+	ipc := float64(st.Ops) / float64(st.Cycles)
+	if ipc < 3.0 || ipc > 8.5 {
+		t.Fatalf("independent-ALU IPC %.2f, want ~4-8", ipc)
+	}
+}
+
+func TestDependencyChainSerializes(t *testing.T) {
+	cfg := Baseline()
+	core := New(cfg)
+	n := 10000
+	st := core.Run(func(emit func(trace.Op)) {
+		for i := 0; i < n; i++ {
+			emit(trace.Op{Kind: trace.IntMul, Dep: 1}) // serial chain
+		}
+	})
+	// A serial multiply chain runs at 1 op per IntMulLat cycles.
+	minCycles := int64(n) * int64(cfg.IntMulLat-1)
+	if st.Cycles < minCycles {
+		t.Fatalf("dependent multiply chain too fast: %d cycles for %d muls", st.Cycles, n)
+	}
+}
+
+func TestCacheLocalityMatters(t *testing.T) {
+	n := 20000
+	// Sequential 4-byte stride: mostly L1 hits after each line fill.
+	seq := New(Baseline()).Run(loopStream(n, 2, false, 4))
+	// 4 kB stride: every load misses to memory.
+	rnd := New(Baseline()).Run(loopStream(n, 2, false, 4096))
+	if rnd.Cycles < seq.Cycles*2 {
+		t.Fatalf("streaming (%d cyc) should beat cache-hostile (%d cyc) clearly",
+			seq.Cycles, rnd.Cycles)
+	}
+	if rnd.MemBytes <= seq.MemBytes {
+		t.Fatal("cache-hostile run must move more memory")
+	}
+}
+
+func TestBranchMispredictsCost(t *testing.T) {
+	n := 20000
+	predictable := New(Baseline()).Run(func(emit func(trace.Op)) {
+		for i := 0; i < n; i++ {
+			emit(trace.Op{Kind: trace.IntALU})
+			emit(trace.Op{Kind: trace.Branch, PC: 7, Taken: true})
+		}
+	})
+	alternating := New(Baseline()).Run(func(emit func(trace.Op)) {
+		for i := 0; i < n; i++ {
+			emit(trace.Op{Kind: trace.IntALU})
+			emit(trace.Op{Kind: trace.Branch, PC: 7, Taken: i%2 == 0})
+		}
+	})
+	if alternating.Mispredicts < uint64(n/3) {
+		t.Fatalf("alternating branch should defeat the bimodal predictor: %d mispredicts",
+			alternating.Mispredicts)
+	}
+	if alternating.Cycles < predictable.Cycles*3 {
+		t.Fatalf("mispredicts too cheap: %d vs %d cycles", alternating.Cycles, predictable.Cycles)
+	}
+}
+
+func TestSIMDSpeedsUpDataParallelLoop(t *testing.T) {
+	n := 1 << 16
+	scalarStream := func(emit func(trace.Op)) {
+		for i := 0; i < n; i++ {
+			emit(trace.Op{Kind: trace.Load, Addr: uint64(i) * 4})
+			emit(trace.Op{Kind: trace.IntALU})
+			emit(trace.Op{Kind: trace.Store, Addr: 1 << 24 / 1 * uint64(i) * 4})
+			emit(trace.Op{Kind: trace.Branch, PC: 3, Taken: i != n-1})
+		}
+	}
+	scalar := New(Baseline()).Run(scalarStream)
+
+	width := 512
+	elems := width / 32
+	sve := New(WithSVE(width)).Run(func(emit func(trace.Op)) {
+		for i := 0; i < n/elems; i++ {
+			emit(trace.Op{Kind: trace.VecLoad, Addr: uint64(i) * uint64(elems) * 4})
+			emit(trace.Op{Kind: trace.VecALU})
+			emit(trace.Op{Kind: trace.VecStore, Addr: 1<<24 + uint64(i)*uint64(elems)*4})
+			emit(trace.Op{Kind: trace.Branch, PC: 3, Taken: i != n/elems-1})
+		}
+	})
+	if sve.Cycles >= scalar.Cycles {
+		t.Fatalf("512-bit SVE (%d cyc) should beat scalar (%d cyc)", sve.Cycles, scalar.Cycles)
+	}
+}
+
+func TestMulticoreScalesAndBandwidthBounds(t *testing.T) {
+	n := 30000
+	mk := func(cores int) []trace.Stream {
+		streams := make([]trace.Stream, cores)
+		for c := 0; c < cores; c++ {
+			s, e := Partition(n, cores, c)
+			streams[c] = loopStream(e-s, 4, false, 4)
+		}
+		return streams
+	}
+	one := RunMulticore(Baseline(), mk(1))
+	two := RunMulticore(Baseline(), mk(2))
+	if two.Cycles >= one.Cycles {
+		t.Fatalf("2 cores (%d cyc) should beat 1 core (%d cyc)", two.Cycles, one.Cycles)
+	}
+	if two.Cycles < one.Cycles/3 {
+		t.Fatalf("2 cores cannot be 3x faster: %d vs %d", two.Cycles, one.Cycles)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	covered := map[int]bool{}
+	for part := 0; part < 3; part++ {
+		s, e := Partition(10, 3, part)
+		for i := s; i < e; i++ {
+			if covered[i] {
+				t.Fatalf("index %d covered twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	if len(covered) != 10 {
+		t.Fatalf("partition covered %d of 10", len(covered))
+	}
+}
+
+func TestTraceCount(t *testing.T) {
+	total, byKind := trace.Count(loopStream(10, 3, false, 4))
+	if total != 50 {
+		t.Fatalf("total %d", total)
+	}
+	if byKind[trace.IntALU] != 30 || byKind[trace.Load] != 10 || byKind[trace.Branch] != 10 {
+		t.Fatalf("by kind: %v", byKind)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	s := trace.Concat(loopStream(5, 1, false, 4), loopStream(5, 1, false, 4))
+	total, _ := trace.Count(s)
+	if total != 30 {
+		t.Fatalf("concat total %d", total)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := trace.Kind(0); int(k) < trace.NumKinds; k++ {
+		if k.String() == "kind?" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package report
+
+import (
+	"fmt"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/timing"
+	"cape/internal/workloads"
+)
+
+// Ablations quantify the design choices the paper motivates
+// qualitatively: the replica vector load (§V-G), the redsum-vs-add
+// trade (§V-G), and the scaling limits from command distribution and
+// serial fractions (§VI-E).
+
+// AblationReplicaLoad compares matrix multiplication with the
+// CAPE-specific vlrw.v against the same kernel forced to realize the
+// replication with ordinary unit-stride loads (one vle32 per
+// replicated row segment, through vstart windows).
+func AblationReplicaLoad() (*Table, error) {
+	const (
+		dim   = 64
+		aBase = 0x10_0000
+		bBase = 0x20_0000
+		cBase = 0x30_0000
+	)
+	data := make([]uint32, dim*dim)
+	for i := range data {
+		data[i] = uint32(i%97 + 1)
+	}
+
+	build := func(useVlrw bool) (*isa.Program, error) {
+		b := isa.NewBuilder(fmt.Sprintf("matmul-vlrw=%v", useVlrw)).
+			Li(5, dim).
+			Li(6, dim). // rows per block = dim (matrix fits)
+			Mul(7, 6, 5).
+			Vsetvli(8, 7).
+			Li(9, aBase).
+			Vle32(1, 9).
+			Li(21, 0) // j
+		b.Label("jLoop").
+			Bge(21, 5, "done").
+			Mul(10, 21, 5).
+			Slli(10, 10, 2).
+			Addi(10, 10, bBase)
+		if useVlrw {
+			b.Vlrw(2, 10, 5)
+		} else {
+			// Replicate by loading the same row into each segment.
+			b.Li(22, 0). // r
+					Label("repLoop").
+					Bge(22, 6, "repDone").
+					Addi(11, 22, 1).
+					Mul(11, 11, 5).
+					Vsetvli(0, 11).
+					Mul(12, 22, 5).
+					CsrwVstart(12).
+				// vle32 computes element addresses from the element
+				// index, so bias the base so segment r reads row j.
+				Mul(13, 22, 5).
+				Slli(13, 13, 2).
+				Sub(13, 10, 13).
+				Vle32(2, 13).
+				Addi(22, 22, 1).
+				J("repLoop").
+				Label("repDone").
+				Vsetvli(0, 7)
+		}
+		b.VmulVV(3, 1, 2).
+			Li(22, 0)
+		b.Label("rLoop").
+			Bge(22, 6, "jNext").
+			Addi(11, 22, 1).
+			Mul(11, 11, 5).
+			Vsetvli(0, 11).
+			VmvVX(4, 0).
+			Mul(12, 22, 5).
+			CsrwVstart(12).
+			VredsumVS(4, 3, 4).
+			VmvXS(13, 4).
+			Add(14, 22, 0).
+			Mul(14, 14, 5).
+			Add(14, 14, 21).
+			Slli(14, 14, 2).
+			Addi(14, 14, cBase).
+			Sw(13, 0, 14).
+			Addi(22, 22, 1).
+			J("rLoop")
+		b.Label("jNext").
+			Vsetvli(0, 7).
+			Addi(21, 21, 1).
+			J("jLoop")
+		b.Label("done").Halt()
+		return b.Build()
+	}
+
+	t := &Table{
+		Title:  "Ablation — replica vector load (vlrw.v) on matmul (§V-G)",
+		Header: []string{"variant", "time (µs)", "HBM bytes", "vector insts"},
+	}
+	var times [2]float64
+	for i, useVlrw := range []bool{true, false} {
+		cfg := core.CAPE32k()
+		cfg.RAMBytes = 1 << 23
+		m := core.New(cfg)
+		m.RAM().WriteWords(aBase, data)
+		m.RAM().WriteWords(bBase, data)
+		prog, err := build(useVlrw)
+		if err != nil {
+			return nil, err
+		}
+		res, err := m.Run(prog)
+		if err != nil {
+			return nil, err
+		}
+		name := "with vlrw.v"
+		if !useVlrw {
+			name = "unit-stride replication"
+		}
+		times[i] = float64(res.TimePS) / 1e6
+		t.Add(name, times[i], res.MemBytes, res.CP.VectorInsts)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("replica load advantage: %.2fx", times[1]/times[0]))
+	return t, nil
+}
+
+// AblationRedsum verifies the paper's §V-G claim that a vector redsum
+// is roughly eight times faster than an element-wise vector addition,
+// across CSB sizes.
+func AblationRedsum() *Table {
+	t := &Table{
+		Title:  "Ablation — redsum vs element-wise add (§V-G)",
+		Header: []string{"chains", "vadd.vv cycles", "vredsum.vs cycles", "ratio"},
+		Notes:  []string{"paper: \"a vector redsum instruction is thus eight times faster than an element-wise vector addition\""},
+	}
+	for _, chains := range []int{256, 1024, 4096, 16384} {
+		add, _ := timing.VectorCycles(isa.OpVADD_VV, chains, 0, 32)
+		red, _ := timing.VectorCycles(isa.OpVREDSUM_VS, chains, 0, 32)
+		t.Add(chains, add, red, float64(add)/float64(red))
+	}
+	return t
+}
+
+// AblationNarrowElements quantifies the §V-A narrow-element extension:
+// the same vvadd-style kernel at e8/e16/e32. Bit-serial arithmetic cost
+// tracks the element width, and narrow loads move proportionally fewer
+// bytes, so e8 wins on both axes.
+func AblationNarrowElements() (*Table, error) {
+	const n = 1 << 18
+	build := func(sew int) *isa.Program {
+		b := isa.NewBuilder(fmt.Sprintf("vvadd-e%d", sew)).
+			Li(20, 0x10_0000).
+			Li(21, 0x60_0000).
+			Li(22, 0xA0_0000).
+			Li(23, n).
+			Label("chunk").
+			Beq(23, 0, "done").
+			VsetvliSEW(2, 23, sew)
+		switch sew {
+		case 8:
+			b.Vle8(1, 20).Vle8(2, 21)
+		case 16:
+			b.Vle16(1, 20).Vle16(2, 21)
+		default:
+			b.Vle32(1, 20).Vle32(2, 21)
+		}
+		b.VaddVV(3, 1, 2)
+		switch sew {
+		case 8:
+			b.Vse8(3, 22)
+		case 16:
+			b.Vse16(3, 22)
+		default:
+			b.Vse32(3, 22)
+		}
+		b.Li(8, int64(sew/8)).
+			Mul(8, 2, 8). // advance = vl * elem bytes
+			Add(20, 20, 8).
+			Add(21, 21, 8).
+			Add(22, 22, 8).
+			Sub(23, 23, 2).
+			J("chunk").
+			Label("done").
+			Halt()
+		return b.MustBuild()
+	}
+	t := &Table{
+		Title:  "Ablation — narrow elements (§V-A): 256k-element vvadd",
+		Header: []string{"width", "time (µs)", "HBM bytes", "CSB energy (nJ)"},
+		Notes:  []string{"bit-serial arithmetic cost and memory traffic both scale with the element width"},
+	}
+	for _, sew := range []int{32, 16, 8} {
+		m := core.New(core.CAPE32k())
+		res, err := m.Run(build(sew))
+		if err != nil {
+			return nil, err
+		}
+		t.Add(fmt.Sprintf("e%d", sew), float64(res.TimePS)/1e6, res.MemBytes, res.EnergyPJ/1000)
+	}
+	return t, nil
+}
+
+// AblationScaling sweeps the CSB chain count for one constant-
+// intensity and one variable-intensity benchmark against a fixed
+// one-core baseline, exposing the §VI-E scaling behaviours: the
+// constant-intensity speedup grows until memory-bound, while the
+// serialized benchmark plateaus and then falls as command
+// distribution lengthens.
+func AblationScaling() (*Table, error) {
+	t := &Table{
+		Title:  "Ablation — speedup vs CSB capacity (vs one fixed OoO core)",
+		Header: []string{"chains", "lanes", "redsum (const.)", "strmatch (var.)", "dist cycles"},
+	}
+	benches := []string{"redsum", "strmatch"}
+	base := map[string]int64{}
+	for _, name := range benches {
+		w, _ := workloads.ByName(name)
+		base[name] = runBaseline(w, 1)
+	}
+	for _, chains := range []int{256, 512, 1024, 2048, 4096, 8192} {
+		row := []interface{}{chains, chains * 32}
+		for _, name := range benches {
+			w, _ := workloads.ByName(name)
+			cfg := core.CAPE32k()
+			cfg.Name = fmt.Sprintf("CAPE-%dc", chains)
+			cfg.Chains = chains
+			res, err := runCAPE(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, float64(base[name])/float64(res.TimePS))
+		}
+		row = append(row, timing.CommandDistributionCycles(chains))
+		t.Add(row...)
+	}
+	return t, nil
+}

@@ -1,0 +1,50 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationReplicaLoad(t *testing.T) {
+	tab, err := AblationReplicaLoad()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// The replica-load variant must be faster and move far less memory.
+	if !strings.Contains(tab.Notes[len(tab.Notes)-1], "advantage") {
+		t.Fatal("missing advantage note")
+	}
+	withVlrw, without := tab.Rows[0], tab.Rows[1]
+	if withVlrw[1] >= without[1] {
+		t.Fatalf("vlrw should be faster: %s vs %s µs", withVlrw[1], without[1])
+	}
+}
+
+func TestAblationRedsum(t *testing.T) {
+	tab := AblationRedsum()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// The paper's ~8x claim should hold within a factor reflecting the
+	// reduction-tree drain (we land between 6x and 8x).
+	out := tab.String()
+	if !strings.Contains(out, "7.17") {
+		t.Fatalf("unexpected ratio table:\n%s", out)
+	}
+}
+
+func TestAblationScaling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps six CSB sizes")
+	}
+	tab, err := AblationScaling()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}

@@ -1,0 +1,277 @@
+package report
+
+import (
+	"fmt"
+	"math"
+
+	"cape/internal/core"
+	"cape/internal/emu"
+	"cape/internal/energy"
+	"cape/internal/hbm"
+	"cape/internal/ooo"
+	"cape/internal/roofline"
+	"cape/internal/timing"
+	"cape/internal/trace"
+	"cape/internal/workloads"
+)
+
+// TableI regenerates the per-instruction metrics table: the paper's
+// published columns next to the values derived by the associative
+// behavioral emulator.
+func TableI() (*Table, error) {
+	rows, err := emu.ProfileTableI()
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: "Table I — RISC-V vector instructions on CAPE (n = 32)",
+		Header: []string{"inst", "group", "srch rows", "upd rows", "red cyc",
+			"cycles(paper)", "cycles(emu)", "E/lane pJ(paper)", "E/lane pJ(emu)", "match"},
+		Notes: []string{
+			"cycles(emu) executes our derived associative algorithms on the bit-level CSB model",
+			"documented deltas (vmseq.vx, vmslt, vmerge, vmul): see EXPERIMENTS.md",
+		},
+	}
+	for _, r := range rows {
+		match := "="
+		if !r.CyclesMatch {
+			match = "≠"
+		}
+		t.Add(r.Mnemonic, r.Group, r.MaxSearchRows, r.MaxUpdateRows, r.RedCycles,
+			r.PaperCycles, r.Cycles, r.PaperLaneEnergyPJ, r.DerivedLaneEnergyPJ, match)
+	}
+	return t, nil
+}
+
+// TableII prints the microoperation delay/energy constants.
+func TableII() *Table {
+	t := &Table{
+		Title:  "Table II — microoperation delay and per-chain dynamic energy",
+		Header: []string{"microop", "delay (ps)", "BS E (pJ)", "BP E (pJ)"},
+		Notes: []string{
+			"constants from the paper's ASAP7 circuit simulation (model inputs; see DESIGN.md)",
+			fmt.Sprintf("cycle time: %.0f ps (%.2f GHz derated from %.2f GHz critical path)",
+				timing.CAPECyclePS, timing.CAPEFreqGHz, 1000.0/timing.CriticalPathPS),
+		},
+	}
+	t.Add("read", timing.DelayReadPS, "-", timing.EnergyBPReadPJ)
+	t.Add("write", timing.DelayWritePS, "-", timing.EnergyBPWritePJ)
+	t.Add("search (4 rows)", timing.DelaySearchPS, timing.EnergyBSSearchPJ, timing.EnergyBPSearchPJ)
+	t.Add("update w/o prop", timing.DelayUpdatePS, timing.EnergyBSUpdatePJ, timing.EnergyBPUpdatePJ)
+	t.Add("update w/ prop", timing.DelayUpdatePropPS, timing.EnergyBSUpdatePropPJ, "-")
+	t.Add("reduce", timing.DelayReducePS, "-", timing.EnergyBPReducePJ)
+	return t
+}
+
+// TableIII prints both machine configurations.
+func TableIII() *Table {
+	b := ooo.Baseline()
+	h := hbm.Default()
+	t := &Table{
+		Title:  "Table III — experimental setup",
+		Header: []string{"parameter", "baseline core", "CAPE ctrl processor"},
+	}
+	t.Add("core", fmt.Sprintf("%d-issue OoO, %d ROB, %.1f GHz", b.IssueWidth, b.ROB, b.FreqGHz),
+		fmt.Sprintf("2-issue in-order, %.1f GHz", timing.CAPEFreqGHz))
+	t.Add("FUs", fmt.Sprintf("%d IntALU / %d IntMul / %d Mem / %d Br",
+		b.IntALUs, b.IntMuls, b.MemPorts, b.BrUnits), "4/1/1/1 Int/FP/Mem/Br")
+	t.Add("L1D", "32kB 8-way LRU, 2-cycle", "32kB 8-way LRU, 2-cycle")
+	t.Add("L2", "1MB 16-way, 14-cycle", "1MB 16-way, 14-cycle, 512B line")
+	t.Add("L3", "5.5MB shared 11-way, 50-cycle, 512B line", "n/a (CSB is cacheless)")
+	t.Add("memory", fmt.Sprintf("HBM, %d ch x %.0f GB/s, %d MB/ch",
+		h.Channels, h.BytesPerNSPerChannel, h.ChannelCapacity>>20), "same (shared)")
+	t.Add("CSB", "n/a", "CAPE32k: 1,024 chains / CAPE131k: 4,096 chains")
+	return t
+}
+
+// Fig8 prints the area model.
+func Fig8() *Table {
+	t := &Table{
+		Title:  "Fig. 8 — layout/area model (7 nm)",
+		Header: []string{"component", "area"},
+		Notes:  []string{"chain layout is 13 x 175 µm² (paper Fig. 8)"},
+	}
+	t.Add("one chain", fmt.Sprintf("%.6f mm²", energy.ChainAreaMM2))
+	t.Add("CSB (1,024 chains)", fmt.Sprintf("%.2f mm²", energy.CSBAreaMM2(1024)))
+	t.Add("CSB (4,096 chains)", fmt.Sprintf("%.2f mm²", energy.CSBAreaMM2(4096)))
+	t.Add("CAPE32k tile (CP+caches+uncore+CSB)", fmt.Sprintf("%.2f mm²", energy.CAPEAreaMM2(1024)))
+	t.Add("CAPE131k tile", fmt.Sprintf("%.2f mm²", energy.CAPEAreaMM2(4096)))
+	t.Add("baseline OoO tile (area reference)", fmt.Sprintf("%.2f mm²", energy.BaselineTileMM2))
+	t.Add("CAPE32k area-equivalent cores", energy.EquivalentBaselineCores(1024))
+	t.Add("CAPE131k area-equivalent cores", energy.EquivalentBaselineCores(4096))
+	return t
+}
+
+// Measurement is one workload's timing on every platform.
+type Measurement struct {
+	Name      string
+	Intensity workloads.Intensity
+	// CAPE results by configuration name.
+	CAPE map[string]core.Result
+	// BaselinePS maps core count to wall time.
+	BaselinePS map[int]int64
+}
+
+// Speedup32k is CAPE32k vs one baseline core.
+func (m Measurement) Speedup32k() float64 {
+	return float64(m.BaselinePS[1]) / float64(m.CAPE["CAPE32k"].TimePS)
+}
+
+// Speedup131k is CAPE131k vs two baseline cores (the area-equivalent
+// comparison of Fig. 11).
+func (m Measurement) Speedup131k() float64 {
+	return float64(m.BaselinePS[2]) / float64(m.CAPE["CAPE131k"].TimePS)
+}
+
+// runCAPE executes one workload on one configuration.
+func runCAPE(w workloads.Workload, cfg core.Config) (core.Result, error) {
+	m := workloads.NewMachine(cfg)
+	prog, err := w.BuildCAPE(m)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		return core.Result{}, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	if err := w.Check(m); err != nil {
+		return core.Result{}, fmt.Errorf("%s: %w", w.Name, err)
+	}
+	return res, nil
+}
+
+// runBaseline replays the workload's scalar trace on `cores` cores.
+func runBaseline(w workloads.Workload, cores int) int64 {
+	streams := make([]trace.Stream, cores)
+	for c := 0; c < cores; c++ {
+		streams[c] = w.Scalar(cores, c)
+	}
+	st := ooo.RunMulticore(ooo.Baseline(), streams)
+	return st.TimePS(timing.BaselineFreqGHz)
+}
+
+// Measure runs one workload on both CAPE configurations and 1/2/3-core
+// baselines.
+func Measure(w workloads.Workload) (Measurement, error) {
+	m := Measurement{
+		Name:       w.Name,
+		Intensity:  w.Intensity,
+		CAPE:       map[string]core.Result{},
+		BaselinePS: map[int]int64{},
+	}
+	for _, cfg := range []core.Config{core.CAPE32k(), core.CAPE131k()} {
+		res, err := runCAPE(w, cfg)
+		if err != nil {
+			return m, err
+		}
+		m.CAPE[cfg.Name] = res
+	}
+	for _, cores := range []int{1, 2, 3} {
+		m.BaselinePS[cores] = runBaseline(w, cores)
+	}
+	return m, nil
+}
+
+// MeasureSuite measures a full workload list.
+func MeasureSuite(suite []workloads.Workload) ([]Measurement, error) {
+	out := make([]Measurement, 0, len(suite))
+	for _, w := range suite {
+		m, err := Measure(w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// SpeedupTable renders Fig. 9 (microbenchmarks) or Fig. 11 (Phoenix):
+// CAPE32k vs one core, CAPE131k vs two cores, with a three-core
+// reference.
+func SpeedupTable(title string, ms []Measurement) *Table {
+	t := &Table{
+		Title: title,
+		Header: []string{"benchmark", "intensity", "1-core (µs)", "CAPE32k (µs)", "speedup32k",
+			"2-core (µs)", "CAPE131k (µs)", "speedup131k", "3-core (µs)"},
+		Notes: []string{"speedup32k = 1-core / CAPE32k; speedup131k = 2-core / CAPE131k (area-equivalent pairs)"},
+	}
+	g32, g131 := 1.0, 1.0
+	for _, m := range ms {
+		s32, s131 := m.Speedup32k(), m.Speedup131k()
+		g32 *= s32
+		g131 *= s131
+		t.Add(m.Name, string(m.Intensity),
+			float64(m.BaselinePS[1])/1e6,
+			float64(m.CAPE["CAPE32k"].TimePS)/1e6, s32,
+			float64(m.BaselinePS[2])/1e6,
+			float64(m.CAPE["CAPE131k"].TimePS)/1e6, s131,
+			float64(m.BaselinePS[3])/1e6)
+	}
+	n := float64(len(ms))
+	if n > 0 {
+		t.Notes = append(t.Notes,
+			fmt.Sprintf("geomean speedup: CAPE32k %.1fx vs 1 core, CAPE131k %.1fx vs 2 cores",
+				pow(g32, 1/n), pow(g131, 1/n)))
+	}
+	return t
+}
+
+// Fig10 renders the roofline points of every measurement on both CAPE
+// configurations.
+func Fig10(ms []Measurement) *Table {
+	t := &Table{
+		Title: "Fig. 10 — roofline (ops/byte vs Gop/s)",
+		Header: []string{"benchmark", "config", "intensity op/B", "throughput Gop/s",
+			"roof Gop/s", "bound"},
+	}
+	for _, cfg := range []core.Config{core.CAPE32k(), core.CAPE131k()} {
+		model := roofline.ForConfig(cfg)
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"%s: compute roof %.0f Gop/s, memory roof %.0f GB/s, ridge %.2f op/B",
+			cfg.Name, model.ComputeRoofGops, model.MemBandwidthGBs, model.RidgePoint()))
+		for _, m := range ms {
+			p := model.Classify(m.Name, m.CAPE[cfg.Name])
+			t.Add(m.Name, cfg.Name, p.IntensityOpsPerByte, p.ThroughputGops,
+				model.RoofAt(p.IntensityOpsPerByte), p.BoundBy)
+		}
+	}
+	return t
+}
+
+// Fig12 runs the SVE-width sweep: speedup of 128/256/512-bit SIMD over
+// the scalar run on the same out-of-order core.
+func Fig12(suite []workloads.Workload) *Table {
+	t := &Table{
+		Title:  "Fig. 12 — SVE-style SIMD speedup over scalar (same OoO core)",
+		Header: []string{"benchmark", "scalar (µs)", "sve128", "sve256", "sve512"},
+		Notes:  []string{"compare with Fig. 11: CAPE32k typically exceeds the 512-bit configuration"},
+	}
+	widths := []int{128, 256, 512}
+	geo := make([]float64, len(widths))
+	for i := range geo {
+		geo[i] = 1
+	}
+	for _, w := range suite {
+		scalarPS := runBaseline(w, 1)
+		row := []interface{}{w.Name, float64(scalarPS) / 1e6}
+		for i, width := range widths {
+			st := ooo.New(ooo.WithSVE(width)).Run(w.SIMD(width))
+			s := float64(scalarPS) / float64(st.TimePS(timing.BaselineFreqGHz))
+			geo[i] *= s
+			row = append(row, s)
+		}
+		t.Add(row...)
+	}
+	if n := float64(len(suite)); n > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf("geomean: sve128 %.2fx, sve256 %.2fx, sve512 %.2fx",
+			pow(geo[0], 1/n), pow(geo[1], 1/n), pow(geo[2], 1/n)))
+	}
+	return t
+}
+
+func pow(x, y float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return math.Pow(x, y)
+}

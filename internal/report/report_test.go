@@ -1,0 +1,114 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"cape/internal/workloads"
+)
+
+func TestTableRendering(t *testing.T) {
+	tab := &Table{
+		Title:  "T",
+		Header: []string{"a", "bbbb", "c"},
+		Notes:  []string{"a note"},
+	}
+	tab.Add("x", 12, 3.5)
+	tab.Add("longer", 1.0, "s")
+	out := tab.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "a note") {
+		t.Fatalf("rendering:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	// Header and rows must align: the second column starts at the same
+	// offset everywhere.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "bbbb") != strings.Index(row, "12") {
+		t.Fatalf("columns not aligned:\n%s", out)
+	}
+	if !strings.Contains(out, "3.5") || strings.Contains(out, "3.50") {
+		t.Fatalf("float trimming:\n%s", out)
+	}
+}
+
+func TestStaticTables(t *testing.T) {
+	t1, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t1.Rows) != 11 {
+		t.Fatalf("Table I rows: %d", len(t1.Rows))
+	}
+	if !strings.Contains(t1.String(), "vadd.vv") {
+		t.Fatal("Table I missing vadd.vv")
+	}
+	if !strings.Contains(TableII().String(), "227") {
+		t.Fatal("Table II missing the search delay")
+	}
+	if !strings.Contains(TableIII().String(), "8-issue OoO") {
+		t.Fatal("Table III missing the baseline core")
+	}
+	if !strings.Contains(Fig8().String(), "13 x 175") {
+		t.Fatal("Fig 8 missing the chain layout note")
+	}
+}
+
+// TestMeasureSmallWorkload runs the full measurement pipeline (two
+// CAPE configs + three baseline core counts) on the cheapest
+// microbenchmark and checks structural sanity.
+func TestMeasureSmallWorkload(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full system measurement")
+	}
+	w, ok := workloads.ByName("redsum")
+	if !ok {
+		t.Fatal("redsum workload missing")
+	}
+	m, err := Measure(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CAPE["CAPE32k"].TimePS <= 0 || m.CAPE["CAPE131k"].TimePS <= 0 {
+		t.Fatalf("CAPE results: %+v", m.CAPE)
+	}
+	if m.BaselinePS[1] <= 0 || m.BaselinePS[2] <= 0 || m.BaselinePS[3] <= 0 {
+		t.Fatalf("baseline results: %+v", m.BaselinePS)
+	}
+	// More cores must not be slower.
+	if m.BaselinePS[2] > m.BaselinePS[1] || m.BaselinePS[3] > m.BaselinePS[2] {
+		t.Fatalf("multicore scaling inverted: %+v", m.BaselinePS)
+	}
+	if m.Speedup32k() <= 0 || m.Speedup131k() <= 0 {
+		t.Fatal("degenerate speedups")
+	}
+
+	ms := []Measurement{m}
+	st := SpeedupTable("test", ms)
+	if len(st.Rows) != 1 {
+		t.Fatal("speedup table rows")
+	}
+	if !strings.Contains(st.String(), "geomean") {
+		t.Fatal("missing geomean note")
+	}
+	f10 := Fig10(ms)
+	if len(f10.Rows) != 2 { // one per config
+		t.Fatalf("fig10 rows: %d", len(f10.Rows))
+	}
+}
+
+// TestFig12SmallSuite runs the SIMD sweep on one workload.
+func TestFig12SmallSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full SIMD sweep")
+	}
+	w, _ := workloads.ByName("vvadd")
+	tab := Fig12([]workloads.Workload{w})
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+	// Columns: name, scalar µs, three speedups — all present.
+	if len(tab.Rows[0]) != 5 {
+		t.Fatalf("cols: %v", tab.Rows[0])
+	}
+}

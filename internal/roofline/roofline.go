@@ -1,0 +1,80 @@
+// Package roofline implements the Roofline model (Williams et al.) the
+// paper uses in §VI-D/E (Fig. 10) to explain which applications are
+// compute- versus memory-bound on CAPE32k and CAPE131k.
+package roofline
+
+import (
+	"cape/internal/core"
+	"cape/internal/hbm"
+	"cape/internal/isa"
+	"cape/internal/timing"
+)
+
+// Point is one application's position in roofline space.
+type Point struct {
+	Name string
+	// IntensityOpsPerByte is operational intensity: vector element
+	// operations per main-memory byte moved.
+	IntensityOpsPerByte float64
+	// ThroughputGops is achieved throughput in giga-operations per
+	// second.
+	ThroughputGops float64
+	// BoundBy names the nearer roof: "compute" or "memory".
+	BoundBy string
+}
+
+// Model holds the two roofs of one CAPE configuration.
+type Model struct {
+	Name string
+	// ComputeRoofGops is the peak element throughput.
+	ComputeRoofGops float64
+	// MemBandwidthGBs is the HBM roof.
+	MemBandwidthGBs float64
+}
+
+// ForConfig derives the roofline of a CAPE configuration. The compute
+// roof uses the vadd.vv rate: lanes elements per (8n+2)-cycle
+// instruction at the CAPE clock — the paper's sustained arithmetic
+// ceiling for 32-bit operands.
+func ForConfig(cfg core.Config) Model {
+	lanes := float64(cfg.Chains * 32)
+	addCycles, _ := timing.VectorCycles(isa.OpVADD_VV, cfg.Chains, 0, 32)
+	opsPerSec := lanes / float64(addCycles) * timing.CAPEFreqGHz * 1e9
+	return Model{
+		Name:            cfg.Name,
+		ComputeRoofGops: opsPerSec / 1e9,
+		MemBandwidthGBs: hbm.Default().TotalBandwidthGBs(),
+	}
+}
+
+// RoofAt evaluates the roofline ceiling at a given intensity.
+func (m Model) RoofAt(intensity float64) float64 {
+	memRoof := intensity * m.MemBandwidthGBs
+	if memRoof < m.ComputeRoofGops {
+		return memRoof
+	}
+	return m.ComputeRoofGops
+}
+
+// RidgePoint is the intensity where the roofs meet.
+func (m Model) RidgePoint() float64 {
+	return m.ComputeRoofGops / m.MemBandwidthGBs
+}
+
+// Classify places a measured run in roofline space.
+func (m Model) Classify(name string, r core.Result) Point {
+	secs := r.Seconds()
+	p := Point{Name: name}
+	if r.MemBytes > 0 {
+		p.IntensityOpsPerByte = float64(r.LaneOps) / float64(r.MemBytes)
+	}
+	if secs > 0 {
+		p.ThroughputGops = float64(r.LaneOps) / secs / 1e9
+	}
+	if p.IntensityOpsPerByte < m.RidgePoint() {
+		p.BoundBy = "memory"
+	} else {
+		p.BoundBy = "compute"
+	}
+	return p
+}

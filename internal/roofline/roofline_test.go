@@ -1,0 +1,59 @@
+package roofline
+
+import (
+	"testing"
+
+	"cape/internal/core"
+)
+
+func TestForConfig(t *testing.T) {
+	m32 := ForConfig(core.CAPE32k())
+	// 32,768 lanes / 258 cycles * 2.7 GHz ≈ 343 Gop/s.
+	if m32.ComputeRoofGops < 300 || m32.ComputeRoofGops > 400 {
+		t.Fatalf("CAPE32k compute roof %.1f Gop/s, want ~343", m32.ComputeRoofGops)
+	}
+	if m32.MemBandwidthGBs != 128 {
+		t.Fatalf("memory roof %.1f GB/s", m32.MemBandwidthGBs)
+	}
+	m131 := ForConfig(core.CAPE131k())
+	if m131.ComputeRoofGops <= m32.ComputeRoofGops*3 {
+		t.Fatalf("CAPE131k roof %.1f should be ~4x CAPE32k's %.1f",
+			m131.ComputeRoofGops, m32.ComputeRoofGops)
+	}
+	// More compute at the same bandwidth pushes the ridge right.
+	if m131.RidgePoint() <= m32.RidgePoint() {
+		t.Fatal("ridge point must move right with CSB capacity")
+	}
+}
+
+func TestRoofAt(t *testing.T) {
+	m := Model{Name: "t", ComputeRoofGops: 100, MemBandwidthGBs: 10}
+	if got := m.RoofAt(1); got != 10 {
+		t.Fatalf("memory-bound roof: %v", got)
+	}
+	if got := m.RoofAt(1000); got != 100 {
+		t.Fatalf("compute-bound roof: %v", got)
+	}
+	if got := m.RidgePoint(); got != 10 {
+		t.Fatalf("ridge: %v", got)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	m := Model{Name: "t", ComputeRoofGops: 100, MemBandwidthGBs: 10}
+	memBound := m.Classify("stream", core.Result{
+		LaneOps: 1e9, MemBytes: 4e9, TimePS: 1e12,
+	})
+	if memBound.BoundBy != "memory" {
+		t.Fatalf("intensity 0.25 should be memory-bound: %+v", memBound)
+	}
+	if memBound.ThroughputGops != 1.0 {
+		t.Fatalf("throughput: %v", memBound.ThroughputGops)
+	}
+	computeBound := m.Classify("mm", core.Result{
+		LaneOps: 1e12, MemBytes: 4e9, TimePS: 1e12,
+	})
+	if computeBound.BoundBy != "compute" {
+		t.Fatalf("intensity 250 should be compute-bound: %+v", computeBound)
+	}
+}

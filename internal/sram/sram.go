@@ -1,0 +1,336 @@
+// Package sram models the compute-capable 6T SRAM subarray at the heart
+// of CAPE's Compute-Storage Block (paper §IV-A, Fig. 3).
+//
+// Each subarray is a 36-row by 32-column grid of push-rule 6T bitcells
+// with split wordlines (WLL/WLR), following Jeloka et al.'s binary CAM
+// design. Rows 0–31 hold one bit of each of the 32 architectural vector
+// registers (one vector element per column); rows 32–35 are metadata
+// rows used by the microcode (running carry and temporaries).
+//
+// The subarray supports the four CAPE microoperations:
+//
+//   - read: conventional single-row read (bit or row granularity);
+//   - write: conventional single-row write with per-column data;
+//   - search: content match of a key over at most four rows
+//     simultaneously, producing one match bit per column which is
+//     latched into the per-column tag bits (optionally combined with
+//     the previous tag value through the tag accumulator);
+//   - update: bulk write of a constant bit into one row, restricted to
+//     a caller-supplied set of columns (in hardware the column select
+//     is driven by tag bits rather than an address decoder).
+package sram
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Geometry of a CAPE subarray (paper §VI-A: "32 columns by 36 rows").
+const (
+	// DataRows is the number of architectural rows: one row per
+	// RISC-V vector register name (v0–v31).
+	DataRows = 32
+	// MetaRows is the number of additional metadata rows available to
+	// the microcode sequencer.
+	MetaRows = 4
+	// Rows is the total row count of the subarray.
+	Rows = DataRows + MetaRows
+	// Cols is the number of columns; each column stores one bit of a
+	// distinct vector element.
+	Cols = 32
+	// MaxSearchRows is the largest number of rows the search circuitry
+	// can compare simultaneously (paper §V-A: "our circuits need only
+	// be able to search to at most four rows").
+	MaxSearchRows = 4
+)
+
+// Well-known metadata row indices. The microcode in internal/tt uses
+// these conventions; the hardware itself does not distinguish them.
+const (
+	// RowCarry holds the running carry/borrow of bit-serial arithmetic.
+	RowCarry = DataRows + iota
+	// RowM1, RowM2, RowM3 are general-purpose temporaries (shifted
+	// multiplicand, broadcast gate bits, register-aliasing copies).
+	RowM1
+	RowM2
+	RowM3
+)
+
+// ColMask selects a subset of the 32 columns; bit c selects column c.
+type ColMask = uint32
+
+// AllCols selects every column of the subarray.
+const AllCols ColMask = 0xFFFFFFFF
+
+// AccMode selects how a search result is combined with the current tag
+// bits by the per-column tag accumulator (paper Fig. 7: "accumulator
+// enable" bits in each truth-table memory entry).
+type AccMode uint8
+
+const (
+	// AccSet overwrites the tag bits with the raw match result.
+	AccSet AccMode = iota
+	// AccOr ORs the match result into the tag bits.
+	AccOr
+	// AccXor XORs the match result into the tag bits. XOR accumulation
+	// lets a three-search sequence compute the parity a^b^c directly,
+	// which the adder microcode exploits.
+	AccXor
+	// AccAnd ANDs the match result into the tag bits.
+	AccAnd
+	// AccAndNot clears tag bits whose column matched.
+	AccAndNot
+)
+
+func (m AccMode) String() string {
+	switch m {
+	case AccSet:
+		return "set"
+	case AccOr:
+		return "or"
+	case AccXor:
+		return "xor"
+	case AccAnd:
+		return "and"
+	case AccAndNot:
+		return "andnot"
+	}
+	return fmt.Sprintf("AccMode(%d)", uint8(m))
+}
+
+// Key is the comparand/mask pair of a search microoperation. Bit r of
+// Care marks row r as participating in the match; bit r of Value gives
+// the bit value searched in row r. Rows with Care cleared are
+// "don't care": in hardware both their wordlines stay at GND.
+//
+// A column matches when every cared row holds the corresponding Value
+// bit (the bitline AND of Fig. 3).
+type Key struct {
+	Care  uint64
+	Value uint64
+}
+
+// MatchKey returns a Key matching value bits in the given rows.
+// rows[i] is compared against bit i of value.
+func MatchKey(value uint64, rows ...int) Key {
+	var k Key
+	for i, r := range rows {
+		k.Care |= 1 << uint(r)
+		if value&(1<<uint(i)) != 0 {
+			k.Value |= 1 << uint(r)
+		}
+	}
+	return k
+}
+
+// Match1 adds a match-for-1 constraint on row r and returns the key.
+// Adding the opposite polarity to an already-constrained row panics:
+// it would silently change the key's meaning and is always a microcode
+// generation bug.
+func (k Key) Match1(r int) Key {
+	bit := uint64(1) << uint(r)
+	if k.Care&bit != 0 && k.Value&bit == 0 {
+		panic(fmt.Sprintf("sram: row %d constrained with both polarities", r))
+	}
+	k.Care |= bit
+	k.Value |= bit
+	return k
+}
+
+// Match0 adds a match-for-0 constraint on row r and returns the key.
+func (k Key) Match0(r int) Key {
+	bit := uint64(1) << uint(r)
+	if k.Care&bit != 0 && k.Value&bit != 0 {
+		panic(fmt.Sprintf("sram: row %d constrained with both polarities", r))
+	}
+	k.Care |= bit
+	k.Value &^= bit
+	return k
+}
+
+// RowCount reports how many rows the key cares about.
+func (k Key) RowCount() int {
+	return bits.OnesCount64(k.Care)
+}
+
+// Validate checks that the key is realizable by the subarray circuits.
+func (k Key) Validate() error {
+	if k.Care>>Rows != 0 {
+		return fmt.Errorf("sram: search key cares about row >= %d", Rows)
+	}
+	if k.Value&^k.Care != 0 {
+		return fmt.Errorf("sram: search key has value bits outside care mask")
+	}
+	if n := k.RowCount(); n > MaxSearchRows {
+		return fmt.Errorf("sram: search key uses %d rows, circuit limit is %d", n, MaxSearchRows)
+	}
+	return nil
+}
+
+// Wordlines is the physical drive image of the two split wordlines for
+// every row during a search or update (paper Fig. 3). Bit r of WLL/WLR
+// is 1 when the corresponding wordline of row r is driven to VDD.
+//
+// Search encoding: search-for-1 drives WLR, search-for-0 drives WLL,
+// don't-care leaves both at GND. Update encoding: both wordlines of the
+// active row are asserted.
+type Wordlines struct {
+	WLL uint64
+	WLR uint64
+}
+
+// SearchWordlines translates a search key into its wordline drive image.
+func SearchWordlines(k Key) Wordlines {
+	return Wordlines{
+		WLR: k.Care & k.Value,
+		WLL: k.Care &^ k.Value,
+	}
+}
+
+// KeyFromWordlines recovers the search key from a wordline image. Rows
+// with both wordlines asserted are invalid in a search; an error is
+// returned so tests can verify command-encoding round trips.
+func KeyFromWordlines(w Wordlines) (Key, error) {
+	if both := w.WLL & w.WLR; both != 0 {
+		return Key{}, fmt.Errorf("sram: rows %#x drive both wordlines during search", both)
+	}
+	return Key{Care: w.WLL | w.WLR, Value: w.WLR}, nil
+}
+
+// Subarray is the functional model of one 36-row by 32-column SRAM
+// subarray plus its peripheral tag bits.
+type Subarray struct {
+	// rows[r] holds the 32 bitcells of row r; bit c is column c.
+	rows [Rows]uint32
+	// tag holds the per-column tag bits latched by searches.
+	tag uint32
+}
+
+// Reset clears every bitcell and the tag bits.
+func (s *Subarray) Reset() {
+	s.rows = [Rows]uint32{}
+	s.tag = 0
+}
+
+// ReadBit returns the bit stored at (row, col). This is the
+// single-element read microoperation.
+func (s *Subarray) ReadBit(row, col int) bool {
+	s.checkRow(row)
+	s.checkCol(col)
+	return s.rows[row]&(1<<uint(col)) != 0
+}
+
+// WriteBit stores a bit at (row, col). This is the single-element write
+// microoperation.
+func (s *Subarray) WriteBit(row, col int, v bool) {
+	s.checkRow(row)
+	s.checkCol(col)
+	if v {
+		s.rows[row] |= 1 << uint(col)
+	} else {
+		s.rows[row] &^= 1 << uint(col)
+	}
+}
+
+// ReadRow returns the full 32-bit contents of a row (bit c = column c).
+// Row-granularity reads are used by the VMU and by memory-only mode
+// (Jeloka et al.'s one-cycle row read).
+func (s *Subarray) ReadRow(row int) uint32 {
+	s.checkRow(row)
+	return s.rows[row]
+}
+
+// WriteRow performs a conventional SRAM write of data into row,
+// restricted to the columns in mask. Bits of untouched columns keep
+// their value.
+func (s *Subarray) WriteRow(row int, data uint32, mask ColMask) {
+	s.checkRow(row)
+	s.rows[row] = (s.rows[row] &^ mask) | (data & mask)
+}
+
+// Search performs the content-match microoperation: every column is
+// compared against the key simultaneously and the per-column match
+// result is combined into the tag bits under mode. It returns the raw
+// match mask (bit c set when column c matched every cared row).
+//
+// An invalid key (too many rows, out of range) panics: keys are
+// produced by the truth-table decoder, so an invalid key is a microcode
+// bug, not a data-dependent condition.
+func (s *Subarray) Search(k Key, mode AccMode) uint32 {
+	if err := k.Validate(); err != nil {
+		panic(err)
+	}
+	match := uint32(AllCols)
+	care := k.Care
+	for care != 0 {
+		r := bits.TrailingZeros64(care)
+		care &= care - 1
+		if k.Value&(1<<uint(r)) != 0 {
+			match &= s.rows[r]
+		} else {
+			match &= ^s.rows[r]
+		}
+	}
+	s.applyTag(match, mode)
+	return match
+}
+
+func (s *Subarray) applyTag(match uint32, mode AccMode) {
+	switch mode {
+	case AccSet:
+		s.tag = match
+	case AccOr:
+		s.tag |= match
+	case AccXor:
+		s.tag ^= match
+	case AccAnd:
+		s.tag &= match
+	case AccAndNot:
+		s.tag &^= match
+	default:
+		panic(fmt.Sprintf("sram: unknown accumulation mode %d", mode))
+	}
+}
+
+// Update performs the bulk-update microoperation: it writes the
+// constant bit value into row, but only in the columns selected by
+// mask. In hardware the mask is the tag bits of this or a neighbouring
+// subarray (optionally combined with the chain's column-enable latch);
+// the chain layer computes it and passes it down.
+func (s *Subarray) Update(row int, value bool, mask ColMask) {
+	s.checkRow(row)
+	if value {
+		s.rows[row] |= mask
+	} else {
+		s.rows[row] &^= mask
+	}
+}
+
+// Tag returns the current per-column tag bits.
+func (s *Subarray) Tag() uint32 { return s.tag }
+
+// SetTag overwrites the tag bits (used when restoring snapshots and by
+// chain-level tag shifting).
+func (s *Subarray) SetTag(t uint32) { s.tag = t }
+
+// PopCountTag returns the number of set tag bits, the quantity fed to
+// the chain's reduction popcount (paper §IV-E).
+func (s *Subarray) PopCountTag() int {
+	return bits.OnesCount32(s.tag)
+}
+
+// Snapshot returns a copy of the bitcell contents (not the tag bits),
+// for differential tests that assert non-addressed rows are preserved.
+func (s *Subarray) Snapshot() [Rows]uint32 { return s.rows }
+
+func (s *Subarray) checkRow(row int) {
+	if row < 0 || row >= Rows {
+		panic(fmt.Sprintf("sram: row %d out of range [0,%d)", row, Rows))
+	}
+}
+
+func (s *Subarray) checkCol(col int) {
+	if col < 0 || col >= Cols {
+		panic(fmt.Sprintf("sram: column %d out of range [0,%d)", col, Cols))
+	}
+}

@@ -1,0 +1,319 @@
+package sram
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteBit(t *testing.T) {
+	var s Subarray
+	for row := 0; row < Rows; row++ {
+		for col := 0; col < Cols; col++ {
+			if s.ReadBit(row, col) {
+				t.Fatalf("fresh subarray has bit set at (%d,%d)", row, col)
+			}
+		}
+	}
+	s.WriteBit(3, 7, true)
+	if !s.ReadBit(3, 7) {
+		t.Fatal("bit (3,7) not set after write")
+	}
+	if s.ReadBit(3, 8) || s.ReadBit(4, 7) || s.ReadBit(2, 7) {
+		t.Fatal("write disturbed a neighbouring cell")
+	}
+	s.WriteBit(3, 7, false)
+	if s.ReadBit(3, 7) {
+		t.Fatal("bit (3,7) still set after clearing write")
+	}
+}
+
+func TestWriteRowMask(t *testing.T) {
+	var s Subarray
+	s.WriteRow(5, 0xFFFFFFFF, AllCols)
+	s.WriteRow(5, 0x0000AAAA, 0x0000FFFF)
+	if got, want := s.ReadRow(5), uint32(0xFFFFAAAA); got != want {
+		t.Fatalf("masked row write: got %#x want %#x", got, want)
+	}
+}
+
+// TestFigure3Search reproduces the top half of the paper's Fig. 3: a
+// three-by-three array searching for the two-row pattern "0 in row 0,
+// 1 in row 1" with row 2 masked out.
+func TestFigure3Search(t *testing.T) {
+	var s Subarray
+	// Columns: c0 = (0,1,0), c1 = (1,1,1), c2 = (0,1,1), reading rows
+	// top to bottom.
+	cols := [3][3]bool{
+		{false, true, false},
+		{true, true, true},
+		{false, true, true},
+	}
+	for c, bitsOfCol := range cols {
+		for r, v := range bitsOfCol {
+			s.WriteBit(r, c, v)
+		}
+	}
+	k := Key{}.Match0(0).Match1(1) // row 2 is don't-care
+	match := s.Search(k, AccSet)
+	// Columns 0 and 2 match (row0=0, row1=1); column 1 mismatches on row 0.
+	if want := uint32(0b101); match != want {
+		t.Fatalf("Fig.3 search: got match mask %#b want %#b", match, want)
+	}
+	if s.Tag() != match {
+		t.Fatalf("tag bits %#b not latched from match %#b", s.Tag(), match)
+	}
+}
+
+// TestFigure3Update reproduces the bottom half of Fig. 3: a bulk update
+// writes a constant into one row of the matching columns only.
+func TestFigure3Update(t *testing.T) {
+	var s Subarray
+	// All cells start 0. Update row 1 to 1 in columns {0,2}.
+	s.Update(1, true, 0b101)
+	if got := s.ReadRow(1); got != 0b101 {
+		t.Fatalf("update row contents: got %#b want 0b101", got)
+	}
+	if s.ReadRow(0) != 0 || s.ReadRow(2) != 0 {
+		t.Fatal("update disturbed non-addressed rows")
+	}
+	// Updating with value 0 clears only the selected columns.
+	s.Update(1, false, 0b001)
+	if got := s.ReadRow(1); got != 0b100 {
+		t.Fatalf("clearing update: got %#b want 0b100", got)
+	}
+}
+
+func TestSearchWordlineEncoding(t *testing.T) {
+	k := Key{}.Match1(2).Match0(5).Match1(RowCarry)
+	w := SearchWordlines(k)
+	// search-for-1 drives WLR only; search-for-0 drives WLL only.
+	if w.WLR&(1<<2) == 0 || w.WLL&(1<<2) != 0 {
+		t.Error("row 2 (match 1) should drive WLR only")
+	}
+	if w.WLL&(1<<5) == 0 || w.WLR&(1<<5) != 0 {
+		t.Error("row 5 (match 0) should drive WLL only")
+	}
+	if w.WLL&(1<<3) != 0 || w.WLR&(1<<3) != 0 {
+		t.Error("don't-care row 3 must leave both wordlines at GND")
+	}
+	back, err := KeyFromWordlines(w)
+	if err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+	if back != k {
+		t.Fatalf("round trip: got %+v want %+v", back, k)
+	}
+	if _, err := KeyFromWordlines(Wordlines{WLL: 1, WLR: 1}); err == nil {
+		t.Error("both wordlines asserted must be rejected as a search image")
+	}
+}
+
+func TestKeyValidate(t *testing.T) {
+	ok := Key{}.Match1(0).Match0(1).Match1(2).Match0(3)
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("4-row key should validate: %v", err)
+	}
+	tooMany := ok.Match1(4)
+	if err := tooMany.Validate(); err == nil {
+		t.Error("5-row key must fail validation")
+	}
+	outOfRange := Key{Care: 1 << Rows, Value: 0}
+	if err := outOfRange.Validate(); err == nil {
+		t.Error("row >= Rows must fail validation")
+	}
+	stray := Key{Care: 0b01, Value: 0b10}
+	if err := stray.Validate(); err == nil {
+		t.Error("value bits outside care mask must fail validation")
+	}
+}
+
+func TestMatchKey(t *testing.T) {
+	k := MatchKey(0b10, 4, 9) // row4 <- 0, row9 <- 1
+	want := Key{}.Match0(4).Match1(9)
+	if k != want {
+		t.Fatalf("MatchKey: got %+v want %+v", k, want)
+	}
+}
+
+func TestSearchAccumulationModes(t *testing.T) {
+	var s Subarray
+	s.WriteRow(0, 0b0011, AllCols) // row0: cols 0,1 = 1
+	s.WriteRow(1, 0b0101, AllCols) // row1: cols 0,2 = 1
+
+	s.Search(Key{}.Match1(0), AccSet)
+	if s.Tag() != 0b0011 {
+		t.Fatalf("AccSet: tag %#b", s.Tag())
+	}
+	s.Search(Key{}.Match1(1), AccOr)
+	if s.Tag() != 0b0111 {
+		t.Fatalf("AccOr: tag %#b", s.Tag())
+	}
+	s.Search(Key{}.Match1(0), AccXor)
+	if s.Tag() != 0b0100 {
+		t.Fatalf("AccXor: tag %#b", s.Tag())
+	}
+	s.SetTag(0b0110)
+	s.Search(Key{}.Match1(1), AccAnd)
+	if s.Tag() != 0b0100 {
+		t.Fatalf("AccAnd: tag %#b", s.Tag())
+	}
+	s.SetTag(0b1111 & uint32(AllCols))
+	s.Search(Key{}.Match1(0), AccAndNot)
+	if s.Tag() != 0b1100 {
+		t.Fatalf("AccAndNot: tag %#b", s.Tag())
+	}
+}
+
+// TestSearchMatchesReference checks the search result against a naive
+// per-cell reference over random contents and random (valid) keys.
+func TestSearchMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 2000; iter++ {
+		var s Subarray
+		for r := 0; r < Rows; r++ {
+			s.WriteRow(r, rng.Uint32(), AllCols)
+		}
+		var k Key
+		nrows := rng.Intn(MaxSearchRows + 1)
+		for i := 0; i < nrows; i++ {
+			r := rng.Intn(Rows)
+			if k.Care&(1<<uint(r)) != 0 {
+				continue // avoid re-constraining a row
+			}
+			if rng.Intn(2) == 0 {
+				k = k.Match1(r)
+			} else {
+				k = k.Match0(r)
+			}
+		}
+		got := s.Search(k, AccSet)
+		var want uint32
+		for c := 0; c < Cols; c++ {
+			match := true
+			for r := 0; r < Rows; r++ {
+				if k.Care&(1<<uint(r)) == 0 {
+					continue
+				}
+				wantBit := k.Value&(1<<uint(r)) != 0
+				if s.ReadBit(r, c) != wantBit {
+					match = false
+					break
+				}
+			}
+			if match {
+				want |= 1 << uint(c)
+			}
+		}
+		if got != want {
+			t.Fatalf("iter %d: search mismatch: got %#x want %#x (key %+v)", iter, got, want, k)
+		}
+	}
+}
+
+// TestSearchPreservesContents asserts the search microoperation never
+// disturbs stored data (it only reads and latches tags).
+func TestSearchPreservesContents(t *testing.T) {
+	f := func(r0, r1, r2 uint32, keyRow uint8, keyVal bool) bool {
+		var s Subarray
+		s.WriteRow(0, r0, AllCols)
+		s.WriteRow(1, r1, AllCols)
+		s.WriteRow(RowCarry, r2, AllCols)
+		before := s.Snapshot()
+		row := int(keyRow) % Rows
+		k := Key{}
+		if keyVal {
+			k = k.Match1(row)
+		} else {
+			k = k.Match0(row)
+		}
+		s.Search(k, AccOr)
+		return s.Snapshot() == before
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateOnlyTouchesSelectedColumns is the update-side isolation
+// invariant: an update must modify exactly (row, mask) and nothing else.
+func TestUpdateOnlyTouchesSelectedColumns(t *testing.T) {
+	f := func(seed int64, row uint8, value bool, mask uint32) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var s Subarray
+		for r := 0; r < Rows; r++ {
+			s.WriteRow(r, rng.Uint32(), AllCols)
+		}
+		before := s.Snapshot()
+		r := int(row) % Rows
+		s.Update(r, value, mask)
+		after := s.Snapshot()
+		for rr := 0; rr < Rows; rr++ {
+			if rr != r {
+				if after[rr] != before[rr] {
+					return false
+				}
+				continue
+			}
+			var want uint32
+			if value {
+				want = before[rr] | mask
+			} else {
+				want = before[rr] &^ mask
+			}
+			if after[rr] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPopCountTag(t *testing.T) {
+	var s Subarray
+	s.SetTag(0)
+	if s.PopCountTag() != 0 {
+		t.Fatal("empty tag popcount != 0")
+	}
+	s.SetTag(0xF000000F)
+	if got := s.PopCountTag(); got != 8 {
+		t.Fatalf("popcount: got %d want 8", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(s *Subarray)
+	}{
+		{"read bit row", func(s *Subarray) { s.ReadBit(Rows, 0) }},
+		{"read bit col", func(s *Subarray) { s.ReadBit(0, Cols) }},
+		{"write row", func(s *Subarray) { s.WriteRow(-1, 0, AllCols) }},
+		{"update row", func(s *Subarray) { s.Update(Rows+3, true, AllCols) }},
+		{"bad key", func(s *Subarray) { s.Search(Key{Care: 0x1F, Value: 0}, AccSet) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			var s Subarray
+			tc.fn(&s)
+		})
+	}
+}
+
+func TestReset(t *testing.T) {
+	var s Subarray
+	s.WriteRow(0, 0xDEADBEEF, AllCols)
+	s.SetTag(0xFF)
+	s.Reset()
+	if s.ReadRow(0) != 0 || s.Tag() != 0 {
+		t.Fatal("reset did not clear contents and tags")
+	}
+}

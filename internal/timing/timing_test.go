@@ -1,0 +1,120 @@
+package timing
+
+import (
+	"testing"
+
+	"cape/internal/isa"
+)
+
+func TestVectorCyclesTableI(t *testing.T) {
+	const chains = 1024
+	tree := ReductionTreeStages(chains)
+	cases := []struct {
+		op   isa.Opcode
+		want int
+	}{
+		{isa.OpVADD_VV, 8*32 + 2},
+		{isa.OpVSUB_VV, 8*32 + 2},
+		{isa.OpVMUL_VV, 4*32*32 - 4*32},
+		{isa.OpVREDSUM_VS, 32 + tree},
+		{isa.OpVAND_VV, 3},
+		{isa.OpVOR_VV, 3},
+		{isa.OpVXOR_VV, 4},
+		{isa.OpVMSEQ_VX, 32 + 1 + tree},
+		{isa.OpVMSEQ_VV, 32 + 4 + tree},
+		{isa.OpVMSLT_VV, 3*32 + 6},
+		{isa.OpVMERGE_VVM, 4},
+	}
+	for _, tc := range cases {
+		got, ok := VectorCycles(tc.op, chains, 0, 32)
+		if !ok {
+			t.Errorf("%v: no cycle model", tc.op)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%v: cycles %d want %d", tc.op, got, tc.want)
+		}
+	}
+}
+
+func TestVectorCyclesUnknownOp(t *testing.T) {
+	if _, ok := VectorCycles(isa.OpADD, 1024, 0, 32); ok {
+		t.Error("scalar opcode should have no vector cycle model")
+	}
+}
+
+func TestReductionTreeStages(t *testing.T) {
+	// The paper synthesizes 5 pipeline stages for 1,024 chains.
+	if got := ReductionTreeStages(1024); got != 5 {
+		t.Fatalf("1024 chains: %d stages, want 5", got)
+	}
+	if got := ReductionTreeStages(4096); got != 6 {
+		t.Fatalf("4096 chains: %d stages, want 6", got)
+	}
+	if got := ReductionTreeStages(1); got != 1 {
+		t.Fatalf("1 chain: %d stages, want 1", got)
+	}
+	// Monotonic in chain count.
+	prev := 0
+	for c := 2; c <= 1<<14; c *= 2 {
+		s := ReductionTreeStages(c)
+		if s < prev {
+			t.Fatalf("stages not monotonic at %d chains", c)
+		}
+		prev = s
+	}
+}
+
+func TestCommandDistributionGrowsWithChains(t *testing.T) {
+	if CommandDistributionCycles(4096) <= 0 {
+		t.Fatal("non-positive command distribution")
+	}
+	if CommandDistributionCycles(4096) < CommandDistributionCycles(1024) {
+		t.Fatal("command distribution must not shrink with more chains")
+	}
+}
+
+func TestClocking(t *testing.T) {
+	// 2.7 GHz is a ~65% derate of the 4.22 GHz critical path.
+	maxFreq := 1000.0 / CriticalPathPS
+	if maxFreq < 4.2 || maxFreq > 4.3 {
+		t.Fatalf("critical-path frequency %v GHz, want ~4.22", maxFreq)
+	}
+	ratio := CAPEFreqGHz / maxFreq
+	if ratio < 0.60 || ratio > 0.70 {
+		t.Fatalf("derating ratio %v, want ~0.65", ratio)
+	}
+	if CAPECyclePS < 370 || CAPECyclePS > 371 {
+		t.Fatalf("cycle time %v ps", CAPECyclePS)
+	}
+}
+
+func TestPaperLaneEnergy(t *testing.T) {
+	for _, row := range TableI {
+		opName := row.Mnemonic
+		if opName == "vmerge.vv" {
+			opName = "vmerge.vvm"
+		}
+		op, ok := isa.OpcodeByName(opName)
+		if !ok {
+			t.Fatalf("Table I row %q has no opcode", row.Mnemonic)
+		}
+		e, ok := PaperLaneEnergyPJ(op)
+		if !ok {
+			t.Errorf("%v: no paper energy", op)
+			continue
+		}
+		if e != row.LaneEnergy {
+			t.Errorf("%v: energy %v want %v", op, e, row.LaneEnergy)
+		}
+	}
+	if _, ok := PaperLaneEnergyPJ(isa.OpVMV_VX); ok {
+		t.Error("vmv.v.x is not in Table I")
+	}
+}
+
+func TestTableIComplete(t *testing.T) {
+	if len(TableI) != 11 {
+		t.Fatalf("Table I should have 11 rows, has %d", len(TableI))
+	}
+}

@@ -1,0 +1,109 @@
+// Package trace defines the dynamic instruction stream representation
+// consumed by the baseline core models (paper §VI-C). Workload
+// generators produce streams by running the algorithm in Go and
+// emitting one Op per dynamic instruction; the out-of-order and SIMD
+// core models replay them against the Table III machine parameters.
+package trace
+
+// Kind classifies a dynamic operation.
+type Kind uint8
+
+const (
+	// IntALU is a simple integer operation (add, logic, shift, compare).
+	IntALU Kind = iota
+	// IntMul is an integer multiply.
+	IntMul
+	// IntDiv is an integer divide.
+	IntDiv
+	// FPALU is a floating-point add/multiply (the Phoenix kernels use
+	// fixed-point in our port, but the generators may emit FP).
+	FPALU
+	// Load is a memory read of Addr.
+	Load
+	// Store is a memory write of Addr.
+	Store
+	// Branch is a conditional branch identified by PC with outcome
+	// Taken.
+	Branch
+
+	// VecALU, VecMul, VecLoad, VecStore are SIMD operations processing
+	// one vector register (the SVE comparison of Fig. 12). VecLoad and
+	// VecStore carry the base Addr; the model expands them to the
+	// vector width.
+	VecALU
+	VecMul
+	VecLoad
+	VecStore
+
+	numKinds
+)
+
+// NumKinds is the number of distinct kinds.
+const NumKinds = int(numKinds)
+
+func (k Kind) String() string {
+	switch k {
+	case IntALU:
+		return "ialu"
+	case IntMul:
+		return "imul"
+	case IntDiv:
+		return "idiv"
+	case FPALU:
+		return "fpalu"
+	case Load:
+		return "load"
+	case Store:
+		return "store"
+	case Branch:
+		return "branch"
+	case VecALU:
+		return "valu"
+	case VecMul:
+		return "vmul"
+	case VecLoad:
+		return "vload"
+	case VecStore:
+		return "vstore"
+	}
+	return "kind?"
+}
+
+// Op is one dynamic instruction.
+type Op struct {
+	Kind Kind
+	// Addr is the effective address of memory operations.
+	Addr uint64
+	// PC identifies the static branch for the predictor.
+	PC uint32
+	// Taken is the branch outcome.
+	Taken bool
+	// Dep is the backwards distance (in dynamic ops) to the producer
+	// of this op's critical input; 0 means no modelled dependency.
+	// Generators mark loop-carried chains (accumulators, pointers)
+	// so the core model sees the real critical path.
+	Dep uint32
+}
+
+// Stream generates a trace by calling emit for every dynamic op, in
+// program order. Streams are replayable: each call regenerates the
+// same sequence.
+type Stream func(emit func(Op))
+
+// Count runs the stream and returns the op count by kind.
+func Count(s Stream) (total uint64, byKind [NumKinds]uint64) {
+	s(func(o Op) {
+		total++
+		byKind[o.Kind]++
+	})
+	return
+}
+
+// Concat chains streams back to back.
+func Concat(streams ...Stream) Stream {
+	return func(emit func(Op)) {
+		for _, s := range streams {
+			s(emit)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package trace
+
+import "testing"
+
+func TestCount(t *testing.T) {
+	s := Stream(func(emit func(Op)) {
+		emit(Op{Kind: IntALU})
+		emit(Op{Kind: IntALU})
+		emit(Op{Kind: Load, Addr: 4})
+		emit(Op{Kind: Branch, Taken: true})
+	})
+	total, byKind := Count(s)
+	if total != 4 {
+		t.Fatalf("total %d", total)
+	}
+	if byKind[IntALU] != 2 || byKind[Load] != 1 || byKind[Branch] != 1 {
+		t.Fatalf("byKind %v", byKind)
+	}
+}
+
+func TestConcatOrder(t *testing.T) {
+	var got []Kind
+	a := Stream(func(emit func(Op)) { emit(Op{Kind: IntALU}) })
+	b := Stream(func(emit func(Op)) { emit(Op{Kind: Load}) })
+	Concat(a, b)(func(o Op) { got = append(got, o.Kind) })
+	if len(got) != 2 || got[0] != IntALU || got[1] != Load {
+		t.Fatalf("order: %v", got)
+	}
+}
+
+func TestKindStringsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		s := k.String()
+		if s == "kind?" || seen[s] {
+			t.Fatalf("kind %d: %q", k, s)
+		}
+		seen[s] = true
+	}
+	if Kind(200).String() != "kind?" {
+		t.Fatal("out-of-range kind should stringify to placeholder")
+	}
+}
+
+func TestStreamsAreReplayable(t *testing.T) {
+	s := Stream(func(emit func(Op)) {
+		for i := 0; i < 10; i++ {
+			emit(Op{Kind: IntALU, PC: uint32(i)})
+		}
+	})
+	n1, _ := Count(s)
+	n2, _ := Count(s)
+	if n1 != n2 {
+		t.Fatal("stream not replayable")
+	}
+}

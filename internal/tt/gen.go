@@ -1,0 +1,472 @@
+package tt
+
+import (
+	"fmt"
+
+	"cape/internal/chain"
+	"cape/internal/isa"
+	"cape/internal/sram"
+)
+
+// ElemBits is the operand width the microcode is generated for (the
+// paper's evaluation uses the 32-bit configuration throughout).
+const ElemBits = chain.ElemBits
+
+// Generate lowers a vector ALU/comparison/reduction instruction into
+// CSB microcode for the default 32-bit element width. vd/vs2/vs1 are
+// architectural vector register indices (= subarray row numbers); x is
+// the scalar operand of .vx forms and of splats. Vector memory
+// instructions do not pass through here — they are handled by the VMU.
+func Generate(op isa.Opcode, vd, vs2, vs1 int, x uint64) ([]MicroOp, error) {
+	return GenerateSEW(op, vd, vs2, vs1, x, ElemBits)
+}
+
+// GenerateSEW lowers an instruction at a narrow element width (paper
+// §V-A: sequences under 32 bits). Values are stored zero-padded in the
+// upper bit slices; the microcode maintains that invariant, so the
+// bit-parallel (full-width) searches of the logic and equality
+// instructions remain correct.
+func GenerateSEW(op isa.Opcode, vd, vs2, vs1 int, x uint64, sew int) ([]MicroOp, error) {
+	switch sew {
+	case 8, 16, 32:
+	default:
+		return nil, fmt.Errorf("tt: unsupported element width %d", sew)
+	}
+	g := &gen{n: sew}
+	if sew < 64 {
+		x &= 1<<uint(sew) - 1
+	}
+	switch op {
+	case isa.OpVADD_VV:
+		g.addSub(vd, vs2, vs1, false)
+	case isa.OpVSUB_VV:
+		g.addSub(vd, vs2, vs1, true)
+	case isa.OpVADD_VX:
+		g.splat(sram.RowM1, x)
+		g.addSub(vd, vs2, sram.RowM1, false)
+	case isa.OpVSUB_VX:
+		g.splat(sram.RowM1, x)
+		g.addSub(vd, vs2, sram.RowM1, true)
+	case isa.OpVMUL_VV:
+		g.mul(vd, vs2, vs1)
+	case isa.OpVAND_VV, isa.OpVOR_VV, isa.OpVXOR_VV:
+		g.logic(op, vd, vs2, vs1)
+	case isa.OpVMSEQ_VV:
+		g.mseqVV(vd, vs2, vs1)
+	case isa.OpVMSEQ_VX:
+		g.mseqVX(vd, vs2, x)
+	case isa.OpVMSLT_VV:
+		g.mslt(vd, vs2, vs1)
+	case isa.OpVMSLT_VX:
+		g.splat(sram.RowM1, x)
+		g.mslt(vd, vs2, sram.RowM1)
+	case isa.OpVMERGE_VVM:
+		g.merge(vd, vs2, vs1, 0)
+	case isa.OpVMV_VX:
+		g.splat(vd, x)
+	case isa.OpVREDSUM_VS:
+		g.redsum(vs2)
+	case isa.OpVCPOP_M:
+		g.cpop(vs2)
+	case isa.OpVFIRST_M:
+		// The search exposes the mask in the tag bits; the executor's
+		// priority encoder extracts the first set element.
+		g.search(0, sram.Key{}.Match1(vs2), sram.AccSet)
+	case isa.OpVMSNE_VV:
+		g.msneVV(vd, vs2, vs1)
+	case isa.OpVMSNE_VX:
+		g.msneVX(vd, vs2, x)
+	case isa.OpVMAX_VV:
+		g.minmax(vd, vs2, vs1, true)
+	case isa.OpVMIN_VV:
+		g.minmax(vd, vs2, vs1, false)
+	case isa.OpVRSUB_VX:
+		g.splat(sram.RowM1, x)
+		g.addSub(vd, sram.RowM1, vs2, true) // x - a
+	case isa.OpVMV_VV:
+		g.copyReg(vd, vs2)
+	case isa.OpVSLL_VI:
+		g.shift(vd, vs2, int(x), chain.SrcPrevTag)
+	case isa.OpVSRL_VI:
+		g.shift(vd, vs2, int(x), chain.SrcNextTag)
+	default:
+		return nil, fmt.Errorf("tt: no associative algorithm for %v", op)
+	}
+	return g.ops, nil
+}
+
+// gen accumulates microops.
+type gen struct {
+	ops []MicroOp
+	// n is the element width in bits (8, 16 or 32).
+	n int
+}
+
+func (g *gen) emit(op MicroOp) {
+	if op.Cycles == 0 && op.Kind != KReduce {
+		op.Cycles = 1
+	}
+	g.ops = append(g.ops, op)
+}
+
+func (g *gen) search(sub int, k sram.Key, acc sram.AccMode) {
+	g.emit(MicroOp{Kind: KSearch, Sub: sub, Key: k, Acc: acc})
+}
+
+func (g *gen) searchAll(k sram.Key, acc sram.AccMode) {
+	g.emit(MicroOp{Kind: KSearchAll, Key: k, Acc: acc})
+}
+
+func (g *gen) update(sub, row int, value bool, sel chain.Selector) {
+	g.emit(MicroOp{Kind: KUpdate, Sub: sub, Row: row, Value: value, Sel: sel})
+}
+
+func (g *gen) updateAll(row int, value bool, sel chain.Selector) {
+	g.emit(MicroOp{Kind: KUpdateAll, Row: row, Value: value, Sel: sel})
+}
+
+func (g *gen) enableFrom(sub int, op chain.EnableOp, invert bool) {
+	g.emit(MicroOp{Kind: KEnable, Sub: sub, EnOp: op, EnInvert: invert})
+}
+
+func (g *gen) enableCombine(op CombineOp, invert bool) {
+	// Bit-serial echo of all subarray tags through the combine logic
+	// (always full width: the padding slices compare equal).
+	g.emit(MicroOp{Kind: KEnableCombine, Combine: op, CombineInvert: invert, Cycles: chain.SubPerChain})
+}
+
+// splat writes bit s of x into row of subarray s, all columns: the
+// scalar-operand broadcast. One command distributes per-subarray data
+// bits the same way vmseq.vx distributes its comparand; we charge two
+// cycles (drive plus settle) since Table I does not list vmv.v.x.
+func (g *gen) splat(row int, x uint64) {
+	g.emit(MicroOp{Kind: KUpdateX, Row: row, X: x, Cycles: 2})
+}
+
+// copyReg copies register row src to row dst, bit-parallel, in three
+// cycles (search 1s / clear dst / set dst where tag). Used to
+// de-alias destinations that are also sources.
+func (g *gen) copyReg(dst, src int) {
+	g.searchAll(sram.Key{}.Match1(src), sram.AccSet)
+	g.updateAll(dst, false, chain.Selector{Src: chain.SrcAllCols})
+	g.updateAll(dst, true, chain.Selector{Src: chain.SrcOwnTag})
+}
+
+// dealias returns operand rows that are safe to read after row d is
+// clobbered, copying an aliased source into the scratch row first.
+func (g *gen) dealias(d, a, b, scratch int) (int, int) {
+	switch {
+	case d == a && d == b:
+		g.copyReg(scratch, d)
+		return scratch, scratch
+	case d == a:
+		g.copyReg(scratch, a)
+		return scratch, b
+	case d == b:
+		g.copyReg(scratch, b)
+		return a, scratch
+	}
+	return a, b
+}
+
+// addSub emits the bit-serial adder/subtractor: d = a ± b.
+//
+// Per bit s the parity d_s = a^b^c is produced by three XOR-accumulated
+// single-row searches plus one tag-selected update, and the carry
+// (borrow) out is produced by three OR-accumulated two-row searches
+// plus one neighbour-propagated update — eight cycles per bit, plus two
+// bulk updates to pre-clear the destination and the carry row: the
+// 8n+2 total of Table I.
+func (g *gen) addSub(d, a, b int, borrow bool) {
+	a, b = g.dealias(d, a, b, sram.RowM3)
+	all := chain.Selector{Src: chain.SrcAllCols}
+	own := chain.Selector{Src: chain.SrcOwnTag}
+	prev := chain.Selector{Src: chain.SrcPrevTag}
+
+	if borrow && a == b {
+		// x - x: the borrow search patterns would need both polarities
+		// of the same row; the result is identically zero instead.
+		g.updateAll(d, false, all)
+		return
+	}
+
+	g.updateAll(sram.RowCarry, false, all)
+	g.updateAll(d, false, all)
+
+	for s := 0; s < g.n; s++ {
+		// d_s = a ^ b ^ carry (XOR accumulation).
+		g.search(s, sram.Key{}.Match1(a), sram.AccSet)
+		g.search(s, sram.Key{}.Match1(b), sram.AccXor)
+		g.search(s, sram.Key{}.Match1(sram.RowCarry), sram.AccXor)
+		g.update(s, d, true, own)
+		// carry_{s+1}: majority(a, b, c) for add; majority(¬a, b, c)
+		// for subtract (borrow).
+		ka := sram.Key{}.Match1(a)
+		if borrow {
+			ka = sram.Key{}.Match0(a)
+		}
+		g.search(s, ka.Match1(b), sram.AccSet)
+		g.search(s, sram.Key{}.Match1(b).Match1(sram.RowCarry), sram.AccOr)
+		g.search(s, ka.Match1(sram.RowCarry), sram.AccOr)
+		// The carry out of the last subarray is architecturally
+		// dropped (modular arithmetic); the cycle is still spent.
+		g.update(s+1, sram.RowCarry, true, prev)
+	}
+}
+
+// mul emits the shift-and-add multiplier: d = a * b (low 32 bits).
+//
+// The shifted multiplicand lives in scratch row M1 and is advanced one
+// subarray per outer step using the neighbour tag-propagation path (a
+// bit-parallel three-cycle shift). Each multiplier bit b_j is searched
+// once and latched into the chain's column-enable latch, predicating
+// the conditional in-place accumulation d += M1.
+func (g *gen) mul(d, a, b int) {
+	a, b = g.dealias(d, a, b, sram.RowM3)
+	all := chain.Selector{Src: chain.SrcAllCols}
+	own := chain.Selector{Src: chain.SrcOwnTag}
+	ownG := chain.Selector{Src: chain.SrcOwnTag, GateEnable: true}
+	ownInvG := chain.Selector{Src: chain.SrcOwnTag, Invert: true, GateEnable: true}
+	prevG := chain.Selector{Src: chain.SrcPrevTag, GateEnable: true}
+	prev := chain.Selector{Src: chain.SrcPrevTag}
+
+	g.updateAll(d, false, all)
+
+	for j := 0; j < g.n; j++ {
+		// Position the multiplicand: M1 = a << j.
+		if j == 0 {
+			g.searchAll(sram.Key{}.Match1(a), sram.AccSet)
+			g.updateAll(sram.RowM1, false, all)
+			g.updateAll(sram.RowM1, true, own)
+		} else {
+			g.searchAll(sram.Key{}.Match1(sram.RowM1), sram.AccSet)
+			g.updateAll(sram.RowM1, false, all)
+			g.updateAll(sram.RowM1, true, prev)
+		}
+		// Gate on multiplier bit j.
+		g.search(j, sram.Key{}.Match1(b), sram.AccSet)
+		g.enableFrom(j, chain.EnLoad, false)
+		// Fresh carry chain for this partial product.
+		g.updateAll(sram.RowCarry, false, all)
+		// In-place accumulate: d += M1, bits j..n-1 (lower bits of the
+		// shifted multiplicand are zero and carry-in starts at zero).
+		for s := j; s < g.n; s++ {
+			// carry_{s+1} = majority(d, M1, carry) — computed before d
+			// is overwritten.
+			g.search(s, sram.Key{}.Match1(d).Match1(sram.RowM1), sram.AccSet)
+			g.search(s, sram.Key{}.Match1(sram.RowM1).Match1(sram.RowCarry), sram.AccOr)
+			g.search(s, sram.Key{}.Match1(d).Match1(sram.RowCarry), sram.AccOr)
+			g.update(s+1, sram.RowCarry, true, prevG)
+			// d_s = d ^ M1 ^ carry; both polarities written because d
+			// accumulates in place.
+			g.search(s, sram.Key{}.Match1(d), sram.AccSet)
+			g.search(s, sram.Key{}.Match1(sram.RowM1), sram.AccXor)
+			g.search(s, sram.Key{}.Match1(sram.RowCarry), sram.AccXor)
+			g.update(s, d, true, ownG)
+			g.update(s, d, false, ownInvG)
+		}
+	}
+}
+
+// logic emits the bit-parallel logic instructions (Table I: three
+// cycles for vand/vor, four for vxor). The search is issued before the
+// destination is touched, so aliased forms are naturally correct.
+func (g *gen) logic(op isa.Opcode, d, a, b int) {
+	all := chain.Selector{Src: chain.SrcAllCols}
+	own := chain.Selector{Src: chain.SrcOwnTag}
+	switch op {
+	case isa.OpVAND_VV:
+		g.searchAll(sram.Key{}.Match1(a).Match1(b), sram.AccSet)
+		g.updateAll(d, false, all)
+		g.updateAll(d, true, own)
+	case isa.OpVOR_VV:
+		g.searchAll(sram.Key{}.Match0(a).Match0(b), sram.AccSet)
+		g.updateAll(d, true, all)
+		g.updateAll(d, false, own)
+	case isa.OpVXOR_VV:
+		if a == b {
+			// x ^ x: the mixed-polarity search patterns collapse; the
+			// result is identically zero.
+			g.updateAll(d, false, all)
+			return
+		}
+		g.searchAll(sram.Key{}.Match1(a).Match0(b), sram.AccSet)
+		g.searchAll(sram.Key{}.Match0(a).Match1(b), sram.AccOr)
+		g.updateAll(d, false, all)
+		g.updateAll(d, true, own)
+	default:
+		panic("tt: not a logic op: " + op.String())
+	}
+}
+
+// mseqVV emits vmseq.vv: per-subarray mismatch tags (two bit-parallel
+// searches), a bit-serial NOR combine into the enable latch (n cycles),
+// and the mask write — n+4 cycles, matching Table I.
+func (g *gen) mseqVV(d, a, b int) {
+	if a == b {
+		// x == x: identically true.
+		g.updateAll(d, false, chain.Selector{Src: chain.SrcAllCols})
+		g.update(0, d, true, chain.Selector{Src: chain.SrcAllCols})
+		return
+	}
+	g.searchAll(sram.Key{}.Match1(a).Match0(b), sram.AccSet)
+	g.searchAll(sram.Key{}.Match0(a).Match1(b), sram.AccOr)
+	g.enableCombine(CombineOr, true) // enable = NOR(mismatch) = equal
+	g.updateAll(d, false, chain.Selector{Src: chain.SrcAllCols})
+	g.update(0, d, true, chain.Selector{Src: chain.SrcEnable})
+}
+
+// mseqVX emits vmseq.vx: one bit-parallel search whose comparand bit
+// for subarray s is bit s of x, then the bit-serial tag combine — the
+// n+1 structure of Table I.
+func (g *gen) mseqVX(d, a int, x uint64) {
+	g.emit(MicroOp{Kind: KSearchX, Row: a, X: x, Acc: sram.AccSet})
+	g.enableCombine(CombineAnd, false)
+	g.updateAll(d, false, chain.Selector{Src: chain.SrcAllCols})
+	g.update(0, d, true, chain.Selector{Src: chain.SrcEnable})
+}
+
+// mslt emits the signed less-than compare. Bits are scanned LSB to
+// MSB; at every bit where the operands differ the running verdict is
+// overwritten through the broadcast tag bus, so the most significant
+// difference wins. The sign bit uses the reversed pattern (signed
+// order).
+func (g *gen) mslt(d, a, b int) {
+	if d == a || d == b {
+		g.copyReg(sram.RowM2, d)
+		if d == a {
+			a = sram.RowM2
+		}
+		if d == b {
+			b = sram.RowM2
+		}
+	}
+	g.updateAll(d, false, chain.Selector{Src: chain.SrcAllCols})
+	if a == b {
+		// x < x: identically false; the destination is already clear.
+		return
+	}
+	for s := 0; s < g.n; s++ {
+		lt := sram.Key{}.Match0(a).Match1(b)
+		gt := sram.Key{}.Match1(a).Match0(b)
+		if s == g.n-1 { // sign bit: negative < positive
+			lt, gt = gt, lt
+		}
+		g.search(s, lt, sram.AccSet)
+		g.update(0, d, true, chain.Selector{Src: chain.SrcSubTag, Sub: s})
+		g.search(s, gt, sram.AccSet)
+		g.update(0, d, false, chain.Selector{Src: chain.SrcSubTag, Sub: s})
+	}
+}
+
+// merge emits vmerge.vvm: vd[i] = mask[i] ? vs1[i] : vs2[i], with the
+// mask register latched into the column-enable latch first. Sides
+// aliased with the destination need no data movement and are skipped.
+func (g *gen) merge(d, a, b, maskReg int) {
+	g.search(0, sram.Key{}.Match1(maskReg), sram.AccSet)
+	g.enableFrom(0, chain.EnLoad, false)
+	if d != b {
+		g.searchAll(sram.Key{}.Match1(b), sram.AccSet)
+		g.updateAll(d, true, chain.Selector{Src: chain.SrcOwnTag, GateEnable: true})
+		g.updateAll(d, false, chain.Selector{Src: chain.SrcOwnTag, Invert: true, GateEnable: true})
+	}
+	if d != a {
+		g.searchAll(sram.Key{}.Match1(a), sram.AccSet)
+		g.updateAll(d, true, chain.Selector{Src: chain.SrcOwnTag, GateEnable: true, GateInvert: true})
+		g.updateAll(d, false, chain.Selector{Src: chain.SrcOwnTag, Invert: true, GateEnable: true, GateInvert: true})
+	}
+}
+
+// msneVV is the complement of mseqVV: the mismatch OR-combine is used
+// directly rather than inverted.
+func (g *gen) msneVV(d, a, b int) {
+	if a == b {
+		// x != x: identically false.
+		g.updateAll(d, false, chain.Selector{Src: chain.SrcAllCols})
+		return
+	}
+	g.searchAll(sram.Key{}.Match1(a).Match0(b), sram.AccSet)
+	g.searchAll(sram.Key{}.Match0(a).Match1(b), sram.AccOr)
+	g.enableCombine(CombineOr, false)
+	g.updateAll(d, false, chain.Selector{Src: chain.SrcAllCols})
+	g.update(0, d, true, chain.Selector{Src: chain.SrcEnable})
+}
+
+// msneVX inverts the per-element AND of mseqVX.
+func (g *gen) msneVX(d, a int, x uint64) {
+	g.emit(MicroOp{Kind: KSearchX, Row: a, X: x, Acc: sram.AccSet})
+	g.enableCombine(CombineAnd, true)
+	g.updateAll(d, false, chain.Selector{Src: chain.SrcAllCols})
+	g.update(0, d, true, chain.Selector{Src: chain.SrcEnable})
+}
+
+// minmax composes the signed compare with a predicated two-sided copy:
+// the verdict mask lands in scratch row M2 of subarray 0, loads the
+// enable latch, and selects which source writes each column of the
+// destination.
+func (g *gen) minmax(d, a, b int, isMax bool) {
+	if a == b {
+		if d != a {
+			g.copyReg(d, a)
+		}
+		return
+	}
+	a, b = g.dealias(d, a, b, sram.RowM3)
+	g.mslt(sram.RowM2, a, b) // M2 mask = (a < b)
+	g.search(0, sram.Key{}.Match1(sram.RowM2), sram.AccSet)
+	g.enableFrom(0, chain.EnLoad, false)
+	// For max, a < b selects b; for min it selects a.
+	bGate := chain.Selector{Src: chain.SrcOwnTag, GateEnable: true, GateInvert: !isMax}
+	bGateInv := bGate
+	bGateInv.Invert = true
+	aGate := chain.Selector{Src: chain.SrcOwnTag, GateEnable: true, GateInvert: isMax}
+	aGateInv := aGate
+	aGateInv.Invert = true
+	g.searchAll(sram.Key{}.Match1(b), sram.AccSet)
+	g.updateAll(d, true, bGate)
+	g.updateAll(d, false, bGateInv)
+	g.searchAll(sram.Key{}.Match1(a), sram.AccSet)
+	g.updateAll(d, true, aGate)
+	g.updateAll(d, false, aGateInv)
+}
+
+// shift moves a register by k subarray positions using the neighbour
+// tag paths, three bit-parallel cycles per step. dir is SrcPrevTag for
+// a left shift, SrcNextTag for a logical right shift; the chain ends
+// feed in zeroes.
+func (g *gen) shift(d, s, k int, dir chain.TagSource) {
+	k %= g.n
+	if d != s {
+		g.copyReg(d, s)
+	}
+	all := chain.Selector{Src: chain.SrcAllCols}
+	for step := 0; step < k; step++ {
+		g.searchAll(sram.Key{}.Match1(d), sram.AccSet)
+		g.updateAll(d, false, all)
+		g.updateAll(d, true, chain.Selector{Src: dir})
+	}
+	if dir == chain.SrcPrevTag && g.n < chain.SubPerChain {
+		// Left shifts at narrow widths push live bits into the
+		// zero-padding slices; restore the invariant.
+		for sub := g.n; sub < g.n+k && sub < chain.SubPerChain; sub++ {
+			g.update(sub, d, false, all)
+		}
+	}
+}
+
+// redsum emits the bit-serial reduction of Fig. 6: echo each bit-slice
+// into the tag bits from MSB to LSB; the popcount/shift/accumulate
+// pipeline overlaps the next search, so only the searches cost cycles.
+func (g *gen) redsum(a int) {
+	for s := g.n - 1; s >= 0; s-- {
+		g.search(s, sram.Key{}.Match1(a), sram.AccSet)
+		g.emit(MicroOp{Kind: KReduce, Sub: s, Cycles: 0})
+	}
+}
+
+// cpop emits vcpop.m: one search of the mask slice plus one
+// (unshifted) pass through the reduction tree.
+func (g *gen) cpop(a int) {
+	g.search(0, sram.Key{}.Match1(a), sram.AccSet)
+	g.emit(MicroOp{Kind: KReduce, Sub: 0, Cycles: 0})
+}

@@ -1,0 +1,181 @@
+// Package tt implements CAPE's associative algorithms: the microcode
+// that lowers each RISC-V vector instruction into the sequence of
+// search/update microoperations executed by the Compute-Storage Block
+// (paper §II, §IV, Table I).
+//
+// A vector instruction becomes a MicroOp slice. The truth-table memory
+// and decoder of the paper's chain controller (Fig. 7) are modelled by
+// these pre-generated sequences; the sequencer FSM corresponds to the
+// executor walking the slice. Each MicroOp carries its cycle cost so
+// the emulator can compare the microcode against Table I's closed-form
+// cycle counts.
+package tt
+
+import (
+	"fmt"
+
+	"cape/internal/chain"
+	"cape/internal/sram"
+)
+
+// OpKind enumerates the CSB command repertoire (paper §V-D: "Commands
+// include the four CAPE microoperations ... as well as reconfiguration
+// commands").
+type OpKind uint8
+
+const (
+	// KSearch searches one subarray (bit-serial search).
+	KSearch OpKind = iota
+	// KSearchAll broadcasts the same search to every subarray
+	// (bit-parallel search, used by the logic instructions).
+	KSearchAll
+	// KSearchX broadcasts a search of one row where the comparand bit
+	// for subarray s is bit s of X (how vmseq.vx distributes the
+	// scalar key over the bit-sliced layout).
+	KSearchX
+	// KUpdate bulk-updates one row of one subarray. Sub may be
+	// SubPerChain to model the dropped carry-out of the last subarray:
+	// the cycle is spent but no cell is written.
+	KUpdate
+	// KUpdateAll bulk-updates the same row in every subarray
+	// (bit-parallel update: clearing/setting a whole register).
+	KUpdateAll
+	// KUpdateX bulk-updates one row in every subarray where the data
+	// bit for subarray s is bit s of X (scalar splat).
+	KUpdateX
+	// KEnable loads/combines the chain's column-enable latch from the
+	// tag bits of one subarray.
+	KEnable
+	// KEnableCombine sets the enable latch to the AND or OR of every
+	// subarray's tag bits (the bit-serial tag post-processing of
+	// comparison instructions, cost ≈ n cycles).
+	KEnableCombine
+	// KReduce feeds the tag popcount of one subarray into the global
+	// reduction tree: acc = (acc << 1) + Σ_chains popcount.
+	KReduce
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KSearch:
+		return "search"
+	case KSearchAll:
+		return "search.all"
+	case KSearchX:
+		return "search.x"
+	case KUpdate:
+		return "update"
+	case KUpdateAll:
+		return "update.all"
+	case KUpdateX:
+		return "update.x"
+	case KEnable:
+		return "enable"
+	case KEnableCombine:
+		return "enable.combine"
+	case KReduce:
+		return "reduce"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// CombineOp selects the cross-subarray tag combination of KEnableCombine.
+type CombineOp uint8
+
+const (
+	CombineAnd CombineOp = iota
+	CombineOr
+)
+
+// MicroOp is one CSB command, broadcast to every chain.
+type MicroOp struct {
+	Kind OpKind
+
+	// Sub is the target subarray for KSearch/KUpdate/KReduce and the
+	// tag source for KEnable.
+	Sub int
+	// Row is the target row for updates and the searched row for
+	// KSearchX.
+	Row int
+	// Key is the comparand/mask for KSearch/KSearchAll.
+	Key sram.Key
+	// Acc is the tag accumulation mode for searches.
+	Acc sram.AccMode
+	// Value is the constant written by KUpdate/KUpdateAll.
+	Value bool
+	// X carries the scalar operand for KSearchX/KUpdateX (bit s is
+	// used by subarray s).
+	X uint64
+	// Sel generates the update column select.
+	Sel chain.Selector
+	// EnOp and EnInvert control KEnable (enable <op>= maybe-inverted
+	// tag of subarray Sub).
+	EnOp     chain.EnableOp
+	EnInvert bool
+	// Combine and CombineInvert control KEnableCombine.
+	Combine       CombineOp
+	CombineInvert bool
+
+	// Cycles is the CSB cycle cost of this command. Most commands cost
+	// one cycle; KReduce costs zero because the reduction pipeline
+	// overlaps the next search (paper §IV-E), and KEnableCombine costs
+	// one cycle per subarray (bit-serial tag echo).
+	Cycles int
+}
+
+// Cost returns the total cycle cost of a microcode sequence.
+func Cost(ops []MicroOp) int {
+	n := 0
+	for i := range ops {
+		n += ops[i].Cycles
+	}
+	return n
+}
+
+// Mix summarises a microcode sequence by command kind — the
+// "microoperation mix count" the paper's associative emulator extracts
+// (§VI-B) and the input to the energy model.
+type Mix struct {
+	// SearchSerial counts bit-serial searches (one subarray active).
+	SearchSerial int
+	// SearchParallel counts bit-parallel searches (all subarrays).
+	SearchParallel int
+	// UpdateSerial counts bit-serial updates without propagation.
+	UpdateSerial int
+	// UpdateProp counts updates whose column select uses the
+	// neighbour-propagated tag (carry path).
+	UpdateProp int
+	// UpdateParallel counts bit-parallel updates.
+	UpdateParallel int
+	// Reduce counts reduction steps.
+	Reduce int
+	// Enable counts enable-latch operations (KEnable + KEnableCombine).
+	Enable int
+}
+
+// MixOf computes the microoperation mix of a sequence.
+func MixOf(ops []MicroOp) Mix {
+	var m Mix
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case KSearch:
+			m.SearchSerial++
+		case KSearchAll, KSearchX:
+			m.SearchParallel++
+		case KUpdate:
+			if op.Sel.Src == chain.SrcPrevTag {
+				m.UpdateProp++
+			} else {
+				m.UpdateSerial++
+			}
+		case KUpdateAll, KUpdateX:
+			m.UpdateParallel++
+		case KEnable, KEnableCombine:
+			m.Enable++
+		case KReduce:
+			m.Reduce++
+		}
+	}
+	return m
+}

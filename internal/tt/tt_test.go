@@ -1,0 +1,149 @@
+package tt
+
+import (
+	"testing"
+
+	"cape/internal/chain"
+	"cape/internal/isa"
+	"cape/internal/sram"
+)
+
+func TestGenerateRejectsScalarOps(t *testing.T) {
+	if _, err := Generate(isa.OpADD, 1, 2, 3, 0); err == nil {
+		t.Fatal("scalar opcode must have no associative algorithm")
+	}
+	if _, err := Generate(isa.OpVLE32, 1, 2, 3, 0); err == nil {
+		t.Fatal("vector memory ops are handled by the VMU, not truth tables")
+	}
+}
+
+func TestCostDefaultsToOneCyclePerOp(t *testing.T) {
+	ops, err := Generate(isa.OpVAND_VV, 1, 2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, op := range ops {
+		if op.Cycles < 1 && op.Kind != KReduce {
+			t.Fatalf("op %d (%v) has cycle cost %d", i, op.Kind, op.Cycles)
+		}
+	}
+}
+
+func TestSearchRowLimitRespected(t *testing.T) {
+	// Every generated search must fit the 4-row circuit limit of §V-A.
+	allOps := []isa.Opcode{
+		isa.OpVADD_VV, isa.OpVSUB_VV, isa.OpVMUL_VV, isa.OpVAND_VV,
+		isa.OpVOR_VV, isa.OpVXOR_VV, isa.OpVMSEQ_VV, isa.OpVMSEQ_VX,
+		isa.OpVMSLT_VV, isa.OpVMERGE_VVM, isa.OpVREDSUM_VS,
+		isa.OpVCPOP_M, isa.OpVADD_VX, isa.OpVSUB_VX, isa.OpVMSLT_VX,
+		isa.OpVMV_VX, isa.OpVFIRST_M,
+	}
+	for _, op := range allOps {
+		ops, err := Generate(op, 4, 5, 6, 0x12345678)
+		if err != nil {
+			t.Fatalf("%v: %v", op, err)
+		}
+		for i := range ops {
+			mo := &ops[i]
+			if mo.Kind == KSearch || mo.Kind == KSearchAll {
+				if err := mo.Key.Validate(); err != nil {
+					t.Fatalf("%v op %d: %v", op, i, err)
+				}
+			}
+		}
+	}
+}
+
+func TestUpdatesWriteSingleRow(t *testing.T) {
+	// Table I: updates activate at most one row per subarray.
+	ops, _ := Generate(isa.OpVADD_VV, 1, 2, 3, 0)
+	for i := range ops {
+		switch ops[i].Kind {
+		case KUpdate, KUpdateAll, KUpdateX:
+			if ops[i].Row < 0 || ops[i].Row >= sram.Rows {
+				t.Fatalf("op %d updates invalid row %d", i, ops[i].Row)
+			}
+		}
+	}
+}
+
+func TestArithUpdatesUseNeighbourPropagation(t *testing.T) {
+	// The carry path of vadd must use the Fig. 5 propagation wiring.
+	ops, _ := Generate(isa.OpVADD_VV, 1, 2, 3, 0)
+	prop := 0
+	for i := range ops {
+		if ops[i].Kind == KUpdate && ops[i].Sel.Src == chain.SrcPrevTag {
+			prop++
+		}
+	}
+	if prop != ElemBits {
+		t.Fatalf("vadd propagating updates: %d want %d", prop, ElemBits)
+	}
+}
+
+func TestDroppedCarrySentinel(t *testing.T) {
+	ops, _ := Generate(isa.OpVADD_VV, 1, 2, 3, 0)
+	last := ops[len(ops)-1]
+	if last.Kind != KUpdate || last.Sub != chain.SubPerChain {
+		t.Fatalf("final carry-out must be the dropped-carry sentinel, got %+v", last)
+	}
+}
+
+func TestMixCountsKinds(t *testing.T) {
+	ops := []MicroOp{
+		{Kind: KSearch},
+		{Kind: KSearchAll},
+		{Kind: KSearchX},
+		{Kind: KUpdate, Sel: chain.Selector{Src: chain.SrcOwnTag}},
+		{Kind: KUpdate, Sel: chain.Selector{Src: chain.SrcPrevTag}},
+		{Kind: KUpdateAll},
+		{Kind: KEnable},
+		{Kind: KEnableCombine},
+		{Kind: KReduce},
+	}
+	m := MixOf(ops)
+	if m.SearchSerial != 1 || m.SearchParallel != 2 || m.UpdateSerial != 1 ||
+		m.UpdateProp != 1 || m.UpdateParallel != 1 || m.Enable != 2 || m.Reduce != 1 {
+		t.Fatalf("mix: %+v", m)
+	}
+}
+
+func TestOpKindStrings(t *testing.T) {
+	kinds := []OpKind{KSearch, KSearchAll, KSearchX, KUpdate, KUpdateAll,
+		KUpdateX, KEnable, KEnableCombine, KReduce}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Fatalf("kind %d has bad/duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+}
+
+// TestTruthTableEntryStructure pins the search/update row usage of
+// Table I's "Active Rows/Sub" columns for the bit-serial adder: three
+// search rows (two operands + carry), one update row per subarray.
+func TestTruthTableEntryStructure(t *testing.T) {
+	ops, _ := Generate(isa.OpVADD_VV, 1, 2, 3, 0)
+	maxSearchRows := 0
+	for i := range ops {
+		if ops[i].Kind == KSearch {
+			if n := ops[i].Key.RowCount(); n > maxSearchRows {
+				maxSearchRows = n
+			}
+		}
+	}
+	if maxSearchRows != 2 {
+		// Our decomposition searches at most 2 rows per microop
+		// (parity via XOR accumulation); the paper's packed truth
+		// table reads 3. Either satisfies the 4-row circuit bound.
+		t.Fatalf("vadd max search rows %d, expected 2 for the XOR-accumulation scheme", maxSearchRows)
+	}
+	ops, _ = Generate(isa.OpVMUL_VV, 1, 2, 3, 0)
+	for i := range ops {
+		if ops[i].Kind == KSearch && ops[i].Key.RowCount() > 4 {
+			t.Fatal("vmul search exceeds 4 rows")
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package vcu
+
+import (
+	"fmt"
+
+	"cape/internal/chain"
+	"cape/internal/sram"
+	"cape/internal/tt"
+)
+
+// Chain command-bus encoding (paper §V-D: "On a 32-bit configuration,
+// the chain controllers distribute 143 bits of commands through the
+// chain command buses"). The truth-table decoder's output is a single
+// digital word driving the subarray row and column circuitry; this
+// file pins one concrete 143-bit layout and proves it lossless by
+// round-tripping every generated microoperation.
+//
+// Layout (bit 0 = LSB of word 0):
+//
+//	  0..35   WLL drive image (36 rows)
+//	 36..71   WLR drive image (36 rows)
+//	 72..103  subarray select (one bit per subarray in the chain)
+//	104..135  data lanes: per-subarray data bits for comparand/splat
+//	          distribution (.vx forms); for updates, the unused lanes
+//	          carry the column-select routing (selector source, invert,
+//	          enable gating, broadcast-tag index)
+//	136..138  command kind
+//	139..141  mode (tag accumulation / enable op / combine op)
+//	    142   update data value (constant writes)
+//
+// Totalling exactly 143 bits.
+const CommandBits = 143
+
+// CommandWord is the dense bus image.
+type CommandWord [5]uint32
+
+func (w *CommandWord) setBit(i int, v bool) {
+	if v {
+		w[i/32] |= 1 << uint(i%32)
+	}
+}
+
+func (w CommandWord) bit(i int) bool {
+	return w[i/32]&(1<<uint(i%32)) != 0
+}
+
+func (w *CommandWord) setField(lo, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		w.setBit(lo+i, v&(1<<uint(i)) != 0)
+	}
+}
+
+func (w CommandWord) field(lo, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		if w.bit(lo + i) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Field offsets.
+const (
+	offWLL   = 0
+	offWLR   = 36
+	offSub   = 72
+	offData  = 104
+	offKind  = 136
+	offMode  = 139
+	offValue = 142
+)
+
+// selector packing inside the data lanes (updates only).
+func packSelector(sel chain.Selector) uint64 {
+	v := uint64(sel.Src) & 0x7
+	if sel.Invert {
+		v |= 1 << 3
+	}
+	if sel.GateEnable {
+		v |= 1 << 4
+	}
+	if sel.GateInvert {
+		v |= 1 << 5
+	}
+	v |= uint64(sel.Sub&0x1F) << 6
+	return v
+}
+
+func unpackSelector(v uint64) chain.Selector {
+	return chain.Selector{
+		Src:        chain.TagSource(v & 0x7),
+		Invert:     v&(1<<3) != 0,
+		GateEnable: v&(1<<4) != 0,
+		GateInvert: v&(1<<5) != 0,
+		Sub:        int(v >> 6 & 0x1F),
+	}
+}
+
+// Encode packs a microoperation into the bus image. The 3-bit kind
+// field holds the seven frequent kinds directly; code 7 escapes to the
+// two control-only kinds (combine/reduce), discriminated in the mode
+// field.
+func Encode(op tt.MicroOp) (CommandWord, error) {
+	var w CommandWord
+	switch {
+	case op.Kind < 7:
+		w.setField(offKind, 3, uint64(op.Kind))
+	case op.Kind == tt.KEnableCombine:
+		w.setField(offKind, 3, 7)
+	case op.Kind == tt.KReduce:
+		w.setField(offKind, 3, 7)
+		w.setField(offMode, 3, 1)
+	default:
+		return w, fmt.Errorf("vcu: kind %v has no bus encoding", op.Kind)
+	}
+	switch op.Kind {
+	case tt.KSearch, tt.KSearchAll:
+		wl := sram.SearchWordlines(op.Key)
+		w.setField(offWLL, 36, wl.WLL)
+		w.setField(offWLR, 36, wl.WLR)
+		w.setField(offMode, 3, uint64(op.Acc))
+		if op.Kind == tt.KSearch {
+			w.setField(offSub, 32, 1<<uint(op.Sub))
+		} else {
+			w.setField(offSub, 32, 0xFFFFFFFF)
+		}
+	case tt.KSearchX:
+		// Row in both wordline images' row position; the per-subarray
+		// polarity comes from the data lanes.
+		w.setField(offWLL, 36, 1<<uint(op.Row))
+		w.setField(offSub, 32, 0xFFFFFFFF)
+		w.setField(offData, 32, op.X)
+		w.setField(offMode, 3, uint64(op.Acc))
+	case tt.KUpdate, tt.KUpdateAll:
+		// Updates assert both wordlines of the target row.
+		w.setField(offWLL, 36, 1<<uint(op.Row))
+		w.setField(offWLR, 36, 1<<uint(op.Row))
+		if op.Kind == tt.KUpdate {
+			if op.Sub >= chain.SubPerChain {
+				// Dropped carry-out sentinel: no subarray selected.
+				w.setField(offSub, 32, 0)
+			} else {
+				w.setField(offSub, 32, 1<<uint(op.Sub))
+			}
+		} else {
+			w.setField(offSub, 32, 0xFFFFFFFF)
+		}
+		w.setField(offData, 32, packSelector(op.Sel))
+		w.setBit(offValue, op.Value)
+	case tt.KUpdateX:
+		w.setField(offWLL, 36, 1<<uint(op.Row))
+		w.setField(offWLR, 36, 1<<uint(op.Row))
+		w.setField(offSub, 32, 0xFFFFFFFF)
+		w.setField(offData, 32, op.X)
+		w.setBit(offValue, true) // distinguishes from KUpdateAll decode
+	case tt.KEnable:
+		w.setField(offSub, 32, 1<<uint(op.Sub))
+		w.setField(offMode, 3, uint64(op.EnOp))
+		w.setBit(offValue, op.EnInvert)
+	case tt.KEnableCombine:
+		// mode bit 0 = 0 (combine), bit 1 = combine op.
+		w.setField(offMode, 3, uint64(op.Combine)<<1)
+		w.setBit(offValue, op.CombineInvert)
+	case tt.KReduce:
+		w.setField(offSub, 32, 1<<uint(op.Sub))
+	}
+	return w, nil
+}
+
+// Decode reconstructs the microoperation from the bus image. Cycle
+// costs are a sequencer property, not a bus property, so they are
+// recomputed from the kind.
+func Decode(w CommandWord) (tt.MicroOp, error) {
+	kind := tt.OpKind(w.field(offKind, 3))
+	if kind == 7 {
+		if w.field(offMode, 3)&1 != 0 {
+			kind = tt.KReduce
+		} else {
+			kind = tt.KEnableCombine
+		}
+	}
+	op := tt.MicroOp{Kind: kind}
+	subSel := w.field(offSub, 32)
+	switch op.Kind {
+	case tt.KSearch, tt.KSearchAll:
+		key, err := sram.KeyFromWordlines(sram.Wordlines{
+			WLL: w.field(offWLL, 36),
+			WLR: w.field(offWLR, 36),
+		})
+		if err != nil {
+			return op, err
+		}
+		op.Key = key
+		op.Acc = sram.AccMode(w.field(offMode, 3))
+		if op.Kind == tt.KSearch {
+			op.Sub = oneHotIndex(subSel)
+		}
+	case tt.KSearchX:
+		op.Row = oneHotIndex(w.field(offWLL, 36))
+		op.X = w.field(offData, 32)
+		op.Acc = sram.AccMode(w.field(offMode, 3))
+	case tt.KUpdate, tt.KUpdateAll:
+		op.Row = oneHotIndex(w.field(offWLL, 36))
+		op.Sel = unpackSelector(w.field(offData, 32))
+		op.Value = w.bit(offValue)
+		if op.Kind == tt.KUpdate {
+			if subSel == 0 {
+				op.Sub = chain.SubPerChain // dropped carry-out
+			} else {
+				op.Sub = oneHotIndex(subSel)
+			}
+		}
+	case tt.KUpdateX:
+		op.Row = oneHotIndex(w.field(offWLL, 36))
+		op.X = w.field(offData, 32)
+	case tt.KEnable:
+		op.Sub = oneHotIndex(subSel)
+		op.EnOp = chain.EnableOp(w.field(offMode, 3))
+		op.EnInvert = w.bit(offValue)
+	case tt.KEnableCombine:
+		op.Combine = tt.CombineOp(w.field(offMode, 3) >> 1)
+		op.CombineInvert = w.bit(offValue)
+	case tt.KReduce:
+		op.Sub = oneHotIndex(subSel)
+	default:
+		return op, fmt.Errorf("vcu: cannot decode kind %d", op.Kind)
+	}
+	op.Cycles = kindCycles(op.Kind)
+	return op, nil
+}
+
+func kindCycles(k tt.OpKind) int {
+	switch k {
+	case tt.KReduce:
+		return 0
+	case tt.KEnableCombine:
+		return chain.SubPerChain
+	case tt.KUpdateX:
+		return 2
+	}
+	return 1
+}
+
+func oneHotIndex(v uint64) int {
+	for i := 0; i < 36; i++ {
+		if v&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return 0
+}

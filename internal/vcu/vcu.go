@@ -1,0 +1,149 @@
+// Package vcu models CAPE's Vector Control Unit (paper §V-D, Fig. 7):
+// the global control unit that receives committed vector instructions
+// from the Control Processor, distributes truth-table data to the
+// distributed chain controllers, and sequences the CSB microoperation
+// commands.
+//
+// Functional command generation lives in internal/tt (the truth tables)
+// and internal/csb (the chains); this package owns the timing: Table I
+// instruction cycle counts plus the pipelined global command
+// distribution overhead, and a faithful model of the chain controller's
+// five-state sequencer FSM for validation.
+package vcu
+
+import (
+	"fmt"
+
+	"cape/internal/isa"
+	"cape/internal/timing"
+	"cape/internal/tt"
+)
+
+// VCU is the vector control unit timing model.
+type VCU struct {
+	// Chains is the CSB chain count (sets reduction-tree depth and
+	// command-distribution overhead).
+	Chains int
+	// DistCycles is the constant per-instruction global command
+	// distribution overhead (paper §VI-C).
+	DistCycles int
+
+	// Stats.
+	Instructions uint64
+	BusyCycles   uint64
+}
+
+// New builds a VCU for a CSB of the given size.
+func New(chains int) *VCU {
+	return &VCU{
+		Chains:     chains,
+		DistCycles: timing.CommandDistributionCycles(chains),
+	}
+}
+
+// InstrCycles returns the CSB occupancy of one vector ALU/reduction
+// instruction at the given element width, including command
+// distribution.
+func (v *VCU) InstrCycles(inst isa.Inst, sew int) (int, error) {
+	c, ok := timing.VectorCycles(inst.Op, v.Chains, inst.Imm, sew)
+	if !ok {
+		return 0, fmt.Errorf("vcu: no cycle model for %v", inst.Op)
+	}
+	total := c + v.DistCycles
+	v.Instructions++
+	v.BusyCycles += uint64(total)
+	return total, nil
+}
+
+// State is a chain-controller sequencer state (Fig. 7, top center).
+type State uint8
+
+const (
+	StateIdle State = iota
+	StateReadTTM
+	StateGenSearch
+	StateGenUpdate
+	StateReduce
+)
+
+func (s State) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateReadTTM:
+		return "read-ttm"
+	case StateGenSearch:
+		return "gen-search"
+	case StateGenUpdate:
+		return "gen-update"
+	case StateReduce:
+		return "reduce"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Sequencer models the chain controller FSM walking a microcode
+// sequence: each truth-table entry is read, decoded into search and/or
+// update commands, and optionally followed by a reduction step. The
+// µpc and bit counters of the paper map to the microcode index here.
+type Sequencer struct {
+	prog  []tt.MicroOp
+	upc   int
+	state State
+}
+
+// NewSequencer loads a microcode program into the controller's
+// truth-table memory and leaves the FSM idle.
+func NewSequencer(prog []tt.MicroOp) *Sequencer {
+	return &Sequencer{prog: prog, state: StateIdle}
+}
+
+// State returns the current FSM state.
+func (s *Sequencer) State() State { return s.state }
+
+// Step advances the FSM one transition and returns the microop to
+// execute, if the new state carries one. done reports program
+// completion (FSM back to idle).
+func (s *Sequencer) Step() (op *tt.MicroOp, done bool) {
+	switch s.state {
+	case StateIdle, StateGenSearch, StateGenUpdate, StateReduce:
+		if s.upc >= len(s.prog) {
+			s.state = StateIdle
+			return nil, true
+		}
+		s.state = StateReadTTM
+		return nil, false
+	case StateReadTTM:
+		op := &s.prog[s.upc]
+		s.upc++
+		switch op.Kind {
+		case tt.KSearch, tt.KSearchAll, tt.KSearchX:
+			s.state = StateGenSearch
+		case tt.KUpdate, tt.KUpdateAll, tt.KUpdateX:
+			s.state = StateGenUpdate
+		case tt.KReduce:
+			s.state = StateReduce
+		default:
+			// Enable-latch manipulation is part of update generation.
+			s.state = StateGenUpdate
+		}
+		return op, false
+	}
+	panic("vcu: unreachable sequencer state")
+}
+
+// Walk drives the FSM to completion, returning every microop in
+// execution order (used to validate that the FSM emits exactly the
+// truth-table program).
+func (s *Sequencer) Walk() []tt.MicroOp {
+	var out []tt.MicroOp
+	for {
+		op, done := s.Step()
+		if done {
+			return out
+		}
+		if op != nil {
+			out = append(out, *op)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package vcu
+
+import (
+	"testing"
+
+	"cape/internal/isa"
+	"cape/internal/timing"
+	"cape/internal/tt"
+)
+
+func TestInstrCyclesIncludesDistribution(t *testing.T) {
+	v := New(1024)
+	got, err := v.InstrCycles(isa.Inst{Op: isa.OpVADD_VV}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8*32 + 2 + timing.CommandDistributionCycles(1024)
+	if got != want {
+		t.Fatalf("vadd cycles %d want %d", got, want)
+	}
+	if v.Instructions != 1 || v.BusyCycles != uint64(want) {
+		t.Fatalf("stats: %+v", v)
+	}
+}
+
+func TestInstrCyclesUnknown(t *testing.T) {
+	v := New(1024)
+	if _, err := v.InstrCycles(isa.Inst{Op: isa.OpADD}, 32); err == nil {
+		t.Fatal("scalar opcode must be rejected")
+	}
+}
+
+func TestSequencerWalksProgram(t *testing.T) {
+	prog, err := tt.Generate(isa.OpVAND_VV, 1, 2, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSequencer(prog)
+	if s.State() != StateIdle {
+		t.Fatal("sequencer must start idle")
+	}
+	out := s.Walk()
+	if len(out) != len(prog) {
+		t.Fatalf("FSM emitted %d ops, program has %d", len(out), len(prog))
+	}
+	for i := range out {
+		if out[i].Kind != prog[i].Kind {
+			t.Fatalf("op %d: kind %v want %v", i, out[i].Kind, prog[i].Kind)
+		}
+	}
+	if s.State() != StateIdle {
+		t.Fatal("sequencer must return to idle")
+	}
+}
+
+func TestSequencerStateSequence(t *testing.T) {
+	prog, _ := tt.Generate(isa.OpVREDSUM_VS, 0, 2, 3, 0)
+	s := NewSequencer(prog)
+	sawSearch, sawReduce := false, false
+	for {
+		op, done := s.Step()
+		if done {
+			break
+		}
+		if op == nil {
+			continue
+		}
+		switch s.State() {
+		case StateGenSearch:
+			sawSearch = true
+			if op.Kind != tt.KSearch && op.Kind != tt.KSearchAll && op.Kind != tt.KSearchX {
+				t.Fatalf("search state carries %v", op.Kind)
+			}
+		case StateReduce:
+			sawReduce = true
+			if op.Kind != tt.KReduce {
+				t.Fatalf("reduce state carries %v", op.Kind)
+			}
+		}
+	}
+	if !sawSearch || !sawReduce {
+		t.Fatalf("redsum FSM must visit search and reduce states (search=%v reduce=%v)",
+			sawSearch, sawReduce)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	names := map[State]string{
+		StateIdle: "idle", StateReadTTM: "read-ttm",
+		StateGenSearch: "gen-search", StateGenUpdate: "gen-update",
+		StateReduce: "reduce",
+	}
+	for s, want := range names {
+		if s.String() != want {
+			t.Errorf("state %d: %q want %q", s, s.String(), want)
+		}
+	}
+}

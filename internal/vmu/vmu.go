@@ -1,0 +1,83 @@
+// Package vmu models CAPE's Vector Memory Unit (paper §V-E): the
+// cacheless engine that splits vector loads/stores into sub-requests
+// of the memory bus packet size, streams them to/from HBM, and feeds
+// the CSB, which consumes one sub-request per cycle by writing
+// adjacent elements into different chains.
+package vmu
+
+import (
+	"cape/internal/hbm"
+	"cape/internal/timing"
+)
+
+// VMU is the vector memory unit timing model.
+type VMU struct {
+	mem *hbm.HBM
+	// NumChains bounds the sub-request size: the design ensures a
+	// sub-request never exceeds the chain count, so it needs no
+	// buffering (paper §V-E).
+	NumChains int
+
+	// Stats.
+	SubRequests uint64
+	BytesMoved  uint64
+}
+
+// New builds a VMU backed by the given HBM model.
+func New(mem *hbm.HBM, numChains int) *VMU {
+	return &VMU{mem: mem, NumChains: numChains}
+}
+
+// packetBytes returns the sub-request size: the HBM packet, clamped so
+// one packet's elements (4 B each) never exceed the chain count.
+func (u *VMU) packetBytes() int {
+	p := u.mem.Config().PacketBytes
+	if max := u.NumChains * 4; p > max {
+		p = max
+	}
+	return p
+}
+
+// UnitStride models vle32.v/vse32.v: a transfer of `bytes` starting at
+// addr, issued at startPS. Completion is bounded below by both the HBM
+// transfer and the CSB consuming one sub-request per CAPE cycle.
+func (u *VMU) UnitStride(startPS int64, addr uint64, bytes int, write bool) (donePS int64) {
+	if bytes <= 0 {
+		return startPS
+	}
+	pkt := u.packetBytes()
+	subreqs := (bytes + pkt - 1) / pkt
+	u.SubRequests += uint64(subreqs)
+	u.BytesMoved += uint64(bytes)
+	hbmDone := u.mem.Access(startPS, addr, bytes, write)
+	csbDone := startPS + int64(float64(subreqs)*timing.CAPECyclePS)
+	if hbmDone > csbDone {
+		return hbmDone
+	}
+	return csbDone
+}
+
+// Replica models the CAPE-specific vlrw.v (paper §V-G): a chunk of
+// contiguous values is read from memory once, then replicated along
+// the vector register. Replication broadcasts each loaded packet to
+// every chain simultaneously, so only the memory chunk itself pays
+// HBM time; the CSB-side broadcast costs one cycle per replicated
+// column.
+func (u *VMU) Replica(startPS int64, addr uint64, chunkBytes, vlBytes int) (donePS int64) {
+	if chunkBytes <= 0 || vlBytes <= 0 {
+		return startPS
+	}
+	pkt := u.packetBytes()
+	subreqs := (chunkBytes + pkt - 1) / pkt
+	u.SubRequests += uint64(subreqs)
+	u.BytesMoved += uint64(chunkBytes)
+	hbmDone := u.mem.Access(startPS, addr, chunkBytes, false)
+	// Broadcast: each column of the destination register is written in
+	// one cycle across all chains.
+	cols := (vlBytes/4 + u.NumChains - 1) / u.NumChains
+	csbDone := startPS + int64(float64(cols+subreqs)*timing.CAPECyclePS)
+	if hbmDone > csbDone {
+		return hbmDone
+	}
+	return csbDone
+}

@@ -1,0 +1,103 @@
+package vmu
+
+import (
+	"testing"
+
+	"cape/internal/hbm"
+	"cape/internal/timing"
+)
+
+func newVMU(chains int) *VMU {
+	return New(hbm.New(hbm.Default()), chains)
+}
+
+func TestUnitStrideSubRequestCount(t *testing.T) {
+	u := newVMU(1024)
+	u.UnitStride(0, 0, 32768*4, false) // a full CAPE32k register
+	if want := uint64(32768 * 4 / 512); u.SubRequests != want {
+		t.Fatalf("sub-requests %d want %d", u.SubRequests, want)
+	}
+	if u.BytesMoved != 32768*4 {
+		t.Fatalf("bytes %d", u.BytesMoved)
+	}
+}
+
+func TestSubRequestNeverExceedsChains(t *testing.T) {
+	// With only 64 chains, one 512 B packet (128 elements) would
+	// overflow; the VMU must clamp to 64 elements = 256 B.
+	u := newVMU(64)
+	if got := u.packetBytes(); got != 256 {
+		t.Fatalf("packet bytes %d want 256", got)
+	}
+	u = newVMU(1024)
+	if got := u.packetBytes(); got != 512 {
+		t.Fatalf("packet bytes %d want 512", got)
+	}
+}
+
+func TestUnitStrideBandwidthBound(t *testing.T) {
+	u := newVMU(1024)
+	bytes := 16 << 20 // 16 MB
+	done := u.UnitStride(0, 0, bytes, false)
+	// Lower bound: the HBM stream time at 128 GB/s.
+	floor := hbm.Default().StreamTimePS(uint64(bytes))
+	if done < floor {
+		t.Fatalf("transfer %d ps beats the bandwidth roof %d ps", done, floor)
+	}
+	if done > floor*2 {
+		t.Fatalf("transfer %d ps is far above the roof %d ps", done, floor)
+	}
+}
+
+func TestUnitStrideCSBConsumptionBound(t *testing.T) {
+	// Tiny HBM latency+huge bandwidth: the one-sub-request-per-cycle
+	// CSB consumption becomes the limit.
+	cfg := hbm.Default()
+	cfg.BytesPerNSPerChannel = 1e6
+	cfg.LatencyNS = 0
+	u := New(hbm.New(cfg), 1024)
+	bytes := 512 * 100 // 100 sub-requests
+	done := u.UnitStride(0, 0, bytes, false)
+	cyclePS := timing.CAPECyclePS
+	want := int64(100 * cyclePS)
+	if done != want {
+		t.Fatalf("CSB-bound transfer: %d ps want %d", done, want)
+	}
+}
+
+func TestReplicaChargesChunkOnly(t *testing.T) {
+	u := newVMU(1024)
+	chunkBytes := 1024
+	vlBytes := 32768 * 4
+	u.Replica(0, 0, chunkBytes, vlBytes)
+	if u.BytesMoved != uint64(chunkBytes) {
+		t.Fatalf("replica moved %d bytes from memory, want %d", u.BytesMoved, chunkBytes)
+	}
+	// A unit-stride load of the same register moves ~128x more.
+	u2 := newVMU(1024)
+	u2.UnitStride(0, 0, vlBytes, false)
+	if u2.BytesMoved <= u.BytesMoved*100 {
+		t.Fatalf("replica should save >100x memory traffic: %d vs %d", u.BytesMoved, u2.BytesMoved)
+	}
+}
+
+func TestReplicaFasterThanUnitStride(t *testing.T) {
+	vlBytes := 32768 * 4
+	uR := newVMU(1024)
+	doneR := uR.Replica(0, 0, 256, vlBytes)
+	uS := newVMU(1024)
+	doneS := uS.UnitStride(0, 0, vlBytes, false)
+	if doneR >= doneS {
+		t.Fatalf("replica load (%d ps) should beat unit-stride (%d ps)", doneR, doneS)
+	}
+}
+
+func TestZeroBytes(t *testing.T) {
+	u := newVMU(1024)
+	if u.UnitStride(123, 0, 0, false) != 123 {
+		t.Fatal("zero-byte transfer must be free")
+	}
+	if u.Replica(123, 0, 0, 0) != 123 {
+		t.Fatal("zero-byte replica must be free")
+	}
+}

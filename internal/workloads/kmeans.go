@@ -1,0 +1,362 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/trace"
+)
+
+// Kmeans is Lloyd's algorithm over 2-D integer points. The dataset is
+// sized so it does NOT fit in CAPE32k's register file (the points must
+// be re-loaded every iteration) but DOES fit in CAPE131k's — the
+// algorithmic effect behind kmeans' dramatic speedup jump in Fig. 11
+// ("For CAPE32k, Kmeans's dataset does not fit in the CSB, which
+// results in having to load it multiple times. Instead, Kmeans's
+// dataset fits in CAPE131k's CSB").
+//
+// The CAPE131k variant keeps both coordinate vectors resident and
+// fully unrolls the per-centroid work, so each iteration issues a
+// fixed number of long-vector instructions regardless of N.
+const (
+	kmN     = 1 << 17 // 131,072 points = CAPE131k's MaxVL
+	kmK     = 8
+	kmIters = 12
+	kmSeed  = 505
+)
+
+func kmData() (xs, ys []uint32) {
+	r := rng(kmSeed)
+	xs = make([]uint32, kmN)
+	ys = make([]uint32, kmN)
+	for i := range xs {
+		// K well-separated blobs on a grid.
+		cx := uint32(r.Intn(kmK)) * 1000
+		cy := uint32(r.Intn(kmK)) * 1000
+		xs[i] = cx + uint32(r.Intn(200))
+		ys[i] = cy + uint32(r.Intn(200))
+	}
+	return
+}
+
+func kmInitCentroids() ([]uint32, []uint32) {
+	xs, ys := kmData()
+	cx := make([]uint32, kmK)
+	cy := make([]uint32, kmK)
+	for k := 0; k < kmK; k++ {
+		// Deterministic spread-out seeds.
+		cx[k] = xs[k*(kmN/kmK)]
+		cy[k] = ys[k*(kmN/kmK)]
+	}
+	return cx, cy
+}
+
+// kmReference runs Lloyd's algorithm in plain Go with the same
+// fixed-point arithmetic the CAPE program uses.
+func kmReference() (cx, cy []uint32) {
+	xs, ys := kmData()
+	cx, cy = kmInitCentroids()
+	assign := make([]int, kmN)
+	for it := 0; it < kmIters; it++ {
+		for i := 0; i < kmN; i++ {
+			// Mirror the CAPE kernel exactly: best distance seeded
+			// with max-positive, signed compares, modular arithmetic.
+			best, bestD := 0, uint32(0x7FFFFFFF)
+			for k := 0; k < kmK; k++ {
+				dx := xs[i] - cx[k]
+				dy := ys[i] - cy[k]
+				d := dx*dx + dy*dy
+				if int32(d) < int32(bestD) {
+					best, bestD = k, d
+				}
+			}
+			assign[i] = best
+		}
+		for k := 0; k < kmK; k++ {
+			var sx, sy, n uint32
+			for i := 0; i < kmN; i++ {
+				if assign[i] == k {
+					sx += xs[i]
+					sy += ys[i]
+					n++
+				}
+			}
+			if n > 0 {
+				cx[k] = sx / n
+				cy[k] = sy / n
+			}
+		}
+	}
+	return
+}
+
+// Memory layout: xs at baseA, ys at baseB, centroid x at baseC,
+// centroid y at baseC+4*kmK, per-cluster scratch (Σx, Σy, count) at
+// baseD, final centroids at baseOut.
+const (
+	kmCxBase  = baseC
+	kmCyBase  = baseC + 4*kmK
+	kmAccBase = baseD
+)
+
+// Kmeans returns the workload.
+func Kmeans() Workload {
+	return Workload{
+		Name: "kmeans",
+		Description: fmt.Sprintf("k-means over %d 2-D points, K=%d, %d iterations",
+			kmN, kmK, kmIters),
+		Intensity: Constant,
+
+		BuildCAPE: buildKmeansCAPE,
+		Check: func(m *core.Machine) error {
+			wantX, wantY := kmReference()
+			gotX := m.RAM().ReadWords(baseOut, kmK)
+			gotY := m.RAM().ReadWords(baseOut+4*kmK, kmK)
+			for k := 0; k < kmK; k++ {
+				if gotX[k] != wantX[k] || gotY[k] != wantY[k] {
+					return fmt.Errorf("kmeans: centroid %d = (%d,%d), want (%d,%d)",
+						k, gotX[k], gotY[k], wantX[k], wantY[k])
+				}
+			}
+			return nil
+		},
+		Scalar: kmeansScalar,
+		SIMD:   kmeansSIMD,
+	}
+}
+
+// buildKmeansCAPE emits the chunked CAPE kernel. Vector register
+// roles: v0 mask, v1 x, v2 y, v3 dist, v4 best dist, v5 best idx,
+// v6/v7 temporaries, v8 redsum seed.
+func buildKmeansCAPE(m *core.Machine) (*isa.Program, error) {
+	xs, ys := kmData()
+	cx, cy := kmInitCentroids()
+	m.RAM().WriteWords(baseA, xs)
+	m.RAM().WriteWords(baseB, ys)
+	m.RAM().WriteWords(kmCxBase, cx)
+	m.RAM().WriteWords(kmCyBase, cy)
+
+	b := isa.NewBuilder("kmeans").
+		Li(29, 0) // iteration counter
+	b.Label("iter").
+		Li(4, kmIters).
+		Bge(29, 4, "finish").
+		// Zero the per-cluster accumulators (Σx, Σy, n) x K.
+		Li(5, kmAccBase).
+		Li(6, 3*kmK).
+		Label("zeroAcc").
+		Beq(6, 0, "zeroDone").
+		Sw(0, 0, 5).
+		Addi(5, 5, 4).
+		Addi(6, 6, -1).
+		J("zeroAcc").
+		Label("zeroDone").
+		// Chunk loop over the points.
+		Li(20, baseA).
+		Li(21, baseB).
+		Li(23, kmN)
+	b.Label("chunk").
+		Beq(23, 0, "iterNext").
+		Vsetvli(2, 23).
+		Vle32(1, 20).
+		Vle32(2, 21).
+		// best dist = +inf (0x7FFFFFFF keeps signed compares sane),
+		// best idx = 0.
+		Li(7, 0x7FFFFFFF).
+		VmvVX(4, 7).
+		VmvVX(5, 0).
+		Li(22, 0) // k
+	b.Label("kLoop").
+		Li(4, kmK).
+		Bge(22, 4, "assignDone").
+		// dist = (x - cx[k])^2 + (y - cy[k])^2
+		Slli(8, 22, 2).
+		Addi(9, 8, kmCxBase).
+		Lw(10, 0, 9).
+		Addi(9, 8, kmCyBase).
+		Lw(11, 0, 9).
+		VsubVX(6, 1, 10).
+		VmulVV(6, 6, 6).
+		VsubVX(7, 2, 11).
+		VmulVV(7, 7, 7).
+		VaddVV(3, 6, 7).
+		// mask = dist < best
+		VmsltVV(0, 3, 4).
+		// best = mask ? dist : best ; bestIdx = mask ? k : bestIdx
+		VmergeVVM(4, 4, 3).
+		VmvVX(6, 22).
+		VmergeVVM(5, 5, 6).
+		Addi(22, 22, 1).
+		J("kLoop")
+	b.Label("assignDone").
+		// Accumulate per-cluster sums for this chunk.
+		Li(22, 0)
+	b.Label("accLoop").
+		Li(4, kmK).
+		Bge(22, 4, "accDone").
+		VmseqVX(0, 5, 22). // mask = (bestIdx == k)
+		VcpopM(10, 0).     // count
+		VmvVX(6, 0).
+		VmergeVVM(7, 6, 1). // x where mask else 0
+		VmvVX(8, 0).
+		VredsumVS(8, 7, 8).
+		VmvXS(11, 8). // Σx
+		VmvVX(6, 0).
+		VmergeVVM(7, 6, 2). // y where mask else 0
+		VmvVX(8, 0).
+		VredsumVS(8, 7, 8).
+		VmvXS(12, 8). // Σy
+		// acc[k] += (Σx, Σy, n)
+		Li(14, 3).
+		Mul(13, 22, 14).
+		Slli(13, 13, 2).
+		Addi(13, 13, kmAccBase).
+		Lw(15, 0, 13).
+		Add(15, 15, 11).
+		Sw(15, 0, 13).
+		Lw(15, 4, 13).
+		Add(15, 15, 12).
+		Sw(15, 4, 13).
+		Lw(15, 8, 13).
+		Add(15, 15, 10).
+		Sw(15, 8, 13).
+		Addi(22, 22, 1).
+		J("accLoop")
+	b.Label("accDone").
+		Slli(8, 2, 2).
+		Add(20, 20, 8).
+		Add(21, 21, 8).
+		Sub(23, 23, 2).
+		J("chunk")
+	b.Label("iterNext").
+		// New centroids: cx[k] = Σx/n, cy[k] = Σy/n.
+		Li(22, 0)
+	b.Label("updLoop").
+		Li(4, kmK).
+		Bge(22, 4, "updDone").
+		Li(14, 3).
+		Mul(13, 22, 14).
+		Slli(13, 13, 2).
+		Addi(13, 13, kmAccBase).
+		Lw(15, 0, 13). // Σx
+		Lw(16, 4, 13). // Σy
+		Lw(17, 8, 13). // n
+		Beq(17, 0, "updSkip").
+		Div(15, 15, 17).
+		Div(16, 16, 17).
+		Slli(8, 22, 2).
+		Addi(9, 8, kmCxBase).
+		Sw(15, 0, 9).
+		Addi(9, 8, kmCyBase).
+		Sw(16, 0, 9).
+		Label("updSkip").
+		Addi(22, 22, 1).
+		J("updLoop")
+	b.Label("updDone").
+		Addi(29, 29, 1).
+		J("iter")
+	b.Label("finish").
+		// Copy final centroids to the output area.
+		Li(22, 0)
+	b.Label("outLoop").
+		Li(4, kmK).
+		Bge(22, 4, "done").
+		Slli(8, 22, 2).
+		Addi(9, 8, kmCxBase).
+		Lw(10, 0, 9).
+		Addi(9, 8, baseOut).
+		Sw(10, 0, 9).
+		Addi(9, 8, kmCyBase).
+		Lw(10, 0, 9).
+		Addi(9, 8, baseOut+4*kmK).
+		Sw(10, 0, 9).
+		Addi(22, 22, 1).
+		J("outLoop")
+	b.Label("done").Halt()
+	return b.Build()
+}
+
+// kmeansScalar mirrors Phoenix kmeans' data structures: points are an
+// array of pointers to malloc'd coordinate arrays, and the
+// per-point/per-cluster distance is computed through a function call.
+// Each coordinate access therefore chains through a pointer load, and
+// every (point, cluster) pair pays call/loop overhead — the structure
+// that makes the software baseline so much slower than the arithmetic
+// alone would suggest.
+func kmeansScalar(cores, part int) trace.Stream {
+	const ptrBase = baseD + 1<<20 // points[] pointer array
+	start, end := partition(kmN, cores, part)
+	return func(emit func(trace.Op)) {
+		for it := 0; it < kmIters; it++ {
+			// Assignment phase (parallel across cores).
+			for i := start; i < end; i++ {
+				// points[i] -> coordinate array (pointer chase).
+				emit(trace.Op{Kind: trace.Load, Addr: ptrBase + uint64(8*i)})
+				for k := 0; k < kmK; k++ {
+					// get_sq_dist(points[i], means[k]) call overhead.
+					emit(trace.Op{Kind: trace.IntALU})
+					emit(trace.Op{Kind: trace.IntALU})
+					emit(trace.Op{Kind: trace.Branch, PC: 100, Taken: true})
+					for d := 0; d < 2; d++ {
+						// Coordinate loads depend on the pointer; the
+						// centroid array is a pointer-to-pointer too.
+						emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(8*i+4*d), Dep: 4})
+						emit(trace.Op{Kind: trace.Load, Addr: kmCxBase + uint64(8*k+4*d)})
+						emit(trace.Op{Kind: trace.IntALU, Dep: 2})
+						emit(trace.Op{Kind: trace.IntMul, Dep: 1})
+						emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // dist accumulate
+						emit(trace.Op{Kind: trace.Branch, PC: 101, Taken: d == 0})
+					}
+					emit(trace.Op{Kind: trace.IntALU, Dep: 2}) // compare
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // select best
+					emit(trace.Op{Kind: trace.Branch, PC: 102, Taken: k != kmK-1})
+				}
+				// Accumulate into the assigned cluster.
+				emit(trace.Op{Kind: trace.Load, Addr: kmAccBase + uint64(12*(i%kmK))})
+				emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+				emit(trace.Op{Kind: trace.Store, Addr: kmAccBase + uint64(12*(i%kmK)), Dep: 1})
+				emit(trace.Op{Kind: trace.Branch, PC: 103, Taken: i != end-1})
+			}
+			// Centroid update (small, serial).
+			for k := 0; k < kmK; k++ {
+				emit(trace.Op{Kind: trace.Load, Addr: kmAccBase + uint64(12*k)})
+				emit(trace.Op{Kind: trace.IntDiv, Dep: 1})
+				emit(trace.Op{Kind: trace.Store, Addr: kmCxBase + uint64(4*k), Dep: 1})
+			}
+		}
+	}
+}
+
+func kmeansSIMD(widthBits int) trace.Stream {
+	elems := widthBits / 32
+	return func(emit func(trace.Op)) {
+		for it := 0; it < kmIters; it++ {
+			for i := 0; i < kmN; i += elems {
+				emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(4*i)})
+				emit(trace.Op{Kind: trace.VecLoad, Addr: baseB + uint64(4*i)})
+				for k := 0; k < kmK; k++ {
+					emit(trace.Op{Kind: trace.VecALU, Dep: 2})
+					emit(trace.Op{Kind: trace.VecMul, Dep: 1})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 4})
+					emit(trace.Op{Kind: trace.VecMul, Dep: 1})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 1})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 1}) // min-select
+					emit(trace.Op{Kind: trace.Branch, PC: 111, Taken: k != kmK-1})
+				}
+				// Scatter accumulation stays scalar per lane.
+				for j := 0; j < elems; j++ {
+					emit(trace.Op{Kind: trace.Load, Addr: kmAccBase + uint64(12*(j%kmK))})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+					emit(trace.Op{Kind: trace.Store, Addr: kmAccBase + uint64(12*(j%kmK)), Dep: 1})
+				}
+				emit(trace.Op{Kind: trace.Branch, PC: 112, Taken: i+elems < kmN})
+			}
+			for k := 0; k < kmK; k++ {
+				emit(trace.Op{Kind: trace.Load, Addr: kmAccBase + uint64(12*k)})
+				emit(trace.Op{Kind: trace.IntDiv, Dep: 1})
+				emit(trace.Op{Kind: trace.Store, Addr: kmCxBase + uint64(4*k), Dep: 1})
+			}
+		}
+	}
+}

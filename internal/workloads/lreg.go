@@ -1,0 +1,157 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/trace"
+)
+
+// LinearRegression computes the least-squares line through N (x, y)
+// points, Phoenix-style: one pass accumulating Σx, Σy, Σx², Σxy, then
+// a closed-form solve on the CP. Constant intensity; the vector side
+// is dominated by two vmul.vv per chunk.
+const (
+	lrN    = 1 << 20
+	lrSeed = 303
+)
+
+func lrData() (xs, ys []uint32) {
+	r := rng(lrSeed)
+	xs = make([]uint32, lrN)
+	ys = make([]uint32, lrN)
+	for i := range xs {
+		x := uint32(r.Intn(1 << 10))
+		xs[i] = x
+		// y = 3x + 7 + noise, kept small so fixed-point sums are exact.
+		ys[i] = 3*x + 7 + uint32(r.Intn(16))
+	}
+	return
+}
+
+// lrSums is the reference accumulation (modular 32-bit, as on CAPE).
+func lrSums() (sx, sy, sxx, sxy uint32) {
+	xs, ys := lrData()
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	return
+}
+
+// LinearRegression returns the workload.
+func LinearRegression() Workload {
+	return Workload{
+		Name:        "lreg",
+		Description: "least-squares fit over 1M points (vmul + vredsum sweeps)",
+		Intensity:   Constant,
+
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			xs, ys := lrData()
+			m.RAM().WriteWords(baseA, xs)
+			m.RAM().WriteWords(baseB, ys)
+			b := isa.NewBuilder("lreg").
+				Li(20, baseA).
+				Li(21, baseB).
+				Li(23, lrN).
+				Li(10, 0). // Σx
+				Li(11, 0). // Σy
+				Li(12, 0). // Σxx
+				Li(13, 0). // Σxy
+				Label("chunk").
+				Beq(23, 0, "done").
+				Vsetvli(2, 23).
+				Vle32(1, 20).
+				Vle32(2, 21).
+				VmvVX(5, 0).
+				VredsumVS(6, 1, 5). // Σx chunk
+				VmvXS(4, 6).
+				Add(10, 10, 4).
+				VredsumVS(6, 2, 5). // Σy chunk
+				VmvXS(4, 6).
+				Add(11, 11, 4).
+				VmulVV(3, 1, 1). // x²
+				VredsumVS(6, 3, 5).
+				VmvXS(4, 6).
+				Add(12, 12, 4).
+				VmulVV(3, 1, 2). // x·y
+				VredsumVS(6, 3, 5).
+				VmvXS(4, 6).
+				Add(13, 13, 4).
+				Slli(8, 2, 2).
+				Add(20, 20, 8).
+				Add(21, 21, 8).
+				Sub(23, 23, 2).
+				J("chunk").
+				Label("done").
+				// Solve on the CP: slope = (N·Σxy − Σx·Σy) / (N·Σxx − Σx²)
+				// in 64-bit scalar arithmetic; store sums + slope.
+				Li(24, baseOut).
+				Sw(10, 0, 24).
+				Sw(11, 4, 24).
+				Sw(12, 8, 24).
+				Sw(13, 12, 24).
+				Li(14, lrN).
+				Mul(15, 14, 13). // N·Σxy
+				Mul(16, 10, 11). // Σx·Σy
+				Sub(15, 15, 16).
+				Mul(17, 14, 12). // N·Σxx
+				Mul(18, 10, 10). // Σx²
+				Sub(17, 17, 18).
+				Div(19, 15, 17).
+				Sw(19, 16, 24).
+				Halt()
+			return b.Build()
+		},
+
+		Check: func(m *core.Machine) error {
+			sx, sy, sxx, sxy := lrSums()
+			got := m.RAM().ReadWords(baseOut, 4)
+			want := []uint32{sx, sy, sxx, sxy}
+			names := []string{"Σx", "Σy", "Σxx", "Σxy"}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("lreg: %s = %d, want %d", names[i], got[i], want[i])
+				}
+			}
+			return nil
+		},
+
+		Scalar: func(cores, part int) trace.Stream {
+			start, end := partition(lrN, cores, part)
+			return func(emit func(trace.Op)) {
+				for i := start; i < end; i++ {
+					emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.Load, Addr: baseB + uint64(4*i)})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 6}) // Σx
+					emit(trace.Op{Kind: trace.IntALU, Dep: 6}) // Σy
+					emit(trace.Op{Kind: trace.IntMul, Dep: 4}) // x²
+					emit(trace.Op{Kind: trace.IntALU, Dep: 6}) // Σxx
+					emit(trace.Op{Kind: trace.IntMul, Dep: 6}) // x·y
+					emit(trace.Op{Kind: trace.IntALU, Dep: 6}) // Σxy
+					emit(trace.Op{Kind: trace.Branch, PC: 81, Taken: i != end-1})
+				}
+			}
+		},
+
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 32
+			return func(emit func(trace.Op)) {
+				for i := 0; i < lrN; i += elems {
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseB + uint64(4*i)})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 6})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 6})
+					emit(trace.Op{Kind: trace.VecMul, Dep: 4})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 6})
+					emit(trace.Op{Kind: trace.VecMul, Dep: 6})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 6})
+					emit(trace.Op{Kind: trace.Branch, PC: 82, Taken: i+elems < lrN})
+				}
+			}
+		},
+	}
+}

@@ -1,0 +1,169 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/trace"
+)
+
+// Matmul is dense matrix multiplication C = A × Bᵀ using the
+// three-step recipe of §V-G: unit-stride load of several rows of A
+// into one long register, a replica vector load (vlrw.v) of one row of
+// Bᵀ, then vmul + per-row windowed vredsum for the partial products.
+// The matrices are "relatively small" (paper §VI-E), which limits
+// CAPE's utilization, and the loop structure has no reuse blocking —
+// matmul sits at the modest end of Fig. 11. At 256×256 the A matrix
+// (65,536 elements) takes two register blocks on CAPE32k but one on
+// CAPE131k, so the larger configuration halves the vmul count and
+// matmul improves with CSB capacity, as the paper's roofline
+// discussion expects of constant-intensity applications.
+const (
+	mmDim  = 256 // square matrices, mmDim x mmDim
+	mmSeed = 202
+)
+
+func mmData(seed int64) []uint32 {
+	r := rng(seed)
+	v := make([]uint32, mmDim*mmDim)
+	for i := range v {
+		v[i] = r.Uint32() % 256
+	}
+	return v
+}
+
+func mmReference() []uint32 {
+	a, bt := mmData(mmSeed), mmData(mmSeed+1)
+	c := make([]uint32, mmDim*mmDim)
+	for i := 0; i < mmDim; i++ {
+		for j := 0; j < mmDim; j++ {
+			var sum uint32
+			for k := 0; k < mmDim; k++ {
+				sum += a[i*mmDim+k] * bt[j*mmDim+k]
+			}
+			c[i*mmDim+j] = sum
+		}
+	}
+	return c
+}
+
+// Matmul returns the workload.
+func Matmul() Workload {
+	return Workload{
+		Name:        "matmul",
+		Description: fmt.Sprintf("%dx%d integer matrix multiply (replica loads + windowed redsums)", mmDim, mmDim),
+		Intensity:   Constant,
+
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			m.RAM().WriteWords(baseA, mmData(mmSeed))
+			m.RAM().WriteWords(baseB, mmData(mmSeed+1))
+			rowsPerLoad := m.MaxVL() / mmDim
+			if rowsPerLoad > mmDim {
+				rowsPerLoad = mmDim
+			}
+			b := isa.NewBuilder("matmul").
+				Li(5, mmDim). // constant N
+				Li(20, 0)     // i0: first row of the current A block
+			b.Label("blockLoop").
+				Bge(20, 5, "done").
+				// Load rowsPerLoad rows of A: elements [i0*N, (i0+r)*N).
+				Li(6, int64(rowsPerLoad)).
+				Mul(7, 6, 5). // block elements
+				Vsetvli(8, 7).
+				Mul(9, 20, 5).
+				Slli(9, 9, 2).
+				Addi(9, 9, baseA).
+				Vle32(1, 9). // v1 = A block
+				Li(21, 0)    // j: column of Bᵀ
+			b.Label("jLoop").
+				Bge(21, 5, "blockNext").
+				// v2 = Bᵀ row j replicated across the block.
+				Mul(10, 21, 5).
+				Slli(10, 10, 2).
+				Addi(10, 10, baseB).
+				Vlrw(2, 10, 5).
+				VmulVV(3, 1, 2). // partial products
+				Li(22, 0)        // r: row within the block
+			b.Label("rLoop").
+				Bge(22, 6, "jNext").
+				// Windowed reduction over segment [r*N, (r+1)*N).
+				Addi(11, 22, 1).
+				Mul(11, 11, 5).
+				Vsetvli(0, 11). // vl = (r+1)*N (resets vstart)
+				VmvVX(4, 0).    // zero the seed while element 0 is active
+				Mul(12, 22, 5).
+				CsrwVstart(12). // vstart = r*N
+				VredsumVS(4, 3, 4).
+				VmvXS(13, 4).
+				// C[i0+r][j] = sum.
+				Add(14, 20, 22).
+				Mul(14, 14, 5).
+				Add(14, 14, 21).
+				Slli(14, 14, 2).
+				Addi(14, 14, baseC).
+				Sw(13, 0, 14).
+				Addi(22, 22, 1).
+				J("rLoop")
+			b.Label("jNext").
+				// Restore the full block window for the next vmul.
+				Vsetvli(0, 7).
+				Addi(21, 21, 1).
+				J("jLoop")
+			b.Label("blockNext").
+				Addi(20, 20, int64(rowsPerLoad)).
+				J("blockLoop")
+			b.Label("done").Halt()
+			return b.Build()
+		},
+
+		Check: func(m *core.Machine) error {
+			want := mmReference()
+			got := m.RAM().ReadWords(baseC, mmDim*mmDim)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("matmul: C[%d][%d] = %d, want %d",
+						i/mmDim, i%mmDim, got[i], want[i])
+				}
+			}
+			return nil
+		},
+
+		Scalar: func(cores, part int) trace.Stream {
+			start, end := partition(mmDim, cores, part) // split rows of C
+			return func(emit func(trace.Op)) {
+				for i := start; i < end; i++ {
+					for j := 0; j < mmDim; j++ {
+						for k := 0; k < mmDim; k++ {
+							emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(4*(i*mmDim+k))})
+							emit(trace.Op{Kind: trace.Load, Addr: baseB + uint64(4*(j*mmDim+k))})
+							emit(trace.Op{Kind: trace.IntMul, Dep: 1})
+							emit(trace.Op{Kind: trace.IntALU, Dep: 5}) // accumulator chain
+							emit(trace.Op{Kind: trace.Branch, PC: 71, Taken: k != mmDim-1})
+						}
+						emit(trace.Op{Kind: trace.Store, Addr: baseC + uint64(4*(i*mmDim+j)), Dep: 2})
+					}
+				}
+			}
+		},
+
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 32
+			return func(emit func(trace.Op)) {
+				for i := 0; i < mmDim; i++ {
+					for j := 0; j < mmDim; j++ {
+						for k := 0; k < mmDim; k += elems {
+							emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(4*(i*mmDim+k))})
+							emit(trace.Op{Kind: trace.VecLoad, Addr: baseB + uint64(4*(j*mmDim+k))})
+							emit(trace.Op{Kind: trace.VecMul, Dep: 1})
+							emit(trace.Op{Kind: trace.VecALU, Dep: 5}) // vector accumulator
+							emit(trace.Op{Kind: trace.Branch, PC: 72, Taken: k+elems < mmDim})
+						}
+						emit(trace.Op{Kind: trace.VecALU, Dep: 2}) // horizontal add
+						emit(trace.Op{Kind: trace.Store, Addr: baseC + uint64(4*(i*mmDim+j)), Dep: 1})
+					}
+				}
+			}
+		},
+	}
+}

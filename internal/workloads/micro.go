@@ -1,0 +1,444 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/trace"
+)
+
+// The microbenchmark suite of §VI-D / Fig. 9. The figure's exact
+// benchmark list is cut from the available text (only idxsrch is
+// named); the set below covers the primitive operations Table I and
+// §V-G motivate. All use one-dimensional arrays of microN elements.
+const (
+	microN    = 1 << 20
+	microSeed = 777
+)
+
+func microData(scale uint32) []uint32 {
+	r := rng(microSeed)
+	v := make([]uint32, microN)
+	for i := range v {
+		v[i] = r.Uint32() % scale
+	}
+	return v
+}
+
+// elementwiseCAPE builds the chunked load/op/store skeleton shared by
+// vvadd and vvmul.
+func elementwiseCAPE(name string, op func(b *isa.Builder)) func(m *core.Machine) (*isa.Program, error) {
+	return func(m *core.Machine) (*isa.Program, error) {
+		m.RAM().WriteWords(baseA, microData(1<<16))
+		m.RAM().WriteWords(baseB, microData(1<<16))
+		b := isa.NewBuilder(name).
+			Li(20, baseA).
+			Li(21, baseB).
+			Li(22, baseC).
+			Li(23, microN).
+			Label("chunk").
+			Beq(23, 0, "done").
+			Vsetvli(2, 23).
+			Vle32(1, 20).
+			Vle32(2, 21)
+		op(b)
+		b.Vse32(3, 22).
+			Slli(8, 2, 2).
+			Add(20, 20, 8).
+			Add(21, 21, 8).
+			Add(22, 22, 8).
+			Sub(23, 23, 2).
+			J("chunk").
+			Label("done").
+			Halt()
+		return b.Build()
+	}
+}
+
+func elementwiseCheck(f func(a, b uint32) uint32) func(m *core.Machine) error {
+	return func(m *core.Machine) error {
+		a := microData(1 << 16)
+		bb := microData(1 << 16)
+		got := m.RAM().ReadWords(baseC, microN)
+		for i := 0; i < microN; i += 997 { // sampled full-range check
+			if want := f(a[i], bb[i]); got[i] != want {
+				return fmt.Errorf("elem %d: got %d want %d", i, got[i], want)
+			}
+		}
+		return nil
+	}
+}
+
+func elementwiseScalar(mulKind trace.Kind) func(cores, part int) trace.Stream {
+	return func(cores, part int) trace.Stream {
+		start, end := partition(microN, cores, part)
+		return func(emit func(trace.Op)) {
+			for i := start; i < end; i++ {
+				emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(4*i)})
+				emit(trace.Op{Kind: trace.Load, Addr: baseB + uint64(4*i)})
+				emit(trace.Op{Kind: mulKind, Dep: 1})
+				emit(trace.Op{Kind: trace.Store, Addr: baseC + uint64(4*i), Dep: 1})
+				emit(trace.Op{Kind: trace.Branch, PC: 21, Taken: i != end-1})
+			}
+		}
+	}
+}
+
+func elementwiseSIMD(mulKind trace.Kind) func(widthBits int) trace.Stream {
+	return func(widthBits int) trace.Stream {
+		elems := widthBits / 32
+		vk := trace.VecALU
+		if mulKind == trace.IntMul {
+			vk = trace.VecMul
+		}
+		return func(emit func(trace.Op)) {
+			for i := 0; i < microN; i += elems {
+				emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(4*i)})
+				emit(trace.Op{Kind: trace.VecLoad, Addr: baseB + uint64(4*i)})
+				emit(trace.Op{Kind: vk, Dep: 1})
+				emit(trace.Op{Kind: trace.VecStore, Addr: baseC + uint64(4*i), Dep: 1})
+				emit(trace.Op{Kind: trace.Branch, PC: 22, Taken: i+elems < microN})
+			}
+		}
+	}
+}
+
+// MicroVVAdd is element-wise vector addition: C = A + B.
+func MicroVVAdd() Workload {
+	return Workload{
+		Name:        "vvadd",
+		Description: "element-wise 32-bit addition over 1M elements",
+		Intensity:   Constant,
+		BuildCAPE: elementwiseCAPE("vvadd", func(b *isa.Builder) {
+			b.VaddVV(3, 1, 2)
+		}),
+		Check:  elementwiseCheck(func(a, b uint32) uint32 { return a + b }),
+		Scalar: elementwiseScalar(trace.IntALU),
+		SIMD:   elementwiseSIMD(trace.IntALU),
+	}
+}
+
+// MicroVVMul is element-wise vector multiplication: C = A * B.
+func MicroVVMul() Workload {
+	return Workload{
+		Name:        "vvmul",
+		Description: "element-wise 32-bit multiplication over 1M elements",
+		Intensity:   Constant,
+		BuildCAPE: elementwiseCAPE("vvmul", func(b *isa.Builder) {
+			b.VmulVV(3, 1, 2)
+		}),
+		Check:  elementwiseCheck(func(a, b uint32) uint32 { return a * b }),
+		Scalar: elementwiseScalar(trace.IntMul),
+		SIMD:   elementwiseSIMD(trace.IntMul),
+	}
+}
+
+// MicroMemcpy streams A into C through the CSB (vle32 + vse32).
+func MicroMemcpy() Workload {
+	return Workload{
+		Name:        "memcpy",
+		Description: "vector copy of 4 MB through the CSB",
+		Intensity:   Constant,
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			m.RAM().WriteWords(baseA, microData(1<<31))
+			b := isa.NewBuilder("memcpy").
+				Li(20, baseA).
+				Li(22, baseC).
+				Li(23, microN).
+				Label("chunk").
+				Beq(23, 0, "done").
+				Vsetvli(2, 23).
+				Vle32(1, 20).
+				Vse32(1, 22).
+				Slli(8, 2, 2).
+				Add(20, 20, 8).
+				Add(22, 22, 8).
+				Sub(23, 23, 2).
+				J("chunk").
+				Label("done").
+				Halt()
+			return b.Build()
+		},
+		Check: func(m *core.Machine) error {
+			want := microData(1 << 31)
+			got := m.RAM().ReadWords(baseC, microN)
+			for i := 0; i < microN; i += 1009 {
+				if got[i] != want[i] {
+					return fmt.Errorf("memcpy elem %d: got %d want %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+		Scalar: func(cores, part int) trace.Stream {
+			start, end := partition(microN, cores, part)
+			return func(emit func(trace.Op)) {
+				for i := start; i < end; i++ {
+					emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.Store, Addr: baseC + uint64(4*i), Dep: 1})
+					emit(trace.Op{Kind: trace.Branch, PC: 31, Taken: i != end-1})
+				}
+			}
+		},
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 32
+			return func(emit func(trace.Op)) {
+				for i := 0; i < microN; i += elems {
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.VecStore, Addr: baseC + uint64(4*i), Dep: 1})
+					emit(trace.Op{Kind: trace.Branch, PC: 32, Taken: i+elems < microN})
+				}
+			}
+		},
+	}
+}
+
+// searchData produces the haystack for the search microbenchmarks:
+// values in [0, 1024), so the needle 42 appears with ~1/1024 density.
+func searchData() []uint32 { return microData(1024) }
+
+const searchNeedle = 42
+
+// MicroVSearch counts the occurrences of a key (vmseq.vx + vcpop.m).
+func MicroVSearch() Workload {
+	return Workload{
+		Name:        "vsearch",
+		Description: "count key occurrences in 1M elements via content search",
+		Intensity:   Constant,
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			m.RAM().WriteWords(baseA, searchData())
+			b := isa.NewBuilder("vsearch").
+				Li(20, baseA).
+				Li(23, microN).
+				Li(9, searchNeedle).
+				Li(10, 0). // running count
+				Label("chunk").
+				Beq(23, 0, "done").
+				Vsetvli(2, 23).
+				Vle32(1, 20).
+				VmseqVX(0, 1, 9).
+				VcpopM(4, 0).
+				Add(10, 10, 4).
+				Slli(8, 2, 2).
+				Add(20, 20, 8).
+				Sub(23, 23, 2).
+				J("chunk").
+				Label("done").
+				Li(11, baseOut).
+				Sw(10, 0, 11).
+				Halt()
+			return b.Build()
+		},
+		Check: func(m *core.Machine) error {
+			var want uint32
+			for _, v := range searchData() {
+				if v == searchNeedle {
+					want++
+				}
+			}
+			if got := m.RAM().Load32(baseOut); got != want {
+				return fmt.Errorf("vsearch: got %d want %d", got, want)
+			}
+			return nil
+		},
+		Scalar: func(cores, part int) trace.Stream {
+			start, end := partition(microN, cores, part)
+			return func(emit func(trace.Op)) {
+				for i := start; i < end; i++ {
+					emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // compare
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // count += match
+					emit(trace.Op{Kind: trace.Branch, PC: 41, Taken: i != end-1})
+				}
+			}
+		},
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 32
+			return func(emit func(trace.Op)) {
+				for i := 0; i < microN; i += elems {
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 1}) // compare
+					emit(trace.Op{Kind: trace.VecALU, Dep: 1}) // popcount-accumulate
+					emit(trace.Op{Kind: trace.Branch, PC: 42, Taken: i+elems < microN})
+				}
+			}
+		},
+	}
+}
+
+// MicroRedsum reduces 1M elements to a scalar.
+func MicroRedsum() Workload {
+	return Workload{
+		Name:        "redsum",
+		Description: "reduction sum of 1M elements",
+		Intensity:   Constant,
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			m.RAM().WriteWords(baseA, microData(1<<16))
+			b := isa.NewBuilder("redsum").
+				Li(20, baseA).
+				Li(23, microN).
+				Li(10, 0).
+				Label("chunk").
+				Beq(23, 0, "done").
+				Vsetvli(2, 23).
+				Vle32(1, 20).
+				VmvVX(2, 0).
+				VredsumVS(3, 1, 2).
+				VmvXS(4, 3).
+				Add(10, 10, 4).
+				Slli(8, 2, 2).
+				Add(20, 20, 8).
+				Sub(23, 23, 2).
+				J("chunk").
+				Label("done").
+				Li(11, baseOut).
+				Sw(10, 0, 11).
+				Halt()
+			return b.Build()
+		},
+		Check: func(m *core.Machine) error {
+			var want uint32
+			for _, v := range microData(1 << 16) {
+				want += v
+			}
+			if got := m.RAM().Load32(baseOut); got != want {
+				return fmt.Errorf("redsum: got %d want %d", got, want)
+			}
+			return nil
+		},
+		Scalar: func(cores, part int) trace.Stream {
+			start, end := partition(microN, cores, part)
+			return func(emit func(trace.Op)) {
+				for i := start; i < end; i++ {
+					emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 3}) // accumulator chain
+					emit(trace.Op{Kind: trace.Branch, PC: 51, Taken: i != end-1})
+				}
+			}
+		},
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 32
+			return func(emit func(trace.Op)) {
+				for i := 0; i < microN; i += elems {
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 3}) // vector accumulator
+					emit(trace.Op{Kind: trace.Branch, PC: 52, Taken: i+elems < microN})
+				}
+			}
+		},
+	}
+}
+
+// MicroIdxSearch finds the index of every key occurrence and
+// post-processes each match serially on the CP (the idxsrch of §VI-D:
+// the serialized match traversal that caps the speedup of the text
+// applications).
+func MicroIdxSearch() Workload {
+	return Workload{
+		Name:        "idxsrch",
+		Description: "enumerate key match indices; serial per-match processing",
+		Intensity:   Variable,
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			m.RAM().WriteWords(baseA, searchData())
+			b := isa.NewBuilder("idxsrch").
+				Li(20, baseA).
+				Li(23, microN).
+				Li(24, 0).       // chunk element offset
+				Li(25, baseOut). // output cursor (first word = count)
+				Li(10, 0).       // match count
+				Label("chunk").
+				Beq(23, 0, "done").
+				Vsetvli(2, 23).
+				Vle32(1, 20).
+				Li(9, searchNeedle).
+				VmseqVX(0, 1, 9).
+				Label("scan").
+				VfirstM(4, 0).
+				Blt(4, 0, "next"). // no more matches in window
+				// Serial post-processing: record the global index.
+				Add(5, 4, 24).
+				Addi(10, 10, 1).
+				Addi(25, 25, 4).
+				Sw(5, 0, 25).
+				// Restrict the window past this match and rescan.
+				Addi(6, 4, 1).
+				CsrwVstart(6).
+				J("scan").
+				Label("next").
+				Li(6, 0).
+				CsrwVstart(6). // reset the window
+				Slli(8, 2, 2).
+				Add(20, 20, 8).
+				Add(24, 24, 2).
+				Sub(23, 23, 2).
+				J("chunk").
+				Label("done").
+				Li(11, baseOut).
+				Sw(10, 0, 11).
+				Halt()
+			return b.Build()
+		},
+		Check: func(m *core.Machine) error {
+			data := searchData()
+			var want []uint32
+			for i, v := range data {
+				if v == searchNeedle {
+					want = append(want, uint32(i))
+				}
+			}
+			if got := m.RAM().Load32(baseOut); got != uint32(len(want)) {
+				return fmt.Errorf("idxsrch: count %d want %d", got, len(want))
+			}
+			got := m.RAM().ReadWords(baseOut+4, len(want))
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("idxsrch: match %d at %d, want %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+		Scalar: func(cores, part int) trace.Stream {
+			data := searchData()
+			start, end := partition(microN, cores, part)
+			return func(emit func(trace.Op)) {
+				out := 0
+				for i := start; i < end; i++ {
+					emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+					hit := data[i] == searchNeedle
+					emit(trace.Op{Kind: trace.Branch, PC: 61, Taken: hit})
+					if hit {
+						emit(trace.Op{Kind: trace.IntALU})
+						emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(4*out)})
+						out++
+					}
+					emit(trace.Op{Kind: trace.Branch, PC: 62, Taken: i != end-1})
+				}
+			}
+		},
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 32
+			data := searchData()
+			return func(emit func(trace.Op)) {
+				out := 0
+				for i := 0; i < microN; i += elems {
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(4*i)})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 1}) // compare to mask
+					any := false
+					for j := 0; j < elems && i+j < microN; j++ {
+						if data[i+j] == searchNeedle {
+							any = true
+							// Serial extraction per match.
+							emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+							emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+							emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(4*out)})
+							out++
+						}
+					}
+					emit(trace.Op{Kind: trace.Branch, PC: 63, Taken: any})
+					emit(trace.Op{Kind: trace.Branch, PC: 64, Taken: i+elems < microN})
+				}
+			}
+		},
+	}
+}

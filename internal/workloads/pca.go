@@ -1,0 +1,227 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/trace"
+)
+
+// PCA computes the mean vector and covariance matrix of a D×N sample
+// matrix (the first phase of Phoenix PCA). The covariance loop has
+// inter-iteration dependencies that prevent the replica-load
+// optimization (paper §VI-E: "the for-loop inter-iteration
+// dependencies found in pca prevented us from using vldr"), so each
+// (i, j) pair re-loads its rows — pca's speedup stays flat between
+// CAPE32k and CAPE131k.
+const (
+	pcaD    = 6
+	pcaN    = 1 << 17
+	pcaSeed = 404
+)
+
+func pcaData() [][]uint32 {
+	r := rng(pcaSeed)
+	rows := make([][]uint32, pcaD)
+	for d := range rows {
+		rows[d] = make([]uint32, pcaN)
+		for i := range rows[d] {
+			rows[d][i] = uint32(r.Intn(1 << 8))
+		}
+	}
+	return rows
+}
+
+// pcaReference returns row sums and raw co-moment sums Σ x_i·x_j
+// (modular 32-bit, matching the CAPE program's fixed-point pass).
+func pcaReference() (sums []uint32, comoments [][]uint32) {
+	rows := pcaData()
+	sums = make([]uint32, pcaD)
+	comoments = make([][]uint32, pcaD)
+	for i := range comoments {
+		comoments[i] = make([]uint32, pcaD)
+	}
+	for d := 0; d < pcaD; d++ {
+		for n := 0; n < pcaN; n++ {
+			sums[d] += rows[d][n]
+		}
+	}
+	for i := 0; i < pcaD; i++ {
+		for j := i; j < pcaD; j++ {
+			var s uint32
+			for n := 0; n < pcaN; n++ {
+				s += rows[i][n] * rows[j][n]
+			}
+			comoments[i][j] = s
+		}
+	}
+	return
+}
+
+func pcaRowBase(d int) uint64 { return baseA + uint64(d*pcaN*4) }
+
+// PCA returns the workload.
+func PCA() Workload {
+	return Workload{
+		Name:        "pca",
+		Description: fmt.Sprintf("mean + covariance of a %dx%d matrix", pcaD, pcaN),
+		Intensity:   Constant,
+
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			rows := pcaData()
+			for d := range rows {
+				m.RAM().WriteWords(pcaRowBase(d), rows[d])
+			}
+			b := isa.NewBuilder("pca")
+			// Phase 1: row sums.
+			b.Li(5, pcaN).
+				Li(20, 0) // d
+			b.Label("sumRow").
+				Li(6, pcaD).
+				Bge(20, 6, "phase2").
+				// base = baseA + d*N*4
+				Mul(7, 20, 5).
+				Slli(7, 7, 2).
+				Addi(7, 7, baseA).
+				Li(10, 0). // accumulated sum
+				Mv(23, 5). // remaining
+				Label("sumChunk").
+				Beq(23, 0, "sumDone").
+				Vsetvli(2, 23).
+				Vle32(1, 7).
+				VmvVX(4, 0).
+				VredsumVS(6, 1, 4).
+				VmvXS(8, 6).
+				Add(10, 10, 8).
+				Slli(9, 2, 2).
+				Add(7, 7, 9).
+				Sub(23, 23, 2).
+				J("sumChunk").
+				Label("sumDone").
+				Slli(11, 20, 2).
+				Addi(11, 11, baseOut).
+				Sw(10, 0, 11).
+				Addi(20, 20, 1).
+				J("sumRow")
+			// Phase 2: co-moments Σ x_i x_j for j >= i.
+			b.Label("phase2").
+				Li(20, 0) // i
+			b.Label("iLoop").
+				Li(6, pcaD).
+				Bge(20, 6, "done").
+				Mv(21, 20) // j = i
+			b.Label("jLoop").
+				Li(6, pcaD).
+				Bge(21, 6, "iNext").
+				// Accumulate Σ x_i x_j over chunks.
+				Mul(7, 20, 5).
+				Slli(7, 7, 2).
+				Addi(7, 7, baseA). // row i cursor
+				Mul(8, 21, 5).
+				Slli(8, 8, 2).
+				Addi(8, 8, baseA). // row j cursor
+				Li(10, 0).
+				Mv(23, 5).
+				Label("covChunk").
+				Beq(23, 0, "covDone").
+				Vsetvli(2, 23).
+				Vle32(1, 7).
+				Vle32(2, 8).
+				VmulVV(3, 1, 2).
+				VmvVX(4, 0).
+				VredsumVS(6, 3, 4).
+				VmvXS(9, 6).
+				Add(10, 10, 9).
+				Slli(9, 2, 2).
+				Add(7, 7, 9).
+				Add(8, 8, 9).
+				Sub(23, 23, 2).
+				J("covChunk").
+				Label("covDone").
+				// out[pcaD + i*pcaD + j] = sum
+				Mul(11, 20, 6).
+				Add(11, 11, 21).
+				Addi(11, 11, pcaD).
+				Slli(11, 11, 2).
+				Addi(11, 11, baseOut).
+				Sw(10, 0, 11).
+				Addi(21, 21, 1).
+				J("jLoop")
+			b.Label("iNext").
+				Addi(20, 20, 1).
+				J("iLoop")
+			b.Label("done").Halt()
+			return b.Build()
+		},
+
+		Check: func(m *core.Machine) error {
+			sums, co := pcaReference()
+			gotSums := m.RAM().ReadWords(baseOut, pcaD)
+			for d := range sums {
+				if gotSums[d] != sums[d] {
+					return fmt.Errorf("pca: row %d sum = %d, want %d", d, gotSums[d], sums[d])
+				}
+			}
+			for i := 0; i < pcaD; i++ {
+				for j := i; j < pcaD; j++ {
+					addr := uint64(baseOut) + uint64(4*(pcaD+i*pcaD+j))
+					if got := m.RAM().Load32(addr); got != co[i][j] {
+						return fmt.Errorf("pca: comoment[%d][%d] = %d, want %d", i, j, got, co[i][j])
+					}
+				}
+			}
+			return nil
+		},
+
+		Scalar: func(cores, part int) trace.Stream {
+			start, end := partition(pcaN, cores, part)
+			return func(emit func(trace.Op)) {
+				// Row sums.
+				for d := 0; d < pcaD; d++ {
+					for n := start; n < end; n++ {
+						emit(trace.Op{Kind: trace.Load, Addr: pcaRowBase(d) + uint64(4*n)})
+						emit(trace.Op{Kind: trace.IntALU, Dep: 2})
+						emit(trace.Op{Kind: trace.Branch, PC: 91, Taken: n != end-1})
+					}
+				}
+				// Co-moments.
+				for i := 0; i < pcaD; i++ {
+					for j := i; j < pcaD; j++ {
+						for n := start; n < end; n++ {
+							emit(trace.Op{Kind: trace.Load, Addr: pcaRowBase(i) + uint64(4*n)})
+							emit(trace.Op{Kind: trace.Load, Addr: pcaRowBase(j) + uint64(4*n)})
+							emit(trace.Op{Kind: trace.IntMul, Dep: 1})
+							emit(trace.Op{Kind: trace.IntALU, Dep: 4})
+							emit(trace.Op{Kind: trace.Branch, PC: 92, Taken: n != end-1})
+						}
+					}
+				}
+			}
+		},
+
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 32
+			return func(emit func(trace.Op)) {
+				for d := 0; d < pcaD; d++ {
+					for n := 0; n < pcaN; n += elems {
+						emit(trace.Op{Kind: trace.VecLoad, Addr: pcaRowBase(d) + uint64(4*n)})
+						emit(trace.Op{Kind: trace.VecALU, Dep: 2})
+						emit(trace.Op{Kind: trace.Branch, PC: 93, Taken: n+elems < pcaN})
+					}
+				}
+				for i := 0; i < pcaD; i++ {
+					for j := i; j < pcaD; j++ {
+						for n := 0; n < pcaN; n += elems {
+							emit(trace.Op{Kind: trace.VecLoad, Addr: pcaRowBase(i) + uint64(4*n)})
+							emit(trace.Op{Kind: trace.VecLoad, Addr: pcaRowBase(j) + uint64(4*n)})
+							emit(trace.Op{Kind: trace.VecMul, Dep: 1})
+							emit(trace.Op{Kind: trace.VecALU, Dep: 4})
+							emit(trace.Op{Kind: trace.Branch, PC: 94, Taken: n+elems < pcaN})
+						}
+					}
+				}
+			}
+		},
+	}
+}

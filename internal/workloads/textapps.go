@@ -1,0 +1,539 @@
+package workloads
+
+import (
+	"fmt"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/trace"
+)
+
+// The three text-processing Phoenix applications. They share a
+// structure the paper highlights (§VI-E): massively parallel content
+// searches followed by *serialized* per-match post-processing and
+// sequential input traversal — the variable-intensity profile whose
+// speedup plateaus (or regresses) from CAPE32k to CAPE131k.
+//
+// The corpus is a synthetic token stream: each element is one
+// character (or token id) widened to 32 bits, as CAPE's 32-bit chain
+// layout stores it.
+const (
+	textN    = 1 << 19
+	textSeed = 606
+)
+
+// textCorpus returns characters in [0, 64) with embedded pattern
+// occurrences.
+func textCorpus() []uint32 {
+	r := rng(textSeed)
+	t := make([]uint32, textN)
+	for i := range t {
+		t[i] = uint32(r.Intn(64))
+	}
+	// Plant the strmatch pattern at deterministic spots (~0.2%).
+	pat := strmatchPattern()
+	for p := 500; p+len(pat) < textN; p += 499 {
+		copy(t[p:], pat)
+	}
+	return t
+}
+
+func strmatchPattern() []uint32 { return []uint32{17, 3, 42, 9} }
+
+// strmatchReference returns the match positions.
+func strmatchReference() []uint32 {
+	t := textCorpus()
+	pat := strmatchPattern()
+	var out []uint32
+	for i := 0; i+len(pat) <= len(t); i++ {
+		ok := true
+		for j := range pat {
+			if t[i+j] != pat[j] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, uint32(i))
+		}
+	}
+	return out
+}
+
+// StringMatch searches the corpus for a multi-character pattern:
+// one vmseq.vx per pattern position ANDed into a match mask, then a
+// serial vfirst walk over the matches.
+func StringMatch() Workload {
+	pat := strmatchPattern()
+	return Workload{
+		Name:        "strmatch",
+		Description: fmt.Sprintf("find a %d-char pattern in a %d-char corpus", len(pat), textN),
+		Intensity:   Variable,
+
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			chars := textCorpus()
+			bytesIn := make([]byte, len(chars))
+			for i, v := range chars {
+				bytesIn[i] = byte(v)
+			}
+			m.RAM().WriteBytes(baseA, bytesIn)
+			b := isa.NewBuilder("strmatch").
+				Li(20, baseA).
+				Li(23, textN).
+				Li(24, 0).       // global element offset of the chunk
+				Li(25, baseOut). // output cursor
+				Li(10, 0)        // match count
+			b.Label("chunk").
+				Li(4, int64(len(pat))).
+				Blt(23, 4, "done").
+				VsetvliSEW(2, 23, 8). // characters are bytes
+				// This chunk owns match positions below vl-(len-1);
+				// the rest are re-examined by the overlapping next
+				// chunk.
+				Addi(13, 2, int64(-(len(pat) - 1)))
+			// Shifted loads: v0 accumulates the positional AND. The
+			// chunk is re-loaded at each pattern offset (the sequential
+			// input traversal the paper calls out).
+			for j, c := range pat {
+				b.Addi(5, 20, int64(j)).
+					Vle8(1, 5).
+					Li(6, int64(c))
+				if j == 0 {
+					b.VmseqVX(0, 1, 6)
+				} else {
+					b.VmseqVX(7, 1, 6).
+						VandVV(0, 0, 7)
+				}
+			}
+			b.Label("scan").
+				VfirstM(4, 0).
+				Blt(4, 0, "next").
+				Bge(4, 13, "next"). // match owned by the next chunk
+				// Serial post-processing: bounds-check and record.
+				Add(5, 4, 24).
+				Addi(10, 10, 1).
+				Addi(25, 25, 4).
+				Sw(5, 0, 25).
+				Addi(6, 4, 1).
+				CsrwVstart(6).
+				J("scan")
+			b.Label("next").
+				Li(6, 0).
+				CsrwVstart(6).
+				// Overlap chunks by the pattern length so boundary
+				// matches are found exactly once.
+				Addi(7, 2, int64(-(len(pat)-1))). // one byte per char
+				Add(20, 20, 7).
+				Add(24, 24, 7).
+				Sub(23, 23, 7).
+				J("chunk")
+			b.Label("done").
+				Li(11, baseOut).
+				Sw(10, 0, 11).
+				Halt()
+			return b.Build()
+		},
+
+		Check: func(m *core.Machine) error {
+			want := strmatchReference()
+			if got := m.RAM().Load32(baseOut); got != uint32(len(want)) {
+				return fmt.Errorf("strmatch: count %d want %d", got, len(want))
+			}
+			got := m.RAM().ReadWords(baseOut+4, len(want))
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("strmatch: match %d at %d, want %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+
+		Scalar: func(cores, part int) trace.Stream {
+			t := textCorpus()
+			start, end := partition(textN-len(pat), cores, part)
+			return func(emit func(trace.Op)) {
+				out := 0
+				for i := start; i < end; i++ {
+					emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(i)})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+					first := t[i] == pat[0]
+					emit(trace.Op{Kind: trace.Branch, PC: 121, Taken: first})
+					if first {
+						full := true
+						for j := 1; j < len(pat); j++ {
+							emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(i+j)})
+							emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+							if t[i+j] != pat[j] {
+								full = false
+								emit(trace.Op{Kind: trace.Branch, PC: 122, Taken: false})
+								break
+							}
+							emit(trace.Op{Kind: trace.Branch, PC: 122, Taken: true})
+						}
+						if full {
+							emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(4*out)})
+							out++
+						}
+					}
+					emit(trace.Op{Kind: trace.Branch, PC: 123, Taken: i != end-1})
+				}
+			}
+		},
+
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 8 // byte characters
+			t := textCorpus()
+			return func(emit func(trace.Op)) {
+				out := 0
+				for i := 0; i < textN-len(pat); i += elems {
+					// Vector compare of the first char; matching lanes
+					// fall back to scalar verification.
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(i)})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 1})
+					for j := 0; j < elems && i+j < textN-len(pat); j++ {
+						if t[i+j] != pat[0] {
+							continue
+						}
+						for k := 1; k < len(pat); k++ {
+							emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(i+j+k)})
+							emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+							if t[i+j+k] != pat[k] {
+								break
+							}
+						}
+						if matchAt(t, pat, i+j) {
+							emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(4*out)})
+							out++
+						}
+					}
+					emit(trace.Op{Kind: trace.Branch, PC: 124, Taken: i+elems < textN-len(pat)})
+				}
+			}
+		},
+	}
+}
+
+func matchAt(t, pat []uint32, i int) bool {
+	for j := range pat {
+		if t[i+j] != pat[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// wcVocab is the word-count vocabulary size: each token is a word id.
+const wcVocab = 192
+
+func wcCorpus() []uint32 {
+	r := rng(textSeed + 1)
+	t := make([]uint32, textN)
+	for i := range t {
+		// Zipf-ish: low ids are frequent.
+		id := r.Intn(wcVocab)
+		if r.Intn(3) != 0 {
+			id = r.Intn(16)
+		}
+		t[i] = uint32(id)
+	}
+	return t
+}
+
+func wcReference() []uint32 {
+	counts := make([]uint32, wcVocab)
+	for _, w := range wcCorpus() {
+		counts[w]++
+	}
+	return counts
+}
+
+// WordCount counts word frequencies: CAPE turns the per-token hash
+// update into one content search per vocabulary word (the same
+// brute-force-search trade the paper's §II describes for hist), after
+// a sequential CP pass that delimits the input (the serial traversal
+// that limits scalability).
+func WordCount() Workload {
+	return Workload{
+		Name:        "wrdcnt",
+		Description: fmt.Sprintf("word frequencies over %d tokens, %d-word vocabulary", textN, wcVocab),
+		Intensity:   Variable,
+
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			toks := wcCorpus()
+			bytesIn := make([]byte, len(toks))
+			for i, v := range toks {
+				bytesIn[i] = byte(v)
+			}
+			m.RAM().WriteBytes(baseA, bytesIn)
+			b := isa.NewBuilder("wrdcnt").
+				// Sequential traversal: the CP scans a prefix of the
+				// raw input to delimit words — the serial phase CAPE
+				// cannot vectorize, which caps wrdcnt's scalability.
+				Li(5, baseA).
+				Li(6, textN/16).
+				Label("delim").
+				Beq(6, 0, "vector").
+				Lbu(7, 0, 5).
+				Addi(5, 5, 1).
+				Addi(6, 6, -1).
+				J("delim").
+				Label("vector").
+				Li(20, baseA).
+				Li(23, textN).
+				Li(28, baseOut)
+			b.Label("chunk").
+				Beq(23, 0, "done").
+				VsetvliSEW(2, 23, 8). // word ids are bytes (vocab < 256)
+				Vle8(1, 20).
+				Li(3, 0)
+			b.Label("word").
+				VmseqVX(0, 1, 3).
+				VcpopM(4, 0).
+				Slli(5, 3, 2).
+				Add(5, 5, 28).
+				Lw(6, 0, 5).
+				Add(6, 6, 4).
+				Sw(6, 0, 5).
+				Addi(3, 3, 1).
+				Li(7, wcVocab).
+				Blt(3, 7, "word").
+				Add(20, 20, 2). // one byte per token
+				Sub(23, 23, 2).
+				J("chunk")
+			b.Label("done").Halt()
+			return b.Build()
+		},
+
+		Check: func(m *core.Machine) error {
+			want := wcReference()
+			got := m.RAM().ReadWords(baseOut, wcVocab)
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("wrdcnt: word %d = %d, want %d", i, got[i], want[i])
+				}
+			}
+			return nil
+		},
+
+		Scalar: func(cores, part int) trace.Stream {
+			t := wcCorpus()
+			start, end := partition(textN, cores, part)
+			return func(emit func(trace.Op)) {
+				for i := start; i < end; i++ {
+					emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(i)})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // hash
+					// Hot-bucket updates forward from the previous
+					// iteration's store.
+					emit(trace.Op{Kind: trace.Load, Addr: baseOut + uint64(4*t[i]), Dep: 4})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+					emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(4*t[i]), Dep: 1})
+					emit(trace.Op{Kind: trace.Branch, PC: 131, Taken: i != end-1})
+				}
+			}
+		},
+
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 8 // byte tokens
+			t := wcCorpus()
+			return func(emit func(trace.Op)) {
+				for i := 0; i < textN; i += elems {
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(i)})
+					for j := 0; j < elems && i+j < textN; j++ {
+						// Hash-table updates stay scalar.
+						emit(trace.Op{Kind: trace.Load, Addr: baseOut + uint64(4*t[i+j]), Dep: 1})
+						emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+						emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(4*t[i+j]), Dep: 1})
+					}
+					emit(trace.Op{Kind: trace.Branch, PC: 132, Taken: i+elems < textN})
+				}
+			}
+		},
+	}
+}
+
+// revLinkMarker is the token that opens a link in the reverse-index
+// corpus.
+const revLinkMarker = 60 // '<'
+
+func revCorpus() []uint32 {
+	r := rng(textSeed + 2)
+	t := make([]uint32, textN)
+	for i := range t {
+		t[i] = uint32(r.Intn(59)) // never the marker
+	}
+	// ~0.4% of positions start a link.
+	for p := 123; p+5 < textN; p += 251 {
+		t[p] = revLinkMarker
+	}
+	return t
+}
+
+// revReference returns for each link its position and a 4-token URL
+// hash, mirroring the CAPE program's serial extraction.
+func revReference() (pos, hash []uint32) {
+	t := revCorpus()
+	for i := 0; i+5 < len(t); i++ {
+		if t[i] == revLinkMarker {
+			var h uint32
+			for j := 1; j <= 4; j++ {
+				h = h*31 + t[i+j]
+			}
+			pos = append(pos, uint32(i))
+			hash = append(hash, h)
+		}
+	}
+	return
+}
+
+// ReverseIndex extracts link targets from documents: a parallel search
+// for the link-open marker, then a serial per-link URL extraction (the
+// dominant cost — revidx is the most serialization-bound of the three
+// text applications).
+func ReverseIndex() Workload {
+	return Workload{
+		Name:        "revidx",
+		Description: fmt.Sprintf("extract links from a %d-token corpus", textN),
+		Intensity:   Variable,
+
+		BuildCAPE: func(m *core.Machine) (*isa.Program, error) {
+			chars := revCorpus()
+			bytesIn := make([]byte, len(chars))
+			for i, v := range chars {
+				bytesIn[i] = byte(v)
+			}
+			m.RAM().WriteBytes(baseA, bytesIn)
+			b := isa.NewBuilder("revidx").
+				Li(20, baseA).
+				Li(23, textN).
+				Li(24, 0).       // global offset
+				Li(25, baseOut). // output cursor
+				Li(10, 0)        // link count
+			b.Label("chunk").
+				Li(4, 6).
+				Blt(23, 4, "done").
+				VsetvliSEW(2, 23, 8). // characters are bytes
+				Addi(13, 2, -5).      // ownership bound (chunks overlap by 5)
+				Vle8(1, 20).
+				Li(6, revLinkMarker).
+				VmseqVX(0, 1, 6)
+			b.Label("scan").
+				VfirstM(4, 0).
+				Blt(4, 0, "next").
+				Bge(4, 13, "next"). // owned by the next chunk
+				Add(5, 4, 24).      // global link position
+				// Serial URL extraction: hash the next 4 tokens.
+				Mv(7, 5).
+				Addi(7, 7, baseA).
+				Li(8, 0). // hash
+				Li(9, 4)  // remaining tokens
+			b.Label("url").
+				Beq(9, 0, "emit").
+				Addi(7, 7, 1).
+				Lbu(11, 0, 7).
+				Li(12, 31).
+				Mul(8, 8, 12).
+				Add(8, 8, 11).
+				Addi(9, 9, -1).
+				J("url")
+			b.Label("emit").
+				Addi(10, 10, 1).
+				Addi(25, 25, 8).
+				Sw(5, 0, 25).
+				Sw(8, 4, 25).
+				Addi(6, 4, 1).
+				CsrwVstart(6).
+				J("scan")
+			b.Label("next").
+				Li(6, 0).
+				CsrwVstart(6).
+				// Overlap by 5 so URLs spanning chunks are intact.
+				Addi(7, 2, -5). // one byte per char
+				Add(20, 20, 7).
+				Add(24, 24, 7).
+				Sub(23, 23, 7).
+				J("chunk")
+			b.Label("done").
+				Li(11, baseOut).
+				Sw(10, 0, 11).
+				Halt()
+			return b.Build()
+		},
+
+		Check: func(m *core.Machine) error {
+			pos, hash := revReference()
+			if got := m.RAM().Load32(baseOut); got != uint32(len(pos)) {
+				return fmt.Errorf("revidx: count %d want %d", got, len(pos))
+			}
+			for i := range pos {
+				addr := uint64(baseOut) + 8 + uint64(8*i)
+				if got := m.RAM().Load32(addr); got != pos[i] {
+					return fmt.Errorf("revidx: link %d at %d, want %d", i, got, pos[i])
+				}
+				if got := m.RAM().Load32(addr + 4); got != hash[i] {
+					return fmt.Errorf("revidx: link %d hash %d, want %d", i, got, hash[i])
+				}
+			}
+			return nil
+		},
+
+		Scalar: func(cores, part int) trace.Stream {
+			t := revCorpus()
+			start, end := partition(textN-6, cores, part)
+			return func(emit func(trace.Op)) {
+				out := 0
+				for i := start; i < end; i++ {
+					// Phoenix reverse_index parses the document with a
+					// per-character state machine (tag tracking and
+					// character-class tests); the parser state is a
+					// loop-carried dependency.
+					emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(i)})
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // classify
+					emit(trace.Op{Kind: trace.IntALU, Dep: 8}) // state transition
+					emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+					emit(trace.Op{Kind: trace.Branch, PC: 140, Taken: i%3 == 0})
+					hit := t[i] == revLinkMarker
+					emit(trace.Op{Kind: trace.Branch, PC: 141, Taken: hit})
+					if hit {
+						for j := 1; j <= 4; j++ {
+							emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(i+j)})
+							emit(trace.Op{Kind: trace.IntMul, Dep: 2})
+							emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+						}
+						emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(8*out)})
+						emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(8*out) + 4})
+						out++
+					}
+					emit(trace.Op{Kind: trace.Branch, PC: 142, Taken: i != end-1})
+				}
+			}
+		},
+
+		SIMD: func(widthBits int) trace.Stream {
+			elems := widthBits / 8 // byte characters
+			t := revCorpus()
+			return func(emit func(trace.Op)) {
+				out := 0
+				for i := 0; i < textN-6; i += elems {
+					// Marker scan vectorizes, but the parser state
+					// machine stays scalar per character.
+					emit(trace.Op{Kind: trace.VecLoad, Addr: baseA + uint64(i)})
+					emit(trace.Op{Kind: trace.VecALU, Dep: 1})
+					for j := 0; j < elems && i+j < textN-6; j++ {
+						emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // serial state transition
+						if t[i+j] != revLinkMarker {
+							continue
+						}
+						for k := 1; k <= 4; k++ {
+							emit(trace.Op{Kind: trace.Load, Addr: baseA + uint64(i+j+k)})
+							emit(trace.Op{Kind: trace.IntMul, Dep: 2})
+							emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+						}
+						emit(trace.Op{Kind: trace.Store, Addr: baseOut + uint64(8*out)})
+						out++
+					}
+					emit(trace.Op{Kind: trace.Branch, PC: 143, Taken: i+elems < textN-6})
+				}
+			}
+		},
+	}
+}

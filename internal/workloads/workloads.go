@@ -1,0 +1,137 @@
+// Package workloads implements the paper's evaluation programs
+// (§VI-D microbenchmarks and §VI-E Phoenix applications), each in
+// three forms:
+//
+//   - a CAPE program (RISC-V vector code built with isa.Builder) plus
+//     input setup and an output checker;
+//   - a scalar dynamic-trace generator replayed on the baseline
+//     out-of-order core model (partitionable across cores for the
+//     multicore baselines of Fig. 11);
+//   - a SIMD dynamic-trace generator for the SVE-style comparison of
+//     Fig. 12.
+//
+// Input data is synthetic but deterministic (fixed seeds), sized to
+// reproduce the qualitative regimes the paper describes: kmeans'
+// dataset exceeds CAPE32k's CSB but fits CAPE131k's, matmul and pca
+// use modest matrices, and the text workloads have serialized
+// per-match post-processing. See DESIGN.md for the substitution notes.
+package workloads
+
+import (
+	"math/rand"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/trace"
+)
+
+// Intensity classifies a workload for the roofline discussion of
+// §VI-E.
+type Intensity string
+
+const (
+	// Constant intensity: operations per loaded byte do not depend on
+	// the data (matmul, lreg, hist, kmeans).
+	Constant Intensity = "constant"
+	// Variable intensity: data-dependent serial phases (wrdcnt,
+	// revidx, strmatch, idxsrch).
+	Variable Intensity = "variable"
+)
+
+// Workload bundles the three implementations of one benchmark.
+type Workload struct {
+	Name        string
+	Description string
+	Intensity   Intensity
+
+	// BuildCAPE writes the input set into the machine's RAM and
+	// returns the CAPE vector program.
+	BuildCAPE func(m *core.Machine) (*isa.Program, error)
+	// Check validates the CAPE outputs after the run.
+	Check func(m *core.Machine) error
+	// Scalar returns the dynamic trace of partition `part` of a
+	// `cores`-way scalar run.
+	Scalar func(cores, part int) trace.Stream
+	// SIMD returns the vectorized dynamic trace at the given register
+	// width in bits.
+	SIMD func(widthBits int) trace.Stream
+}
+
+// Phoenix returns the eight applications of Fig. 11 in paper order.
+func Phoenix() []Workload {
+	return []Workload{
+		Histogram(),
+		LinearRegression(),
+		StringMatch(),
+		Matmul(),
+		PCA(),
+		Kmeans(),
+		WordCount(),
+		ReverseIndex(),
+	}
+}
+
+// Micro returns the §VI-D microbenchmark suite (the Fig. 9 set is
+// inferred — see DESIGN.md §5).
+func Micro() []Workload {
+	return []Workload{
+		MicroVVAdd(),
+		MicroVVMul(),
+		MicroMemcpy(),
+		MicroVSearch(),
+		MicroRedsum(),
+		MicroIdxSearch(),
+	}
+}
+
+// ByName finds a workload in the combined suite.
+func ByName(name string) (Workload, bool) {
+	for _, w := range append(Phoenix(), Micro()...) {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+// rng returns the deterministic generator used for a workload's data.
+func rng(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// partition splits n items into `cores` nearly equal [start, end)
+// ranges for the multicore scalar baselines.
+func partition(n, cores, part int) (start, end int) {
+	base := n / cores
+	rem := n % cores
+	start = part*base + minInt(part, rem)
+	end = start + base
+	if part < rem {
+		end++
+	}
+	return start, end
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Memory layout: each workload places its arrays at fixed bases.
+const (
+	baseA    = 0x0010_0000
+	baseB    = 0x0200_0000
+	baseC    = 0x0400_0000
+	baseD    = 0x0600_0000
+	baseOut  = 0x0800_0000
+	ramBytes = 0x0A00_0000
+)
+
+// NewMachine builds a machine of the given configuration with enough
+// RAM for any workload.
+func NewMachine(cfg core.Config) *core.Machine {
+	cfg.RAMBytes = ramBytes
+	return core.New(cfg)
+}

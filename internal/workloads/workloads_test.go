@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"testing"
+
+	"cape/internal/core"
+	"cape/internal/trace"
+)
+
+// runCAPE executes a workload on a CAPE32k machine with the fast
+// backend and validates its outputs.
+func runCAPE(t *testing.T, w Workload, cfg core.Config) core.Result {
+	t.Helper()
+	m := NewMachine(cfg)
+	prog, err := w.BuildCAPE(m)
+	if err != nil {
+		t.Fatalf("%s: build: %v", w.Name, err)
+	}
+	res, err := m.Run(prog)
+	if err != nil {
+		t.Fatalf("%s: run: %v", w.Name, err)
+	}
+	if err := w.Check(m); err != nil {
+		t.Fatalf("%s: check: %v", w.Name, err)
+	}
+	if res.TimePS <= 0 {
+		t.Fatalf("%s: degenerate time", w.Name)
+	}
+	return res
+}
+
+func TestPhoenixWorkloadsOnCAPE32k(t *testing.T) {
+	for _, w := range Phoenix() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			runCAPE(t, w, core.CAPE32k())
+		})
+	}
+}
+
+func TestMicroWorkloadsOnCAPE32k(t *testing.T) {
+	for _, w := range Micro() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			runCAPE(t, w, core.CAPE32k())
+		})
+	}
+}
+
+// TestKmeansOnCAPE131k checks the dataset-resident configuration also
+// produces correct centroids (the Fig. 11 jump case).
+func TestKmeansOnCAPE131k(t *testing.T) {
+	runCAPE(t, Kmeans(), core.CAPE131k())
+}
+
+func TestScalarStreamsDeterministic(t *testing.T) {
+	for _, w := range append(Phoenix(), Micro()...) {
+		n1, k1 := trace.Count(w.Scalar(1, 0))
+		n2, k2 := trace.Count(w.Scalar(1, 0))
+		if n1 == 0 {
+			t.Errorf("%s: empty scalar stream", w.Name)
+		}
+		if n1 != n2 || k1 != k2 {
+			t.Errorf("%s: scalar stream not deterministic", w.Name)
+		}
+	}
+}
+
+func TestScalarPartitionsCoverWork(t *testing.T) {
+	for _, w := range Phoenix() {
+		full, _ := trace.Count(w.Scalar(1, 0))
+		var parts uint64
+		for p := 0; p < 3; p++ {
+			n, _ := trace.Count(w.Scalar(3, p))
+			parts += n
+		}
+		// Partitions may replicate small serial sections (e.g. kmeans
+		// centroid updates) but must cover the full work within 10%.
+		lo := full * 95 / 100
+		hi := full * 115 / 100
+		if parts < lo || parts > hi {
+			t.Errorf("%s: 3-way partition ops %d vs single-core %d", w.Name, parts, full)
+		}
+	}
+}
+
+func TestSIMDStreamsScaleWithWidth(t *testing.T) {
+	for _, w := range append(Phoenix(), Micro()...) {
+		n128, _ := trace.Count(w.SIMD(128))
+		n512, _ := trace.Count(w.SIMD(512))
+		if n128 == 0 || n512 == 0 {
+			t.Errorf("%s: empty SIMD stream", w.Name)
+			continue
+		}
+		if n512 >= n128 {
+			t.Errorf("%s: 512-bit stream (%d ops) should be shorter than 128-bit (%d)",
+				w.Name, n512, n128)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("kmeans"); !ok {
+		t.Fatal("kmeans not found")
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown workload resolved")
+	}
+	if len(Phoenix()) != 8 {
+		t.Fatalf("Phoenix suite must have 8 applications, has %d", len(Phoenix()))
+	}
+	if len(Micro()) != 6 {
+		t.Fatalf("microbenchmark suite must have 6 entries, has %d", len(Micro()))
+	}
+}
