@@ -1,0 +1,77 @@
+// Command caped serves the CAPE simulator as a long-running HTTP
+// service: clients submit assembly source or named workload kernels as
+// JSON jobs, a worker pool executes them on a sharded pool of reusable
+// machines, and Prometheus-style metrics are exported on /metrics.
+//
+// Usage:
+//
+//	caped [flags]
+//
+//	-addr :8080            listen address
+//	-workers N             concurrent executors (default GOMAXPROCS)
+//	-queue N               job queue depth (default 256)
+//	-machines N            pooled machines per configuration (default workers)
+//	-timeout D             default per-job wall-time limit (default 60s)
+//	-max-timeout D         hard per-job wall-time cap (default 10m)
+//	-max-insts N           default per-job instruction budget
+//	-ram BYTES             main memory per pooled machine
+//
+// Endpoints: POST /v1/jobs, GET /v1/workloads, GET /healthz,
+// GET /metrics. See the README's "Running caped" section for curl
+// examples.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cape"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "caped:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 0, "concurrent executors (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "job queue depth (0 = 256)")
+		machines   = flag.Int("machines", 0, "pooled machines per configuration (0 = workers)")
+		timeout    = flag.Duration("timeout", 0, "default per-job wall-time limit (0 = 60s)")
+		maxTimeout = flag.Duration("max-timeout", 0, "hard per-job wall-time cap (0 = 10m)")
+		maxInsts   = flag.Int64("max-insts", 0, "default per-job instruction budget (0 = 2e9)")
+		ram        = flag.Int("ram", 0, "main memory bytes per pooled machine (0 = 160 MiB)")
+	)
+	flag.Parse()
+	if flag.NArg() != 0 {
+		return fmt.Errorf("usage: caped [flags]")
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	opts := cape.ServerOptions{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		MachinesPerConfig: *machines,
+		DefaultTimeout:    *timeout,
+		MaxTimeout:        *maxTimeout,
+		DefaultMaxInsts:   *maxInsts,
+		RAMBytes:          *ram,
+	}
+	log.Printf("caped: listening on %s", *addr)
+	start := time.Now()
+	err := cape.Serve(ctx, *addr, opts)
+	log.Printf("caped: shut down after %s", time.Since(start).Round(time.Millisecond))
+	return err
+}

@@ -1,20 +1,27 @@
 // Command capesim runs a CAPE assembly program on the full-system
 // simulator and reports timing, energy and microarchitectural
-// statistics.
+// statistics. It executes on the same compiled-job path as the caped
+// service (queue-free), so its latency fields line up with caped's
+// JSON responses.
 //
 // Usage:
 //
 //	capesim [flags] program.s
+//	capesim [flags] -workload name
 //
 //	-config CAPE32k|CAPE131k   machine configuration (default CAPE32k)
 //	-chains N                  override the chain count
 //	-backend fast|bitlevel     functional CSB model (default fast)
+//	-workload name             run a built-in kernel instead of a file
 //	-x N=V                     preset scalar register xN to V (repeatable)
+//	-timeout D                 wall-time limit for the run (default 60s)
+//	-max-insts N               instruction budget (default 2e9)
 //	-dump addr,words           print a memory range after the run
 //	-disasm                    print the assembled program and exit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +29,13 @@ import (
 	"strings"
 
 	"cape"
+	"cape/internal/core"
+	"cape/internal/server"
 )
 
-type regFlags map[int]int64
+type regFlags map[string]int64
 
-func (r regFlags) String() string { return fmt.Sprint(map[int]int64(r)) }
+func (r regFlags) String() string { return fmt.Sprint(map[string]int64(r)) }
 
 func (r regFlags) Set(s string) error {
 	name, val, ok := strings.Cut(s, "=")
@@ -41,7 +50,7 @@ func (r regFlags) Set(s string) error {
 	if err != nil {
 		return fmt.Errorf("bad value %q", val)
 	}
-	r[n] = v
+	r[fmt.Sprintf("x%d", n)] = v
 	return nil
 }
 
@@ -57,70 +66,39 @@ func run() error {
 		configName = flag.String("config", "CAPE32k", "machine configuration (CAPE32k or CAPE131k)")
 		chains     = flag.Int("chains", 0, "override the CSB chain count")
 		backend    = flag.String("backend", "fast", "functional CSB model: fast or bitlevel")
+		workload   = flag.String("workload", "", "run a built-in kernel instead of a program file")
+		timeout    = flag.Duration("timeout", 0, "wall-time limit for the run (0 = 60s)")
+		maxInsts   = flag.Int64("max-insts", 0, "instruction budget (0 = 2e9)")
 		dump       = flag.String("dump", "", "memory range to print after the run: addr,words")
 		disasm     = flag.Bool("disasm", false, "print the assembled program and exit")
 		regs       = regFlags{}
 	)
 	flag.Var(regs, "x", "preset scalar register, e.g. -x x10=4096 (repeatable)")
 	flag.Parse()
-	if flag.NArg() != 1 {
-		return fmt.Errorf("usage: capesim [flags] program.s")
-	}
 
-	src, err := os.ReadFile(flag.Arg(0))
-	if err != nil {
-		return err
+	req := server.Request{
+		Workload:  *workload,
+		Config:    *configName,
+		Chains:    *chains,
+		Backend:   *backend,
+		MaxInsts:  *maxInsts,
+		Registers: regs,
 	}
-	prog, err := cape.Assemble(flag.Arg(0), string(src))
-	if err != nil {
-		return err
+	if *timeout > 0 {
+		req.TimeoutMS = timeout.Milliseconds()
 	}
-	if *disasm {
-		fmt.Print(cape.Disassemble(prog))
-		return nil
-	}
-
-	var cfg cape.Config
-	switch *configName {
-	case "CAPE32k":
-		cfg = cape.CAPE32k()
-	case "CAPE131k":
-		cfg = cape.CAPE131k()
+	switch {
+	case *workload == "" && flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			return err
+		}
+		req.Source, req.Name = string(src), flag.Arg(0)
+	case *workload != "" && flag.NArg() == 0:
 	default:
-		return fmt.Errorf("unknown config %q", *configName)
+		return fmt.Errorf("usage: capesim [flags] program.s | capesim [flags] -workload name (known: %s)",
+			strings.Join(server.WorkloadNames(), " "))
 	}
-	if *chains > 0 {
-		cfg.Chains = *chains
-	}
-	switch *backend {
-	case "fast":
-		cfg.Backend = cape.BackendFast
-	case "bitlevel":
-		cfg.Backend = cape.BackendBitLevel
-	default:
-		return fmt.Errorf("unknown backend %q", *backend)
-	}
-
-	m := cape.NewMachine(cfg)
-	for r, v := range regs {
-		m.CP().SetX(r, v)
-	}
-	res, err := m.Run(prog)
-	if err != nil {
-		return err
-	}
-
-	fmt.Printf("config          %s (%d chains, MAXVL=%d, backend=%s)\n",
-		cfg.Name, cfg.Chains, m.MaxVL(), *backend)
-	fmt.Printf("cycles          %d (%.3f µs at 2.7 GHz)\n", res.CP.Cycles, float64(res.TimePS)/1e6)
-	fmt.Printf("scalar insts    %d\n", res.CP.ScalarInsts)
-	fmt.Printf("vector insts    %d (%d ALU/red, %d memory)\n",
-		res.CP.VectorInsts, res.VectorALUInsts, res.VectorMemInsts)
-	fmt.Printf("vector lane ops %d\n", res.LaneOps)
-	fmt.Printf("vector mem      %d bytes\n", res.MemBytes)
-	fmt.Printf("branches        %d (%d mispredicted)\n", res.CP.Branches, res.CP.Mispredicts)
-	fmt.Printf("CSB energy      %.2f nJ\n", res.EnergyPJ/1000)
-
 	if *dump != "" {
 		addrStr, wordsStr, ok := strings.Cut(*dump, ",")
 		if !ok {
@@ -131,9 +109,56 @@ func run() error {
 		if err1 != nil || err2 != nil {
 			return fmt.Errorf("bad -dump %q", *dump)
 		}
-		for i, w := range m.RAM().ReadWords(addr, words) {
+		req.Dump = &server.DumpSpec{Addr: addr, Words: words}
+	}
+
+	spec, err := server.Compile(req, server.Options{})
+	if err != nil {
+		return err
+	}
+	if *disasm {
+		if spec.Prog == nil {
+			return fmt.Errorf("-disasm needs a program file")
+		}
+		fmt.Print(cape.Disassemble(spec.Prog))
+		return nil
+	}
+
+	m := core.New(spec.Config)
+	resp, err := server.Exec(context.Background(), m, spec)
+	if err != nil {
+		return err
+	}
+	res := resp.Result
+
+	fmt.Printf("program         %s\n", resp.Program)
+	fmt.Printf("config          %s (%d chains, MAXVL=%d, backend=%s)\n",
+		resp.Config, resp.Chains, m.MaxVL(), resp.Backend)
+	fmt.Printf("cycles          %d (%.3f µs at 2.7 GHz)\n", res.CP.Cycles, float64(res.TimePS)/1e6)
+	fmt.Printf("scalar insts    %d\n", res.CP.ScalarInsts)
+	fmt.Printf("vector insts    %d (%d ALU/red, %d memory)\n",
+		res.CP.VectorInsts, res.VectorALUInsts, res.VectorMemInsts)
+	fmt.Printf("vector lane ops %d\n", res.LaneOps)
+	fmt.Printf("vector mem      %d bytes\n", res.MemBytes)
+	fmt.Printf("branches        %d (%d mispredicted)\n", res.CP.Branches, res.CP.Mispredicts)
+	fmt.Printf("CSB energy      %.2f nJ\n", res.EnergyPJ/1000)
+	if resp.CheckOK != nil {
+		if *resp.CheckOK {
+			fmt.Printf("check           ok\n")
+		} else {
+			fmt.Printf("check           FAILED: %s\n", resp.CheckError)
+		}
+	}
+	// Host-side latency, field-for-field with caped's JSON (queue-free
+	// here, so queue_ns is always 0).
+	fmt.Printf("queue_ns        0\n")
+	fmt.Printf("run_ns          %d\n", resp.RunNS)
+	fmt.Printf("total_ns        %d\n", resp.TotalNS)
+
+	if req.Dump != nil {
+		for i, w := range resp.Memory {
 			if i%8 == 0 {
-				fmt.Printf("\n%08x:", addr+uint64(4*i))
+				fmt.Printf("\n%08x:", req.Dump.Addr+uint64(4*i))
 			}
 			fmt.Printf(" %08x", w)
 		}

@@ -32,6 +32,9 @@ type Backend interface {
 	// ReadElem/WriteElem are the VMU element access path.
 	ReadElem(v, e int) uint32
 	WriteElem(v, e int, val uint32)
+	// Reset clears all architectural vector state and restores the
+	// full window (machine pooling).
+	Reset()
 }
 
 // FastBackend holds architectural vector state as plain slices.
@@ -56,6 +59,15 @@ func (b *FastBackend) MaxVL() int { return len(b.reg[0]) }
 // SetWindow installs the active window and element width.
 func (b *FastBackend) SetWindow(vstart, vl, sew int) {
 	b.window = isa.Window{Start: vstart, VL: vl, SEW: sew}
+}
+
+// Reset zeroes every vector register in place and restores the full
+// window.
+func (b *FastBackend) Reset() {
+	for v := range b.reg {
+		clear(b.reg[v])
+	}
+	b.window = isa.Window{Start: 0, VL: b.MaxVL()}
 }
 
 // ReadElem returns element e of register v.
@@ -125,6 +137,12 @@ func (b *BitBackend) SetWindow(vstart, vl, sew int) {
 		sew = 32
 	}
 	b.sew = sew
+}
+
+// Reset clears every chain and restores the full window.
+func (b *BitBackend) Reset() {
+	b.csb.Reset()
+	b.sew = 32
 }
 
 // ReadElem returns element e of register v.

@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"cape/internal/cache"
@@ -94,6 +95,7 @@ type Machine struct {
 	hbm     *hbm.HBM
 	ram     *RAM
 	proc    *cp.CP
+	caches  *cache.Hierarchy
 
 	vstart, vl, sew int
 
@@ -121,8 +123,8 @@ func New(cfg Config) *Machine {
 	m.vcu = vcu.New(cfg.Chains)
 	m.vmu = vmu.New(m.hbm, cfg.Chains)
 	m.ram = NewRAM(cfg.RAMBytes)
-	caches := cache.NewHierarchy(memLatencyCycles(cfg.HBM), cache.CPL1D, cache.CPL2)
-	m.proc = cp.New(cfg.CP, m, m.ram, caches)
+	m.caches = cache.NewHierarchy(memLatencyCycles(cfg.HBM), cache.CPL1D, cache.CPL2)
+	m.proc = cp.New(cfg.CP, m, m.ram, m.caches)
 	m.vl = m.backend.MaxVL()
 	m.sew = 32
 	return m
@@ -321,9 +323,48 @@ func (m *Machine) instrEnergy(inst isa.Inst, x uint64) float64 {
 	return energy.MixEnergyPJ(tt.MixOf(ops), chains)
 }
 
+// Reset returns the machine to its power-on state without reallocating
+// RAM or vector storage: main memory and the vector registers are
+// zeroed in place, the CP (scalar registers, predictor, caches, clock,
+// statistics) restarts from zero, and the HBM/VCU/VMU models drop
+// their occupancy and counters. A Run after Reset is bit- and
+// cycle-identical to a Run on a freshly built Machine, which is what
+// makes pooling machines across jobs safe.
+func (m *Machine) Reset() {
+	m.ram.Reset()
+	m.backend.Reset()
+	m.hbm.Reset()
+	m.vcu.Instructions, m.vcu.BusyCycles = 0, 0
+	m.vmu.SubRequests, m.vmu.BytesMoved = 0, 0
+	m.proc.Reset()
+	m.energyPJ = 0
+	m.laneOps, m.memBytes = 0, 0
+	m.aluInsts, m.memInsts, m.pageFaults = 0, 0, 0
+	m.vstart, m.sew = 0, 32
+	m.vl = m.backend.MaxVL()
+}
+
+// RunContext is Run with cooperative cancellation: the CP polls ctx
+// periodically and aborts with a cp.ErrCanceled-wrapped error when it
+// expires. The machine state is left mid-program; Reset before reuse.
+func (m *Machine) RunContext(ctx context.Context, prog *isa.Program) (Result, error) {
+	if done := ctx.Done(); done != nil {
+		m.proc.SetCancel(func() bool {
+			select {
+			case <-done:
+				return true
+			default:
+				return false
+			}
+		})
+		defer m.proc.SetCancel(nil)
+	}
+	return m.Run(prog)
+}
+
 // Run validates and executes a program; the machine's clock, caches
-// and statistics continue across calls (use a fresh Machine per
-// experiment).
+// and statistics continue across calls (use Reset or a fresh Machine
+// per experiment).
 func (m *Machine) Run(prog *isa.Program) (Result, error) {
 	if err := Validate(prog); err != nil {
 		return Result{}, err

@@ -51,6 +51,13 @@ func (r *RAM) faultAndPageIn(addr uint64) bool {
 // Size returns the capacity in bytes.
 func (r *RAM) Size() int { return len(r.data) }
 
+// Reset zeroes the contents and clears injected page faults without
+// reallocating the backing array (machine pooling reuses it).
+func (r *RAM) Reset() {
+	clear(r.data)
+	r.notPresent = nil
+}
+
 func (r *RAM) check(addr uint64, n int) {
 	if addr+uint64(n) > uint64(len(r.data)) {
 		panic(fmt.Sprintf("ram: access at %#x+%d exceeds size %#x", addr, n, len(r.data)))

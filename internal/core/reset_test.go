@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"cape/internal/cp"
+	"cape/internal/isa"
+)
+
+// resetProbe is a program that dirties every resettable structure:
+// RAM, vector registers, scalar registers, the branch predictor (a
+// data-dependent loop), the CP caches (scalar loads), the clock, and
+// the statistics counters.
+func resetProbe() *isa.Program {
+	return isa.NewBuilder("reset-probe").
+		Li(1, 96).
+		Vsetvli(2, 1).
+		Li(10, 0x1000).
+		Vle32(1, 10). // loads zeros on a clean machine
+		Li(3, 7).
+		VaddVX(2, 1, 3). // v2 = v1 + 7
+		Li(11, 0x2000).
+		Vse32(2, 11).
+		Lw(4, 0x2000, 0). // scalar load through the caches
+		Li(5, 10).
+		Li(6, 0).
+		Label("loop"). // warm the branch predictor
+		Addi(6, 6, 1).
+		Blt(6, 5, "loop").
+		VredsumVS(3, 2, 1).
+		VmvXS(12, 3).
+		Halt().
+		MustBuild()
+}
+
+// runProbe seeds distinguishable RAM content, runs the probe, and
+// returns the Result plus an output-memory snapshot.
+func runProbe(t *testing.T, m *Machine) (Result, []uint32) {
+	t.Helper()
+	words := make([]uint32, 96)
+	for i := range words {
+		words[i] = uint32(3 * i)
+	}
+	m.RAM().WriteWords(0x1000, words)
+	res, err := m.Run(resetProbe())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, m.RAM().ReadWords(0x2000, 96)
+}
+
+func TestResetMatchesFreshMachine(t *testing.T) {
+	for _, kind := range []BackendKind{BackendFast, BackendBitLevel} {
+		// Two fresh machines, one run each: the reference behavior.
+		r1, mem1 := runProbe(t, small(kind))
+		r2, mem2 := runProbe(t, small(kind))
+		if r1 != r2 {
+			t.Fatalf("backend %d: fresh machines disagree: %+v vs %+v", kind, r1, r2)
+		}
+
+		// One pooled machine, Reset between runs, must match both.
+		m := small(kind)
+		p1, pm1 := runProbe(t, m)
+		m.Reset()
+		p2, pm2 := runProbe(t, m)
+		if p1 != r1 {
+			t.Errorf("backend %d: first pooled run: got %+v want %+v", kind, p1, r1)
+		}
+		if p2 != r1 {
+			t.Errorf("backend %d: run after Reset: got %+v want %+v", kind, p2, r1)
+		}
+		for i := range mem1 {
+			if pm1[i] != mem1[i] || pm2[i] != mem2[i] {
+				t.Fatalf("backend %d: memory diverges at word %d", kind, i)
+			}
+		}
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	m := small(BackendFast)
+	runProbe(t, m)
+	m.CP().SetX(20, 12345)
+	m.Reset()
+	if got := m.RAM().Load32(0x1000); got != 0 {
+		t.Errorf("RAM not zeroed: %#x", got)
+	}
+	if got := m.CP().X(20); got != 0 {
+		t.Errorf("scalar register survives Reset: %d", got)
+	}
+	if got := m.Backend().ReadElem(2, 0); got != 0 {
+		t.Errorf("vector register survives Reset: %#x", got)
+	}
+	if got := m.CP().VL(); got != m.MaxVL() {
+		t.Errorf("vl after Reset: got %d want MaxVL %d", got, m.MaxVL())
+	}
+	res, err := m.Run(isa.NewBuilder("empty").Halt().MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CP.ScalarInsts != 0 || res.LaneOps != 0 {
+		t.Errorf("statistics survive Reset: %+v", res)
+	}
+}
+
+func TestRunContextCancel(t *testing.T) {
+	m := small(BackendFast)
+	prog := isa.NewBuilder("spin").
+		Label("loop").
+		Addi(1, 1, 1).
+		J("loop").
+		MustBuild()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.RunContext(ctx, prog); !errors.Is(err, cp.ErrCanceled) {
+		t.Fatalf("want cp.ErrCanceled, got %v", err)
+	}
+	// The machine must be reusable after Reset.
+	m.Reset()
+	if _, err := m.RunContext(context.Background(), isa.NewBuilder("empty").Halt().MustBuild()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package cp
+
+import (
+	"errors"
+	"testing"
+
+	"cape/internal/isa"
+)
+
+// spin is a deliberate infinite loop.
+func spin() *isa.Program {
+	return isa.NewBuilder("spin").
+		Label("loop").
+		Addi(1, 1, 1).
+		J("loop").
+		MustBuild()
+}
+
+func TestInstructionBudgetTypedError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxInsts = 10_000
+	c := New(cfg, &fakeVU{maxVL: 64}, flatMem{}, nil)
+	_, err := c.Run(spin())
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}
+
+func TestSetMaxInsts(t *testing.T) {
+	c, _ := newCP(&fakeVU{maxVL: 64})
+	c.SetMaxInsts(500)
+	if got := c.MaxInsts(); got != 500 {
+		t.Fatalf("MaxInsts: got %d want 500", got)
+	}
+	c.SetMaxInsts(0) // ignored
+	if got := c.MaxInsts(); got != 500 {
+		t.Fatalf("MaxInsts after SetMaxInsts(0): got %d want 500", got)
+	}
+	if _, err := c.Run(spin()); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+	// A budget error must not corrupt the CP: Reset and run normally.
+	c.Reset()
+	ok := isa.NewBuilder("ok").Li(1, 42).Halt().MustBuild()
+	if _, err := c.Run(ok); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.X(1); got != 42 {
+		t.Fatalf("x1: got %d want 42", got)
+	}
+}
+
+func TestCancelHook(t *testing.T) {
+	c, _ := newCP(&fakeVU{maxVL: 64})
+	polls := 0
+	c.SetCancel(func() bool {
+		polls++
+		return polls >= 3
+	})
+	_, err := c.Run(spin())
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if polls != 3 {
+		t.Fatalf("cancel hook polled %d times, want 3", polls)
+	}
+}
+
+func TestCPReset(t *testing.T) {
+	c, _ := newCP(&fakeVU{maxVL: 64})
+	prog := isa.NewBuilder("warm").
+		Li(1, 3).
+		Li(2, 0).
+		Label("loop").
+		Addi(2, 2, 1).
+		Blt(2, 1, "loop").
+		Halt().
+		MustBuild()
+	s1, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if c.X(2) != 0 {
+		t.Fatal("registers survive Reset")
+	}
+	s2, err := c.Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 {
+		t.Fatalf("run after Reset differs: %+v vs %+v", s1, s2)
+	}
+}

@@ -14,11 +14,26 @@
 package cp
 
 import (
+	"errors"
 	"fmt"
 
 	"cape/internal/cache"
 	"cape/internal/isa"
 )
+
+// ErrBudgetExceeded is returned (wrapped) by Run when a program
+// executes more instructions than Config.MaxInsts allows. Servers use
+// it to reclaim a worker from a runaway program.
+var ErrBudgetExceeded = errors.New("cp: instruction budget exceeded")
+
+// ErrCanceled is returned (wrapped) by Run when the cancellation hook
+// installed with SetCancel fires (deadline or shutdown).
+var ErrCanceled = errors.New("cp: run canceled")
+
+// cancelCheckInterval is how many executed instructions pass between
+// polls of the cancellation hook; a power of two keeps the check cheap
+// on the interpreter's hot path.
+const cancelCheckInterval = 4096
 
 // Memory is the CP's view of main memory (implemented by core.RAM).
 type Memory interface {
@@ -94,6 +109,9 @@ type CP struct {
 	now    int64
 	// vecBusyUntil is when the outstanding vector instruction commits.
 	vecBusyUntil int64
+	// cancel, when non-nil, is polled periodically during Run; a true
+	// return aborts the run with ErrCanceled.
+	cancel func() bool
 
 	Stats Stats
 }
@@ -121,6 +139,42 @@ func (c *CP) X(r int) int64 { return c.x[r] }
 func (c *CP) SetX(r int, v int64) {
 	if r != 0 {
 		c.x[r] = v
+	}
+}
+
+// SetMaxInsts replaces the per-Run instruction budget. Non-positive
+// values are ignored. Pooled machines set this per job.
+func (c *CP) SetMaxInsts(n int64) {
+	if n > 0 {
+		c.cfg.MaxInsts = n
+	}
+}
+
+// MaxInsts returns the current per-Run instruction budget.
+func (c *CP) MaxInsts() int64 { return c.cfg.MaxInsts }
+
+// SetCancel installs (or, with nil, removes) a hook polled every
+// cancelCheckInterval executed instructions; returning true aborts the
+// run with ErrCanceled.
+func (c *CP) SetCancel(f func() bool) { c.cancel = f }
+
+// Reset returns the CP to its power-on state: architectural registers,
+// vector CSRs, branch predictor, clock, statistics, cancellation hook,
+// and the cache hierarchy. The configuration (including any budget
+// installed with SetMaxInsts) is preserved.
+func (c *CP) Reset() {
+	c.x = [isa.NumXRegs]int64{}
+	c.vl = c.vu.MaxVL()
+	c.vstart = 0
+	c.sew = 32
+	clear(c.predictor)
+	c.issued = 0
+	c.now = 0
+	c.vecBusyUntil = 0
+	c.cancel = nil
+	c.Stats = Stats{}
+	if c.caches != nil {
+		c.caches.Reset()
 	}
 }
 
@@ -155,7 +209,10 @@ func (c *CP) Run(prog *isa.Program) (Stats, error) {
 	pc := 0
 	for pc < len(prog.Insts) {
 		if executed++; executed > c.cfg.MaxInsts {
-			return c.Stats, fmt.Errorf("cp: instruction limit exceeded in %q (pc=%d)", prog.Name, pc)
+			return c.Stats, fmt.Errorf("%w: %d instructions in %q (pc=%d)", ErrBudgetExceeded, c.cfg.MaxInsts, prog.Name, pc)
+		}
+		if c.cancel != nil && executed%cancelCheckInterval == 0 && c.cancel() {
+			return c.Stats, fmt.Errorf("%w: %q after %d instructions (pc=%d)", ErrCanceled, prog.Name, executed, pc)
 		}
 		inst := &prog.Insts[pc]
 		next := pc + 1

@@ -1,0 +1,285 @@
+// Package metrics provides the lightweight instrumentation used by the
+// caped service: atomic counters, gauges, and fixed-bucket latency
+// histograms, rendered in the Prometheus text exposition format for
+// the /metrics endpoint. It is dependency-free by design (the build
+// must not grow new modules) and safe for concurrent use: metric
+// updates are lock-free, and the registry lock is only taken on
+// lookup/registration and on render.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimensions to a metric. Every distinct label
+// combination is its own time series.
+type Labels map[string]string
+
+// Counter is a monotonically increasing counter.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets with given upper
+// bounds (ascending; an implicit +Inf bucket is appended).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-updated
+}
+
+// DefLatencyBuckets spans 10 µs to ~80 s in powers of ~4, a range that
+// covers both a microbenchmark on the fast backend and a bit-level
+// Phoenix run.
+var DefLatencyBuckets = []float64{
+	1e-5, 4e-5, 1.6e-4, 6.4e-4, 2.56e-3, 1.024e-2,
+	4.096e-2, 0.16384, 0.65536, 2.62144, 10.48576, 41.94304,
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	h := &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// metric kinds for TYPE lines.
+const (
+	kindCounter   = "counter"
+	kindGauge     = "gauge"
+	kindHistogram = "histogram"
+)
+
+// series is one labeled instance inside a family.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// family groups all series of one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	order  []string // label keys in registration order of first use
+	series map[string]*series
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels produces a deterministic {k="v",...} suffix.
+func renderLabels(labels Labels) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the series for (name, labels), checking kind
+// consistency. The caller must hold r.mu.
+func (r *Registry) lookup(name, help, kind string, labels Labels) *series {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, series: make(map[string]*series)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter finds or creates a counter series.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindCounter, labels)
+	if s.c == nil {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge finds or creates a gauge series.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindGauge, labels)
+	if s.g == nil {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// Histogram finds or creates a histogram series. Bounds are fixed at
+// first registration of the series.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindHistogram, labels)
+	if s.h == nil {
+		s.h = newHistogram(bounds)
+	}
+	return s.h
+}
+
+// formatFloat renders a bucket bound or sum the way Prometheus does.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels splices an le="..." pair into a rendered label set.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// WriteTo renders the whole registry in the text exposition format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	p := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+	for _, name := range r.order {
+		f := r.families[name]
+		if f.help != "" {
+			if err := p("# HELP %s %s\n", f.name, f.help); err != nil {
+				return n, err
+			}
+		}
+		if err := p("# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return n, err
+		}
+		for _, key := range f.order {
+			s := f.series[key]
+			var err error
+			switch {
+			case s.c != nil:
+				err = p("%s%s %d\n", f.name, s.labels, s.c.Value())
+			case s.g != nil:
+				err = p("%s%s %d\n", f.name, s.labels, s.g.Value())
+			case s.h != nil:
+				var cum uint64
+				for i, bound := range s.h.bounds {
+					cum += s.h.buckets[i].Load()
+					le := `le="` + formatFloat(bound) + `"`
+					if err = p("%s_bucket%s %d\n", f.name, mergeLabels(s.labels, le), cum); err != nil {
+						return n, err
+					}
+				}
+				cum += s.h.buckets[len(s.h.bounds)].Load()
+				if err = p("%s_bucket%s %d\n", f.name, mergeLabels(s.labels, `le="+Inf"`), cum); err != nil {
+					return n, err
+				}
+				if err = p("%s_sum%s %s\n", f.name, s.labels, formatFloat(s.h.Sum())); err != nil {
+					return n, err
+				}
+				err = p("%s_count%s %d\n", f.name, s.labels, s.h.Count())
+			}
+			if err != nil {
+				return n, err
+			}
+		}
+	}
+	return n, nil
+}
+
+// Handler serves the registry on HTTP (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.", Labels{"status": "ok"})
+	c.Inc()
+	c.Add(2)
+	if c.Value() != 3 {
+		t.Fatalf("counter: got %d want 3", c.Value())
+	}
+	// Same name+labels returns the same series.
+	if r.Counter("jobs_total", "Jobs.", Labels{"status": "ok"}) != c {
+		t.Fatal("lookup did not dedupe")
+	}
+	g := r.Gauge("inflight", "", nil)
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs.",
+		"# TYPE jobs_total counter",
+		`jobs_total{status="ok"} 3`,
+		"# TYPE inflight gauge",
+		"inflight 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.1, 1, 10}, Labels{"op": "run"})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count: got %d want 5", h.Count())
+	}
+	if h.Sum() != 56.05 {
+		t.Fatalf("sum: got %v want 56.05", h.Sum())
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`latency_seconds_bucket{op="run",le="0.1"} 1`,
+		`latency_seconds_bucket{op="run",le="1"} 3`,
+		`latency_seconds_bucket{op="run",le="10"} 4`,
+		`latency_seconds_bucket{op="run",le="+Inf"} 5`,
+		`latency_seconds_sum{op="run"} 56.05`,
+		`latency_seconds_count{op="run"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 1000; k++ {
+				r.Counter("c", "", nil).Inc()
+				r.Histogram("h", "", DefLatencyBuckets, nil).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", "", nil).Value(); got != 8000 {
+		t.Fatalf("counter: got %d want 8000", got)
+	}
+	if got := r.Histogram("h", "", DefLatencyBuckets, nil).Count(); got != 8000 {
+		t.Fatalf("histogram count: got %d want 8000", got)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", nil).Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body: %s", rec.Body.String())
+	}
+}

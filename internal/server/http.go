@@ -1,0 +1,117 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"cape/internal/cp"
+	"cape/internal/workloads"
+)
+
+// maxRequestBytes bounds a job submission body (4 MB of assembly is
+// far beyond any real program).
+const maxRequestBytes = 4 << 20
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status string `json:"status"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs       submit a job (Request body), wait, get Response
+//	GET  /v1/workloads  list the built-in kernels
+//	GET  /healthz       liveness plus queue/pool snapshot
+//	GET  /metrics       Prometheus text exposition
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.Handle("GET /metrics", s.reg.Handler())
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpStatusOf maps a Submit error to an HTTP status.
+func httpStatusOf(err error) int {
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, cp.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, cp.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error(), Status: "error"})
+		return
+	}
+	resp, err := s.Submit(r.Context(), req)
+	if err != nil {
+		writeJSON(w, httpStatusOf(err), errorBody{Error: err.Error(), Status: statusOf(err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// workloadInfo is one /v1/workloads entry.
+type workloadInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	Intensity   string `json:"intensity"`
+	Suite       string `json:"suite"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	var list []workloadInfo
+	for _, w := range workloads.Phoenix() {
+		list = append(list, workloadInfo{w.Name, w.Description, string(w.Intensity), "phoenix"})
+	}
+	for _, w := range workloads.Micro() {
+		list = append(list, workloadInfo{w.Name, w.Description, string(w.Intensity), "micro"})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"workloads": list})
+}
+
+// health is the /healthz body.
+type health struct {
+	Status        string       `json:"status"`
+	UptimeSeconds float64      `json:"uptime_seconds"`
+	Workers       int          `json:"workers"`
+	QueueDepth    int          `json:"queue_depth"`
+	QueueLength   int          `json:"queue_length"`
+	Pool          []ShardStats `json:"pool"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.opts.Workers,
+		QueueDepth:    s.opts.QueueDepth,
+		QueueLength:   len(s.queue),
+		Pool:          s.pool.Stats(),
+	})
+}

@@ -1,0 +1,150 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newHTTPServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(testOptions())
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJob(t *testing.T, ts *httptest.Server, req Request) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func TestHTTPSubmit(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	httpResp, body := postJob(t, ts, probeRequest(9, false))
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", httpResp.StatusCode, body)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	checkProbe(t, &resp, 9)
+	if resp.Result.CP.Cycles == 0 {
+		t.Fatalf("no simulator result in response: %s", body)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	// Malformed JSON → 400.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d", resp.StatusCode)
+	}
+	// Budget exhaustion → 422 with a structured error.
+	httpResp, body := postJob(t, ts, Request{Source: spinSource, Chains: 4, MaxInsts: 50_000})
+	if httpResp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("budget: status %d: %s", httpResp.StatusCode, body)
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Status != "budget_exceeded" {
+		t.Fatalf("budget error body: %s", body)
+	}
+	// GET on the jobs endpoint → method not allowed.
+	getResp, err := http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/jobs: status %d", getResp.StatusCode)
+	}
+}
+
+func TestHTTPWorkloadsList(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	resp, err := http.Get(ts.URL + "/v1/workloads")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var out struct {
+		Workloads []workloadInfo `json:"workloads"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]bool)
+	for _, w := range out.Workloads {
+		names[w.Name] = true
+	}
+	for _, want := range []string{"vvadd", "hist", "matmul", "kmeans"} {
+		if !names[want] {
+			t.Errorf("workload list missing %q: %s", want, body)
+		}
+	}
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	if _, body := postJob(t, ts, probeRequest(2, false)); body == nil {
+		t.Fatal("probe job failed")
+	}
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Workers == 0 || len(h.Pool) == 0 {
+		t.Fatalf("healthz: %+v", h)
+	}
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		"caped_jobs_submitted_total 1",
+		`caped_jobs_completed_total{config="CAPE32k",status="ok"} 1`,
+		"# TYPE caped_queue_seconds histogram",
+		"caped_run_seconds_count 1",
+		"caped_total_seconds_bucket",
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, mbody)
+		}
+	}
+}

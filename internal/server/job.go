@@ -1,0 +1,283 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"cape/internal/asm"
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/workloads"
+)
+
+// Request describes one job as submitted by a client: either raw
+// assembly source or the name of a built-in workload kernel, plus the
+// machine selection and per-job limits.
+type Request struct {
+	// Source is RISC-V(-subset) assembly text. Mutually exclusive with
+	// Workload.
+	Source string `json:"source,omitempty"`
+	// Name labels a Source program in results (default "job").
+	Name string `json:"name,omitempty"`
+	// Workload names a built-in kernel (see /v1/workloads); the server
+	// writes its input set, runs it, and validates the outputs.
+	Workload string `json:"workload,omitempty"`
+
+	// Config selects CAPE32k (default) or CAPE131k.
+	Config string `json:"config,omitempty"`
+	// Chains overrides the configuration's chain count.
+	Chains int `json:"chains,omitempty"`
+	// Backend selects "fast" (default) or "bitlevel".
+	Backend string `json:"backend,omitempty"`
+
+	// Registers presets scalar registers before the run, e.g.
+	// {"x10": 4096} (Source jobs only).
+	Registers map[string]int64 `json:"registers,omitempty"`
+	// TimeoutMS bounds host wall time for the run (0 = server default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// MaxInsts bounds executed instructions (0 = server default).
+	MaxInsts int64 `json:"max_insts,omitempty"`
+	// Dump selects a RAM range to return after the run.
+	Dump *DumpSpec `json:"dump,omitempty"`
+}
+
+// DumpSpec selects a word range of main memory.
+type DumpSpec struct {
+	Addr  uint64 `json:"addr"`
+	Words int    `json:"words"`
+}
+
+// maxDumpWords bounds a response's memory payload (4 MB).
+const maxDumpWords = 1 << 20
+
+// Response carries a completed job's results: the full simulator
+// Result plus the host-side latency breakdown.
+type Response struct {
+	JobID   uint64 `json:"job_id"`
+	Program string `json:"program"`
+	Config  string `json:"config"`
+	Chains  int    `json:"chains"`
+	Backend string `json:"backend"`
+
+	// Result is the simulator's own accounting (cycles, energy,
+	// roofline inputs); SimSeconds is its wall time on the modeled
+	// hardware.
+	Result     core.Result `json:"result"`
+	SimSeconds float64     `json:"sim_seconds"`
+
+	// CheckOK/CheckError report output validation for workload jobs.
+	CheckOK    *bool  `json:"check_ok,omitempty"`
+	CheckError string `json:"check_error,omitempty"`
+
+	// Memory is the requested dump range.
+	Memory []uint32 `json:"memory,omitempty"`
+
+	// Host-side latency breakdown: time spent queued before a worker
+	// picked the job up, time executing on the simulator, and their
+	// sum. A queue-free path (capesim) reports QueueNS = 0.
+	QueueNS int64 `json:"queue_ns"`
+	RunNS   int64 `json:"run_ns"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// Spec is a compiled, validated job ready to execute on a machine of
+// Spec.Config.
+type Spec struct {
+	Config      core.Config
+	BackendName string
+	// Prog is the assembled program (Source jobs); Workload is set
+	// instead for named-kernel jobs, which build their program against
+	// the machine at run time.
+	Prog      *isa.Program
+	Workload  *workloads.Workload
+	Registers map[int]int64
+	MaxInsts  int64
+	Timeout   time.Duration
+	Dump      *DumpSpec
+}
+
+// parseXReg accepts "x10", "X10" or "10".
+func parseXReg(s string) (int, error) {
+	t := strings.TrimPrefix(strings.TrimPrefix(s, "x"), "X")
+	n, err := strconv.Atoi(t)
+	if err != nil || n < 0 || n >= isa.NumXRegs {
+		return 0, fmt.Errorf("server: bad register name %q", s)
+	}
+	return n, nil
+}
+
+// Compile resolves a Request against the given options (zero value =
+// defaults) into an executable Spec. It performs all validation that
+// does not need a machine: config and backend selection, assembly, and
+// workload lookup.
+func Compile(req Request, opts Options) (*Spec, error) {
+	opts = opts.withDefaults()
+	spec := &Spec{
+		MaxInsts: opts.DefaultMaxInsts,
+		Timeout:  opts.DefaultTimeout,
+		Dump:     req.Dump,
+	}
+	if req.MaxInsts > 0 {
+		spec.MaxInsts = req.MaxInsts
+	}
+	if req.TimeoutMS > 0 {
+		spec.Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	if opts.MaxTimeout > 0 && spec.Timeout > opts.MaxTimeout {
+		spec.Timeout = opts.MaxTimeout
+	}
+
+	switch req.Config {
+	case "", "CAPE32k":
+		spec.Config = core.CAPE32k()
+	case "CAPE131k":
+		spec.Config = core.CAPE131k()
+	default:
+		return nil, fmt.Errorf("server: unknown config %q (want CAPE32k or CAPE131k)", req.Config)
+	}
+	if req.Chains != 0 {
+		if req.Chains < 0 {
+			return nil, fmt.Errorf("server: bad chain count %d", req.Chains)
+		}
+		spec.Config.Chains = req.Chains
+	}
+	switch req.Backend {
+	case "", "fast":
+		spec.Config.Backend = core.BackendFast
+		spec.BackendName = "fast"
+	case "bitlevel":
+		spec.Config.Backend = core.BackendBitLevel
+		spec.BackendName = "bitlevel"
+	default:
+		return nil, fmt.Errorf("server: unknown backend %q (want fast or bitlevel)", req.Backend)
+	}
+	spec.Config.RAMBytes = opts.RAMBytes
+
+	switch {
+	case req.Source != "" && req.Workload != "":
+		return nil, fmt.Errorf("server: source and workload are mutually exclusive")
+	case req.Source != "":
+		name := req.Name
+		if name == "" {
+			name = "job"
+		}
+		prog, err := asm.Assemble(name, req.Source)
+		if err != nil {
+			return nil, fmt.Errorf("server: assemble: %w", err)
+		}
+		if err := core.Validate(prog); err != nil {
+			return nil, err
+		}
+		spec.Prog = prog
+	case req.Workload != "":
+		w, ok := workloads.ByName(req.Workload)
+		if !ok {
+			return nil, fmt.Errorf("server: unknown workload %q", req.Workload)
+		}
+		spec.Workload = &w
+		// Workload input sets assume the standard layout; make sure the
+		// machines are big enough regardless of the pool's RAM option.
+		if spec.Config.RAMBytes < workloads.RAMBytes {
+			spec.Config.RAMBytes = workloads.RAMBytes
+		}
+	default:
+		return nil, fmt.Errorf("server: request needs source or workload")
+	}
+
+	if len(req.Registers) > 0 {
+		if spec.Workload != nil {
+			return nil, fmt.Errorf("server: registers are only valid for source jobs")
+		}
+		spec.Registers = make(map[int]int64, len(req.Registers))
+		for name, v := range req.Registers {
+			r, err := parseXReg(name)
+			if err != nil {
+				return nil, err
+			}
+			spec.Registers[r] = v
+		}
+	}
+	if d := spec.Dump; d != nil {
+		if d.Words < 0 || d.Words > maxDumpWords {
+			return nil, fmt.Errorf("server: dump of %d words out of range (max %d)", d.Words, maxDumpWords)
+		}
+		if d.Addr+uint64(4*d.Words) > uint64(spec.Config.RAMBytes) {
+			return nil, fmt.Errorf("server: dump range %#x+%d words exceeds RAM", d.Addr, d.Words)
+		}
+	}
+	return spec, nil
+}
+
+// Exec runs one compiled job on m, queue-free. It is the shared run
+// path of the caped workers and the capesim CLI: it installs the
+// instruction budget, presets registers, runs under the spec's
+// timeout, validates workload output, and captures the dump range.
+// Panics from malformed programs (e.g. out-of-range addresses) are
+// converted to errors so a service worker survives them. The machine
+// is left mid-program on error; the pool resets it before reuse.
+func Exec(ctx context.Context, m *core.Machine, spec *Spec) (resp *Response, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("server: program fault: %v", p)
+		}
+	}()
+	m.CP().SetMaxInsts(spec.MaxInsts)
+	prog := spec.Prog
+	if spec.Workload != nil {
+		prog, err = spec.Workload.BuildCAPE(m)
+		if err != nil {
+			return nil, fmt.Errorf("server: build workload %s: %w", spec.Workload.Name, err)
+		}
+	}
+	for r, v := range spec.Registers {
+		m.CP().SetX(r, v)
+	}
+	if spec.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := m.RunContext(ctx, prog)
+	runNS := time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, err
+	}
+	resp = &Response{
+		Program:    prog.Name,
+		Config:     spec.Config.Name,
+		Chains:     spec.Config.Chains,
+		Backend:    spec.BackendName,
+		Result:     res,
+		SimSeconds: res.Seconds(),
+		RunNS:      runNS,
+		TotalNS:    runNS,
+	}
+	if spec.Workload != nil {
+		ok := true
+		if cerr := spec.Workload.Check(m); cerr != nil {
+			ok = false
+			resp.CheckError = cerr.Error()
+		}
+		resp.CheckOK = &ok
+	}
+	if d := spec.Dump; d != nil {
+		resp.Memory = m.RAM().ReadWords(d.Addr, d.Words)
+	}
+	return resp, nil
+}
+
+// WorkloadNames lists the built-in kernels a Request.Workload can
+// name, sorted.
+func WorkloadNames() []string {
+	var names []string
+	for _, w := range append(workloads.Phoenix(), workloads.Micro()...) {
+		names = append(names, w.Name)
+	}
+	sort.Strings(names)
+	return names
+}

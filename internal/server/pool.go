@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"cape/internal/core"
+)
+
+// Pool is a sharded pool of reusable machines: one shard per distinct
+// configuration (name, chain count, backend, RAM size). Building a
+// machine allocates its full main memory — hundreds of megabytes for
+// the paper configurations — so the steady-state job path must reuse
+// machines via Machine.Reset instead of constructing them per job.
+// Each shard lazily builds up to its capacity and then blocks further
+// Gets until a machine is returned.
+type Pool struct {
+	perShard int
+
+	mu     sync.Mutex
+	shards map[string]*shard
+}
+
+type shard struct {
+	key  string
+	idle chan *core.Machine
+
+	mu      sync.Mutex
+	created int
+	reuses  int64
+}
+
+// ShardKey identifies a pool shard: machines are interchangeable iff
+// every field that affects construction matches.
+func ShardKey(cfg core.Config) string {
+	return fmt.Sprintf("%s/chains=%d/backend=%d/ram=%d", cfg.Name, cfg.Chains, cfg.Backend, cfg.RAMBytes)
+}
+
+// NewPool builds a pool holding up to perShard machines per
+// configuration.
+func NewPool(perShard int) *Pool {
+	if perShard <= 0 {
+		perShard = 1
+	}
+	return &Pool{perShard: perShard, shards: make(map[string]*shard)}
+}
+
+func (p *Pool) shard(cfg core.Config) *shard {
+	key := ShardKey(cfg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.shards[key]
+	if !ok {
+		s = &shard{key: key, idle: make(chan *core.Machine, p.perShard)}
+		p.shards[key] = s
+	}
+	return s
+}
+
+// Get returns a reset machine of the given configuration, building one
+// only while the shard is below capacity; otherwise it waits for a
+// machine to be returned or for ctx to expire.
+func (p *Pool) Get(ctx context.Context, cfg core.Config) (*core.Machine, error) {
+	s := p.shard(cfg)
+	select {
+	case m := <-s.idle:
+		s.noteReuse()
+		return m, nil
+	default:
+	}
+	s.mu.Lock()
+	if s.created < cap(s.idle) {
+		s.created++
+		s.mu.Unlock()
+		return core.New(cfg), nil
+	}
+	s.mu.Unlock()
+	select {
+	case m := <-s.idle:
+		s.noteReuse()
+		return m, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (s *shard) noteReuse() {
+	s.mu.Lock()
+	s.reuses++
+	s.mu.Unlock()
+}
+
+// Put resets m and returns it to its shard.
+func (p *Pool) Put(cfg core.Config, m *core.Machine) {
+	m.Reset()
+	s := p.shard(cfg)
+	select {
+	case s.idle <- m:
+	default:
+		// Shard is already full (cannot happen while Get/Put are
+		// balanced); drop the machine for the GC.
+	}
+}
+
+// ShardStats snapshots one shard for /healthz and tests.
+type ShardStats struct {
+	Key     string `json:"key"`
+	Created int    `json:"created"`
+	Idle    int    `json:"idle"`
+	Reuses  int64  `json:"reuses"`
+}
+
+// Stats snapshots all shards, sorted by key.
+func (p *Pool) Stats() []ShardStats {
+	p.mu.Lock()
+	shards := make([]*shard, 0, len(p.shards))
+	for _, s := range p.shards {
+		shards = append(shards, s)
+	}
+	p.mu.Unlock()
+	stats := make([]ShardStats, 0, len(shards))
+	for _, s := range shards {
+		s.mu.Lock()
+		stats = append(stats, ShardStats{Key: s.key, Created: s.created, Idle: len(s.idle), Reuses: s.reuses})
+		s.mu.Unlock()
+	}
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Key < stats[j].Key })
+	return stats
+}

@@ -1,0 +1,102 @@
+package server
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cape/internal/core"
+)
+
+// tinyConfig keeps pool-test machines cheap: 4 chains, 1 MB RAM.
+func tinyConfig(chains int) core.Config {
+	cfg := core.CAPE32k()
+	cfg.Chains = chains
+	cfg.RAMBytes = 1 << 20
+	return cfg
+}
+
+func TestPoolReusesMachines(t *testing.T) {
+	p := NewPool(1)
+	cfg := tinyConfig(4)
+	ctx := context.Background()
+	m1, err := p.Get(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(cfg, m1)
+	m2, err := p.Get(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatal("second Get did not reuse the pooled machine")
+	}
+	p.Put(cfg, m2)
+	stats := p.Stats()
+	if len(stats) != 1 || stats[0].Created != 1 || stats[0].Reuses != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestPoolShardsByConfig(t *testing.T) {
+	p := NewPool(2)
+	a, b := tinyConfig(4), tinyConfig(8)
+	ctx := context.Background()
+	ma, _ := p.Get(ctx, a)
+	mb, _ := p.Get(ctx, b)
+	if ma.Config().Chains == mb.Config().Chains {
+		t.Fatal("shards not distinguished by chain count")
+	}
+	p.Put(a, ma)
+	p.Put(b, mb)
+	if stats := p.Stats(); len(stats) != 2 {
+		t.Fatalf("want 2 shards, got %+v", stats)
+	}
+}
+
+func TestPoolBlocksAtCapacityUntilPut(t *testing.T) {
+	p := NewPool(1)
+	cfg := tinyConfig(4)
+	ctx := context.Background()
+	m, err := p.Get(ctx, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second Get must block until the machine is returned.
+	got := make(chan *core.Machine, 1)
+	go func() {
+		m2, err := p.Get(ctx, cfg)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- m2
+	}()
+	select {
+	case <-got:
+		t.Fatal("Get returned while the shard was exhausted")
+	case <-time.After(20 * time.Millisecond):
+	}
+	p.Put(cfg, m)
+	select {
+	case m2 := <-got:
+		if m2 != m {
+			t.Fatal("blocked Get did not receive the returned machine")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Get still blocked after Put")
+	}
+}
+
+func TestPoolGetHonorsContext(t *testing.T) {
+	p := NewPool(1)
+	cfg := tinyConfig(4)
+	if _, err := p.Get(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := p.Get(ctx, cfg); err == nil {
+		t.Fatal("Get on an exhausted shard ignored the context")
+	}
+}

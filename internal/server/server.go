@@ -1,0 +1,273 @@
+// Package server is the caped serving subsystem: a bounded job queue,
+// a fixed worker pool, and a sharded pool of reusable core.Machine
+// instances. It turns the one-shot simulator into a long-running,
+// multi-tenant service in the spirit of the FPGA follow-on work, where
+// a content-addressable engine is a shared resource programmed by many
+// clients.
+//
+// A job travels: Submit → queue → worker → pool.Get → Exec (budget +
+// timeout enforced by the CP) → response → pool.Put (Reset). Queue
+// wait and run time are measured separately and exported as histograms
+// on /metrics.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cape/internal/core"
+	"cape/internal/cp"
+	"cape/internal/metrics"
+	"cape/internal/workloads"
+)
+
+// ErrQueueFull is returned by Submit when the job queue is at
+// capacity; HTTP maps it to 503.
+var ErrQueueFull = errors.New("server: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("server: closed")
+
+// Options configures a Server. The zero value selects the defaults
+// noted per field.
+type Options struct {
+	// Workers is the number of concurrent executors (default:
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds jobs waiting for a worker (default 256).
+	QueueDepth int
+	// MachinesPerConfig caps each pool shard (default: Workers, so the
+	// pool can never stall a worker).
+	MachinesPerConfig int
+	// DefaultTimeout bounds a job's host wall time when the request
+	// does not set one (default 60s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps request timeouts (default 10m).
+	MaxTimeout time.Duration
+	// DefaultMaxInsts is the per-job instruction budget when the
+	// request does not set one (default 2e9, the simulator's own
+	// runaway limit).
+	DefaultMaxInsts int64
+	// RAMBytes sizes pooled machines' main memory (default
+	// workloads.RAMBytes so one shard serves both job kinds).
+	RAMBytes int
+	// Registry receives the service metrics (default: a fresh one).
+	Registry *metrics.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.MachinesPerConfig <= 0 {
+		o.MachinesPerConfig = o.Workers
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 60 * time.Second
+	}
+	if o.MaxTimeout <= 0 {
+		o.MaxTimeout = 10 * time.Minute
+	}
+	if o.DefaultMaxInsts <= 0 {
+		o.DefaultMaxInsts = cp.DefaultConfig().MaxInsts
+	}
+	if o.RAMBytes <= 0 {
+		o.RAMBytes = workloads.RAMBytes
+	}
+	if o.Registry == nil {
+		o.Registry = metrics.NewRegistry()
+	}
+	return o
+}
+
+// job is one queued unit of work.
+type job struct {
+	id       uint64
+	spec     *Spec
+	ctx      context.Context
+	enqueued time.Time
+	done     chan jobDone // buffered(1): workers never block on delivery
+}
+
+type jobDone struct {
+	resp *Response
+	err  error
+}
+
+// Server owns the queue, the workers, and the machine pool.
+type Server struct {
+	opts    Options
+	pool    *Pool
+	queue   chan *job
+	started time.Time
+	nextID  atomic.Uint64
+
+	reg       *metrics.Registry
+	submitted *metrics.Counter
+	rejected  *metrics.Counter
+	inflight  *metrics.Gauge
+	queueH    *metrics.Histogram
+	runH      *metrics.Histogram
+	totalH    *metrics.Histogram
+
+	closeMu sync.RWMutex
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// New builds a server and starts its workers.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	reg := opts.Registry
+	s := &Server{
+		opts:    opts,
+		pool:    NewPool(opts.MachinesPerConfig),
+		queue:   make(chan *job, opts.QueueDepth),
+		started: time.Now(),
+		reg:     reg,
+		submitted: reg.Counter("caped_jobs_submitted_total",
+			"Jobs accepted into the queue.", nil),
+		rejected: reg.Counter("caped_jobs_rejected_total",
+			"Jobs rejected because the queue was full.", nil),
+		inflight: reg.Gauge("caped_jobs_inflight",
+			"Jobs queued or executing.", nil),
+		queueH: reg.Histogram("caped_queue_seconds",
+			"Host time a job spent waiting for a worker.", metrics.DefLatencyBuckets, nil),
+		runH: reg.Histogram("caped_run_seconds",
+			"Host time a job spent executing on the simulator.", metrics.DefLatencyBuckets, nil),
+		totalH: reg.Histogram("caped_total_seconds",
+			"Host time from submit to completion.", metrics.DefLatencyBuckets, nil),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the server's metrics registry (the /metrics
+// source).
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Pool returns the machine pool (health reporting, tests).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// Options returns the effective (defaulted) options.
+func (s *Server) Options() Options { return s.opts }
+
+// Close stops accepting jobs, drains the queue, and waits for the
+// workers to finish.
+func (s *Server) Close() {
+	s.closeMu.Lock()
+	if s.closed {
+		s.closeMu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.closeMu.Unlock()
+	s.wg.Wait()
+}
+
+// Submit compiles req, enqueues it, and blocks until the job completes
+// or ctx expires. It never blocks on a full queue: saturation returns
+// ErrQueueFull immediately so callers can shed load.
+func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	spec, err := Compile(req, s.opts)
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		id:       s.nextID.Add(1),
+		spec:     spec,
+		ctx:      ctx,
+		enqueued: time.Now(),
+		done:     make(chan jobDone, 1),
+	}
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- j:
+		s.submitted.Inc()
+		s.inflight.Inc()
+		s.closeMu.RUnlock()
+	default:
+		s.rejected.Inc()
+		s.closeMu.RUnlock()
+		return nil, ErrQueueFull
+	}
+	select {
+	case d := <-j.done:
+		return d.resp, d.err
+	case <-ctx.Done():
+		// The worker will notice the dead context (or finish into the
+		// buffered channel) and the machine returns to the pool either
+		// way.
+		return nil, ctx.Err()
+	}
+}
+
+// statusOf classifies a job error for the per-status counters.
+func statusOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, cp.ErrBudgetExceeded):
+		return "budget_exceeded"
+	case errors.Is(err, cp.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return "timeout"
+	default:
+		return "error"
+	}
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		queueNS := time.Since(j.enqueued).Nanoseconds()
+		s.queueH.Observe(float64(queueNS) / 1e9)
+
+		var d jobDone
+		var m *core.Machine
+		if err := j.ctx.Err(); err != nil {
+			// The submitter is gone; skip the run entirely.
+			d.err = err
+		} else if m, d.err = s.pool.Get(j.ctx, j.spec.Config); d.err != nil {
+			d.err = fmt.Errorf("server: acquiring machine: %w", d.err)
+		} else {
+			d.resp, d.err = Exec(j.ctx, m, j.spec)
+		}
+		totalNS := time.Since(j.enqueued).Nanoseconds()
+		if d.resp != nil {
+			d.resp.JobID = j.id
+			d.resp.QueueNS = queueNS
+			d.resp.TotalNS = totalNS
+			s.runH.Observe(float64(d.resp.RunNS) / 1e9)
+		}
+		s.totalH.Observe(float64(totalNS) / 1e9)
+		s.reg.Counter("caped_jobs_completed_total", "Jobs completed by status and config.",
+			metrics.Labels{"status": statusOf(d.err), "config": j.spec.Config.Name}).Inc()
+		s.inflight.Dec()
+		j.done <- d
+		// The machine is reset and returned only after the reply is
+		// delivered: clearing hundreds of megabytes of RAM takes tens
+		// of milliseconds, and the submitter should not wait on the
+		// cleanup of a machine it no longer uses.
+		if m != nil {
+			s.pool.Put(j.spec.Config, m)
+		}
+	}
+}

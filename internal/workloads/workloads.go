@@ -121,17 +121,21 @@ func minInt(a, b int) int {
 
 // Memory layout: each workload places its arrays at fixed bases.
 const (
-	baseA    = 0x0010_0000
-	baseB    = 0x0200_0000
-	baseC    = 0x0400_0000
-	baseD    = 0x0600_0000
-	baseOut  = 0x0800_0000
-	ramBytes = 0x0A00_0000
+	baseA   = 0x0010_0000
+	baseB   = 0x0200_0000
+	baseC   = 0x0400_0000
+	baseD   = 0x0600_0000
+	baseOut = 0x0800_0000
 )
+
+// RAMBytes is enough main memory for any workload's input set; the
+// caped machine pool sizes its machines with it so pooled machines can
+// serve both raw-assembly and named-workload jobs.
+const RAMBytes = 0x0A00_0000
 
 // NewMachine builds a machine of the given configuration with enough
 // RAM for any workload.
 func NewMachine(cfg core.Config) *core.Machine {
-	cfg.RAMBytes = ramBytes
+	cfg.RAMBytes = RAMBytes
 	return core.New(cfg)
 }

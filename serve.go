@@ -1,0 +1,49 @@
+package cape
+
+import (
+	"context"
+	"net/http"
+
+	"cape/internal/server"
+)
+
+// Server is the concurrent CAPE simulation service: a bounded job
+// queue, a worker pool, and a sharded pool of reusable machines (one
+// shard per configuration). See cmd/caped for the standalone daemon.
+type Server = server.Server
+
+// ServerOptions configures a Server; the zero value picks sensible
+// defaults (GOMAXPROCS workers, 256-deep queue, 60 s timeout).
+type ServerOptions = server.Options
+
+// JobRequest describes one job: assembly source or a named workload
+// kernel, the machine selection, and per-job limits.
+type JobRequest = server.Request
+
+// JobResponse carries the full simulator Result plus the host-side
+// queue/run latency breakdown.
+type JobResponse = server.Response
+
+// NewServer starts the service's workers and returns it. Submit jobs
+// with (*Server).Submit or serve its HTTP API via (*Server).Handler.
+// Close it to drain.
+func NewServer(opts ServerOptions) *Server { return server.New(opts) }
+
+// Serve runs the caped HTTP API on addr until ctx is canceled, then
+// shuts down gracefully: the listener closes, in-flight jobs finish,
+// and the worker pool drains.
+func Serve(ctx context.Context, addr string, opts ServerOptions) error {
+	s := server.New(opts)
+	defer s.Close()
+	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case <-ctx.Done():
+		hs.Shutdown(context.Background())
+		<-errc
+		return nil
+	case err := <-errc:
+		return err
+	}
+}
