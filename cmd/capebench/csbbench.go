@@ -1,0 +1,173 @@
+// The csbparallel experiment measures the CSB's parallel chain
+// execution against the serial path: same microcode, same chains, one
+// worker pool vs. none. Results go to stdout as a table and to
+// -csb-out as BENCH_csb.json so CI can track the speedup trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"cape/internal/csb"
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+var csbOut = flag.String("csb-out", "BENCH_csb.json", "output path for the csbparallel JSON report")
+
+// csbBenchEntry is one (config, instruction) measurement.
+type csbBenchEntry struct {
+	Config       string  `json:"config"`
+	Chains       int     `json:"chains"`
+	Inst         string  `json:"inst"`
+	MicroOps     int     `json:"microops"`
+	SerialNSOp   int64   `json:"serial_ns_op"`
+	ParallelNSOp int64   `json:"parallel_ns_op"`
+	Speedup      float64 `json:"speedup"`
+	BitIdentical bool    `json:"bit_identical"`
+}
+
+// csbBenchReport is the BENCH_csb.json payload.
+type csbBenchReport struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Workers    int             `json:"workers"`
+	Threshold  int             `json:"parallel_threshold"`
+	Note       string          `json:"note,omitempty"`
+	Entries    []csbBenchEntry `json:"entries"`
+}
+
+func (r csbBenchReport) String() string {
+	out := fmt.Sprintf("CSB serial vs. parallel chain execution (workers=%d, GOMAXPROCS=%d, threshold=%d chains)\n",
+		r.Workers, r.GOMAXPROCS, r.Threshold)
+	out += fmt.Sprintf("%-10s %7s %-12s %8s %14s %14s %9s %5s\n",
+		"config", "chains", "inst", "µops", "serial ns/op", "parallel ns/op", "speedup", "bit=")
+	for _, e := range r.Entries {
+		out += fmt.Sprintf("%-10s %7d %-12s %8d %14d %14d %8.2fx %5v\n",
+			e.Config, e.Chains, e.Inst, e.MicroOps, e.SerialNSOp, e.ParallelNSOp, e.Speedup, e.BitIdentical)
+	}
+	return out
+}
+
+// fillCSB seeds the benchmark registers with a deterministic pattern so
+// carry chains and tag activity resemble real data rather than zeros.
+func fillCSB(c *csb.CSB) {
+	x := uint32(0x9e3779b9)
+	for v := 1; v <= 3; v++ {
+		for e := 0; e < c.MaxVL(); e++ {
+			x = x*1664525 + 1013904223
+			c.WriteElement(v, e, x)
+		}
+	}
+}
+
+// timeRuns reports the mean ns per Run of ops, adaptively repeating
+// until at least minTime has elapsed (capped at maxReps).
+func timeRuns(c *csb.CSB, ops []tt.MicroOp) int64 {
+	const (
+		minTime = 150 * time.Millisecond
+		maxReps = 500
+	)
+	c.Run(ops) // warm up pool and caches
+	start := time.Now()
+	c.Run(ops)
+	est := time.Since(start)
+	reps := 1
+	if est > 0 && est < minTime {
+		reps = int(minTime / est)
+		if reps > maxReps {
+			reps = maxReps
+		}
+	}
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		c.Run(ops)
+	}
+	return time.Since(start).Nanoseconds() / int64(reps)
+}
+
+// csbParallelBench runs the experiment and writes the JSON report.
+func csbParallelBench() (fmt.Stringer, error) {
+	procs := runtime.GOMAXPROCS(0)
+	// Always run with at least two workers so the fan-out path (and its
+	// bit-identity check) is genuinely exercised; speedup over serial
+	// only materialises with real cores to back the workers.
+	workers := procs
+	if workers < 2 {
+		workers = 2
+	}
+	configs := []struct {
+		name   string
+		chains int
+	}{
+		{"chains64", 64}, // smallest config the pool engages on
+		{"CAPE32k", 1024},
+		{"CAPE131k", 4096},
+	}
+	insts := []struct {
+		name string
+		op   isa.Opcode
+	}{
+		{"vadd.vv", isa.OpVADD_VV},
+		{"vmul.vv", isa.OpVMUL_VV},
+		{"vredsum.vs", isa.OpVREDSUM_VS},
+	}
+
+	report := csbBenchReport{
+		GOMAXPROCS: procs,
+		Workers:    workers,
+		Threshold:  csb.DefaultParallelThreshold,
+	}
+	if procs < 2 {
+		report.Note = "single-CPU host: workers time-slice one core, so speedup ~1x; " +
+			"rerun on a multi-core machine to observe the parallel gain"
+	}
+	for _, cfg := range configs {
+		for _, in := range insts {
+			ops, err := tt.GenerateSEW(in.op, 1, 2, 3, 0, 32)
+			if err != nil {
+				return nil, fmt.Errorf("csbparallel: generate %s: %w", in.name, err)
+			}
+
+			// Bit-identity check on fresh state, before timing mutates it.
+			ser, par := csb.New(cfg.chains), csb.New(cfg.chains)
+			par.SetParallelism(workers, 0)
+			fillCSB(ser)
+			fillCSB(par)
+			ser.Run(ops)
+			par.Run(ops)
+			identical := ser.StateDigest() == par.StateDigest() &&
+				ser.ReductionResult() == par.ReductionResult()
+			if !identical {
+				return nil, fmt.Errorf("csbparallel: %s on %s: parallel state diverged from serial",
+					in.name, cfg.name)
+			}
+
+			serialNS := timeRuns(ser, ops)
+			parallelNS := timeRuns(par, ops)
+			par.Close()
+			report.Entries = append(report.Entries, csbBenchEntry{
+				Config:       cfg.name,
+				Chains:       cfg.chains,
+				Inst:         in.name,
+				MicroOps:     len(ops),
+				SerialNSOp:   serialNS,
+				ParallelNSOp: parallelNS,
+				Speedup:      float64(serialNS) / float64(parallelNS),
+				BitIdentical: identical,
+			})
+		}
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(*csbOut, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("csbparallel: writing %s: %w", *csbOut, err)
+	}
+	return report, nil
+}

@@ -88,6 +88,9 @@ func experiments() []experiment {
 		{"fig12", "SVE-style SIMD speedups over scalar", func() (fmt.Stringer, error) {
 			return report.Fig12(workloads.Phoenix()), nil
 		}},
+		{"csbparallel", "serial vs. parallel CSB chain execution (writes BENCH_csb.json)", func() (fmt.Stringer, error) {
+			return csbParallelBench()
+		}},
 		{"ablations", "design-choice ablations: vlrw.v, redsum-vs-add, narrow elements, CSB scaling", func() (fmt.Stringer, error) {
 			vlrw, err := report.AblationReplicaLoad()
 			if err != nil {

@@ -15,6 +15,8 @@
 //	-max-timeout D         hard per-job wall-time cap (default 10m)
 //	-max-insts N           default per-job instruction budget
 //	-ram BYTES             main memory per pooled machine
+//	-csb-workers N         CSB worker goroutines per bitlevel machine (0 = serial)
+//	-csb-threshold N       min chains before CSB workers engage (0 = 64)
 //
 // Endpoints: POST /v1/jobs, GET /v1/workloads, GET /healthz,
 // GET /metrics. See the README's "Running caped" section for curl
@@ -51,6 +53,8 @@ func run() error {
 		maxTimeout = flag.Duration("max-timeout", 0, "hard per-job wall-time cap (0 = 10m)")
 		maxInsts   = flag.Int64("max-insts", 0, "default per-job instruction budget (0 = 2e9)")
 		ram        = flag.Int("ram", 0, "main memory bytes per pooled machine (0 = 160 MiB)")
+		csbWorkers = flag.Int("csb-workers", 0, "CSB worker goroutines per bitlevel machine (0 = serial)")
+		csbThresh  = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -61,13 +65,15 @@ func run() error {
 	defer stop()
 
 	opts := cape.ServerOptions{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		MachinesPerConfig: *machines,
-		DefaultTimeout:    *timeout,
-		MaxTimeout:        *maxTimeout,
-		DefaultMaxInsts:   *maxInsts,
-		RAMBytes:          *ram,
+		Workers:              *workers,
+		QueueDepth:           *queue,
+		MachinesPerConfig:    *machines,
+		DefaultTimeout:       *timeout,
+		MaxTimeout:           *maxTimeout,
+		DefaultMaxInsts:      *maxInsts,
+		RAMBytes:             *ram,
+		CSBWorkers:           *csbWorkers,
+		CSBParallelThreshold: *csbThresh,
 	}
 	log.Printf("caped: listening on %s", *addr)
 	start := time.Now()

@@ -18,6 +18,8 @@
 //	-max-insts N               instruction budget (default 2e9)
 //	-dump addr,words           print a memory range after the run
 //	-disasm                    print the assembled program and exit
+//	-csb-workers N             CSB worker goroutines for bitlevel (0 = serial)
+//	-csb-threshold N           min chains before CSB workers engage (0 = 64)
 package main
 
 import (
@@ -71,6 +73,8 @@ func run() error {
 		maxInsts   = flag.Int64("max-insts", 0, "instruction budget (0 = 2e9)")
 		dump       = flag.String("dump", "", "memory range to print after the run: addr,words")
 		disasm     = flag.Bool("disasm", false, "print the assembled program and exit")
+		csbWorkers = flag.Int("csb-workers", 0, "CSB worker goroutines for the bitlevel backend (0 = serial)")
+		csbThresh  = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
 		regs       = regFlags{}
 	)
 	flag.Var(regs, "x", "preset scalar register, e.g. -x x10=4096 (repeatable)")
@@ -112,7 +116,10 @@ func run() error {
 		req.Dump = &server.DumpSpec{Addr: addr, Words: words}
 	}
 
-	spec, err := server.Compile(req, server.Options{})
+	spec, err := server.Compile(req, server.Options{
+		CSBWorkers:           *csbWorkers,
+		CSBParallelThreshold: *csbThresh,
+	})
 	if err != nil {
 		return err
 	}

@@ -127,6 +127,19 @@ func NewBitBackend(chains int) *BitBackend {
 // CSB exposes the underlying block (memory-only mode, tests).
 func (b *BitBackend) CSB() *csb.CSB { return b.csb }
 
+// SetParallelism installs a CSB worker pool so microcode fans out
+// across chains; workers <= 1 keeps execution serial. minChains is the
+// chain-count threshold for using the pool (<= 0 selects
+// csb.DefaultParallelThreshold). The parallel path is bit-identical to
+// serial — see the csb package.
+func (b *BitBackend) SetParallelism(workers, minChains int) {
+	b.csb.SetParallelism(workers, minChains)
+}
+
+// Close releases the CSB worker pool, if any; the backend stays usable
+// serially.
+func (b *BitBackend) Close() { b.csb.Close() }
+
 // MaxVL returns the lane count.
 func (b *BitBackend) MaxVL() int { return b.csb.MaxVL() }
 

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"testing"
+
+	"cape/internal/isa"
+)
+
+// FuzzBitVsFastBackend is the differential fuzzer behind the parallel
+// CSB work: every input decodes to a random vector instruction
+// sequence — all fast-backend opcodes, .vx scalar forms, window
+// (vstart/vl) changes, aliased registers — which runs on three
+// backends at once:
+//
+//   - FastBackend (golden ISA semantics),
+//   - a serial BitBackend,
+//   - a parallel BitBackend (3 workers over 4 chains, threshold 1,
+//     deliberately not dividing evenly so block boundaries are odd).
+//
+// After every instruction the destination register and any scalar
+// result must agree bit for bit across all three; at the end the whole
+// register file, the serial-vs-parallel CSB state digests and the
+// execution statistics must match. The seed corpus encodes the
+// workloads' instruction mixes so `go test` replays them as regression
+// tests even without -fuzz.
+func FuzzBitVsFastBackend(f *testing.F) {
+	for _, seed := range fuzzSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runDifferential(t, data)
+	})
+}
+
+// fuzzOps is every opcode the fast backend implements; the decoder
+// indexes into it.
+var fuzzOps = []isa.Opcode{
+	isa.OpVADD_VV, isa.OpVSUB_VV, isa.OpVMUL_VV, isa.OpVAND_VV,
+	isa.OpVOR_VV, isa.OpVXOR_VV, isa.OpVMSEQ_VV, isa.OpVMSLT_VV,
+	isa.OpVMSNE_VV, isa.OpVMAX_VV, isa.OpVMIN_VV,
+	isa.OpVADD_VX, isa.OpVSUB_VX, isa.OpVMSEQ_VX, isa.OpVMSLT_VX,
+	isa.OpVMSNE_VX, isa.OpVRSUB_VX,
+	isa.OpVMV_VV, isa.OpVSLL_VI, isa.OpVSRL_VI, isa.OpVMERGE_VVM,
+	isa.OpVMV_VX, isa.OpVREDSUM_VS, isa.OpVMV_XS, isa.OpVCPOP_M,
+	isa.OpVFIRST_M,
+}
+
+const (
+	fuzzChains  = 4 // MaxVL = 128
+	fuzzMaxVL   = fuzzChains * 32
+	fuzzRegs    = 8  // low registers only, so aliasing is frequent
+	fuzzMaxInst = 48 // sequence cap keeps one fuzz case fast
+)
+
+// windowMarker in the opcode byte encodes a vstart/vl change instead
+// of an instruction.
+var windowMarker = len(fuzzOps)
+
+// fuzzCase is the decoded form of one fuzz input. The encoding is
+// byte-oriented so the fuzzer can mutate it meaningfully:
+//
+//	data[0]    SEW selector (8, 16 or 32 bits; fixed for the whole
+//	           case — the microcode invariant requires values stored at
+//	           a narrower SEW to have zeroed upper slices, which a
+//	           mid-sequence SEW switch would violate for both backends
+//	           in different ways)
+//	data[1:5]  LCG seed for the initial register file
+//	then records:
+//	  op byte == windowMarker: two bytes vstart%129, vl%129
+//	  op byte <  windowMarker: vd, vs2, vs1 (each %8) and two bytes of
+//	                           scalar operand x (shift counts %32)
+type fuzzRecord struct {
+	window bool
+	vstart int
+	vl     int
+
+	op         isa.Opcode
+	vd, vs2    int
+	vs1        int
+	x          uint64
+	hasScalarX bool
+}
+
+func decodeFuzzCase(data []byte) (sew int, lcg uint32, recs []fuzzRecord) {
+	if len(data) < 5 {
+		return 0, 0, nil
+	}
+	sew = []int{8, 16, 32}[int(data[0])%3]
+	lcg = uint32(data[1]) | uint32(data[2])<<8 | uint32(data[3])<<16 | uint32(data[4])<<24
+	i := 5
+	for i < len(data) && len(recs) < fuzzMaxInst {
+		sel := int(data[i]) % (windowMarker + 1)
+		i++
+		if sel == windowMarker {
+			if i+2 > len(data) {
+				break
+			}
+			recs = append(recs, fuzzRecord{
+				window: true,
+				vstart: int(data[i]) % (fuzzMaxVL + 1),
+				vl:     int(data[i+1]) % (fuzzMaxVL + 1),
+			})
+			i += 2
+			continue
+		}
+		if i+5 > len(data) {
+			break
+		}
+		r := fuzzRecord{
+			op:  fuzzOps[sel],
+			vd:  int(data[i]) % fuzzRegs,
+			vs2: int(data[i+1]) % fuzzRegs,
+			vs1: int(data[i+2]) % fuzzRegs,
+			x:   uint64(data[i+3]) | uint64(data[i+4])<<8,
+		}
+		i += 5
+		switch r.op {
+		case isa.OpVSLL_VI, isa.OpVSRL_VI:
+			r.x %= 32
+		case isa.OpVADD_VX, isa.OpVSUB_VX, isa.OpVMSEQ_VX, isa.OpVMSLT_VX,
+			isa.OpVMSNE_VX, isa.OpVRSUB_VX, isa.OpVMV_VX:
+			r.hasScalarX = true
+		}
+		recs = append(recs, r)
+	}
+	return sew, lcg, recs
+}
+
+// runDifferential executes one decoded case on all three backends and
+// fails on the first architectural divergence.
+func runDifferential(t *testing.T, data []byte) {
+	t.Helper()
+	sew, lcg, recs := decodeFuzzCase(data)
+	if len(recs) == 0 {
+		return
+	}
+	mask := uint32(1)<<uint(sew) - 1
+	if sew == 32 {
+		mask = ^uint32(0)
+	}
+
+	fast := NewFastBackend(fuzzMaxVL)
+	serial := NewBitBackend(fuzzChains)
+	parallel := NewBitBackend(fuzzChains)
+	parallel.SetParallelism(3, 1) // 3 workers over 4 chains: uneven blocks
+	defer parallel.Close()
+	backends := []struct {
+		name string
+		b    Backend
+	}{{"fast", fast}, {"serial", serial}, {"parallel", parallel}}
+
+	// Identical masked initial state: the bit-level model stores narrow
+	// elements with zeroed upper slices, so unmasked seeds would differ
+	// from the fast backend before the first instruction runs.
+	for v := 0; v < fuzzRegs; v++ {
+		for e := 0; e < fuzzMaxVL; e++ {
+			lcg = lcg*1664525 + 1013904223
+			val := lcg & mask
+			for _, bk := range backends {
+				bk.b.WriteElem(v, e, val)
+			}
+		}
+	}
+	vstart, vl := 0, fuzzMaxVL
+	for _, bk := range backends {
+		bk.b.SetWindow(vstart, vl, sew)
+	}
+
+	for ri, r := range recs {
+		if r.window {
+			vstart, vl = r.vstart, r.vl
+			for _, bk := range backends {
+				bk.b.SetWindow(vstart, vl, sew)
+			}
+			continue
+		}
+		inst := isa.Inst{Op: r.op, Vd: uint8(r.vd), Vs2: uint8(r.vs2), Vs1: uint8(r.vs1)}
+		var res [3]int64
+		var has [3]bool
+		for bi, bk := range backends {
+			res[bi], has[bi] = bk.b.Exec(inst, r.x)
+		}
+		for bi := 1; bi < 3; bi++ {
+			if has[bi] != has[0] || res[bi] != res[0] {
+				t.Fatalf("inst %d (%v vd=%d vs2=%d vs1=%d x=%#x sew=%d window=[%d,%d)): scalar result %s=%d,%v vs fast=%d,%v",
+					ri, r.op, r.vd, r.vs2, r.vs1, r.x, sew, vstart, vl,
+					backends[bi].name, res[bi], has[bi], res[0], has[0])
+			}
+		}
+		for e := 0; e < fuzzMaxVL; e++ {
+			want := fast.ReadElem(r.vd, e)
+			for bi := 1; bi < 3; bi++ {
+				if got := backends[bi].b.ReadElem(r.vd, e); got != want {
+					t.Fatalf("inst %d (%v vd=%d vs2=%d vs1=%d x=%#x sew=%d window=[%d,%d)): v%d[%d] %s=%#x fast=%#x",
+						ri, r.op, r.vd, r.vs2, r.vs1, r.x, sew, vstart, vl,
+						r.vd, e, backends[bi].name, got, want)
+				}
+			}
+		}
+	}
+
+	// Whole-register-file sweep plus the CSB-level invariants: parallel
+	// execution must leave literally identical chain state and stats.
+	for v := 0; v < fuzzRegs; v++ {
+		for e := 0; e < fuzzMaxVL; e++ {
+			want := fast.ReadElem(v, e)
+			for bi := 1; bi < 3; bi++ {
+				if got := backends[bi].b.ReadElem(v, e); got != want {
+					t.Fatalf("final state v%d[%d]: %s=%#x fast=%#x",
+						v, e, backends[bi].name, got, want)
+				}
+			}
+		}
+	}
+	if sd, pd := serial.CSB().StateDigest(), parallel.CSB().StateDigest(); sd != pd {
+		t.Fatalf("CSB state digest: serial %#x parallel %#x", sd, pd)
+	}
+	if ss, ps := serial.CSB().Stats, parallel.CSB().Stats; ss != ps {
+		t.Fatalf("CSB stats diverged:\nserial   %+v\nparallel %+v", ss, ps)
+	}
+}
+
+// corpusBuilder assembles seed inputs in the decoder's byte encoding.
+type corpusBuilder struct{ data []byte }
+
+func newCorpus(sewSel byte, seed uint32) *corpusBuilder {
+	return &corpusBuilder{data: []byte{
+		sewSel,
+		byte(seed), byte(seed >> 8), byte(seed >> 16), byte(seed >> 24),
+	}}
+}
+
+func (c *corpusBuilder) window(vstart, vl int) *corpusBuilder {
+	c.data = append(c.data, byte(windowMarker), byte(vstart), byte(vl))
+	return c
+}
+
+func (c *corpusBuilder) inst(op isa.Opcode, vd, vs2, vs1 int, x uint64) *corpusBuilder {
+	idx := -1
+	for i, o := range fuzzOps {
+		if o == op {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		panic("corpus op not in fuzzOps")
+	}
+	c.data = append(c.data, byte(idx), byte(vd), byte(vs2), byte(vs1),
+		byte(x), byte(x>>8))
+	return c
+}
+
+// fuzzSeedCorpus encodes instruction mixes shaped like the built-in
+// workloads, so the interesting interactions (reduction after
+// arithmetic, masks feeding merges, narrow SEW, register aliasing) are
+// exercised by plain `go test` runs as well as by the fuzzer.
+func fuzzSeedCorpus() [][]byte {
+	var seeds [][]byte
+	add := func(c *corpusBuilder) { seeds = append(seeds, c.data) }
+
+	// saxpy: y = a*x + y, with a splat and a partial window.
+	add(newCorpus(2, 0x1234).
+		inst(isa.OpVMV_VX, 3, 0, 0, 7).
+		inst(isa.OpVMUL_VV, 4, 1, 3, 0).
+		inst(isa.OpVADD_VV, 2, 4, 2, 0).
+		window(0, 100).
+		inst(isa.OpVMUL_VV, 4, 1, 3, 0).
+		inst(isa.OpVADD_VV, 2, 4, 2, 0))
+
+	// kmeans distance step: diff, square, accumulate, reduce to scalar.
+	add(newCorpus(2, 0xBEEF).
+		inst(isa.OpVSUB_VV, 3, 1, 2, 0).
+		inst(isa.OpVMUL_VV, 3, 3, 3, 0).
+		inst(isa.OpVADD_VV, 4, 4, 3, 0).
+		inst(isa.OpVREDSUM_VS, 5, 4, 6, 0).
+		inst(isa.OpVMV_XS, 0, 5, 0, 0))
+
+	// string/word search: compare against a scalar, count and locate.
+	add(newCorpus(2, 0xCAFE).
+		inst(isa.OpVMSEQ_VX, 0, 1, 0, 42).
+		inst(isa.OpVCPOP_M, 0, 0, 0, 0).
+		inst(isa.OpVFIRST_M, 0, 0, 0, 0).
+		window(5, 77).
+		inst(isa.OpVMSLT_VX, 0, 2, 0, 9000).
+		inst(isa.OpVCPOP_M, 0, 0, 0, 0).
+		inst(isa.OpVFIRST_M, 0, 0, 0, 0))
+
+	// mask pipeline: compare, merge under v0, min/max.
+	add(newCorpus(2, 0x5150).
+		inst(isa.OpVMSNE_VV, 0, 1, 2, 0).
+		inst(isa.OpVMERGE_VVM, 3, 1, 2, 0).
+		inst(isa.OpVMAX_VV, 4, 3, 1, 0).
+		inst(isa.OpVMIN_VV, 5, 3, 2, 0))
+
+	// logic and shifts, including shift-by-zero and by 31.
+	add(newCorpus(2, 0x0F0F).
+		inst(isa.OpVAND_VV, 3, 1, 2, 0).
+		inst(isa.OpVOR_VV, 4, 1, 2, 0).
+		inst(isa.OpVXOR_VV, 5, 3, 4, 0).
+		inst(isa.OpVSLL_VI, 6, 5, 0, 31).
+		inst(isa.OpVSRL_VI, 7, 5, 0, 0).
+		inst(isa.OpVSRL_VI, 1, 6, 0, 13))
+
+	// narrow SEW (8-bit) arithmetic with wraparound and reduction.
+	add(newCorpus(0, 0xA5A5).
+		inst(isa.OpVADD_VV, 3, 1, 2, 0).
+		inst(isa.OpVMUL_VV, 4, 3, 3, 0).
+		inst(isa.OpVRSUB_VX, 5, 4, 0, 0xFF).
+		inst(isa.OpVREDSUM_VS, 6, 5, 7, 0))
+
+	// 16-bit with window churn around chain boundaries (4 chains: the
+	// elements 0..3 straddle all chains, 124..127 are the last column).
+	add(newCorpus(1, 0x7777).
+		window(0, 3).
+		inst(isa.OpVADD_VX, 3, 1, 0, 1000).
+		window(125, 128).
+		inst(isa.OpVSUB_VV, 3, 3, 2, 0).
+		window(0, 128).
+		inst(isa.OpVMSLT_VV, 0, 3, 1, 0).
+		inst(isa.OpVFIRST_M, 0, 0, 0, 0))
+
+	// aggressive aliasing: vd == vs2 == vs1 for every op class.
+	add(newCorpus(2, 0x3333).
+		inst(isa.OpVADD_VV, 2, 2, 2, 0).
+		inst(isa.OpVMUL_VV, 2, 2, 2, 0).
+		inst(isa.OpVSUB_VV, 2, 2, 2, 0).
+		inst(isa.OpVXOR_VV, 2, 2, 2, 0).
+		inst(isa.OpVMSEQ_VV, 0, 0, 0, 0).
+		inst(isa.OpVMV_VV, 2, 2, 0, 0))
+
+	// empty and degenerate windows.
+	add(newCorpus(2, 0x9999).
+		window(64, 64).
+		inst(isa.OpVADD_VV, 3, 1, 2, 0).
+		window(100, 20).
+		inst(isa.OpVMUL_VV, 4, 1, 2, 0).
+		inst(isa.OpVCPOP_M, 0, 1, 0, 0).
+		window(0, 128).
+		inst(isa.OpVADD_VV, 3, 1, 2, 0))
+
+	return seeds
+}

@@ -38,6 +38,14 @@ type Config struct {
 	CP      cp.Config
 	// RAMBytes sizes main memory for the run.
 	RAMBytes int
+	// CSBWorkers sets the host worker-goroutine count the bit-level
+	// backend uses to fan microcode out across chains. 0 or 1 keeps the
+	// chain loop serial; the fast backend ignores it. The parallel path
+	// is bit-identical to serial (see internal/csb).
+	CSBWorkers int
+	// CSBParallelThreshold is the minimum chain count for actually
+	// using the pool; <= 0 selects csb.DefaultParallelThreshold.
+	CSBParallelThreshold int
 }
 
 // CAPE32k is the paper's smaller configuration: 1,024 chains = 32,768
@@ -115,7 +123,11 @@ func New(cfg Config) *Machine {
 	m := &Machine{cfg: cfg}
 	switch cfg.Backend {
 	case BackendBitLevel:
-		m.backend = NewBitBackend(cfg.Chains)
+		bb := NewBitBackend(cfg.Chains)
+		if cfg.CSBWorkers > 1 {
+			bb.SetParallelism(cfg.CSBWorkers, cfg.CSBParallelThreshold)
+		}
+		m.backend = bb
 	default:
 		m.backend = NewFastBackend(cfg.Chains * 32)
 	}

@@ -51,6 +51,10 @@ func (r *RAM) faultAndPageIn(addr uint64) bool {
 // Size returns the capacity in bytes.
 func (r *RAM) Size() int { return len(r.data) }
 
+// Bytes exposes the backing array for whole-memory inspection (golden
+// checksums, dumps). Callers must treat it as read-only.
+func (r *RAM) Bytes() []byte { return r.data }
+
 // Reset zeroes the contents and clears injected page faults without
 // reallocating the backing array (machine pooling reuses it).
 func (r *RAM) Reset() {

@@ -15,6 +15,15 @@ import (
 )
 
 // CSB is the functional model of the compute-storage block.
+//
+// Concurrency: a CSB is driven by one goroutine at a time (the machine
+// issues vector instructions strictly in order). When a worker pool is
+// installed with SetParallelism, Execute and Run fan the chain loop of
+// each command out across that pool internally, but the external
+// contract is unchanged: calls are still serial, and all architectural
+// state — including Stats and the reduction accumulator — is updated
+// only by the calling goroutine, so the parallel path is bit- and
+// stats-identical to the serial one.
 type CSB struct {
 	chains []*chain.Chain
 	vl     int
@@ -23,6 +32,13 @@ type CSB struct {
 	// redAcc is the global reduction accumulator (popcount tree +
 	// shifter + adder + scalar register of §IV-E).
 	redAcc uint64
+
+	// pool fans chain-local work out across worker goroutines; nil runs
+	// everything serially. parThreshold is the minimum chain count for
+	// the parallel path (below it fan-out/join overhead dominates).
+	pool         *workerPool
+	parWorkers   int
+	parThreshold int
 
 	// Stats accumulates the microoperation mix executed so far.
 	Stats Stats
@@ -161,19 +177,43 @@ func (c *CSB) ReductionResult() uint64 { return c.redAcc }
 // controllers driving their subarrays for one (or, for combines,
 // several) CSB cycles.
 func (c *CSB) Execute(op tt.MicroOp) {
+	if c.parallelActive() {
+		c.runParallel([]tt.MicroOp{op})
+		return
+	}
+	c.executeSerial(&op)
+}
+
+// executeSerial applies one command to every chain and accounts for it,
+// all on the calling goroutine.
+func (c *CSB) executeSerial(op *tt.MicroOp) {
+	sum := c.executeRange(op, 0, len(c.chains))
+	c.account(op, sum)
+}
+
+// executeRange applies the chain-local work of one command to chains
+// [lo, hi). It never touches CSB-level state (Stats, redAcc), so
+// disjoint ranges may execute concurrently: a chain's subarrays, tag
+// bits and enable latch are private to it, and the dedicated
+// neighbour-propagation paths (SrcPrevTag/SrcNextTag) connect subarrays
+// *within* a chain — chain ends see all-zero, never another chain's
+// tags. The only cross-chain structures in the design are the global
+// reduction tree (handled here by returning a partial popcount for the
+// caller to fold) and the vfirst priority encoder (FirstSetTag).
+// Unknown command kinds are rejected by account, on the caller.
+func (c *CSB) executeRange(op *tt.MicroOp, lo, hi int) uint64 {
+	chains := c.chains[lo:hi]
 	switch op.Kind {
 	case tt.KSearch:
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			ch.Search(op.Sub, op.Key, op.Acc)
 		}
-		c.Stats.SearchSerial++
 	case tt.KSearchAll:
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			ch.SearchAll(op.Key, op.Acc)
 		}
-		c.Stats.SearchParallel++
 	case tt.KSearchX:
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			for s := 0; s < chain.SubPerChain; s++ {
 				k := sram.Key{}
 				if op.X&(1<<uint(s)) != 0 {
@@ -184,46 +224,36 @@ func (c *CSB) Execute(op tt.MicroOp) {
 				ch.Search(s, k, op.Acc)
 			}
 		}
-		c.Stats.SearchParallel++
 	case tt.KUpdate:
 		if op.Sub == chain.SubPerChain {
 			// Dropped carry-out of the last subarray: the cycle is
 			// spent, nothing is written.
-			c.Stats.UpdateProp++
 			break
 		}
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			ch.Update(op.Sub, op.Row, op.Value, op.Sel)
 		}
-		if op.Sel.Src == chain.SrcPrevTag {
-			c.Stats.UpdateProp++
-		} else {
-			c.Stats.UpdateSerial++
-		}
 	case tt.KUpdateAll:
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			ch.UpdateAll(op.Row, op.Value, op.Sel)
 		}
-		c.Stats.UpdateParallel++
 	case tt.KUpdateX:
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			for s := 0; s < chain.SubPerChain; s++ {
 				ch.Update(s, op.Row, op.X&(1<<uint(s)) != 0,
 					chain.Selector{Src: chain.SrcAllCols})
 			}
 		}
-		c.Stats.UpdateParallel++
 	case tt.KEnable:
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			src := ch.TagOf(op.Sub)
 			if op.EnInvert {
 				src = ^src
 			}
 			ch.SetEnable(op.EnOp, src)
 		}
-		c.Stats.Enable++
 	case tt.KEnableCombine:
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			var acc uint32
 			if op.Combine == tt.CombineAnd {
 				acc = sram.AllCols
@@ -240,13 +270,38 @@ func (c *CSB) Execute(op tt.MicroOp) {
 			}
 			ch.SetEnable(chain.EnLoad, acc)
 		}
-		c.Stats.Enable++
 	case tt.KReduce:
 		var sum uint64
-		for _, ch := range c.chains {
+		for _, ch := range chains {
 			sum += uint64(ch.PopCountTag(op.Sub))
 		}
-		c.redAcc = c.redAcc<<1 + sum
+		return sum
+	}
+	return 0
+}
+
+// account updates the statistics for one executed command and, for
+// reductions, folds the popcount sum into the accumulator. It runs only
+// on the goroutine driving the CSB — never on pool workers — which is
+// what keeps Stats accumulation race-free under internal fan-out.
+func (c *CSB) account(op *tt.MicroOp, redSum uint64) {
+	switch op.Kind {
+	case tt.KSearch:
+		c.Stats.SearchSerial++
+	case tt.KSearchAll, tt.KSearchX:
+		c.Stats.SearchParallel++
+	case tt.KUpdate:
+		if op.Sub == chain.SubPerChain || op.Sel.Src == chain.SrcPrevTag {
+			c.Stats.UpdateProp++
+		} else {
+			c.Stats.UpdateSerial++
+		}
+	case tt.KUpdateAll, tt.KUpdateX:
+		c.Stats.UpdateParallel++
+	case tt.KEnable, tt.KEnableCombine:
+		c.Stats.Enable++
+	case tt.KReduce:
+		c.redAcc = c.redAcc<<1 + redSum
 		c.Stats.Reduce++
 	default:
 		panic(fmt.Sprintf("csb: unknown microop kind %v", op.Kind))
@@ -254,10 +309,18 @@ func (c *CSB) Execute(op tt.MicroOp) {
 	c.Stats.Cycles += uint64(op.Cycles)
 }
 
-// Run executes a microcode sequence and returns its cycle cost.
+// Run executes a microcode sequence and returns its cycle cost. With a
+// worker pool installed (SetParallelism) the whole sequence is fanned
+// out in a single dispatch: each worker walks every command over its
+// block of chains, which is legal because every command except KReduce
+// is chain-local, and KReduce partials are folded afterwards in
+// deterministic order (see runParallel).
 func (c *CSB) Run(ops []tt.MicroOp) int {
+	if c.parallelActive() && len(ops) > 0 {
+		return c.runParallel(ops)
+	}
 	for i := range ops {
-		c.Execute(ops[i])
+		c.executeSerial(&ops[i])
 	}
 	return tt.Cost(ops)
 }
@@ -265,6 +328,15 @@ func (c *CSB) Run(ops []tt.MicroOp) int {
 // FirstSetTag scans subarray-0 tag bits in element order and returns
 // the lowest active element index whose tag is set, or -1 — the
 // priority encoder behind vfirst.m.
+//
+// Element order audit: element e lives at chain e % N, column e / N
+// (chainOf), so for a fixed chain the element index col*N + k is
+// strictly increasing in the column number — TrailingZeros32 over one
+// chain's tags therefore yields that chain's lowest element, and the
+// cross-chain minimum of those candidates is the global first. The scan
+// is cheap (one mask per chain) and runs on the calling goroutine even
+// when a worker pool is installed, so serial and parallel execution see
+// the identical priority-encoder result.
 func (c *CSB) FirstSetTag() int64 {
 	best := int64(-1)
 	for k, ch := range c.chains {
@@ -279,6 +351,42 @@ func (c *CSB) FirstSetTag() int64 {
 		}
 	}
 	return best
+}
+
+// StateDigest returns an FNV-1a hash over the complete architectural
+// state of the CSB: window, reduction accumulator, and every chain's
+// enable latch, active mask, tag bits and subarray contents. Two CSBs
+// that executed the same commands — serially or fanned out — must
+// report identical digests; the differential suites key on this.
+func (c *CSB) StateDigest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(c.chains)))
+	mix(uint64(c.vstart))
+	mix(uint64(c.vl))
+	mix(c.redAcc)
+	for _, ch := range c.chains {
+		mix(uint64(ch.Enable()))
+		mix(uint64(ch.ActiveMask()))
+		for s := 0; s < chain.SubPerChain; s++ {
+			mix(uint64(ch.TagOf(s)))
+			rows := ch.Sub(s).Snapshot()
+			for _, r := range rows {
+				mix(uint64(r))
+			}
+		}
+	}
+	return h
 }
 
 // Reset clears every chain and the reduction accumulator, and restores

@@ -1,0 +1,201 @@
+// Parallel chain execution for the CSB.
+//
+// The hardware executes one broadcast command on every chain in the
+// same cycle; the serial simulator loop turns that spatial parallelism
+// into time. This file restores it on the host: a persistent worker
+// pool splits the chain array into contiguous blocks and each worker
+// walks a whole microcode sequence over its block. That is legal
+// because every command is chain-local (see executeRange); the two
+// cross-chain structures are handled on the coordinator:
+//
+//   - KReduce: each worker writes a partial popcount per reduce command
+//     into its own slot of a shared partials matrix; after the join the
+//     coordinator folds them in command order, worker order — a fixed
+//     order of exact uint64 additions, so the accumulator is
+//     bit-identical to serial regardless of GOMAXPROCS or scheduling.
+//   - FirstSetTag: never fanned out; always scanned by the caller.
+//
+// Stats are likewise updated only by the coordinator, after the join.
+package csb
+
+import (
+	"runtime"
+	"sync"
+
+	"cape/internal/tt"
+)
+
+// DefaultParallelThreshold is the chain count at and above which an
+// installed worker pool is actually used. Below it a vadd.vv's ~260
+// microops finish in a few microseconds serially and the fan-out/join
+// latency would dominate; the smallest paper-adjacent config we care
+// about accelerating is 64 chains, so the default is inclusive of it.
+const DefaultParallelThreshold = 64
+
+// workerPool is a fixed set of goroutines draining a task channel. It
+// holds no reference to the CSB, so a finalizer on the CSB may close
+// it; workers exit when the channel closes.
+type workerPool struct {
+	n     int
+	tasks chan func()
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{n: n, tasks: make(chan func())}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+func (p *workerPool) close() { close(p.tasks) }
+
+// SetParallelism installs (or removes) a worker pool. workers <= 1
+// removes any pool and restores fully serial execution; otherwise
+// workers goroutines are started (clamped to the chain count — more
+// workers than chains would only idle). minChains sets the chain-count
+// threshold below which the pool is bypassed; <= 0 selects
+// DefaultParallelThreshold. Call Close when done, or rely on the
+// finalizer installed here to reap the goroutines when the CSB is
+// collected.
+func (c *CSB) SetParallelism(workers, minChains int) {
+	if c.pool != nil {
+		c.pool.close()
+		c.pool = nil
+	}
+	c.parWorkers = 0
+	if minChains <= 0 {
+		minChains = DefaultParallelThreshold
+	}
+	c.parThreshold = minChains
+	if workers > len(c.chains) {
+		workers = len(c.chains)
+	}
+	if workers <= 1 {
+		runtime.SetFinalizer(c, nil)
+		return
+	}
+	c.pool = newWorkerPool(workers)
+	c.parWorkers = workers
+	runtime.SetFinalizer(c, func(c *CSB) {
+		if c.pool != nil {
+			c.pool.close()
+		}
+	})
+}
+
+// Close releases the worker pool, if any. The CSB remains usable and
+// falls back to serial execution. Idempotent.
+func (c *CSB) Close() {
+	if c.pool != nil {
+		c.pool.close()
+		c.pool = nil
+		c.parWorkers = 0
+		runtime.SetFinalizer(c, nil)
+	}
+}
+
+// Parallelism reports the installed worker count (0 when serial) and
+// the chain-count threshold for using it.
+func (c *CSB) Parallelism() (workers, minChains int) {
+	return c.parWorkers, c.parThreshold
+}
+
+// parallelActive reports whether commands should fan out to the pool.
+func (c *CSB) parallelActive() bool {
+	return c.pool != nil && len(c.chains) >= c.parThreshold
+}
+
+// dispatch tracks one fan-out: the join barrier plus the first panic
+// raised by any worker, which the coordinator re-raises so that
+// recover-based supervision (server.Exec) keeps working.
+type dispatch struct {
+	wg       sync.WaitGroup
+	mu       sync.Mutex
+	panicked any
+}
+
+// capture records a worker panic. Deferred *after* wg.Done's defer so
+// it runs first: the panic value is published under the mutex before
+// Done, and the WaitGroup join gives the coordinator a happens-before
+// edge to read it without its own lock... it still takes the lock for
+// the race detector's sake.
+func (d *dispatch) capture() {
+	if r := recover(); r != nil {
+		d.mu.Lock()
+		if d.panicked == nil {
+			d.panicked = r
+		}
+		d.mu.Unlock()
+	}
+}
+
+// runParallel executes a whole microcode sequence with one pool
+// dispatch. Worker w owns the contiguous chain block
+// [w*n/nw, (w+1)*n/nw) and applies every command to it in order;
+// between workers there is no ordering and no shared mutable state
+// except the partials matrix, which is written at disjoint indices
+// (worker-major). After the join the coordinator folds reduce partials
+// and Stats in a fixed order, making the architectural result
+// independent of scheduling. Returns the sequence cycle cost, like Run.
+func (c *CSB) runParallel(ops []tt.MicroOp) int {
+	n := len(c.chains)
+	nw := c.pool.n
+
+	// Count reductions up front so each worker gets a disjoint row of
+	// partial sums: partials[w*nRed + r] is worker w's popcount share of
+	// the r-th KReduce in the sequence.
+	nRed := 0
+	for i := range ops {
+		if ops[i].Kind == tt.KReduce {
+			nRed++
+		}
+	}
+	var partials []uint64
+	if nRed > 0 {
+		partials = make([]uint64, nw*nRed)
+	}
+
+	var d dispatch
+	for w := 0; w < nw; w++ {
+		lo, hi := w*n/nw, (w+1)*n/nw
+		row := partials[w*nRed : w*nRed+nRed : w*nRed+nRed]
+		d.wg.Add(1)
+		c.pool.tasks <- func() {
+			defer d.wg.Done()
+			defer d.capture()
+			red := 0
+			for i := range ops {
+				sum := c.executeRange(&ops[i], lo, hi)
+				if ops[i].Kind == tt.KReduce {
+					row[red] = sum
+					red++
+				}
+			}
+		}
+	}
+	d.wg.Wait()
+	if d.panicked != nil {
+		panic(d.panicked)
+	}
+
+	// Deterministic fold: command order outer, worker order inner.
+	// uint64 addition is exact and associative, so this matches the
+	// serial chain-order sum bit for bit.
+	red := 0
+	for i := range ops {
+		var sum uint64
+		if ops[i].Kind == tt.KReduce {
+			for w := 0; w < nw; w++ {
+				sum += partials[w*nRed+red]
+			}
+			red++
+		}
+		c.account(&ops[i], sum)
+	}
+	return tt.Cost(ops)
+}

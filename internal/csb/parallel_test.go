@@ -1,0 +1,276 @@
+package csb
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+// fillRandom seeds registers 1..regs with identical pseudo-random data
+// on every CSB in cs, masked to sew bits (the storage invariant for
+// narrow elements).
+func fillRandom(rng *rand.Rand, sew int, regs int, cs ...*CSB) {
+	mask := uint32(1)<<uint(sew) - 1
+	if sew == 32 {
+		mask = ^uint32(0)
+	}
+	maxVL := cs[0].MaxVL()
+	for v := 1; v <= regs; v++ {
+		for e := 0; e < maxVL; e++ {
+			val := rng.Uint32() & mask
+			for _, c := range cs {
+				c.WriteElement(v, e, val)
+			}
+		}
+	}
+}
+
+// randomProgram generates a random mixed-instruction microcode
+// sequence (arithmetic, compares, shifts, reductions) at the given
+// element width.
+func randomProgram(rng *rand.Rand, sew, insts int) [][]tt.MicroOp {
+	ops := []isa.Opcode{
+		isa.OpVADD_VV, isa.OpVSUB_VV, isa.OpVMUL_VV, isa.OpVAND_VV,
+		isa.OpVOR_VV, isa.OpVXOR_VV, isa.OpVMSEQ_VV, isa.OpVMSLT_VV,
+		isa.OpVMAX_VV, isa.OpVMIN_VV, isa.OpVSLL_VI, isa.OpVSRL_VI,
+		isa.OpVMV_VV, isa.OpVMV_VX, isa.OpVADD_VX, isa.OpVREDSUM_VS,
+		isa.OpVCPOP_M, isa.OpVFIRST_M,
+	}
+	var seqs [][]tt.MicroOp
+	for i := 0; i < insts; i++ {
+		op := ops[rng.Intn(len(ops))]
+		x := uint64(rng.Uint32())
+		if op == isa.OpVSLL_VI || op == isa.OpVSRL_VI {
+			x %= 32
+		}
+		seq, err := tt.GenerateSEW(op, 1+rng.Intn(6), 1+rng.Intn(6), 1+rng.Intn(6), x, sew)
+		if err != nil {
+			panic(err)
+		}
+		seqs = append(seqs, seq)
+	}
+	return seqs
+}
+
+// TestParallelMatchesSerial is the csb-level differential: identical
+// random microcode on a serial CSB and on parallel CSBs with assorted
+// worker counts must leave identical state digests, stats, reduction
+// results and priority-encoder results — across chain counts that
+// divide evenly into worker blocks and ones that do not.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for _, chains := range []int{1, 3, 64, 100} {
+		for _, workers := range []int{2, 3, 5, 8} {
+			for _, sew := range []int{8, 32} {
+				ser := New(chains)
+				par := New(chains)
+				par.SetParallelism(workers, 1)
+				fillRandom(rng, sew, 6, ser, par)
+
+				seqs := randomProgram(rng, sew, 10)
+				for _, seq := range seqs {
+					ser.ResetReduction()
+					par.ResetReduction()
+					ser.Run(seq)
+					par.Run(seq)
+					if s, p := ser.ReductionResult(), par.ReductionResult(); s != p {
+						t.Fatalf("chains=%d workers=%d sew=%d: reduction %d vs %d",
+							chains, workers, sew, s, p)
+					}
+					if s, p := ser.FirstSetTag(), par.FirstSetTag(); s != p {
+						t.Fatalf("chains=%d workers=%d sew=%d: vfirst %d vs %d",
+							chains, workers, sew, s, p)
+					}
+				}
+				if s, p := ser.StateDigest(), par.StateDigest(); s != p {
+					t.Fatalf("chains=%d workers=%d sew=%d: state digest %#x vs %#x",
+						chains, workers, sew, s, p)
+				}
+				if ser.Stats != par.Stats {
+					t.Fatalf("chains=%d workers=%d sew=%d: stats\nserial   %+v\nparallel %+v",
+						chains, workers, sew, ser.Stats, par.Stats)
+				}
+				par.Close()
+			}
+		}
+	}
+}
+
+// TestParallelThreshold verifies the sequential fallback: below the
+// threshold the pool must not engage, at or above it must.
+func TestParallelThreshold(t *testing.T) {
+	c := New(32)
+	c.SetParallelism(4, 64)
+	if c.parallelActive() {
+		t.Fatal("32 chains with threshold 64 must run serially")
+	}
+	if w, th := c.Parallelism(); w != 4 || th != 64 {
+		t.Fatalf("Parallelism() = %d,%d want 4,64", w, th)
+	}
+	c.Close()
+
+	c = New(64)
+	c.SetParallelism(4, 0) // 0 selects the default threshold
+	if !c.parallelActive() {
+		t.Fatalf("64 chains at default threshold %d must run in parallel",
+			DefaultParallelThreshold)
+	}
+	c.Close()
+	if c.parallelActive() {
+		t.Fatal("Close must restore serial execution")
+	}
+
+	// workers are clamped to the chain count; one worker is pointless
+	// and stays serial.
+	c = New(2)
+	c.SetParallelism(16, 1)
+	if w, _ := c.Parallelism(); w != 2 {
+		t.Fatalf("workers not clamped to chains: %d", w)
+	}
+	c.Close()
+	c.SetParallelism(1, 1)
+	if c.parallelActive() {
+		t.Fatal("1 worker must not build a pool")
+	}
+}
+
+// TestFirstSetTagChainBoundaries pins the element ordering of the
+// priority encoder at chain boundaries. With N chains, element e lives
+// at chain e%N column e/N — so with 4 chains, element 3 (chain 3,
+// column 0) must beat element 4 (chain 0, column 1) even though chain
+// 0 is scanned first.
+func TestFirstSetTagChainBoundaries(t *testing.T) {
+	for _, par := range []bool{false, true} {
+		c := New(4)
+		if par {
+			c.SetParallelism(3, 1)
+			defer c.Close()
+		}
+		// vfirst on an all-zero mask register: nothing set.
+		seq, err := tt.GenerateSEW(isa.OpVFIRST_M, 0, 5, 0, 0, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run(seq)
+		if got := c.FirstSetTag(); got != -1 {
+			t.Fatalf("par=%v: empty mask: vfirst = %d want -1", par, got)
+		}
+
+		// Element 3 = chain 3 col 0; element 4 = chain 0 col 1. The
+		// lower element index wins although it lives in the last chain.
+		c.WriteElement(5, 3, 1)
+		c.WriteElement(5, 4, 1)
+		c.Run(seq)
+		if got := c.FirstSetTag(); got != 3 {
+			t.Fatalf("par=%v: vfirst = %d want 3 (chain-boundary ordering)", par, got)
+		}
+
+		// Masking element 3 out via vstart leaves element 4 as first.
+		c.SetWindow(4, c.MaxVL())
+		c.Run(seq)
+		if got := c.FirstSetTag(); got != 4 {
+			t.Fatalf("par=%v: windowed vfirst = %d want 4", par, got)
+		}
+
+		// An element past vl is invisible even if its bit is set.
+		c.SetWindow(0, 4)
+		c.Run(seq)
+		if got := c.FirstSetTag(); got != 3 {
+			t.Fatalf("par=%v: vl-clipped vfirst = %d want 3", par, got)
+		}
+	}
+}
+
+// TestCpopChainBoundaries pins reduction behaviour across chain and
+// window boundaries: the popcount must count exactly the elements in
+// [vstart, vl), regardless of which chain or worker block they land
+// in, and the accumulator fold must be order-deterministic.
+func TestCpopChainBoundaries(t *testing.T) {
+	for _, par := range []bool{false, true} {
+		c := New(4)
+		if par {
+			c.SetParallelism(3, 1)
+			defer c.Close()
+		}
+		// Set the mask bit of every element; cpop then counts the window.
+		for e := 0; e < c.MaxVL(); e++ {
+			c.WriteElement(5, e, 1)
+		}
+		seq, err := tt.GenerateSEW(isa.OpVCPOP_M, 0, 5, 0, 0, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []struct{ vstart, vl int }{
+			{0, 128}, {0, 3}, {3, 5}, {4, 4}, {125, 128}, {1, 127},
+		} {
+			c.SetWindow(w.vstart, w.vl)
+			c.ResetReduction()
+			c.Run(seq)
+			want := uint64(0)
+			if w.vl > w.vstart {
+				want = uint64(w.vl - w.vstart)
+			}
+			if got := c.ReductionResult(); got != want {
+				t.Fatalf("par=%v window [%d,%d): cpop = %d want %d",
+					par, w.vstart, w.vl, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelDeterministicAcrossGOMAXPROCS is the scheduling
+// regression test: the same program must produce identical digests,
+// stats and reduction results whatever GOMAXPROCS and worker count,
+// because all cross-chain folds happen coordinator-side in fixed
+// order.
+func TestParallelDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+
+	type outcome struct {
+		digest uint64
+		red    uint64
+		stats  Stats
+	}
+	var want *outcome
+	for _, procs := range []int{1, 2, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, workers := range []int{2, 3, 5, 8} {
+			rng := rand.New(rand.NewSource(4242)) // same data every round
+			c := New(64)
+			c.SetParallelism(workers, 1)
+			fillRandom(rng, 32, 6, c)
+			for _, seq := range randomProgram(rng, 32, 8) {
+				c.Run(seq)
+			}
+			got := outcome{c.StateDigest(), c.ReductionResult(), c.Stats}
+			c.Close()
+			if want == nil {
+				want = &got
+				continue
+			}
+			if got != *want {
+				t.Fatalf("GOMAXPROCS=%d workers=%d: outcome diverged\ngot  %+v\nwant %+v",
+					procs, workers, got, *want)
+			}
+		}
+	}
+}
+
+// TestParallelPanicPropagates ensures a panic on a worker surfaces on
+// the driving goroutine (server.Exec recovers there to survive
+// malformed programs).
+func TestParallelPanicPropagates(t *testing.T) {
+	c := New(64)
+	c.SetParallelism(4, 1)
+	defer c.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("worker panic did not propagate to the caller")
+		}
+	}()
+	// Search of an invalid key panics inside sram on the workers.
+	c.Execute(tt.MicroOp{Kind: tt.KSearch, Sub: 99})
+}

@@ -156,6 +156,8 @@ func Compile(req Request, opts Options) (*Spec, error) {
 		return nil, fmt.Errorf("server: unknown backend %q (want fast or bitlevel)", req.Backend)
 	}
 	spec.Config.RAMBytes = opts.RAMBytes
+	spec.Config.CSBWorkers = opts.CSBWorkers
+	spec.Config.CSBParallelThreshold = opts.CSBParallelThreshold
 
 	switch {
 	case req.Source != "" && req.Workload != "":

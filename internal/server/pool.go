@@ -33,9 +33,12 @@ type shard struct {
 }
 
 // ShardKey identifies a pool shard: machines are interchangeable iff
-// every field that affects construction matches.
+// every field that affects construction matches. CSB worker settings
+// are included because they change what New builds (a pooled serial
+// machine must not satisfy a parallel-config Get, and vice versa).
 func ShardKey(cfg core.Config) string {
-	return fmt.Sprintf("%s/chains=%d/backend=%d/ram=%d", cfg.Name, cfg.Chains, cfg.Backend, cfg.RAMBytes)
+	return fmt.Sprintf("%s/chains=%d/backend=%d/ram=%d/csbw=%d/csbt=%d",
+		cfg.Name, cfg.Chains, cfg.Backend, cfg.RAMBytes, cfg.CSBWorkers, cfg.CSBParallelThreshold)
 }
 
 // NewPool builds a pool holding up to perShard machines per

@@ -56,6 +56,14 @@ type Options struct {
 	// RAMBytes sizes pooled machines' main memory (default
 	// workloads.RAMBytes so one shard serves both job kinds).
 	RAMBytes int
+	// CSBWorkers sets the per-machine CSB worker count for bitlevel
+	// jobs: each bit-level machine fans its chain loop out across this
+	// many goroutines (0 or 1 = serial). The result is bit-identical to
+	// serial execution; see internal/csb.
+	CSBWorkers int
+	// CSBParallelThreshold is the minimum chain count before a machine
+	// actually uses its CSB workers (0 = csb.DefaultParallelThreshold).
+	CSBParallelThreshold int
 	// Registry receives the service metrics (default: a fresh one).
 	Registry *metrics.Registry
 }
@@ -146,6 +154,9 @@ func New(opts Options) *Server {
 		totalH: reg.Histogram("caped_total_seconds",
 			"Host time from submit to completion.", metrics.DefLatencyBuckets, nil),
 	}
+	reg.Gauge("caped_csb_workers",
+		"CSB worker goroutines per bit-level machine (0 = serial).", nil).
+		Set(int64(opts.CSBWorkers))
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()

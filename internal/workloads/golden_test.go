@@ -1,0 +1,138 @@
+package workloads
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+)
+
+var updateGolden = flag.Bool("update-golden", false,
+	"rewrite testdata/golden.json from the current implementation")
+
+// goldenDigest pins one workload's complete output state.
+type goldenDigest struct {
+	// Vec is an FNV-1a hash over all 32 vector registers × MaxVL
+	// elements, read through the backend after the run.
+	Vec string `json:"vec"`
+	// RAM is a CRC-32C over the machine's entire main memory.
+	RAM string `json:"ram"`
+}
+
+const goldenPath = "testdata/golden.json"
+
+// digestMachine hashes the machine's final architectural state.
+func digestMachine(m *core.Machine) goldenDigest {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(v) & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	b := m.Backend()
+	for v := 0; v < isa.NumVRegs; v++ {
+		for e := 0; e < b.MaxVL(); e++ {
+			mix(b.ReadElem(v, e))
+		}
+	}
+	crc := crc32.Checksum(m.RAM().Bytes(), crc32.MakeTable(crc32.Castagnoli))
+	return goldenDigest{
+		Vec: fmt.Sprintf("%016x", h),
+		RAM: fmt.Sprintf("%08x", crc),
+	}
+}
+
+func loadGolden(t *testing.T) map[string]goldenDigest {
+	t.Helper()
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden vectors (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenDigest
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatalf("parsing %s: %v", goldenPath, err)
+	}
+	return want
+}
+
+// TestGoldenVectors locks every built-in kernel's full output state —
+// vector registers and RAM — to checksums in testdata. A backend or
+// parallelism change that alters any workload's results fails here by
+// name instead of silently shifting behaviour; intentional changes
+// regenerate with `go test ./internal/workloads -run TestGoldenVectors
+// -update-golden`.
+func TestGoldenVectors(t *testing.T) {
+	var want map[string]goldenDigest
+	if !*updateGolden {
+		want = loadGolden(t)
+	}
+
+	var mu sync.Mutex
+	got := make(map[string]goldenDigest)
+
+	// The enclosing Run returns only after all parallel subtests
+	// finish, so the -update-golden write below sees every digest.
+	t.Run("workloads", func(t *testing.T) {
+		for _, w := range append(Phoenix(), Micro()...) {
+			w := w
+			t.Run(w.Name, func(t *testing.T) {
+				t.Parallel()
+				m := NewMachine(core.CAPE32k())
+				prog, err := w.BuildCAPE(m)
+				if err != nil {
+					t.Fatalf("build: %v", err)
+				}
+				if _, err := m.Run(prog); err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				if err := w.Check(m); err != nil {
+					t.Fatalf("check: %v", err)
+				}
+				d := digestMachine(m)
+				mu.Lock()
+				got[w.Name] = d
+				mu.Unlock()
+				if want != nil {
+					g, ok := want[w.Name]
+					if !ok {
+						t.Fatalf("no golden entry for %q (run -update-golden)", w.Name)
+					}
+					if d != g {
+						t.Fatalf("output drifted from golden:\n got %+v\nwant %+v\n"+
+							"(if intentional, regenerate with -update-golden)", d, g)
+					}
+				}
+			})
+		}
+	})
+
+	if *updateGolden && !t.Failed() {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		names := make([]string, 0, len(got))
+		for n := range got {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		t.Logf("wrote %d golden digests to %s: %v", len(got), goldenPath, names)
+	}
+}
