@@ -17,17 +17,26 @@
 //	-ram BYTES             main memory per pooled machine
 //	-csb-workers N         CSB worker goroutines per bitlevel machine (0 = serial)
 //	-csb-threshold N       min chains before CSB workers engage (0 = 64)
+//	-trace                 profile every job (per-job: POST /v1/jobs?trace=1)
+//	-trace-sample N        record every Nth timeline event for traced jobs
+//	-trace-store N         completed traces kept for GET /v1/jobs/{id}/trace
+//	-job-log DEST          per-job JSON log: stderr, stdout, a path, or off
+//	-debug-addr ADDR       serve net/http/pprof on a second listener
 //
-// Endpoints: POST /v1/jobs, GET /v1/workloads, GET /healthz,
-// GET /metrics. See the README's "Running caped" section for curl
-// examples.
+// Endpoints: POST /v1/jobs (?trace=1 inlines the Chrome timeline),
+// GET /v1/jobs/{id}/trace, GET /v1/workloads, GET /healthz,
+// GET /metrics. See the README's "Running caped" and "Observability"
+// sections for curl examples.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -35,6 +44,19 @@ import (
 
 	"cape"
 )
+
+// jobLogWriter resolves the -job-log destination.
+func jobLogWriter(dest string) (io.Writer, error) {
+	switch dest {
+	case "", "off", "none":
+		return nil, nil
+	case "stderr":
+		return os.Stderr, nil
+	case "stdout":
+		return os.Stdout, nil
+	}
+	return os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -45,16 +67,21 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address")
-		workers    = flag.Int("workers", 0, "concurrent executors (0 = GOMAXPROCS)")
-		queue      = flag.Int("queue", 0, "job queue depth (0 = 256)")
-		machines   = flag.Int("machines", 0, "pooled machines per configuration (0 = workers)")
-		timeout    = flag.Duration("timeout", 0, "default per-job wall-time limit (0 = 60s)")
-		maxTimeout = flag.Duration("max-timeout", 0, "hard per-job wall-time cap (0 = 10m)")
-		maxInsts   = flag.Int64("max-insts", 0, "default per-job instruction budget (0 = 2e9)")
-		ram        = flag.Int("ram", 0, "main memory bytes per pooled machine (0 = 160 MiB)")
-		csbWorkers = flag.Int("csb-workers", 0, "CSB worker goroutines per bitlevel machine (0 = serial)")
-		csbThresh  = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "concurrent executors (0 = GOMAXPROCS)")
+		queue       = flag.Int("queue", 0, "job queue depth (0 = 256)")
+		machines    = flag.Int("machines", 0, "pooled machines per configuration (0 = workers)")
+		timeout     = flag.Duration("timeout", 0, "default per-job wall-time limit (0 = 60s)")
+		maxTimeout  = flag.Duration("max-timeout", 0, "hard per-job wall-time cap (0 = 10m)")
+		maxInsts    = flag.Int64("max-insts", 0, "default per-job instruction budget (0 = 2e9)")
+		ram         = flag.Int("ram", 0, "main memory bytes per pooled machine (0 = 160 MiB)")
+		csbWorkers  = flag.Int("csb-workers", 0, "CSB worker goroutines per bitlevel machine (0 = serial)")
+		csbThresh   = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
+		traceAll    = flag.Bool("trace", false, "profile every job (otherwise per-job via ?trace=1 or the request body)")
+		traceSample = flag.Int("trace-sample", 0, "record every Nth timeline event for traced jobs (0 = all)")
+		traceStore  = flag.Int("trace-store", 0, "completed traces kept for GET /v1/jobs/{id}/trace (0 = 64)")
+		jobLog      = flag.String("job-log", "stderr", "per-job JSON log destination: stderr, stdout, a file path, or off")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this second listener (empty = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -64,6 +91,20 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	logW, err := jobLogWriter(*jobLog)
+	if err != nil {
+		return fmt.Errorf("-job-log: %w", err)
+	}
+	if *debugAddr != "" {
+		// The default mux carries the pprof handlers; the API mux on the
+		// main listener does not, so profiling stays on its own port.
+		go func() {
+			log.Printf("caped: pprof on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("caped: debug listener: %v", err)
+			}
+		}()
+	}
 	opts := cape.ServerOptions{
 		Workers:              *workers,
 		QueueDepth:           *queue,
@@ -74,10 +115,14 @@ func run() error {
 		RAMBytes:             *ram,
 		CSBWorkers:           *csbWorkers,
 		CSBParallelThreshold: *csbThresh,
+		TraceAll:             *traceAll,
+		TraceSample:          *traceSample,
+		TraceStoreCap:        *traceStore,
+		JobLog:               logW,
 	}
 	log.Printf("caped: listening on %s", *addr)
 	start := time.Now()
-	err := cape.Serve(ctx, *addr, opts)
+	err = cape.Serve(ctx, *addr, opts)
 	log.Printf("caped: shut down after %s", time.Since(start).Round(time.Millisecond))
 	return err
 }

@@ -20,12 +20,18 @@
 //	-disasm                    print the assembled program and exit
 //	-csb-workers N             CSB worker goroutines for bitlevel (0 = serial)
 //	-csb-threshold N           min chains before CSB workers engage (0 = 64)
+//	-trace FILE                profile the run; write a Chrome trace_event
+//	                           timeline (chrome://tracing, Perfetto) to FILE
+//	-trace-sample N            record every Nth timeline event (0 = all)
+//	-debug-addr ADDR           serve net/http/pprof while the run executes
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
@@ -65,17 +71,20 @@ func main() {
 
 func run() error {
 	var (
-		configName = flag.String("config", "CAPE32k", "machine configuration (CAPE32k or CAPE131k)")
-		chains     = flag.Int("chains", 0, "override the CSB chain count")
-		backend    = flag.String("backend", "fast", "functional CSB model: fast or bitlevel")
-		workload   = flag.String("workload", "", "run a built-in kernel instead of a program file")
-		timeout    = flag.Duration("timeout", 0, "wall-time limit for the run (0 = 60s)")
-		maxInsts   = flag.Int64("max-insts", 0, "instruction budget (0 = 2e9)")
-		dump       = flag.String("dump", "", "memory range to print after the run: addr,words")
-		disasm     = flag.Bool("disasm", false, "print the assembled program and exit")
-		csbWorkers = flag.Int("csb-workers", 0, "CSB worker goroutines for the bitlevel backend (0 = serial)")
-		csbThresh  = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
-		regs       = regFlags{}
+		configName  = flag.String("config", "CAPE32k", "machine configuration (CAPE32k or CAPE131k)")
+		chains      = flag.Int("chains", 0, "override the CSB chain count")
+		backend     = flag.String("backend", "fast", "functional CSB model: fast or bitlevel")
+		workload    = flag.String("workload", "", "run a built-in kernel instead of a program file")
+		timeout     = flag.Duration("timeout", 0, "wall-time limit for the run (0 = 60s)")
+		maxInsts    = flag.Int64("max-insts", 0, "instruction budget (0 = 2e9)")
+		dump        = flag.String("dump", "", "memory range to print after the run: addr,words")
+		disasm      = flag.Bool("disasm", false, "print the assembled program and exit")
+		csbWorkers  = flag.Int("csb-workers", 0, "CSB worker goroutines for the bitlevel backend (0 = serial)")
+		csbThresh   = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
+		traceFile   = flag.String("trace", "", "profile the run and write a Chrome trace_event timeline to this file")
+		traceSample = flag.Int("trace-sample", 0, "record every Nth timeline event (0 = all)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address during the run (empty = off)")
+		regs        = regFlags{}
 	)
 	flag.Var(regs, "x", "preset scalar register, e.g. -x x10=4096 (repeatable)")
 	flag.Parse()
@@ -90,6 +99,17 @@ func run() error {
 	}
 	if *timeout > 0 {
 		req.TimeoutMS = timeout.Milliseconds()
+	}
+	if *traceFile != "" {
+		req.Trace = true
+		req.TraceSample = *traceSample
+	}
+	if *debugAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "capesim: debug listener:", err)
+			}
+		}()
 	}
 	switch {
 	case *workload == "" && flag.NArg() == 1:
@@ -161,6 +181,17 @@ func run() error {
 	fmt.Printf("queue_ns        0\n")
 	fmt.Printf("run_ns          %d\n", resp.RunNS)
 	fmt.Printf("total_ns        %d\n", resp.TotalNS)
+
+	if resp.ProfileTable != "" {
+		fmt.Printf("\n%s", resp.ProfileTable)
+	}
+	if *traceFile != "" && len(resp.TraceJSON) > 0 {
+		if err := os.WriteFile(*traceFile, resp.TraceJSON, 0o644); err != nil {
+			return fmt.Errorf("write trace: %w", err)
+		}
+		fmt.Printf("\ntrace           %s (%d bytes; load in chrome://tracing or ui.perfetto.dev)\n",
+			*traceFile, len(resp.TraceJSON))
+	}
 
 	if req.Dump != nil {
 		for i, w := range resp.Memory {

@@ -5,6 +5,7 @@ import (
 
 	"cape/internal/csb"
 	"cape/internal/isa"
+	"cape/internal/obs"
 	"cape/internal/tt"
 )
 
@@ -139,6 +140,10 @@ func (b *BitBackend) SetParallelism(workers, minChains int) {
 // Close releases the CSB worker pool, if any; the backend stays usable
 // serially.
 func (b *BitBackend) Close() { b.csb.Close() }
+
+// SetRecorder installs (or, with nil, removes) the observability
+// recorder on the underlying CSB.
+func (b *BitBackend) SetRecorder(r *obs.Recorder) { b.csb.SetRecorder(r) }
 
 // MaxVL returns the lane count.
 func (b *BitBackend) MaxVL() int { return b.csb.MaxVL() }

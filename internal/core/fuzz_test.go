@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"cape/internal/isa"
+	"cape/internal/obs"
 )
 
 // FuzzBitVsFastBackend is the differential fuzzer behind the parallel
@@ -15,11 +16,14 @@ import (
 //   - FastBackend (golden ISA semantics),
 //   - a serial BitBackend,
 //   - a parallel BitBackend (3 workers over 4 chains, threshold 1,
-//     deliberately not dividing evenly so block boundaries are odd).
+//     deliberately not dividing evenly so block boundaries are odd),
+//   - a traced parallel BitBackend with a recorder installed and a
+//     tiny event buffer, so tracing (including span drops) is proven
+//     not to perturb architectural state.
 //
 // After every instruction the destination register and any scalar
-// result must agree bit for bit across all three; at the end the whole
-// register file, the serial-vs-parallel CSB state digests and the
+// result must agree bit for bit across all backends; at the end the
+// whole register file, the bit-backend CSB state digests and the
 // execution statistics must match. The seed corpus encodes the
 // workloads' instruction mixes so `go test` replays them as regression
 // tests even without -fuzz.
@@ -144,10 +148,16 @@ func runDifferential(t *testing.T, data []byte) {
 	parallel := NewBitBackend(fuzzChains)
 	parallel.SetParallelism(3, 1) // 3 workers over 4 chains: uneven blocks
 	defer parallel.Close()
+	traced := NewBitBackend(fuzzChains)
+	traced.SetParallelism(3, 1)
+	defer traced.Close()
+	rec := obs.New(4)
+	rec.SetMaxEvents(64) // force event drops mid-case
+	traced.SetRecorder(rec)
 	backends := []struct {
 		name string
 		b    Backend
-	}{{"fast", fast}, {"serial", serial}, {"parallel", parallel}}
+	}{{"fast", fast}, {"serial", serial}, {"parallel", parallel}, {"traced", traced}}
 
 	// Identical masked initial state: the bit-level model stores narrow
 	// elements with zeroed upper slices, so unmasked seeds would differ
@@ -175,12 +185,12 @@ func runDifferential(t *testing.T, data []byte) {
 			continue
 		}
 		inst := isa.Inst{Op: r.op, Vd: uint8(r.vd), Vs2: uint8(r.vs2), Vs1: uint8(r.vs1)}
-		var res [3]int64
-		var has [3]bool
+		res := make([]int64, len(backends))
+		has := make([]bool, len(backends))
 		for bi, bk := range backends {
 			res[bi], has[bi] = bk.b.Exec(inst, r.x)
 		}
-		for bi := 1; bi < 3; bi++ {
+		for bi := 1; bi < len(backends); bi++ {
 			if has[bi] != has[0] || res[bi] != res[0] {
 				t.Fatalf("inst %d (%v vd=%d vs2=%d vs1=%d x=%#x sew=%d window=[%d,%d)): scalar result %s=%d,%v vs fast=%d,%v",
 					ri, r.op, r.vd, r.vs2, r.vs1, r.x, sew, vstart, vl,
@@ -189,7 +199,7 @@ func runDifferential(t *testing.T, data []byte) {
 		}
 		for e := 0; e < fuzzMaxVL; e++ {
 			want := fast.ReadElem(r.vd, e)
-			for bi := 1; bi < 3; bi++ {
+			for bi := 1; bi < len(backends); bi++ {
 				if got := backends[bi].b.ReadElem(r.vd, e); got != want {
 					t.Fatalf("inst %d (%v vd=%d vs2=%d vs1=%d x=%#x sew=%d window=[%d,%d)): v%d[%d] %s=%#x fast=%#x",
 						ri, r.op, r.vd, r.vs2, r.vs1, r.x, sew, vstart, vl,
@@ -204,7 +214,7 @@ func runDifferential(t *testing.T, data []byte) {
 	for v := 0; v < fuzzRegs; v++ {
 		for e := 0; e < fuzzMaxVL; e++ {
 			want := fast.ReadElem(v, e)
-			for bi := 1; bi < 3; bi++ {
+			for bi := 1; bi < len(backends); bi++ {
 				if got := backends[bi].b.ReadElem(v, e); got != want {
 					t.Fatalf("final state v%d[%d]: %s=%#x fast=%#x",
 						v, e, backends[bi].name, got, want)
@@ -212,11 +222,14 @@ func runDifferential(t *testing.T, data []byte) {
 			}
 		}
 	}
-	if sd, pd := serial.CSB().StateDigest(), parallel.CSB().StateDigest(); sd != pd {
-		t.Fatalf("CSB state digest: serial %#x parallel %#x", sd, pd)
-	}
-	if ss, ps := serial.CSB().Stats, parallel.CSB().Stats; ss != ps {
-		t.Fatalf("CSB stats diverged:\nserial   %+v\nparallel %+v", ss, ps)
+	sd := serial.CSB().StateDigest()
+	for _, bb := range []*BitBackend{parallel, traced} {
+		if d := bb.CSB().StateDigest(); d != sd {
+			t.Fatalf("CSB state digest: serial %#x other %#x", sd, d)
+		}
+		if ss, os := serial.CSB().Stats, bb.CSB().Stats; ss != os {
+			t.Fatalf("CSB stats diverged:\nserial %+v\nother  %+v", ss, os)
+		}
 	}
 }
 

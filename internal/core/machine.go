@@ -7,12 +7,14 @@ package core
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"cape/internal/cache"
 	"cape/internal/cp"
 	"cape/internal/energy"
 	"cape/internal/hbm"
 	"cape/internal/isa"
+	"cape/internal/obs"
 	"cape/internal/timing"
 	"cape/internal/tt"
 	"cape/internal/vcu"
@@ -46,6 +48,15 @@ type Config struct {
 	// CSBParallelThreshold is the minimum chain count for actually
 	// using the pool; <= 0 selects csb.DefaultParallelThreshold.
 	CSBParallelThreshold int
+	// Trace installs an execution recorder at construction, so every
+	// Run is profiled (cycle attribution) and traced (timeline events).
+	// Per-job tracing on pooled machines should instead install a
+	// recorder with SetRecorder around each run; keeping the flag out of
+	// pool shard keys is the server's concern.
+	Trace bool
+	// TraceSample records every Nth instruction-level timeline event
+	// (<= 1 records all). The cycle profile is always exact.
+	TraceSample int
 }
 
 // CAPE32k is the paper's smaller configuration: 1,024 chains = 32,768
@@ -107,6 +118,9 @@ type Machine struct {
 
 	vstart, vl, sew int
 
+	// rec is the installed observability recorder (nil = tracing off).
+	rec *obs.Recorder
+
 	energyPJ   float64
 	laneOps    uint64
 	memBytes   uint64
@@ -139,8 +153,28 @@ func New(cfg Config) *Machine {
 	m.proc = cp.New(cfg.CP, m, m.ram, m.caches)
 	m.vl = m.backend.MaxVL()
 	m.sew = 32
+	if cfg.Trace {
+		m.SetRecorder(obs.New(cfg.TraceSample))
+	}
 	return m
 }
+
+// SetRecorder installs (or, with nil, removes) an execution recorder,
+// threading it through the CP, the VCU and — on the bit-level backend
+// — the CSB. Safe to call between runs; the server installs a fresh
+// recorder per traced job and removes it afterwards so pooled machines
+// stay shareable.
+func (m *Machine) SetRecorder(r *obs.Recorder) {
+	m.rec = r
+	m.proc.SetRecorder(r)
+	m.vcu.SetRecorder(r)
+	if bb, ok := m.backend.(*BitBackend); ok {
+		bb.SetRecorder(r)
+	}
+}
+
+// Recorder returns the installed recorder (nil when tracing is off).
+func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 
 // pageInCycles is the CP-cycle cost of handling one vector page fault
 // (trap, page-in, vstart restart of the instruction — §V-C).
@@ -228,10 +262,24 @@ func (m *Machine) issueALU(inst isa.Inst, x1 int64, now int64) (int64, int64, bo
 		// instruction, not a register.
 		x = uint64(inst.Imm)
 	}
+	var t0 time.Time
+	if m.rec != nil {
+		t0 = time.Now()
+	}
 	result, hasResult := m.backend.Exec(inst, x)
 	cycles, err := m.vcu.InstrCycles(inst, m.sew)
 	if err != nil {
 		panic("core: " + err.Error())
+	}
+	if m.rec != nil {
+		cl := obs.FromISA(inst.Op.Class())
+		m.rec.AddWall(obs.StageCSB, cl, time.Since(t0).Nanoseconds())
+		// CSB occupancy is the instruction's busy time minus the VCU's
+		// command-distribution share (the VCU records that itself).
+		m.rec.AddOcc(obs.StageCSB, cl, int64(cycles-m.vcu.DistCycles))
+		if ops, mixErr := tt.GenerateSEW(inst.Op, int(inst.Vd), int(inst.Vs2), int(inst.Vs1), x, m.sew); mixErr == nil {
+			m.rec.AddMix(tt.MixOf(ops), len(ops))
+		}
 	}
 	m.aluInsts++
 	m.laneOps += uint64(m.activeLanes())
@@ -241,9 +289,17 @@ func (m *Machine) issueALU(inst isa.Inst, x1 int64, now int64) (int64, int64, bo
 
 func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
 	startPS := int64(float64(now) * timing.CAPECyclePS)
+	// startPS advances below when page faults are serviced mid-transfer;
+	// keep the original issue time for the occupancy span.
+	startPS0 := startPS
+	var t0 time.Time
+	if m.rec != nil {
+		t0 = time.Now()
+	}
 	vd := int(inst.Vd)
 	addr := uint64(x1)
 	var donePS int64
+	var movedBytes int64
 	switch inst.Op {
 	case isa.OpVLE32, isa.OpVLE16, isa.OpVLE8:
 		sz := memElemBytes(inst.Op)
@@ -269,6 +325,7 @@ func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
 		bytes := sz * m.activeLanes()
 		donePS = m.vmu.UnitStride(startPS, addr+uint64(sz*m.vstart), bytes, false)
 		m.memBytes += uint64(bytes)
+		movedBytes = int64(bytes)
 	case isa.OpVSE32, isa.OpVSE16, isa.OpVSE8:
 		sz := memElemBytes(inst.Op)
 		for e := m.vstart; e < m.vl; e++ {
@@ -290,6 +347,7 @@ func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
 		bytes := sz * m.activeLanes()
 		donePS = m.vmu.UnitStride(startPS, addr+uint64(sz*m.vstart), bytes, true)
 		m.memBytes += uint64(bytes)
+		movedBytes = int64(bytes)
 	case isa.OpVLRW:
 		chunk := int(x2)
 		if chunk <= 0 {
@@ -300,8 +358,17 @@ func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
 		}
 		donePS = m.vmu.Replica(startPS, addr, 4*chunk, 4*m.activeLanes())
 		m.memBytes += uint64(4 * chunk)
+		movedBytes = int64(4 * chunk)
 	default:
 		panic(fmt.Sprintf("core: unknown vector memory op %v", inst.Op))
+	}
+	if m.rec != nil {
+		m.rec.AddWall(obs.StageVMU, obs.ClassVectorMem, time.Since(t0).Nanoseconds())
+		m.rec.AddOcc(obs.StageVMU, obs.ClassVectorMem,
+			int64(float64(donePS-startPS0)/timing.CAPECyclePS))
+		if m.rec.Sample() {
+			m.rec.SimSpanPS(inst.Op.String(), obs.StageVMU, startPS0, donePS-startPS0, "bytes", movedBytes)
+		}
 	}
 	m.memInsts++
 	done := int64(float64(donePS)/timing.CAPECyclePS) + 1
@@ -354,6 +421,9 @@ func (m *Machine) Reset() {
 	m.aluInsts, m.memInsts, m.pageFaults = 0, 0, 0
 	m.vstart, m.sew = 0, 32
 	m.vl = m.backend.MaxVL()
+	// The recorder pointer is shared with the CP/VCU/CSB, so clearing it
+	// in place keeps the installation intact across pooled reuse.
+	m.rec.Reset()
 }
 
 // RunContext is Run with cooperative cancellation: the CP polls ctx

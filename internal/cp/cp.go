@@ -19,6 +19,7 @@ import (
 
 	"cape/internal/cache"
 	"cape/internal/isa"
+	"cape/internal/obs"
 )
 
 // ErrBudgetExceeded is returned (wrapped) by Run when a program
@@ -113,6 +114,16 @@ type CP struct {
 	// return aborts the run with ErrCanceled.
 	cancel func() bool
 
+	// rec, when non-nil, receives the cycle-attribution profile and
+	// instruction timeline. The nil recorder costs one predictable
+	// branch per instruction (see internal/obs).
+	rec *obs.Recorder
+	// vecBusySt/vecBusyCl identify the outstanding vector instruction,
+	// so cycles spent waiting on it are attributed to the unit actually
+	// doing the work (CSB or VMU), not to the waiting instruction.
+	vecBusySt obs.Stage
+	vecBusyCl obs.Class
+
 	Stats Stats
 }
 
@@ -157,6 +168,11 @@ func (c *CP) MaxInsts() int64 { return c.cfg.MaxInsts }
 // cancelCheckInterval executed instructions; returning true aborts the
 // run with ErrCanceled.
 func (c *CP) SetCancel(f func() bool) { c.cancel = f }
+
+// SetRecorder installs (or, with nil, removes) the observability
+// recorder. Like the configuration, it survives Reset; install it
+// before Run so the attribution profile covers the whole run.
+func (c *CP) SetRecorder(r *obs.Recorder) { c.rec = r }
 
 // Reset returns the CP to its power-on state: architectural registers,
 // vector CSRs, branch predictor, clock, statistics, cancellation hook,
@@ -216,7 +232,12 @@ func (c *CP) Run(prog *isa.Program) (Stats, error) {
 		}
 		inst := &prog.Insts[pc]
 		next := pc + 1
-		switch inst.Op.Class() {
+		cls := inst.Op.Class()
+		var t0 int64
+		if c.rec != nil {
+			t0 = c.now
+		}
+		switch cls {
 		case isa.ClassScalarALU:
 			c.execALU(inst)
 			c.tick()
@@ -239,24 +260,52 @@ func (c *CP) Run(prog *isa.Program) (Stats, error) {
 			if inst.Op == isa.OpHALT {
 				c.drain()
 				c.Stats.Cycles = c.now - start
+				if c.rec != nil {
+					c.rec.AddInst(obs.StageCP, obs.ClassSystem, 0)
+					c.recordRun(prog, start, executed)
+				}
 				return c.Stats, nil
 			}
 			c.tick()
 		default:
 			return c.Stats, fmt.Errorf("cp: cannot execute %v", inst)
 		}
+		if c.rec != nil {
+			// Vector instructions attribute their own cycles inside
+			// execVector (waits are charged to the busy unit); every
+			// other class executes on the CP proper. Together with drain
+			// this covers every advance of the clock, so the attribution
+			// total matches Stats.Cycles exactly.
+			switch cls {
+			case isa.ClassVectorALU, isa.ClassVectorMem, isa.ClassVectorRed:
+			default:
+				c.rec.AddInst(obs.StageCP, obs.FromISA(cls), c.now-t0)
+			}
+		}
 		c.x[0] = 0
 		pc = next
 	}
 	c.drain()
 	c.Stats.Cycles = c.now - start
+	if c.rec != nil {
+		c.recordRun(prog, start, executed)
+	}
 	return c.Stats, nil
+}
+
+// recordRun emits the run-level timeline span.
+func (c *CP) recordRun(prog *isa.Program, start, executed int64) {
+	c.rec.SimSpanCycles("run:"+prog.Name, obs.StageCP, start, c.now-start, "insts", executed)
 }
 
 // drain waits for the outstanding vector instruction at program end.
 func (c *CP) drain() {
 	if c.vecBusyUntil > c.now {
-		c.Stats.VecStallCyc += c.vecBusyUntil - c.now
+		d := c.vecBusyUntil - c.now
+		c.Stats.VecStallCyc += d
+		if c.rec != nil {
+			c.rec.AddCycles(c.vecBusySt, c.vecBusyCl, d)
+		}
 		c.stall(c.vecBusyUntil)
 	}
 }
@@ -445,24 +494,45 @@ func (c *CP) execVectorCfg(i *isa.Inst) {
 
 func (c *CP) execVector(i *isa.Inst) {
 	// A vector instruction stalls at issue until the previous vector
-	// instruction commits (paper §III).
+	// instruction commits (paper §III). Those cycles are attributed to
+	// the unit executing the outstanding instruction.
 	if c.vecBusyUntil > c.now {
-		c.Stats.VecStallCyc += c.vecBusyUntil - c.now
+		d := c.vecBusyUntil - c.now
+		c.Stats.VecStallCyc += d
+		if c.rec != nil {
+			c.rec.AddCycles(c.vecBusySt, c.vecBusyCl, d)
+		}
 		c.stall(c.vecBusyUntil)
 	}
+	t0 := c.now
 	c.tick()
+	var cl obs.Class
+	if c.rec != nil {
+		// The issue slot itself is CP work; the busy tail belongs to
+		// the CSB (ALU/reductions) or the VMU (memory).
+		cl = obs.FromISA(i.Op.Class())
+		c.vecBusySt, c.vecBusyCl = obs.StageOfClass(cl), cl
+		c.rec.AddInst(obs.StageCP, cl, c.now-t0)
+	}
 	done, result, hasResult := c.vu.Issue(*i, c.x[i.Rs1], c.x[i.Rs2], c.now)
 	if done < c.now {
 		done = c.now
 	}
 	c.Stats.VectorBusyCyc += done - c.now
 	c.vecBusyUntil = done
+	if c.rec != nil && c.rec.Sample() {
+		c.rec.SimSpanCycles(i.Op.String(), c.vecBusySt, c.now, done-c.now, "", 0)
+	}
 	if hasResult {
 		// The scalar consumer is data-dependent: wait for completion.
 		if i.Rd != 0 {
 			c.x[i.Rd] = result
 		}
-		c.Stats.VecStallCyc += done - c.now
+		d := done - c.now
+		c.Stats.VecStallCyc += d
+		if c.rec != nil {
+			c.rec.AddCycles(c.vecBusySt, cl, d)
+		}
 		c.stall(done)
 	}
 }

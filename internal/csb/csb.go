@@ -10,6 +10,7 @@ import (
 
 	"cape/internal/chain"
 	"cape/internal/isa"
+	"cape/internal/obs"
 	"cape/internal/sram"
 	"cape/internal/tt"
 )
@@ -39,6 +40,12 @@ type CSB struct {
 	pool         *workerPool
 	parWorkers   int
 	parThreshold int
+
+	// rec, when non-nil, receives host-time spans for microcode runs and
+	// their fan-out workers. The nil case must stay as cheap as the
+	// untraced simulator: Run tests it once and falls through to the
+	// original loop.
+	rec *obs.Recorder
 
 	// Stats accumulates the microoperation mix executed so far.
 	Stats Stats
@@ -172,13 +179,18 @@ func (c *CSB) ResetReduction() { c.redAcc = 0 }
 // ReductionResult returns the accumulator contents.
 func (c *CSB) ReductionResult() uint64 { return c.redAcc }
 
+// SetRecorder installs (or, with nil, removes) the observability
+// recorder. Timeline spans are only emitted from Run; single-command
+// Execute calls stay untraced.
+func (c *CSB) SetRecorder(r *obs.Recorder) { c.rec = r }
+
 // Execute broadcasts one microoperation command to every chain and
 // updates the statistics. It is the functional equivalent of the chain
 // controllers driving their subarrays for one (or, for combines,
 // several) CSB cycles.
 func (c *CSB) Execute(op tt.MicroOp) {
 	if c.parallelActive() {
-		c.runParallel([]tt.MicroOp{op})
+		c.runParallel([]tt.MicroOp{op}, nil)
 		return
 	}
 	c.executeSerial(&op)
@@ -316,13 +328,43 @@ func (c *CSB) account(op *tt.MicroOp, redSum uint64) {
 // is chain-local, and KReduce partials are folded afterwards in
 // deterministic order (see runParallel).
 func (c *CSB) Run(ops []tt.MicroOp) int {
+	if c.rec != nil {
+		return c.runTraced(ops)
+	}
 	if c.parallelActive() && len(ops) > 0 {
-		return c.runParallel(ops)
+		return c.runParallel(ops, nil)
 	}
 	for i := range ops {
 		c.executeSerial(&ops[i])
 	}
 	return tt.Cost(ops)
+}
+
+// runTraced is Run with timeline recording: one host-time span per
+// sampled microcode sequence, plus one span per fan-out worker when
+// the pool is active. The sampling decision is made once per sequence
+// so the coordinator span and its worker spans appear together.
+func (c *CSB) runTraced(ops []tt.MicroOp) int {
+	rec := c.rec
+	var wrec *obs.Recorder
+	var t0 int64
+	if rec.Sample() {
+		wrec = rec
+		t0 = rec.SinceNS()
+	}
+	var cost int
+	if c.parallelActive() && len(ops) > 0 {
+		cost = c.runParallel(ops, wrec)
+	} else {
+		for i := range ops {
+			c.executeSerial(&ops[i])
+		}
+		cost = tt.Cost(ops)
+	}
+	if wrec != nil {
+		wrec.HostSpan("csb.run", obs.StageCSB, 0, t0, rec.SinceNS()-t0, "microops", int64(len(ops)))
+	}
+	return cost
 }
 
 // FirstSetTag scans subarray-0 tag bits in element order and returns

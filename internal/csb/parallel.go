@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 
+	"cape/internal/obs"
 	"cape/internal/tt"
 )
 
@@ -142,7 +143,12 @@ func (d *dispatch) capture() {
 // (worker-major). After the join the coordinator folds reduce partials
 // and Stats in a fixed order, making the architectural result
 // independent of scheduling. Returns the sequence cycle cost, like Run.
-func (c *CSB) runParallel(ops []tt.MicroOp) int {
+//
+// With a non-nil rec, each worker stamps one host-time span into its
+// private slot of a per-worker buffer — using only the read-only
+// rec.SinceNS clock — and the coordinator merges the buffer in worker
+// order after the join, so the timeline is deterministic too.
+func (c *CSB) runParallel(ops []tt.MicroOp, rec *obs.Recorder) int {
 	n := len(c.chains)
 	nw := c.pool.n
 
@@ -159,6 +165,10 @@ func (c *CSB) runParallel(ops []tt.MicroOp) int {
 	if nRed > 0 {
 		partials = make([]uint64, nw*nRed)
 	}
+	var spans []obs.Span
+	if rec != nil {
+		spans = make([]obs.Span, nw)
+	}
 
 	var d dispatch
 	for w := 0; w < nw; w++ {
@@ -168,6 +178,10 @@ func (c *CSB) runParallel(ops []tt.MicroOp) int {
 		c.pool.tasks <- func() {
 			defer d.wg.Done()
 			defer d.capture()
+			var w0 int64
+			if rec != nil {
+				w0 = rec.SinceNS()
+			}
 			red := 0
 			for i := range ops {
 				sum := c.executeRange(&ops[i], lo, hi)
@@ -176,11 +190,21 @@ func (c *CSB) runParallel(ops []tt.MicroOp) int {
 					red++
 				}
 			}
+			if rec != nil {
+				spans[w] = obs.Span{
+					Name: "csb.worker", Stage: obs.StageCSB, Host: true,
+					Tid: int32(w + 1), Start: w0, Dur: rec.SinceNS() - w0,
+					Arg: "chains", Val: int64(hi - lo),
+				}
+			}
 		}
 	}
 	d.wg.Wait()
 	if d.panicked != nil {
 		panic(d.panicked)
+	}
+	if rec != nil {
+		rec.AppendSpans(spans)
 	}
 
 	// Deterministic fold: command order outer, worker order inner.

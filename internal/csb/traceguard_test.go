@@ -1,0 +1,151 @@
+package csb
+
+import (
+	"testing"
+	"time"
+
+	"cape/internal/isa"
+	"cape/internal/obs"
+	"cape/internal/tt"
+)
+
+// vaddOps returns the vadd.vv microcode the guard measures — the same
+// kernel the CI overhead gate and EXPERIMENTS.md use.
+func vaddOps(sew int) []tt.MicroOp {
+	ops, err := tt.GenerateSEW(isa.OpVADD_VV, 3, 1, 2, 0, sew)
+	if err != nil {
+		panic(err)
+	}
+	return ops
+}
+
+// runSeedLoop replays the pre-observability Run body exactly: the
+// plain serial loop over executeSerial with no recorder test at all.
+// executeSerial/executeRange/account are the untouched seed functions,
+// so this is a faithful in-process baseline.
+func runSeedLoop(c *CSB, ops []tt.MicroOp) int {
+	for i := range ops {
+		c.executeSerial(&ops[i])
+	}
+	return tt.Cost(ops)
+}
+
+// measure returns the minimum time of reps executions of f over the
+// microcode sequence, interleaving is the caller's job.
+func measure(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// TestTraceDisabledOverheadGuard is the CI gate on the disabled-tracer
+// cost: Run with a nil recorder must stay within 3% of the seed's
+// serial loop on the vadd kernel. Minimum-of-N timing with retries
+// damps scheduler noise; a persistent regression past the bound fails.
+func TestTraceDisabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	const (
+		chains  = 64
+		batches = 24 // vadd sequences per measured repetition
+		reps    = 8
+		bound   = 1.03
+		retries = 3
+	)
+	ops := vaddOps(32)
+	base := New(chains)
+	inst := New(chains)
+	if inst.rec != nil {
+		t.Fatal("fresh CSB must have no recorder")
+	}
+
+	run := func(c *CSB, exec func(*CSB, []tt.MicroOp) int) time.Duration {
+		return measure(reps, func() {
+			for b := 0; b < batches; b++ {
+				exec(c, ops)
+			}
+		})
+	}
+	seedExec := func(c *CSB, ops []tt.MicroOp) int { return runSeedLoop(c, ops) }
+	newExec := func(c *CSB, ops []tt.MicroOp) int { return c.Run(ops) }
+
+	var ratio float64
+	for attempt := 0; attempt < retries; attempt++ {
+		// Interleave and alternate order so frequency scaling and cache
+		// warmth cut both ways.
+		var seedT, newT time.Duration
+		if attempt%2 == 0 {
+			seedT = run(base, seedExec)
+			newT = run(inst, newExec)
+		} else {
+			newT = run(inst, newExec)
+			seedT = run(base, seedExec)
+		}
+		ratio = float64(newT) / float64(seedT)
+		t.Logf("attempt %d: seed %v, nil-recorder Run %v, ratio %.4f", attempt, seedT, newT, ratio)
+		if ratio <= bound {
+			return
+		}
+	}
+	t.Fatalf("tracing-disabled Run is %.2f%% slower than the seed loop (bound %.0f%%)",
+		(ratio-1)*100, (bound-1)*100)
+}
+
+// TestTracedRunMatchesSerial: enabling the recorder must not change
+// architectural state, stats, or the returned cycle cost — serial and
+// fanned out.
+func TestTracedRunMatchesSerial(t *testing.T) {
+	ops := vaddOps(32)
+	plain := New(8)
+	traced := New(8)
+	tracedPar := New(8)
+	tracedPar.SetParallelism(3, 1)
+	defer tracedPar.Close()
+	recs := []*obs.Recorder{obs.New(1), obs.New(1)}
+	traced.SetRecorder(recs[0])
+	tracedPar.SetRecorder(recs[1])
+
+	for e := 0; e < plain.MaxVL(); e++ {
+		v1, v2 := uint32(e*7+1), uint32(1000-e)
+		for _, c := range []*CSB{plain, traced, tracedPar} {
+			c.WriteElement(1, e, v1)
+			c.WriteElement(2, e, v2)
+		}
+	}
+	want := plain.Run(ops)
+	for i, c := range []*CSB{traced, tracedPar} {
+		if got := c.Run(ops); got != want {
+			t.Fatalf("csb %d: cycle cost %d != %d", i, got, want)
+		}
+		if c.StateDigest() != plain.StateDigest() {
+			t.Fatalf("csb %d: state digest diverged under tracing", i)
+		}
+		if c.Stats != plain.Stats {
+			t.Fatalf("csb %d: stats diverged: %+v vs %+v", i, c.Stats, plain.Stats)
+		}
+	}
+	// The serial traced run records the coordinator span; the parallel
+	// one additionally records one span per worker, in worker order.
+	if n := len(recs[0].Events()); n != 1 {
+		t.Fatalf("serial traced run: %d events, want 1", n)
+	}
+	ev := recs[1].Events()
+	if len(ev) != 4 {
+		t.Fatalf("parallel traced run: %d events, want 3 workers + run", len(ev))
+	}
+	for w := 0; w < 3; w++ {
+		if ev[w].Name != "csb.worker" || ev[w].Tid != int32(w+1) {
+			t.Fatalf("worker span %d out of order: %+v", w, ev[w])
+		}
+	}
+	if ev[3].Name != "csb.run" {
+		t.Fatalf("missing coordinator span: %+v", ev[3])
+	}
+}

@@ -131,6 +131,32 @@ func NewRegistry() *Registry {
 	return &Registry{families: make(map[string]*family)}
 }
 
+// escapeLabelValue escapes a label value per the Prometheus text
+// exposition format, where exactly backslash, double quote and newline
+// have escape sequences. Go's %q is not a substitute: it additionally
+// escapes tabs, control characters and non-ASCII runes, which a
+// Prometheus parser would read back as literal backslash sequences.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
 // renderLabels produces a deterministic {k="v",...} suffix.
 func renderLabels(labels Labels) string {
 	if len(labels) == 0 {
@@ -147,7 +173,10 @@ func renderLabels(labels Labels) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()

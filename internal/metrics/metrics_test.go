@@ -107,3 +107,31 @@ func TestHandler(t *testing.T) {
 		t.Fatalf("body: %s", rec.Body.String())
 	}
 }
+
+// TestLabelValueEscaping pins the text-format escaping rules: exactly
+// backslash, double quote and newline are escaped — nothing else (%q
+// would also mangle tabs and non-ASCII, which Prometheus reads back
+// as literal backslash sequences).
+func TestLabelValueEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{`plain`, `plain`},
+		{`say "hi"`, `say \"hi\"`},
+		{`C:\path\to`, `C:\\path\\to`},
+		{"line1\nline2", `line1\nline2`},
+		{"tab\there", "tab\there"},   // tab passes through untouched
+		{"unicode µs", "unicode µs"}, // non-ASCII passes through untouched
+		{`mix "\` + "\n", `mix \"\\\n`},
+	}
+	for _, c := range cases {
+		if got := escapeLabelValue(c.in); got != c.want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	r := NewRegistry()
+	r.Counter("odd_labels_total", "", Labels{"path": `C:\tmp`, "msg": "a\"b\nc"}).Inc()
+	out := render(t, r)
+	want := `odd_labels_total{msg="a\"b\nc",path="C:\\tmp"} 1`
+	if !strings.Contains(out, want) {
+		t.Errorf("rendered output missing %q:\n%s", want, out)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+
+	"cape/internal/tt"
+)
+
+// Bucket is one (stage, class) cell of the profile.
+type Bucket struct {
+	// Count is the number of events charged to the cell: instructions
+	// for attribution, issue events for occupancy.
+	Count int64 `json:"count"`
+	// Cycles is the simulated CP cycles charged to the cell.
+	Cycles int64 `json:"cycles"`
+	// WallNS is the host nanoseconds spent executing the cell's work.
+	WallNS int64 `json:"wall_ns"`
+}
+
+// Profile is the cycle accounting of one run.
+type Profile struct {
+	// Attr is the critical-path attribution: every cycle of the CP
+	// clock lands in exactly one cell, so the table total equals the
+	// machine's aggregate cycle count exactly.
+	Attr [NumStages][NumClasses]Bucket
+	// Occ is unit occupancy: busy cycles of the VCU/CSB/VMU that may
+	// overlap the CP timeline (vector work in the shadow of scalar
+	// execution), the paper's transfer-vs-compute split.
+	Occ [NumStages][NumClasses]Bucket
+	// Mix is the microoperation mix of all expanded vector
+	// instructions; MicroOps the total count, Expansions the number of
+	// expanded instructions.
+	Mix        tt.Mix
+	MicroOps   uint64
+	Expansions uint64
+}
+
+// Entry is one non-empty profile cell, flattened for JSON responses
+// and metric labels.
+type Entry struct {
+	Stage  string `json:"stage"`
+	Class  string `json:"class"`
+	Count  int64  `json:"count"`
+	Cycles int64  `json:"cycles"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// TotalCycles sums the attribution table; it equals the machine's
+// aggregate cycle count for the traced run.
+func (p *Profile) TotalCycles() int64 {
+	var total int64
+	for st := range p.Attr {
+		for cl := range p.Attr[st] {
+			total += p.Attr[st][cl].Cycles
+		}
+	}
+	return total
+}
+
+func entriesOf(t *[NumStages][NumClasses]Bucket) []Entry {
+	var out []Entry
+	for st := 0; st < NumStages; st++ {
+		for cl := 0; cl < NumClasses; cl++ {
+			b := t[st][cl]
+			if b.Count == 0 && b.Cycles == 0 && b.WallNS == 0 {
+				continue
+			}
+			out = append(out, Entry{
+				Stage:  Stage(st).String(),
+				Class:  Class(cl).String(),
+				Count:  b.Count,
+				Cycles: b.Cycles,
+				WallNS: b.WallNS,
+			})
+		}
+	}
+	return out
+}
+
+// AttrEntries returns the non-empty attribution cells in stage/class
+// order.
+func (p *Profile) AttrEntries() []Entry { return entriesOf(&p.Attr) }
+
+// OccEntries returns the non-empty occupancy cells in stage/class
+// order.
+func (p *Profile) OccEntries() []Entry { return entriesOf(&p.Occ) }
+
+// Table renders the profile for humans: the attribution table with
+// percentages and its exact total, the occupancy table, and the
+// microoperation mix.
+func (p *Profile) Table() string {
+	var b strings.Builder
+	total := p.TotalCycles()
+	fmt.Fprintf(&b, "cycle attribution (critical path; total equals CP cycles exactly)\n")
+	fmt.Fprintf(&b, "%-5s %-11s %12s %14s %6s %14s\n", "stage", "class", "count", "cycles", "%", "wall_ns")
+	for _, e := range p.AttrEntries() {
+		pct := 0.0
+		if total > 0 {
+			pct = 100 * float64(e.Cycles) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-5s %-11s %12d %14d %5.1f%% %14d\n",
+			e.Stage, e.Class, e.Count, e.Cycles, pct, e.WallNS)
+	}
+	fmt.Fprintf(&b, "%-5s %-11s %12s %14d %5.1f%%\n", "total", "", "", total, 100.0)
+	if occ := p.OccEntries(); len(occ) != 0 {
+		fmt.Fprintf(&b, "unit occupancy (busy cycles; may overlap the CP timeline)\n")
+		fmt.Fprintf(&b, "%-5s %-11s %12s %14s\n", "stage", "class", "issues", "cycles")
+		for _, e := range occ {
+			fmt.Fprintf(&b, "%-5s %-11s %12d %14d\n", e.Stage, e.Class, e.Count, e.Cycles)
+		}
+	}
+	if p.MicroOps != 0 {
+		m := p.Mix
+		fmt.Fprintf(&b, "microops %d over %d vector instructions: search=%d/%d update=%d/%d/%d enable=%d reduce=%d (serial/parallel; update serial/prop/parallel)\n",
+			p.MicroOps, p.Expansions,
+			m.SearchSerial, m.SearchParallel,
+			m.UpdateSerial, m.UpdateProp, m.UpdateParallel,
+			m.Enable, m.Reduce)
+	}
+	return b.String()
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 	"time"
 
 	"cape/internal/cp"
@@ -15,21 +16,28 @@ import (
 // far beyond any real program).
 const maxRequestBytes = 4 << 20
 
-// errorBody is the JSON shape of every non-2xx response.
+// errorBody is the JSON shape of every non-2xx response. JobID is set
+// whenever the failure concerns a specific job, so clients can
+// correlate the error with the server's job log.
 type errorBody struct {
 	Error  string `json:"error"`
 	Status string `json:"status"`
+	JobID  uint64 `json:"job_id,omitempty"`
 }
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/jobs       submit a job (Request body), wait, get Response
-//	GET  /v1/workloads  list the built-in kernels
-//	GET  /healthz       liveness plus queue/pool snapshot
-//	GET  /metrics       Prometheus text exposition
+//	POST /v1/jobs             submit a job (Request body), wait, get
+//	                          Response; ?trace=1 inlines the Chrome
+//	                          timeline, ?trace_sample=N sets sampling
+//	GET  /v1/jobs/{id}/trace  fetch a completed job's Chrome timeline
+//	GET  /v1/workloads        list the built-in kernels
+//	GET  /healthz             liveness plus queue/pool snapshot
+//	GET  /metrics             Prometheus text exposition
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.reg.Handler())
@@ -68,12 +76,49 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error(), Status: "error"})
 		return
 	}
-	resp, err := s.Submit(r.Context(), req)
+	q := r.URL.Query()
+	inlineTrace := q.Get("trace") == "1" || q.Get("trace") == "true"
+	if inlineTrace {
+		req.Trace = true
+	}
+	if n, err := strconv.Atoi(q.Get("trace_sample")); err == nil && n > 0 {
+		req.Trace = true
+		req.TraceSample = n
+	}
+	resp, id, err := s.SubmitJob(r.Context(), req)
 	if err != nil {
-		writeJSON(w, httpStatusOf(err), errorBody{Error: err.Error(), Status: statusOf(err)})
+		writeJSON(w, httpStatusOf(err), errorBody{Error: err.Error(), Status: statusOf(err), JobID: id})
 		return
 	}
+	if !inlineTrace {
+		// Body-requested traces are retrieved from /v1/jobs/{id}/trace;
+		// only an explicit ?trace=1 inlines the (large) timeline.
+		resp.TraceJSON = nil
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace serves a completed job's Chrome trace_event timeline.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job id", Status: "error"})
+		return
+	}
+	b, state := s.traces.get(id)
+	switch state {
+	case traceFound:
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(b)
+	case traceEvicted:
+		writeJSON(w, http.StatusGone, errorBody{
+			Error:  "trace evicted from the bounded store; raise -trace-store or fetch sooner",
+			Status: "evicted", JobID: id})
+	default:
+		writeJSON(w, http.StatusNotFound, errorBody{
+			Error:  "no trace for that job id (unknown job, failed run, or submitted without trace)",
+			Status: "not_found", JobID: id})
+	}
 }
 
 // workloadInfo is one /v1/workloads entry.

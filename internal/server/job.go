@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 	"cape/internal/asm"
 	"cape/internal/core"
 	"cape/internal/isa"
+	"cape/internal/obs"
 	"cape/internal/workloads"
 )
 
@@ -43,6 +45,15 @@ type Request struct {
 	MaxInsts int64 `json:"max_insts,omitempty"`
 	// Dump selects a RAM range to return after the run.
 	Dump *DumpSpec `json:"dump,omitempty"`
+
+	// Trace profiles the run: the response carries the cycle-attribution
+	// profile and a Chrome trace_event timeline (see Response.Profile /
+	// Response.TraceJSON). The HTTP handler stores the timeline under
+	// /v1/jobs/{id}/trace instead of inlining it unless ?trace=1 is set.
+	Trace bool `json:"trace,omitempty"`
+	// TraceSample records every Nth instruction-level timeline event
+	// (0 = server default; the profile is always exact).
+	TraceSample int `json:"trace_sample,omitempty"`
 }
 
 // DumpSpec selects a word range of main memory.
@@ -76,6 +87,14 @@ type Response struct {
 	// Memory is the requested dump range.
 	Memory []uint32 `json:"memory,omitempty"`
 
+	// Profile/Occupancy are the cycle-attribution and unit-occupancy
+	// tables of a traced run; ProfileTable is the human rendering.
+	// TraceJSON is the Chrome trace_event timeline.
+	Profile      []obs.Entry     `json:"profile,omitempty"`
+	Occupancy    []obs.Entry     `json:"occupancy,omitempty"`
+	ProfileTable string          `json:"profile_table,omitempty"`
+	TraceJSON    json.RawMessage `json:"trace,omitempty"`
+
 	// Host-side latency breakdown: time spent queued before a worker
 	// picked the job up, time executing on the simulator, and their
 	// sum. A queue-free path (capesim) reports QueueNS = 0.
@@ -98,6 +117,12 @@ type Spec struct {
 	MaxInsts  int64
 	Timeout   time.Duration
 	Dump      *DumpSpec
+	// Trace/TraceSample live on the Spec, NOT in Spec.Config: pooled
+	// machines are sharded by ShardKey(Config), and a per-request trace
+	// flag inside the Config would needlessly fragment the pool. Exec
+	// installs a recorder on the pooled machine for the one run instead.
+	Trace       bool
+	TraceSample int
 }
 
 // parseXReg accepts "x10", "X10" or "10".
@@ -158,6 +183,11 @@ func Compile(req Request, opts Options) (*Spec, error) {
 	spec.Config.RAMBytes = opts.RAMBytes
 	spec.Config.CSBWorkers = opts.CSBWorkers
 	spec.Config.CSBParallelThreshold = opts.CSBParallelThreshold
+	spec.Trace = req.Trace || opts.TraceAll
+	spec.TraceSample = req.TraceSample
+	if spec.TraceSample <= 0 {
+		spec.TraceSample = opts.TraceSample
+	}
 
 	switch {
 	case req.Source != "" && req.Workload != "":
@@ -228,6 +258,14 @@ func Exec(ctx context.Context, m *core.Machine, spec *Spec) (resp *Response, err
 		}
 	}()
 	m.CP().SetMaxInsts(spec.MaxInsts)
+	var rec *obs.Recorder
+	if spec.Trace {
+		rec = obs.New(spec.TraceSample)
+		m.SetRecorder(rec)
+		// Detach before the machine returns to the pool — the recorder is
+		// this job's, the machine is shared.
+		defer m.SetRecorder(nil)
+	}
 	prog := spec.Prog
 	if spec.Workload != nil {
 		prog, err = spec.Workload.BuildCAPE(m)
@@ -269,6 +307,13 @@ func Exec(ctx context.Context, m *core.Machine, spec *Spec) (resp *Response, err
 	}
 	if d := spec.Dump; d != nil {
 		resp.Memory = m.RAM().ReadWords(d.Addr, d.Words)
+	}
+	if rec != nil {
+		p := rec.Profile()
+		resp.Profile = p.AttrEntries()
+		resp.Occupancy = p.OccEntries()
+		resp.ProfileTable = p.Table()
+		resp.TraceJSON = rec.ChromeTrace()
 	}
 	return resp, nil
 }

@@ -13,8 +13,10 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -66,6 +68,20 @@ type Options struct {
 	CSBParallelThreshold int
 	// Registry receives the service metrics (default: a fresh one).
 	Registry *metrics.Registry
+	// TraceAll profiles every job as if each request set Trace
+	// (fleet-wide observability; per-job traces still land in the trace
+	// store and the caped_cycles_total counters).
+	TraceAll bool
+	// TraceSample is the default timeline sampling period for traced
+	// jobs that do not set their own (<= 1 records every event).
+	TraceSample int
+	// TraceStoreCap bounds how many completed job traces are retained
+	// for GET /v1/jobs/{id}/trace (default 64).
+	TraceStoreCap int
+	// JobLog, when non-nil, receives one structured JSON line per job
+	// (id, program, config, backend, status, durations). Writes are
+	// serialized by the server.
+	JobLog io.Writer
 }
 
 func (o Options) withDefaults() Options {
@@ -93,12 +109,16 @@ func (o Options) withDefaults() Options {
 	if o.Registry == nil {
 		o.Registry = metrics.NewRegistry()
 	}
+	if o.TraceStoreCap <= 0 {
+		o.TraceStoreCap = 64
+	}
 	return o
 }
 
 // job is one queued unit of work.
 type job struct {
 	id       uint64
+	name     string // program or workload name, for the job log
 	spec     *Spec
 	ctx      context.Context
 	enqueued time.Time
@@ -125,6 +145,9 @@ type Server struct {
 	queueH    *metrics.Histogram
 	runH      *metrics.Histogram
 	totalH    *metrics.Histogram
+
+	traces *traceStore
+	logMu  sync.Mutex
 
 	closeMu sync.RWMutex
 	closed  bool
@@ -153,6 +176,7 @@ func New(opts Options) *Server {
 			"Host time a job spent executing on the simulator.", metrics.DefLatencyBuckets, nil),
 		totalH: reg.Histogram("caped_total_seconds",
 			"Host time from submit to completion.", metrics.DefLatencyBuckets, nil),
+		traces: newTraceStore(opts.TraceStoreCap),
 	}
 	reg.Gauge("caped_csb_workers",
 		"CSB worker goroutines per bit-level machine (0 = serial).", nil).
@@ -192,21 +216,46 @@ func (s *Server) Close() {
 // or ctx expires. It never blocks on a full queue: saturation returns
 // ErrQueueFull immediately so callers can shed load.
 func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	resp, _, err := s.SubmitJob(ctx, req)
+	return resp, err
+}
+
+// jobName labels a request in logs before it compiles.
+func jobName(req Request) string {
+	switch {
+	case req.Workload != "":
+		return req.Workload
+	case req.Name != "":
+		return req.Name
+	}
+	return "job"
+}
+
+// SubmitJob is Submit returning the job id as well. The id is
+// allocated before compilation, so even a rejected request has an id
+// its error response and log line share — every job a client hears
+// about is correlatable.
+func (s *Server) SubmitJob(ctx context.Context, req Request) (*Response, uint64, error) {
+	id := s.nextID.Add(1)
+	start := time.Now()
 	spec, err := Compile(req, s.opts)
 	if err != nil {
-		return nil, err
+		s.logJob(id, jobName(req), req.Config, req.Backend, "rejected", start, 0, err)
+		return nil, id, err
 	}
 	j := &job{
-		id:       s.nextID.Add(1),
+		id:       id,
+		name:     jobName(req),
 		spec:     spec,
 		ctx:      ctx,
-		enqueued: time.Now(),
+		enqueued: start,
 		done:     make(chan jobDone, 1),
 	}
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
-		return nil, ErrClosed
+		s.logJob(id, j.name, spec.Config.Name, spec.BackendName, "closed", start, 0, ErrClosed)
+		return nil, id, ErrClosed
 	}
 	select {
 	case s.queue <- j:
@@ -216,17 +265,59 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	default:
 		s.rejected.Inc()
 		s.closeMu.RUnlock()
-		return nil, ErrQueueFull
+		s.logJob(id, j.name, spec.Config.Name, spec.BackendName, "queue_full", start, 0, ErrQueueFull)
+		return nil, id, ErrQueueFull
 	}
 	select {
 	case d := <-j.done:
-		return d.resp, d.err
+		return d.resp, id, d.err
 	case <-ctx.Done():
 		// The worker will notice the dead context (or finish into the
 		// buffered channel) and the machine returns to the pool either
 		// way.
-		return nil, ctx.Err()
+		return nil, id, ctx.Err()
 	}
+}
+
+// jobLogLine is the structured per-job log record.
+type jobLogLine struct {
+	Time       string  `json:"time"`
+	JobID      uint64  `json:"job_id"`
+	Program    string  `json:"program"`
+	Config     string  `json:"config,omitempty"`
+	Backend    string  `json:"backend,omitempty"`
+	Status     string  `json:"status"`
+	DurationMS float64 `json:"duration_ms"`
+	RunMS      float64 `json:"run_ms,omitempty"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// logJob writes one JSON line describing a finished (or rejected) job.
+func (s *Server) logJob(id uint64, name, config, backend, status string, start time.Time, runNS int64, err error) {
+	if s.opts.JobLog == nil {
+		return
+	}
+	line := jobLogLine{
+		Time:       time.Now().UTC().Format(time.RFC3339Nano),
+		JobID:      id,
+		Program:    name,
+		Config:     config,
+		Backend:    backend,
+		Status:     status,
+		DurationMS: float64(time.Since(start).Nanoseconds()) / 1e6,
+		RunMS:      float64(runNS) / 1e6,
+	}
+	if err != nil {
+		line.Error = err.Error()
+	}
+	b, mErr := json.Marshal(line)
+	if mErr != nil {
+		return
+	}
+	b = append(b, '\n')
+	s.logMu.Lock()
+	s.opts.JobLog.Write(b)
+	s.logMu.Unlock()
 }
 
 // statusOf classifies a job error for the per-status counters.
@@ -262,16 +353,28 @@ func (s *Server) worker() {
 			d.resp, d.err = Exec(j.ctx, m, j.spec)
 		}
 		totalNS := time.Since(j.enqueued).Nanoseconds()
+		var runNS int64
 		if d.resp != nil {
 			d.resp.JobID = j.id
 			d.resp.QueueNS = queueNS
 			d.resp.TotalNS = totalNS
+			runNS = d.resp.RunNS
 			s.runH.Observe(float64(d.resp.RunNS) / 1e9)
+			if d.resp.TraceJSON != nil {
+				s.traces.put(j.id, d.resp.TraceJSON)
+			}
+			for _, e := range d.resp.Profile {
+				s.reg.Counter("caped_cycles_total",
+					"Simulated cycles attributed by pipeline stage and instruction class (traced jobs).",
+					metrics.Labels{"stage": e.Stage, "class": e.Class}).Add(uint64(e.Cycles))
+			}
 		}
 		s.totalH.Observe(float64(totalNS) / 1e9)
 		s.reg.Counter("caped_jobs_completed_total", "Jobs completed by status and config.",
 			metrics.Labels{"status": statusOf(d.err), "config": j.spec.Config.Name}).Inc()
 		s.inflight.Dec()
+		s.logJob(j.id, j.name, j.spec.Config.Name, j.spec.BackendName,
+			statusOf(d.err), j.enqueued, runNS, d.err)
 		j.done <- d
 		// The machine is reset and returned only after the reply is
 		// delivered: clearing hundreds of megabytes of RAM takes tens

@@ -1,0 +1,326 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cape/internal/cp"
+)
+
+// TestStatusOf pins the error → status-string mapping the job log and
+// the completed-jobs counter share.
+func TestStatusOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want string
+	}{
+		{nil, "ok"},
+		{cp.ErrBudgetExceeded, "budget_exceeded"},
+		{fmt.Errorf("run: %w", cp.ErrBudgetExceeded), "budget_exceeded"},
+		{cp.ErrCanceled, "timeout"},
+		{context.DeadlineExceeded, "timeout"},
+		{context.Canceled, "timeout"},
+		{ErrQueueFull, "error"},
+		{errors.New("server: unknown workload \"nope\""), "error"},
+		{errors.New("server: program fault: address out of range"), "error"},
+	}
+	for _, c := range cases {
+		if got := statusOf(c.err); got != c.want {
+			t.Errorf("statusOf(%v) = %q, want %q", c.err, got, c.want)
+		}
+	}
+}
+
+// TestHTTPStatusOf pins the error → HTTP-code mapping of every non-2xx
+// submit response.
+func TestHTTPStatusOf(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{ErrQueueFull, http.StatusServiceUnavailable},
+		{ErrClosed, http.StatusServiceUnavailable},
+		{fmt.Errorf("submit: %w", ErrClosed), http.StatusServiceUnavailable},
+		{cp.ErrCanceled, http.StatusGatewayTimeout},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout},
+		{context.Canceled, http.StatusGatewayTimeout},
+		{cp.ErrBudgetExceeded, http.StatusUnprocessableEntity},
+		{errors.New("server: unknown workload \"nope\""), http.StatusBadRequest},
+		{errors.New("server: assemble: bad mnemonic"), http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if got := httpStatusOf(c.err); got != c.want {
+			t.Errorf("httpStatusOf(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+// TestTraceStore exercises the bounded store's three states directly.
+func TestTraceStore(t *testing.T) {
+	ts := newTraceStore(2)
+	ts.put(1, []byte("a"))
+	ts.put(2, []byte("b"))
+	if b, st := ts.get(1); st != traceFound || string(b) != "a" {
+		t.Fatalf("get(1) = %q, %v", b, st)
+	}
+	ts.put(3, []byte("c")) // evicts 1
+	if _, st := ts.get(1); st != traceEvicted {
+		t.Fatalf("get(1) after eviction = %v, want evicted", st)
+	}
+	if b, st := ts.get(3); st != traceFound || string(b) != "c" {
+		t.Fatalf("get(3) = %q, %v", b, st)
+	}
+	if _, st := ts.get(99); st != traceUnknown {
+		t.Fatalf("get(99) = %v, want unknown", st)
+	}
+	// The evicted-id set is itself bounded: force it past 8*cap and the
+	// oldest evicted ids degrade from "evicted" to "unknown" rather
+	// than growing without limit.
+	for id := uint64(4); id < 40; id++ {
+		ts.put(id, []byte("x"))
+	}
+	if _, st := ts.get(1); st != traceUnknown {
+		t.Fatalf("get(1) after gone-set overflow = %v, want unknown", st)
+	}
+	if len(ts.gone) > 16 {
+		t.Fatalf("gone set grew to %d entries (cap 2 → bound 16)", len(ts.gone))
+	}
+}
+
+// tracedProbe is probeRequest plus body-level tracing.
+func tracedProbe(seed int64) Request {
+	req := probeRequest(seed, false)
+	req.Backend = "bitlevel"
+	req.Trace = true
+	return req
+}
+
+// TestSubmitTraced runs a traced bitlevel job through the Go API and
+// checks the profile is exact and the timeline parses.
+func TestSubmitTraced(t *testing.T) {
+	s := New(testOptions())
+	defer s.Close()
+	resp, err := s.Submit(context.Background(), tracedProbe(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkProbe(t, resp, 5)
+	if len(resp.Profile) == 0 || resp.ProfileTable == "" {
+		t.Fatalf("traced job carries no profile: %+v", resp)
+	}
+	var total int64
+	for _, e := range resp.Profile {
+		total += e.Cycles
+	}
+	if total != resp.Result.CP.Cycles {
+		t.Fatalf("profile total %d != machine cycles %d", total, resp.Result.CP.Cycles)
+	}
+	var doc struct {
+		Events []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(resp.TraceJSON, &doc); err != nil {
+		t.Fatalf("trace JSON does not parse: %v", err)
+	}
+	if len(doc.Events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	// An untraced job on the same server stays clean.
+	plain, err := s.Submit(context.Background(), probeRequest(6, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Profile != nil || plain.TraceJSON != nil {
+		t.Fatalf("untraced job carries trace data: %+v", plain)
+	}
+}
+
+// TestHTTPTraceFlow covers both retrieval paths: ?trace=1 inlines the
+// timeline; a body-level trace is stored for GET /v1/jobs/{id}/trace,
+// with 404 for unknown ids and 410 after eviction.
+func TestHTTPTraceFlow(t *testing.T) {
+	opts := testOptions()
+	opts.TraceStoreCap = 1 // second traced job evicts the first
+	s := New(opts)
+	hts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hts.Close()
+		s.Close()
+	})
+	ts := hts.URL
+
+	// Inline: ?trace=1 on a plain request.
+	body, _ := json.Marshal(probeRequest(3, false))
+	httpResp, err := http.Post(ts+"/v1/jobs?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("inline submit: %d: %s", httpResp.StatusCode, out)
+	}
+	var resp Response
+	if err := json.Unmarshal(out, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.TraceJSON) == 0 || len(resp.Profile) == 0 {
+		t.Fatalf("?trace=1 response missing inline trace: %s", out)
+	}
+	firstID := resp.JobID
+
+	// Stored: body-level trace, timeline stripped from the response but
+	// served from the trace endpoint.
+	body, _ = json.Marshal(tracedProbe(4))
+	httpResp, err = http.Post(ts+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ = io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	var stored Response
+	if err := json.Unmarshal(out, &stored); err != nil {
+		t.Fatal(err)
+	}
+	if stored.TraceJSON != nil {
+		t.Fatalf("body-level trace should not inline the timeline: %s", out)
+	}
+	if len(stored.Profile) == 0 {
+		t.Fatalf("body-level trace lost its profile: %s", out)
+	}
+	get := func(id uint64) (int, []byte) {
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/trace", ts, id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Body.Close()
+		b, _ := io.ReadAll(r.Body)
+		return r.StatusCode, b
+	}
+	code, b := get(stored.JobID)
+	if code != http.StatusOK {
+		t.Fatalf("trace fetch: %d: %s", code, b)
+	}
+	var doc struct {
+		Events []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b, &doc); err != nil || len(doc.Events) == 0 {
+		t.Fatalf("stored trace invalid (%v): %s", err, b)
+	}
+	// Cap is 1, so the second traced job evicted the first → 410.
+	if code, b = get(firstID); code != http.StatusGone {
+		t.Fatalf("evicted trace: %d, want 410: %s", code, b)
+	}
+	var e errorBody
+	if err := json.Unmarshal(b, &e); err != nil || e.Status != "evicted" || e.JobID != firstID {
+		t.Fatalf("evicted error body: %s", b)
+	}
+	// Never-stored id → 404.
+	if code, b = get(99999); code != http.StatusNotFound {
+		t.Fatalf("unknown trace: %d, want 404: %s", code, b)
+	}
+	// Unparsable id → 400.
+	r, err := http.Get(ts + "/v1/jobs/nope/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad trace id: %d, want 400", r.StatusCode)
+	}
+}
+
+// syncBuffer is a mutex-guarded bytes.Buffer for the job-log tests.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestJobLog checks the structured one-line JSON log: an ok job, a
+// traced job, and a rejected request all log with correlatable ids.
+func TestJobLog(t *testing.T) {
+	var buf syncBuffer
+	opts := testOptions()
+	opts.JobLog = &buf
+	s := New(opts)
+	defer s.Close()
+
+	okResp, err := s.Submit(context.Background(), probeRequest(1, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, rejID, err := s.SubmitJob(context.Background(), Request{Workload: "no-such-kernel"})
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if rejID == 0 {
+		t.Fatal("rejected request has no job id")
+	}
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 log lines, got %d:\n%s", len(lines), buf.String())
+	}
+	byID := make(map[uint64]jobLogLine)
+	for _, ln := range lines {
+		var l jobLogLine
+		if err := json.Unmarshal([]byte(ln), &l); err != nil {
+			t.Fatalf("log line not JSON: %v\n%s", err, ln)
+		}
+		byID[l.JobID] = l
+	}
+	ok, found := byID[okResp.JobID]
+	if !found || ok.Status != "ok" || ok.Program != "probe-1" || ok.Config != "CAPE32k" ||
+		ok.Backend != "fast" || ok.DurationMS <= 0 || ok.Error != "" {
+		t.Fatalf("ok job log line wrong: %+v", ok)
+	}
+	rej, found := byID[rejID]
+	if !found || rej.Status != "rejected" || !strings.Contains(rej.Error, "unknown workload") {
+		t.Fatalf("rejected job log line wrong: %+v", rej)
+	}
+}
+
+// TestTraceCycleCounters checks that a traced job's attribution lands
+// in the caped_cycles_total metric family.
+func TestTraceCycleCounters(t *testing.T) {
+	opts := testOptions()
+	s := New(opts)
+	defer s.Close()
+	if _, err := s.Submit(context.Background(), tracedProbe(2)); err != nil {
+		t.Fatal(err)
+	}
+	var b bytes.Buffer
+	if _, err := opts.Registry.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		"# TYPE caped_cycles_total counter",
+		`caped_cycles_total{class="vector-alu",stage="csb"}`,
+		`caped_cycles_total{class="vector-mem",stage="vmu"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+}

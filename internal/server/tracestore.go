@@ -1,0 +1,76 @@
+package server
+
+import "sync"
+
+// traceState classifies a traceStore lookup.
+type traceState int
+
+const (
+	traceFound traceState = iota
+	// traceEvicted: the job produced a trace that has since been pushed
+	// out of the bounded store (HTTP 410).
+	traceEvicted
+	// traceUnknown: no trace was ever stored under that id (HTTP 404) —
+	// the job does not exist, failed, or ran untraced.
+	traceUnknown
+)
+
+// traceStore keeps the most recent job traces in memory, bounded both
+// in entry count and in remembered evictions, so a long-running caped
+// cannot grow without bound however many traced jobs pass through.
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	live  map[uint64][]byte
+	order []uint64 // live ids, oldest first
+
+	gone      map[uint64]struct{}
+	goneOrder []uint64 // evicted ids, oldest first; bounded at 8*cap
+}
+
+func newTraceStore(capacity int) *traceStore {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &traceStore{
+		cap:  capacity,
+		live: make(map[uint64][]byte, capacity),
+		gone: make(map[uint64]struct{}),
+	}
+}
+
+// put stores one job's trace, evicting the oldest entry at capacity.
+func (t *traceStore) put(id uint64, trace []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.live[id]; !ok {
+		t.order = append(t.order, id)
+	}
+	t.live[id] = trace
+	for len(t.order) > t.cap {
+		old := t.order[0]
+		t.order = t.order[1:]
+		delete(t.live, old)
+		if _, ok := t.gone[old]; !ok {
+			t.gone[old] = struct{}{}
+			t.goneOrder = append(t.goneOrder, old)
+		}
+		for len(t.goneOrder) > 8*t.cap {
+			delete(t.gone, t.goneOrder[0])
+			t.goneOrder = t.goneOrder[1:]
+		}
+	}
+}
+
+// get looks a trace up by job id.
+func (t *traceStore) get(id uint64) ([]byte, traceState) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if b, ok := t.live[id]; ok {
+		return b, traceFound
+	}
+	if _, ok := t.gone[id]; ok {
+		return nil, traceEvicted
+	}
+	return nil, traceUnknown
+}

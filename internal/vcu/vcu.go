@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"cape/internal/isa"
+	"cape/internal/obs"
 	"cape/internal/timing"
 	"cape/internal/tt"
 )
@@ -31,6 +32,11 @@ type VCU struct {
 	// Stats.
 	Instructions uint64
 	BusyCycles   uint64
+
+	// rec, when non-nil, receives per-instruction VCU occupancy (the
+	// command-distribution share of every vector instruction's busy
+	// time).
+	rec *obs.Recorder
 }
 
 // New builds a VCU for a CSB of the given size.
@@ -40,6 +46,10 @@ func New(chains int) *VCU {
 		DistCycles: timing.CommandDistributionCycles(chains),
 	}
 }
+
+// SetRecorder installs (or, with nil, removes) the observability
+// recorder.
+func (v *VCU) SetRecorder(r *obs.Recorder) { v.rec = r }
 
 // InstrCycles returns the CSB occupancy of one vector ALU/reduction
 // instruction at the given element width, including command
@@ -52,6 +62,9 @@ func (v *VCU) InstrCycles(inst isa.Inst, sew int) (int, error) {
 	total := c + v.DistCycles
 	v.Instructions++
 	v.BusyCycles += uint64(total)
+	if v.rec != nil {
+		v.rec.AddOcc(obs.StageVCU, obs.FromISA(inst.Op.Class()), int64(v.DistCycles))
+	}
 	return total, nil
 }
 
