@@ -15,6 +15,7 @@ import (
 	"cape/internal/csb"
 	"cape/internal/isa"
 	"cape/internal/tt"
+	"cape/internal/ucode"
 )
 
 var csbOut = flag.String("csb-out", "BENCH_csb.json", "output path for the csbparallel JSON report")
@@ -127,10 +128,11 @@ func csbParallelBench() (fmt.Stringer, error) {
 	}
 	for _, cfg := range configs {
 		for _, in := range insts {
-			ops, err := tt.GenerateSEW(in.op, 1, 2, 3, 0, 32)
+			seq, err := ucode.Lower(nil, in.op, 1, 2, 3, 0, 32)
 			if err != nil {
 				return nil, fmt.Errorf("csbparallel: generate %s: %w", in.name, err)
 			}
+			ops := seq.Ops()
 
 			// Bit-identity check on fresh state, before timing mutates it.
 			ser, par := csb.New(cfg.chains), csb.New(cfg.chains)

@@ -91,6 +91,9 @@ func experiments() []experiment {
 		{"csbparallel", "serial vs. parallel CSB chain execution (writes BENCH_csb.json)", func() (fmt.Stringer, error) {
 			return csbParallelBench()
 		}},
+		{"ucode", "compile-once microcode: cached vs. direct lowering (writes BENCH_ucode.json)", func() (fmt.Stringer, error) {
+			return ucodeBench()
+		}},
 		{"ablations", "design-choice ablations: vlrw.v, redsum-vs-add, narrow elements, CSB scaling", func() (fmt.Stringer, error) {
 			vlrw, err := report.AblationReplicaLoad()
 			if err != nil {

@@ -17,6 +17,8 @@
 //	-ram BYTES             main memory per pooled machine
 //	-csb-workers N         CSB worker goroutines per bitlevel machine (0 = serial)
 //	-csb-threshold N       min chains before CSB workers engage (0 = 64)
+//	-ucode-cache N         microcode templates cached per pool shard
+//	                       (0 = default 1024, negative = off)
 //	-trace                 profile every job (per-job: POST /v1/jobs?trace=1)
 //	-trace-sample N        record every Nth timeline event for traced jobs
 //	-trace-store N         completed traces kept for GET /v1/jobs/{id}/trace
@@ -77,6 +79,7 @@ func run() error {
 		ram         = flag.Int("ram", 0, "main memory bytes per pooled machine (0 = 160 MiB)")
 		csbWorkers  = flag.Int("csb-workers", 0, "CSB worker goroutines per bitlevel machine (0 = serial)")
 		csbThresh   = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
+		ucodeCache  = flag.Int("ucode-cache", 0, "microcode templates cached per pool shard (0 = default, negative = off)")
 		traceAll    = flag.Bool("trace", false, "profile every job (otherwise per-job via ?trace=1 or the request body)")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth timeline event for traced jobs (0 = all)")
 		traceStore  = flag.Int("trace-store", 0, "completed traces kept for GET /v1/jobs/{id}/trace (0 = 64)")
@@ -115,6 +118,7 @@ func run() error {
 		RAMBytes:             *ram,
 		CSBWorkers:           *csbWorkers,
 		CSBParallelThreshold: *csbThresh,
+		UcodeCacheSize:       *ucodeCache,
 		TraceAll:             *traceAll,
 		TraceSample:          *traceSample,
 		TraceStoreCap:        *traceStore,

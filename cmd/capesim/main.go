@@ -20,6 +20,8 @@
 //	-disasm                    print the assembled program and exit
 //	-csb-workers N             CSB worker goroutines for bitlevel (0 = serial)
 //	-csb-threshold N           min chains before CSB workers engage (0 = 64)
+//	-ucode-cache N             microcode templates cached (0 = default 1024,
+//	                           negative = lower every instruction directly)
 //	-trace FILE                profile the run; write a Chrome trace_event
 //	                           timeline (chrome://tracing, Perfetto) to FILE
 //	-trace-sample N            record every Nth timeline event (0 = all)
@@ -81,6 +83,7 @@ func run() error {
 		disasm      = flag.Bool("disasm", false, "print the assembled program and exit")
 		csbWorkers  = flag.Int("csb-workers", 0, "CSB worker goroutines for the bitlevel backend (0 = serial)")
 		csbThresh   = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
+		ucodeCache  = flag.Int("ucode-cache", 0, "microcode templates cached (0 = default, negative = off)")
 		traceFile   = flag.String("trace", "", "profile the run and write a Chrome trace_event timeline to this file")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth timeline event (0 = all)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address during the run (empty = off)")
@@ -139,6 +142,7 @@ func run() error {
 	spec, err := server.Compile(req, server.Options{
 		CSBWorkers:           *csbWorkers,
 		CSBParallelThreshold: *csbThresh,
+		UcodeCacheSize:       *ucodeCache,
 	})
 	if err != nil {
 		return err

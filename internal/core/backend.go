@@ -6,7 +6,7 @@ import (
 	"cape/internal/csb"
 	"cape/internal/isa"
 	"cape/internal/obs"
-	"cape/internal/tt"
+	"cape/internal/ucode"
 )
 
 // Backend is the functional model of the Compute-Storage Block used by
@@ -118,6 +118,10 @@ func (b *FastBackend) Exec(inst isa.Inst, x uint64) (int64, bool) {
 type BitBackend struct {
 	csb *csb.CSB
 	sew int
+	// ucache is the microcode template cache used when Exec lowers for
+	// itself (standalone backends, tests). The Machine path lowers once
+	// in issueALU and calls ExecSeq instead.
+	ucache *ucode.Cache
 }
 
 // NewBitBackend builds a bit-level backend with the given chain count.
@@ -145,6 +149,14 @@ func (b *BitBackend) Close() { b.csb.Close() }
 // recorder on the underlying CSB.
 func (b *BitBackend) SetRecorder(r *obs.Recorder) { b.csb.SetRecorder(r) }
 
+// SetUcodeCache installs (or, with nil, removes) the microcode
+// template cache Exec lowers through. Templates are immutable, so the
+// cache may be shared with other backends and machines.
+func (b *BitBackend) SetUcodeCache(c *ucode.Cache) { b.ucache = c }
+
+// UcodeCache returns the installed template cache (nil = uncached).
+func (b *BitBackend) UcodeCache() *ucode.Cache { return b.ucache }
+
 // MaxVL returns the lane count.
 func (b *BitBackend) MaxVL() int { return b.csb.MaxVL() }
 
@@ -169,23 +181,33 @@ func (b *BitBackend) ReadElem(v, e int) uint32 { return b.csb.ReadElement(v, e) 
 // WriteElem stores element e of register v.
 func (b *BitBackend) WriteElem(v, e int, val uint32) { b.csb.WriteElement(v, e, val) }
 
-// Exec generates and runs the instruction's microcode.
+// Exec lowers the instruction through the template cache and runs its
+// microcode.
 func (b *BitBackend) Exec(inst isa.Inst, x uint64) (int64, bool) {
-	vd, vs2, vs1 := int(inst.Vd), int(inst.Vs2), int(inst.Vs1)
-	w := isa.Window{SEW: b.sew}
 	if inst.Op == isa.OpVMV_XS {
-		v := b.csb.ReadElement(vs2, 0) & w.Mask()
+		w := isa.Window{SEW: b.sew}
+		v := b.csb.ReadElement(int(inst.Vs2), 0) & w.Mask()
 		k := 32 - uint(w.Bits())
 		return int64(int32(v<<k) >> k), true
 	}
-	ops, err := tt.GenerateSEW(inst.Op, vd, vs2, vs1, x, b.sew)
+	seq, err := ucode.Lower(b.ucache, inst.Op, int(inst.Vd), int(inst.Vs2), int(inst.Vs1), x, b.sew)
 	if err != nil {
 		panic(fmt.Sprintf("core: bit backend: %v", err))
 	}
+	return b.ExecSeq(inst, seq)
+}
+
+// ExecSeq runs an already-lowered sequence for inst. The Machine
+// lowers once per instruction (execution, trace mix and energy share
+// one Seq) and executes through here; inst must not be vmv.x.s, which
+// has no microcode.
+func (b *BitBackend) ExecSeq(inst isa.Inst, seq ucode.Seq) (int64, bool) {
+	w := isa.Window{SEW: b.sew}
 	b.csb.ResetReduction()
-	b.csb.Run(ops)
+	b.csb.Run(seq.Ops())
 	switch inst.Op {
 	case isa.OpVREDSUM_VS:
+		vd, vs1 := int(inst.Vd), int(inst.Vs1)
 		sum := (uint32(b.csb.ReductionResult()) + b.csb.ReadElement(vs1, 0)) & w.Mask()
 		b.csb.WriteElement(vd, 0, sum)
 		return 0, false

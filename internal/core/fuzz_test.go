@@ -5,6 +5,7 @@ import (
 
 	"cape/internal/isa"
 	"cape/internal/obs"
+	"cape/internal/ucode"
 )
 
 // FuzzBitVsFastBackend is the differential fuzzer behind the parallel
@@ -19,7 +20,10 @@ import (
 //     deliberately not dividing evenly so block boundaries are odd),
 //   - a traced parallel BitBackend with a recorder installed and a
 //     tiny event buffer, so tracing (including span drops) is proven
-//     not to perturb architectural state.
+//     not to perturb architectural state,
+//   - a serial BitBackend lowering through a deliberately tiny (two
+//     template) ucode cache, so constant eviction, rebuild and scalar
+//     rebinding are proven to never change architectural state.
 //
 // After every instruction the destination register and any scalar
 // result must agree bit for bit across all backends; at the end the
@@ -154,10 +158,12 @@ func runDifferential(t *testing.T, data []byte) {
 	rec := obs.New(4)
 	rec.SetMaxEvents(64) // force event drops mid-case
 	traced.SetRecorder(rec)
+	cached := NewBitBackend(fuzzChains)
+	cached.SetUcodeCache(ucode.NewCache(2)) // forced eviction on every mix
 	backends := []struct {
 		name string
 		b    Backend
-	}{{"fast", fast}, {"serial", serial}, {"parallel", parallel}, {"traced", traced}}
+	}{{"fast", fast}, {"serial", serial}, {"parallel", parallel}, {"traced", traced}, {"cached", cached}}
 
 	// Identical masked initial state: the bit-level model stores narrow
 	// elements with zeroed upper slices, so unmasked seeds would differ
@@ -223,7 +229,7 @@ func runDifferential(t *testing.T, data []byte) {
 		}
 	}
 	sd := serial.CSB().StateDigest()
-	for _, bb := range []*BitBackend{parallel, traced} {
+	for _, bb := range []*BitBackend{parallel, traced, cached} {
 		if d := bb.CSB().StateDigest(); d != sd {
 			t.Fatalf("CSB state digest: serial %#x other %#x", sd, d)
 		}

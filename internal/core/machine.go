@@ -16,7 +16,7 @@ import (
 	"cape/internal/isa"
 	"cape/internal/obs"
 	"cape/internal/timing"
-	"cape/internal/tt"
+	"cape/internal/ucode"
 	"cape/internal/vcu"
 	"cape/internal/vmu"
 )
@@ -48,6 +48,15 @@ type Config struct {
 	// CSBParallelThreshold is the minimum chain count for actually
 	// using the pool; <= 0 selects csb.DefaultParallelThreshold.
 	CSBParallelThreshold int
+	// UcodeCacheSize bounds the microcode template cache in templates:
+	// 0 selects ucode.DefaultCacheSize, negative disables caching so
+	// every instruction lowers directly.
+	UcodeCacheSize int
+	// UcodeCache, when non-nil, is a shared template cache installed
+	// instead of building a private one; UcodeCacheSize is then
+	// ignored. Templates are immutable, so the server pool hands one
+	// cache to every machine of a shard.
+	UcodeCache *ucode.Cache
 	// Trace installs an execution recorder at construction, so every
 	// Run is profiled (cycle attribution) and traced (timeline events).
 	// Per-job tracing on pooled machines should instead install a
@@ -118,6 +127,12 @@ type Machine struct {
 
 	vstart, vl, sew int
 
+	// ucache caches compiled microcode templates across instructions
+	// and runs (nil = lower directly every time). Reset keeps it:
+	// templates depend only on the instruction encoding, never on
+	// machine state.
+	ucache *ucode.Cache
+
 	// rec is the installed observability recorder (nil = tracing off).
 	rec *obs.Recorder
 
@@ -135,12 +150,19 @@ func New(cfg Config) *Machine {
 		cfg.RAMBytes = 64 << 20
 	}
 	m := &Machine{cfg: cfg}
+	switch {
+	case cfg.UcodeCache != nil:
+		m.ucache = cfg.UcodeCache
+	case cfg.UcodeCacheSize >= 0:
+		m.ucache = ucode.NewCache(cfg.UcodeCacheSize)
+	}
 	switch cfg.Backend {
 	case BackendBitLevel:
 		bb := NewBitBackend(cfg.Chains)
 		if cfg.CSBWorkers > 1 {
 			bb.SetParallelism(cfg.CSBWorkers, cfg.CSBParallelThreshold)
 		}
+		bb.SetUcodeCache(m.ucache)
 		m.backend = bb
 	default:
 		m.backend = NewFastBackend(cfg.Chains * 32)
@@ -175,6 +197,10 @@ func (m *Machine) SetRecorder(r *obs.Recorder) {
 
 // Recorder returns the installed recorder (nil when tracing is off).
 func (m *Machine) Recorder() *obs.Recorder { return m.rec }
+
+// UcodeCache returns the machine's microcode template cache (nil when
+// caching is disabled).
+func (m *Machine) UcodeCache() *ucode.Cache { return m.ucache }
 
 // pageInCycles is the CP-cycle cost of handling one vector page fault
 // (trap, page-in, vstart restart of the instruction — §V-C).
@@ -266,7 +292,27 @@ func (m *Machine) issueALU(inst isa.Inst, x1 int64, now int64) (int64, int64, bo
 	if m.rec != nil {
 		t0 = time.Now()
 	}
-	result, hasResult := m.backend.Exec(inst, x)
+	// Lower at most once per instruction: the same cached sequence
+	// drives bit-level execution, the trace microop mix, and the
+	// energy model — one lowering, one error path. vmv.x.s has no
+	// microcode (it is a broadcast-port read) and is never lowered.
+	var seq ucode.Seq
+	haveSeq := false
+	bb, isBit := m.backend.(*BitBackend)
+	if inst.Op != isa.OpVMV_XS && (isBit || m.rec != nil || energyNeedsMix(inst.Op)) {
+		s, err := ucode.Lower(m.ucache, inst.Op, int(inst.Vd), int(inst.Vs2), int(inst.Vs1), x, m.sew)
+		if err != nil {
+			panic("core: " + err.Error())
+		}
+		seq, haveSeq = s, true
+	}
+	var result int64
+	var hasResult bool
+	if isBit && haveSeq {
+		result, hasResult = bb.ExecSeq(inst, seq)
+	} else {
+		result, hasResult = m.backend.Exec(inst, x)
+	}
 	cycles, err := m.vcu.InstrCycles(inst, m.sew)
 	if err != nil {
 		panic("core: " + err.Error())
@@ -277,14 +323,29 @@ func (m *Machine) issueALU(inst isa.Inst, x1 int64, now int64) (int64, int64, bo
 		// CSB occupancy is the instruction's busy time minus the VCU's
 		// command-distribution share (the VCU records that itself).
 		m.rec.AddOcc(obs.StageCSB, cl, int64(cycles-m.vcu.DistCycles))
-		if ops, mixErr := tt.GenerateSEW(inst.Op, int(inst.Vd), int(inst.Vs2), int(inst.Vs1), x, m.sew); mixErr == nil {
-			m.rec.AddMix(tt.MixOf(ops), len(ops))
+		if haveSeq {
+			m.rec.AddMix(seq.Mix(), seq.Len())
+			m.rec.AddUcodeLookup(seq.CacheHit())
 		}
 	}
 	m.aluInsts++
 	m.laneOps += uint64(m.activeLanes())
-	m.energyPJ += m.instrEnergy(inst, x)
+	m.energyPJ += m.instrEnergy(inst, seq, haveSeq)
 	return now + int64(cycles), result, hasResult
+}
+
+// energyNeedsMix reports whether instrEnergy falls through to the
+// microoperation-mix estimate for op, i.e. Table I has no per-lane
+// figure and the op is not one of the broadcast-port special cases.
+func energyNeedsMix(op isa.Opcode) bool {
+	if _, ok := timing.PaperLaneEnergyPJ(op); ok {
+		return false
+	}
+	switch op {
+	case isa.OpVMV_XS, isa.OpVCPOP_M, isa.OpVFIRST_M:
+		return false
+	}
+	return true
 }
 
 func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
@@ -380,8 +441,9 @@ func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
 
 // instrEnergy returns the CSB energy of one executed instruction:
 // Table I's per-lane figure where published, otherwise the bottom-up
-// microoperation-mix estimate from the instruction's own microcode.
-func (m *Machine) instrEnergy(inst isa.Inst, x uint64) float64 {
+// microoperation-mix estimate from the instruction's already-lowered
+// sequence (issueALU lowers exactly once and shares the Seq here).
+func (m *Machine) instrEnergy(inst isa.Inst, seq ucode.Seq, haveSeq bool) float64 {
 	lanes := m.activeLanes()
 	chains := m.activeChains()
 	if perLane, ok := timing.PaperLaneEnergyPJ(inst.Op); ok {
@@ -395,11 +457,10 @@ func (m *Machine) instrEnergy(inst isa.Inst, x uint64) float64 {
 	case isa.OpVCPOP_M, isa.OpVFIRST_M:
 		return (timing.EnergyBPSearchPJ + timing.EnergyBPReducePJ) * float64(chains) / 32
 	}
-	ops, err := tt.GenerateSEW(inst.Op, int(inst.Vd), int(inst.Vs2), int(inst.Vs1), x, m.sew)
-	if err != nil {
+	if !haveSeq {
 		return 0
 	}
-	return energy.MixEnergyPJ(tt.MixOf(ops), chains)
+	return energy.MixEnergyPJ(seq.Mix(), chains)
 }
 
 // Reset returns the machine to its power-on state without reallocating

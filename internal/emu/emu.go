@@ -14,7 +14,12 @@ import (
 	"cape/internal/isa"
 	"cape/internal/timing"
 	"cape/internal/tt"
+	"cape/internal/ucode"
 )
+
+// lowerCache caches microcode templates across Profile/SelfCheck
+// calls; the emulator lowers every Table I instruction repeatedly.
+var lowerCache = ucode.NewCache(0)
 
 // InstrProfile is one derived Table I row.
 type InstrProfile struct {
@@ -90,17 +95,18 @@ func paperCycles(op isa.Opcode) int {
 // Profile derives the Table I metrics of one instruction from its
 // microcode.
 func Profile(op isa.Opcode, group string) (InstrProfile, error) {
-	ops, err := tt.Generate(op, 1, 2, 3, 0x5A5A5A5A)
+	seq, err := ucode.Lower(lowerCache, op, 1, 2, 3, 0x5A5A5A5A, tt.ElemBits)
 	if err != nil {
 		return InstrProfile{}, err
 	}
-	mix := tt.MixOf(ops)
+	ops := seq.Ops()
+	mix := seq.Mix()
 	p := InstrProfile{
 		Op:          op,
 		Mnemonic:    op.String(),
 		Group:       group,
 		Mix:         mix,
-		Cycles:      tt.Cost(ops),
+		Cycles:      seq.Cost(),
 		PaperCycles: paperCycles(op),
 		RedCycles:   mix.Reduce,
 		// One chain = 32 lanes.
@@ -163,12 +169,12 @@ func SelfCheck(seed int64) error {
 		op := entry.op
 		vd, vs2, vs1 := 1, 2, 3
 		x := uint64(rng.Uint32())
-		ops, err := tt.Generate(op, vd, vs2, vs1, x)
+		seq, err := ucode.Lower(lowerCache, op, vd, vs2, vs1, x, tt.ElemBits)
 		if err != nil {
 			return err
 		}
 		c.ResetReduction()
-		c.Run(ops)
+		c.Run(seq.Ops())
 		switch op {
 		case isa.OpVREDSUM_VS:
 			got := uint32(c.ReductionResult()) + regs[vs1][0]

@@ -108,6 +108,12 @@ type series struct {
 	c      *Counter
 	g      *Gauge
 	h      *Histogram
+	// cf/gf are callback-backed counter/gauge values, sampled at render
+	// time (live external state such as cache counters). They must not
+	// touch the registry: WriteTo holds the registry lock while calling
+	// them.
+	cf func() uint64
+	gf func() int64
 }
 
 // family groups all series of one metric name.
@@ -226,6 +232,25 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 	return s.g
 }
 
+// CounterFunc registers a counter series whose value is read from f at
+// render time. f must be monotonic, safe for concurrent use, and must
+// not call back into the registry.
+func (r *Registry) CounterFunc(name, help string, labels Labels, f func() uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindCounter, labels)
+	s.cf = f
+}
+
+// GaugeFunc registers a gauge series whose value is read from f at
+// render time, under the same constraints as CounterFunc.
+func (r *Registry) GaugeFunc(name, help string, labels Labels, f func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookup(name, help, kindGauge, labels)
+	s.gf = f
+}
+
 // Histogram finds or creates a histogram series. Bounds are fixed at
 // first registration of the series.
 func (r *Registry) Histogram(name, help string, bounds []float64, labels Labels) *Histogram {
@@ -275,6 +300,10 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			s := f.series[key]
 			var err error
 			switch {
+			case s.cf != nil:
+				err = p("%s%s %d\n", f.name, s.labels, s.cf())
+			case s.gf != nil:
+				err = p("%s%s %d\n", f.name, s.labels, s.gf())
 			case s.c != nil:
 				err = p("%s%s %d\n", f.name, s.labels, s.c.Value())
 			case s.g != nil:

@@ -261,6 +261,19 @@ func (r *Recorder) AddMix(m tt.Mix, nops int) {
 	p.Expansions++
 }
 
+// AddUcodeLookup counts one microcode template-cache lookup made while
+// lowering a vector instruction.
+func (r *Recorder) AddUcodeLookup(hit bool) {
+	if r == nil {
+		return
+	}
+	if hit {
+		r.prof.UcodeHits++
+	} else {
+		r.prof.UcodeMisses++
+	}
+}
+
 // Sample reports whether the next instruction-level event should be
 // recorded, advancing the sampling phase. Nil recorders never sample.
 func (r *Recorder) Sample() bool {

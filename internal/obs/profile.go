@@ -34,6 +34,10 @@ type Profile struct {
 	Mix        tt.Mix
 	MicroOps   uint64
 	Expansions uint64
+	// UcodeHits/UcodeMisses count microcode template-cache lookups
+	// during lowering (compile-once pipeline effectiveness).
+	UcodeHits   uint64
+	UcodeMisses uint64
 }
 
 // Entry is one non-empty profile cell, flattened for JSON responses
@@ -117,6 +121,10 @@ func (p *Profile) Table() string {
 			m.SearchSerial, m.SearchParallel,
 			m.UpdateSerial, m.UpdateProp, m.UpdateParallel,
 			m.Enable, m.Reduce)
+	}
+	if lookups := p.UcodeHits + p.UcodeMisses; lookups != 0 {
+		fmt.Fprintf(&b, "ucode cache %d hits / %d misses (%.1f%% hit rate)\n",
+			p.UcodeHits, p.UcodeMisses, 100*float64(p.UcodeHits)/float64(lookups))
 	}
 	return b.String()
 }

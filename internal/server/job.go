@@ -183,6 +183,7 @@ func Compile(req Request, opts Options) (*Spec, error) {
 	spec.Config.RAMBytes = opts.RAMBytes
 	spec.Config.CSBWorkers = opts.CSBWorkers
 	spec.Config.CSBParallelThreshold = opts.CSBParallelThreshold
+	spec.Config.UcodeCacheSize = opts.UcodeCacheSize
 	spec.Trace = req.Trace || opts.TraceAll
 	spec.TraceSample = req.TraceSample
 	if spec.TraceSample <= 0 {

@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cape/internal/core"
+	"cape/internal/ucode"
 )
 
 // Pool is a sharded pool of reusable machines: one shard per distinct
@@ -26,6 +27,12 @@ type Pool struct {
 type shard struct {
 	key  string
 	idle chan *core.Machine
+	// ucache is the shard's shared microcode template cache: every
+	// machine of the shard lowers through it, so a program's templates
+	// compile once per shard rather than once per pooled machine.
+	// Templates are immutable, making the sharing race-free. Nil when
+	// the configuration disables caching.
+	ucache *ucode.Cache
 
 	mu      sync.Mutex
 	created int
@@ -37,8 +44,9 @@ type shard struct {
 // are included because they change what New builds (a pooled serial
 // machine must not satisfy a parallel-config Get, and vice versa).
 func ShardKey(cfg core.Config) string {
-	return fmt.Sprintf("%s/chains=%d/backend=%d/ram=%d/csbw=%d/csbt=%d",
-		cfg.Name, cfg.Chains, cfg.Backend, cfg.RAMBytes, cfg.CSBWorkers, cfg.CSBParallelThreshold)
+	return fmt.Sprintf("%s/chains=%d/backend=%d/ram=%d/csbw=%d/csbt=%d/ucode=%d",
+		cfg.Name, cfg.Chains, cfg.Backend, cfg.RAMBytes, cfg.CSBWorkers, cfg.CSBParallelThreshold,
+		cfg.UcodeCacheSize)
 }
 
 // NewPool builds a pool holding up to perShard machines per
@@ -57,6 +65,11 @@ func (p *Pool) shard(cfg core.Config) *shard {
 	s, ok := p.shards[key]
 	if !ok {
 		s = &shard{key: key, idle: make(chan *core.Machine, p.perShard)}
+		if cfg.UcodeCache != nil {
+			s.ucache = cfg.UcodeCache
+		} else if cfg.UcodeCacheSize >= 0 {
+			s.ucache = ucode.NewCache(cfg.UcodeCacheSize)
+		}
 		p.shards[key] = s
 	}
 	return s
@@ -77,6 +90,12 @@ func (p *Pool) Get(ctx context.Context, cfg core.Config) (*core.Machine, error) 
 	if s.created < cap(s.idle) {
 		s.created++
 		s.mu.Unlock()
+		// Every machine of the shard shares the shard's template cache
+		// (nil keeps lowering uncached).
+		cfg.UcodeCache = s.ucache
+		if s.ucache == nil {
+			cfg.UcodeCacheSize = -1
+		}
 		return core.New(cfg), nil
 	}
 	s.mu.Unlock()
@@ -109,10 +128,11 @@ func (p *Pool) Put(cfg core.Config, m *core.Machine) {
 
 // ShardStats snapshots one shard for /healthz and tests.
 type ShardStats struct {
-	Key     string `json:"key"`
-	Created int    `json:"created"`
-	Idle    int    `json:"idle"`
-	Reuses  int64  `json:"reuses"`
+	Key     string           `json:"key"`
+	Created int              `json:"created"`
+	Idle    int              `json:"idle"`
+	Reuses  int64            `json:"reuses"`
+	Ucode   ucode.CacheStats `json:"ucode"`
 }
 
 // Stats snapshots all shards, sorted by key.
@@ -126,9 +146,33 @@ func (p *Pool) Stats() []ShardStats {
 	stats := make([]ShardStats, 0, len(shards))
 	for _, s := range shards {
 		s.mu.Lock()
-		stats = append(stats, ShardStats{Key: s.key, Created: s.created, Idle: len(s.idle), Reuses: s.reuses})
+		stats = append(stats, ShardStats{
+			Key: s.key, Created: s.created, Idle: len(s.idle), Reuses: s.reuses,
+			Ucode: s.ucache.Stats(),
+		})
 		s.mu.Unlock()
 	}
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Key < stats[j].Key })
 	return stats
+}
+
+// UcodeStats aggregates template-cache effectiveness across all
+// shards, feeding the caped_ucode_cache_* metrics.
+func (p *Pool) UcodeStats() ucode.CacheStats {
+	p.mu.Lock()
+	shards := make([]*shard, 0, len(p.shards))
+	for _, s := range p.shards {
+		shards = append(shards, s)
+	}
+	p.mu.Unlock()
+	var agg ucode.CacheStats
+	for _, s := range shards {
+		st := s.ucache.Stats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Evictions += st.Evictions
+		agg.Entries += st.Entries
+		agg.Capacity += st.Capacity
+	}
+	return agg
 }

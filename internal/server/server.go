@@ -66,6 +66,12 @@ type Options struct {
 	// CSBParallelThreshold is the minimum chain count before a machine
 	// actually uses its CSB workers (0 = csb.DefaultParallelThreshold).
 	CSBParallelThreshold int
+	// UcodeCacheSize bounds each pool shard's shared microcode template
+	// cache in templates: 0 selects ucode.DefaultCacheSize, negative
+	// disables template caching (every instruction lowers directly).
+	// All machines of a shard share one cache, so a program's
+	// microcode compiles once per shard.
+	UcodeCacheSize int
 	// Registry receives the service metrics (default: a fresh one).
 	Registry *metrics.Registry
 	// TraceAll profiles every job as if each request set Trace
@@ -181,6 +187,17 @@ func New(opts Options) *Server {
 	reg.Gauge("caped_csb_workers",
 		"CSB worker goroutines per bit-level machine (0 = serial).", nil).
 		Set(int64(opts.CSBWorkers))
+	// Template-cache effectiveness is sampled live at render time from
+	// the pool's shard caches.
+	reg.CounterFunc("caped_ucode_cache_hits_total",
+		"Microcode template cache hits across all pool shards.", nil,
+		func() uint64 { return s.pool.UcodeStats().Hits })
+	reg.CounterFunc("caped_ucode_cache_misses_total",
+		"Microcode template cache misses across all pool shards.", nil,
+		func() uint64 { return s.pool.UcodeStats().Misses })
+	reg.GaugeFunc("caped_ucode_cache_entries",
+		"Cached microcode templates across all pool shards.", nil,
+		func() int64 { return int64(s.pool.UcodeStats().Entries) })
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()

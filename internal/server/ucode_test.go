@@ -1,0 +1,230 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"cape/internal/core"
+	"cape/internal/metrics"
+)
+
+// ucodeSource drives every microcode shape through the template cache:
+// splats, .vx and .vv arithmetic, comparisons, shifts (the structural
+// templates), a reduction, and a store, inside a scalar loop so the
+// same static instructions re-lower every iteration.
+const ucodeSource = `
+	li      x1, 64
+	vsetvli x2, x1, e32
+	li      x10, 0x1000
+	li      x5, 0
+	li      x6, 4
+	vle32.v v1, (x10)
+loop:
+	vadd.vx v2, v1, x11
+	vmul.vv v3, v2, v2
+	vsll.vi v4, v2, 3
+	vsrl.vi v4, v4, 2
+	vmseq.vx v0, v3, x11
+	vadd.vv v3, v3, v4
+	addi    x5, x5, 1
+	blt     x5, x6, loop
+	vmv.v.x v5, x0
+	vredsum.vs v6, v3, v5
+	vmv.x.s x12, v6
+	vse32.v v3, (x10)
+	halt
+`
+
+// runUcodeJobs submits n identical concurrent bit-level jobs to s and
+// returns their dumped memory and cycle counts.
+func runUcodeJobs(t *testing.T, s *Server, n int) ([][]uint32, []int64) {
+	t.Helper()
+	req := Request{
+		Source:    ucodeSource,
+		Name:      "ucode-race",
+		Config:    "CAPE32k",
+		Chains:    8,
+		Backend:   "bitlevel",
+		Registers: map[string]int64{"x11": 5},
+		Dump:      &DumpSpec{Addr: 0x1000, Words: 64},
+	}
+	mems := make([][]uint32, n)
+	cycles := make([]int64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := s.Submit(context.Background(), req)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(resp.Memory) != 64 {
+				errs[i] = fmt.Errorf("dump has %d words", len(resp.Memory))
+				return
+			}
+			mems[i], cycles[i] = resp.Memory, resp.Result.CP.Cycles
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	return mems, cycles
+}
+
+// TestSharedUcodeCacheRace is the issue's server shared-cache -race
+// coverage: concurrent pooled jobs all lowering through one per-shard
+// template cache must produce results identical to per-machine
+// no-cache runs. The cached server uses a tiny capacity so eviction
+// and rebuild also happen under contention.
+func TestSharedUcodeCacheRace(t *testing.T) {
+	cachedSrv := New(Options{
+		Workers:           4,
+		QueueDepth:        64,
+		MachinesPerConfig: 4,
+		RAMBytes:          1 << 20,
+		UcodeCacheSize:    4, // far below the program's template count
+		Registry:          metrics.NewRegistry(),
+	})
+	defer cachedSrv.Close()
+	uncachedSrv := New(Options{
+		Workers:           4,
+		QueueDepth:        64,
+		MachinesPerConfig: 4,
+		RAMBytes:          1 << 20,
+		UcodeCacheSize:    -1, // template caching off
+		Registry:          metrics.NewRegistry(),
+	})
+	defer uncachedSrv.Close()
+
+	const jobs = 24
+	cachedMem, cachedCycles := runUcodeJobs(t, cachedSrv, jobs)
+	uncachedMem, uncachedCycles := runUcodeJobs(t, uncachedSrv, jobs)
+
+	for i := 0; i < jobs; i++ {
+		if cachedCycles[i] != uncachedCycles[0] {
+			t.Fatalf("job %d: cached cycles %d vs uncached %d",
+				i, cachedCycles[i], uncachedCycles[0])
+		}
+		if uncachedCycles[i] != uncachedCycles[0] {
+			t.Fatalf("job %d: uncached run nondeterministic: %d vs %d",
+				i, uncachedCycles[i], uncachedCycles[0])
+		}
+		for e := range uncachedMem[0] {
+			if cachedMem[i][e] != uncachedMem[0][e] {
+				t.Fatalf("job %d word %d: cached %#x vs uncached %#x",
+					i, e, cachedMem[i][e], uncachedMem[0][e])
+			}
+		}
+	}
+
+	// The shared shard cache served real traffic: one shard, hits from
+	// reuse across jobs, evictions from the tiny capacity.
+	st := cachedSrv.Pool().UcodeStats()
+	if st.Hits == 0 || st.Misses == 0 || st.Evictions == 0 {
+		t.Fatalf("shared cache should see hits, misses and evictions: %+v", st)
+	}
+	if st.Entries > 4 {
+		t.Fatalf("shared cache exceeded its capacity: %+v", st)
+	}
+	if un := uncachedSrv.Pool().UcodeStats(); un.Hits != 0 || un.Misses != 0 {
+		t.Fatalf("uncached server should never touch a template cache: %+v", un)
+	}
+
+	// The cache size is machine identity: a differently-sized request
+	// must not be served from the same shard.
+	spec, err := Compile(Request{Source: ucodeSource, Config: "CAPE32k", Backend: "bitlevel"},
+		cachedSrv.Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := spec.Config
+	other.UcodeCacheSize = -1
+	if ShardKey(spec.Config) == ShardKey(other) {
+		t.Fatal("shard key must distinguish ucode cache settings")
+	}
+}
+
+// TestPoolSharesUcodeCachePerShard verifies machines built from one
+// shard literally share one cache instance, and distinct shards get
+// distinct caches.
+func TestPoolSharesUcodeCachePerShard(t *testing.T) {
+	p := NewPool(4)
+	cfg := core.CAPE32k()
+	cfg.Chains = 8
+	cfg.Backend = core.BackendBitLevel
+	cfg.RAMBytes = 1 << 20
+	m1, err := p.Get(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := p.Get(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.UcodeCache() == nil || m1.UcodeCache() != m2.UcodeCache() {
+		t.Fatal("machines of one shard must share one template cache")
+	}
+	cfg2 := cfg
+	cfg2.Chains = 16
+	m3, err := p.Get(context.Background(), cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m3.UcodeCache() == m1.UcodeCache() {
+		t.Fatal("distinct shards must not share a template cache")
+	}
+	cfgOff := cfg
+	cfgOff.UcodeCacheSize = -1
+	m4, err := p.Get(context.Background(), cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m4.UcodeCache() != nil {
+		t.Fatal("negative UcodeCacheSize must disable the cache")
+	}
+}
+
+// TestUcodeMetricsExposed checks the /metrics endpoint renders the
+// live cache counters after bit-level traffic.
+func TestUcodeMetricsExposed(t *testing.T) {
+	s := New(Options{
+		Workers:           2,
+		MachinesPerConfig: 2,
+		RAMBytes:          1 << 20,
+		Registry:          metrics.NewRegistry(),
+	})
+	defer s.Close()
+	runUcodeJobs(t, s, 4)
+
+	rec := httptest.NewRecorder()
+	s.Registry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	body := rec.Body.String()
+	for _, want := range []string{
+		"caped_ucode_cache_hits_total ",
+		"caped_ucode_cache_misses_total ",
+		"caped_ucode_cache_entries ",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+	st := s.Pool().UcodeStats()
+	if st.Misses == 0 {
+		t.Fatalf("expected template-cache traffic, got %+v", st)
+	}
+	if !strings.Contains(body, fmt.Sprintf("caped_ucode_cache_misses_total %d", st.Misses)) {
+		// Counters are monotonic and the server is idle here, so the
+		// rendered value must match the snapshot exactly.
+		t.Fatalf("rendered misses do not match pool stats %+v:\n%s", st, body)
+	}
+}

@@ -1,0 +1,132 @@
+package ucode
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"cape/internal/isa"
+)
+
+// DefaultCacheSize bounds the template cache when no explicit size is
+// configured. A program's working set is its distinct static vector
+// instructions — typically tens — so 1024 templates covers many
+// concurrently pooled programs while bounding pathological streams
+// that never repeat a key.
+const DefaultCacheSize = 1024
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Cache is a concurrency-safe LRU template cache. Templates are
+// immutable, so a hit hands back shared state with no copying beyond
+// scalar binding; one Cache is safely shared across goroutines and
+// pooled machines. The nil *Cache is valid everywhere and means
+// "uncached".
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[Key]*list.Element
+	lru     *list.List // front = most recently used; values are *entry
+	// structural marks opcodes whose microcode shape depends on the
+	// scalar (discovered at first build); their lookups key on the
+	// masked scalar as well.
+	structural map[isa.Opcode]bool
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type entry struct {
+	key  Key
+	tmpl *template
+}
+
+// NewCache builds a template cache holding up to size templates;
+// size <= 0 selects DefaultCacheSize.
+func NewCache(size int) *Cache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &Cache{
+		max:        size,
+		entries:    make(map[Key]*list.Element),
+		lru:        list.New(),
+		structural: make(map[isa.Opcode]bool),
+	}
+}
+
+// Stats snapshots the counters. Safe on a nil cache (all zero).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	entries := len(c.entries)
+	capacity := c.max
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Capacity:  capacity,
+	}
+}
+
+// lower is the cached lowering path: lookup, else build outside the
+// lock and insert.
+func (c *Cache) lower(op isa.Opcode, vd, vs2, vs1 int, x uint64, sew int) (Seq, error) {
+	maskedX := maskX(x, sew)
+	k := Key{Op: op, Vd: uint8(vd), Vs2: uint8(vs2), Vs1: uint8(vs1), SEW: uint8(sew)}
+
+	c.mu.Lock()
+	if c.structural[op] {
+		k.XKey = maskedX
+	}
+	if el, ok := c.entries[k]; ok {
+		c.lru.MoveToFront(el)
+		t := el.Value.(*entry).tmpl
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return t.bind(maskedX, true), nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	// Build outside the lock: lowering dominates lookup cost and two
+	// racing builders for one key both produce correct templates (the
+	// insert keeps the first).
+	t, structural, err := buildTemplate(op, vd, vs2, vs1, maskedX, sew)
+	if err != nil {
+		return Seq{}, err
+	}
+
+	c.mu.Lock()
+	if structural {
+		// Marking and insertion share one critical section, so any
+		// later lookup that can see this entry also keys on XKey.
+		c.structural[op] = true
+		k.XKey = maskedX
+	}
+	if el, ok := c.entries[k]; ok {
+		// Lost the build race; share the winner's template.
+		c.lru.MoveToFront(el)
+		t = el.Value.(*entry).tmpl
+	} else {
+		c.entries[k] = c.lru.PushFront(&entry{key: k, tmpl: t})
+		for len(c.entries) > c.max {
+			back := c.lru.Back()
+			c.lru.Remove(back)
+			delete(c.entries, back.Value.(*entry).key)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	return t.bind(maskedX, false), nil
+}

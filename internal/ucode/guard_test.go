@@ -1,0 +1,127 @@
+package ucode
+
+import (
+	"testing"
+	"time"
+
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+// measure returns the minimum time of reps executions of f;
+// interleaving is the caller's job.
+func measure(reps int, f func()) time.Duration {
+	best := time.Duration(1<<63 - 1)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		f()
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// guardStream is the repeated-instruction stream both the overhead
+// guard and the lowering benchmarks use: a small kernel loop's worth
+// of distinct instructions, replayed as an execution would.
+var guardStream = []struct {
+	op           isa.Opcode
+	vd, vs2, vs1 int
+}{
+	{isa.OpVADD_VV, 3, 1, 2},
+	{isa.OpVADD_VX, 4, 3, 0},
+	{isa.OpVMSEQ_VX, 5, 4, 0},
+	{isa.OpVAND_VV, 6, 5, 3},
+}
+
+// TestUcodeDisabledOverheadGuard is the CI gate on the cache-disabled
+// path: Lower with a nil cache must stay within 3% of calling
+// tt.GenerateSEW directly. Minimum-of-N timing with retries damps
+// scheduler noise; a persistent regression past the bound fails.
+func TestUcodeDisabledOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short")
+	}
+	const (
+		batches = 64 // stream replays per measured repetition
+		reps    = 8
+		bound   = 1.03
+		retries = 3
+	)
+
+	direct := func() {
+		for b := 0; b < batches; b++ {
+			for i, in := range guardStream {
+				if _, err := tt.GenerateSEW(in.op, in.vd, in.vs2, in.vs1, uint64(i), 32); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	uncached := func() {
+		for b := 0; b < batches; b++ {
+			for i, in := range guardStream {
+				if _, err := Lower(nil, in.op, in.vd, in.vs2, in.vs1, uint64(i), 32); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+
+	var ratio float64
+	for attempt := 0; attempt < retries; attempt++ {
+		// Alternate order so frequency scaling and cache warmth cut
+		// both ways.
+		var directT, lowerT time.Duration
+		if attempt%2 == 0 {
+			directT = measure(reps, direct)
+			lowerT = measure(reps, uncached)
+		} else {
+			lowerT = measure(reps, uncached)
+			directT = measure(reps, direct)
+		}
+		ratio = float64(lowerT) / float64(directT)
+		t.Logf("attempt %d: direct %v, Lower(nil) %v, ratio %.4f", attempt, directT, lowerT, ratio)
+		if ratio <= bound {
+			return
+		}
+	}
+	t.Fatalf("cache-disabled Lower is %.2f%% slower than direct GenerateSEW (bound %.0f%%)",
+		(ratio-1)*100, (bound-1)*100)
+}
+
+// BenchmarkLowerDirect measures direct per-instruction lowering (the
+// pre-cache hot path).
+func BenchmarkLowerDirect(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		in := guardStream[i%len(guardStream)]
+		if _, err := Lower(nil, in.op, in.vd, in.vs2, in.vs1, uint64(i), 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLowerCached measures the steady-state hit path on the same
+// stream (distinct scalars force rebinding, so this includes the bind
+// copy for .vx templates).
+func BenchmarkLowerCached(b *testing.B) {
+	c := NewCache(0)
+	for i := 0; i < b.N; i++ {
+		in := guardStream[i%len(guardStream)]
+		if _, err := Lower(c, in.op, in.vd, in.vs2, in.vs1, uint64(i), 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLowerCachedMul isolates the largest template (vmul.vv, the
+// quadratic sequence) where compile-once pays the most.
+func BenchmarkLowerCachedMul(b *testing.B) {
+	c := NewCache(0)
+	for i := 0; i < b.N; i++ {
+		if _, err := Lower(c, isa.OpVMUL_VV, 3, 1, 2, 0, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,265 @@
+package ucode
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+// supportedOps is every opcode tt.GenerateSEW can lower, in the order
+// of its switch.
+var supportedOps = []isa.Opcode{
+	isa.OpVADD_VV, isa.OpVSUB_VV, isa.OpVADD_VX, isa.OpVSUB_VX,
+	isa.OpVMUL_VV, isa.OpVAND_VV, isa.OpVOR_VV, isa.OpVXOR_VV,
+	isa.OpVMSEQ_VV, isa.OpVMSEQ_VX, isa.OpVMSLT_VV, isa.OpVMSLT_VX,
+	isa.OpVMERGE_VVM, isa.OpVMV_VX, isa.OpVREDSUM_VS, isa.OpVCPOP_M,
+	isa.OpVFIRST_M, isa.OpVMSNE_VV, isa.OpVMSNE_VX, isa.OpVMAX_VV,
+	isa.OpVMIN_VV, isa.OpVRSUB_VX, isa.OpVMV_VV, isa.OpVSLL_VI,
+	isa.OpVSRL_VI,
+}
+
+var sews = []int{8, 16, 32}
+
+// regTriples sweeps distinct and aliased register assignments.
+var regTriples = [][3]int{
+	{1, 2, 3}, // all distinct
+	{4, 4, 5}, // vd == vs2
+	{6, 7, 6}, // vd == vs1
+	{2, 2, 2}, // all aliased
+	{0, 1, 2}, // v0 destination (the mask register)
+	{31, 30, 29},
+}
+
+// scalars covers zero, the probe values, small shifts and wide
+// patterns.
+var scalars = []uint64{
+	0, 1, 5, 17, 31, 0x5A5A5A5A, 0xFFFF0000FFFF0000, ^uint64(0),
+}
+
+// TestLowerMatchesDirect is the differential test: for every supported
+// opcode, SEW, register triple and scalar, both the uncached path and
+// a shared cache (serving a mixture of cold misses and hits) must be
+// microop-identical to direct tt.GenerateSEW.
+func TestLowerMatchesDirect(t *testing.T) {
+	c := NewCache(0)
+	for _, op := range supportedOps {
+		for _, sew := range sews {
+			for _, regs := range regTriples {
+				for _, x := range scalars {
+					want, err := tt.GenerateSEW(op, regs[0], regs[1], regs[2], x, sew)
+					if err != nil {
+						t.Fatalf("%v sew=%d: direct: %v", op, sew, err)
+					}
+					direct, err := Lower(nil, op, regs[0], regs[1], regs[2], x, sew)
+					if err != nil {
+						t.Fatalf("%v sew=%d: Lower(nil): %v", op, sew, err)
+					}
+					if !slices.Equal(direct.Ops(), want) {
+						t.Fatalf("%v sew=%d regs=%v x=%#x: uncached Lower differs from GenerateSEW", op, sew, regs, x)
+					}
+					cached, err := Lower(c, op, regs[0], regs[1], regs[2], x, sew)
+					if err != nil {
+						t.Fatalf("%v sew=%d: Lower(cache): %v", op, sew, err)
+					}
+					if !slices.Equal(cached.Ops(), want) {
+						t.Fatalf("%v sew=%d regs=%v x=%#x hit=%v: cached Lower differs from GenerateSEW",
+							op, sew, regs, x, cached.CacheHit())
+					}
+					if got, want := cached.Mix(), tt.MixOf(want); got != want {
+						t.Fatalf("%v sew=%d: Mix mismatch: got %+v want %+v", op, sew, got, want)
+					}
+					if got, want := cached.Cost(), tt.Cost(want); got != want {
+						t.Fatalf("%v sew=%d: Cost mismatch: got %d want %d", op, sew, got, want)
+					}
+				}
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("sweep should exercise both hits and misses, got %+v", st)
+	}
+}
+
+// TestHitIdenticalToMiss locks in that a cache hit returns exactly the
+// cold-miss sequence, including for aliased registers and for every
+// scalar value rebinding the same template.
+func TestHitIdenticalToMiss(t *testing.T) {
+	for _, op := range supportedOps {
+		for _, sew := range sews {
+			for _, regs := range regTriples {
+				c := NewCache(0)
+				for _, x := range scalars {
+					cold, err := Lower(c, op, regs[0], regs[1], regs[2], x, sew)
+					if err != nil {
+						t.Fatalf("%v: cold: %v", op, err)
+					}
+					hot, err := Lower(c, op, regs[0], regs[1], regs[2], x, sew)
+					if err != nil {
+						t.Fatalf("%v: hot: %v", op, err)
+					}
+					if !hot.CacheHit() {
+						t.Fatalf("%v sew=%d x=%#x: second lookup should hit", op, sew, x)
+					}
+					if !slices.Equal(cold.Ops(), hot.Ops()) {
+						t.Fatalf("%v sew=%d regs=%v x=%#x: hit differs from miss", op, sew, regs, x)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStructuralOpsKeyOnScalar verifies the immediate shifts (where x
+// changes the microcode shape, not just an operand field) get distinct
+// templates per shift amount and still match direct lowering.
+func TestStructuralOpsKeyOnScalar(t *testing.T) {
+	c := NewCache(0)
+	for _, op := range []isa.Opcode{isa.OpVSLL_VI, isa.OpVSRL_VI} {
+		for _, sew := range sews {
+			for shift := 0; shift < sew; shift++ {
+				x := uint64(shift)
+				want, err := tt.GenerateSEW(op, 1, 2, 3, x, sew)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Twice: the second is a hit on the shift-specific key.
+				for pass := 0; pass < 2; pass++ {
+					seq, err := Lower(c, op, 1, 2, 3, x, sew)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !slices.Equal(seq.Ops(), want) {
+						t.Fatalf("%v sew=%d shift=%d pass=%d: wrong sequence", op, sew, shift, pass)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRebindDoesNotCorruptTemplate checks that binding many scalars in
+// a row never leaks one binding's x into another (templates stay
+// immutable).
+func TestRebindDoesNotCorruptTemplate(t *testing.T) {
+	c := NewCache(0)
+	for _, x := range []uint64{0xDEAD, 0, 0xBEEF, ^uint64(0), 0xDEAD} {
+		want, err := tt.GenerateSEW(isa.OpVADD_VX, 1, 2, 0, x, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := Lower(c, isa.OpVADD_VX, 1, 2, 0, x, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(seq.Ops(), want) {
+			t.Fatalf("x=%#x: rebind corrupted sequence", x)
+		}
+	}
+}
+
+// TestLRUEviction exercises capacity bounds and the eviction counters.
+func TestLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	lower := func(vd int) {
+		t.Helper()
+		if _, err := Lower(c, isa.OpVADD_VV, vd, 2, 3, 0, 32); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lower(1)
+	lower(4)
+	lower(5) // evicts vd=1 (least recently used)
+	st := c.Stats()
+	if st.Misses != 3 || st.Entries != 2 || st.Evictions != 1 || st.Hits != 0 {
+		t.Fatalf("after 3 distinct keys in a 2-entry cache: %+v", st)
+	}
+	lower(1) // miss again: was evicted; evicts vd=4
+	lower(5) // still resident: hit
+	st = c.Stats()
+	if st.Misses != 4 || st.Hits != 1 || st.Evictions != 2 || st.Entries != 2 {
+		t.Fatalf("after re-lowering evicted key: %+v", st)
+	}
+	if st.Capacity != 2 {
+		t.Fatalf("capacity = %d, want 2", st.Capacity)
+	}
+}
+
+// TestNilCacheStats covers the nil-cache conveniences.
+func TestNilCacheStats(t *testing.T) {
+	var c *Cache
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v, want zero", st)
+	}
+	seq, err := Lower(c, isa.OpVADD_VV, 1, 2, 3, 0, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.CacheHit() {
+		t.Fatal("nil cache lowering reported a hit")
+	}
+}
+
+// TestUnsupported checks the error path stays a plain error, cached or
+// not.
+func TestUnsupported(t *testing.T) {
+	if _, err := Lower(nil, isa.OpVMV_XS, 1, 2, 3, 0, 32); err == nil {
+		t.Fatal("vmv.x.s has no microcode; want error uncached")
+	}
+	c := NewCache(0)
+	if _, err := Lower(c, isa.OpVMV_XS, 1, 2, 3, 0, 32); err == nil {
+		t.Fatal("vmv.x.s has no microcode; want error cached")
+	}
+	if _, err := Lower(c, isa.OpVADD_VV, 1, 2, 3, 0, 64); err == nil {
+		t.Fatal("sew=64 is unsupported; want error")
+	}
+}
+
+// TestConcurrentLower hammers one tiny cache from many goroutines and
+// checks every result against direct lowering — run under -race in CI.
+func TestConcurrentLower(t *testing.T) {
+	c := NewCache(4) // small: constant eviction and rebuild races
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 300; i++ {
+				op := supportedOps[rng.Intn(len(supportedOps))]
+				sew := sews[rng.Intn(len(sews))]
+				regs := regTriples[rng.Intn(len(regTriples))]
+				x := scalars[rng.Intn(len(scalars))]
+				want, err := tt.GenerateSEW(op, regs[0], regs[1], regs[2], x, sew)
+				if err != nil {
+					errs <- err
+					return
+				}
+				seq, err := Lower(c, op, regs[0], regs[1], regs[2], x, sew)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !slices.Equal(seq.Ops(), want) {
+					errs <- fmt.Errorf("%v sew=%d regs=%v x=%#x: concurrent Lower differs", op, sew, regs, x)
+					return
+				}
+			}
+		}(int64(g) + 1)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Entries > 4 {
+		t.Fatalf("cache exceeded capacity: %+v", st)
+	}
+}
