@@ -1,0 +1,117 @@
+// The -check-against regression gate: a baseline JSON file records the
+// minimum expected speedups of the throughput experiments (csbparallel
+// and ucode), and the gate fails the run (exit 1) when any measured
+// speedup falls more than the baseline's tolerance below its floor.
+// The committed baseline (testdata/bench_baseline.json) holds
+// conservative floors measured on a 2-CPU CI runner; see EXPERIMENTS.md
+// for the regeneration recipe.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// benchBaseline is the -check-against file format. Keys of CSBParallel
+// are "<config>/<inst>" (e.g. "CAPE131k/vadd.vv") matching
+// csbBenchEntry; keys of Ucode are "stream_speedup" and "e2e_speedup".
+// Values are speedup floors; the gate fails when a measurement drops
+// below floor*(1-tolerance).
+type benchBaseline struct {
+	Note        string             `json:"note,omitempty"`
+	Tolerance   float64            `json:"tolerance"`
+	CSBParallel map[string]float64 `json:"csbparallel,omitempty"`
+	Ucode       map[string]float64 `json:"ucode,omitempty"`
+}
+
+// checkBaseline compares this run's experiment results against the
+// baseline file. Baseline sections whose experiment did not run are an
+// error: a gate that silently checks nothing would read as green.
+func checkBaseline(path string, results map[string]fmt.Stringer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var bl benchBaseline
+	if err := json.Unmarshal(data, &bl); err != nil {
+		return fmt.Errorf("parse %s: %w", path, err)
+	}
+	tol := bl.Tolerance
+	if tol <= 0 {
+		tol = 0.15
+	}
+
+	var failures []string
+	checked := 0
+	fail := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+	check := func(name string, got, floor float64) {
+		checked++
+		if got < floor*(1-tol) {
+			fail("%s: speedup %.2fx is below floor %.2fx - %.0f%% tolerance",
+				name, got, floor, 100*tol)
+		}
+	}
+
+	if len(bl.CSBParallel) > 0 {
+		r, ok := results["csbparallel"].(csbBenchReport)
+		if !ok {
+			return fmt.Errorf("baseline has csbparallel floors but the experiment did not run (add -exp csbparallel)")
+		}
+		cur := map[string]float64{}
+		for _, e := range r.Entries {
+			cur[e.Config+"/"+e.Inst] = e.Speedup
+		}
+		keys := make([]string, 0, len(bl.CSBParallel))
+		for k := range bl.CSBParallel {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			got, ok := cur[k]
+			if !ok {
+				fail("csbparallel: baseline key %q was not measured", k)
+				continue
+			}
+			check("csbparallel "+k, got, bl.CSBParallel[k])
+		}
+	}
+
+	if len(bl.Ucode) > 0 {
+		r, ok := results["ucode"].(ucodeBenchReport)
+		if !ok {
+			return fmt.Errorf("baseline has ucode floors but the experiment did not run (add -exp ucode)")
+		}
+		cur := map[string]float64{"stream_speedup": r.StreamSpeedup}
+		if len(r.EndToEnd) > 0 {
+			cur["e2e_speedup"] = r.EndToEnd[0].Speedup
+		}
+		keys := make([]string, 0, len(bl.Ucode))
+		for k := range bl.Ucode {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			got, ok := cur[k]
+			if !ok {
+				fail("ucode: unknown baseline key %q (want stream_speedup or e2e_speedup)", k)
+				continue
+			}
+			check("ucode "+k, got, bl.Ucode[k])
+		}
+	}
+
+	if checked == 0 && len(failures) == 0 {
+		return fmt.Errorf("%s gates nothing (no csbparallel or ucode floors)", path)
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d of %d checks failed:\n  %s",
+			len(failures), checked, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("[%d baseline checks passed, tolerance %.0f%%]\n", checked, 100*tol)
+	return nil
+}

@@ -94,6 +94,9 @@ func experiments() []experiment {
 		{"ucode", "compile-once microcode: cached vs. direct lowering (writes BENCH_ucode.json)", func() (fmt.Stringer, error) {
 			return ucodeBench()
 		}},
+		{"chaos", "fault injection vs. serving resilience (writes BENCH_chaos.json)", func() (fmt.Stringer, error) {
+			return chaosBench()
+		}},
 		{"ablations", "design-choice ablations: vlrw.v, redsum-vs-add, narrow elements, CSB scaling", func() (fmt.Stringer, error) {
 			vlrw, err := report.AblationReplicaLoad()
 			if err != nil {
@@ -128,8 +131,9 @@ func (m multiTable) String() string {
 
 func main() {
 	var (
-		list = flag.Bool("list", false, "list experiments and exit")
-		exps = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		list         = flag.Bool("list", false, "list experiments and exit")
+		exps         = flag.String("exp", "all", "comma-separated experiment names, or 'all'")
+		checkAgainst = flag.String("check-against", "", "baseline JSON of minimum speedups; exit 1 on regression past its tolerance")
 	)
 	flag.Parse()
 
@@ -164,6 +168,7 @@ func main() {
 		}
 	}
 
+	results := map[string]fmt.Stringer{}
 	for _, e := range all {
 		if *exps != "all" && !want[e.name] {
 			continue
@@ -174,7 +179,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "capebench: %s: %v\n", e.name, err)
 			os.Exit(1)
 		}
+		results[e.name] = out
 		fmt.Println(out)
 		fmt.Printf("[%s regenerated in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *checkAgainst != "" {
+		if err := checkBaseline(*checkAgainst, results); err != nil {
+			fmt.Fprintf(os.Stderr, "capebench: regression gate: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[regression gate passed against %s]\n", *checkAgainst)
 	}
 }

@@ -67,7 +67,7 @@ func (r ucodeBenchReport) String() string {
 		out += fmt.Sprintf("%-12s %4d %6d %13d %13d %8.2fx\n",
 			e.Inst, e.SEW, e.MicroOps, e.DirectNSOp, e.CachedNSOp, e.Speedup)
 	}
-	out += fmt.Sprintf("\nEnd-to-end bit-level execution (simulated cycles per wall-second)\n")
+	out += "\nEnd-to-end bit-level execution (simulated cycles per wall-second)\n"
 	out += fmt.Sprintf("%-12s %7s %9s %14s %14s %9s %5s\n",
 		"workload", "chains", "cycles", "off cycles/s", "on cycles/s", "speedup", "bit=")
 	for _, e := range r.EndToEnd {

@@ -19,6 +19,17 @@
 //	-csb-threshold N       min chains before CSB workers engage (0 = 64)
 //	-ucode-cache N         microcode templates cached per pool shard
 //	                       (0 = default 1024, negative = off)
+//	-faults SPEC           deterministic fault injection, e.g.
+//	                       seed=1,hbm-drop=0.01,chain-panic=0.001 (default off)
+//	-retries N             per-job retry budget for transient faults
+//	                       (0 = default 3, negative = off)
+//	-retry-base D          base backoff between retries (default 5ms)
+//	-retry-max D           backoff cap between retries (default 250ms)
+//	-breaker-threshold N   consecutive failures that open a shard's circuit
+//	                       breaker (0 = default 8, negative = off)
+//	-breaker-cooldown D    open-breaker duration before a probe (default 500ms)
+//	-degrade-after N       consecutive chain panics that degrade a shard to
+//	                       serial CSB execution (0 = default 2, negative = off)
 //	-trace                 profile every job (per-job: POST /v1/jobs?trace=1)
 //	-trace-sample N        record every Nth timeline event for traced jobs
 //	-trace-store N         completed traces kept for GET /v1/jobs/{id}/trace
@@ -45,6 +56,7 @@ import (
 	"time"
 
 	"cape"
+	"cape/internal/fault"
 )
 
 // jobLogWriter resolves the -job-log destination.
@@ -85,6 +97,14 @@ func run() error {
 		traceStore  = flag.Int("trace-store", 0, "completed traces kept for GET /v1/jobs/{id}/trace (0 = 64)")
 		jobLog      = flag.String("job-log", "stderr", "per-job JSON log destination: stderr, stdout, a file path, or off")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this second listener (empty = off)")
+
+		faults    = flag.String("faults", "", "fault-injection spec, e.g. seed=1,hbm-drop=0.01,chain-panic=0.001 (empty = off)")
+		retries   = flag.Int("retries", 0, "per-job retry budget for transient faults (0 = default 3, negative = off)")
+		retryBase = flag.Duration("retry-base", 0, "base backoff between retry attempts (0 = 5ms)")
+		retryMax  = flag.Duration("retry-max", 0, "backoff cap between retry attempts (0 = 250ms)")
+		brkThresh = flag.Int("breaker-threshold", 0, "consecutive job failures that open a shard's circuit breaker (0 = default 8, negative = off)")
+		brkCool   = flag.Duration("breaker-cooldown", 0, "open-breaker duration before a half-open probe (0 = 500ms)")
+		degrAfter = flag.Int("degrade-after", 0, "consecutive chain panics that degrade a shard to serial CSB execution (0 = default 2, negative = off)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -97,6 +117,10 @@ func run() error {
 	logW, err := jobLogWriter(*jobLog)
 	if err != nil {
 		return fmt.Errorf("-job-log: %w", err)
+	}
+	faultCfg, err := fault.ParseSpec(*faults)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
 	}
 	if *debugAddr != "" {
 		// The default mux carries the pprof handlers; the API mux on the
@@ -119,6 +143,13 @@ func run() error {
 		CSBWorkers:           *csbWorkers,
 		CSBParallelThreshold: *csbThresh,
 		UcodeCacheSize:       *ucodeCache,
+		Faults:               faultCfg,
+		Retries:              *retries,
+		RetryBaseDelay:       *retryBase,
+		RetryMaxDelay:        *retryMax,
+		BreakerThreshold:     *brkThresh,
+		BreakerCooldown:      *brkCool,
+		DegradeAfter:         *degrAfter,
 		TraceAll:             *traceAll,
 		TraceSample:          *traceSample,
 		TraceStoreCap:        *traceStore,

@@ -22,6 +22,9 @@
 //	-csb-threshold N           min chains before CSB workers engage (0 = 64)
 //	-ucode-cache N             microcode templates cached (0 = default 1024,
 //	                           negative = lower every instruction directly)
+//	-faults SPEC               deterministic fault injection, e.g.
+//	                           seed=1,hbm-late=0.1 (queue-free path: faults
+//	                           surface as typed errors, not retries)
 //	-trace FILE                profile the run; write a Chrome trace_event
 //	                           timeline (chrome://tracing, Perfetto) to FILE
 //	-trace-sample N            record every Nth timeline event (0 = all)
@@ -40,6 +43,7 @@ import (
 
 	"cape"
 	"cape/internal/core"
+	"cape/internal/fault"
 	"cape/internal/server"
 )
 
@@ -84,6 +88,7 @@ func run() error {
 		csbWorkers  = flag.Int("csb-workers", 0, "CSB worker goroutines for the bitlevel backend (0 = serial)")
 		csbThresh   = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
 		ucodeCache  = flag.Int("ucode-cache", 0, "microcode templates cached (0 = default, negative = off)")
+		faults      = flag.String("faults", "", "fault-injection spec, e.g. seed=1,hbm-late=0.1 (empty = off; queue-free, so faults surface as errors, not retries)")
 		traceFile   = flag.String("trace", "", "profile the run and write a Chrome trace_event timeline to this file")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth timeline event (0 = all)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address during the run (empty = off)")
@@ -139,10 +144,15 @@ func run() error {
 		req.Dump = &server.DumpSpec{Addr: addr, Words: words}
 	}
 
+	faultCfg, err := fault.ParseSpec(*faults)
+	if err != nil {
+		return fmt.Errorf("-faults: %w", err)
+	}
 	spec, err := server.Compile(req, server.Options{
 		CSBWorkers:           *csbWorkers,
 		CSBParallelThreshold: *csbThresh,
 		UcodeCacheSize:       *ucodeCache,
+		Faults:               faultCfg,
 	})
 	if err != nil {
 		return err

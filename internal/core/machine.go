@@ -12,6 +12,7 @@ import (
 	"cape/internal/cache"
 	"cape/internal/cp"
 	"cape/internal/energy"
+	"cape/internal/fault"
 	"cape/internal/hbm"
 	"cape/internal/isa"
 	"cape/internal/obs"
@@ -57,6 +58,16 @@ type Config struct {
 	// ignored. Templates are immutable, so the server pool hands one
 	// cache to every machine of a shard.
 	UcodeCache *ucode.Cache
+	// Faults configures deterministic fault injection (stuck tag bits,
+	// late/dropped HBM transfers, chain-worker panics, budget storms).
+	// The zero value disables it, costing one nil check per microcode
+	// run and per VMU transfer.
+	Faults fault.Config
+	// FaultInjector, when non-nil, is a shared parent injector the
+	// machine derives its stream from instead of building one from
+	// Faults; the server pool hands one parent to every machine of a
+	// shard so /metrics sees one counter family.
+	FaultInjector *fault.Injector
 	// Trace installs an execution recorder at construction, so every
 	// Run is profiled (cycle attribution) and traced (timeline events).
 	// Per-job tracing on pooled machines should instead install a
@@ -136,6 +147,11 @@ type Machine struct {
 	// rec is the installed observability recorder (nil = tracing off).
 	rec *obs.Recorder
 
+	// finj is the machine's fault-injection stream (nil = injection
+	// off). Each RunContext plans one attempt from it; the stream
+	// advances across attempts, so retries see fresh draws.
+	finj *fault.Injector
+
 	energyPJ   float64
 	laneOps    uint64
 	memBytes   uint64
@@ -156,6 +172,12 @@ func New(cfg Config) *Machine {
 	case cfg.UcodeCacheSize >= 0:
 		m.ucache = ucode.NewCache(cfg.UcodeCacheSize)
 	}
+	switch {
+	case cfg.FaultInjector != nil:
+		m.finj = cfg.FaultInjector.Child()
+	case cfg.Faults.Enabled():
+		m.finj = fault.New(cfg.Faults).Child()
+	}
 	switch cfg.Backend {
 	case BackendBitLevel:
 		bb := NewBitBackend(cfg.Chains)
@@ -170,6 +192,7 @@ func New(cfg Config) *Machine {
 	m.hbm = hbm.New(cfg.HBM)
 	m.vcu = vcu.New(cfg.Chains)
 	m.vmu = vmu.New(m.hbm, cfg.Chains)
+	m.vmu.SetFaultInjector(m.finj)
 	m.ram = NewRAM(cfg.RAMBytes)
 	m.caches = cache.NewHierarchy(memLatencyCycles(cfg.HBM), cache.CPL1D, cache.CPL2)
 	m.proc = cp.New(cfg.CP, m, m.ram, m.caches)
@@ -201,6 +224,57 @@ func (m *Machine) Recorder() *obs.Recorder { return m.rec }
 // UcodeCache returns the machine's microcode template cache (nil when
 // caching is disabled).
 func (m *Machine) UcodeCache() *ucode.Cache { return m.ucache }
+
+// FaultInjector returns the machine's fault-injection stream (nil when
+// injection is off).
+func (m *Machine) FaultInjector() *fault.Injector { return m.finj }
+
+// SetDegradedSerial forces (or, with false, lifts) serial CSB
+// execution on the bit-level backend, keeping the worker pool warm —
+// the serving layer's graceful degradation when fan-out workers are
+// unhealthy. No-op on the fast backend.
+func (m *Machine) SetDegradedSerial(on bool) {
+	if bb, ok := m.backend.(*BitBackend); ok {
+		bb.CSB().SetSerialBypass(on)
+	}
+}
+
+// DegradedSerial reports whether serial CSB execution is forced.
+func (m *Machine) DegradedSerial() bool {
+	if bb, ok := m.backend.(*BitBackend); ok {
+		return bb.CSB().SerialBypass()
+	}
+	return false
+}
+
+// armFaults plans one attempt from the machine's injection stream and
+// arms the CSB/CP hooks with it, returning the disarm/restore
+// function. The VMU's per-transfer faults need no arming — they draw
+// straight from the stream.
+func (m *Machine) armFaults() func() {
+	bb, isBit := m.backend.(*BitBackend)
+	plan := m.finj.PlanAttempt(isBit)
+	if isBit {
+		bb.CSB().ArmFaults(m.finj, plan.StuckTagRun, plan.ChainPanicRun)
+	}
+	savedBudget := int64(0)
+	if plan.BudgetFloor > 0 {
+		// Collapse the attempt's instruction budget; cp defaults the
+		// budget positive, so the save/restore round-trips.
+		savedBudget = m.proc.MaxInsts()
+		if savedBudget > plan.BudgetFloor {
+			m.proc.SetMaxInsts(plan.BudgetFloor)
+		}
+	}
+	return func() {
+		if isBit {
+			bb.CSB().DisarmFaults()
+		}
+		if savedBudget > 0 {
+			m.proc.SetMaxInsts(savedBudget)
+		}
+	}
+}
 
 // pageInCycles is the CP-cycle cost of handling one vector page fault
 // (trap, page-in, vstart restart of the instruction — §V-C).
@@ -361,6 +435,7 @@ func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
 	addr := uint64(x1)
 	var donePS int64
 	var movedBytes int64
+	faultPS0 := m.vmu.FaultDelayPS
 	switch inst.Op {
 	case isa.OpVLE32, isa.OpVLE16, isa.OpVLE8:
 		sz := memElemBytes(inst.Op)
@@ -429,6 +504,9 @@ func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
 			int64(float64(donePS-startPS0)/timing.CAPECyclePS))
 		if m.rec.Sample() {
 			m.rec.SimSpanPS(inst.Op.String(), obs.StageVMU, startPS0, donePS-startPS0, "bytes", movedBytes)
+			if d := m.vmu.FaultDelayPS - faultPS0; d > 0 {
+				m.rec.SimSpanPS("fault.hbm_late", obs.StageVMU, startPS0, d, "delay_ps", d)
+			}
 		}
 	}
 	m.memInsts++
@@ -475,7 +553,7 @@ func (m *Machine) Reset() {
 	m.backend.Reset()
 	m.hbm.Reset()
 	m.vcu.Instructions, m.vcu.BusyCycles = 0, 0
-	m.vmu.SubRequests, m.vmu.BytesMoved = 0, 0
+	m.vmu.SubRequests, m.vmu.BytesMoved, m.vmu.FaultDelayPS = 0, 0, 0
 	m.proc.Reset()
 	m.energyPJ = 0
 	m.laneOps, m.memBytes = 0, 0
@@ -491,6 +569,10 @@ func (m *Machine) Reset() {
 // periodically and aborts with a cp.ErrCanceled-wrapped error when it
 // expires. The machine state is left mid-program; Reset before reuse.
 func (m *Machine) RunContext(ctx context.Context, prog *isa.Program) (Result, error) {
+	if m.finj != nil {
+		disarm := m.armFaults()
+		defer disarm()
+	}
 	if done := ctx.Done(); done != nil {
 		m.proc.SetCancel(func() bool {
 			select {

@@ -9,6 +9,7 @@ import (
 	"math/bits"
 
 	"cape/internal/chain"
+	"cape/internal/fault"
 	"cape/internal/isa"
 	"cape/internal/obs"
 	"cape/internal/sram"
@@ -46,6 +47,19 @@ type CSB struct {
 	// untraced simulator: Run tests it once and falls through to the
 	// original loop.
 	rec *obs.Recorder
+
+	// finj and the *AtRun indices form the armed per-attempt fault plan
+	// (see fault.go); runIdx counts Run calls since arming and
+	// pendingPanicW is the worker a planned chain panic kills on the
+	// next dispatch. bypass forces serial execution for graceful
+	// degradation. Like tracing, the disarmed hot path pays one nil
+	// check in Run.
+	finj          *fault.Injector
+	stuckAtRun    int64
+	panicAtRun    int64
+	runIdx        int64
+	pendingPanicW int
+	bypass        bool
 
 	// Stats accumulates the microoperation mix executed so far.
 	Stats Stats
@@ -87,7 +101,12 @@ func New(numChains int) *CSB {
 	if numChains <= 0 {
 		panic("csb: chain count must be positive")
 	}
-	c := &CSB{chains: make([]*chain.Chain, numChains)}
+	c := &CSB{
+		chains:        make([]*chain.Chain, numChains),
+		stuckAtRun:    -1,
+		panicAtRun:    -1,
+		pendingPanicW: -1,
+	}
 	for i := range c.chains {
 		c.chains[i] = chain.New()
 	}
@@ -328,6 +347,9 @@ func (c *CSB) account(op *tt.MicroOp, redSum uint64) {
 // is chain-local, and KReduce partials are folded afterwards in
 // deterministic order (see runParallel).
 func (c *CSB) Run(ops []tt.MicroOp) int {
+	if c.finj != nil {
+		c.faultTick()
+	}
 	if c.rec != nil {
 		return c.runTraced(ops)
 	}

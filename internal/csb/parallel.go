@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 
+	"cape/internal/fault"
 	"cape/internal/obs"
 	"cape/internal/tt"
 )
@@ -107,8 +108,10 @@ func (c *CSB) Parallelism() (workers, minChains int) {
 }
 
 // parallelActive reports whether commands should fan out to the pool.
+// A serial bypass (graceful degradation, see fault.go) wins over an
+// installed pool.
 func (c *CSB) parallelActive() bool {
-	return c.pool != nil && len(c.chains) >= c.parThreshold
+	return c.pool != nil && !c.bypass && len(c.chains) >= c.parThreshold
 }
 
 // dispatch tracks one fan-out: the join barrier plus the first panic
@@ -170,6 +173,11 @@ func (c *CSB) runParallel(ops []tt.MicroOp, rec *obs.Recorder) int {
 		spans = make([]obs.Span, nw)
 	}
 
+	// Consume any armed chain-panic plan: worker pw dies on this
+	// dispatch, exercising the capture → re-panic supervision path.
+	pw := c.pendingPanicW
+	c.pendingPanicW = -1
+
 	var d dispatch
 	for w := 0; w < nw; w++ {
 		lo, hi := w*n/nw, (w+1)*n/nw
@@ -178,6 +186,10 @@ func (c *CSB) runParallel(ops []tt.MicroOp, rec *obs.Recorder) int {
 		c.pool.tasks <- func() {
 			defer d.wg.Done()
 			defer d.capture()
+			if w == pw {
+				panic(fault.Errorf(fault.ClassChainPanic,
+					"injected panic in fan-out worker %d of %d", w, nw))
+			}
 			var w0 int64
 			if rec != nil {
 				w0 = rec.SinceNS()

@@ -73,6 +73,32 @@ func TestHistogram(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_seconds", "", []float64{0.1, 1, 10}, nil)
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram must report 0")
+	}
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	// Counts per bucket: [1, 2, 1] + one overflow. Interpolation within
+	// the target bucket:
+	//   p10 → rank 0.5 inside [0, 0.1)   → 0.05
+	//   p50 → rank 2.5 inside [0.1, 1)   → 0.775
+	//   p99 → rank 4.95 past the finite buckets → highest finite bound
+	for _, tc := range []struct{ q, want float64 }{
+		{0.1, 0.05},
+		{0.5, 0.775},
+		{0.99, 10},
+	} {
+		got := h.Quantile(tc.q)
+		if diff := got - tc.want; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
 func TestConcurrentObservations(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

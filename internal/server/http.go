@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"cape/internal/cp"
+	"cape/internal/fault"
 	"cape/internal/workloads"
 )
 
@@ -55,7 +56,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 // httpStatusOf maps a Submit error to an HTTP status.
 func httpStatusOf(err error) int {
 	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed),
+		errors.Is(err, ErrBreakerOpen):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, fault.ErrInjected):
+		// An injected fault that survived the retry budget: the job
+		// failed on hardware grounds, not client error.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, cp.ErrCanceled),
 		errors.Is(err, context.DeadlineExceeded),

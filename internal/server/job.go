@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -11,6 +12,7 @@ import (
 
 	"cape/internal/asm"
 	"cape/internal/core"
+	"cape/internal/fault"
 	"cape/internal/isa"
 	"cape/internal/obs"
 	"cape/internal/workloads"
@@ -184,6 +186,7 @@ func Compile(req Request, opts Options) (*Spec, error) {
 	spec.Config.CSBWorkers = opts.CSBWorkers
 	spec.Config.CSBParallelThreshold = opts.CSBParallelThreshold
 	spec.Config.UcodeCacheSize = opts.UcodeCacheSize
+	spec.Config.Faults = opts.Faults
 	spec.Trace = req.Trace || opts.TraceAll
 	spec.TraceSample = req.TraceSample
 	if spec.TraceSample <= 0 {
@@ -255,6 +258,13 @@ func Compile(req Request, opts Options) (*Spec, error) {
 func Exec(ctx context.Context, m *core.Machine, spec *Spec) (resp *Response, err error) {
 	defer func() {
 		if p := recover(); p != nil {
+			// Injected faults panic out of the CSB/VMU with a typed
+			// error; keep the chain intact so the resilience loop can
+			// classify it. Anything else is a program fault.
+			if e, ok := p.(error); ok && errors.Is(e, fault.ErrInjected) {
+				err = fmt.Errorf("server: %w", e)
+				return
+			}
 			err = fmt.Errorf("server: program fault: %v", p)
 		}
 	}()

@@ -1,0 +1,199 @@
+// Resilience machinery for the serving path: per-job retry with
+// exponential backoff and jitter, a per-shard circuit breaker, and
+// graceful degradation to serial CSB execution when fan-out workers
+// are unhealthy. All of it keys on the typed errors of internal/fault
+// — completed jobs stay bit-identical to fault-free runs because
+// injection only ever delays or kills an attempt, never corrupts it.
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cape/internal/fault"
+)
+
+// ErrBreakerOpen is returned (without running the job) while a shard's
+// circuit breaker is open; HTTP maps it to 503 so clients back off.
+var ErrBreakerOpen = errors.New("server: circuit breaker open")
+
+// Breaker states, exported on the caped_breaker_state gauge.
+const (
+	breakerClosed int64 = iota
+	breakerHalfOpen
+	breakerOpen
+)
+
+// breaker is a per-shard circuit breaker over final job outcomes.
+// Threshold consecutive failures open it; after cooldown one probe job
+// is let through (half-open), and its outcome closes or re-opens the
+// circuit. A zero threshold disables the breaker entirely.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu       sync.Mutex
+	state    int64
+	failures int
+	openedAt time.Time
+	probing  bool
+}
+
+// allow reports whether a job may run now.
+func (b *breaker) allow() bool {
+	if b.threshold <= 0 {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open: exactly one probe in flight
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// onResult records a job's final outcome (not individual retry
+// attempts: a job saved by its retries is a success).
+func (b *breaker) onResult(ok bool) {
+	if b.threshold <= 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if ok {
+		b.state = breakerClosed
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.failures = 0
+	}
+}
+
+// stateVal samples the state for the gauge.
+func (b *breaker) stateVal() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// shardHealth tracks one pool shard's breaker and degradation state.
+type shardHealth struct {
+	breaker breaker
+	// degradeAfter consecutive chain-panic faults force the shard's
+	// machines onto the serial CSB path (where fan-out workers cannot
+	// panic); the same count of consecutive successes lifts it.
+	degradeAfter int
+
+	mu        sync.Mutex
+	panics    int
+	successes int
+	degraded  bool
+}
+
+func newShardHealth(opts Options) *shardHealth {
+	return &shardHealth{
+		breaker:      breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
+		degradeAfter: opts.DegradeAfter,
+	}
+}
+
+// noteFault records one injected-fault attempt failure.
+func (h *shardHealth) noteFault(cls fault.Class) {
+	if h.degradeAfter <= 0 || cls != fault.ClassChainPanic {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.successes = 0
+	h.panics++
+	if h.panics >= h.degradeAfter {
+		h.degraded = true
+	}
+}
+
+// noteSuccess records one successful attempt.
+func (h *shardHealth) noteSuccess() {
+	if h.degradeAfter <= 0 {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.panics = 0
+	if !h.degraded {
+		return
+	}
+	h.successes++
+	if h.successes >= h.degradeAfter {
+		h.degraded = false
+		h.successes = 0
+	}
+}
+
+// degradedNow reports whether attempts should run on the serial path.
+func (h *shardHealth) degradedNow() bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.degraded
+}
+
+// degradedVal samples degradation for the gauge.
+func (h *shardHealth) degradedVal() int64 {
+	if h.degradedNow() {
+		return 1
+	}
+	return 0
+}
+
+// backoffDelay computes the sleep before retry attempt+1: exponential
+// from the base, capped at the max, jittered uniformly over 0.5x–1.5x
+// so synchronized retry storms spread out.
+func backoffDelay(opts Options, attempt int) time.Duration {
+	d := opts.RetryBaseDelay
+	for i := 0; i < attempt && d < opts.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > opts.RetryMaxDelay {
+		d = opts.RetryMaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	return time.Duration((0.5 + rand.Float64()) * float64(d))
+}
+
+// sleepCtx sleeps for d or until ctx is done; reports whether the full
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

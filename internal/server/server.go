@@ -24,6 +24,7 @@ import (
 
 	"cape/internal/core"
 	"cape/internal/cp"
+	"cape/internal/fault"
 	"cape/internal/metrics"
 	"cape/internal/workloads"
 )
@@ -72,6 +73,34 @@ type Options struct {
 	// All machines of a shard share one cache, so a program's
 	// microcode compiles once per shard.
 	UcodeCacheSize int
+	// Faults configures deterministic fault injection on pooled
+	// machines (zero value = off). All machines derive their streams
+	// from one parent injector owned by the server, so /metrics sees a
+	// single caped_faults_injected_total counter family.
+	Faults fault.Config
+	// Retries is the per-job retry budget for transient injected
+	// faults (stuck tag, dropped transfer, worker panic): up to
+	// Retries additional attempts with exponential backoff + jitter.
+	// 0 selects the default 3; negative disables retries.
+	Retries int
+	// RetryBaseDelay/RetryMaxDelay bound the backoff between attempts
+	// (defaults 5ms and 250ms).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// BreakerThreshold opens a shard's circuit breaker after this many
+	// consecutive failed jobs; while open, jobs fail fast with
+	// ErrBreakerOpen (HTTP 503) until a cooldown probe succeeds. 0
+	// selects the default 8; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open state's duration before a half-open
+	// probe (default 500ms).
+	BreakerCooldown time.Duration
+	// DegradeAfter is the consecutive chain-panic count that degrades
+	// a shard's machines to the serial CSB path (where fan-out workers
+	// cannot panic); the same count of consecutive successes restores
+	// parallel execution. 0 selects the default 2; negative disables
+	// degradation.
+	DegradeAfter int
 	// Registry receives the service metrics (default: a fresh one).
 	Registry *metrics.Registry
 	// TraceAll profiles every job as if each request set Trace
@@ -111,6 +140,24 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RAMBytes <= 0 {
 		o.RAMBytes = workloads.RAMBytes
+	}
+	if o.Retries == 0 {
+		o.Retries = 3
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 5 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 250 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 8
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = 500 * time.Millisecond
+	}
+	if o.DegradeAfter == 0 {
+		o.DegradeAfter = 2
 	}
 	if o.Registry == nil {
 		o.Registry = metrics.NewRegistry()
@@ -155,6 +202,14 @@ type Server struct {
 	traces *traceStore
 	logMu  sync.Mutex
 
+	// injector is the parent fault-injection stream shared by every
+	// pooled machine (nil = injection off); retries counts attempt
+	// retries after transient injected faults.
+	injector *fault.Injector
+	retries  *metrics.Counter
+	healthMu sync.Mutex
+	healths  map[string]*shardHealth
+
 	closeMu sync.RWMutex
 	closed  bool
 	wg      sync.WaitGroup
@@ -182,7 +237,19 @@ func New(opts Options) *Server {
 			"Host time a job spent executing on the simulator.", metrics.DefLatencyBuckets, nil),
 		totalH: reg.Histogram("caped_total_seconds",
 			"Host time from submit to completion.", metrics.DefLatencyBuckets, nil),
-		traces: newTraceStore(opts.TraceStoreCap),
+		traces:   newTraceStore(opts.TraceStoreCap),
+		injector: fault.New(opts.Faults),
+		healths:  make(map[string]*shardHealth),
+	}
+	s.retries = reg.Counter("caped_retries_total",
+		"Job attempts retried after transient injected faults.", nil)
+	if s.injector != nil {
+		for c := fault.Class(0); c < fault.NumClasses; c++ {
+			reg.CounterFunc("caped_faults_injected_total",
+				"Faults injected by the chaos layer, by class.",
+				metrics.Labels{"class": c.String()},
+				func() uint64 { return s.injector.Count(c) })
+		}
 	}
 	reg.Gauge("caped_csb_workers",
 		"CSB worker goroutines per bit-level machine (0 = serial).", nil).
@@ -348,57 +415,145 @@ func statusOf(err error) string {
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):
 		return "timeout"
+	case errors.Is(err, ErrBreakerOpen):
+		return "breaker_open"
+	case errors.Is(err, fault.ErrInjected):
+		return "fault"
 	default:
 		return "error"
+	}
+}
+
+// health returns (creating on first use) the resilience state of the
+// configuration's pool shard, registering its gauges.
+func (s *Server) health(cfg core.Config) *shardHealth {
+	key := ShardKey(cfg)
+	s.healthMu.Lock()
+	defer s.healthMu.Unlock()
+	h, ok := s.healths[key]
+	if !ok {
+		h = newShardHealth(s.opts)
+		s.healths[key] = h
+		s.reg.GaugeFunc("caped_breaker_state",
+			"Per-shard circuit breaker state (0 closed, 1 half-open, 2 open).",
+			metrics.Labels{"shard": key}, h.breaker.stateVal)
+		s.reg.GaugeFunc("caped_degraded_serial",
+			"Whether the shard's machines are degraded to serial CSB execution.",
+			metrics.Labels{"shard": key}, h.degradedVal)
+	}
+	return h
+}
+
+// FaultCounts snapshots the injected-fault counters per class (all
+// zero when injection is off); the chaos benchmark reads it.
+func (s *Server) FaultCounts() [fault.NumClasses]uint64 {
+	return s.injector.Counts()
+}
+
+// RetryCount returns the number of retried attempts so far.
+func (s *Server) RetryCount() uint64 { return s.retries.Value() }
+
+// attempt runs one execution attempt of j, returning the machine for
+// post-reply pooling on success; on failure the machine is returned to
+// the pool immediately.
+func (s *Server) attempt(j *job, h *shardHealth) (*core.Machine, jobDone) {
+	var d jobDone
+	// Every machine of the shard derives its fault stream from the
+	// server's parent injector (nil = injection off).
+	j.spec.Config.FaultInjector = s.injector
+	m, err := s.pool.Get(j.ctx, j.spec.Config)
+	if err != nil {
+		d.err = fmt.Errorf("server: acquiring machine: %w", err)
+		return nil, d
+	}
+	m.SetDegradedSerial(h.degradedNow())
+	d.resp, d.err = Exec(j.ctx, m, j.spec)
+	if d.err != nil {
+		s.pool.Put(j.spec.Config, m)
+		return nil, d
+	}
+	return m, d
+}
+
+// runJob executes one queued job with the resilience loop: breaker
+// check, then up to 1+Retries attempts with backoff for transient
+// injected faults, with shard health driving degradation.
+func (s *Server) runJob(j *job) {
+	queueNS := time.Since(j.enqueued).Nanoseconds()
+	s.queueH.Observe(float64(queueNS) / 1e9)
+
+	h := s.health(j.spec.Config)
+	retries := s.opts.Retries
+	if retries < 0 {
+		retries = 0
+	}
+	var d jobDone
+	var m *core.Machine
+	switch {
+	case j.ctx.Err() != nil:
+		// The submitter is gone; skip the run entirely.
+		d.err = j.ctx.Err()
+	case !h.breaker.allow():
+		d.err = ErrBreakerOpen
+	default:
+		for attempt := 0; ; attempt++ {
+			m, d = s.attempt(j, h)
+			if d.err == nil {
+				h.noteSuccess()
+				h.breaker.onResult(true)
+				break
+			}
+			if cls, ok := fault.ClassOf(d.err); ok {
+				h.noteFault(cls)
+			}
+			if attempt >= retries || !fault.IsTransient(d.err) || j.ctx.Err() != nil {
+				h.breaker.onResult(false)
+				break
+			}
+			s.retries.Inc()
+			if !sleepCtx(j.ctx, backoffDelay(s.opts, attempt)) {
+				d.err = j.ctx.Err()
+				h.breaker.onResult(false)
+				break
+			}
+		}
+	}
+	totalNS := time.Since(j.enqueued).Nanoseconds()
+	var runNS int64
+	if d.resp != nil {
+		d.resp.JobID = j.id
+		d.resp.QueueNS = queueNS
+		d.resp.TotalNS = totalNS
+		runNS = d.resp.RunNS
+		s.runH.Observe(float64(d.resp.RunNS) / 1e9)
+		if d.resp.TraceJSON != nil {
+			s.traces.put(j.id, d.resp.TraceJSON)
+		}
+		for _, e := range d.resp.Profile {
+			s.reg.Counter("caped_cycles_total",
+				"Simulated cycles attributed by pipeline stage and instruction class (traced jobs).",
+				metrics.Labels{"stage": e.Stage, "class": e.Class}).Add(uint64(e.Cycles))
+		}
+	}
+	s.totalH.Observe(float64(totalNS) / 1e9)
+	s.reg.Counter("caped_jobs_completed_total", "Jobs completed by status and config.",
+		metrics.Labels{"status": statusOf(d.err), "config": j.spec.Config.Name}).Inc()
+	s.inflight.Dec()
+	s.logJob(j.id, j.name, j.spec.Config.Name, j.spec.BackendName,
+		statusOf(d.err), j.enqueued, runNS, d.err)
+	j.done <- d
+	// The machine is reset and returned only after the reply is
+	// delivered: clearing hundreds of megabytes of RAM takes tens
+	// of milliseconds, and the submitter should not wait on the
+	// cleanup of a machine it no longer uses.
+	if m != nil {
+		s.pool.Put(j.spec.Config, m)
 	}
 }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
-		queueNS := time.Since(j.enqueued).Nanoseconds()
-		s.queueH.Observe(float64(queueNS) / 1e9)
-
-		var d jobDone
-		var m *core.Machine
-		if err := j.ctx.Err(); err != nil {
-			// The submitter is gone; skip the run entirely.
-			d.err = err
-		} else if m, d.err = s.pool.Get(j.ctx, j.spec.Config); d.err != nil {
-			d.err = fmt.Errorf("server: acquiring machine: %w", d.err)
-		} else {
-			d.resp, d.err = Exec(j.ctx, m, j.spec)
-		}
-		totalNS := time.Since(j.enqueued).Nanoseconds()
-		var runNS int64
-		if d.resp != nil {
-			d.resp.JobID = j.id
-			d.resp.QueueNS = queueNS
-			d.resp.TotalNS = totalNS
-			runNS = d.resp.RunNS
-			s.runH.Observe(float64(d.resp.RunNS) / 1e9)
-			if d.resp.TraceJSON != nil {
-				s.traces.put(j.id, d.resp.TraceJSON)
-			}
-			for _, e := range d.resp.Profile {
-				s.reg.Counter("caped_cycles_total",
-					"Simulated cycles attributed by pipeline stage and instruction class (traced jobs).",
-					metrics.Labels{"stage": e.Stage, "class": e.Class}).Add(uint64(e.Cycles))
-			}
-		}
-		s.totalH.Observe(float64(totalNS) / 1e9)
-		s.reg.Counter("caped_jobs_completed_total", "Jobs completed by status and config.",
-			metrics.Labels{"status": statusOf(d.err), "config": j.spec.Config.Name}).Inc()
-		s.inflight.Dec()
-		s.logJob(j.id, j.name, j.spec.Config.Name, j.spec.BackendName,
-			statusOf(d.err), j.enqueued, runNS, d.err)
-		j.done <- d
-		// The machine is reset and returned only after the reply is
-		// delivered: clearing hundreds of megabytes of RAM takes tens
-		// of milliseconds, and the submitter should not wait on the
-		// cleanup of a machine it no longer uses.
-		if m != nil {
-			s.pool.Put(j.spec.Config, m)
-		}
+		s.runJob(j)
 	}
 }

@@ -6,6 +6,7 @@
 package vmu
 
 import (
+	"cape/internal/fault"
 	"cape/internal/hbm"
 	"cape/internal/timing"
 )
@@ -18,14 +19,43 @@ type VMU struct {
 	// buffering (paper §V-E).
 	NumChains int
 
+	// inj, when non-nil, injects HBM transfer faults: added device
+	// latency (which shifts the transfer's issue time and accrues in
+	// FaultDelayPS so the machine can attribute it in traces) or a
+	// dropped transfer, which surfaces as a typed fault panic — the
+	// sub-request stream has no recovery path, so the run dies and the
+	// serving layer retries.
+	inj *fault.Injector
+
 	// Stats.
 	SubRequests uint64
 	BytesMoved  uint64
+	// FaultDelayPS accumulates injected HBM latency.
+	FaultDelayPS int64
 }
 
 // New builds a VMU backed by the given HBM model.
 func New(mem *hbm.HBM, numChains int) *VMU {
 	return &VMU{mem: mem, NumChains: numChains}
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault
+// injector for HBM transfer faults.
+func (u *VMU) SetFaultInjector(inj *fault.Injector) { u.inj = inj }
+
+// injectTransferFaults draws the fault outcome for one transfer:
+// panics on a drop, otherwise returns the (possibly shifted) issue
+// time.
+func (u *VMU) injectTransferFaults(startPS int64, addr uint64, bytes int) int64 {
+	if u.inj.HBMDrop() {
+		panic(fault.Errorf(fault.ClassHBMDrop,
+			"dropped transfer: addr %#x bytes %d", addr, bytes))
+	}
+	if d := u.inj.HBMLatePS(); d > 0 {
+		u.FaultDelayPS += d
+		startPS += d
+	}
+	return startPS
 }
 
 // packetBytes returns the sub-request size: the HBM packet, clamped so
@@ -44,6 +74,9 @@ func (u *VMU) packetBytes() int {
 func (u *VMU) UnitStride(startPS int64, addr uint64, bytes int, write bool) (donePS int64) {
 	if bytes <= 0 {
 		return startPS
+	}
+	if u.inj != nil {
+		startPS = u.injectTransferFaults(startPS, addr, bytes)
 	}
 	pkt := u.packetBytes()
 	subreqs := (bytes + pkt - 1) / pkt
@@ -66,6 +99,9 @@ func (u *VMU) UnitStride(startPS int64, addr uint64, bytes int, write bool) (don
 func (u *VMU) Replica(startPS int64, addr uint64, chunkBytes, vlBytes int) (donePS int64) {
 	if chunkBytes <= 0 || vlBytes <= 0 {
 		return startPS
+	}
+	if u.inj != nil {
+		startPS = u.injectTransferFaults(startPS, addr, chunkBytes)
 	}
 	pkt := u.packetBytes()
 	subreqs := (chunkBytes + pkt - 1) / pkt
