@@ -25,6 +25,11 @@ type benchBaseline struct {
 	Tolerance   float64            `json:"tolerance"`
 	CSBParallel map[string]float64 `json:"csbparallel,omitempty"`
 	Ucode       map[string]float64 `json:"ucode,omitempty"`
+	// Query keys are scenario names (e.g. "rel.select") matching
+	// queryBenchEntry; values are modeled-speedup floors vs the OoO
+	// baseline. Both sides are modeled, so the numbers are
+	// deterministic across hosts.
+	Query map[string]float64 `json:"query,omitempty"`
 }
 
 // checkBaseline compares this run's experiment results against the
@@ -105,8 +110,32 @@ func checkBaseline(path string, results map[string]fmt.Stringer) error {
 		}
 	}
 
+	if len(bl.Query) > 0 {
+		r, ok := results["query"].(queryBenchReport)
+		if !ok {
+			return fmt.Errorf("baseline has query floors but the experiment did not run (add -exp query)")
+		}
+		cur := map[string]float64{}
+		for _, e := range r.Entries {
+			cur[e.Scenario] = e.Speedup
+		}
+		keys := make([]string, 0, len(bl.Query))
+		for k := range bl.Query {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			got, ok := cur[k]
+			if !ok {
+				fail("query: baseline key %q was not measured", k)
+				continue
+			}
+			check("query "+k, got, bl.Query[k])
+		}
+	}
+
 	if checked == 0 && len(failures) == 0 {
-		return fmt.Errorf("%s gates nothing (no csbparallel or ucode floors)", path)
+		return fmt.Errorf("%s gates nothing (no csbparallel, ucode or query floors)", path)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d of %d checks failed:\n  %s",

@@ -97,6 +97,9 @@ func experiments() []experiment {
 		{"chaos", "fault injection vs. serving resilience (writes BENCH_chaos.json)", func() (fmt.Stringer, error) {
 			return chaosBench()
 		}},
+		{"query", "content-addressable query engine vs. OoO software kernels (writes BENCH_query.json)", func() (fmt.Stringer, error) {
+			return queryBench()
+		}},
 		{"ablations", "design-choice ablations: vlrw.v, redsum-vs-add, narrow elements, CSB scaling", func() (fmt.Stringer, error) {
 			vlrw, err := report.AblationReplicaLoad()
 			if err != nil {

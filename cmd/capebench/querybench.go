@@ -1,0 +1,279 @@
+// The query experiment measures the content-addressable query engine
+// (internal/query) as a serving workload: for each query family it
+// submits a batch of jobs to an in-process caped server, reports
+// host-side latency quantiles, and compares the modeled CAPE
+// throughput (lookups or rows per modeled second, from the engine's
+// cycle accounting) against the Table III out-of-order core running
+// the equivalent software kernel (hash probe, predicate scan,
+// hash-join probe, linear nearest-neighbor scan) as a trace replay.
+// Results go to stdout as a table and to -query-out as
+// BENCH_query.json so CI can track query throughput.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"cape/internal/metrics"
+	"cape/internal/ooo"
+	"cape/internal/query"
+	"cape/internal/server"
+	"cape/internal/timing"
+	"cape/internal/trace"
+)
+
+var queryOut = flag.String("query-out", "BENCH_query.json", "output path for the query JSON report")
+
+// queryBenchRows/queryBenchProbes size the resident table and the
+// point-probe batch; 1,024 rows fit a 32-chain CSB window.
+const (
+	queryBenchRows   = 1024
+	queryBenchProbes = 256
+	queryBenchJobs   = 16
+	queryBenchSeed   = 0x5EED5EED
+)
+
+// queryScenario is one query family under test.
+type queryScenario struct {
+	name string
+	unit string // work item: "lookup" or "row"
+	req  func(keys, vals, probes []uint32) *query.Request
+	// baseline emits the software kernel's dynamic instruction stream
+	// for the out-of-order comparison core.
+	baseline func(keys, probes []uint32) trace.Stream
+	// ops counts the scenario's work items from a job result.
+	ops func(r *query.Result) uint64
+}
+
+func queryScenarios() []queryScenario {
+	return []queryScenario{
+		{
+			name: "kv.get", unit: "lookup",
+			req: func(keys, vals, probes []uint32) *query.Request {
+				return &query.Request{Kind: query.KindKVGet, Keys: keys, Vals: vals, Probes: probes}
+			},
+			baseline: hashProbeStream(false),
+			ops:      func(r *query.Result) uint64 { return uint64(len(r.Hits)) },
+		},
+		{
+			name: "rel.select", unit: "row",
+			req: func(keys, vals, probes []uint32) *query.Request {
+				return &query.Request{Kind: query.KindRelSelect, Keys: keys, Pred: query.PredLt, Arg: 1 << 14}
+			},
+			baseline: selectScanStream,
+			ops:      func(r *query.Result) uint64 { return uint64(r.Rows) },
+		},
+		{
+			name: "rel.join", unit: "lookup",
+			req: func(keys, vals, probes []uint32) *query.Request {
+				return &query.Request{Kind: query.KindRelJoin, Keys: keys, Probes: probes}
+			},
+			baseline: hashProbeStream(true),
+			ops:      func(r *query.Result) uint64 { return queryBenchProbes },
+		},
+		{
+			name: "near.best", unit: "row",
+			req: func(keys, vals, probes []uint32) *query.Request {
+				return &query.Request{Kind: query.KindNearBest, Keys: keys, Probes: probes[:1]}
+			},
+			baseline: nearestScanStream,
+			ops:      func(r *query.Result) uint64 { return uint64(r.Rows) },
+		},
+	}
+}
+
+// queryTable builds the deterministic resident table and probe batch.
+// Half the probes hit, half miss, so branch behavior is realistic on
+// the baseline core.
+func queryTable() (keys, vals, probes []uint32) {
+	lcg := uint32(queryBenchSeed)
+	next := func() uint32 {
+		lcg = lcg*1664525 + 1013904223
+		return lcg
+	}
+	keys = make([]uint32, queryBenchRows)
+	vals = make([]uint32, queryBenchRows)
+	for i := range keys {
+		keys[i] = next()&0x7FFF | 1 // 15-bit keys, nonzero
+		vals[i] = next()
+	}
+	probes = make([]uint32, queryBenchProbes)
+	for i := range probes {
+		if i%2 == 0 {
+			probes[i] = keys[int(next())%len(keys)]
+		} else {
+			probes[i] = next() | 1<<16 // outside the key domain: a miss
+		}
+	}
+	return keys, vals, probes
+}
+
+// hashProbeStream models a chained hash-table probe per lookup: hash,
+// bucket-head load, key compare and branch, then the value load on a
+// hit. emitStore adds the join-side output append.
+func hashProbeStream(emitStore bool) func(keys, probes []uint32) trace.Stream {
+	return func(keys, probes []uint32) trace.Stream {
+		idx := make(map[uint32]int, len(keys))
+		for i, k := range keys {
+			if _, dup := idx[k]; !dup {
+				idx[k] = i
+			}
+		}
+		const base, out = 0x10000, 0x80000
+		return func(emit func(trace.Op)) {
+			for p, probe := range probes {
+				slot, hit := idx[probe]
+				if !hit {
+					slot = int(probe) % len(keys)
+				}
+				emit(trace.Op{Kind: trace.IntALU})                                    // hash
+				emit(trace.Op{Kind: trace.Load, Addr: uint64(base + 8*slot), Dep: 1}) // bucket head
+				emit(trace.Op{Kind: trace.IntALU, Dep: 1})                            // key compare
+				emit(trace.Op{Kind: trace.Branch, PC: 0x40, Taken: hit, Dep: 1})      // hit?
+				if hit {
+					emit(trace.Op{Kind: trace.Load, Addr: uint64(base + 8*slot + 4), Dep: 2}) // value
+					if emitStore {
+						emit(trace.Op{Kind: trace.Store, Addr: uint64(out + 8*p), Dep: 1})
+					}
+				}
+			}
+		}
+	}
+}
+
+// selectScanStream models the predicate-select scan: a sequential key
+// load, compare and branch per row, plus the index append on a match.
+func selectScanStream(keys, probes []uint32) trace.Stream {
+	const base, out = 0x10000, 0x80000
+	return func(emit func(trace.Op)) {
+		matches := 0
+		for i, k := range keys {
+			hit := int32(k) < 1<<14
+			emit(trace.Op{Kind: trace.Load, Addr: uint64(base + 4*i)})
+			emit(trace.Op{Kind: trace.IntALU, Dep: 1})
+			emit(trace.Op{Kind: trace.Branch, PC: 0x80, Taken: hit, Dep: 1})
+			if hit {
+				emit(trace.Op{Kind: trace.Store, Addr: uint64(out + 4*matches)})
+				matches++
+			}
+		}
+	}
+}
+
+// nearestScanStream models the linear nearest-neighbor scan: per row a
+// key load, XOR, popcount and a running-minimum compare whose
+// loop-carried dependency serializes the scan.
+func nearestScanStream(keys, probes []uint32) trace.Stream {
+	const base = 0x10000
+	return func(emit func(trace.Op)) {
+		for i := range keys {
+			emit(trace.Op{Kind: trace.Load, Addr: uint64(base + 4*i)})
+			emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // xor
+			emit(trace.Op{Kind: trace.IntALU, Dep: 1}) // popcount
+			emit(trace.Op{Kind: trace.IntALU, Dep: 4}) // min update (loop-carried)
+			emit(trace.Op{Kind: trace.Branch, PC: 0xC0, Taken: i%7 == 0, Dep: 1})
+		}
+	}
+}
+
+// queryBenchEntry is one scenario's measurements.
+type queryBenchEntry struct {
+	Scenario string `json:"scenario"`
+	Rows     int    `json:"rows"`
+	Probes   int    `json:"probes,omitempty"`
+	Unit     string `json:"unit"`
+	Ops      uint64 `json:"ops"`
+	// Modeled throughput on CAPE and on the OoO baseline
+	// (work items per modeled second), and their ratio.
+	CapeOpsPerSec float64 `json:"cape_ops_per_sec"`
+	OooOpsPerSec  float64 `json:"ooo_ops_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	// Host-side serving latency through the in-process caped server.
+	Jobs  int     `json:"jobs"`
+	P50MS float64 `json:"p50_ms"`
+	P99MS float64 `json:"p99_ms"`
+}
+
+// queryBenchReport is the BENCH_query.json payload.
+type queryBenchReport struct {
+	Rows    int               `json:"rows"`
+	Probes  int               `json:"probes"`
+	Jobs    int               `json:"jobs_per_scenario"`
+	Entries []queryBenchEntry `json:"entries"`
+}
+
+func (r queryBenchReport) String() string {
+	out := fmt.Sprintf("Query engine vs. OoO software kernels (%d rows, %d probes, %d jobs per scenario)\n",
+		r.Rows, r.Probes, r.Jobs)
+	out += fmt.Sprintf("%-11s %-7s %12s %12s %8s %9s %9s\n",
+		"scenario", "unit", "cape ops/s", "ooo ops/s", "speedup", "p50 ms", "p99 ms")
+	for _, e := range r.Entries {
+		out += fmt.Sprintf("%-11s %-7s %12.3g %12.3g %7.1fx %9.3f %9.3f\n",
+			e.Scenario, e.Unit+"s", e.CapeOpsPerSec, e.OooOpsPerSec, e.Speedup, e.P50MS, e.P99MS)
+	}
+	return out
+}
+
+// queryBench runs the experiment and writes the JSON report.
+func queryBench() (fmt.Stringer, error) {
+	keys, vals, probes := queryTable()
+	s := server.New(server.Options{
+		Workers:           2,
+		MachinesPerConfig: 2,
+		RAMBytes:          1 << 20,
+		Registry:          metrics.NewRegistry(),
+	})
+	defer s.Close()
+
+	report := queryBenchReport{Rows: queryBenchRows, Probes: queryBenchProbes, Jobs: queryBenchJobs}
+	for _, sc := range queryScenarios() {
+		req := server.Request{Chains: queryBenchRows / 32, Query: sc.req(keys, vals, probes)}
+		lat := metrics.NewRegistry().Histogram("query_latency_seconds", "",
+			chaosLatencyBuckets, nil)
+		var last *server.Response
+		for i := 0; i < queryBenchJobs; i++ {
+			start := time.Now()
+			resp, err := s.Submit(context.Background(), req)
+			lat.Observe(time.Since(start).Seconds())
+			if err != nil {
+				return nil, fmt.Errorf("query: %s: %w", sc.name, err)
+			}
+			last = resp
+		}
+
+		ops := sc.ops(last.Query)
+		if ops == 0 || last.SimSeconds <= 0 {
+			return nil, fmt.Errorf("query: %s: empty measurement (ops=%d, sim=%g)",
+				sc.name, ops, last.SimSeconds)
+		}
+		st := ooo.New(ooo.Baseline()).Run(sc.baseline(keys, probes))
+		oooSec := st.Seconds(timing.BaselineFreqGHz)
+		e := queryBenchEntry{
+			Scenario:      sc.name,
+			Rows:          queryBenchRows,
+			Probes:        len(sc.req(keys, vals, probes).Probes),
+			Unit:          sc.unit,
+			Ops:           ops,
+			CapeOpsPerSec: float64(ops) / last.SimSeconds,
+			OooOpsPerSec:  float64(ops) / oooSec,
+			Speedup:       oooSec / last.SimSeconds,
+			Jobs:          queryBenchJobs,
+			P50MS:         1000 * lat.Quantile(0.50),
+			P99MS:         1000 * lat.Quantile(0.99),
+		}
+		report.Entries = append(report.Entries, e)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(*queryOut, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("query: writing %s: %w", *queryOut, err)
+	}
+	return report, nil
+}

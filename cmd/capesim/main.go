@@ -8,11 +8,16 @@
 //
 //	capesim [flags] program.s
 //	capesim [flags] -workload name
+//	capesim [flags] -query request.json
 //
 //	-config CAPE32k|CAPE131k   machine configuration (default CAPE32k)
 //	-chains N                  override the chain count
 //	-backend fast|bitlevel     functional CSB model (default fast)
 //	-workload name             run a built-in kernel instead of a file
+//	-query FILE|JSON           run a declarative query job (kv.get,
+//	                           kv.select, kv.range, rel.select, rel.join,
+//	                           near.best, near.within); the argument is a
+//	                           JSON query request, inline or a file path
 //	-x N=V                     preset scalar register xN to V (repeatable)
 //	-timeout D                 wall-time limit for the run (default 60s)
 //	-max-insts N               instruction budget (default 2e9)
@@ -33,6 +38,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -44,6 +50,7 @@ import (
 	"cape"
 	"cape/internal/core"
 	"cape/internal/fault"
+	"cape/internal/query"
 	"cape/internal/server"
 )
 
@@ -81,6 +88,7 @@ func run() error {
 		chains      = flag.Int("chains", 0, "override the CSB chain count")
 		backend     = flag.String("backend", "fast", "functional CSB model: fast or bitlevel")
 		workload    = flag.String("workload", "", "run a built-in kernel instead of a program file")
+		queryArg    = flag.String("query", "", "run a declarative query job: inline JSON or a request-file path")
 		timeout     = flag.Duration("timeout", 0, "wall-time limit for the run (0 = 60s)")
 		maxInsts    = flag.Int64("max-insts", 0, "instruction budget (0 = 2e9)")
 		dump        = flag.String("dump", "", "memory range to print after the run: addr,words")
@@ -120,15 +128,21 @@ func run() error {
 		}()
 	}
 	switch {
-	case *workload == "" && flag.NArg() == 1:
+	case *queryArg != "" && *workload == "" && flag.NArg() == 0:
+		q, err := parseQueryArg(*queryArg)
+		if err != nil {
+			return err
+		}
+		req.Query = q
+	case *queryArg == "" && *workload == "" && flag.NArg() == 1:
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			return err
 		}
 		req.Source, req.Name = string(src), flag.Arg(0)
-	case *workload != "" && flag.NArg() == 0:
+	case *queryArg == "" && *workload != "" && flag.NArg() == 0:
 	default:
-		return fmt.Errorf("usage: capesim [flags] program.s | capesim [flags] -workload name (known: %s)",
+		return fmt.Errorf("usage: capesim [flags] program.s | capesim [flags] -workload name | capesim [flags] -query request.json (known workloads: %s)",
 			strings.Join(server.WorkloadNames(), " "))
 	}
 	if *dump != "" {
@@ -171,6 +185,11 @@ func run() error {
 		return err
 	}
 	res := resp.Result
+
+	if resp.Query != nil {
+		printQuery(resp, *traceFile)
+		return nil
+	}
 
 	fmt.Printf("program         %s\n", resp.Program)
 	fmt.Printf("config          %s (%d chains, MAXVL=%d, backend=%s)\n",
@@ -217,4 +236,60 @@ func run() error {
 		fmt.Println()
 	}
 	return nil
+}
+
+// parseQueryArg accepts inline JSON (leading '{') or a file path.
+func parseQueryArg(arg string) (*query.Request, error) {
+	data := []byte(arg)
+	if !strings.HasPrefix(strings.TrimSpace(arg), "{") {
+		b, err := os.ReadFile(arg)
+		if err != nil {
+			return nil, fmt.Errorf("-query: %w", err)
+		}
+		data = b
+	}
+	var q query.Request
+	if err := json.Unmarshal(data, &q); err != nil {
+		return nil, fmt.Errorf("-query: %w", err)
+	}
+	return &q, nil
+}
+
+func printQuery(resp *server.Response, traceFile string) {
+	q := resp.Query
+	fmt.Printf("query           %s\n", resp.Program)
+	fmt.Printf("config          %s (%d chains, backend=%s)\n", resp.Config, resp.Chains, resp.Backend)
+	fmt.Printf("rows resident   %d\n", q.Rows)
+	fmt.Printf("lookups         %d\n", q.Stats.Lookups)
+	fmt.Printf("rows scanned    %d\n", q.Stats.RowsScanned)
+	fmt.Printf("searches        %d (%d CSB cycles; %d reduce cycles)\n",
+		q.Stats.Searches, q.Stats.SearchCycles, q.Stats.ReduceCycles)
+	fmt.Printf("sim_seconds     %.9f\n", resp.SimSeconds)
+	fmt.Printf("run_ns          %d\n", resp.RunNS)
+	for _, h := range q.Hits {
+		if h.Found {
+			fmt.Printf("hit             row %d val %#x\n", h.Index, h.Val)
+		} else {
+			fmt.Printf("miss\n")
+		}
+	}
+	if len(q.Indices) > 0 {
+		fmt.Printf("selected rows   %v\n", q.Indices)
+	}
+	for _, m := range q.Matches {
+		fmt.Printf("match           row %d key %#x val %#x dist %d\n", m.Index, m.Key, m.Val, m.Distance)
+	}
+	for _, p := range q.Pairs {
+		fmt.Printf("join pair       probe %d -> build row %d\n", p.Probe, p.Build)
+	}
+	if resp.ProfileTable != "" {
+		fmt.Printf("\n%s", resp.ProfileTable)
+	}
+	if traceFile != "" && len(resp.TraceJSON) > 0 {
+		if err := os.WriteFile(traceFile, resp.TraceJSON, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "capesim: write trace:", err)
+			return
+		}
+		fmt.Printf("\ntrace           %s (%d bytes)\n", traceFile, len(resp.TraceJSON))
+	}
 }

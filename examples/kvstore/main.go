@@ -1,7 +1,15 @@
-// Kvstore: the memory-only modes of paper §VII. The same CSB that
-// executes vector microcode is reconfigured as (a) a content-addressed
-// key-value store — lookups reuse the compute mode's parallel search
-// circuitry — and (b) a flat scratchpad with Jeloka-style row access.
+// Kvstore: the content-addressable query engine. The same CSB that
+// executes vector microcode serves declarative queries — every
+// operation below compiles to masked-search microop sequences
+// (vmsearch.vx, vhamm.vx) that probe all resident rows at once:
+//
+//   - a CAM-backed key-value store (point lookups, upserts, ternary
+//     select, range scans);
+//   - relational kernels (predicate select, hash-join probe);
+//   - multi-bit nearest-match search (Hamming distance).
+//
+// The bit-level backend runs the real microcode; swap in the fast
+// backend and every result stays bit-identical.
 //
 // Run with: go run ./examples/kvstore
 package main
@@ -16,73 +24,79 @@ import (
 
 func main() {
 	cfg := cape.CAPE32k()
-	cfg.Chains = 64 // a small tile slice
+	cfg.Chains = 8 // a small tile slice: 256 resident rows
 	cfg.Backend = cape.BackendBitLevel
 	m := cape.NewMachine(cfg)
 
-	kv, err := m.KVStore()
+	eng, err := m.Query(16) // 16-bit keys and values
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("key-value mode: %d chains store up to %d pairs (512 per chain)\n",
-		cfg.Chains, kv.Capacity())
+	fmt.Printf("query engine: %d chains hold up to %d rows of %d-bit pairs\n",
+		cfg.Chains, eng.Capacity(), eng.SEW())
 
+	// --- CAM-backed KV store -------------------------------------------
 	rng := rand.New(rand.NewSource(9))
 	ref := map[uint32]uint32{}
-	for len(ref) < 10000 {
-		k, v := rng.Uint32(), rng.Uint32()
-		if kv.Put(k, v) {
-			ref[k] = v
-		}
+	for len(ref) < 200 {
+		ref[uint32(rng.Intn(1<<16))] = uint32(rng.Intn(1 << 16))
 	}
-	checked := 0
+	keys := make([]uint32, 0, len(ref))
+	vals := make([]uint32, 0, len(ref))
+	for k, v := range ref {
+		keys = append(keys, k)
+		vals = append(vals, v)
+	}
+	if err := eng.Load(keys, vals); err != nil {
+		log.Fatal(err)
+	}
 	for k, want := range ref {
-		got, ok := kv.Get(k)
-		if !ok || got != want {
-			log.Fatalf("key %#x: got (%#x,%v) want %#x", k, got, ok, want)
-		}
-		if checked++; checked == 1000 {
-			break
+		got := eng.Get(k)
+		if !got.Found || got.Val != want {
+			log.Fatalf("key %#x: got %+v want %#x", k, got, want)
 		}
 	}
-	if _, ok := kv.Get(0xDEADBEEF); ok {
-		log.Fatal("phantom key")
+	if _, replaced, err := eng.Put(keys[0], 0xBEEF); err != nil || !replaced {
+		log.Fatalf("upsert: %v (replaced=%v)", err, replaced)
 	}
-	fmt.Printf("  stored %d pairs, verified %d content-searched lookups\n", kv.Len(), checked)
-	fmt.Printf("  search cycles spent: %d (1 + 32 per probed pair row)\n", kv.SearchCycles)
+	fmt.Printf("  stored %d pairs, verified %d content-searched lookups, 1 upsert\n",
+		eng.Len(), len(ref))
 
-	// The same chains, reinterpreted as a scratchpad.
-	m2 := cape.NewMachine(cfg)
-	sp, err := m2.Scratchpad()
+	// Ternary select: care bits make every key pattern a wildcard
+	// match. Select all keys whose top nibble is 0xA.
+	hits := eng.Search(0xA000, 0xF000)
+	fmt.Printf("  ternary select key=0xAxxx: %d rows\n", len(hits))
+
+	// --- Relational kernels --------------------------------------------
+	sel, err := eng.Select(cape.PredLt, 1<<12, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nscratchpad mode: %d kB of row-addressable storage\n", sp.Bytes()/1024)
-	for i := 0; i < 1024; i++ {
-		sp.Write32(i, uint32(i*i))
-	}
-	for i := 0; i < 1024; i++ {
-		if sp.Read32(i) != uint32(i*i) {
-			log.Fatalf("scratchpad word %d corrupted", i)
-		}
-	}
-	fmt.Printf("  1024 words written and read back (reads 1 cycle, writes 2: %d cycles total)\n",
-		sp.Cycles)
-
-	// And as a victim cache.
-	m3 := cape.NewMachine(cfg)
-	vc, err := m3.VictimCache()
+	rows, err := eng.Range(0x2000, 0x4000)
 	if err != nil {
 		log.Fatal(err)
 	}
-	line := make([]uint32, 32)
-	for i := range line {
-		line[i] = uint32(i)
+	fmt.Printf("  predicate select key<4096: %d rows; range [0x2000,0x4000]: %d rows\n",
+		len(sel), len(rows))
+
+	probes := []uint32{keys[3], keys[7], 0xFFFF}
+	pairs, err := eng.Join(probes)
+	if err != nil {
+		log.Fatal(err)
 	}
-	vc.Insert(0x4000, line)
-	if _, ok := vc.Lookup(0x4000); !ok {
-		log.Fatal("victim line lost")
+	fmt.Printf("  hash-join probe of %d keys: %d matched pairs\n", len(probes), len(pairs))
+
+	// --- Nearest-match search ------------------------------------------
+	probe := keys[11] ^ 0x0003 // two bit flips away from a resident key
+	best, ok := eng.Nearest(probe)
+	if !ok || best.Distance > 2 {
+		log.Fatalf("nearest(%#x): %+v, %v", probe, best, ok)
 	}
-	fmt.Printf("\nvictim-cache mode: %d lines of %d bytes, hit/miss = %d/%d\n",
-		vc.Lines(), 32*4, vc.Hits, vc.Misses)
+	near := eng.Within(probe, 4)
+	fmt.Printf("  nearest to %#x: key %#x at Hamming distance %d (%d rows within 4)\n",
+		probe, best.Key, best.Distance, len(near))
+
+	st := eng.Stats()
+	fmt.Printf("\n%d searches over %d scanned rows: %d CSB cycles (%.2f µs at 2.7 GHz)\n",
+		st.Searches, st.RowsScanned, st.Cycles(), float64(st.Cycles())/2700)
 }

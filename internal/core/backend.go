@@ -87,8 +87,11 @@ func (b *FastBackend) Exec(inst isa.Inst, x uint64) (int64, bool) {
 		isa.OpVMSNE_VV, isa.OpVMAX_VV, isa.OpVMIN_VV:
 		isa.GoldenVV(inst.Op, b.reg[vd], b.reg[vs2], b.reg[vs1], w)
 	case isa.OpVADD_VX, isa.OpVSUB_VX, isa.OpVMSEQ_VX, isa.OpVMSLT_VX,
-		isa.OpVMSNE_VX, isa.OpVRSUB_VX:
+		isa.OpVMSNE_VX, isa.OpVRSUB_VX, isa.OpVHAMM_VX:
 		isa.GoldenVX(inst.Op, b.reg[vd], b.reg[vs2], uint32(x), w)
+	case isa.OpVMSEARCH_VX:
+		// x carries the packed (value, care) pair: no 32-bit truncation.
+		isa.GoldenMaskedSearch(b.reg[vd], b.reg[vs2], x, w)
 	case isa.OpVMV_VV:
 		isa.GoldenCopy(b.reg[vd], b.reg[vs2], w)
 	case isa.OpVSLL_VI, isa.OpVSRL_VI:

@@ -51,6 +51,7 @@ var fuzzOps = []isa.Opcode{
 	isa.OpVMV_VV, isa.OpVSLL_VI, isa.OpVSRL_VI, isa.OpVMERGE_VVM,
 	isa.OpVMV_VX, isa.OpVREDSUM_VS, isa.OpVMV_XS, isa.OpVCPOP_M,
 	isa.OpVFIRST_M,
+	isa.OpVMSEARCH_VX, isa.OpVHAMM_VX,
 }
 
 const (
@@ -126,7 +127,15 @@ func decodeFuzzCase(data []byte) (sew int, lcg uint32, recs []fuzzRecord) {
 		case isa.OpVSLL_VI, isa.OpVSRL_VI:
 			r.x %= 32
 		case isa.OpVADD_VX, isa.OpVSUB_VX, isa.OpVMSEQ_VX, isa.OpVMSLT_VX,
-			isa.OpVMSNE_VX, isa.OpVRSUB_VX, isa.OpVMV_VX:
+			isa.OpVMSNE_VX, isa.OpVRSUB_VX, isa.OpVMV_VX, isa.OpVHAMM_VX:
+			r.hasScalarX = true
+		case isa.OpVMSEARCH_VX:
+			// Replicate the two operand bytes across the element width so
+			// the packed (value, care) pair is non-trivial at every SEW.
+			value := uint64(data[i-2]) * 0x01010101
+			care := uint64(data[i-1]) * 0x01010101
+			keep := uint64(1)<<uint(sew) - 1
+			r.x = value&keep | (care&keep)<<uint(sew)
 			r.hasScalarX = true
 		}
 		recs = append(recs, r)
@@ -347,6 +356,23 @@ func fuzzSeedCorpus() [][]byte {
 		inst(isa.OpVXOR_VV, 2, 2, 2, 0).
 		inst(isa.OpVMSEQ_VV, 0, 0, 0, 0).
 		inst(isa.OpVMV_VV, 2, 2, 0, 0))
+
+	// query-engine shapes: ternary CAM search feeding count/locate, and
+	// Hamming distance (including in-place) feeding a threshold select.
+	add(newCorpus(2, 0x6B6B).
+		inst(isa.OpVMSEARCH_VX, 0, 1, 0, 0x37FF). // value 0x37…, care 0xFF…
+		inst(isa.OpVCPOP_M, 0, 0, 0, 0).
+		inst(isa.OpVFIRST_M, 0, 0, 0, 0).
+		inst(isa.OpVHAMM_VX, 3, 1, 0, 0xBEEF).
+		inst(isa.OpVHAMM_VX, 2, 2, 0, 0x1234). // in-place distance
+		inst(isa.OpVMSLT_VX, 0, 3, 0, 5).
+		inst(isa.OpVCPOP_M, 0, 0, 0, 0))
+	add(newCorpus(0, 0x2E2E). // 8-bit keys: full (value, care) coverage
+					inst(isa.OpVMSEARCH_VX, 0, 1, 0, 0x0FAA).
+					inst(isa.OpVFIRST_M, 0, 0, 0, 0).
+					window(16, 96).
+					inst(isa.OpVMSEARCH_VX, 0, 1, 0, 0x0000). // all-don't-care key
+					inst(isa.OpVCPOP_M, 0, 0, 0, 0))
 
 	// empty and degenerate windows.
 	add(newCorpus(2, 0x9999).

@@ -357,6 +357,11 @@ func (m *Machine) Issue(inst isa.Inst, x1, x2 int64, now int64) (int64, int64, b
 
 func (m *Machine) issueALU(inst isa.Inst, x1 int64, now int64) (int64, int64, bool) {
 	x := uint64(uint32(x1))
+	if inst.Op == isa.OpVMSEARCH_VX {
+		// The scalar packs (value, care<<SEW): keep all 64 bits so the
+		// care mask survives at SEW 32.
+		x = uint64(x1)
+	}
 	if inst.Op.Info().Format == isa.FmtVVI {
 		// Immediate-shift forms carry their operand in the
 		// instruction, not a register.

@@ -1,0 +1,89 @@
+package csb
+
+import (
+	"math/rand"
+	"testing"
+
+	"cape/internal/isa"
+	"cape/internal/tt"
+)
+
+// TestMaskedSearchMatchesGolden validates vmsearch.vx — the native
+// ternary CAM match of the query subsystem — against the golden
+// semantics, including the all-don't-care key and partial windows.
+func TestMaskedSearchMatchesGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	f := newFixture(t, 2, rng)
+	maxVL := f.c.MaxVL()
+	for trial := 0; trial < 24; trial++ {
+		vd := 1 + rng.Intn(isa.NumVRegs-1)
+		vs2 := 1 + rng.Intn(isa.NumVRegs-1)
+		value := uint64(rng.Uint32())
+		var care uint64
+		switch trial % 4 {
+		case 0:
+			care = uint64(rng.Uint32()) // random ternary key
+		case 1:
+			care = 0 // all-don't-care: matches everything
+		case 2:
+			care = 0xFFFFFFFF // exact match
+		case 3:
+			// A realistic key: match one stored element exactly so at
+			// least one hit exists.
+			value = uint64(f.reg[vs2][rng.Intn(maxVL)])
+			care = 0xFFFFFFFF
+		}
+		x := value&0xFFFFFFFF | care<<32
+		w := isa.Window{Start: 0, VL: maxVL}
+		if trial%5 == 4 {
+			w = isa.Window{Start: rng.Intn(maxVL / 2), VL: maxVL/2 + rng.Intn(maxVL/2)}
+		}
+		ops, err := tt.Generate(isa.OpVMSEARCH_VX, vd, vs2, 0, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.c.SetWindow(w.Start, w.VL)
+		f.c.Run(ops)
+		isa.GoldenMaskedSearch(f.reg[vd], f.reg[vs2], x, w)
+		for e := 0; e < maxVL; e++ {
+			if got := f.c.ReadElement(vd, e); got != f.reg[vd][e] {
+				t.Fatalf("vmsearch v%d,v%d x=%#x elem %d: CSB %#x golden %#x",
+					vd, vs2, x, e, got, f.reg[vd][e])
+			}
+		}
+	}
+}
+
+// TestHammingMatchesGolden validates vhamm.vx — the per-element
+// mismatch count of nearest-match search — including the in-place
+// (vd == vs2) form the similarity kernels use.
+func TestHammingMatchesGolden(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 12; trial++ {
+		f := newFixture(t, 2, rng)
+		maxVL := f.c.MaxVL()
+		vd := 1 + rng.Intn(isa.NumVRegs-1)
+		vs2 := 1 + rng.Intn(isa.NumVRegs-1)
+		if trial%3 == 2 {
+			vd = vs2 // in-place distance, as the query engine issues it
+		}
+		x := uint64(rng.Uint32())
+		w := isa.Window{Start: 0, VL: maxVL}
+		if trial%4 == 3 {
+			w = isa.Window{Start: rng.Intn(maxVL / 2), VL: maxVL/2 + rng.Intn(maxVL/2)}
+		}
+		ops, err := tt.Generate(isa.OpVHAMM_VX, vd, vs2, 0, x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.c.SetWindow(w.Start, w.VL)
+		f.c.Run(ops)
+		isa.GoldenVX(isa.OpVHAMM_VX, f.reg[vd], f.reg[vs2], uint32(x), w)
+		for e := 0; e < maxVL; e++ {
+			if got := f.c.ReadElement(vd, e); got != f.reg[vd][e] {
+				t.Fatalf("vhamm v%d,v%d x=%#x elem %d: CSB %#x golden %#x",
+					vd, vs2, x, e, got, f.reg[vd][e])
+			}
+		}
+	}
+}

@@ -1,5 +1,7 @@
 package isa
 
+import "math/bits"
+
 // Golden reference semantics for the vector subset, operating on plain
 // Go slices. These definitions serve three purposes: they are the
 // specification the bit-level CSB microcode is differentially tested
@@ -120,8 +122,28 @@ func goldenElem(op Opcode, a, b uint32, w Window) uint32 {
 		return b
 	case OpVRSUB_VX:
 		return (b - a) & mask
+	case OpVHAMM_VX:
+		return uint32(bits.OnesCount32((a ^ b) & mask))
 	}
 	panic("isa: opcode " + op.String() + " has no element-wise golden semantics")
+}
+
+// GoldenMaskedSearch implements vmsearch.vx, the subarrays' native
+// ternary match: vd[i] = 1 when vs2[i] agrees with the comparand on
+// every cared bit. x packs the comparand in its low SEW bits and the
+// care mask in the next SEW bits (an empty care mask matches every
+// element, like an all-don't-care CAM key).
+func GoldenMaskedSearch(vd, vs2 []uint32, x uint64, w Window) {
+	b := uint(w.Bits())
+	value := uint32(x) & w.Mask()
+	care := uint32(x>>b) & w.Mask()
+	w.Lanes(func(i int) {
+		if (vs2[i]^value)&care == 0 {
+			vd[i] = 1
+		} else {
+			vd[i] = 0
+		}
+	})
 }
 
 // GoldenCopy implements vmv.v.v.

@@ -112,6 +112,13 @@ const (
 	OpVSLL_VI // vsll.vi vd, vs2, k : shift left by immediate
 	OpVSRL_VI // vsrl.vi vd, vs2, k : logical shift right by immediate
 
+	// Content-addressable query subset (internal/query): the masked
+	// ternary search the BCAM subarrays perform natively, and the
+	// multi-bit mismatch count of the analog-CAM similarity-search
+	// literature.
+	OpVMSEARCH_VX // vmsearch.vx vd, vs2, rs1 : mask = ((vs2[i]^value)&care)==0; rs1 packs value | care<<SEW
+	OpVHAMM_VX    // vhamm.vx vd, vs2, rs1 : vd[i] = popcount((vs2[i]^x) & elemmask)
+
 	opLast
 )
 
@@ -241,6 +248,9 @@ var infos = [opLast]Info{
 	OpVMV_VV:   {"vmv.v.v", ClassVectorALU, FmtVVCopy},
 	OpVSLL_VI:  {"vsll.vi", ClassVectorALU, FmtVVI},
 	OpVSRL_VI:  {"vsrl.vi", ClassVectorALU, FmtVVI},
+
+	OpVMSEARCH_VX: {"vmsearch.vx", ClassVectorALU, FmtVVX},
+	OpVHAMM_VX:    {"vhamm.vx", ClassVectorALU, FmtVVX},
 }
 
 // Lookup returns metadata for op.

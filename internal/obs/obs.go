@@ -83,8 +83,15 @@ const (
 	ClassVectorRed
 	ClassSystem
 
+	// ClassQuerySearch and ClassQueryReduce extend the profile beyond
+	// the isa.Class mirror for the query engine (internal/query): the
+	// engine re-attributes its vector work so traces separate
+	// associative search time from reduction/drain time.
+	ClassQuerySearch
+	ClassQueryReduce
+
 	// NumClasses is the number of distinct classes.
-	NumClasses = 8
+	NumClasses = 10
 )
 
 func (c Class) String() string {
@@ -105,6 +112,10 @@ func (c Class) String() string {
 		return "vector-red"
 	case ClassSystem:
 		return "system"
+	case ClassQuerySearch:
+		return "query-search"
+	case ClassQueryReduce:
+		return "query-reduce"
 	}
 	return "class?"
 }
@@ -117,7 +128,7 @@ func FromISA(c isa.Class) Class { return Class(c) }
 // CSB, memory transfers on the VMU, everything else on the CP.
 func StageOfClass(c Class) Stage {
 	switch c {
-	case ClassVectorALU, ClassVectorRed:
+	case ClassVectorALU, ClassVectorRed, ClassQuerySearch, ClassQueryReduce:
 		return StageCSB
 	case ClassVectorMem:
 		return StageVMU

@@ -80,8 +80,13 @@ func TestClassMirrorsISA(t *testing.T) {
 			t.Fatalf("FromISA(%d) = %v, want %v", p.isa, FromISA(p.isa), p.obs)
 		}
 	}
-	if len(pairs) != NumClasses {
-		t.Fatalf("class mapping table covers %d of %d classes", len(pairs), NumClasses)
+	// The query classes extend the profile beyond the isa mirror; only
+	// the isa-backed prefix must cast cleanly.
+	if len(pairs) != int(ClassQuerySearch) {
+		t.Fatalf("class mapping table covers %d of %d isa-backed classes", len(pairs), ClassQuerySearch)
+	}
+	if NumClasses != int(ClassQueryReduce)+1 {
+		t.Fatalf("NumClasses %d does not cover the query classes", NumClasses)
 	}
 }
 

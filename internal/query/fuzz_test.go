@@ -1,0 +1,174 @@
+package query
+
+import (
+	"reflect"
+	"testing"
+
+	"cape/internal/core"
+	"cape/internal/ucode"
+)
+
+// FuzzQueryBitVsFast is the query-engine differential fuzzer: every
+// input decodes to a random resident table plus a stream of query
+// operations across all three workload families (KV point/select/
+// range, relational select + join probes, nearest-match), which runs
+// on a bit-level engine (real masked-search microcode through the
+// template cache) and the fast-backend reference at once. Every
+// result, the final resident columns and the work statistics must
+// match exactly.
+//
+// The byte encoding:
+//
+//	data[0]    SEW selector (8, 16 or 32 bits)
+//	data[1]    table size (1 + b%96 rows)
+//	data[2:6]  LCG seed for keys and values
+//	then records of one op byte (selector % 8) + 4 operand bytes:
+//	  0 Get  1 Search  2 Select-lt  3 Range  4 Join(2 probes)
+//	  5 Nearest  6 Within  7 Put
+func FuzzQueryBitVsFast(f *testing.F) {
+	for _, seed := range queryFuzzSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		runQueryDifferential(t, data)
+	})
+}
+
+const queryFuzzMaxOps = 32
+
+func runQueryDifferential(t *testing.T, data []byte) {
+	t.Helper()
+	if len(data) < 6 {
+		return
+	}
+	sew := []int{8, 16, 32}[int(data[0])%3]
+	n := 1 + int(data[1])%96
+	lcg := uint32(data[2]) | uint32(data[3])<<8 | uint32(data[4])<<16 | uint32(data[5])<<24
+	mask := uint32(1)<<uint(sew) - 1
+	if sew == 32 {
+		mask = ^uint32(0)
+	}
+	keys := make([]uint32, n)
+	vals := make([]uint32, n)
+	for i := range keys {
+		lcg = lcg*1664525 + 1013904223
+		keys[i] = lcg & mask
+		lcg = lcg*1664525 + 1013904223
+		vals[i] = lcg & mask
+	}
+
+	fast, err := New(Config{Backend: core.NewFastBackend(128), SEW: sew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bit, err := New(Config{Backend: core.NewBitBackend(4), SEW: sew, Cache: ucode.NewCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pair := []*Engine{fast, bit}
+	for _, e := range pair {
+		if err := e.Load(keys, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	i := 6
+	for op := 0; i+5 <= len(data) && op < queryFuzzMaxOps; op++ {
+		sel := int(data[i]) % 8
+		a := (uint32(data[i+1]) | uint32(data[i+2])<<8 | uint32(data[i+2])<<16 | uint32(data[i+1])<<24) & mask
+		b := (uint32(data[i+3]) | uint32(data[i+4])<<8 | uint32(data[i+4])<<16 | uint32(data[i+3])<<24) & mask
+		i += 5
+		switch sel {
+		case 0:
+			fr := fast.Get(a)
+			br := bit.Get(a)
+			if fr != br {
+				t.Fatalf("op %d get(%#x): fast %+v bit %+v", op, a, fr, br)
+			}
+		case 1:
+			fr := fast.Search(a, b)
+			br := bit.Search(a, b)
+			if !reflect.DeepEqual(fr, br) {
+				t.Fatalf("op %d search(%#x,%#x): fast %v bit %v", op, a, b, fr, br)
+			}
+		case 2:
+			fr, e1 := fast.Select(PredLt, a, 0)
+			br, e2 := bit.Select(PredLt, a, 0)
+			if (e1 == nil) != (e2 == nil) || !reflect.DeepEqual(fr, br) {
+				t.Fatalf("op %d lt(%#x): fast %v,%v bit %v,%v", op, a, fr, e1, br, e2)
+			}
+		case 3:
+			lo, hi := a, b
+			if sgt(lo, hi, sew) {
+				lo, hi = hi, lo
+			}
+			fr, e1 := fast.Range(lo, hi)
+			br, e2 := bit.Range(lo, hi)
+			if (e1 == nil) != (e2 == nil) || !reflect.DeepEqual(fr, br) {
+				t.Fatalf("op %d range(%#x,%#x): fast %v,%v bit %v,%v", op, lo, hi, fr, e1, br, e2)
+			}
+		case 4:
+			probes := []uint32{a, b}
+			fr, e1 := fast.Join(probes)
+			br, e2 := bit.Join(probes)
+			if (e1 == nil) != (e2 == nil) || !reflect.DeepEqual(fr, br) {
+				t.Fatalf("op %d join(%v): fast %v,%v bit %v,%v", op, probes, fr, e1, br, e2)
+			}
+		case 5:
+			fr, ok1 := fast.Nearest(a)
+			br, ok2 := bit.Nearest(a)
+			if ok1 != ok2 || fr != br {
+				t.Fatalf("op %d nearest(%#x): fast %+v,%v bit %+v,%v", op, a, fr, ok1, br, ok2)
+			}
+		case 6:
+			radius := int(b) % (sew + 2)
+			fr := fast.Within(a, radius)
+			br := bit.Within(a, radius)
+			if !reflect.DeepEqual(fr, br) {
+				t.Fatalf("op %d within(%#x,%d): fast %v bit %v", op, a, radius, fr, br)
+			}
+		case 7:
+			fi, frep, e1 := fast.Put(a, b)
+			bi, brep, e2 := bit.Put(a, b)
+			if fi != bi || frep != brep || (e1 == nil) != (e2 == nil) {
+				t.Fatalf("op %d put(%#x,%#x): fast %d,%v,%v bit %d,%v,%v",
+					op, a, b, fi, frep, e1, bi, brep, e2)
+			}
+		}
+	}
+
+	// The resident columns and work counters must agree exactly.
+	if fast.Len() != bit.Len() {
+		t.Fatalf("row count diverged: fast %d bit %d", fast.Len(), bit.Len())
+	}
+	for r := 0; r < fast.Len(); r++ {
+		for _, v := range []int{regKeys, regVals} {
+			if fv, bv := fast.be.ReadElem(v, r), bit.be.ReadElem(v, r); fv != bv {
+				t.Fatalf("resident v%d[%d]: fast %#x bit %#x", v, r, fv, bv)
+			}
+		}
+	}
+	if fs, bs := fast.Stats(), bit.Stats(); fs != bs {
+		t.Fatalf("stats diverged:\nfast %+v\nbit  %+v", fs, bs)
+	}
+}
+
+// queryFuzzSeeds encodes one scenario per workload family (the same
+// shapes as the golden vectors), so plain `go test` replays them.
+func queryFuzzSeeds() [][]byte {
+	mk := func(sewSel, rows byte, seed uint32, ops ...byte) []byte {
+		d := []byte{sewSel, rows, byte(seed), byte(seed >> 8), byte(seed >> 16), byte(seed >> 24)}
+		return append(d, ops...)
+	}
+	return [][]byte{
+		// KV: gets (hit and miss), ternary select, range scan.
+		mk(2, 40, 0xC0FFEE, 0, 1, 2, 3, 4, 1, 0xAA, 0x55, 0xFF, 0x0F, 3, 1, 2, 3, 4),
+		// Relational: lt select, join probes, puts growing the table.
+		mk(0, 60, 0xBEEF, 2, 9, 0, 0, 0, 4, 5, 6, 7, 8, 7, 1, 2, 3, 4, 4, 1, 2, 3, 4),
+		// Nearest-match: exact and far probes, thresholded within.
+		mk(1, 30, 0x5EED, 5, 1, 2, 3, 4, 6, 9, 8, 7, 3, 5, 0, 0, 0, 0),
+		// 32-bit mixed stream touching every selector.
+		mk(2, 90, 0x1234, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2, 2, 3, 3, 3, 3, 3, 4, 4, 4, 4,
+			4, 5, 5, 5, 5, 5, 6, 6, 6, 6, 6, 7, 7, 7, 7, 7, 0, 0, 0, 0),
+	}
+}

@@ -1,0 +1,504 @@
+// Package query is the content-addressable query engine: it compiles
+// declarative query jobs down to masked-search instruction sequences
+// on a CAPE backend, turning the simulator's associative search path
+// (the capability that names the engine, paper §IV-A) into first-class
+// servable workloads.
+//
+// Three workload families are supported:
+//
+//   - a CAM-backed key-value store (Load/Put/Get/Select/Range): point
+//     lookups are one ternary vmsearch.vx over the resident key column
+//     plus a priority-encoder read (vfirst.m), the CAM analogue of a
+//     hash probe with O(1) search latency independent of table size;
+//   - relational kernels: predicate select (eq/lt/range, lowered to
+//     masked-search and bit-serial compare microcode) and a CAM-side
+//     hash-join probe that joins a loaded build table against a
+//     streamed probe column — the select/search mapping of the FPGA
+//     content-addressable-processing literature;
+//   - multi-bit nearest-match search: per-element Hamming distance
+//     (vhamm.vx) followed by an associative minimum found by
+//     successive approximation over the distance bits, in the style of
+//     the analog-CAM similarity-search papers.
+//
+// The engine drives a core.Backend directly (one vector instruction
+// per primitive), so the same query runs bit-level on BitBackend —
+// where every plan lowers through the internal/ucode compile-once
+// template cache — and functionally on FastBackend, whose golden
+// semantics double as the differential oracle for the fuzzer and the
+// golden vectors.
+//
+// Engine state lives in fixed vector registers (the resident columns
+// of the paper's "compute-storage" model): loaded keys in v1, values
+// in v2, with v4-v8 as distance/mask/scratch space. Row validity is
+// the active window: searches run with VL = loaded row count, so
+// unloaded tail rows can never match. An Engine is not safe for
+// concurrent use; the server gives each job a pooled machine.
+package query
+
+import (
+	"fmt"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/obs"
+	"cape/internal/timing"
+	"cape/internal/ucode"
+)
+
+// Fixed register allocation of the engine (vector register = subarray
+// row of the resident columns).
+const (
+	regKeys = 1 // loaded key / build column
+	regVals = 2 // loaded value / payload column
+	regDist = 4 // vhamm.vx distances
+	regMask = 5 // predicate / match mask (0|1 per element)
+	regTmp  = 6 // scratch mask
+	regOnes = 7 // splat-1 column for mask complement
+	regCand = 8 // nearest-match candidate mask
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Backend executes the query's vector instructions. Required.
+	Backend core.Backend
+	// SEW is the element width of keys and values in bits (8, 16 or
+	// 32); 0 selects 32.
+	SEW int
+	// Chains sizes the cycle model's reduction tree; 0 derives it from
+	// the backend lane count (32 lanes per chain).
+	Chains int
+	// Cache is the microcode template cache installed on a BitBackend
+	// that has none, so query plans lower compile-once. Optional.
+	Cache *ucode.Cache
+	// Recorder receives cycle attribution under the query stage
+	// classes (search vs reduce). Optional.
+	Recorder *obs.Recorder
+}
+
+// Stats counts the engine's work since construction (or ResetStats).
+type Stats struct {
+	// Lookups is the number of associative point probes issued (KV
+	// gets, join probes, nearest-match queries).
+	Lookups uint64 `json:"lookups"`
+	// RowsScanned is the number of resident rows examined by searches
+	// — every search examines all loaded rows at once (the CAM's
+	// constant-time scan), so this is rows-per-search summed over
+	// searches, the quantity a row-at-a-time engine would walk.
+	RowsScanned uint64 `json:"rows_scanned"`
+	// Searches is the number of search-class vector instructions.
+	Searches uint64 `json:"searches"`
+	// SearchCycles and ReduceCycles attribute modeled CSB cycles to
+	// associative search/compare work vs reduction-tree drains.
+	SearchCycles uint64 `json:"search_cycles"`
+	ReduceCycles uint64 `json:"reduce_cycles"`
+}
+
+// Cycles is the total modeled CSB cycle count.
+func (s Stats) Cycles() uint64 { return s.SearchCycles + s.ReduceCycles }
+
+// Match is one nearest-match result row.
+type Match struct {
+	Index    int    `json:"index"`
+	Key      uint32 `json:"key"`
+	Val      uint32 `json:"val"`
+	Distance uint32 `json:"distance"`
+}
+
+// Lookup is one KV point-lookup result.
+type Lookup struct {
+	Found bool   `json:"found"`
+	Index int    `json:"index"`
+	Val   uint32 `json:"val"`
+}
+
+// JoinPair is one matched (probe row, build row) pair.
+type JoinPair struct {
+	Probe int `json:"probe"`
+	Build int `json:"build"`
+}
+
+// Engine is a content-addressable query engine bound to one backend.
+type Engine struct {
+	be     core.Backend
+	sew    int
+	chains int
+	rec    *obs.Recorder
+	n      int // loaded row count
+	stats  Stats
+}
+
+// New builds an Engine on cfg.Backend.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("query: nil backend")
+	}
+	sew := cfg.SEW
+	if sew == 0 {
+		sew = 32
+	}
+	switch sew {
+	case 8, 16, 32:
+	default:
+		return nil, fmt.Errorf("query: unsupported element width %d", sew)
+	}
+	chains := cfg.Chains
+	if chains <= 0 {
+		chains = cfg.Backend.MaxVL() / 32
+		if chains < 1 {
+			chains = 1
+		}
+	}
+	if bb, ok := cfg.Backend.(*core.BitBackend); ok && cfg.Cache != nil && bb.UcodeCache() == nil {
+		bb.SetUcodeCache(cfg.Cache)
+	}
+	return &Engine{be: cfg.Backend, sew: sew, chains: chains, rec: cfg.Recorder}, nil
+}
+
+// Capacity returns the engine's resident row capacity.
+func (e *Engine) Capacity() int { return e.be.MaxVL() }
+
+// Backend exposes the underlying functional model (for state
+// inspection, e.g. golden-vector digests).
+func (e *Engine) Backend() core.Backend { return e.be }
+
+// Len returns the loaded row count.
+func (e *Engine) Len() int { return e.n }
+
+// SEW returns the element width.
+func (e *Engine) SEW() int { return e.sew }
+
+// Stats snapshots the work counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the work counters.
+func (e *Engine) ResetStats() { e.stats = Stats{} }
+
+// mask returns the value mask of the element width.
+func (e *Engine) mask() uint32 {
+	if e.sew < 32 {
+		return 1<<uint(e.sew) - 1
+	}
+	return ^uint32(0)
+}
+
+// window installs the engine's active window (the loaded rows).
+func (e *Engine) window() {
+	e.be.SetWindow(0, e.n, e.sew)
+}
+
+// exec issues one vector instruction to the backend and attributes its
+// modeled cycles to the given query class.
+func (e *Engine) exec(op isa.Opcode, vd, vs2, vs1 int, x uint64, cl obs.Class) int64 {
+	inst := isa.Inst{Op: op, Vd: uint8(vd), Vs2: uint8(vs2), Vs1: uint8(vs1)}
+	res, _ := e.be.Exec(inst, x)
+	if cycles, ok := timing.VectorCycles(op, e.chains, 0, e.sew); ok {
+		if cl == obs.ClassQueryReduce {
+			e.stats.ReduceCycles += uint64(cycles)
+		} else {
+			e.stats.SearchCycles += uint64(cycles)
+		}
+		if e.rec != nil {
+			e.rec.AddOcc(obs.StageCSB, cl, int64(cycles))
+		}
+	}
+	return res
+}
+
+// search issues one search-class instruction and counts the resident
+// rows it examines.
+func (e *Engine) search(op isa.Opcode, vd, vs2, vs1 int, x uint64) {
+	e.exec(op, vd, vs2, vs1, x, obs.ClassQuerySearch)
+	e.stats.Searches++
+	e.stats.RowsScanned += uint64(e.n)
+}
+
+// Load makes keys (and optionally vals, which may be nil or shorter)
+// the resident table, replacing any previous contents.
+func (e *Engine) Load(keys, vals []uint32) error {
+	if len(keys) > e.Capacity() {
+		return fmt.Errorf("query: %d rows exceed the %d-row capacity", len(keys), e.Capacity())
+	}
+	if len(vals) > len(keys) {
+		return fmt.Errorf("query: %d values for %d keys", len(vals), len(keys))
+	}
+	m := e.mask()
+	for i, k := range keys {
+		if k&^m != 0 {
+			return fmt.Errorf("query: key %#x at row %d exceeds %d bits", k, i, e.sew)
+		}
+		e.be.WriteElem(regKeys, i, k)
+		var v uint32
+		if i < len(vals) {
+			v = vals[i]
+			if v&^m != 0 {
+				return fmt.Errorf("query: value %#x at row %d exceeds %d bits", v, i, e.sew)
+			}
+		}
+		e.be.WriteElem(regVals, i, v)
+	}
+	// Clear any leftover tail from a longer previous table so stale
+	// rows cannot alias future windows.
+	for i := len(keys); i < e.n; i++ {
+		e.be.WriteElem(regKeys, i, 0)
+		e.be.WriteElem(regVals, i, 0)
+	}
+	e.n = len(keys)
+	return nil
+}
+
+// Put upserts one row: an existing key's value is overwritten in
+// place, otherwise the pair is appended. It reports the row index and
+// whether an existing row was replaced.
+func (e *Engine) Put(key, val uint32) (int, bool, error) {
+	m := e.mask()
+	if key&^m != 0 || val&^m != 0 {
+		return 0, false, fmt.Errorf("query: key/value exceed %d bits", e.sew)
+	}
+	if lk := e.Get(key); lk.Found {
+		e.be.WriteElem(regVals, lk.Index, val)
+		return lk.Index, true, nil
+	}
+	if e.n == e.Capacity() {
+		return 0, false, fmt.Errorf("query: table full (%d rows)", e.n)
+	}
+	e.be.WriteElem(regKeys, e.n, key)
+	e.be.WriteElem(regVals, e.n, val)
+	e.n++
+	return e.n - 1, false, nil
+}
+
+// searchKey packs a (value, care) pair into the vmsearch.vx scalar.
+func (e *Engine) searchKey(value, care uint32) uint64 {
+	m := e.mask()
+	return uint64(value&m) | uint64(care&m)<<uint(e.sew)
+}
+
+// Get is the CAM point lookup: one full-care ternary search over the
+// key column plus a priority-encoder read of the first match.
+func (e *Engine) Get(key uint32) Lookup {
+	e.window()
+	e.stats.Lookups++
+	e.search(isa.OpVMSEARCH_VX, regMask, regKeys, 0, e.searchKey(key, ^uint32(0)))
+	idx := e.exec(isa.OpVFIRST_M, 0, regMask, 0, 0, obs.ClassQueryReduce)
+	if idx < 0 {
+		return Lookup{Found: false, Index: -1}
+	}
+	return Lookup{Found: true, Index: int(idx), Val: e.be.ReadElem(regVals, int(idx))}
+}
+
+// GetBatch is the batched point-lookup path: the window is installed
+// once and each probe costs one search plus one priority-encoder read.
+func (e *Engine) GetBatch(keys []uint32) []Lookup {
+	out := make([]Lookup, len(keys))
+	e.window()
+	for i, k := range keys {
+		e.stats.Lookups++
+		e.search(isa.OpVMSEARCH_VX, regMask, regKeys, 0, e.searchKey(k, ^uint32(0)))
+		idx := e.exec(isa.OpVFIRST_M, 0, regMask, 0, 0, obs.ClassQueryReduce)
+		if idx < 0 {
+			out[i] = Lookup{Found: false, Index: -1}
+			continue
+		}
+		out[i] = Lookup{Found: true, Index: int(idx), Val: e.be.ReadElem(regVals, int(idx))}
+	}
+	return out
+}
+
+// Search is the raw ternary select: the row indices whose keys agree
+// with value on every care bit (care == 0 matches every loaded row).
+func (e *Engine) Search(value, care uint32) []int {
+	e.window()
+	e.search(isa.OpVMSEARCH_VX, regMask, regKeys, 0, e.searchKey(value, care))
+	return e.drain(regMask)
+}
+
+// Pred is a relational select predicate.
+type Pred string
+
+const (
+	// PredEq selects rows with key == arg (exact-match search).
+	PredEq Pred = "eq"
+	// PredLt selects rows with key < arg, compared as signed SEW-bit
+	// values (the vmslt semantics of the ISA subset).
+	PredLt Pred = "lt"
+	// PredRange selects rows with lo <= key <= hi, compared as signed
+	// SEW-bit values.
+	PredRange Pred = "range"
+)
+
+// Select evaluates a relational predicate over the key column and
+// returns the matching row indices. arg2 is the range upper bound and
+// is ignored by the other predicates.
+func (e *Engine) Select(pred Pred, arg, arg2 uint32) ([]int, error) {
+	e.window()
+	switch pred {
+	case PredEq:
+		e.search(isa.OpVMSEARCH_VX, regMask, regKeys, 0, e.searchKey(arg, ^uint32(0)))
+	case PredLt:
+		e.search(isa.OpVMSLT_VX, regMask, regKeys, 0, uint64(arg))
+	case PredRange:
+		if err := e.rangeMask(regMask, arg, arg2); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("query: unknown predicate %q", pred)
+	}
+	return e.drain(regMask), nil
+}
+
+// Range is the KV range scan: rows with lo <= key <= hi (signed
+// SEW-bit order), as (index, key, value) matches.
+func (e *Engine) Range(lo, hi uint32) ([]Match, error) {
+	e.window()
+	if err := e.rangeMask(regMask, lo, hi); err != nil {
+		return nil, err
+	}
+	idxs := e.drain(regMask)
+	if len(idxs) == 0 {
+		return nil, nil
+	}
+	out := make([]Match, len(idxs))
+	for i, ix := range idxs {
+		out[i] = Match{Index: ix, Key: e.be.ReadElem(regKeys, ix), Val: e.be.ReadElem(regVals, ix)}
+	}
+	return out, nil
+}
+
+// rangeMask computes the lo <= key <= hi mask into vd via the two
+// one-sided compares: NOT(key < lo) AND (key < hi+1). A range whose
+// upper bound is the signed maximum degenerates to the one-sided
+// lower check.
+func (e *Engine) rangeMask(vd int, lo, hi uint32) error {
+	if sgt(lo, hi, e.sew) {
+		return fmt.Errorf("query: empty range lo=%#x hi=%#x", lo, hi)
+	}
+	// NOT(key < lo): splat-1 column XOR the compare mask.
+	e.search(isa.OpVMSLT_VX, vd, regKeys, 0, uint64(lo))
+	e.exec(isa.OpVMV_VX, regOnes, 0, 0, 1, obs.ClassQuerySearch)
+	e.exec(isa.OpVXOR_VV, vd, vd, regOnes, 0, obs.ClassQuerySearch)
+	if hi != signedMax(e.sew) {
+		e.search(isa.OpVMSLT_VX, regTmp, regKeys, 0, uint64((hi+1)&e.mask()))
+		e.exec(isa.OpVAND_VV, vd, vd, regTmp, 0, obs.ClassQuerySearch)
+	}
+	return nil
+}
+
+// Join probes the loaded build table with a streamed probe column and
+// returns every matching (probe row, build row) pair — the CAM-side
+// hash-join probe: each probe value is one exact-match search over the
+// build keys, and multiple build matches all pair with the probe.
+func (e *Engine) Join(probes []uint32) ([]JoinPair, error) {
+	m := e.mask()
+	var out []JoinPair
+	e.window()
+	for pi, p := range probes {
+		if p&^m != 0 {
+			return nil, fmt.Errorf("query: probe %#x at row %d exceeds %d bits", p, pi, e.sew)
+		}
+		e.stats.Lookups++
+		e.search(isa.OpVMSEARCH_VX, regMask, regKeys, 0, e.searchKey(p, ^uint32(0)))
+		for _, bi := range e.drain(regMask) {
+			out = append(out, JoinPair{Probe: pi, Build: bi})
+		}
+	}
+	return out, nil
+}
+
+// Nearest finds a loaded row with minimum Hamming distance to q: one
+// vhamm.vx computes every distance at once, then the associative
+// minimum is found by successive approximation over the distance bits
+// (MSB first), the classic CAM min-search. Ties resolve to the lowest
+// row index. ok is false on an empty table.
+func (e *Engine) Nearest(q uint32) (Match, bool) {
+	if e.n == 0 {
+		return Match{Index: -1}, false
+	}
+	e.window()
+	e.stats.Lookups++
+	e.search(isa.OpVHAMM_VX, regDist, regKeys, 0, uint64(q&e.mask()))
+	// All loaded rows start as candidates.
+	e.exec(isa.OpVMV_VX, regCand, 0, 0, 1, obs.ClassQuerySearch)
+	for b := distBits(e.sew) - 1; b >= 0; b-- {
+		// Candidates whose distance bit b is zero.
+		e.search(isa.OpVMSEARCH_VX, regTmp, regDist, 0, e.searchKey(0, 1<<uint(b)))
+		e.exec(isa.OpVAND_VV, regTmp, regTmp, regCand, 0, obs.ClassQuerySearch)
+		if e.exec(isa.OpVCPOP_M, 0, regTmp, 0, 0, obs.ClassQueryReduce) > 0 {
+			e.exec(isa.OpVMV_VV, regCand, regTmp, 0, 0, obs.ClassQuerySearch)
+		}
+	}
+	idx := int(e.exec(isa.OpVFIRST_M, 0, regCand, 0, 0, obs.ClassQueryReduce))
+	return Match{
+		Index:    idx,
+		Key:      e.be.ReadElem(regKeys, idx),
+		Val:      e.be.ReadElem(regVals, idx),
+		Distance: e.be.ReadElem(regDist, idx),
+	}, true
+}
+
+// Within returns every loaded row whose Hamming distance to q is at
+// most radius — the thresholded mismatch search of the analog-CAM
+// literature — in row order.
+func (e *Engine) Within(q uint32, radius int) []Match {
+	if radius < 0 {
+		return nil
+	}
+	e.window()
+	e.stats.Lookups++
+	e.search(isa.OpVHAMM_VX, regDist, regKeys, 0, uint64(q&e.mask()))
+	// distance <= radius via the signed compare: distances are at most
+	// SEW, so radius+1 never wraps.
+	if radius >= e.sew {
+		radius = e.sew
+	}
+	e.search(isa.OpVMSLT_VX, regMask, regDist, 0, uint64(radius+1))
+	idxs := e.drain(regMask)
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]Match, len(idxs))
+	for i, ix := range idxs {
+		out[i] = Match{
+			Index:    ix,
+			Key:      e.be.ReadElem(regKeys, ix),
+			Val:      e.be.ReadElem(regVals, ix),
+			Distance: e.be.ReadElem(regDist, ix),
+		}
+	}
+	return out
+}
+
+// drain reads every set row of the mask register out through the
+// priority encoder, clearing as it goes — the CAM's multi-match
+// resolution loop. The mask register is consumed.
+func (e *Engine) drain(v int) []int {
+	var out []int
+	for {
+		idx := e.exec(isa.OpVFIRST_M, 0, v, 0, 0, obs.ClassQueryReduce)
+		if idx < 0 {
+			return out
+		}
+		out = append(out, int(idx))
+		e.be.WriteElem(v, int(idx), 0)
+	}
+}
+
+// distBits returns the width of a Hamming distance over sew-bit
+// elements (values 0..sew).
+func distBits(sew int) int {
+	w := 0
+	for 1<<w < sew+1 {
+		w++
+	}
+	return w
+}
+
+// sgt reports a > b as signed sew-bit values.
+func sgt(a, b uint32, sew int) bool {
+	k := 32 - uint(sew)
+	return int32(a<<k)>>k > int32(b<<k)>>k
+}
+
+// signedMax returns the largest signed sew-bit value.
+func signedMax(sew int) uint32 {
+	return 1<<uint(sew-1) - 1
+}

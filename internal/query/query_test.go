@@ -1,0 +1,491 @@
+package query
+
+import (
+	"math/bits"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cape/internal/core"
+	"cape/internal/obs"
+	"cape/internal/ucode"
+)
+
+// engines builds one fast and one bit-level engine with identical
+// capacity (4 chains = 128 rows), the differential pair every test
+// runs against.
+func engines(t *testing.T, sew int) (*Engine, *Engine) {
+	t.Helper()
+	fast, err := New(Config{Backend: core.NewFastBackend(128), SEW: sew})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb := core.NewBitBackend(4)
+	bit, err := New(Config{Backend: bb, SEW: sew, Cache: ucode.NewCache(0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fast, bit
+}
+
+func randTable(rng *rand.Rand, n, sew int) (keys, vals []uint32) {
+	mask := uint32(1)<<uint(sew) - 1
+	if sew == 32 {
+		mask = ^uint32(0)
+	}
+	keys = make([]uint32, n)
+	vals = make([]uint32, n)
+	for i := range keys {
+		keys[i] = rng.Uint32() & mask
+		vals[i] = rng.Uint32() & mask
+	}
+	return keys, vals
+}
+
+func TestKVGetMatchesReference(t *testing.T) {
+	for _, sew := range []int{8, 16, 32} {
+		rng := rand.New(rand.NewSource(int64(sew)))
+		fast, bit := engines(t, sew)
+		keys, vals := randTable(rng, 100, sew)
+		for _, e := range []*Engine{fast, bit} {
+			if err := e.Load(keys, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Present and absent probes.
+		probes := []uint32{keys[0], keys[99], keys[42]}
+		mask := fast.mask()
+		for len(probes) < 16 {
+			probes = append(probes, rng.Uint32()&mask)
+		}
+		fr := fast.GetBatch(probes)
+		br := bit.GetBatch(probes)
+		if !reflect.DeepEqual(fr, br) {
+			t.Fatalf("sew %d: fast %+v bit %+v", sew, fr, br)
+		}
+		// Reference: first matching index by linear scan.
+		for i, p := range probes {
+			want := Lookup{Found: false, Index: -1}
+			for j, k := range keys {
+				if k == p {
+					want = Lookup{Found: true, Index: j, Val: vals[j]}
+					break
+				}
+			}
+			if fr[i] != want {
+				t.Fatalf("sew %d probe %#x: got %+v want %+v", sew, p, fr[i], want)
+			}
+		}
+	}
+}
+
+func TestPutUpsertsInPlace(t *testing.T) {
+	fast, bit := engines(t, 32)
+	for _, e := range []*Engine{fast, bit} {
+		if err := e.Load([]uint32{10, 20, 30}, []uint32{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		if idx, replaced, err := e.Put(20, 99); err != nil || !replaced || idx != 1 {
+			t.Fatalf("overwrite: idx=%d replaced=%v err=%v", idx, replaced, err)
+		}
+		if idx, replaced, err := e.Put(40, 4); err != nil || replaced || idx != 3 {
+			t.Fatalf("append: idx=%d replaced=%v err=%v", idx, replaced, err)
+		}
+		if lk := e.Get(20); lk.Val != 99 {
+			t.Fatalf("get after overwrite: %+v", lk)
+		}
+		if lk := e.Get(40); !lk.Found || lk.Val != 4 {
+			t.Fatalf("get after append: %+v", lk)
+		}
+		if e.Len() != 4 {
+			t.Fatalf("len %d", e.Len())
+		}
+	}
+}
+
+func TestTernarySelectMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	fast, bit := engines(t, 16)
+	keys, vals := randTable(rng, 128, 16)
+	for _, e := range []*Engine{fast, bit} {
+		if err := e.Load(keys, vals); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 10; trial++ {
+		value := uint32(rng.Intn(1 << 16))
+		care := uint32(rng.Intn(1 << 16))
+		if trial == 0 {
+			care = 0 // all-don't-care: every row matches
+		}
+		fi := fast.Search(value, care)
+		bi := bit.Search(value, care)
+		if !reflect.DeepEqual(fi, bi) {
+			t.Fatalf("value=%#x care=%#x: fast %v bit %v", value, care, fi, bi)
+		}
+		var want []int
+		for i, k := range keys {
+			if (k^value)&care == 0 {
+				want = append(want, i)
+			}
+		}
+		if !reflect.DeepEqual(fi, want) {
+			t.Fatalf("value=%#x care=%#x: got %v want %v", value, care, fi, want)
+		}
+	}
+}
+
+func TestSelectAndRangeMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, sew := range []int{8, 32} {
+		fast, bit := engines(t, sew)
+		keys, vals := randTable(rng, 96, sew)
+		for _, e := range []*Engine{fast, bit} {
+			if err := e.Load(keys, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		slt := func(a, b uint32) bool {
+			k := 32 - uint(sew)
+			return int32(a<<k)>>k < int32(b<<k)>>k
+		}
+		for trial := 0; trial < 8; trial++ {
+			arg := keys[rng.Intn(len(keys))]
+			fi, err := fast.Select(PredLt, arg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bi, err := bit.Select(PredLt, arg, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fi, bi) {
+				t.Fatalf("sew %d lt %#x: fast %v bit %v", sew, arg, fi, bi)
+			}
+			var want []int
+			for i, k := range keys {
+				if slt(k, arg) {
+					want = append(want, i)
+				}
+			}
+			if !reflect.DeepEqual(fi, want) {
+				t.Fatalf("sew %d lt %#x: got %v want %v", sew, arg, fi, want)
+			}
+
+			lo, hi := keys[rng.Intn(len(keys))], keys[rng.Intn(len(keys))]
+			if sgt(lo, hi, sew) {
+				lo, hi = hi, lo
+			}
+			fm, err := fast.Range(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bm, err := bit.Range(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fm, bm) {
+				t.Fatalf("sew %d range [%#x,%#x]: fast %v bit %v", sew, lo, hi, fm, bm)
+			}
+			var wantM []Match
+			for i, k := range keys {
+				if !slt(k, lo) && !sgt(k, hi, sew) {
+					wantM = append(wantM, Match{Index: i, Key: k, Val: vals[i]})
+				}
+			}
+			if !reflect.DeepEqual(fm, wantM) {
+				t.Fatalf("sew %d range [%#x,%#x]: got %v want %v", sew, lo, hi, fm, wantM)
+			}
+		}
+		// Full-domain range: hi at the signed maximum exercises the
+		// degenerate one-sided path.
+		fm, err := fast.Range(1<<uint(sew-1), signedMax(sew))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bm, err := bit.Range(1<<uint(sew-1), signedMax(sew))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fm, bm) {
+			t.Fatalf("sew %d full range: fast %v bit %v", sew, fm, bm)
+		}
+		if len(fm) != len(keys) {
+			t.Fatalf("sew %d full range: %d of %d rows", sew, len(fm), len(keys))
+		}
+	}
+}
+
+func TestJoinMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	fast, bit := engines(t, 8)
+	// A small key domain forces duplicate build keys, so probes fan
+	// out to multiple pairs.
+	keys := make([]uint32, 64)
+	for i := range keys {
+		keys[i] = uint32(rng.Intn(16))
+	}
+	for _, e := range []*Engine{fast, bit} {
+		if err := e.Load(keys, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	probes := make([]uint32, 24)
+	for i := range probes {
+		probes[i] = uint32(rng.Intn(20)) // some miss the domain entirely
+	}
+	fp, err := fast.Join(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := bit.Join(probes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fp, bp) {
+		t.Fatalf("fast %v bit %v", fp, bp)
+	}
+	var want []JoinPair
+	for pi, p := range probes {
+		for bi, k := range keys {
+			if k == p {
+				want = append(want, JoinPair{Probe: pi, Build: bi})
+			}
+		}
+	}
+	if !reflect.DeepEqual(fp, want) {
+		t.Fatalf("got %v want %v", fp, want)
+	}
+}
+
+func TestNearestMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, sew := range []int{8, 32} {
+		fast, bit := engines(t, sew)
+		keys, vals := randTable(rng, 80, sew)
+		for _, e := range []*Engine{fast, bit} {
+			if err := e.Load(keys, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		mask := fast.mask()
+		for trial := 0; trial < 10; trial++ {
+			q := rng.Uint32() & mask
+			if trial == 0 {
+				q = keys[7] // exact hit: distance 0
+			}
+			fm, ok := fast.Nearest(q)
+			if !ok {
+				t.Fatal("empty table")
+			}
+			bm, _ := bit.Nearest(q)
+			if fm != bm {
+				t.Fatalf("sew %d q=%#x: fast %+v bit %+v", sew, q, fm, bm)
+			}
+			// Reference: lowest index among minimum-distance rows.
+			best, bd := -1, sew+1
+			for i, k := range keys {
+				if d := bits.OnesCount32((k ^ q) & mask); d < bd {
+					best, bd = i, d
+				}
+			}
+			if fm.Index != best || fm.Distance != uint32(bd) {
+				t.Fatalf("sew %d q=%#x: got idx=%d d=%d want idx=%d d=%d",
+					sew, q, fm.Index, fm.Distance, best, bd)
+			}
+
+			radius := rng.Intn(sew / 2)
+			fw := fast.Within(q, radius)
+			bw := bit.Within(q, radius)
+			if !reflect.DeepEqual(fw, bw) {
+				t.Fatalf("sew %d within(%#x,%d): fast %v bit %v", sew, q, radius, fw, bw)
+			}
+			var want []Match
+			for i, k := range keys {
+				if d := bits.OnesCount32((k ^ q) & mask); d <= radius {
+					want = append(want, Match{Index: i, Key: k, Val: vals[i], Distance: uint32(d)})
+				}
+			}
+			if !reflect.DeepEqual(fw, want) {
+				t.Fatalf("sew %d within(%#x,%d): got %v want %v", sew, q, radius, fw, want)
+			}
+		}
+	}
+}
+
+func TestRequestRunAllKinds(t *testing.T) {
+	keys := []uint32{5, 9, 5, 200, 77}
+	vals := []uint32{50, 90, 51, 52, 53}
+	reqs := []Request{
+		{Kind: KindKVGet, Keys: keys, Vals: vals, Probes: []uint32{5, 200, 6}},
+		{Kind: KindKVSelect, Keys: keys, Vals: vals, Value: 5, Care: 0xFF},
+		{Kind: KindKVRange, Keys: keys, Vals: vals, Lo: 5, Hi: 90},
+		{Kind: KindRelSelect, Keys: keys, Pred: PredLt, Arg: 78},
+		{Kind: KindRelSelect, Keys: keys, Pred: PredRange, Lo: 9, Hi: 100},
+		{Kind: KindRelJoin, Keys: keys, Probes: []uint32{5, 42}},
+		{Kind: KindNearBest, Keys: keys, Vals: vals, Probes: []uint32{4, 201}},
+		{Kind: KindNearWithin, Keys: keys, Vals: vals, Probes: []uint32{5}, Radius: 2},
+	}
+	for _, req := range reqs {
+		req := req
+		t.Run(string(req.Kind), func(t *testing.T) {
+			fast, bit := engines(t, 32)
+			fr, err := req.Run(fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			br, err := req.Run(bit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(fr, br) {
+				t.Fatalf("fast %+v bit %+v", fr, br)
+			}
+			if fr.Stats.Searches == 0 {
+				t.Fatal("no searches attributed")
+			}
+			if fr.Rows != len(keys) {
+				t.Fatalf("rows %d", fr.Rows)
+			}
+		})
+	}
+	// Spot-check semantics on a couple of them.
+	fast, _ := engines(t, 32)
+	r, err := reqs[0].Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Lookup{{true, 0, 50}, {true, 3, 52}, {false, -1, 0}}
+	if !reflect.DeepEqual(r.Hits, want) {
+		t.Fatalf("kv.get hits %+v want %+v", r.Hits, want)
+	}
+	r, err = reqs[5].Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := []JoinPair{{0, 0}, {0, 2}}
+	if !reflect.DeepEqual(r.Pairs, wantPairs) {
+		t.Fatalf("join pairs %+v want %+v", r.Pairs, wantPairs)
+	}
+}
+
+func TestRequestValidateRejectsMalformed(t *testing.T) {
+	bad := []Request{
+		{},               // no kind, no keys
+		{Kind: "kv.get"}, // no keys
+		{Kind: "bogus", Keys: []uint32{1}},
+		{Kind: KindKVGet, Keys: []uint32{1}}, // no probes
+		{Kind: KindKVGet, Keys: []uint32{300}, SEW: 8, Probes: []uint32{1}}, // key overflow
+		{Kind: KindKVGet, Keys: []uint32{3}, SEW: 8, Probes: []uint32{300}}, // probe overflow
+		{Kind: KindKVGet, Keys: []uint32{3}, SEW: 12, Probes: []uint32{1}},  // bad sew
+		{Kind: KindKVRange, Keys: []uint32{1}, Lo: 9, Hi: 2},                // empty range
+		{Kind: KindRelSelect, Keys: []uint32{1}, Pred: "ge", Arg: 1},        // bad pred
+		{Kind: KindNearWithin, Keys: []uint32{1}, Probes: []uint32{1, 2}},   // probe count
+		{Kind: KindNearWithin, Keys: []uint32{1}, Probes: []uint32{1}, Radius: -1},
+		{Kind: KindKVGet, Keys: []uint32{1}, Vals: []uint32{1, 2}, Probes: []uint32{1}}, // vals > keys
+	}
+	for i, req := range bad {
+		if err := req.Validate(); err == nil {
+			t.Fatalf("case %d (%+v): expected a validation error", i, req)
+		}
+	}
+}
+
+func TestEngineCapacityAndWidthErrors(t *testing.T) {
+	fast, _ := engines(t, 8)
+	big := make([]uint32, 129)
+	if err := fast.Load(big, nil); err == nil {
+		t.Fatal("expected capacity error")
+	}
+	if err := fast.Load([]uint32{0x1FF}, nil); err == nil {
+		t.Fatal("expected key width error")
+	}
+	if err := fast.Load([]uint32{1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fast.Put(0x1FF, 0); err == nil {
+		t.Fatal("expected put width error")
+	}
+	// Fill to capacity, then one more.
+	keys := make([]uint32, 128)
+	for i := range keys {
+		keys[i] = uint32(i)
+	}
+	if err := fast.Load(keys, nil); err != nil {
+		t.Fatal(err)
+	}
+	// 0xFF is not resident (keys are 0..127), so Put must try to
+	// append into the full table and fail.
+	if _, _, err := fast.Put(0xFF, 1); err == nil {
+		t.Fatal("expected table-full error")
+	}
+}
+
+// TestLoadClearsStaleTail shrinks the table and checks the old tail
+// cannot match.
+func TestLoadClearsStaleTail(t *testing.T) {
+	for _, mk := range []func() core.Backend{
+		func() core.Backend { return core.NewFastBackend(128) },
+		func() core.Backend { return core.NewBitBackend(4) },
+	} {
+		e, err := New(Config{Backend: mk()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load([]uint32{1, 2, 3, 4}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Load([]uint32{9}, nil); err != nil {
+			t.Fatal(err)
+		}
+		if lk := e.Get(3); lk.Found {
+			t.Fatalf("stale row matched: %+v", lk)
+		}
+		if got := e.Search(0, 0); len(got) != 1 {
+			t.Fatalf("match-all over shrunk table: %v", got)
+		}
+	}
+}
+
+// TestObsAttribution checks the query classes receive occupancy.
+func TestObsAttribution(t *testing.T) {
+	rec := obs.New(1)
+	e, err := New(Config{Backend: core.NewFastBackend(128), Recorder: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load([]uint32{1, 2, 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Get(2)
+	p := rec.Profile()
+	if p.Occ[obs.StageCSB][obs.ClassQuerySearch].Cycles == 0 {
+		t.Fatal("no search occupancy attributed")
+	}
+	if p.Occ[obs.StageCSB][obs.ClassQueryReduce].Cycles == 0 {
+		t.Fatal("no reduce occupancy attributed")
+	}
+	st := e.Stats()
+	if st.Lookups != 1 || st.RowsScanned != 3 || st.SearchCycles == 0 || st.ReduceCycles == 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestUcodeCompileOnce checks query plans hit the template cache on
+// repeated lookups.
+func TestUcodeCompileOnce(t *testing.T) {
+	cache := ucode.NewCache(0)
+	e, err := New(Config{Backend: core.NewBitBackend(2), Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Load([]uint32{10, 20, 30}, nil); err != nil {
+		t.Fatal(err)
+	}
+	e.Get(10)
+	e.Get(20)
+	e.Get(10)
+	if s := cache.Stats(); s.Hits == 0 {
+		t.Fatalf("no template cache hits: %+v", s)
+	}
+}

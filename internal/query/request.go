@@ -1,0 +1,235 @@
+package query
+
+import (
+	"fmt"
+)
+
+// Kind names one declarative query job.
+type Kind string
+
+const (
+	// KindKVGet is the batched CAM point lookup: each probe key maps
+	// to (found, index, value).
+	KindKVGet Kind = "kv.get"
+	// KindKVSelect is the raw ternary select: rows whose keys agree
+	// with Value on every Care bit (Care == 0 matches every row).
+	KindKVSelect Kind = "kv.select"
+	// KindKVRange is the range scan: rows with Lo <= key <= Hi in
+	// signed SEW-bit order, returning keys and values.
+	KindKVRange Kind = "kv.range"
+	// KindRelSelect is the relational predicate select (Pred one of
+	// eq/lt/range) returning matching row indices.
+	KindRelSelect Kind = "rel.select"
+	// KindRelJoin probes the loaded build table with the probe column
+	// and returns all matching (probe, build) row pairs.
+	KindRelJoin Kind = "rel.join"
+	// KindNearBest returns the row with minimum Hamming distance to
+	// each probe.
+	KindNearBest Kind = "near.best"
+	// KindNearWithin returns, for the single probe, every row within
+	// Radius mismatched bits.
+	KindNearWithin Kind = "near.within"
+)
+
+// Request is one declarative query job: a resident table, a kind, and
+// the kind's operands. It is the payload of the server's query job
+// kind and of capesim -query.
+type Request struct {
+	Kind Kind `json:"kind"`
+	// SEW is the key/value element width in bits (8, 16 or 32; 0
+	// selects 32).
+	SEW int `json:"sew,omitempty"`
+	// Keys is the resident column searches run against (the KV key
+	// column, the relational/join build column, the nearest-match
+	// corpus). Required.
+	Keys []uint32 `json:"keys"`
+	// Vals is the optional payload column (may be shorter than Keys;
+	// missing entries read as 0).
+	Vals []uint32 `json:"vals,omitempty"`
+	// Probes are the streamed probe values: kv.get lookup keys,
+	// rel.join probe column, near.* query points.
+	Probes []uint32 `json:"probes,omitempty"`
+	// Value/Care are the kv.select ternary search key.
+	Value uint32 `json:"value,omitempty"`
+	Care  uint32 `json:"care,omitempty"`
+	// Pred, Arg, Lo, Hi are the rel.select operands (Lo/Hi double as
+	// the kv.range bounds).
+	Pred Pred   `json:"pred,omitempty"`
+	Arg  uint32 `json:"arg,omitempty"`
+	Lo   uint32 `json:"lo,omitempty"`
+	Hi   uint32 `json:"hi,omitempty"`
+	// Radius is the near.within mismatch budget.
+	Radius int `json:"radius,omitempty"`
+}
+
+// Result is the typed response of one query job.
+type Result struct {
+	Kind Kind `json:"kind"`
+	// Hits are the kv.get per-probe results, in probe order.
+	Hits []Lookup `json:"hits,omitempty"`
+	// Indices are the kv.select / rel.select matching row indices.
+	Indices []int `json:"indices,omitempty"`
+	// Matches are the kv.range / near.* result rows.
+	Matches []Match `json:"matches,omitempty"`
+	// Pairs are the rel.join matches.
+	Pairs []JoinPair `json:"pairs,omitempty"`
+	// Rows is the loaded table size the job ran against.
+	Rows int `json:"rows"`
+	// Stats is the engine work the job performed.
+	Stats Stats `json:"stats"`
+}
+
+// sewBits resolves the request's element width.
+func (r *Request) sewBits() int {
+	if r.SEW == 0 {
+		return 32
+	}
+	return r.SEW
+}
+
+// Validate checks the request's structure without a backend: unknown
+// kinds, missing operands and width overflows are caught here so the
+// server can reject malformed queries with a 4xx before scheduling.
+func (r *Request) Validate() error {
+	sew := r.sewBits()
+	switch sew {
+	case 8, 16, 32:
+	default:
+		return fmt.Errorf("query: unsupported element width %d", sew)
+	}
+	mask := ^uint32(0)
+	if sew < 32 {
+		mask = 1<<uint(sew) - 1
+	}
+	if len(r.Keys) == 0 {
+		return fmt.Errorf("query: no keys loaded")
+	}
+	if len(r.Vals) > len(r.Keys) {
+		return fmt.Errorf("query: %d values for %d keys", len(r.Vals), len(r.Keys))
+	}
+	for i, k := range r.Keys {
+		if k&^mask != 0 {
+			return fmt.Errorf("query: key %#x at row %d exceeds %d bits", k, i, sew)
+		}
+	}
+	for i, v := range r.Vals {
+		if v&^mask != 0 {
+			return fmt.Errorf("query: value %#x at row %d exceeds %d bits", v, i, sew)
+		}
+	}
+	for i, p := range r.Probes {
+		if p&^mask != 0 {
+			return fmt.Errorf("query: probe %#x at row %d exceeds %d bits", p, i, sew)
+		}
+	}
+	switch r.Kind {
+	case KindKVGet, KindRelJoin:
+		if len(r.Probes) == 0 {
+			return fmt.Errorf("query: %s needs at least one probe", r.Kind)
+		}
+	case KindKVSelect:
+		if r.Value&^mask != 0 || r.Care&^mask != 0 {
+			return fmt.Errorf("query: search key exceeds %d bits", sew)
+		}
+	case KindKVRange:
+		if r.Lo&^mask != 0 || r.Hi&^mask != 0 {
+			return fmt.Errorf("query: range bounds exceed %d bits", sew)
+		}
+		if sgt(r.Lo, r.Hi, sew) {
+			return fmt.Errorf("query: empty range lo=%#x hi=%#x", r.Lo, r.Hi)
+		}
+	case KindRelSelect:
+		switch r.Pred {
+		case PredEq, PredLt:
+			if r.Arg&^mask != 0 {
+				return fmt.Errorf("query: predicate operand exceeds %d bits", sew)
+			}
+		case PredRange:
+			if r.Lo&^mask != 0 || r.Hi&^mask != 0 {
+				return fmt.Errorf("query: range bounds exceed %d bits", sew)
+			}
+			if sgt(r.Lo, r.Hi, sew) {
+				return fmt.Errorf("query: empty range lo=%#x hi=%#x", r.Lo, r.Hi)
+			}
+		default:
+			return fmt.Errorf("query: unknown predicate %q", r.Pred)
+		}
+	case KindNearBest:
+		if len(r.Probes) == 0 {
+			return fmt.Errorf("query: %s needs at least one probe", r.Kind)
+		}
+	case KindNearWithin:
+		if len(r.Probes) != 1 {
+			return fmt.Errorf("query: %s takes exactly one probe, got %d", r.Kind, len(r.Probes))
+		}
+		if r.Radius < 0 {
+			return fmt.Errorf("query: negative radius %d", r.Radius)
+		}
+	default:
+		return fmt.Errorf("query: unknown kind %q", r.Kind)
+	}
+	return nil
+}
+
+// Run loads the request's table into the engine and executes the job.
+// The engine's backend capacity is the only constraint Validate cannot
+// check; it surfaces here.
+func (r *Request) Run(e *Engine) (*Result, error) {
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	if err := e.Load(r.Keys, r.Vals); err != nil {
+		return nil, err
+	}
+	res := &Result{Kind: r.Kind, Rows: e.Len()}
+	before := e.Stats()
+	switch r.Kind {
+	case KindKVGet:
+		res.Hits = e.GetBatch(r.Probes)
+	case KindKVSelect:
+		res.Indices = e.Search(r.Value, r.Care)
+	case KindKVRange:
+		m, err := e.Range(r.Lo, r.Hi)
+		if err != nil {
+			return nil, err
+		}
+		res.Matches = m
+	case KindRelSelect:
+		var idx []int
+		var err error
+		if r.Pred == PredRange {
+			idx, err = e.Select(PredRange, r.Lo, r.Hi)
+		} else {
+			idx, err = e.Select(r.Pred, r.Arg, 0)
+		}
+		if err != nil {
+			return nil, err
+		}
+		res.Indices = idx
+	case KindRelJoin:
+		p, err := e.Join(r.Probes)
+		if err != nil {
+			return nil, err
+		}
+		res.Pairs = p
+	case KindNearBest:
+		for _, q := range r.Probes {
+			m, ok := e.Nearest(q)
+			if !ok {
+				return nil, fmt.Errorf("query: nearest-match on an empty table")
+			}
+			res.Matches = append(res.Matches, m)
+		}
+	case KindNearWithin:
+		res.Matches = e.Within(r.Probes[0], r.Radius)
+	}
+	after := e.Stats()
+	res.Stats = Stats{
+		Lookups:      after.Lookups - before.Lookups,
+		RowsScanned:  after.RowsScanned - before.RowsScanned,
+		Searches:     after.Searches - before.Searches,
+		SearchCycles: after.SearchCycles - before.SearchCycles,
+		ReduceCycles: after.ReduceCycles - before.ReduceCycles,
+	}
+	return res, nil
+}

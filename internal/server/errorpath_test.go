@@ -19,7 +19,7 @@ func TestCompileRejectsMalformedSpec(t *testing.T) {
 		req  Request
 		want string
 	}{
-		{"empty", Request{}, "needs source or workload"},
+		{"empty", Request{}, "needs source, workload or query"},
 		{"bad assembly", Request{Source: "bogus x1"}, "assemble"},
 		{"unknown config", Request{Source: "halt", Config: "CAPE64k"}, "unknown config"},
 		{"unknown backend", Request{Source: "halt", Backend: "quantum"}, "unknown backend"},

@@ -15,6 +15,8 @@ import (
 	"cape/internal/fault"
 	"cape/internal/isa"
 	"cape/internal/obs"
+	"cape/internal/query"
+	"cape/internal/timing"
 	"cape/internal/workloads"
 )
 
@@ -30,6 +32,11 @@ type Request struct {
 	// Workload names a built-in kernel (see /v1/workloads); the server
 	// writes its input set, runs it, and validates the outputs.
 	Workload string `json:"workload,omitempty"`
+	// Query is a declarative content-addressable query job (KV lookups,
+	// relational select/join, nearest-match search) executed by the
+	// internal/query engine on the selected backend. Mutually exclusive
+	// with Source and Workload.
+	Query *query.Request `json:"query,omitempty"`
 
 	// Config selects CAPE32k (default) or CAPE131k.
 	Config string `json:"config,omitempty"`
@@ -82,6 +89,10 @@ type Response struct {
 	Result     core.Result `json:"result"`
 	SimSeconds float64     `json:"sim_seconds"`
 
+	// Query carries a query job's typed result (hits, indices, matches,
+	// pairs) and its engine work statistics.
+	Query *query.Result `json:"query,omitempty"`
+
 	// CheckOK/CheckError report output validation for workload jobs.
 	CheckOK    *bool  `json:"check_ok,omitempty"`
 	CheckError string `json:"check_error,omitempty"`
@@ -112,9 +123,12 @@ type Spec struct {
 	BackendName string
 	// Prog is the assembled program (Source jobs); Workload is set
 	// instead for named-kernel jobs, which build their program against
-	// the machine at run time.
+	// the machine at run time; Query is set for declarative query jobs,
+	// which the query engine executes directly on the pooled machine's
+	// backend.
 	Prog      *isa.Program
 	Workload  *workloads.Workload
+	Query     *query.Request
 	Registers map[int]int64
 	MaxInsts  int64
 	Timeout   time.Duration
@@ -193,9 +207,25 @@ func Compile(req Request, opts Options) (*Spec, error) {
 		spec.TraceSample = opts.TraceSample
 	}
 
+	kinds := 0
+	for _, set := range []bool{req.Source != "", req.Workload != "", req.Query != nil} {
+		if set {
+			kinds++
+		}
+	}
+	if kinds > 1 {
+		return nil, fmt.Errorf("server: source, workload and query are mutually exclusive")
+	}
 	switch {
-	case req.Source != "" && req.Workload != "":
-		return nil, fmt.Errorf("server: source and workload are mutually exclusive")
+	case req.Query != nil:
+		if err := req.Query.Validate(); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		if maxVL := spec.Config.Chains * 32; len(req.Query.Keys) > maxVL {
+			return nil, fmt.Errorf("server: query loads %d rows, %s holds %d",
+				len(req.Query.Keys), spec.Config.Name, maxVL)
+		}
+		spec.Query = req.Query
 	case req.Source != "":
 		name := req.Name
 		if name == "" {
@@ -221,11 +251,11 @@ func Compile(req Request, opts Options) (*Spec, error) {
 			spec.Config.RAMBytes = workloads.RAMBytes
 		}
 	default:
-		return nil, fmt.Errorf("server: request needs source or workload")
+		return nil, fmt.Errorf("server: request needs source, workload or query")
 	}
 
 	if len(req.Registers) > 0 {
-		if spec.Workload != nil {
+		if spec.Prog == nil {
 			return nil, fmt.Errorf("server: registers are only valid for source jobs")
 		}
 		spec.Registers = make(map[int]int64, len(req.Registers))
@@ -277,6 +307,9 @@ func Exec(ctx context.Context, m *core.Machine, spec *Spec) (resp *Response, err
 		// this job's, the machine is shared.
 		defer m.SetRecorder(nil)
 	}
+	if spec.Query != nil {
+		return execQuery(ctx, m, spec)
+	}
 	prog := spec.Prog
 	if spec.Workload != nil {
 		prog, err = spec.Workload.BuildCAPE(m)
@@ -320,6 +353,53 @@ func Exec(ctx context.Context, m *core.Machine, spec *Spec) (resp *Response, err
 		resp.Memory = m.RAM().ReadWords(d.Addr, d.Words)
 	}
 	if rec != nil {
+		p := rec.Profile()
+		resp.Profile = p.AttrEntries()
+		resp.Occupancy = p.OccEntries()
+		resp.ProfileTable = p.Table()
+		resp.TraceJSON = rec.ChromeTrace()
+	}
+	return resp, nil
+}
+
+// execQuery runs a compiled query job on m's backend through the
+// content-addressable query engine. The engine drives the backend
+// directly (no CP program), so bit-level jobs execute real
+// masked-search microcode through the machine's shared template cache
+// while fast jobs use the reference associative implementation.
+func execQuery(ctx context.Context, m *core.Machine, spec *Spec) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eng, err := query.New(query.Config{
+		Backend:  m.Backend(),
+		SEW:      spec.Query.SEW,
+		Chains:   spec.Config.Chains,
+		Cache:    m.UcodeCache(),
+		Recorder: m.Recorder(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	start := time.Now()
+	qres, err := spec.Query.Run(eng)
+	runNS := time.Since(start).Nanoseconds()
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	resp := &Response{
+		Program: "query:" + string(spec.Query.Kind),
+		Config:  spec.Config.Name,
+		Chains:  spec.Config.Chains,
+		Backend: spec.BackendName,
+		Query:   qres,
+		// The modeled time is the engine's attributed CSB cycles at the
+		// CAPE clock.
+		SimSeconds: float64(qres.Stats.Cycles()) / (timing.CAPEFreqGHz * 1e9),
+		RunNS:      runNS,
+		TotalNS:    runNS,
+	}
+	if rec := m.Recorder(); rec != nil {
 		p := rec.Profile()
 		resp.Profile = p.AttrEntries()
 		resp.Occupancy = p.OccEntries()

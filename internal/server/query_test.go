@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"cape/internal/query"
+)
+
+// queryRequest builds a small KV lookup job on the given backend.
+func queryRequest(backend string) Request {
+	return Request{
+		Backend: backend,
+		Chains:  4,
+		Query: &query.Request{
+			Kind:   query.KindKVGet,
+			Keys:   []uint32{11, 22, 33, 44},
+			Vals:   []uint32{1, 2, 3, 4},
+			Probes: []uint32{33, 99, 11},
+		},
+	}
+}
+
+func TestSubmitQueryBothBackends(t *testing.T) {
+	s := New(testOptions())
+	defer s.Close()
+	want := []query.Lookup{
+		{Found: true, Index: 2, Val: 3},
+		{Found: false, Index: -1},
+		{Found: true, Index: 0, Val: 1},
+	}
+	var stats []query.Stats
+	for _, backend := range []string{"fast", "bitlevel"} {
+		resp, err := s.Submit(context.Background(), queryRequest(backend))
+		if err != nil {
+			t.Fatalf("%s: %v", backend, err)
+		}
+		if resp.Query == nil {
+			t.Fatalf("%s: no query payload", backend)
+		}
+		if !reflect.DeepEqual(resp.Query.Hits, want) {
+			t.Fatalf("%s: hits %+v want %+v", backend, resp.Query.Hits, want)
+		}
+		if resp.Program != "query:kv.get" {
+			t.Fatalf("%s: program %q", backend, resp.Program)
+		}
+		if resp.Query.Stats.Lookups != 3 || resp.Query.Stats.RowsScanned != 12 {
+			t.Fatalf("%s: stats %+v", backend, resp.Query.Stats)
+		}
+		if resp.SimSeconds <= 0 {
+			t.Fatalf("%s: no modeled time", backend)
+		}
+		stats = append(stats, resp.Query.Stats)
+	}
+	// Both backends model identical work.
+	if stats[0] != stats[1] {
+		t.Fatalf("work diverged across backends: %+v vs %+v", stats[0], stats[1])
+	}
+}
+
+func TestSubmitQueryKinds(t *testing.T) {
+	s := New(testOptions())
+	defer s.Close()
+	keys := []uint32{5, 9, 5, 200, 77}
+	cases := []struct {
+		q     query.Request
+		check func(t *testing.T, r *query.Result)
+	}{
+		{query.Request{Kind: query.KindKVSelect, Keys: keys, Value: 5, Care: ^uint32(0)},
+			func(t *testing.T, r *query.Result) {
+				if !reflect.DeepEqual(r.Indices, []int{0, 2}) {
+					t.Fatalf("select indices %v", r.Indices)
+				}
+			}},
+		{query.Request{Kind: query.KindKVRange, Keys: keys, Lo: 5, Hi: 90},
+			func(t *testing.T, r *query.Result) {
+				if len(r.Matches) != 4 {
+					t.Fatalf("range matches %+v", r.Matches)
+				}
+			}},
+		{query.Request{Kind: query.KindRelJoin, Keys: keys, Probes: []uint32{5}},
+			func(t *testing.T, r *query.Result) {
+				want := []query.JoinPair{{Probe: 0, Build: 0}, {Probe: 0, Build: 2}}
+				if !reflect.DeepEqual(r.Pairs, want) {
+					t.Fatalf("join pairs %+v", r.Pairs)
+				}
+			}},
+		{query.Request{Kind: query.KindNearBest, Keys: keys, Probes: []uint32{4}},
+			func(t *testing.T, r *query.Result) {
+				if len(r.Matches) != 1 || r.Matches[0].Key != 5 || r.Matches[0].Distance != 1 {
+					t.Fatalf("nearest %+v", r.Matches)
+				}
+			}},
+	}
+	for _, tc := range cases {
+		q := tc.q
+		t.Run(string(q.Kind), func(t *testing.T) {
+			resp, err := s.Submit(context.Background(), Request{Backend: "bitlevel", Chains: 4, Query: &q})
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.check(t, resp.Query)
+		})
+	}
+}
+
+func TestQueryHTTPAndMetrics(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	httpResp, body := postJob(t, ts, queryRequest("fast"))
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", httpResp.StatusCode, body)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode: %v\n%s", err, body)
+	}
+	if resp.Query == nil || len(resp.Query.Hits) != 3 {
+		t.Fatalf("query payload missing: %s", body)
+	}
+
+	rec := httptest.NewRecorder()
+	s.Registry().Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	page := rec.Body.String()
+	if !strings.Contains(page, `caped_query_lookups_total{kind="kv.get"} 3`) {
+		t.Fatalf("lookup counter missing:\n%s", page)
+	}
+	if !strings.Contains(page, `caped_query_rows_scanned_total{kind="kv.get"} 12`) {
+		t.Fatalf("rows-scanned counter missing:\n%s", page)
+	}
+}
+
+func TestQueryMalformedRejected(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	bad := []Request{
+		{Query: &query.Request{Kind: "bogus", Keys: []uint32{1}}},
+		{Query: &query.Request{Kind: query.KindKVGet, Keys: []uint32{1}}},                                     // no probes
+		{Query: &query.Request{Kind: query.KindKVGet}},                                                        // no keys
+		{Source: "ret", Query: &query.Request{Kind: query.KindKVGet, Keys: []uint32{1}, Probes: []uint32{1}}}, // both kinds
+		{Chains: 1, Query: &query.Request{Kind: query.KindKVGet,
+			Keys: make([]uint32, 64), Probes: []uint32{1}}}, // 64 rows > 32 lanes
+	}
+	for i, req := range bad {
+		httpResp, body := postJob(t, ts, req)
+		if httpResp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("case %d: status %d (want 400): %s", i, httpResp.StatusCode, body)
+		}
+	}
+}
+
+// TestQueryTraced checks cycle attribution lands in the query classes
+// through the serving path.
+func TestQueryTraced(t *testing.T) {
+	s := New(testOptions())
+	defer s.Close()
+	req := queryRequest("bitlevel")
+	req.Trace = true
+	resp, err := s.Submit(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundSearch, foundReduce := false, false
+	for _, e := range resp.Occupancy {
+		if e.Class == "query-search" && e.Cycles > 0 {
+			foundSearch = true
+		}
+		if e.Class == "query-reduce" && e.Cycles > 0 {
+			foundReduce = true
+		}
+	}
+	if !foundSearch || !foundReduce {
+		t.Fatalf("query classes missing from occupancy: %+v", resp.Occupancy)
+	}
+}

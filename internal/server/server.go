@@ -307,6 +307,8 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 // jobName labels a request in logs before it compiles.
 func jobName(req Request) string {
 	switch {
+	case req.Query != nil:
+		return "query:" + string(req.Query.Kind)
 	case req.Workload != "":
 		return req.Workload
 	case req.Name != "":
@@ -533,6 +535,15 @@ func (s *Server) runJob(j *job) {
 			s.reg.Counter("caped_cycles_total",
 				"Simulated cycles attributed by pipeline stage and instruction class (traced jobs).",
 				metrics.Labels{"stage": e.Stage, "class": e.Class}).Add(uint64(e.Cycles))
+		}
+		if q := d.resp.Query; q != nil {
+			kind := metrics.Labels{"kind": string(q.Kind)}
+			s.reg.Counter("caped_query_lookups_total",
+				"Associative point probes served by query jobs, by kind.", kind).
+				Add(q.Stats.Lookups)
+			s.reg.Counter("caped_query_rows_scanned_total",
+				"Resident rows examined by query-job searches, by kind.", kind).
+				Add(q.Stats.RowsScanned)
 		}
 	}
 	s.totalH.Observe(float64(totalNS) / 1e9)

@@ -151,8 +151,32 @@ func VectorCycles(op isa.Opcode, chains int, imm int64, sew int) (int, bool) {
 		// Three bit-parallel cycles per shifted position, plus the
 		// initial copy.
 		return 3 + 3*(int(imm)%n), true
+
+	// Content-addressable query subset (see internal/query).
+	case isa.OpVMSEARCH_VX:
+		// One bulk tag preset, one serial search per cared bit (charged
+		// at the worst case of n cared bits — the scalar is not visible
+		// here), the bit-serial tag combine across the chain's ElemBits
+		// subarrays, and the two-cycle mask write.
+		return n + ElemBits + 3, true
+	case isa.OpVHAMM_VX:
+		// Per source bit: one mismatch search, the two-cycle indicator
+		// write, and a ripple increment of the ceil(log2(n+1))-bit
+		// mismatch counter at seven cycles per counter bit; plus the two
+		// bulk pre-clears.
+		return n*(3+7*counterBits(n)) + 2, true
 	}
 	return 0, false
+}
+
+// counterBits returns the width of a counter that can hold values
+// 0..n: the mismatch-count accumulator of vhamm.vx.
+func counterBits(n int) int {
+	w := 0
+	for 1<<w < n+1 {
+		w++
+	}
+	return w
 }
 
 // PaperLaneEnergyPJ returns Table I's per-lane energy for the

@@ -33,9 +33,7 @@ func GenerateSEW(op isa.Opcode, vd, vs2, vs1 int, x uint64, sew int) ([]MicroOp,
 		return nil, fmt.Errorf("tt: unsupported element width %d", sew)
 	}
 	g := &gen{n: sew}
-	if sew < 64 {
-		x &= 1<<uint(sew) - 1
-	}
+	x = MaskScalar(op, x, sew)
 	switch op {
 	case isa.OpVADD_VV:
 		g.addSub(vd, vs2, vs1, false)
@@ -89,10 +87,31 @@ func GenerateSEW(op isa.Opcode, vd, vs2, vs1 int, x uint64, sew int) ([]MicroOp,
 		g.shift(vd, vs2, int(x), chain.SrcPrevTag)
 	case isa.OpVSRL_VI:
 		g.shift(vd, vs2, int(x), chain.SrcNextTag)
+	case isa.OpVMSEARCH_VX:
+		g.msearchVX(vd, vs2, x)
+	case isa.OpVHAMM_VX:
+		g.hammVX(vd, vs2, x)
 	default:
 		return nil, fmt.Errorf("tt: no associative algorithm for %v", op)
 	}
 	return g.ops, nil
+}
+
+// MaskScalar reduces the scalar operand x to the bits the generator
+// keeps for op at the given element width. Every .vx form truncates to
+// SEW bits, as RVV does, except vmsearch.vx, whose scalar packs a
+// (value, care-mask) pair into 2×SEW bits. The microcode template
+// cache applies the same reduction so equal-after-masking scalars
+// share one binding.
+func MaskScalar(op isa.Opcode, x uint64, sew int) uint64 {
+	keep := uint(sew)
+	if op == isa.OpVMSEARCH_VX {
+		keep = 2 * uint(sew)
+	}
+	if keep < 64 {
+		x &= 1<<keep - 1
+	}
+	return x
 }
 
 // gen accumulates microops.
@@ -469,4 +488,93 @@ func (g *gen) redsum(a int) {
 func (g *gen) cpop(a int) {
 	g.search(0, sram.Key{}.Match1(a), sram.AccSet)
 	g.emit(MicroOp{Kind: KReduce, Sub: 0, Cycles: 0})
+}
+
+// msearchVX emits vmsearch.vx, the ternary CAM probe: x packs the
+// comparand (low n bits) and the care mask (next n bits). One empty-key
+// bulk search presets every subarray tag to match-all, each cared bit
+// then overwrites its own subarray's tag with the single-polarity
+// match, and the bit-serial AND combine plus mask write land the
+// verdict in bit 0 of d. Don't-care bits cost nothing — the probe is
+// cheaper the sparser the key, exactly the CAM behaviour.
+func (g *gen) msearchVX(d, a int, x uint64) {
+	all := chain.Selector{Src: chain.SrcAllCols}
+	value := x
+	care := x >> uint(g.n)
+	if care == 0 {
+		// All-don't-care key: every element matches.
+		g.updateAll(d, false, all)
+		g.update(0, d, true, all)
+		return
+	}
+	g.searchAll(sram.Key{}, sram.AccSet) // empty key: preset all tags
+	for s := 0; s < g.n; s++ {
+		if care>>uint(s)&1 == 0 {
+			continue
+		}
+		k := sram.Key{}.Match0(a)
+		if value>>uint(s)&1 == 1 {
+			k = sram.Key{}.Match1(a)
+		}
+		g.search(s, k, sram.AccSet)
+	}
+	g.enableCombine(CombineAnd, false)
+	g.updateAll(d, false, all)
+	g.update(0, d, true, chain.Selector{Src: chain.SrcEnable})
+}
+
+// hammBits returns the width of the vhamm.vx mismatch counter: enough
+// bits to hold distances 0..n.
+func hammBits(n int) int {
+	w := 0
+	for 1<<w < n+1 {
+		w++
+	}
+	return w
+}
+
+// hammVX emits vhamm.vx: d = popcount(a ^ x), the multi-bit mismatch
+// count of the analog-CAM similarity-search papers. Per source bit the
+// mismatch indicator is searched into the tag of subarray s, broadcast
+// into bit 0 of the carry row, and rippled into the low hammBits(n)
+// bits of d with the in-place increment d += carry (majority/XOR
+// searches like the adder, both polarities written because d
+// accumulates in place).
+func (g *gen) hammVX(d, a int, x uint64) {
+	if d == a {
+		g.copyReg(sram.RowM3, a)
+		a = sram.RowM3
+	}
+	all := chain.Selector{Src: chain.SrcAllCols}
+	own := chain.Selector{Src: chain.SrcOwnTag}
+	ownInv := chain.Selector{Src: chain.SrcOwnTag, Invert: true}
+	prev := chain.Selector{Src: chain.SrcPrevTag}
+	prevInv := chain.Selector{Src: chain.SrcPrevTag, Invert: true}
+	w := hammBits(g.n)
+
+	g.updateAll(d, false, all)
+	g.updateAll(sram.RowCarry, false, all)
+	for s := 0; s < g.n; s++ {
+		// Mismatch indicator for bit s: the stored bit differs from x's.
+		k := sram.Key{}.Match1(a)
+		if x>>uint(s)&1 == 1 {
+			k = sram.Key{}.Match0(a)
+		}
+		g.search(s, k, sram.AccSet)
+		g.update(0, sram.RowCarry, true, chain.Selector{Src: chain.SrcSubTag, Sub: s})
+		g.update(0, sram.RowCarry, false, chain.Selector{Src: chain.SrcSubTag, Sub: s, Invert: true})
+		// Ripple increment: d += carry over the counter bits.
+		for s2 := 0; s2 < w; s2++ {
+			// carry_{s2+1} = d_s2 & carry_s2, computed before either is
+			// overwritten; both polarities clear last iteration's carry.
+			g.search(s2, sram.Key{}.Match1(d).Match1(sram.RowCarry), sram.AccSet)
+			g.update(s2+1, sram.RowCarry, true, prev)
+			g.update(s2+1, sram.RowCarry, false, prevInv)
+			// d_s2 ^= carry_s2.
+			g.search(s2, sram.Key{}.Match1(d), sram.AccSet)
+			g.search(s2, sram.Key{}.Match1(sram.RowCarry), sram.AccXor)
+			g.update(s2, d, true, own)
+			g.update(s2, d, false, ownInv)
+		}
+	}
 }

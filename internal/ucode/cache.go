@@ -82,7 +82,7 @@ func (c *Cache) Stats() CacheStats {
 // lower is the cached lowering path: lookup, else build outside the
 // lock and insert.
 func (c *Cache) lower(op isa.Opcode, vd, vs2, vs1 int, x uint64, sew int) (Seq, error) {
-	maskedX := maskX(x, sew)
+	maskedX := maskX(op, x, sew)
 	k := Key{Op: op, Vd: uint8(vd), Vs2: uint8(vs2), Vs1: uint8(vs1), SEW: uint8(sew)}
 
 	c.mu.Lock()

@@ -144,9 +144,11 @@ func encodeAll(ops []tt.MicroOp) ([]vcu.CommandWord, error) {
 
 // maskX reduces x to the bits the generator keeps, mirroring
 // tt.GenerateSEW so equal-after-masking scalars share one binding.
-func maskX(x uint64, sew int) uint64 {
+// The reduction is op-aware: vmsearch.vx keeps 2×SEW bits for its
+// packed (value, care) pair.
+func maskX(op isa.Opcode, x uint64, sew int) uint64 {
 	if sew > 0 && sew < 64 {
-		x &= 1<<uint(sew) - 1
+		x = tt.MaskScalar(op, x, sew)
 	}
 	return x
 }

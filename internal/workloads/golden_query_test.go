@@ -1,0 +1,176 @@
+package workloads
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"sync"
+	"testing"
+
+	"cape/internal/core"
+	"cape/internal/isa"
+	"cape/internal/query"
+	"cape/internal/ucode"
+)
+
+// queryGoldenScenario drives one query family deterministically and
+// returns every observable result for digesting.
+type queryGoldenScenario struct {
+	name string
+	sew  int
+	run  func(e *query.Engine) (any, error)
+}
+
+// queryGoldenTable is the fixed resident table shared by the
+// scenarios: 48 rows of LCG keys and values.
+func queryGoldenTable(sew int) (keys, vals []uint32) {
+	mask := uint32(1)<<uint(sew) - 1
+	if sew == 32 {
+		mask = ^uint32(0)
+	}
+	lcg := uint32(0x901DE4)
+	keys = make([]uint32, 48)
+	vals = make([]uint32, 48)
+	for i := range keys {
+		lcg = lcg*1664525 + 1013904223
+		keys[i] = lcg & mask
+		lcg = lcg*1664525 + 1013904223
+		vals[i] = lcg & mask
+	}
+	return keys, vals
+}
+
+func queryGoldenScenarios() []queryGoldenScenario {
+	return []queryGoldenScenario{
+		{"query/kv", 16, func(e *query.Engine) (any, error) {
+			keys, _ := queryGoldenTable(16)
+			var out []any
+			out = append(out, e.GetBatch([]uint32{keys[0], keys[17], 0xBEEF & 0xFFFF}))
+			if _, _, err := e.Put(keys[3], 0x1234); err != nil {
+				return nil, err
+			}
+			if _, _, err := e.Put(0x7777, 0x4242); err != nil {
+				return nil, err
+			}
+			out = append(out, e.Get(keys[3]), e.Get(0x7777))
+			return out, nil
+		}},
+		{"query/select-range", 16, func(e *query.Engine) (any, error) {
+			var out []any
+			sel, err := e.Select(query.PredLt, 1<<14, 0)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, sel)
+			out = append(out, e.Search(0x4000, 0xC000)) // ternary: top two bits = 01
+			rng, err := e.Range(0x1000, 0x6000)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, rng)
+			return out, nil
+		}},
+		{"query/join", 8, func(e *query.Engine) (any, error) {
+			keys, _ := queryGoldenTable(8)
+			return e.Join([]uint32{keys[5], keys[30], 0xEE, keys[5]})
+		}},
+		{"query/nearest", 16, func(e *query.Engine) (any, error) {
+			keys, _ := queryGoldenTable(16)
+			var out []any
+			best, ok := e.Nearest(keys[9] ^ 0x0101)
+			out = append(out, best, ok)
+			out = append(out, e.Within(keys[9], 3))
+			return out, nil
+		}},
+	}
+}
+
+// digestQueryState pins a scenario: Vec hashes the engine's final
+// resident register file (same FNV-1a scheme as digestMachine), RAM
+// checksums the canonical JSON of every returned result.
+func digestQueryState(b core.Backend, results any) (goldenDigest, error) {
+	const prime64 = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint32) {
+		for i := 0; i < 4; i++ {
+			h ^= uint64(v) & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for v := 0; v < isa.NumVRegs; v++ {
+		for e := 0; e < b.MaxVL(); e++ {
+			mix(b.ReadElem(v, e))
+		}
+	}
+	data, err := json.Marshal(results)
+	if err != nil {
+		return goldenDigest{}, err
+	}
+	crc := crc32.Checksum(data, crc32.MakeTable(crc32.Castagnoli))
+	return goldenDigest{
+		Vec: fmt.Sprintf("%016x", h),
+		RAM: fmt.Sprintf("%08x", crc),
+	}, nil
+}
+
+// TestGoldenQueryVectors locks the query engine's observable behavior
+// — results and final resident state — to checksums in testdata,
+// measured on the bit-level backend (real masked-search microcode).
+// Regenerate intentional changes with `go test ./internal/workloads
+// -run TestGoldenQueryVectors -update-golden`.
+func TestGoldenQueryVectors(t *testing.T) {
+	var want map[string]goldenDigest
+	if !*updateGolden {
+		want = loadGolden(t)
+	}
+
+	var mu sync.Mutex
+	got := make(map[string]goldenDigest)
+
+	t.Run("scenarios", func(t *testing.T) {
+		for _, sc := range queryGoldenScenarios() {
+			sc := sc
+			t.Run(sc.name, func(t *testing.T) {
+				t.Parallel()
+				eng, err := query.New(query.Config{
+					Backend: core.NewBitBackend(2),
+					SEW:     sc.sew,
+					Cache:   ucode.NewCache(0),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				keys, vals := queryGoldenTable(sc.sew)
+				if err := eng.Load(keys, vals); err != nil {
+					t.Fatal(err)
+				}
+				results, err := sc.run(eng)
+				if err != nil {
+					t.Fatalf("run: %v", err)
+				}
+				d, err := digestQueryState(eng.Backend(), results)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mu.Lock()
+				got[sc.name] = d
+				mu.Unlock()
+				if want != nil {
+					g, ok := want[sc.name]
+					if !ok {
+						t.Fatalf("no golden entry for %q (run -update-golden)", sc.name)
+					}
+					if d != g {
+						t.Fatalf("query behavior drifted from golden:\n got %+v\nwant %+v\n"+
+							"(if intentional, regenerate with -update-golden)", d, g)
+					}
+				}
+			})
+		}
+	})
+
+	if *updateGolden && !t.Failed() {
+		mergeGolden(t, got)
+	}
+}

@@ -118,21 +118,43 @@ func TestGoldenVectors(t *testing.T) {
 	})
 
 	if *updateGolden && !t.Failed() {
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
-			t.Fatal(err)
-		}
-		data, err := json.MarshalIndent(got, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-		names := make([]string, 0, len(got))
-		for n := range got {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		t.Logf("wrote %d golden digests to %s: %v", len(got), goldenPath, names)
+		mergeGolden(t, got)
 	}
 }
+
+// mergeGolden folds this test's digests into golden.json without
+// disturbing entries owned by other golden tests (read-modify-write,
+// so workload and query vectors can regenerate independently).
+func mergeGolden(t *testing.T, got map[string]goldenDigest) {
+	t.Helper()
+	goldenMu.Lock()
+	defer goldenMu.Unlock()
+	merged := map[string]goldenDigest{}
+	if data, err := os.ReadFile(goldenPath); err == nil {
+		if err := json.Unmarshal(data, &merged); err != nil {
+			t.Fatalf("parsing existing %s: %v", goldenPath, err)
+		}
+	}
+	for n, d := range got {
+		merged[n] = d
+	}
+	if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, 0, len(got))
+	for n := range got {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	t.Logf("merged %d golden digests into %s: %v", len(got), goldenPath, names)
+}
+
+// goldenMu serializes golden.json read-modify-write across tests.
+var goldenMu sync.Mutex

@@ -1,0 +1,57 @@
+package cape
+
+import (
+	"cape/internal/query"
+)
+
+// QueryEngine runs content-addressable query workloads — a CAM-backed
+// key-value store, relational select/join kernels, and multi-bit
+// nearest-match search — directly on a machine's CSB, with every
+// operation compiled to masked-search microop sequences (see
+// internal/query).
+type QueryEngine = query.Engine
+
+// QueryRequest is a declarative query job, servable through caped or
+// runnable locally with Machine.Query; QueryResult is its outcome.
+type (
+	QueryRequest = query.Request
+	QueryResult  = query.Result
+	QueryStats   = query.Stats
+	QueryMatch   = query.Match
+	QueryLookup  = query.Lookup
+	QueryPair    = query.JoinPair
+	QueryPred    = query.Pred
+)
+
+// Query job kinds and select predicates.
+const (
+	QueryKVGet      = query.KindKVGet
+	QueryKVSelect   = query.KindKVSelect
+	QueryKVRange    = query.KindKVRange
+	QueryRelSelect  = query.KindRelSelect
+	QueryRelJoin    = query.KindRelJoin
+	QueryNearBest   = query.KindNearBest
+	QueryNearWithin = query.KindNearWithin
+
+	PredEq    = query.PredEq
+	PredLt    = query.PredLt
+	PredRange = query.PredRange
+)
+
+// Query builds a content-addressable query engine over the machine's
+// CSB at the given element width (8, 16 or 32; 0 defaults to 32). The
+// engine works on both backends: bit-level machines execute real
+// masked-search microcode, fast machines apply the golden semantics —
+// results are bit-identical either way.
+func (m *Machine) Query(sew int) (*QueryEngine, error) {
+	eng, err := query.New(query.Config{
+		Backend:  m.Backend(),
+		SEW:      sew,
+		Cache:    m.UcodeCache(),
+		Recorder: m.Recorder(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return eng, nil
+}

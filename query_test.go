@@ -1,0 +1,44 @@
+package cape_test
+
+import (
+	"testing"
+
+	"cape"
+)
+
+// TestMachineQuery drives the public query engine on both backends.
+func TestMachineQuery(t *testing.T) {
+	for _, name := range []string{"fast", "bitlevel"} {
+		cfg := cape.CAPE32k()
+		cfg.Chains = 4
+		if name == "bitlevel" {
+			cfg.Backend = cape.BackendBitLevel
+		}
+		m := cape.NewMachine(cfg)
+		eng, err := m.Query(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Load([]uint32{7, 8, 9}, []uint32{70, 80, 90}); err != nil {
+			t.Fatal(err)
+		}
+		if got := eng.Get(8); !got.Found || got.Val != 80 {
+			t.Fatalf("%s: get(8) = %+v", name, got)
+		}
+		best, ok := eng.Nearest(6)
+		if !ok || best.Key != 7 {
+			t.Fatalf("%s: nearest(6) = %+v, %v", name, best, ok)
+		}
+		res, err := (&cape.QueryRequest{
+			Kind:   cape.QueryRelJoin,
+			Keys:   []uint32{1, 2, 1},
+			Probes: []uint32{1},
+		}).Run(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Pairs) != 2 {
+			t.Fatalf("%s: join pairs %+v", name, res.Pairs)
+		}
+	}
+}

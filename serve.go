@@ -16,8 +16,9 @@ type Server = server.Server
 // defaults (GOMAXPROCS workers, 256-deep queue, 60 s timeout).
 type ServerOptions = server.Options
 
-// JobRequest describes one job: assembly source or a named workload
-// kernel, the machine selection, and per-job limits.
+// JobRequest describes one job: assembly source, a named workload
+// kernel, or a declarative query (see QueryRequest), plus the machine
+// selection and per-job limits.
 type JobRequest = server.Request
 
 // JobResponse carries the full simulator Result plus the host-side
