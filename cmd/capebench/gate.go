@@ -30,6 +30,10 @@ type benchBaseline struct {
 	// baseline. Both sides are modeled, so the numbers are
 	// deterministic across hosts.
 	Query map[string]float64 `json:"query,omitempty"`
+	// Bitslice keys are "<config>/<inst>" matching bitsliceBenchEntry;
+	// values are compiled-path speedup floors vs the retired scalar
+	// engine.
+	Bitslice map[string]float64 `json:"bitslice,omitempty"`
 }
 
 // checkBaseline compares this run's experiment results against the
@@ -61,6 +65,37 @@ func checkBaseline(path string, results map[string]fmt.Stringer) error {
 				name, got, floor, 100*tol)
 		}
 	}
+	// gateSection checks one experiment's measurements against its
+	// floors, in both directions: a floor whose scenario was not
+	// measured fails, and a measured scenario with no floor in the
+	// baseline fails too — an unfloored measurement would silently pass
+	// forever, so the gate demands the baseline be extended instead.
+	gateSection := func(section string, floors, cur map[string]float64) {
+		keys := make([]string, 0, len(floors))
+		for k := range floors {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			got, ok := cur[k]
+			if !ok {
+				fail("%s: baseline key %q was not measured", section, k)
+				continue
+			}
+			check(section+" "+k, got, floors[k])
+		}
+		missing := make([]string, 0)
+		for k := range cur {
+			if _, ok := floors[k]; !ok {
+				missing = append(missing, k)
+			}
+		}
+		sort.Strings(missing)
+		for _, k := range missing {
+			fail("%s: measured %q (%.2fx) has no floor in the baseline — add a %q entry to %s",
+				section, k, cur[k], section, path)
+		}
+	}
 
 	if len(bl.CSBParallel) > 0 {
 		r, ok := results["csbparallel"].(csbBenchReport)
@@ -71,19 +106,7 @@ func checkBaseline(path string, results map[string]fmt.Stringer) error {
 		for _, e := range r.Entries {
 			cur[e.Config+"/"+e.Inst] = e.Speedup
 		}
-		keys := make([]string, 0, len(bl.CSBParallel))
-		for k := range bl.CSBParallel {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			got, ok := cur[k]
-			if !ok {
-				fail("csbparallel: baseline key %q was not measured", k)
-				continue
-			}
-			check("csbparallel "+k, got, bl.CSBParallel[k])
-		}
+		gateSection("csbparallel", bl.CSBParallel, cur)
 	}
 
 	if len(bl.Ucode) > 0 {
@@ -95,19 +118,7 @@ func checkBaseline(path string, results map[string]fmt.Stringer) error {
 		if len(r.EndToEnd) > 0 {
 			cur["e2e_speedup"] = r.EndToEnd[0].Speedup
 		}
-		keys := make([]string, 0, len(bl.Ucode))
-		for k := range bl.Ucode {
-			keys = append(keys, k)
-		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			got, ok := cur[k]
-			if !ok {
-				fail("ucode: unknown baseline key %q (want stream_speedup or e2e_speedup)", k)
-				continue
-			}
-			check("ucode "+k, got, bl.Ucode[k])
-		}
+		gateSection("ucode", bl.Ucode, cur)
 	}
 
 	if len(bl.Query) > 0 {
@@ -119,23 +130,23 @@ func checkBaseline(path string, results map[string]fmt.Stringer) error {
 		for _, e := range r.Entries {
 			cur[e.Scenario] = e.Speedup
 		}
-		keys := make([]string, 0, len(bl.Query))
-		for k := range bl.Query {
-			keys = append(keys, k)
+		gateSection("query", bl.Query, cur)
+	}
+
+	if len(bl.Bitslice) > 0 {
+		r, ok := results["bitslice"].(bitsliceBenchReport)
+		if !ok {
+			return fmt.Errorf("baseline has bitslice floors but the experiment did not run (add -exp bitslice)")
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			got, ok := cur[k]
-			if !ok {
-				fail("query: baseline key %q was not measured", k)
-				continue
-			}
-			check("query "+k, got, bl.Query[k])
+		cur := map[string]float64{}
+		for _, e := range r.Entries {
+			cur[e.Config+"/"+e.Inst] = e.Speedup
 		}
+		gateSection("bitslice", bl.Bitslice, cur)
 	}
 
 	if checked == 0 && len(failures) == 0 {
-		return fmt.Errorf("%s gates nothing (no csbparallel, ucode or query floors)", path)
+		return fmt.Errorf("%s gates nothing (no csbparallel, ucode, query or bitslice floors)", path)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d of %d checks failed:\n  %s",

@@ -94,6 +94,9 @@ func experiments() []experiment {
 		{"ucode", "compile-once microcode: cached vs. direct lowering (writes BENCH_ucode.json)", func() (fmt.Stringer, error) {
 			return ucodeBench()
 		}},
+		{"bitslice", "word-parallel bit-slice engine vs. retired scalar engine (writes BENCH_bitslice.json)", func() (fmt.Stringer, error) {
+			return bitsliceBench()
+		}},
 		{"chaos", "fault injection vs. serving resilience (writes BENCH_chaos.json)", func() (fmt.Stringer, error) {
 			return chaosBench()
 		}},

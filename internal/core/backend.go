@@ -207,7 +207,13 @@ func (b *BitBackend) Exec(inst isa.Inst, x uint64) (int64, bool) {
 func (b *BitBackend) ExecSeq(inst isa.Inst, seq ucode.Seq) (int64, bool) {
 	w := isa.Window{SEW: b.sew}
 	b.csb.ResetReduction()
-	b.csb.Run(seq.Ops())
+	if p := seq.Program(); p != nil {
+		// Cached template: execute the fused kernel — no per-microop
+		// dispatch, bit- and stats-identical to the interpreter.
+		b.csb.RunProgram(p, seq.Ops())
+	} else {
+		b.csb.Run(seq.Ops())
+	}
 	switch inst.Op {
 	case isa.OpVREDSUM_VS:
 		vd, vs1 := int(inst.Vd), int(inst.Vs1)

@@ -374,6 +374,38 @@ func fuzzSeedCorpus() [][]byte {
 					inst(isa.OpVMSEARCH_VX, 0, 1, 0, 0x0000). // all-don't-care key
 					inst(isa.OpVCPOP_M, 0, 0, 0, 0))
 
+	// Word-boundary windows for the bit-slice engine: the uint64 path
+	// processes 64 lanes per word, so vl values of 63/64/65/127/128 hit
+	// an untouched tail word, an exact word, a one-lane spill, a masked
+	// tail and the full range. Each gets arithmetic, a reduction and the
+	// query microops so every masked head/tail variant is replayed.
+	for _, vl := range []int{63, 64, 65, 127, 128} {
+		add(newCorpus(2, uint32(0xB17B0+vl)).
+			window(0, vl).
+			inst(isa.OpVADD_VV, 3, 1, 2, 0).
+			inst(isa.OpVMUL_VV, 4, 3, 1, 0).
+			inst(isa.OpVREDSUM_VS, 5, 4, 6, 0).
+			inst(isa.OpVMSEARCH_VX, 0, 1, 0, 0x42FF).
+			inst(isa.OpVCPOP_M, 0, 0, 0, 0).
+			inst(isa.OpVHAMM_VX, 6, 1, 0, 0xBEEF).
+			inst(isa.OpVFIRST_M, 0, 0, 0, 0))
+	}
+
+	// Non-zero vstart around the 64-lane boundary: head-masked first
+	// word, a window living entirely in the second word, and the
+	// minimal two-lane window crossing the boundary.
+	add(newCorpus(2, 0x51A57).
+		window(1, 64).
+		inst(isa.OpVSUB_VV, 3, 1, 2, 0).
+		inst(isa.OpVMSEARCH_VX, 0, 3, 0, 0x10F0).
+		inst(isa.OpVCPOP_M, 0, 0, 0, 0).
+		window(63, 65).
+		inst(isa.OpVADD_VX, 3, 3, 0, 7).
+		inst(isa.OpVHAMM_VX, 4, 3, 0, 0x1234).
+		window(65, 127).
+		inst(isa.OpVXOR_VV, 4, 3, 1, 0).
+		inst(isa.OpVFIRST_M, 0, 0, 0, 0))
+
 	// empty and degenerate windows.
 	add(newCorpus(2, 0x9999).
 		window(64, 64).

@@ -27,6 +27,13 @@ import (
 // only by the calling goroutine, so the parallel path is bit- and
 // stats-identical to the serial one.
 type CSB struct {
+	// n is the chain count. Exactly one of bits/chains is populated:
+	// New builds the word-parallel bit-slice engine (bits != nil);
+	// NewScalar builds the retired per-chain reference engine (chains
+	// != nil), kept for differential testing. Both expose identical
+	// architectural behaviour, Stats and StateDigest values.
+	n      int
+	bits   *bitState
 	chains []*chain.Chain
 	vl     int
 	vstart int
@@ -95,13 +102,36 @@ func (s *Stats) Add(o Stats) {
 	s.Cycles += o.Cycles
 }
 
-// New builds a CSB with numChains chains. CAPE32k uses 1,024 chains,
+// New builds a CSB with numChains chains on the word-parallel
+// bit-slice engine (see bitslice.go). CAPE32k uses 1,024 chains,
 // CAPE131k uses 4,096 (paper §VI).
 func New(numChains int) *CSB {
 	if numChains <= 0 {
 		panic("csb: chain count must be positive")
 	}
 	c := &CSB{
+		n:             numChains,
+		bits:          newBitState(numChains),
+		stuckAtRun:    -1,
+		panicAtRun:    -1,
+		pendingPanicW: -1,
+	}
+	c.SetWindow(0, c.MaxVL())
+	return c
+}
+
+// NewScalar builds a CSB on the retired per-chain scalar engine: one
+// chain.Chain per chain, every microoperation evaluated one uint32 of
+// columns at a time. It is kept as the independent reference
+// implementation that the differential suites (FuzzBitSliceVsScalar,
+// the bitslice benchmark) pin the word-parallel engine against; new
+// production code should use New.
+func NewScalar(numChains int) *CSB {
+	if numChains <= 0 {
+		panic("csb: chain count must be positive")
+	}
+	c := &CSB{
+		n:             numChains,
 		chains:        make([]*chain.Chain, numChains),
 		stuckAtRun:    -1,
 		panicAtRun:    -1,
@@ -115,14 +145,93 @@ func New(numChains int) *CSB {
 }
 
 // NumChains returns the chain count.
-func (c *CSB) NumChains() int { return len(c.chains) }
+func (c *CSB) NumChains() int { return c.n }
 
 // MaxVL is the hardware vector-length limit: one element per column per
 // chain.
-func (c *CSB) MaxVL() int { return len(c.chains) * chain.ColsPerChain }
+func (c *CSB) MaxVL() int { return c.n * chain.ColsPerChain }
 
-// Chain returns chain k (for tests and the memory-only mode).
-func (c *CSB) Chain(k int) *chain.Chain { return c.chains[k] }
+// Chain returns chain k. On the scalar engine this is the live chain;
+// on the bit-slice engine it is a freshly materialized read-only
+// snapshot (tests and diagnostics only — writes to it are not seen by
+// the engine; the row-wise memory modes go through ReadRowWise /
+// WriteRowWise instead).
+func (c *CSB) Chain(k int) *chain.Chain {
+	if c.bits != nil {
+		if k < 0 || k >= c.n {
+			panic(fmt.Sprintf("csb: chain %d out of range [0,%d)", k, c.n))
+		}
+		return c.bits.bm.UnpackChain(k)
+	}
+	return c.chains[k]
+}
+
+// ReadRowWise reads the 32-bit word of (chain ch, subarray sub, row) in
+// the row-granularity view used by memory-only mode (bit c = column c).
+func (c *CSB) ReadRowWise(ch, sub, row int) uint32 {
+	if c.bits != nil {
+		return c.bits.bm.ReadRowWise(ch, sub, row)
+	}
+	return c.chains[ch].ReadRowWise(sub, row)
+}
+
+// WriteRowWise writes the 32-bit word of (chain ch, subarray sub, row)
+// in the row-granularity view used by memory-only mode.
+func (c *CSB) WriteRowWise(ch, sub, row int, v uint32) {
+	if c.bits != nil {
+		c.bits.bm.WriteRowWise(ch, sub, row, v)
+		return
+	}
+	c.chains[ch].WriteRowWise(sub, row, v)
+}
+
+// MatchRow returns the per-element match mask of a bit-parallel
+// comparand-distributed search (the vmseq.vx circuit path): bit e of
+// the result is set when the bit-sliced element e of register row
+// equals key. It is purely combinational — the memory-mode probe whose
+// result goes straight to the match bus — and leaves tags untouched.
+// The window is not applied; callers filter candidates themselves.
+func (c *CSB) MatchRow(row int, key uint32) sram.Bitmap {
+	out := sram.NewBitmap(c.MaxVL())
+	if c.bits != nil {
+		bm := c.bits.bm
+		for w := range out {
+			m := ^uint64(0)
+			for s := 0; s < chain.SubPerChain; s++ {
+				r := bm.Row(s, row)[w]
+				if key&(1<<uint(s)) != 0 {
+					m &= r
+				} else {
+					m &^= r
+				}
+			}
+			out[w] = m
+		}
+		// Keep tail lanes clean so callers can iterate set bits blindly.
+		tail := c.MaxVL() % sram.BitmapWordBits
+		if tail != 0 {
+			out[len(out)-1] &= ^uint64(0) >> uint(sram.BitmapWordBits-tail)
+		}
+		return out
+	}
+	for k, ch := range c.chains {
+		m := uint32(sram.AllCols)
+		for s := 0; s < chain.SubPerChain; s++ {
+			r := ch.Sub(s).ReadRow(row)
+			if key&(1<<uint(s)) != 0 {
+				m &= r
+			} else {
+				m &^= r
+			}
+		}
+		for m != 0 {
+			col := bits.TrailingZeros32(m)
+			m &= m - 1
+			out.Set(c.ElementIndex(k, col))
+		}
+	}
+	return out
+}
 
 // Window returns the current active element window.
 func (c *CSB) Window() isa.Window { return isa.Window{Start: c.vstart, VL: c.vl} }
@@ -131,12 +240,14 @@ func (c *CSB) Window() isa.Window { return isa.Window{Start: c.vstart, VL: c.vl}
 // elements live in different chains so that one memory sub-request can
 // be consumed by many chains in a single cycle (paper §V-E).
 func (c *CSB) chainOf(e int) (chainIdx, col int) {
-	return e % len(c.chains), e / len(c.chains)
+	return e % c.n, e / c.n
 }
 
-// ElementIndex is the inverse mapping (chain, column) -> element.
+// ElementIndex is the inverse mapping (chain, column) -> element. On
+// the bit-slice engine this is also the lane index: lane col*N + k of
+// every bitmap is element col*N + k.
 func (c *CSB) ElementIndex(chainIdx, col int) int {
-	return col*len(c.chains) + chainIdx
+	return col*c.n + chainIdx
 }
 
 // SetWindow installs vstart/vl and recomputes each chain's
@@ -151,7 +262,13 @@ func (c *CSB) SetWindow(vstart, vl int) {
 	}
 	c.vstart = vstart
 	c.vl = vl
-	n := len(c.chains)
+	if c.bits != nil {
+		// Lane index == element index, so the window is one contiguous
+		// lane range with masked head/tail words.
+		sram.WindowInto(c.bits.bm.Active, c.MaxVL(), vstart, vl)
+		return
+	}
+	n := c.n
 	for k, ch := range c.chains {
 		var m uint32
 		for col := 0; col < chain.ColsPerChain; col++ {
@@ -167,6 +284,17 @@ func (c *CSB) SetWindow(vstart, vl int) {
 // ActiveChains counts chains with at least one active column; fully
 // masked chains power-gate their peripherals (paper §V-F).
 func (c *CSB) ActiveChains() int {
+	if c.bits != nil {
+		// The window [vstart, vl) covers min(vl-vstart, n) distinct
+		// chain residues e % n.
+		if c.vl <= c.vstart {
+			return 0
+		}
+		if span := c.vl - c.vstart; span < c.n {
+			return span
+		}
+		return c.n
+	}
 	n := 0
 	for _, ch := range c.chains {
 		if ch.ActiveMask() != 0 {
@@ -178,8 +306,18 @@ func (c *CSB) ActiveChains() int {
 
 // ReadElement returns element e of vector register v.
 func (c *CSB) ReadElement(v, e int) uint32 {
-	k, col := c.chainOf(e)
 	c.Stats.ElemReads++
+	if c.bits != nil {
+		var val uint32
+		bm := c.bits.bm
+		for s := 0; s < chain.SubPerChain; s++ {
+			if bm.Row(s, v).Get(e) {
+				val |= 1 << uint(s)
+			}
+		}
+		return val
+	}
+	k, col := c.chainOf(e)
 	return c.chains[k].ReadElement(v, col)
 }
 
@@ -187,8 +325,15 @@ func (c *CSB) ReadElement(v, e int) uint32 {
 // path; it ignores the active window — the VMU applies its own
 // masking).
 func (c *CSB) WriteElement(v, e int, val uint32) {
-	k, col := c.chainOf(e)
 	c.Stats.ElemWrites++
+	if c.bits != nil {
+		bm := c.bits.bm
+		for s := 0; s < chain.SubPerChain; s++ {
+			bm.Row(s, v).SetTo(e, val&(1<<uint(s)) != 0)
+		}
+		return
+	}
+	k, col := c.chainOf(e)
 	c.chains[k].WriteElement(v, col, val)
 }
 
@@ -209,7 +354,7 @@ func (c *CSB) SetRecorder(r *obs.Recorder) { c.rec = r }
 // several) CSB cycles.
 func (c *CSB) Execute(op tt.MicroOp) {
 	if c.parallelActive() {
-		c.runParallel([]tt.MicroOp{op}, nil)
+		c.runParallel([]tt.MicroOp{op}, nil, nil)
 		return
 	}
 	c.executeSerial(&op)
@@ -218,8 +363,27 @@ func (c *CSB) Execute(op tt.MicroOp) {
 // executeSerial applies one command to every chain and accounts for it,
 // all on the calling goroutine.
 func (c *CSB) executeSerial(op *tt.MicroOp) {
-	sum := c.executeRange(op, 0, len(c.chains))
+	sum := c.execRange(op, 0, c.units())
 	c.account(op, sum)
+}
+
+// units returns the fan-out unit count of the installed engine: bitmap
+// words for the bit-slice engine, chains for the scalar one. Worker
+// blocks and serial sweeps cover [0, units).
+func (c *CSB) units() int {
+	if c.bits != nil {
+		return c.bits.words
+	}
+	return c.n
+}
+
+// execRange dispatches one command's range work to the installed
+// engine ([lo, hi) in units).
+func (c *CSB) execRange(op *tt.MicroOp, lo, hi int) uint64 {
+	if c.bits != nil {
+		return c.executeBitsRange(op, lo, hi)
+	}
+	return c.executeRange(op, lo, hi)
 }
 
 // executeRange applies the chain-local work of one command to chains
@@ -347,14 +511,43 @@ func (c *CSB) account(op *tt.MicroOp, redSum uint64) {
 // is chain-local, and KReduce partials are folded afterwards in
 // deterministic order (see runParallel).
 func (c *CSB) Run(ops []tt.MicroOp) int {
+	return c.run(ops, nil)
+}
+
+// RunProgram executes a microcode sequence through its compiled
+// Program (see program.go): the per-step closures skip per-microop
+// dispatch and the sequence's Stats delta is added in one shot. ops
+// must be the exact sequence p was compiled from, modulo the scalar X
+// operand, which the steps read from ops at execution time (how ucode
+// templates bind per-call scalars without recompiling). On the scalar
+// engine, or with a nil program, this falls back to Run — the result
+// is bit- and stats-identical either way.
+func (c *CSB) RunProgram(p *Program, ops []tt.MicroOp) int {
+	if c.bits == nil {
+		p = nil
+	}
+	return c.run(ops, p)
+}
+
+// run is the shared Run/RunProgram body: fault tick, then traced /
+// parallel / serial dispatch.
+func (c *CSB) run(ops []tt.MicroOp, p *Program) int {
 	if c.finj != nil {
 		c.faultTick()
 	}
 	if c.rec != nil {
-		return c.runTraced(ops)
+		return c.runTraced(ops, p)
 	}
+	return c.exec(ops, p)
+}
+
+// exec picks the execution strategy for one sequence.
+func (c *CSB) exec(ops []tt.MicroOp, p *Program) int {
 	if c.parallelActive() && len(ops) > 0 {
-		return c.runParallel(ops, nil)
+		return c.runParallel(ops, p, nil)
+	}
+	if p != nil {
+		return c.runProgramSerial(p, ops)
 	}
 	for i := range ops {
 		c.executeSerial(&ops[i])
@@ -366,7 +559,7 @@ func (c *CSB) Run(ops []tt.MicroOp) int {
 // sampled microcode sequence, plus one span per fan-out worker when
 // the pool is active. The sampling decision is made once per sequence
 // so the coordinator span and its worker spans appear together.
-func (c *CSB) runTraced(ops []tt.MicroOp) int {
+func (c *CSB) runTraced(ops []tt.MicroOp, p *Program) int {
 	rec := c.rec
 	var wrec *obs.Recorder
 	var t0 int64
@@ -376,7 +569,9 @@ func (c *CSB) runTraced(ops []tt.MicroOp) int {
 	}
 	var cost int
 	if c.parallelActive() && len(ops) > 0 {
-		cost = c.runParallel(ops, wrec)
+		cost = c.runParallel(ops, p, wrec)
+	} else if p != nil {
+		cost = c.runProgramSerial(p, ops)
 	} else {
 		for i := range ops {
 			c.executeSerial(&ops[i])
@@ -402,6 +597,18 @@ func (c *CSB) runTraced(ops []tt.MicroOp) int {
 // when a worker pool is installed, so serial and parallel execution see
 // the identical priority-encoder result.
 func (c *CSB) FirstSetTag() int64 {
+	if c.bits != nil {
+		// Lane order is element order, so the first set bit of
+		// tag[0] & active is the answer directly.
+		tag := c.bits.bm.Tags[0]
+		act := c.bits.bm.Active
+		for w := range tag {
+			if v := tag[w] & act[w]; v != 0 {
+				return int64(w*sram.BitmapWordBits + bits.TrailingZeros64(v))
+			}
+		}
+		return -1
+	}
 	best := int64(-1)
 	for k, ch := range c.chains {
 		tags := ch.TagOf(0) & ch.ActiveMask()
@@ -435,11 +642,19 @@ func (c *CSB) StateDigest() uint64 {
 			v >>= 8
 		}
 	}
-	mix(uint64(len(c.chains)))
+	mix(uint64(c.n))
 	mix(uint64(c.vstart))
 	mix(uint64(c.vl))
 	mix(c.redAcc)
-	for _, ch := range c.chains {
+	for k := 0; k < c.n; k++ {
+		var ch *chain.Chain
+		if c.bits != nil {
+			// Gather the chain's lanes back into scalar form so both
+			// engines hash byte-identical material.
+			ch = c.bits.bm.UnpackChain(k)
+		} else {
+			ch = c.chains[k]
+		}
 		mix(uint64(ch.Enable()))
 		mix(uint64(ch.ActiveMask()))
 		for s := 0; s < chain.SubPerChain; s++ {
@@ -456,8 +671,12 @@ func (c *CSB) StateDigest() uint64 {
 // Reset clears every chain and the reduction accumulator, and restores
 // the full window. Statistics are preserved.
 func (c *CSB) Reset() {
-	for _, ch := range c.chains {
-		ch.Reset()
+	if c.bits != nil {
+		c.bits.bm.Reset()
+	} else {
+		for _, ch := range c.chains {
+			ch.Reset()
+		}
 	}
 	c.redAcc = 0
 	c.SetWindow(0, c.MaxVL())

@@ -50,7 +50,7 @@ func (c *CSB) faultTick() {
 	run := c.runIdx
 	c.runIdx++
 	if run == c.stuckAtRun {
-		ch, sub := c.finj.PickSite(len(c.chains), chain.SubPerChain)
+		ch, sub := c.finj.PickSite(c.n, chain.SubPerChain)
 		if c.rec != nil && c.rec.Sample() {
 			c.rec.HostSpan("fault.stuck_tag", obs.StageCSB, 0, c.rec.SinceNS(), 0,
 				"chain", int64(ch))

@@ -74,8 +74,8 @@ func (c *CSB) SetParallelism(workers, minChains int) {
 		minChains = DefaultParallelThreshold
 	}
 	c.parThreshold = minChains
-	if workers > len(c.chains) {
-		workers = len(c.chains)
+	if workers > c.n {
+		workers = c.n
 	}
 	if workers <= 1 {
 		runtime.SetFinalizer(c, nil)
@@ -111,7 +111,7 @@ func (c *CSB) Parallelism() (workers, minChains int) {
 // A serial bypass (graceful degradation, see fault.go) wins over an
 // installed pool.
 func (c *CSB) parallelActive() bool {
-	return c.pool != nil && !c.bypass && len(c.chains) >= c.parThreshold
+	return c.pool != nil && !c.bypass && c.n >= c.parThreshold
 }
 
 // dispatch tracks one fan-out: the join barrier plus the first panic
@@ -139,21 +139,31 @@ func (d *dispatch) capture() {
 }
 
 // runParallel executes a whole microcode sequence with one pool
-// dispatch. Worker w owns the contiguous chain block
-// [w*n/nw, (w+1)*n/nw) and applies every command to it in order;
-// between workers there is no ordering and no shared mutable state
-// except the partials matrix, which is written at disjoint indices
-// (worker-major). After the join the coordinator folds reduce partials
-// and Stats in a fixed order, making the architectural result
+// dispatch. Worker w owns the contiguous block [w*n/nw, (w+1)*n/nw) of
+// fan-out units — chains on the scalar engine, bitmap words on the
+// bit-slice engine (a word is 64 lanes of every bitmap; disjoint word
+// ranges touch disjoint memory) — and applies every command to it in
+// order; between workers there is no ordering and no shared mutable
+// state except the partials matrix, which is written at disjoint
+// indices (worker-major). After the join the coordinator folds reduce
+// partials and Stats in a fixed order, making the architectural result
 // independent of scheduling. Returns the sequence cycle cost, like Run.
+//
+// With a non-nil p (compiled Program), workers execute the per-step
+// closures instead of the interpreter switch; the coordinator-side
+// fold is identical either way.
 //
 // With a non-nil rec, each worker stamps one host-time span into its
 // private slot of a per-worker buffer — using only the read-only
 // rec.SinceNS clock — and the coordinator merges the buffer in worker
 // order after the join, so the timeline is deterministic too.
-func (c *CSB) runParallel(ops []tt.MicroOp, rec *obs.Recorder) int {
-	n := len(c.chains)
+func (c *CSB) runParallel(ops []tt.MicroOp, p *Program, rec *obs.Recorder) int {
+	n := c.units()
 	nw := c.pool.n
+	spanArg := "chains"
+	if c.bits != nil {
+		spanArg = "words"
+	}
 
 	// Count reductions up front so each worker gets a disjoint row of
 	// partial sums: partials[w*nRed + r] is worker w's popcount share of
@@ -196,7 +206,12 @@ func (c *CSB) runParallel(ops []tt.MicroOp, rec *obs.Recorder) int {
 			}
 			red := 0
 			for i := range ops {
-				sum := c.executeRange(&ops[i], lo, hi)
+				var sum uint64
+				if p != nil {
+					sum = p.steps[i](c, &ops[i], lo, hi)
+				} else {
+					sum = c.execRange(&ops[i], lo, hi)
+				}
 				if ops[i].Kind == tt.KReduce {
 					row[red] = sum
 					red++
@@ -206,7 +221,7 @@ func (c *CSB) runParallel(ops []tt.MicroOp, rec *obs.Recorder) int {
 				spans[w] = obs.Span{
 					Name: "csb.worker", Stage: obs.StageCSB, Host: true,
 					Tid: int32(w + 1), Start: w0, Dur: rec.SinceNS() - w0,
-					Arg: "chains", Val: int64(hi - lo),
+					Arg: spanArg, Val: int64(hi - lo),
 				}
 			}
 		}

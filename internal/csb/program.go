@@ -1,0 +1,174 @@
+// Compiled microcode programs for the bit-slice engine.
+//
+// The interpreter (executeBitsRange) re-dispatches on every
+// microoperation: a switch on the kind, key validation and
+// decomposition, selector and bounds resolution. For cached ucode
+// templates that work is identical on every execution, so Compile
+// performs it once and fuses each microop into a specialized closure;
+// RunProgram then walks the closure list with no per-microop dispatch
+// and applies the sequence's whole Stats delta in one Add.
+//
+// A Program is engine state-free: closures capture only decomposed
+// command fields (row indices, polarities, modes) and resolve bitmaps
+// through the executing CSB at call time, so one Program — cached on a
+// ucode template — serves every machine in a pooled shard. The scalar
+// X operand of KSearchX/KUpdateX is read from the bound ops slice at
+// execution time, which is how templates rebind per-call scalars
+// without recompiling.
+package csb
+
+import (
+	"fmt"
+
+	"cape/internal/chain"
+	"cape/internal/tt"
+)
+
+// progStep is one fused microop: the lane-local work of ops[i] over
+// words [wlo, whi), returning the partial popcount for KReduce steps.
+// It has the same contract as executeBitsRange: no CSB-level state is
+// touched, so disjoint ranges may run concurrently.
+type progStep func(c *CSB, op *tt.MicroOp, wlo, whi int) uint64
+
+// Program is a compiled microcode sequence for the bit-slice engine.
+type Program struct {
+	steps []progStep
+	// stats is the sequence's constant Stats delta (kind counters and
+	// cycles; the reduction fold happens at run time, in step order).
+	stats Stats
+	cost  int
+}
+
+// Len returns the step count.
+func (p *Program) Len() int { return len(p.steps) }
+
+// Compile fuses a microcode sequence into per-step closures. It
+// performs the interpreter's validation up front: invalid keys and
+// unknown kinds panic here, at compile time, instead of on first
+// execution. The returned Program may be shared across goroutines and
+// CSBs.
+func Compile(ops []tt.MicroOp) *Program {
+	p := &Program{steps: make([]progStep, len(ops))}
+	for i := range ops {
+		p.steps[i] = compileStep(&ops[i])
+		accountStats(&p.stats, &ops[i])
+	}
+	p.cost = tt.Cost(ops)
+	return p
+}
+
+// accountStats mirrors account's kind classification without the
+// reduction fold, so RunProgram's one-shot Stats.Add is exactly the
+// sum of per-op accounting.
+func accountStats(s *Stats, op *tt.MicroOp) {
+	switch op.Kind {
+	case tt.KSearch:
+		s.SearchSerial++
+	case tt.KSearchAll, tt.KSearchX:
+		s.SearchParallel++
+	case tt.KUpdate:
+		if op.Sub == chain.SubPerChain || op.Sel.Src == chain.SrcPrevTag {
+			s.UpdateProp++
+		} else {
+			s.UpdateSerial++
+		}
+	case tt.KUpdateAll, tt.KUpdateX:
+		s.UpdateParallel++
+	case tt.KEnable, tt.KEnableCombine:
+		s.Enable++
+	case tt.KReduce:
+		s.Reduce++
+	default:
+		panic(fmt.Sprintf("csb: unknown microop kind %v", op.Kind))
+	}
+	s.Cycles += uint64(op.Cycles)
+}
+
+// compileStep specializes one microop. Closures capture the decomposed
+// command, not the CSB, and read the per-call scalar from the op the
+// executor passes in.
+func compileStep(op *tt.MicroOp) progStep {
+	switch op.Kind {
+	case tt.KSearch:
+		sub, d, acc := op.Sub, decomposeKey(op.Key), op.Acc
+		return func(c *CSB, _ *tt.MicroOp, wlo, whi int) uint64 {
+			c.bits.searchSub(sub, d, acc, wlo, whi)
+			return 0
+		}
+	case tt.KSearchAll:
+		d, acc := decomposeKey(op.Key), op.Acc
+		return func(c *CSB, _ *tt.MicroOp, wlo, whi int) uint64 {
+			for s := 0; s < chain.SubPerChain; s++ {
+				c.bits.searchSub(s, d, acc, wlo, whi)
+			}
+			return 0
+		}
+	case tt.KSearchX:
+		row, acc := op.Row, op.Acc
+		return func(c *CSB, op *tt.MicroOp, wlo, whi int) uint64 {
+			for s := 0; s < chain.SubPerChain; s++ {
+				c.bits.searchRowBit(s, row, op.X&(1<<uint(s)) != 0, acc, wlo, whi)
+			}
+			return 0
+		}
+	case tt.KUpdate:
+		if op.Sub == chain.SubPerChain {
+			// Dropped carry-out: the cycle is spent, nothing written.
+			return func(*CSB, *tt.MicroOp, int, int) uint64 { return 0 }
+		}
+		sub, row, value, sel := op.Sub, op.Row, op.Value, op.Sel
+		return func(c *CSB, _ *tt.MicroOp, wlo, whi int) uint64 {
+			c.bits.updateRow(sub, row, value, sel, wlo, whi)
+			return 0
+		}
+	case tt.KUpdateAll:
+		row, value, sel := op.Row, op.Value, op.Sel
+		return func(c *CSB, _ *tt.MicroOp, wlo, whi int) uint64 {
+			for s := 0; s < chain.SubPerChain; s++ {
+				c.bits.updateRow(s, row, value, sel, wlo, whi)
+			}
+			return 0
+		}
+	case tt.KUpdateX:
+		row := op.Row
+		return func(c *CSB, op *tt.MicroOp, wlo, whi int) uint64 {
+			c.bits.updateSplat(op.X, row, wlo, whi)
+			return 0
+		}
+	case tt.KEnable:
+		sub, enOp, inv := op.Sub, op.EnOp, op.EnInvert
+		return func(c *CSB, _ *tt.MicroOp, wlo, whi int) uint64 {
+			c.bits.enableFrom(enOp, inv, c.bits.tagOrZero(sub), wlo, whi)
+			return 0
+		}
+	case tt.KEnableCombine:
+		and, inv := op.Combine == tt.CombineAnd, op.CombineInvert
+		return func(c *CSB, _ *tt.MicroOp, wlo, whi int) uint64 {
+			c.bits.enableCombine(and, inv, wlo, whi)
+			return 0
+		}
+	case tt.KReduce:
+		sub := op.Sub
+		return func(c *CSB, _ *tt.MicroOp, wlo, whi int) uint64 {
+			return c.bits.reduceSum(sub, wlo, whi)
+		}
+	default:
+		panic(fmt.Sprintf("csb: unknown microop kind %v", op.Kind))
+	}
+}
+
+// runProgramSerial executes a compiled program over the full word
+// range on the calling goroutine: step closures in order, reduction
+// folds inline (bit-identical to account's fold), then the whole
+// Stats delta in one Add.
+func (c *CSB) runProgramSerial(p *Program, ops []tt.MicroOp) int {
+	whi := c.bits.words
+	for i := range p.steps {
+		sum := p.steps[i](c, &ops[i], 0, whi)
+		if ops[i].Kind == tt.KReduce {
+			c.redAcc = c.redAcc<<1 + sum
+		}
+	}
+	c.Stats.Add(p.stats)
+	return p.cost
+}

@@ -55,14 +55,14 @@ func (s *Scratchpad) locate(wordAddr int) (ch, sub, row int) {
 func (s *Scratchpad) Read32(wordAddr int) uint32 {
 	ch, sub, row := s.locate(wordAddr)
 	s.Cycles++
-	return s.csb.Chain(ch).ReadRowWise(sub, row)
+	return s.csb.ReadRowWise(ch, sub, row)
 }
 
 // Write32 writes one word (two-cycle row write).
 func (s *Scratchpad) Write32(wordAddr int, v uint32) {
 	ch, sub, row := s.locate(wordAddr)
 	s.Cycles += 2
-	s.csb.Chain(ch).WriteRowWise(sub, row, v)
+	s.csb.WriteRowWise(ch, sub, row, v)
 }
 
 // --- Key-value store ------------------------------------------------
@@ -161,44 +161,41 @@ func (kv *KVStore) Delete(key uint32) bool {
 
 // find runs the bit-parallel key search on every pair row until a
 // valid match surfaces. Cost: one searchX (1 cycle) plus the n-cycle
-// tag combine per probed slot.
+// tag combine per probed slot. The CSB evaluates the whole probe in
+// one MatchRow call (the vmseq.vx circuit path across every chain at
+// once); matches are then filtered against the free list in the same
+// chain-major order the per-chain scan used, so duplicate keys resolve
+// identically.
 func (kv *KVStore) find(key uint32) (slot, elem int, ok bool) {
+	n := kv.csb.NumChains()
 	for slot = 0; slot < PairSlots; slot++ {
 		if len(kv.used[slot]) == 0 {
 			continue
 		}
 		kr, _ := slotRows(slot)
 		kv.SearchCycles += 1 + chain.SubPerChain
-		for ch := 0; ch < kv.csb.NumChains(); ch++ {
-			match := kv.searchChain(ch, kr, key)
-			for match != 0 {
-				col := bits.TrailingZeros32(match)
-				match &= match - 1
-				e := kv.csb.ElementIndex(ch, col)
-				if kv.used[slot][e] {
-					return slot, e, true
+		match := kv.csb.MatchRow(kr, key)
+		best := -1
+		for w, word := range match {
+			for word != 0 {
+				b := bits.TrailingZeros64(word)
+				word &= word - 1
+				e := w*sram.BitmapWordBits + b
+				if !kv.used[slot][e] {
+					continue
+				}
+				// Element e is chain e%n, column e/n; prefer the match
+				// the chain-major scan would have found first.
+				if best < 0 || e%n < best%n || (e%n == best%n && e < best) {
+					best = e
 				}
 			}
 		}
+		if best >= 0 {
+			return slot, best, true
+		}
 	}
 	return 0, 0, false
-}
-
-// searchChain performs the per-subarray comparand-distributed search
-// (the vmseq.vx circuit path) and returns the per-column AND.
-func (kv *KVStore) searchChain(ch, row int, key uint32) uint32 {
-	c := kv.csb.Chain(ch)
-	match := uint32(sram.AllCols)
-	for s := 0; s < chain.SubPerChain; s++ {
-		k := sram.Key{}
-		if key&(1<<uint(s)) != 0 {
-			k = k.Match1(row)
-		} else {
-			k = k.Match0(row)
-		}
-		match &= c.Search(s, k, sram.AccSet)
-	}
-	return match
 }
 
 // --- Victim cache ---------------------------------------------------
@@ -257,7 +254,7 @@ func (vc *VictimCache) Insert(addr uint64, line []uint32) {
 	vc.valid[idx] = true
 	ch, row := vc.locate(idx)
 	for s, w := range line {
-		vc.csb.Chain(ch).WriteRowWise(s, row, w)
+		vc.csb.WriteRowWise(ch, s, row, w)
 	}
 }
 
@@ -274,7 +271,7 @@ func (vc *VictimCache) Lookup(addr uint64) ([]uint32, bool) {
 		ch, row := vc.locate(idx)
 		out := make([]uint32, LineBytes/4)
 		for s := range out {
-			out[s] = vc.csb.Chain(ch).ReadRowWise(s, row)
+			out[s] = vc.csb.ReadRowWise(ch, s, row)
 		}
 		return out, true
 	}

@@ -1,0 +1,119 @@
+// Bit-slice storage primitive for the word-parallel CSB engine.
+//
+// The scalar model stores one uint32 per (chain, subarray, row): bit c
+// is column c of that one chain. The word-parallel engine transposes
+// this layout — a Bitmap holds the same physical bit position (one
+// subarray row, or one tag bank) across *every* chain, one bit per
+// lane, 64 lanes per uint64 word. With the VMU's element interleave
+// (element e lives at chain e%N, column e/N), lane col*N + k of a
+// Bitmap is exactly element index e = col*N + k, so the vl/vstart
+// window becomes one contiguous lane range and a single mask word
+// handles each 64-lane head/tail fragment.
+package sram
+
+import "math/bits"
+
+// BitmapWordBits is the lane count per Bitmap word.
+const BitmapWordBits = 64
+
+// Bitmap is a lane-indexed bit vector: lane i is bit i%64 of word
+// i/64. Lanes past the logical length share the last word; the engine
+// keeps them zero in row bitmaps and masks them everywhere else.
+type Bitmap []uint64
+
+// BitmapWords returns the word count needed for lanes bits.
+func BitmapWords(lanes int) int {
+	return (lanes + BitmapWordBits - 1) / BitmapWordBits
+}
+
+// NewBitmap allocates an all-zero bitmap covering lanes bits.
+func NewBitmap(lanes int) Bitmap {
+	return make(Bitmap, BitmapWords(lanes))
+}
+
+// Get reports lane i.
+func (b Bitmap) Get(i int) bool {
+	return b[i/BitmapWordBits]&(1<<uint(i%BitmapWordBits)) != 0
+}
+
+// Set sets lane i.
+func (b Bitmap) Set(i int) {
+	b[i/BitmapWordBits] |= 1 << uint(i%BitmapWordBits)
+}
+
+// Clear clears lane i.
+func (b Bitmap) Clear(i int) {
+	b[i/BitmapWordBits] &^= 1 << uint(i%BitmapWordBits)
+}
+
+// SetTo stores v at lane i.
+func (b Bitmap) SetTo(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// Fill sets every word to all-ones (v true) or all-zeros (v false),
+// including tail bits past the logical lane count.
+func (b Bitmap) Fill(v bool) {
+	var w uint64
+	if v {
+		w = ^uint64(0)
+	}
+	for i := range b {
+		b[i] = w
+	}
+}
+
+// OnesMasked counts set lanes under mask m (word-wise AND, popcount).
+func (b Bitmap) OnesMasked(m Bitmap) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(b[i] & m[i])
+	}
+	return n
+}
+
+// WindowInto writes the mask of lanes [start, end) into b, which must
+// cover lanes bits. Head and tail words that the window only partially
+// covers get masked fragments; everything outside — including tail
+// bits past lanes — is zero. An empty or inverted window (end <=
+// start) yields all-zero.
+func WindowInto(b Bitmap, lanes, start, end int) {
+	if start < 0 {
+		start = 0
+	}
+	if end > lanes {
+		end = lanes
+	}
+	for i := range b {
+		b[i] = 0
+	}
+	if end <= start {
+		return
+	}
+	loW, hiW := start/BitmapWordBits, (end-1)/BitmapWordBits
+	for w := loW; w <= hiW; w++ {
+		m := ^uint64(0)
+		if w == loW {
+			m &= ^uint64(0) << uint(start%BitmapWordBits)
+		}
+		if w == hiW {
+			k := uint(end % BitmapWordBits)
+			if k != 0 {
+				m &= ^uint64(0) >> (BitmapWordBits - k)
+			}
+		}
+		b[w] |= m
+	}
+}
+
+// WindowMask allocates and returns the mask of lanes [start, end) over
+// a lanes-bit bitmap.
+func WindowMask(lanes, start, end int) Bitmap {
+	b := NewBitmap(lanes)
+	WindowInto(b, lanes, start, end)
+	return b
+}

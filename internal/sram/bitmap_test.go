@@ -1,0 +1,166 @@
+package sram
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBitmapBitOps: Get/Set/Clear/SetTo agree with a boolean reference
+// model under a random operation stream, and never disturb other bits.
+func TestBitmapBitOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const lanes = 131 // deliberately not a multiple of 64
+	b := NewBitmap(lanes)
+	ref := make([]bool, lanes)
+	for step := 0; step < 4000; step++ {
+		i := rng.Intn(lanes)
+		switch rng.Intn(3) {
+		case 0:
+			b.Set(i)
+			ref[i] = true
+		case 1:
+			b.Clear(i)
+			ref[i] = false
+		case 2:
+			v := rng.Intn(2) == 0
+			b.SetTo(i, v)
+			ref[i] = v
+		}
+		if step%97 != 0 {
+			continue
+		}
+		for j := 0; j < lanes; j++ {
+			if b.Get(j) != ref[j] {
+				t.Fatalf("step %d: bit %d got %v want %v", step, j, b.Get(j), ref[j])
+			}
+		}
+	}
+}
+
+// TestBitmapWindowProperty: WindowInto(b, lanes, start, end) must set
+// exactly the bits i with max(start,0) <= i < min(end,lanes) — the
+// masked head/tail words may not leak or drop lanes — and must leave
+// every tail bit (i >= lanes) clear. Checked against a per-bit
+// reference across random and adversarial (word-boundary) inputs.
+func TestBitmapWindowProperty(t *testing.T) {
+	check := func(lanes, start, end int) {
+		b := NewBitmap(lanes)
+		// Pre-dirty the backing words: WindowInto must fully overwrite.
+		b.Fill(true)
+		WindowInto(b, lanes, start, end)
+		count := 0
+		for i := 0; i < lanes; i++ {
+			want := i >= start && i < end
+			if b.Get(i) != want {
+				t.Fatalf("lanes=%d window=[%d,%d): bit %d got %v want %v",
+					lanes, start, end, i, b.Get(i), want)
+			}
+			if want {
+				count++
+			}
+		}
+		// Tail invariant: bits at lanes >= lanes stay clear so popcounts
+		// never see ghost lanes.
+		total := 0
+		for _, w := range b {
+			total += bits.OnesCount64(w)
+		}
+		if total != count {
+			t.Fatalf("lanes=%d window=[%d,%d): %d bits set in words, %d in range — tail leaked",
+				lanes, start, end, total, count)
+		}
+		// WindowMask must agree word for word.
+		m := WindowMask(lanes, start, end)
+		for w := range b {
+			if m[w] != b[w] {
+				t.Fatalf("lanes=%d window=[%d,%d): WindowMask word %d %#x != WindowInto %#x",
+					lanes, start, end, w, m[w], b[w])
+			}
+		}
+	}
+
+	// Word-boundary adversarial sweep: every (start, end) drawn from the
+	// boundary set at boundary-straddling lane counts.
+	boundary := []int{0, 1, 62, 63, 64, 65, 126, 127, 128, 129}
+	for _, lanes := range []int{63, 64, 65, 127, 128, 129} {
+		for _, s := range boundary {
+			for _, e := range boundary {
+				check(lanes, s, e)
+			}
+		}
+		// Clamping: negative start and end beyond lanes.
+		check(lanes, -3, lanes+7)
+		check(lanes, -1, 1)
+		check(lanes, lanes, lanes+64)
+	}
+
+	// Randomized property run.
+	f := func(lanesSeed uint16, a, b int16) bool {
+		lanes := 1 + int(lanesSeed)%513
+		check(lanes, int(a)%(lanes+4), int(b)%(lanes+4))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBitmapFillAndOnesMasked: Fill(true) saturates the backing words
+// (tail included, by contract), Fill(false) clears them, and
+// OnesMasked counts exactly the intersection.
+func TestBitmapFillAndOnesMasked(t *testing.T) {
+	const lanes = 100
+	b := NewBitmap(lanes)
+	b.Fill(true)
+	for _, w := range b {
+		if w != ^uint64(0) {
+			t.Fatalf("Fill(true) left word %#x", w)
+		}
+	}
+	b.Fill(false)
+	for _, w := range b {
+		if w != 0 {
+			t.Fatalf("Fill(false) left word %#x", w)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	m := NewBitmap(lanes)
+	refB := make([]bool, lanes)
+	refM := make([]bool, lanes)
+	for i := 0; i < lanes; i++ {
+		if rng.Intn(2) == 0 {
+			b.Set(i)
+			refB[i] = true
+		}
+		if rng.Intn(2) == 0 {
+			m.Set(i)
+			refM[i] = true
+		}
+	}
+	want := 0
+	for i := range refB {
+		if refB[i] && refM[i] {
+			want++
+		}
+	}
+	if got := b.OnesMasked(m); got != want {
+		t.Fatalf("OnesMasked: got %d want %d", got, want)
+	}
+}
+
+// TestBitmapWords pins the word-count arithmetic at the boundaries the
+// engine depends on.
+func TestBitmapWords(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 63: 1, 64: 1, 65: 2, 127: 2, 128: 2, 129: 3}
+	for lanes, want := range cases {
+		if got := BitmapWords(lanes); got != want {
+			t.Errorf("BitmapWords(%d) = %d, want %d", lanes, got, want)
+		}
+		if got := len(NewBitmap(lanes)); got != want {
+			t.Errorf("len(NewBitmap(%d)) = %d, want %d", lanes, got, want)
+		}
+	}
+}
