@@ -34,6 +34,11 @@ type benchBaseline struct {
 	// values are compiled-path speedup floors vs the retired scalar
 	// engine.
 	Bitslice map[string]float64 `json:"bitslice,omitempty"`
+	// Telemetry keys are "counters_ratio" (worst off/on throughput
+	// ratio across telemetryCounterEntry; 1.0 = counters free) and
+	// "flight_meps" (single-writer flight-recorder millions of events
+	// per second). Values are floors.
+	Telemetry map[string]float64 `json:"telemetry,omitempty"`
 }
 
 // checkBaseline compares this run's experiment results against the
@@ -145,8 +150,20 @@ func checkBaseline(path string, results map[string]fmt.Stringer) error {
 		gateSection("bitslice", bl.Bitslice, cur)
 	}
 
+	if len(bl.Telemetry) > 0 {
+		r, ok := results["telemetry"].(telemetryBenchReport)
+		if !ok {
+			return fmt.Errorf("baseline has telemetry floors but the experiment did not run (add -exp telemetry)")
+		}
+		cur := map[string]float64{
+			"counters_ratio": r.CountersRatio,
+			"flight_meps":    r.FlightMEPS,
+		}
+		gateSection("telemetry", bl.Telemetry, cur)
+	}
+
 	if checked == 0 && len(failures) == 0 {
-		return fmt.Errorf("%s gates nothing (no csbparallel, ucode, query or bitslice floors)", path)
+		return fmt.Errorf("%s gates nothing (no csbparallel, ucode, query, bitslice or telemetry floors)", path)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d of %d checks failed:\n  %s",

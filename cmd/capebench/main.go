@@ -103,6 +103,9 @@ func experiments() []experiment {
 		{"query", "content-addressable query engine vs. OoO software kernels (writes BENCH_query.json)", func() (fmt.Stringer, error) {
 			return queryBench()
 		}},
+		{"telemetry", "always-on counter overhead and flight-recorder throughput (writes BENCH_telemetry.json)", func() (fmt.Stringer, error) {
+			return telemetryBench()
+		}},
 		{"ablations", "design-choice ablations: vlrw.v, redsum-vs-add, narrow elements, CSB scaling", func() (fmt.Stringer, error) {
 			vlrw, err := report.AblationReplicaLoad()
 			if err != nil {

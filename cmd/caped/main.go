@@ -34,20 +34,30 @@
 //	-trace-sample N        record every Nth timeline event for traced jobs
 //	-trace-store N         completed traces kept for GET /v1/jobs/{id}/trace
 //	-job-log DEST          per-job JSON log: stderr, stdout, a path, or off
+//	-log-level LEVEL       server log verbosity: debug, info, warn, error
+//	-flight N              flight-recorder events kept per shard ring
+//	-slo-window D          SLO rolling window (default 5m)
+//	-slo-latency D         SLO latency objective per request (default 2s)
 //	-debug-addr ADDR       serve net/http/pprof on a second listener
 //
 // Endpoints: POST /v1/jobs (?trace=1 inlines the Chrome timeline),
-// GET /v1/jobs/{id}/trace, GET /v1/workloads, GET /healthz,
-// GET /metrics. See the README's "Running caped" and "Observability"
-// sections for curl examples.
+// GET /v1/jobs/{id}/trace, GET /v1/workloads, GET /v1/status,
+// GET /v1/debug/flightrecorder[/{id}], GET /healthz, GET /metrics.
+// See the README's "Running caped" and "Observability" sections for
+// curl examples.
+//
+// SIGQUIT dumps the merged flight recorder to stderr as JSON without
+// stopping the server — the software analogue of a hardware debug
+// port: always on, queryable post-hoc.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -70,6 +80,15 @@ func jobLogWriter(dest string) (io.Writer, error) {
 		return os.Stdout, nil
 	}
 	return os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+// parseLevel resolves the -log-level flag.
+func parseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("want debug, info, warn or error, got %q", s)
+	}
+	return l, nil
 }
 
 func main() {
@@ -96,6 +115,10 @@ func run() error {
 		traceSample = flag.Int("trace-sample", 0, "record every Nth timeline event for traced jobs (0 = all)")
 		traceStore  = flag.Int("trace-store", 0, "completed traces kept for GET /v1/jobs/{id}/trace (0 = 64)")
 		jobLog      = flag.String("job-log", "stderr", "per-job JSON log destination: stderr, stdout, a file path, or off")
+		logLevel    = flag.String("log-level", "info", "server log verbosity: debug, info, warn or error")
+		flightCap   = flag.Int("flight", 0, "flight-recorder events kept per shard ring (0 = 1024)")
+		sloWindow   = flag.Duration("slo-window", 0, "SLO rolling availability/latency window (0 = 5m)")
+		sloLatency  = flag.Duration("slo-latency", 0, "SLO per-request latency objective (0 = 2s)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this second listener (empty = off)")
 
 		faults    = flag.String("faults", "", "fault-injection spec, e.g. seed=1,hbm-drop=0.01,chain-panic=0.001 (empty = off)")
@@ -114,6 +137,11 @@ func run() error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	level, err := parseLevel(*logLevel)
+	if err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	logW, err := jobLogWriter(*jobLog)
 	if err != nil {
 		return fmt.Errorf("-job-log: %w", err)
@@ -126,9 +154,9 @@ func run() error {
 		// The default mux carries the pprof handlers; the API mux on the
 		// main listener does not, so profiling stays on its own port.
 		go func() {
-			log.Printf("caped: pprof on http://%s/debug/pprof/", *debugAddr)
+			logger.Info("pprof listener up", "url", "http://"+*debugAddr+"/debug/pprof/")
 			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
-				log.Printf("caped: debug listener: %v", err)
+				logger.Error("debug listener failed", "error", err.Error())
 			}
 		}()
 	}
@@ -154,10 +182,35 @@ func run() error {
 		TraceSample:          *traceSample,
 		TraceStoreCap:        *traceStore,
 		JobLog:               logW,
+		Logger:               logger,
+		FlightRecorderCap:    *flightCap,
+		SLOWindow:            *sloWindow,
+		SLOLatencyObjective:  *sloLatency,
 	}
-	log.Printf("caped: listening on %s", *addr)
+	srv := cape.NewServer(opts)
+	defer srv.Close()
+
+	// SIGQUIT dumps the merged flight recorder to stderr and keeps
+	// serving — always-on postmortem state, no restart required.
+	sigq := make(chan os.Signal, 1)
+	signal.Notify(sigq, syscall.SIGQUIT)
+	defer signal.Stop(sigq)
+	go func() {
+		for range sigq {
+			events := srv.Flight().SnapshotAll()
+			b, err := json.MarshalIndent(map[string]any{"events": events}, "", "  ")
+			if err != nil {
+				logger.Error("flight dump failed", "error", err.Error())
+				continue
+			}
+			logger.Warn("flight recorder dump (SIGQUIT)", "events", len(events))
+			os.Stderr.Write(append(b, '\n'))
+		}
+	}()
+
+	logger.Info("listening", "addr", *addr)
 	start := time.Now()
-	err = cape.Serve(ctx, *addr, opts)
-	log.Printf("caped: shut down after %s", time.Since(start).Round(time.Millisecond))
+	err = cape.ServeWith(ctx, *addr, srv)
+	logger.Info("shut down", "after", time.Since(start).Round(time.Millisecond).String())
 	return err
 }

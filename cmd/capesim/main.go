@@ -27,6 +27,8 @@
 //	-csb-threshold N           min chains before CSB workers engage (0 = 64)
 //	-ucode-cache N             microcode templates cached (0 = default 1024,
 //	                           negative = lower every instruction directly)
+//	-counters                  print the machine's hardware-style perf
+//	                           counters (PMU) after the run
 //	-faults SPEC               deterministic fault injection, e.g.
 //	                           seed=1,hbm-late=0.1 (queue-free path: faults
 //	                           surface as typed errors, not retries)
@@ -96,6 +98,7 @@ func run() error {
 		csbWorkers  = flag.Int("csb-workers", 0, "CSB worker goroutines for the bitlevel backend (0 = serial)")
 		csbThresh   = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
 		ucodeCache  = flag.Int("ucode-cache", 0, "microcode templates cached (0 = default, negative = off)")
+		counters    = flag.Bool("counters", false, "print the machine's perf counters (PMU) after the run")
 		faults      = flag.String("faults", "", "fault-injection spec, e.g. seed=1,hbm-late=0.1 (empty = off; queue-free, so faults surface as errors, not retries)")
 		traceFile   = flag.String("trace", "", "profile the run and write a Chrome trace_event timeline to this file")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth timeline event (0 = all)")
@@ -188,6 +191,9 @@ func run() error {
 
 	if resp.Query != nil {
 		printQuery(resp, *traceFile)
+		if *counters {
+			fmt.Printf("\n%s", m.PMU().Snapshot().Table())
+		}
 		return nil
 	}
 
@@ -217,6 +223,9 @@ func run() error {
 
 	if resp.ProfileTable != "" {
 		fmt.Printf("\n%s", resp.ProfileTable)
+	}
+	if *counters {
+		fmt.Printf("\n%s", m.PMU().Snapshot().Table())
 	}
 	if *traceFile != "" && len(resp.TraceJSON) > 0 {
 		if err := os.WriteFile(*traceFile, resp.TraceJSON, 0o644); err != nil {

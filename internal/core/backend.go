@@ -6,6 +6,7 @@ import (
 	"cape/internal/csb"
 	"cape/internal/isa"
 	"cape/internal/obs"
+	"cape/internal/telemetry"
 	"cape/internal/ucode"
 )
 
@@ -151,6 +152,10 @@ func (b *BitBackend) Close() { b.csb.Close() }
 // SetRecorder installs (or, with nil, removes) the observability
 // recorder on the underlying CSB.
 func (b *BitBackend) SetRecorder(r *obs.Recorder) { b.csb.SetRecorder(r) }
+
+// SetPMU installs (or, with nil, removes) the always-on perf counters
+// on the underlying CSB.
+func (b *BitBackend) SetPMU(p *telemetry.PMU) { b.csb.SetPMU(p) }
 
 // SetUcodeCache installs (or, with nil, removes) the microcode
 // template cache Exec lowers through. Templates are immutable, so the

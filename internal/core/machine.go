@@ -16,6 +16,7 @@ import (
 	"cape/internal/hbm"
 	"cape/internal/isa"
 	"cape/internal/obs"
+	"cape/internal/telemetry"
 	"cape/internal/timing"
 	"cape/internal/ucode"
 	"cape/internal/vcu"
@@ -68,6 +69,12 @@ type Config struct {
 	// Faults; the server pool hands one parent to every machine of a
 	// shard so /metrics sees one counter family.
 	FaultInjector *fault.Injector
+	// PMU, when non-nil, is a shared always-on perf-counter block the
+	// machine bumps from the hot path (microcode runs, ucode lookups,
+	// HBM transfers, vector issue). Nil builds a private one, so
+	// Machine.PMU never returns nil; the server pool hands one PMU to
+	// every machine of a shard, mirroring UcodeCache/FaultInjector.
+	PMU *telemetry.PMU
 	// Trace installs an execution recorder at construction, so every
 	// Run is profiled (cycle attribution) and traced (timeline events).
 	// Per-job tracing on pooled machines should instead install a
@@ -152,6 +159,11 @@ type Machine struct {
 	// advances across attempts, so retries see fresh draws.
 	finj *fault.Injector
 
+	// pmu is the always-on perf-counter block (never nil; shared across
+	// a pool shard's machines when Config.PMU is set). Reset keeps it:
+	// the counters are shard-cumulative, like the ucode cache.
+	pmu *telemetry.PMU
+
 	energyPJ   float64
 	laneOps    uint64
 	memBytes   uint64
@@ -166,6 +178,9 @@ func New(cfg Config) *Machine {
 		cfg.RAMBytes = 64 << 20
 	}
 	m := &Machine{cfg: cfg}
+	if m.pmu = cfg.PMU; m.pmu == nil {
+		m.pmu = &telemetry.PMU{}
+	}
 	switch {
 	case cfg.UcodeCache != nil:
 		m.ucache = cfg.UcodeCache
@@ -185,6 +200,7 @@ func New(cfg Config) *Machine {
 			bb.SetParallelism(cfg.CSBWorkers, cfg.CSBParallelThreshold)
 		}
 		bb.SetUcodeCache(m.ucache)
+		bb.SetPMU(m.pmu)
 		m.backend = bb
 	default:
 		m.backend = NewFastBackend(cfg.Chains * 32)
@@ -228,6 +244,11 @@ func (m *Machine) UcodeCache() *ucode.Cache { return m.ucache }
 // FaultInjector returns the machine's fault-injection stream (nil when
 // injection is off).
 func (m *Machine) FaultInjector() *fault.Injector { return m.finj }
+
+// PMU returns the machine's always-on perf counters (never nil; shared
+// across a pool shard when Config.PMU was set). Reset does not clear
+// it — the counters are cumulative, like hardware PMU registers.
+func (m *Machine) PMU() *telemetry.PMU { return m.pmu }
 
 // SetDegradedSerial forces (or, with false, lifts) serial CSB
 // execution on the bit-level backend, keeping the worker pool warm —
@@ -407,6 +428,10 @@ func (m *Machine) issueALU(inst isa.Inst, x1 int64, now int64) (int64, int64, bo
 			m.rec.AddUcodeLookup(seq.CacheHit())
 		}
 	}
+	if haveSeq {
+		m.pmu.AddUcodeLookup(seq.CacheHit())
+	}
+	m.pmu.AddVectorInst(false)
 	m.aluInsts++
 	m.laneOps += uint64(m.activeLanes())
 	m.energyPJ += m.instrEnergy(inst, seq, haveSeq)
@@ -514,6 +539,8 @@ func (m *Machine) issueMem(inst isa.Inst, x1, x2 int64, now int64) int64 {
 			}
 		}
 	}
+	m.pmu.AddVectorInst(true)
+	m.pmu.AddHBMTransfer(uint64(movedBytes))
 	m.memInsts++
 	done := int64(float64(donePS)/timing.CAPECyclePS) + 1
 	if done < now {

@@ -13,6 +13,7 @@ import (
 	"cape/internal/isa"
 	"cape/internal/obs"
 	"cape/internal/sram"
+	"cape/internal/telemetry"
 	"cape/internal/tt"
 )
 
@@ -68,6 +69,12 @@ type CSB struct {
 	pendingPanicW int
 	bypass        bool
 
+	// pmu, when non-nil, receives one CSBDelta per microcode run —
+	// always-on perf counters shared across a pool shard's machines.
+	// Like tracing and fault injection, the disarmed hot path pays one
+	// nil check in run.
+	pmu *telemetry.PMU
+
 	// Stats accumulates the microoperation mix executed so far.
 	Stats Stats
 }
@@ -86,6 +93,12 @@ type Stats struct {
 	ElemReads      uint64
 	ElemWrites     uint64
 	Cycles         uint64
+	// Match0Bits/Match1Bits count the comparand bits searches drive
+	// against stored 0s and 1s — the match-line activity proxy the CAM
+	// energy model keys on. Derived from the op encoding alone (see
+	// matchBits), so every engine and the compiled path agree exactly.
+	Match0Bits uint64
+	Match1Bits uint64
 }
 
 // Add accumulates other into s.
@@ -100,6 +113,28 @@ func (s *Stats) Add(o Stats) {
 	s.ElemReads += o.ElemReads
 	s.ElemWrites += o.ElemWrites
 	s.Cycles += o.Cycles
+	s.Match0Bits += o.Match0Bits
+	s.Match1Bits += o.Match1Bits
+}
+
+// matchBits counts the comparand bits one search microop drives
+// against stored 0s (m0) and stored 1s (m1), per chain. KSearch drives
+// the key's cared rows once; KSearchAll drives them in every subarray;
+// KSearchX drives exactly one row bit per subarray, with polarity
+// taken from the scalar operand. Non-search kinds drive nothing.
+func matchBits(op *tt.MicroOp) (m0, m1 uint64) {
+	switch op.Kind {
+	case tt.KSearch:
+		m1 = uint64(bits.OnesCount64(op.Key.Care & op.Key.Value))
+		m0 = uint64(bits.OnesCount64(op.Key.Care &^ op.Key.Value))
+	case tt.KSearchAll:
+		m1 = uint64(bits.OnesCount64(op.Key.Care&op.Key.Value)) * chain.SubPerChain
+		m0 = uint64(bits.OnesCount64(op.Key.Care&^op.Key.Value)) * chain.SubPerChain
+	case tt.KSearchX:
+		m1 = uint64(bits.OnesCount64(op.X & (1<<chain.SubPerChain - 1)))
+		m0 = chain.SubPerChain - m1
+	}
+	return m0, m1
 }
 
 // New builds a CSB with numChains chains on the word-parallel
@@ -502,6 +537,9 @@ func (c *CSB) account(op *tt.MicroOp, redSum uint64) {
 		panic(fmt.Sprintf("csb: unknown microop kind %v", op.Kind))
 	}
 	c.Stats.Cycles += uint64(op.Cycles)
+	m0, m1 := matchBits(op)
+	c.Stats.Match0Bits += m0
+	c.Stats.Match1Bits += m1
 }
 
 // Run executes a microcode sequence and returns its cycle cost. With a
@@ -530,15 +568,56 @@ func (c *CSB) RunProgram(p *Program, ops []tt.MicroOp) int {
 }
 
 // run is the shared Run/RunProgram body: fault tick, then traced /
-// parallel / serial dispatch.
+// parallel / serial dispatch, then one PMU flush when counters are
+// wired.
 func (c *CSB) run(ops []tt.MicroOp, p *Program) int {
 	if c.finj != nil {
 		c.faultTick()
 	}
-	if c.rec != nil {
-		return c.runTraced(ops, p)
+	if c.pmu == nil {
+		if c.rec != nil {
+			return c.runTraced(ops, p)
+		}
+		return c.exec(ops, p)
 	}
-	return c.exec(ops, p)
+	before := c.Stats
+	var cost int
+	if c.rec != nil {
+		cost = c.runTraced(ops, p)
+	} else {
+		cost = c.exec(ops, p)
+	}
+	c.pmuFlush(&before, len(ops))
+	return cost
+}
+
+// SetPMU wires (or, with nil, unwires) the always-on perf counters.
+// The PMU is typically shared by every machine of a pool shard.
+func (c *CSB) SetPMU(p *telemetry.PMU) { c.pmu = p }
+
+// pmuFlush turns the Stats movement of one microcode run into a
+// CSBDelta: a handful of uncontended atomic adds per run, not per
+// microop, which is what keeps always-on counters inside the CI
+// overhead budget. before is the Stats snapshot taken at run entry.
+func (c *CSB) pmuFlush(before *Stats, nops int) {
+	s := &c.Stats
+	d := telemetry.CSBDelta{
+		SearchSerial:   s.SearchSerial - before.SearchSerial,
+		SearchParallel: s.SearchParallel - before.SearchParallel,
+		UpdateSerial:   s.UpdateSerial - before.UpdateSerial,
+		UpdateProp:     s.UpdateProp - before.UpdateProp,
+		UpdateParallel: s.UpdateParallel - before.UpdateParallel,
+		Reduce:         s.Reduce - before.Reduce,
+		Enable:         s.Enable - before.Enable,
+		Cycles:         s.Cycles - before.Cycles,
+		Match0Bits:     s.Match0Bits - before.Match0Bits,
+		Match1Bits:     s.Match1Bits - before.Match1Bits,
+		Words:          uint64(c.units()) * uint64(nops),
+	}
+	if lanes := c.vl - c.vstart; lanes > 0 {
+		d.Lanes = uint64(lanes) * uint64(nops)
+	}
+	c.pmu.AddCSBRun(&d)
 }
 
 // exec picks the execution strategy for one sequence.

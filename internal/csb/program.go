@@ -35,8 +35,14 @@ type Program struct {
 	steps []progStep
 	// stats is the sequence's constant Stats delta (kind counters and
 	// cycles; the reduction fold happens at run time, in step order).
+	// KSearchX match bits are excluded: their 0/1 split depends on the
+	// per-call X scalar, so runProgramSerial adds them at execution
+	// time from the bound ops, via xsearch.
 	stats Stats
-	cost  int
+	// xsearch lists the KSearchX step indices whose match bits are
+	// accounted per call.
+	xsearch []int
+	cost    int
 }
 
 // Len returns the step count.
@@ -52,6 +58,9 @@ func Compile(ops []tt.MicroOp) *Program {
 	for i := range ops {
 		p.steps[i] = compileStep(&ops[i])
 		accountStats(&p.stats, &ops[i])
+		if ops[i].Kind == tt.KSearchX {
+			p.xsearch = append(p.xsearch, i)
+		}
 	}
 	p.cost = tt.Cost(ops)
 	return p
@@ -82,6 +91,14 @@ func accountStats(s *Stats, op *tt.MicroOp) {
 		panic(fmt.Sprintf("csb: unknown microop kind %v", op.Kind))
 	}
 	s.Cycles += uint64(op.Cycles)
+	if op.Kind != tt.KSearchX {
+		// KSearchX match bits depend on the per-call X scalar, which
+		// templates rebind at execution time; runProgramSerial accounts
+		// them from the bound ops (see Program.xsearch).
+		m0, m1 := matchBits(op)
+		s.Match0Bits += m0
+		s.Match1Bits += m1
+	}
 }
 
 // compileStep specializes one microop. Closures capture the decomposed
@@ -170,5 +187,10 @@ func (c *CSB) runProgramSerial(p *Program, ops []tt.MicroOp) int {
 		}
 	}
 	c.Stats.Add(p.stats)
+	for _, i := range p.xsearch {
+		m0, m1 := matchBits(&ops[i])
+		c.Stats.Match0Bits += m0
+		c.Stats.Match1Bits += m1
+	}
 	return p.cost
 }

@@ -99,6 +99,46 @@ func TestHistogramQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	r := NewRegistry()
+
+	// No finite bounds at all: every observation is +Inf-bucketed and
+	// there is no bound to interpolate toward.
+	unbounded := r.Histogram("unbounded_seconds", "", []float64{}, nil)
+	unbounded.Observe(3)
+	if got := unbounded.Quantile(0.5); got != 0 {
+		t.Errorf("boundless Quantile(0.5) = %v, want 0", got)
+	}
+
+	// One observation in an interior bucket: any q with rank <= 1 lands
+	// in that bucket. q=1 interpolates to the bucket's upper bound; a
+	// degenerate q=0 rank resolves in the first (empty) bucket, which
+	// reports its own bound rather than dividing by a zero count.
+	h := r.Histogram("edge_seconds", "", []float64{1, 2, 4}, nil)
+	h.Observe(1.5)
+	for _, tc := range []struct{ q, want float64 }{
+		{1, 2},
+		{0.5, 1.5},
+		{0, 1},
+	} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+
+	// Every observation past the finite bounds: the estimate clamps to
+	// the highest finite bound instead of inventing an +Inf latency.
+	inf := r.Histogram("inf_seconds", "", []float64{1, 2, 4}, nil)
+	for i := 0; i < 5; i++ {
+		inf.Observe(100)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := inf.Quantile(q); got != 4 {
+			t.Errorf("overflow-only Quantile(%v) = %v, want highest finite bound 4", q, got)
+		}
+	}
+}
+
 func TestConcurrentObservations(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

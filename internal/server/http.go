@@ -4,12 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"log/slog"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
 	"cape/internal/cp"
 	"cape/internal/fault"
+	"cape/internal/telemetry"
 	"cape/internal/workloads"
 )
 
@@ -19,11 +23,13 @@ const maxRequestBytes = 4 << 20
 
 // errorBody is the JSON shape of every non-2xx response. JobID is set
 // whenever the failure concerns a specific job, so clients can
-// correlate the error with the server's job log.
+// correlate the error with the server's job log. FlightDump points at
+// the flight-recorder snapshot captured for a 5xx failure.
 type errorBody struct {
-	Error  string `json:"error"`
-	Status string `json:"status"`
-	JobID  uint64 `json:"job_id,omitempty"`
+	Error      string `json:"error"`
+	Status     string `json:"status"`
+	JobID      uint64 `json:"job_id,omitempty"`
+	FlightDump string `json:"flight_dump,omitempty"`
 }
 
 // Handler returns the service's HTTP API:
@@ -33,6 +39,10 @@ type errorBody struct {
 //	                          timeline, ?trace_sample=N sets sampling
 //	GET  /v1/jobs/{id}/trace  fetch a completed job's Chrome timeline
 //	GET  /v1/workloads        list the built-in kernels
+//	GET  /v1/status           perf counters, SLO burn rates, flight
+//	                          recorder occupancy (JSON)
+//	GET  /v1/debug/flightrecorder       live merged event dump
+//	GET  /v1/debug/flightrecorder/{id}  snapshot captured on a 5xx
 //	GET  /healthz             liveness plus queue/pool snapshot
 //	GET  /metrics             Prometheus text exposition
 func (s *Server) Handler() http.Handler {
@@ -40,6 +50,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/debug/flightrecorder", s.handleFlightLive)
+	mux.HandleFunc("GET /v1/debug/flightrecorder/{id}", s.handleFlightDump)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.Handle("GET /metrics", s.reg.Handler())
 	return mux
@@ -93,7 +106,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, id, err := s.SubmitJob(r.Context(), req)
 	if err != nil {
-		writeJSON(w, httpStatusOf(err), errorBody{Error: err.Error(), Status: statusOf(err), JobID: id})
+		body := errorBody{Error: err.Error(), Status: statusOf(err), JobID: id}
+		code := httpStatusOf(err)
+		if code >= 500 {
+			// Capture the flight recorder at failure time: the dump holds
+			// the events around this job id and stays retrievable after
+			// the rings wrap.
+			s.storeFlightDump(id)
+			body.FlightDump = fmt.Sprintf("/v1/debug/flightrecorder/%d", id)
+		}
+		writeJSON(w, code, body)
 		return
 	}
 	if !inlineTrace {
@@ -122,7 +144,8 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			Status: "evicted", JobID: id})
 	default:
 		writeJSON(w, http.StatusNotFound, errorBody{
-			Error:  "no trace for that job id (unknown job, failed run, or submitted without trace)",
+			Error: "no trace for that job id (unknown job, failed run, submitted without trace, " +
+				"or already evicted from the bounded store — see caped_traces_evicted_total)",
 			Status: "not_found", JobID: id})
 	}
 }
@@ -144,6 +167,82 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 		list = append(list, workloadInfo{w.Name, w.Description, string(w.Intensity), "micro"})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"workloads": list})
+}
+
+// statusBody is the /v1/status body: one JSON view of the telemetry
+// substrate — aggregate and per-shard perf counters, SLO burn rates,
+// and flight-recorder occupancy.
+type statusBody struct {
+	Status        string                  `json:"status"`
+	Version       string                  `json:"version"`
+	GoVersion     string                  `json:"go_version"`
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	Workers       int                     `json:"workers"`
+	QueueDepth    int                     `json:"queue_depth"`
+	QueueLength   int                     `json:"queue_length"`
+	Perf          telemetry.PerfCounters  `json:"perf"`
+	Shards        []ShardStats            `json:"shards"`
+	SLO           []telemetry.SLOSnapshot `json:"slo"`
+	FlightEvents  uint64                  `json:"flight_events_recorded"`
+	TracesEvicted uint64                  `json:"traces_evicted"`
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, statusBody{
+		Status:        "ok",
+		Version:       telemetry.Version,
+		GoVersion:     runtime.Version(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.opts.Workers,
+		QueueDepth:    s.opts.QueueDepth,
+		QueueLength:   len(s.queue),
+		Perf:          s.pool.PerfAggregate(),
+		Shards:        s.pool.Stats(),
+		SLO:           s.slo.Snapshot(),
+		FlightEvents:  s.flight.Recorded(),
+		TracesEvicted: s.traces.evicted(),
+	})
+}
+
+// flightDump is the JSON shape of a flight-recorder dump (live or
+// captured on a 5xx).
+type flightDump struct {
+	JobID  uint64            `json:"job_id,omitempty"`
+	Events []telemetry.Event `json:"events"`
+}
+
+// storeFlightDump captures the current merged flight-recorder state
+// under a failing job's id, so the events leading up to a 5xx survive
+// ring wraparound.
+func (s *Server) storeFlightDump(id uint64) {
+	b, err := json.Marshal(flightDump{JobID: id, Events: s.flight.SnapshotAll()})
+	if err != nil {
+		return
+	}
+	s.dumps.put(id, b)
+	s.logger.LogAttrs(context.Background(), slog.LevelWarn, "flight dump captured",
+		slog.Uint64("job_id", id))
+}
+
+func (s *Server) handleFlightLive(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, flightDump{Events: s.flight.SnapshotAll()})
+}
+
+func (s *Server) handleFlightDump(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad job id", Status: "error"})
+		return
+	}
+	b, state := s.dumps.get(id)
+	if state != traceFound {
+		writeJSON(w, http.StatusNotFound, errorBody{
+			Error:  "no flight dump for that job id (dumps are captured on 5xx responses and bounded)",
+			Status: "not_found", JobID: id})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(b)
 }
 
 // health is the /healthz body.

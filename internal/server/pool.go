@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"cape/internal/core"
+	"cape/internal/telemetry"
 	"cape/internal/ucode"
 )
 
@@ -33,6 +34,9 @@ type shard struct {
 	// Templates are immutable, making the sharing race-free. Nil when
 	// the configuration disables caching.
 	ucache *ucode.Cache
+	// pmu is the shard's always-on perf-counter block, shared by every
+	// machine of the shard the same way (atomic counters, race-free).
+	pmu *telemetry.PMU
 
 	mu      sync.Mutex
 	created int
@@ -66,7 +70,7 @@ func (p *Pool) shard(cfg core.Config) *shard {
 	defer p.mu.Unlock()
 	s, ok := p.shards[key]
 	if !ok {
-		s = &shard{key: key, idle: make(chan *core.Machine, p.perShard)}
+		s = &shard{key: key, idle: make(chan *core.Machine, p.perShard), pmu: &telemetry.PMU{}}
 		if cfg.UcodeCache != nil {
 			s.ucache = cfg.UcodeCache
 		} else if cfg.UcodeCacheSize >= 0 {
@@ -75,6 +79,13 @@ func (p *Pool) shard(cfg core.Config) *shard {
 		p.shards[key] = s
 	}
 	return s
+}
+
+// PMU returns the shard's shared perf-counter block for cfg, creating
+// the shard if needed (the server registers it on /metrics when it
+// first sees a configuration).
+func (p *Pool) PMU(cfg core.Config) *telemetry.PMU {
+	return p.shard(cfg).pmu
 }
 
 // Get returns a reset machine of the given configuration, building one
@@ -93,11 +104,12 @@ func (p *Pool) Get(ctx context.Context, cfg core.Config) (*core.Machine, error) 
 		s.created++
 		s.mu.Unlock()
 		// Every machine of the shard shares the shard's template cache
-		// (nil keeps lowering uncached).
+		// (nil keeps lowering uncached) and perf counters.
 		cfg.UcodeCache = s.ucache
 		if s.ucache == nil {
 			cfg.UcodeCacheSize = -1
 		}
+		cfg.PMU = s.pmu
 		return core.New(cfg), nil
 	}
 	s.mu.Unlock()
@@ -130,11 +142,12 @@ func (p *Pool) Put(cfg core.Config, m *core.Machine) {
 
 // ShardStats snapshots one shard for /healthz and tests.
 type ShardStats struct {
-	Key     string           `json:"key"`
-	Created int              `json:"created"`
-	Idle    int              `json:"idle"`
-	Reuses  int64            `json:"reuses"`
-	Ucode   ucode.CacheStats `json:"ucode"`
+	Key     string                 `json:"key"`
+	Created int                    `json:"created"`
+	Idle    int                    `json:"idle"`
+	Reuses  int64                  `json:"reuses"`
+	Ucode   ucode.CacheStats       `json:"ucode"`
+	Perf    telemetry.PerfCounters `json:"perf"`
 }
 
 // Stats snapshots all shards, sorted by key.
@@ -150,12 +163,28 @@ func (p *Pool) Stats() []ShardStats {
 		s.mu.Lock()
 		stats = append(stats, ShardStats{
 			Key: s.key, Created: s.created, Idle: len(s.idle), Reuses: s.reuses,
-			Ucode: s.ucache.Stats(),
+			Ucode: s.ucache.Stats(), Perf: s.pmu.Snapshot(),
 		})
 		s.mu.Unlock()
 	}
 	sort.Slice(stats, func(i, j int) bool { return stats[i].Key < stats[j].Key })
 	return stats
+}
+
+// PerfAggregate sums the perf counters of every shard — the
+// server-wide view /v1/status reports next to the per-shard split.
+func (p *Pool) PerfAggregate() telemetry.PerfCounters {
+	p.mu.Lock()
+	shards := make([]*shard, 0, len(p.shards))
+	for _, s := range p.shards {
+		shards = append(shards, s)
+	}
+	p.mu.Unlock()
+	var agg telemetry.PerfCounters
+	for _, s := range shards {
+		agg.Add(s.pmu.Snapshot())
+	}
+	return agg
 }
 
 // UcodeStats aggregates template-cache effectiveness across all

@@ -34,12 +34,41 @@ const (
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
+	// onTransition, when non-nil, observes every state change (flight
+	// recorder, logs). Called with b.mu held: implementations must not
+	// call back into the breaker.
+	onTransition func(from, to int64)
 
 	mu       sync.Mutex
 	state    int64
 	failures int
 	openedAt time.Time
 	probing  bool
+}
+
+// breakerStateName names a breaker state for events and logs.
+func breakerStateName(s int64) string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "open"
+	}
+}
+
+// setState transitions the breaker, firing the observer hook. Caller
+// holds b.mu.
+func (b *breaker) setState(to int64) {
+	if b.state == to {
+		return
+	}
+	from := b.state
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(from, to)
+	}
 }
 
 // allow reports whether a job may run now.
@@ -56,7 +85,7 @@ func (b *breaker) allow() bool {
 		if time.Since(b.openedAt) < b.cooldown {
 			return false
 		}
-		b.state = breakerHalfOpen
+		b.setState(breakerHalfOpen)
 		b.probing = true
 		return true
 	default: // half-open: exactly one probe in flight
@@ -78,13 +107,13 @@ func (b *breaker) onResult(ok bool) {
 	defer b.mu.Unlock()
 	b.probing = false
 	if ok {
-		b.state = breakerClosed
+		b.setState(breakerClosed)
 		b.failures = 0
 		return
 	}
 	b.failures++
 	if b.state == breakerHalfOpen || b.failures >= b.threshold {
-		b.state = breakerOpen
+		b.setState(breakerOpen)
 		b.openedAt = time.Now()
 		b.failures = 0
 	}
@@ -104,6 +133,9 @@ type shardHealth struct {
 	// machines onto the serial CSB path (where fan-out workers cannot
 	// panic); the same count of consecutive successes lifts it.
 	degradeAfter int
+	// onDegrade, when non-nil, observes degradation flips (flight
+	// recorder, logs). Called with h.mu held.
+	onDegrade func(degraded bool)
 
 	mu        sync.Mutex
 	panics    int
@@ -127,8 +159,11 @@ func (h *shardHealth) noteFault(cls fault.Class) {
 	defer h.mu.Unlock()
 	h.successes = 0
 	h.panics++
-	if h.panics >= h.degradeAfter {
+	if h.panics >= h.degradeAfter && !h.degraded {
 		h.degraded = true
+		if h.onDegrade != nil {
+			h.onDegrade(true)
+		}
 	}
 }
 
@@ -147,6 +182,9 @@ func (h *shardHealth) noteSuccess() {
 	if h.successes >= h.degradeAfter {
 		h.degraded = false
 		h.successes = 0
+		if h.onDegrade != nil {
+			h.onDegrade(false)
+		}
 	}
 }
 

@@ -13,10 +13,10 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -26,6 +26,7 @@ import (
 	"cape/internal/cp"
 	"cape/internal/fault"
 	"cape/internal/metrics"
+	"cape/internal/telemetry"
 	"cape/internal/workloads"
 )
 
@@ -114,9 +115,22 @@ type Options struct {
 	// for GET /v1/jobs/{id}/trace (default 64).
 	TraceStoreCap int
 	// JobLog, when non-nil, receives one structured JSON line per job
-	// (id, program, config, backend, status, durations). Writes are
-	// serialized by the server.
+	// (id, program, config, backend, status, durations), emitted
+	// through log/slog's JSON handler. Writes are serialized by the
+	// handler.
 	JobLog io.Writer
+	// Logger, when non-nil, receives operational structured logs
+	// (breaker transitions, degradation flips, flight dumps) with
+	// request-id/shard/kind attributes. Nil discards them.
+	Logger *slog.Logger
+	// FlightRecorderCap bounds each shard's flight-recorder ring in
+	// events (default telemetry.DefaultFlightCap).
+	FlightRecorderCap int
+	// SLOWindow is the rolling window for availability and latency
+	// burn-rate tracking (default 5m); SLOLatencyObjective is the
+	// per-request latency bound it burns against (default 2s).
+	SLOWindow           time.Duration
+	SLOLatencyObjective time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -172,6 +186,8 @@ func (o Options) withDefaults() Options {
 type job struct {
 	id       uint64
 	name     string // program or workload name, for the job log
+	kind     string // request kind (source/workload/query), for SLOs
+	shard    string // pool shard key, for flight-recorder correlation
 	spec     *Spec
 	ctx      context.Context
 	enqueued time.Time
@@ -200,7 +216,22 @@ type Server struct {
 	totalH    *metrics.Histogram
 
 	traces *traceStore
-	logMu  sync.Mutex
+	// dumps retains flight-recorder snapshots captured on 5xx
+	// responses, retrievable from /v1/debug/flightrecorder/{id}.
+	dumps *traceStore
+
+	// flight records structured lifecycle events per shard; slo tracks
+	// rolling-window availability and latency burn per request kind.
+	flight *telemetry.Flight
+	slo    *telemetry.SLO
+	// kindH holds the per-kind request latency histograms the SLO p99
+	// gauges sample.
+	kindH map[string]*metrics.Histogram
+
+	// jobLog emits the per-job JSON lines (nil = off); logger carries
+	// operational events (never nil — defaults to a nop logger).
+	jobLog *slog.Logger
+	logger *slog.Logger
 
 	// injector is the parent fault-injection stream shared by every
 	// pooled machine (nil = injection off); retries counts attempt
@@ -237,9 +268,58 @@ func New(opts Options) *Server {
 			"Host time a job spent executing on the simulator.", metrics.DefLatencyBuckets, nil),
 		totalH: reg.Histogram("caped_total_seconds",
 			"Host time from submit to completion.", metrics.DefLatencyBuckets, nil),
-		traces:   newTraceStore(opts.TraceStoreCap),
+		traces: newTraceStore(opts.TraceStoreCap),
+		dumps:  newTraceStore(32),
+		flight: telemetry.NewFlight(opts.FlightRecorderCap),
+		slo: telemetry.NewSLO(telemetry.SLOConfig{
+			Window:           opts.SLOWindow,
+			LatencyObjective: opts.SLOLatencyObjective,
+		}),
+		kindH:    make(map[string]*metrics.Histogram),
 		injector: fault.New(opts.Faults),
 		healths:  make(map[string]*shardHealth),
+		logger:   opts.Logger,
+	}
+	if s.logger == nil {
+		s.logger = telemetry.NopLogger()
+	}
+	if opts.JobLog != nil {
+		s.jobLog = slog.New(slog.NewJSONHandler(opts.JobLog, nil))
+	}
+	telemetry.RegisterRuntimeMetrics(reg)
+	reg.CounterFunc("caped_traces_evicted_total",
+		"Completed job traces evicted from the bounded trace store.", nil,
+		s.traces.evicted)
+	reg.CounterFunc("caped_flight_events_total",
+		"Events recorded across all flight-recorder rings.", nil,
+		s.flight.Recorded)
+	for _, kind := range requestKinds {
+		kind := kind
+		labels := metrics.Labels{"kind": kind}
+		s.kindH[kind] = reg.Histogram("caped_request_seconds",
+			"End-to-end request latency by request kind.",
+			metrics.DefLatencyBuckets, labels)
+		h := s.kindH[kind]
+		reg.GaugeFunc("caped_slo_availability_ppm",
+			"Rolling-window availability by request kind, in parts per million.",
+			labels, func() int64 {
+				return int64(s.slo.SnapshotKind(kind).Availability * 1e6)
+			})
+		reg.GaugeFunc("caped_slo_error_burn_rate_milli",
+			"Error-budget burn rate by request kind (1000 = burning exactly at objective).",
+			labels, func() int64 {
+				return int64(s.slo.SnapshotKind(kind).ErrorBurnRate * 1e3)
+			})
+		reg.GaugeFunc("caped_slo_latency_burn_rate_milli",
+			"Latency-budget burn rate by request kind (1000 = burning exactly at objective).",
+			labels, func() int64 {
+				return int64(s.slo.SnapshotKind(kind).LatencyBurnRate * 1e3)
+			})
+		reg.GaugeFunc("caped_slo_p99_latency_us",
+			"p99 end-to-end request latency by request kind, in microseconds.",
+			labels, func() int64 {
+				return int64(h.Quantile(0.99) * 1e6)
+			})
 	}
 	s.retries = reg.Counter("caped_retries_total",
 		"Job attempts retried after transient injected faults.", nil)
@@ -317,6 +397,34 @@ func jobName(req Request) string {
 	return "job"
 }
 
+// requestKinds are the SLO-tracked request classes.
+var requestKinds = []string{"source", "workload", "query"}
+
+// requestKind classifies a request for SLO tracking and log attrs.
+func requestKind(req Request) string {
+	switch {
+	case req.Query != nil:
+		return "query"
+	case req.Workload != "":
+		return "workload"
+	}
+	return "source"
+}
+
+// serverOK reports whether err counts as availability-good for SLO
+// purposes: only server-attributed failures (would-be 5xx) burn error
+// budget — a client's bad program is not the service failing.
+func serverOK(err error) bool {
+	return err == nil || httpStatusOf(err) < 500
+}
+
+// Flight returns the server's flight recorder (debug endpoints, the
+// SIGQUIT dump in caped).
+func (s *Server) Flight() *telemetry.Flight { return s.flight }
+
+// SLO returns the rolling-window SLO tracker.
+func (s *Server) SLO() *telemetry.SLO { return s.slo }
+
 // SubmitJob is Submit returning the job id as well. The id is
 // allocated before compilation, so even a rejected request has an id
 // its error response and log line share — every job a client hears
@@ -324,14 +432,21 @@ func jobName(req Request) string {
 func (s *Server) SubmitJob(ctx context.Context, req Request) (*Response, uint64, error) {
 	id := s.nextID.Add(1)
 	start := time.Now()
+	kind := requestKind(req)
 	spec, err := Compile(req, s.opts)
 	if err != nil {
-		s.logJob(id, jobName(req), req.Config, req.Backend, "rejected", start, 0, err)
+		// Compile rejections are client errors: logged and recorded,
+		// but they do not burn availability budget.
+		s.flight.Record("server", "job_rejected", id, err.Error())
+		s.recordSLO(kind, start, err)
+		s.logJob(id, jobName(req), kind, "", req.Config, req.Backend, "rejected", start, 0, err)
 		return nil, id, err
 	}
 	j := &job{
 		id:       id,
 		name:     jobName(req),
+		kind:     kind,
+		shard:    ShardKey(spec.Config),
 		spec:     spec,
 		ctx:      ctx,
 		enqueued: start,
@@ -340,7 +455,9 @@ func (s *Server) SubmitJob(ctx context.Context, req Request) (*Response, uint64,
 	s.closeMu.RLock()
 	if s.closed {
 		s.closeMu.RUnlock()
-		s.logJob(id, j.name, spec.Config.Name, spec.BackendName, "closed", start, 0, ErrClosed)
+		s.flight.Record("server", "job_rejected", id, ErrClosed.Error())
+		s.recordSLO(kind, start, ErrClosed)
+		s.logJob(id, j.name, kind, j.shard, spec.Config.Name, spec.BackendName, "closed", start, 0, ErrClosed)
 		return nil, id, ErrClosed
 	}
 	select {
@@ -348,10 +465,13 @@ func (s *Server) SubmitJob(ctx context.Context, req Request) (*Response, uint64,
 		s.submitted.Inc()
 		s.inflight.Inc()
 		s.closeMu.RUnlock()
+		s.flight.Record(j.shard, "job_admitted", id, j.name)
 	default:
 		s.rejected.Inc()
 		s.closeMu.RUnlock()
-		s.logJob(id, j.name, spec.Config.Name, spec.BackendName, "queue_full", start, 0, ErrQueueFull)
+		s.flight.Record(j.shard, "queue_rejected", id, "queue full")
+		s.recordSLO(kind, start, ErrQueueFull)
+		s.logJob(id, j.name, kind, j.shard, spec.Config.Name, spec.BackendName, "queue_full", start, 0, ErrQueueFull)
 		return nil, id, ErrQueueFull
 	}
 	select {
@@ -365,11 +485,15 @@ func (s *Server) SubmitJob(ctx context.Context, req Request) (*Response, uint64,
 	}
 }
 
-// jobLogLine is the structured per-job log record.
+// jobLogLine is the structured per-job log record, as decoded from the
+// slog JSON output (tests and log consumers key on these fields; slog
+// adds level/msg alongside).
 type jobLogLine struct {
 	Time       string  `json:"time"`
 	JobID      uint64  `json:"job_id"`
 	Program    string  `json:"program"`
+	Kind       string  `json:"kind,omitempty"`
+	Shard      string  `json:"shard,omitempty"`
 	Config     string  `json:"config,omitempty"`
 	Backend    string  `json:"backend,omitempty"`
 	Status     string  `json:"status"`
@@ -378,32 +502,44 @@ type jobLogLine struct {
 	Error      string  `json:"error,omitempty"`
 }
 
-// logJob writes one JSON line describing a finished (or rejected) job.
-func (s *Server) logJob(id uint64, name, config, backend, status string, start time.Time, runNS int64, err error) {
-	if s.opts.JobLog == nil {
+// recordSLO tallies one finished request against its kind's error and
+// latency budgets and the per-kind latency histogram.
+func (s *Server) recordSLO(kind string, start time.Time, err error) {
+	latency := time.Since(start)
+	s.slo.Record(kind, serverOK(err), latency)
+	if h, ok := s.kindH[kind]; ok {
+		h.Observe(latency.Seconds())
+	}
+}
+
+// logJob emits one structured line describing a finished (or rejected)
+// job through the slog JSON handler.
+func (s *Server) logJob(id uint64, name, kind, shard, config, backend, status string, start time.Time, runNS int64, err error) {
+	if s.jobLog == nil {
 		return
 	}
-	line := jobLogLine{
-		Time:       time.Now().UTC().Format(time.RFC3339Nano),
-		JobID:      id,
-		Program:    name,
-		Config:     config,
-		Backend:    backend,
-		Status:     status,
-		DurationMS: float64(time.Since(start).Nanoseconds()) / 1e6,
-		RunMS:      float64(runNS) / 1e6,
+	attrs := make([]slog.Attr, 0, 10)
+	attrs = append(attrs,
+		slog.Uint64("job_id", id),
+		slog.String("program", name),
+		slog.String("kind", kind))
+	if shard != "" {
+		attrs = append(attrs, slog.String("shard", shard))
 	}
+	if config != "" {
+		attrs = append(attrs, slog.String("config", config))
+	}
+	if backend != "" {
+		attrs = append(attrs, slog.String("backend", backend))
+	}
+	attrs = append(attrs,
+		slog.String("status", status),
+		slog.Float64("duration_ms", float64(time.Since(start).Nanoseconds())/1e6),
+		slog.Float64("run_ms", float64(runNS)/1e6))
 	if err != nil {
-		line.Error = err.Error()
+		attrs = append(attrs, slog.String("error", err.Error()))
 	}
-	b, mErr := json.Marshal(line)
-	if mErr != nil {
-		return
-	}
-	b = append(b, '\n')
-	s.logMu.Lock()
-	s.opts.JobLog.Write(b)
-	s.logMu.Unlock()
+	s.jobLog.LogAttrs(context.Background(), slog.LevelInfo, "job", attrs...)
 }
 
 // statusOf classifies a job error for the per-status counters.
@@ -435,6 +571,23 @@ func (s *Server) health(cfg core.Config) *shardHealth {
 	h, ok := s.healths[key]
 	if !ok {
 		h = newShardHealth(s.opts)
+		// Breaker and degradation flips land on the shard's flight ring
+		// and the operational log, correlated by shard key.
+		h.breaker.onTransition = func(from, to int64) {
+			detail := breakerStateName(from) + "->" + breakerStateName(to)
+			s.flight.Record(key, "breaker_"+breakerStateName(to), 0, detail)
+			s.logger.LogAttrs(context.Background(), slog.LevelWarn, "breaker transition",
+				slog.String("shard", key), slog.String("transition", detail))
+		}
+		h.onDegrade = func(degraded bool) {
+			kind := "degraded_serial"
+			if !degraded {
+				kind = "restored_parallel"
+			}
+			s.flight.Record(key, kind, 0, "")
+			s.logger.LogAttrs(context.Background(), slog.LevelWarn, "shard degradation",
+				slog.String("shard", key), slog.Bool("degraded", degraded))
+		}
 		s.healths[key] = h
 		s.reg.GaugeFunc("caped_breaker_state",
 			"Per-shard circuit breaker state (0 closed, 1 half-open, 2 open).",
@@ -442,6 +595,9 @@ func (s *Server) health(cfg core.Config) *shardHealth {
 		s.reg.GaugeFunc("caped_degraded_serial",
 			"Whether the shard's machines are degraded to serial CSB execution.",
 			metrics.Labels{"shard": key}, h.degradedVal)
+		// The shard's always-on perf counters join /metrics the first
+		// time the shard serves a job.
+		telemetry.RegisterPMU(s.reg, metrics.Labels{"shard": key}, s.pool.PMU(cfg))
 	}
 	return h
 }
@@ -483,6 +639,7 @@ func (s *Server) attempt(j *job, h *shardHealth) (*core.Machine, jobDone) {
 func (s *Server) runJob(j *job) {
 	queueNS := time.Since(j.enqueued).Nanoseconds()
 	s.queueH.Observe(float64(queueNS) / 1e9)
+	s.flight.Record(j.shard, "queue_exit", j.id, fmt.Sprintf("waited %.3fms", float64(queueNS)/1e6))
 
 	h := s.health(j.spec.Config)
 	retries := s.opts.Retries
@@ -497,6 +654,7 @@ func (s *Server) runJob(j *job) {
 		d.err = j.ctx.Err()
 	case !h.breaker.allow():
 		d.err = ErrBreakerOpen
+		s.flight.Record(j.shard, "breaker_rejected", j.id, "")
 	default:
 		for attempt := 0; ; attempt++ {
 			m, d = s.attempt(j, h)
@@ -507,12 +665,16 @@ func (s *Server) runJob(j *job) {
 			}
 			if cls, ok := fault.ClassOf(d.err); ok {
 				h.noteFault(cls)
+				s.flight.Record(j.shard, "fault_injected", j.id,
+					fmt.Sprintf("attempt %d: %s", attempt, cls))
 			}
 			if attempt >= retries || !fault.IsTransient(d.err) || j.ctx.Err() != nil {
 				h.breaker.onResult(false)
 				break
 			}
 			s.retries.Inc()
+			s.flight.Record(j.shard, "job_retry", j.id,
+				fmt.Sprintf("attempt %d failed: %v", attempt, d.err))
 			if !sleepCtx(j.ctx, backoffDelay(s.opts, attempt)) {
 				d.err = j.ctx.Err()
 				h.breaker.onResult(false)
@@ -550,7 +712,9 @@ func (s *Server) runJob(j *job) {
 	s.reg.Counter("caped_jobs_completed_total", "Jobs completed by status and config.",
 		metrics.Labels{"status": statusOf(d.err), "config": j.spec.Config.Name}).Inc()
 	s.inflight.Dec()
-	s.logJob(j.id, j.name, j.spec.Config.Name, j.spec.BackendName,
+	s.recordSLO(j.kind, j.enqueued, d.err)
+	s.flight.Record(j.shard, "job_done", j.id, statusOf(d.err))
+	s.logJob(j.id, j.name, j.kind, j.shard, j.spec.Config.Name, j.spec.BackendName,
 		statusOf(d.err), j.enqueued, runNS, d.err)
 	j.done <- d
 	// The machine is reset and returned only after the reply is

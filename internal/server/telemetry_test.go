@@ -1,0 +1,309 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cape/internal/fault"
+)
+
+// flightArtifact snapshots the server's flight recorder into
+// $FLIGHT_DUMP_DIR when the test fails, so CI can upload the event
+// history of the failing run as a build artifact. A no-op when the
+// variable is unset (local runs).
+func flightArtifact(t *testing.T, s *Server) {
+	t.Helper()
+	dir := os.Getenv("FLIGHT_DUMP_DIR")
+	if dir == "" {
+		return
+	}
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		b, err := json.MarshalIndent(s.Flight().SnapshotAll(), "", "  ")
+		if err != nil {
+			t.Logf("flight artifact: marshal: %v", err)
+			return
+		}
+		name := strings.NewReplacer("/", "_", " ", "_").Replace(t.Name()) + ".flight.json"
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Logf("flight artifact: %v", err)
+			return
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Logf("flight artifact: %v", err)
+			return
+		}
+		t.Logf("flight recorder dumped to %s", path)
+	})
+}
+
+// TestStatusEndpoint: /v1/status is the one-stop JSON view — perf
+// counters move after a job, SLO kinds appear, and flight events are
+// recorded.
+func TestStatusEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	flightArtifact(t, s)
+	// A bitlevel job so the CSB microop counters move, not just the
+	// vector-unit ones.
+	if resp, body := postJob(t, ts, Request{
+		Source: probeSource, Name: "status-probe", Chains: 8, Backend: "bitlevel",
+		Registers: map[string]int64{"x11": 5},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe job: status %d: %s", resp.StatusCode, body)
+	}
+
+	hr, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hr.Body.Close()
+	var st statusBody
+	if err := json.NewDecoder(hr.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Status != "ok" || st.GoVersion == "" || st.Version == "" || st.Workers == 0 {
+		t.Fatalf("status header wrong: %+v", st)
+	}
+	if st.Perf.MicroopsTotal == 0 || st.Perf.CSBRuns == 0 {
+		t.Fatalf("bitlevel job left the aggregate PMU at zero: %+v", st.Perf)
+	}
+	if len(st.Shards) == 0 || st.Shards[0].Perf.VectorMem == 0 {
+		t.Fatalf("per-shard perf counters missing: %+v", st.Shards)
+	}
+	if st.FlightEvents == 0 {
+		t.Fatal("no flight events recorded for a completed job")
+	}
+	kinds := make(map[string]bool)
+	for _, k := range st.SLO {
+		kinds[k.Kind] = true
+		if k.Kind == "source" && (k.Total == 0 || k.Availability != 1) {
+			t.Fatalf("source SLO after one ok job: %+v", k)
+		}
+	}
+	if !kinds["source"] {
+		t.Fatalf("SLO snapshot missing the source kind: %+v", st.SLO)
+	}
+}
+
+// TestFlightDumpOn5xx: a server-attributed failure captures a flight
+// dump retrievable at the URL named in the error body, and the dump's
+// events correlate with the failing job id — the acceptance path.
+func TestFlightDumpOn5xx(t *testing.T) {
+	o := chaosOptions(fault.Config{Seed: 11, HBMDropProb: 1})
+	o.Retries = -1 // no retries: the injected fault surfaces as a 503
+	s := New(o)
+	ts := newTestHTTP(t, s)
+	flightArtifact(t, s)
+
+	resp, body := postJob(t, ts, chaosRequest())
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("every transfer drops: want 503, got %d: %s", resp.StatusCode, body)
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("error body: %v\n%s", err, body)
+	}
+	if e.JobID == 0 || e.Status != "fault" {
+		t.Fatalf("5xx error body lacks a correlatable id: %+v", e)
+	}
+	if want := fmt.Sprintf("/v1/debug/flightrecorder/%d", e.JobID); e.FlightDump != want {
+		t.Fatalf("flight dump pointer %q, want %q", e.FlightDump, want)
+	}
+
+	dr, err := http.Get(ts.URL + e.FlightDump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("dump fetch: status %d", dr.StatusCode)
+	}
+	var dump flightDump
+	if err := json.NewDecoder(dr.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	if dump.JobID != e.JobID {
+		t.Fatalf("dump is for job %d, want %d", dump.JobID, e.JobID)
+	}
+	mine := make(map[string]bool)
+	for _, ev := range dump.Events {
+		if ev.JobID == e.JobID {
+			mine[ev.Kind] = true
+		}
+	}
+	for _, want := range []string{"job_admitted", "queue_exit", "fault_injected", "job_done"} {
+		if !mine[want] {
+			t.Errorf("dump has no %q event for job %d (got %v)", want, e.JobID, mine)
+		}
+	}
+
+	// A 4xx must NOT capture a dump: client errors are not the
+	// server's postmortem to keep.
+	resp2, body2 := postJob(t, ts, Request{Workload: "no-such-kernel"})
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown workload: want 400, got %d: %s", resp2.StatusCode, body2)
+	}
+	var e2 errorBody
+	if err := json.Unmarshal(body2, &e2); err != nil || e2.FlightDump != "" {
+		t.Fatalf("4xx captured a flight dump: %s", body2)
+	}
+}
+
+// newTestHTTP wraps an already-built Server in an httptest listener.
+func newTestHTTP(t *testing.T, s *Server) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return ts
+}
+
+// TestFlightLiveEndpoint: the live dump endpoint reflects a completed
+// job without any failure having occurred.
+func TestFlightLiveEndpoint(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	flightArtifact(t, s)
+	var ok Response
+	if resp, body := postJob(t, ts, probeRequest(3, false)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe: %d: %s", resp.StatusCode, body)
+	} else if err := json.Unmarshal(body, &ok); err != nil {
+		t.Fatal(err)
+	}
+	lr, err := http.Get(ts.URL + "/v1/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lr.Body.Close()
+	var dump flightDump
+	if err := json.NewDecoder(lr.Body).Decode(&dump); err != nil {
+		t.Fatal(err)
+	}
+	var done bool
+	for _, ev := range dump.Events {
+		if ev.JobID == ok.JobID && ev.Kind == "job_done" && ev.Detail == "ok" {
+			done = true
+		}
+	}
+	if !done {
+		t.Fatalf("live dump has no job_done for job %d: %+v", ok.JobID, dump.Events)
+	}
+}
+
+// TestSLOAndPMUMetricsRendered: the new always-on families reach
+// /metrics — SLO gauges, per-kind latency histograms, PMU counters,
+// runtime gauges, build info, and the eviction counter.
+func TestSLOAndPMUMetricsRendered(t *testing.T) {
+	s, ts := newHTTPServer(t)
+	flightArtifact(t, s)
+	if resp, body := postJob(t, ts, Request{
+		Source: probeSource, Name: "metrics-probe", Chains: 8, Backend: "bitlevel",
+		Registers: map[string]int64{"x11": 6},
+	}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("probe: %d: %s", resp.StatusCode, body)
+	}
+	var b bytes.Buffer
+	if _, err := s.Registry().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{
+		`caped_slo_availability_ppm{kind="source"} 1000000`,
+		`caped_slo_error_burn_rate_milli{kind="source"} 0`,
+		`caped_slo_latency_burn_rate_milli{kind="source"}`,
+		`caped_slo_p99_latency_us{kind="source"}`,
+		`caped_request_seconds_bucket{kind="source",le="+Inf"} 1`,
+		`caped_pmu_microops_total{class="search_serial",shard="`,
+		`caped_pmu_csb_runs_total{shard="`,
+		`caped_pmu_hbm_bytes_total{shard="`,
+		`caped_pmu_ucode_lookups_total{result="miss",shard="`,
+		"caped_go_goroutines",
+		"caped_go_heap_alloc_bytes",
+		"caped_build_info{go_version=",
+		"caped_traces_evicted_total 0",
+		"caped_flight_events_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full exposition:\n%s", text)
+	}
+}
+
+// TestTraceEvictionCounter: pushing a trace out of the bounded store
+// increments caped_traces_evicted_total and keeps the 410 path.
+func TestTraceEvictionCounter(t *testing.T) {
+	opts := testOptions()
+	opts.TraceStoreCap = 1
+	s := New(opts)
+	ts := newTestHTTP(t, s)
+	flightArtifact(t, s)
+
+	ids := make([]uint64, 2)
+	for i := range ids {
+		req := probeRequest(int64(10+i), false)
+		req.Trace = true
+		_, body := postJob(t, ts, req)
+		var resp Response
+		if err := json.Unmarshal(body, &resp); err != nil || resp.JobID == 0 {
+			t.Fatalf("traced probe %d: %v: %s", i, err, body)
+		}
+		ids[i] = resp.JobID
+	}
+	if s.traces.evicted() != 1 {
+		t.Fatalf("evictions = %d, want 1", s.traces.evicted())
+	}
+	gr, err := http.Get(fmt.Sprintf("%s/v1/jobs/%d/trace", ts.URL, ids[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr.Body.Close()
+	if gr.StatusCode != http.StatusGone {
+		t.Fatalf("evicted trace: want 410, got %d", gr.StatusCode)
+	}
+	var b bytes.Buffer
+	if _, err := s.Registry().WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "caped_traces_evicted_total 1") {
+		t.Errorf("/metrics missing caped_traces_evicted_total 1")
+	}
+}
+
+// TestSLOBurnsOnServerFault: server-attributed failures (injected
+// hardware faults → 503) consume availability budget; the burn rate
+// goes positive and availability drops below 1.
+func TestSLOBurnsOnServerFault(t *testing.T) {
+	o := chaosOptions(fault.Config{Seed: 13, HBMDropProb: 1})
+	o.Retries = -1
+	s := New(o)
+	defer s.Close()
+	flightArtifact(t, s)
+	if _, err := s.Submit(context.Background(), chaosRequest()); err == nil {
+		t.Fatal("every transfer drops; the job cannot succeed")
+	}
+	for _, k := range s.SLO().Snapshot() {
+		if k.Kind != "source" {
+			continue
+		}
+		if k.Availability >= 1 || k.ErrorBurnRate <= 0 {
+			t.Fatalf("failed job did not burn the source budget: %+v", k)
+		}
+		return
+	}
+	t.Fatal("no source SLO snapshot")
+}

@@ -1,6 +1,9 @@
 package server
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // traceState classifies a traceStore lookup.
 type traceState int
@@ -26,6 +29,11 @@ type traceStore struct {
 
 	gone      map[uint64]struct{}
 	goneOrder []uint64 // evicted ids, oldest first; bounded at 8*cap
+
+	// evictions counts entries pushed out at capacity — eviction used
+	// to be silent, which made "trace vanished" reports undebuggable;
+	// it now feeds caped_traces_evicted_total.
+	evictions atomic.Uint64
 }
 
 func newTraceStore(capacity int) *traceStore {
@@ -51,6 +59,7 @@ func (t *traceStore) put(id uint64, trace []byte) {
 		old := t.order[0]
 		t.order = t.order[1:]
 		delete(t.live, old)
+		t.evictions.Add(1)
 		if _, ok := t.gone[old]; !ok {
 			t.gone[old] = struct{}{}
 			t.goneOrder = append(t.goneOrder, old)
@@ -61,6 +70,9 @@ func (t *traceStore) put(id uint64, trace []byte) {
 		}
 	}
 }
+
+// evicted returns the total entries evicted at capacity.
+func (t *traceStore) evicted() uint64 { return t.evictions.Load() }
 
 // get looks a trace up by job id.
 func (t *traceStore) get(id uint64) ([]byte, traceState) {

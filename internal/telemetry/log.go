@@ -1,0 +1,19 @@
+package telemetry
+
+import (
+	"context"
+	"log/slog"
+)
+
+// nopHandler drops every record (Go 1.22 predates
+// slog.DiscardHandler).
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (h nopHandler) WithAttrs([]slog.Attr) slog.Handler      { return h }
+func (h nopHandler) WithGroup(string) slog.Handler           { return h }
+
+// NopLogger returns a logger that discards everything — the default
+// for components whose caller did not wire structured logging.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"cape/internal/metrics"
+)
+
+func TestPMUAddCSBRun(t *testing.T) {
+	var p PMU
+	p.AddCSBRun(&CSBDelta{
+		SearchParallel: 3, UpdateParallel: 2, Reduce: 1,
+		Words: 640, Lanes: 192, Cycles: 57,
+		Match0Bits: 40, Match1Bits: 24,
+	})
+	p.AddCSBRun(&CSBDelta{SearchSerial: 1, Words: 10, Lanes: 1, Cycles: 9, Match1Bits: 8})
+	p.AddUcodeLookup(true)
+	p.AddUcodeLookup(true)
+	p.AddUcodeLookup(false)
+	p.AddHBMTransfer(4096)
+	p.AddVectorInst(false)
+	p.AddVectorInst(true)
+
+	c := p.Snapshot()
+	if c.CSBRuns != 2 || p.CSBRuns() != 2 {
+		t.Errorf("csb runs = %d, want 2", c.CSBRuns)
+	}
+	if c.MicroopsTotal != 7 {
+		t.Errorf("microops total = %d, want 7", c.MicroopsTotal)
+	}
+	if c.WordsEvaluated != 650 || c.LanesActive != 193 || c.CSBCycles != 66 {
+		t.Errorf("words/lanes/cycles = %d/%d/%d, want 650/193/66",
+			c.WordsEvaluated, c.LanesActive, c.CSBCycles)
+	}
+	if c.Match0Bits != 40 || c.Match1Bits != 32 {
+		t.Errorf("match bits = %d/%d, want 40/32", c.Match0Bits, c.Match1Bits)
+	}
+	if want := 40.0 / 72.0; math.Abs(c.Match0Density-want) > 1e-12 {
+		t.Errorf("match0 density = %v, want %v", c.Match0Density, want)
+	}
+	if c.UcodeHits != 2 || c.UcodeMisses != 1 {
+		t.Errorf("ucode hits/misses = %d/%d, want 2/1", c.UcodeHits, c.UcodeMisses)
+	}
+	if c.HBMTransfers != 1 || c.HBMBytes != 4096 {
+		t.Errorf("hbm = %d transfers / %d bytes, want 1/4096", c.HBMTransfers, c.HBMBytes)
+	}
+	if c.VectorALU != 1 || c.VectorMem != 1 {
+		t.Errorf("vector insts = %d alu / %d mem, want 1/1", c.VectorALU, c.VectorMem)
+	}
+}
+
+func TestPMUConcurrent(t *testing.T) {
+	var p PMU
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				p.AddCSBRun(&CSBDelta{SearchParallel: 1, Words: 2, Match1Bits: 3})
+				p.AddUcodeLookup(i%2 == 0)
+			}
+		}()
+	}
+	wg.Wait()
+	c := p.Snapshot()
+	if c.CSBRuns != workers*per || c.SearchParallel != workers*per ||
+		c.WordsEvaluated != 2*workers*per || c.Match1Bits != 3*workers*per {
+		t.Fatalf("lost updates: %+v", c)
+	}
+	if c.UcodeHits+c.UcodeMisses != workers*per {
+		t.Fatalf("ucode lookups = %d, want %d", c.UcodeHits+c.UcodeMisses, workers*per)
+	}
+}
+
+func TestPerfCountersAdd(t *testing.T) {
+	a := PerfCounters{CSBRuns: 1, SearchSerial: 2, Match0Bits: 3, Match1Bits: 1}
+	b := PerfCounters{CSBRuns: 4, Reduce: 5, Match0Bits: 1, HBMBytes: 64}
+	a.Add(b)
+	if a.CSBRuns != 5 || a.MicroopsTotal != 7 || a.Match0Bits != 4 || a.HBMBytes != 64 {
+		t.Fatalf("aggregate = %+v", a)
+	}
+	if want := 4.0 / 5.0; math.Abs(a.Match0Density-want) > 1e-12 {
+		t.Fatalf("density not refreshed: %v, want %v", a.Match0Density, want)
+	}
+}
+
+func TestPerfCountersTable(t *testing.T) {
+	c := PerfCounters{CSBRuns: 7, SearchParallel: 3}
+	c.finish()
+	tab := c.Table()
+	for _, want := range []string{"csb_runs", "7", "search_parallel", "match0_density"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestRegisterPMURender(t *testing.T) {
+	reg := metrics.NewRegistry()
+	var p PMU
+	RegisterPMU(reg, metrics.Labels{"shard": "b64x8"}, &p)
+	p.AddCSBRun(&CSBDelta{SearchParallel: 2, Words: 100, Match0Bits: 30, Match1Bits: 10})
+	p.AddUcodeLookup(false)
+	var sb strings.Builder
+	if _, err := reg.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`caped_pmu_microops_total{class="search_parallel",shard="b64x8"} 2`,
+		`caped_pmu_csb_runs_total{shard="b64x8"} 1`,
+		`caped_pmu_words_evaluated_total{shard="b64x8"} 100`,
+		`caped_pmu_match_bits_total{polarity="0",shard="b64x8"} 30`,
+		`caped_pmu_match0_density_ppm{shard="b64x8"} 750000`,
+		`caped_pmu_ucode_lookups_total{result="miss",shard="b64x8"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"cape/internal/metrics"
+)
+
+// Version is the build version reported by caped_build_info and
+// /v1/status; override at link time with
+// -ldflags "-X cape/internal/telemetry.Version=v1.2.3".
+var Version = "dev"
+
+// memSampler caches runtime.ReadMemStats: the read is a brief
+// stop-the-world, so the gauges below share one sample refreshed at
+// most every refreshEvery instead of re-reading per series per
+// scrape.
+type memSampler struct {
+	mu sync.Mutex
+	at time.Time
+	ms runtime.MemStats
+}
+
+const memRefreshEvery = 100 * time.Millisecond
+
+func (s *memSampler) get() runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.at) >= memRefreshEvery {
+		runtime.ReadMemStats(&s.ms)
+		s.at = time.Now()
+	}
+	return s.ms
+}
+
+// RegisterRuntimeMetrics exposes Go runtime health on reg as the
+// caped_go_* families plus caped_build_info. Values are sampled at
+// render time; the (stop-the-world) MemStats read is cached for
+// 100ms so a scrape storm cannot thrash the collector.
+func RegisterRuntimeMetrics(reg *metrics.Registry) {
+	smp := &memSampler{}
+	reg.GaugeFunc("caped_go_goroutines",
+		"Live goroutines.", nil,
+		func() int64 { return int64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("caped_go_gomaxprocs",
+		"GOMAXPROCS of the serving process.", nil,
+		func() int64 { return int64(runtime.GOMAXPROCS(0)) })
+	reg.GaugeFunc("caped_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.", nil,
+		func() int64 { return int64(smp.get().HeapAlloc) })
+	reg.GaugeFunc("caped_go_heap_sys_bytes",
+		"Heap memory obtained from the OS.", nil,
+		func() int64 { return int64(smp.get().HeapSys) })
+	reg.GaugeFunc("caped_go_heap_objects",
+		"Live heap objects.", nil,
+		func() int64 { return int64(smp.get().HeapObjects) })
+	reg.CounterFunc("caped_go_gc_cycles_total",
+		"Completed GC cycles.", nil,
+		func() uint64 { return uint64(smp.get().NumGC) })
+	reg.CounterFunc("caped_go_gc_pause_ns_total",
+		"Cumulative GC stop-the-world pause.", nil,
+		func() uint64 { return smp.get().PauseTotalNs })
+	reg.Gauge("caped_build_info",
+		"Build metadata; the value is constant 1.",
+		metrics.Labels{"version": Version, "go_version": runtime.Version()}).Set(1)
+}

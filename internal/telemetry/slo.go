@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// SLOConfig sets the service-level objectives the tracker burns
+// against. The zero value selects the noted defaults.
+type SLOConfig struct {
+	// Window is the rolling measurement window (default 5m).
+	Window time.Duration
+	// Slices subdivides the window; old slices age out one at a time,
+	// so gauges decay smoothly instead of resetting (default 30).
+	Slices int
+	// AvailabilityObjective is the target fraction of requests that
+	// must not fail on server grounds (default 0.999).
+	AvailabilityObjective float64
+	// LatencyObjective is the per-request latency bound (default 2s)
+	// and LatencyFraction the target fraction of requests under it
+	// (default 0.99).
+	LatencyObjective time.Duration
+	LatencyFraction  float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.Window <= 0 {
+		c.Window = 5 * time.Minute
+	}
+	if c.Slices <= 0 {
+		c.Slices = 30
+	}
+	if c.AvailabilityObjective <= 0 || c.AvailabilityObjective >= 1 {
+		c.AvailabilityObjective = 0.999
+	}
+	if c.LatencyObjective <= 0 {
+		c.LatencyObjective = 2 * time.Second
+	}
+	if c.LatencyFraction <= 0 || c.LatencyFraction >= 1 {
+		c.LatencyFraction = 0.99
+	}
+	return c
+}
+
+// sloBucket is one time slice's tallies.
+type sloBucket struct {
+	total uint64
+	bad   uint64
+	slow  uint64
+}
+
+// sloSeries is one request kind's rolling window.
+type sloSeries struct {
+	buckets  []sloBucket
+	cur      int
+	curStart time.Time
+}
+
+// SLO tracks availability and latency-objective compliance per
+// request kind over a rolling window, reporting burn rates the way an
+// error-budget alert would: burn rate 1.0 means the kind is consuming
+// its error budget exactly as fast as the objective allows; above 1
+// the budget depletes early.
+type SLO struct {
+	cfg   SLOConfig
+	slice time.Duration
+
+	mu    sync.Mutex
+	kinds map[string]*sloSeries
+
+	// now is a test hook; nil uses time.Now.
+	now func() time.Time
+}
+
+// NewSLO builds a tracker.
+func NewSLO(cfg SLOConfig) *SLO {
+	cfg = cfg.withDefaults()
+	return &SLO{
+		cfg:   cfg,
+		slice: cfg.Window / time.Duration(cfg.Slices),
+		kinds: make(map[string]*sloSeries),
+	}
+}
+
+func (s *SLO) clock() time.Time {
+	if s.now != nil {
+		return s.now()
+	}
+	return time.Now()
+}
+
+// rotate advances the series' current slice to cover now, clearing
+// aged-out buckets. Caller holds s.mu.
+func (s *SLO) rotate(sr *sloSeries, now time.Time) {
+	steps := int(now.Sub(sr.curStart) / s.slice)
+	if steps <= 0 {
+		return
+	}
+	if steps > len(sr.buckets) {
+		steps = len(sr.buckets)
+	}
+	for i := 0; i < steps; i++ {
+		sr.cur = (sr.cur + 1) % len(sr.buckets)
+		sr.buckets[sr.cur] = sloBucket{}
+	}
+	sr.curStart = sr.curStart.Add(time.Duration(steps) * s.slice)
+	if now.Sub(sr.curStart) >= s.slice {
+		// The series slept longer than the whole window; re-anchor.
+		sr.curStart = now
+	}
+}
+
+// Record tallies one request: ok=false burns availability budget
+// (server-attributed failure, i.e. a would-be 5xx), and a latency
+// above the objective burns latency budget.
+func (s *SLO) Record(kind string, ok bool, latency time.Duration) {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.kinds[kind]
+	if sr == nil {
+		sr = &sloSeries{buckets: make([]sloBucket, s.cfg.Slices), curStart: now}
+		s.kinds[kind] = sr
+	}
+	s.rotate(sr, now)
+	b := &sr.buckets[sr.cur]
+	b.total++
+	if !ok {
+		b.bad++
+	}
+	if latency > s.cfg.LatencyObjective {
+		b.slow++
+	}
+}
+
+// SLOSnapshot is one request kind's rolling-window state.
+type SLOSnapshot struct {
+	Kind          string  `json:"kind"`
+	WindowSeconds float64 `json:"window_seconds"`
+	Total         uint64  `json:"total"`
+	Bad           uint64  `json:"bad"`
+	Slow          uint64  `json:"slow"`
+	// Availability is the in-window good fraction (1 with no traffic —
+	// an idle service is not failing).
+	Availability float64 `json:"availability"`
+	// ErrorBurnRate is (bad/total) / (1 - availability objective);
+	// LatencyBurnRate is (slow/total) / (1 - latency fraction).
+	ErrorBurnRate   float64 `json:"error_burn_rate"`
+	LatencyBurnRate float64 `json:"latency_burn_rate"`
+}
+
+// snapshotLocked sums one series. Caller holds s.mu.
+func (s *SLO) snapshotLocked(kind string, sr *sloSeries, now time.Time) SLOSnapshot {
+	s.rotate(sr, now)
+	snap := SLOSnapshot{Kind: kind, WindowSeconds: s.cfg.Window.Seconds(), Availability: 1}
+	for i := range sr.buckets {
+		snap.Total += sr.buckets[i].total
+		snap.Bad += sr.buckets[i].bad
+		snap.Slow += sr.buckets[i].slow
+	}
+	if snap.Total == 0 {
+		return snap
+	}
+	badFrac := float64(snap.Bad) / float64(snap.Total)
+	slowFrac := float64(snap.Slow) / float64(snap.Total)
+	snap.Availability = 1 - badFrac
+	snap.ErrorBurnRate = badFrac / (1 - s.cfg.AvailabilityObjective)
+	snap.LatencyBurnRate = slowFrac / (1 - s.cfg.LatencyFraction)
+	return snap
+}
+
+// SnapshotKind reports one kind (zero-valued, availability 1, when
+// the kind has no traffic yet).
+func (s *SLO) SnapshotKind(kind string) SLOSnapshot {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sr := s.kinds[kind]
+	if sr == nil {
+		return SLOSnapshot{Kind: kind, WindowSeconds: s.cfg.Window.Seconds(), Availability: 1}
+	}
+	return s.snapshotLocked(kind, sr, now)
+}
+
+// Snapshot reports every kind seen so far, sorted by kind.
+func (s *SLO) Snapshot() []SLOSnapshot {
+	now := s.clock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SLOSnapshot, 0, len(s.kinds))
+	for kind, sr := range s.kinds {
+		out = append(out, s.snapshotLocked(kind, sr, now))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *SLO) Config() SLOConfig { return s.cfg }

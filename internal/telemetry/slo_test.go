@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func testSLO(cfg SLOConfig) (*SLO, *time.Time) {
+	s := NewSLO(cfg)
+	now := time.Unix(1_700_000_000, 0)
+	s.now = func() time.Time { return now }
+	return s, &now
+}
+
+func TestSLOIdleIsHealthy(t *testing.T) {
+	s, _ := testSLO(SLOConfig{})
+	snap := s.SnapshotKind("query")
+	if snap.Availability != 1 || snap.ErrorBurnRate != 0 || snap.LatencyBurnRate != 0 {
+		t.Fatalf("idle snapshot = %+v, want availability 1 and zero burn", snap)
+	}
+	if len(s.Snapshot()) != 0 {
+		t.Fatalf("Snapshot() lists kinds with no traffic")
+	}
+}
+
+func TestSLOBurnRates(t *testing.T) {
+	cfg := SLOConfig{
+		Window:                time.Minute,
+		Slices:                6,
+		AvailabilityObjective: 0.99, // 1% error budget
+		LatencyObjective:      100 * time.Millisecond,
+		LatencyFraction:       0.9, // 10% slow budget
+	}
+	s, _ := testSLO(cfg)
+	for i := 0; i < 98; i++ {
+		s.Record("query", true, 10*time.Millisecond)
+	}
+	s.Record("query", false, 10*time.Millisecond) // 1 bad
+	s.Record("query", true, 500*time.Millisecond) // 1 slow
+	snap := s.SnapshotKind("query")
+	if snap.Total != 100 || snap.Bad != 1 || snap.Slow != 1 {
+		t.Fatalf("tallies = %+v, want total=100 bad=1 slow=1", snap)
+	}
+	if math.Abs(snap.Availability-0.99) > 1e-9 {
+		t.Errorf("availability = %v, want 0.99", snap.Availability)
+	}
+	// 1% bad against a 1% budget: burning exactly at rate 1.
+	if math.Abs(snap.ErrorBurnRate-1.0) > 1e-9 {
+		t.Errorf("error burn rate = %v, want 1.0", snap.ErrorBurnRate)
+	}
+	// 1% slow against a 10% budget: rate 0.1.
+	if math.Abs(snap.LatencyBurnRate-0.1) > 1e-9 {
+		t.Errorf("latency burn rate = %v, want 0.1", snap.LatencyBurnRate)
+	}
+}
+
+func TestSLOWindowAgesOut(t *testing.T) {
+	cfg := SLOConfig{Window: time.Minute, Slices: 6}
+	s, now := testSLO(cfg)
+	for i := 0; i < 10; i++ {
+		s.Record("workload", false, 0)
+	}
+	if snap := s.SnapshotKind("workload"); snap.Bad != 10 {
+		t.Fatalf("pre-age snapshot bad = %d, want 10", snap.Bad)
+	}
+	// Half a window later the failures are still visible...
+	*now = now.Add(30 * time.Second)
+	s.Record("workload", true, 0)
+	if snap := s.SnapshotKind("workload"); snap.Bad != 10 || snap.Total != 11 {
+		t.Fatalf("mid-window snapshot = %+v, want bad=10 total=11", s.SnapshotKind("workload"))
+	}
+	// ...but a full window later they have aged out entirely.
+	*now = now.Add(2 * time.Minute)
+	snap := s.SnapshotKind("workload")
+	if snap.Total != 0 || snap.Availability != 1 {
+		t.Fatalf("post-window snapshot = %+v, want empty and available", snap)
+	}
+}
+
+func TestSLOSnapshotSorted(t *testing.T) {
+	s, _ := testSLO(SLOConfig{})
+	s.Record("workload", true, 0)
+	s.Record("query", true, 0)
+	s.Record("source", true, 0)
+	snaps := s.Snapshot()
+	if len(snaps) != 3 {
+		t.Fatalf("got %d kinds, want 3", len(snaps))
+	}
+	for i, want := range []string{"query", "source", "workload"} {
+		if snaps[i].Kind != want {
+			t.Errorf("snapshot[%d].Kind = %q, want %q", i, snaps[i].Kind, want)
+		}
+	}
+}
+
+func TestSLODefaults(t *testing.T) {
+	cfg := NewSLO(SLOConfig{}).Config()
+	if cfg.Window != 5*time.Minute || cfg.Slices != 30 ||
+		cfg.AvailabilityObjective != 0.999 ||
+		cfg.LatencyObjective != 2*time.Second || cfg.LatencyFraction != 0.99 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

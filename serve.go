@@ -36,6 +36,14 @@ func NewServer(opts ServerOptions) *Server { return server.New(opts) }
 func Serve(ctx context.Context, addr string, opts ServerOptions) error {
 	s := server.New(opts)
 	defer s.Close()
+	return ServeWith(ctx, addr, s)
+}
+
+// ServeWith serves an already-constructed Server on addr until ctx is
+// canceled. Use it instead of Serve when the caller needs a handle on
+// the Server — e.g. cmd/caped dumps s.Flight() on SIGQUIT. The caller
+// owns the Server's lifecycle (Close it after ServeWith returns).
+func ServeWith(ctx context.Context, addr string, s *Server) error {
 	hs := &http.Server{Addr: addr, Handler: s.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
