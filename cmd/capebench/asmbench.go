@@ -1,0 +1,168 @@
+// The asm experiment measures the staged assembler pipeline
+// (internal/asm): cold compile ns/op through lexer → parser → codegen
+// for a hand-scheduled program and for a .kernel DSL program, against
+// steady-state hits in the server's compiled-program cache. Results go
+// to stdout as a table and to -asm-out as BENCH_asm.json so CI can
+// gate the cache speedups alongside the other throughput artifacts.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"cape/internal/asm"
+)
+
+var asmOut = flag.String("asm-out", "BENCH_asm.json", "output path for the asm JSON report")
+
+// asmBenchEntry is one program's cold-vs-cached measurement.
+type asmBenchEntry struct {
+	Program    string  `json:"program"`
+	Insts      int     `json:"insts"`
+	ColdNSOp   int64   `json:"cold_ns_op"`
+	CachedNSOp int64   `json:"cached_ns_op"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// asmBenchReport is the BENCH_asm.json payload.
+type asmBenchReport struct {
+	Entries []asmBenchEntry `json:"entries"`
+	Cache   asm.CacheStats  `json:"cache_stats"`
+}
+
+func (r asmBenchReport) String() string {
+	out := "Assembler v2: staged-pipeline cold compile vs. compiled-program cache hit\n"
+	out += fmt.Sprintf("%-14s %6s %13s %13s %9s\n",
+		"program", "insts", "cold ns/op", "cached ns/op", "speedup")
+	for _, e := range r.Entries {
+		out += fmt.Sprintf("%-14s %6d %13d %13d %8.2fx\n",
+			e.Program, e.Insts, e.ColdNSOp, e.CachedNSOp, e.Speedup)
+	}
+	out += fmt.Sprintf("cache: %d hits, %d misses, %d entries\n",
+		r.Cache.Hits, r.Cache.Misses, r.Cache.Entries)
+	return out
+}
+
+// The two measured programs mirror examples/asm: the hand-scheduled
+// chunked VLA loop and its .kernel DSL equivalent. They are embedded
+// so capebench measures the same source from any working directory.
+const asmBenchLoop = `
+    li      x5, 3
+    li      x20, 0x100000
+    li      x21, 0x200000
+    li      x22, 0x300000
+    li      x23, 4096
+chunk:
+    beq     x23, x0, done
+    vsetvli x2, x23, e32
+    vle32.v v1, (x20)
+    vle32.v v2, (x21)
+    vmv.v.x v3, x5
+    vmul.vv v4, v1, v3
+    vadd.vv v4, v4, v2
+    vse32.v v4, (x22)
+    slli    x8, x2, 2
+    add     x20, x20, x8
+    add     x21, x21, x8
+    add     x22, x22, x8
+    sub     x23, x23, x2
+    j       chunk
+done:
+    halt
+`
+
+const asmBenchKernel = `
+.const SCALE, 3
+    li      x20, 0x100000
+    li      x21, 0x200000
+    li      x22, 0x300000
+    li      x23, 4096
+.kernel saxpy
+.in x, x20
+.in y, x21
+.out z, x22
+.count x23
+z = SCALE * x + y
+.endkernel
+    halt
+`
+
+// gateEntries maps report entries to the baseline's asm keys.
+func (r asmBenchReport) gateEntries() map[string]float64 {
+	cur := map[string]float64{}
+	for _, e := range r.Entries {
+		switch e.Program {
+		case "saxpy-loop":
+			cur["cache_speedup"] = e.Speedup
+		case "saxpy-kernel":
+			cur["kernel_cache_speedup"] = e.Speedup
+		}
+	}
+	return cur
+}
+
+// asmBench runs the experiment and writes the JSON report.
+func asmBench() (fmt.Stringer, error) {
+	var report asmBenchReport
+	cache := asm.NewCache(0)
+
+	progs := []struct {
+		name string
+		src  string
+	}{
+		{"saxpy-loop", asmBenchLoop},
+		{"saxpy-kernel", asmBenchKernel},
+	}
+	for _, p := range progs {
+		want, err := asm.Assemble(p.name, p.src)
+		if err != nil {
+			return nil, fmt.Errorf("asm: assemble %s: %w", p.name, err)
+		}
+
+		cold, err := timeLower(func() error {
+			_, err := asm.Assemble(p.name, p.src)
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("asm: time cold %s: %w", p.name, err)
+		}
+		cached, err := timeLower(func() error {
+			_, err := cache.Assemble(p.name, p.src, asm.Options{})
+			return err
+		})
+		if err != nil {
+			return nil, fmt.Errorf("asm: time cached %s: %w", p.name, err)
+		}
+
+		// The cached program must be the same compile, not a stale or
+		// divergent one.
+		got, err := cache.Assemble(p.name, p.src, asm.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("asm: cached assemble %s: %w", p.name, err)
+		}
+		if len(got.Insts) != len(want.Insts) {
+			return nil, fmt.Errorf("asm: cached %s has %d insts, cold compile has %d",
+				p.name, len(got.Insts), len(want.Insts))
+		}
+
+		report.Entries = append(report.Entries, asmBenchEntry{
+			Program:    p.name,
+			Insts:      len(want.Insts),
+			ColdNSOp:   cold,
+			CachedNSOp: cached,
+			Speedup:    float64(cold) / float64(cached),
+		})
+	}
+	report.Cache = cache.Stats()
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(*asmOut, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("asm: writing %s: %w", *asmOut, err)
+	}
+	return report, nil
+}

@@ -39,6 +39,10 @@ type benchBaseline struct {
 	// "flight_meps" (single-writer flight-recorder millions of events
 	// per second). Values are floors.
 	Telemetry map[string]float64 `json:"telemetry,omitempty"`
+	// Asm keys are "cache_speedup" (hand-scheduled program) and
+	// "kernel_cache_speedup" (.kernel DSL program): compiled-program
+	// cache hit vs. cold staged compile.
+	Asm map[string]float64 `json:"asm,omitempty"`
 }
 
 // checkBaseline compares this run's experiment results against the
@@ -162,8 +166,16 @@ func checkBaseline(path string, results map[string]fmt.Stringer) error {
 		gateSection("telemetry", bl.Telemetry, cur)
 	}
 
+	if len(bl.Asm) > 0 {
+		r, ok := results["asm"].(asmBenchReport)
+		if !ok {
+			return fmt.Errorf("baseline has asm floors but the experiment did not run (add -exp asm)")
+		}
+		gateSection("asm", bl.Asm, r.gateEntries())
+	}
+
 	if checked == 0 && len(failures) == 0 {
-		return fmt.Errorf("%s gates nothing (no csbparallel, ucode, query, bitslice or telemetry floors)", path)
+		return fmt.Errorf("%s gates nothing (no csbparallel, ucode, query, bitslice, telemetry or asm floors)", path)
 	}
 	if len(failures) > 0 {
 		return fmt.Errorf("%d of %d checks failed:\n  %s",

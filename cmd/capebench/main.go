@@ -106,6 +106,9 @@ func experiments() []experiment {
 		{"telemetry", "always-on counter overhead and flight-recorder throughput (writes BENCH_telemetry.json)", func() (fmt.Stringer, error) {
 			return telemetryBench()
 		}},
+		{"asm", "staged assembler pipeline: cold compile vs. program-cache hit (writes BENCH_asm.json)", func() (fmt.Stringer, error) {
+			return asmBench()
+		}},
 		{"ablations", "design-choice ablations: vlrw.v, redsum-vs-add, narrow elements, CSB scaling", func() (fmt.Stringer, error) {
 			vlrw, err := report.AblationReplicaLoad()
 			if err != nil {

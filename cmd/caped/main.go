@@ -19,6 +19,8 @@
 //	-csb-threshold N       min chains before CSB workers engage (0 = 64)
 //	-ucode-cache N         microcode templates cached per pool shard
 //	                       (0 = default 1024, negative = off)
+//	-asm-cache N           compiled programs cached for source jobs
+//	                       (0 = default 256)
 //	-faults SPEC           deterministic fault injection, e.g.
 //	                       seed=1,hbm-drop=0.01,chain-panic=0.001 (default off)
 //	-retries N             per-job retry budget for transient faults
@@ -111,6 +113,7 @@ func run() error {
 		csbWorkers  = flag.Int("csb-workers", 0, "CSB worker goroutines per bitlevel machine (0 = serial)")
 		csbThresh   = flag.Int("csb-threshold", 0, "min chain count before CSB workers engage (0 = 64)")
 		ucodeCache  = flag.Int("ucode-cache", 0, "microcode templates cached per pool shard (0 = default, negative = off)")
+		asmCache    = flag.Int("asm-cache", 0, "compiled programs cached for source jobs (0 = default 256)")
 		traceAll    = flag.Bool("trace", false, "profile every job (otherwise per-job via ?trace=1 or the request body)")
 		traceSample = flag.Int("trace-sample", 0, "record every Nth timeline event for traced jobs (0 = all)")
 		traceStore  = flag.Int("trace-store", 0, "completed traces kept for GET /v1/jobs/{id}/trace (0 = 64)")
@@ -171,6 +174,7 @@ func run() error {
 		CSBWorkers:           *csbWorkers,
 		CSBParallelThreshold: *csbThresh,
 		UcodeCacheSize:       *ucodeCache,
+		AsmCacheSize:         *asmCache,
 		Faults:               faultCfg,
 		Retries:              *retries,
 		RetryBaseDelay:       *retryBase,

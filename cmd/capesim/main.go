@@ -46,6 +46,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -165,12 +166,22 @@ func run() error {
 	if err != nil {
 		return fmt.Errorf("-faults: %w", err)
 	}
-	spec, err := server.Compile(req, server.Options{
+	opts := server.Options{
 		CSBWorkers:           *csbWorkers,
 		CSBParallelThreshold: *csbThresh,
 		UcodeCacheSize:       *ucodeCache,
 		Faults:               faultCfg,
-	})
+	}
+	if req.Source != "" {
+		// Unlike caped (whose clients must never read the server's
+		// filesystem), the CLI assembles a local file the user named, so
+		// .include resolves relative to that file's directory.
+		dir := filepath.Dir(flag.Arg(0))
+		opts.Asm.Include = func(path string) ([]byte, error) {
+			return os.ReadFile(filepath.Join(dir, path))
+		}
+	}
+	spec, err := server.Compile(req, opts)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,28 @@
+# saxpy_kernel.s — the same fixed-point a*X + Y as saxpy.s, written as
+# a .kernel DSL block instead of a hand-scheduled VLA loop. The
+# assembler lowers the block to the identical chunked structure
+# (vsetvli strip mining, vector loads, splat-multiply, store, pointer
+# advance), so the two programs produce bit-identical output memory.
+#
+# Inputs:
+#   x20 = X base, x21 = Y base, x22 = output base, x23 = element count
+#
+# Run:
+#   go run ./cmd/capesim -dump 0x300000,8 examples/asm/saxpy_kernel.s
+
+.const SCALE, 3
+
+    li      x20, 0x100000   # X
+    li      x21, 0x200000   # Y
+    li      x22, 0x300000   # out
+    li      x23, 4096       # n
+
+.kernel saxpy
+.in x, x20
+.in y, x21
+.out z, x22
+.count x23
+z = SCALE * x + y
+.endkernel
+
+    halt

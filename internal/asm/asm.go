@@ -1,9 +1,17 @@
-// Package asm is a textual assembler/disassembler for the RISC-V
+// Package asm is the textual assembler/disassembler for the RISC-V
 // subset CAPE executes, so programs can be written as .s files and run
-// with cmd/capesim (the programmability story of paper §V-G). It is
-// the textual twin of isa.Builder.
+// with cmd/capesim or submitted to caped (the programmability story of
+// paper §V-G). It is the textual twin of isa.Builder.
 //
-// Syntax:
+// v2 is a staged compile pipeline: internal/asm/lexer tokenizes with
+// precise file:line:col positions, internal/asm/ast parses labels,
+// instructions, and the .const/.macro/.include directives (with
+// recursive-expansion limits), and the codegen stage in this package
+// emits isa.Program through isa.Builder. Every error is a typed
+// Diagnostic carrying position, message, and source snippet; a failed
+// assemble returns them all as a DiagnosticList.
+//
+// Classic syntax:
 //
 //	# comment                      ; also '//' and ';'
 //	loop:                          ; labels end with ':'
@@ -16,404 +24,83 @@
 //	    lw    x5, 8(x6)
 //	    bne   x1, x0, loop
 //	    halt
+//
+// v2 directives:
+//
+//	.const STRIDE, 64*4            ; assemble-time constants (exprs fold)
+//	.macro axpy a, x, y            ; macros expand with depth limits
+//	    vmul.vv v4, x, a
+//	    vadd.vv y, y, v4
+//	.endmacro
+//	.include "lib/kernels.s"       ; needs an include resolver (Options)
+//
+// Kernel DSL (lowers to a chunked VLA loop over the RVV subset):
+//
+//	.kernel saxpy
+//	.in  x, x20                    ; input base pointers
+//	.in  y, x21
+//	.out z, x22                    ; output base pointer
+//	.count x23                     ; element count register
+//	.sew 32                        ; element width (8|16|32, default 32)
+//	z = 3 * x + y                  ; elementwise expression
+//	.endkernel
+//	halt
 package asm
 
 import (
-	"fmt"
-	"strconv"
-	"strings"
-
+	"cape/internal/asm/ast"
+	"cape/internal/asm/diag"
 	"cape/internal/isa"
 )
 
-// Assemble parses source text into a program.
+// Diagnostic is one positioned assembler error (position, message,
+// source snippet). It aliases diag.Diagnostic so the pipeline's inner
+// packages and the HTTP edge share one type.
+type Diagnostic = diag.Diagnostic
+
+// DiagnosticList is every diagnostic from one failed assemble, itself
+// an error. HTTP handlers unwrap it with errors.As to build 422
+// responses.
+type DiagnosticList = diag.List
+
+// Pos is a file:line:col source position.
+type Pos = diag.Pos
+
+// Options configures one assembly.
+type Options struct {
+	// Include resolves a .include path to source bytes. Leave nil to
+	// reject .include outright — the right default for untrusted
+	// (server-submitted) source, which must never read the local
+	// filesystem.
+	Include func(path string) ([]byte, error)
+	// MaxMacroDepth caps nested macro expansion (default 16).
+	MaxMacroDepth int
+	// MaxExpandedLines caps total macro-expanded lines (default 10000).
+	MaxExpandedLines int
+	// MaxIncludeDepth caps nested includes (default 8).
+	MaxIncludeDepth int
+}
+
+// Assemble parses source text into a program. It is the seed-era
+// signature, kept as a thin wrapper over AssembleOpts so existing call
+// sites keep compiling; errors are DiagnosticLists.
 func Assemble(name, src string) (*isa.Program, error) {
-	type fixup struct {
-		pc    int
-		label string
-		line  int
-	}
-	var (
-		insts  []isa.Inst
-		labels = map[string]int{}
-		fixups []fixup
-	)
-	for lineNo, raw := range strings.Split(src, "\n") {
-		line := stripComment(raw)
-		line = strings.TrimSpace(line)
-		if line == "" {
-			continue
-		}
-		// Labels (possibly followed by an instruction on the same line).
-		for {
-			colon := strings.Index(line, ":")
-			if colon < 0 || strings.ContainsAny(line[:colon], " \t,") {
-				break
-			}
-			label := line[:colon]
-			if _, dup := labels[label]; dup {
-				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
-			}
-			labels[label] = len(insts)
-			line = strings.TrimSpace(line[colon+1:])
-		}
-		if line == "" {
-			continue
-		}
-		inst, label, err := parseInst(line)
-		if err != nil {
-			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
-		}
-		if label != "" {
-			fixups = append(fixups, fixup{pc: len(insts), label: label, line: lineNo + 1})
-		}
-		insts = append(insts, inst)
-	}
-	for _, f := range fixups {
-		target, ok := labels[f.label]
-		if !ok {
-			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
-		}
-		insts[f.pc].Target = target
-	}
-	return &isa.Program{Name: name, Insts: insts}, nil
+	return AssembleOpts(name, src, Options{})
 }
 
-func stripComment(line string) string {
-	for _, marker := range []string{"#", "//", ";"} {
-		if i := strings.Index(line, marker); i >= 0 {
-			line = line[:i]
-		}
-	}
-	return line
-}
-
-// parseInst decodes one instruction line; branch/jump targets are
-// returned as a label for later fixup.
-func parseInst(line string) (isa.Inst, string, error) {
-	mnemonic, rest, _ := strings.Cut(line, " ")
-	mnemonic = strings.TrimSpace(mnemonic)
-	op, ok := isa.OpcodeByName(mnemonic)
-	if !ok {
-		return isa.Inst{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
-	}
-	args := splitArgs(rest)
-	inst := isa.Inst{Op: op}
-	info := op.Info()
-
-	need := func(n int) error {
-		if len(args) != n {
-			return fmt.Errorf("%s expects %d operands, got %d", mnemonic, n, len(args))
-		}
-		return nil
-	}
-
-	switch info.Format {
-	case isa.FmtRRR:
-		if err := need(3); err != nil {
-			return inst, "", err
-		}
-		rd, err1 := xreg(args[0])
-		rs1, err2 := xreg(args[1])
-		rs2, err3 := xreg(args[2])
-		if err := firstErr(err1, err2, err3); err != nil {
-			return inst, "", err
-		}
-		inst.Rd, inst.Rs1, inst.Rs2 = rd, rs1, rs2
-	case isa.FmtRRI:
-		if err := need(3); err != nil {
-			return inst, "", err
-		}
-		rd, err1 := xreg(args[0])
-		rs1, err2 := xreg(args[1])
-		imm, err3 := immediate(args[2])
-		if err := firstErr(err1, err2, err3); err != nil {
-			return inst, "", err
-		}
-		inst.Rd, inst.Rs1, inst.Imm = rd, rs1, imm
-	case isa.FmtRI:
-		if err := need(2); err != nil {
-			return inst, "", err
-		}
-		rd, err1 := xreg(args[0])
-		imm, err2 := immediate(args[1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		inst.Rd, inst.Imm = rd, imm
-	case isa.FmtRR:
-		if err := need(2); err != nil {
-			return inst, "", err
-		}
-		rd, err1 := xreg(args[0])
-		rs1, err2 := xreg(args[1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		inst.Rd, inst.Rs1 = rd, rs1
-	case isa.FmtMem:
-		if err := need(2); err != nil {
-			return inst, "", err
-		}
-		rd, err1 := xreg(args[0])
-		imm, rs1, err2 := memOperand(args[1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		inst.Rd, inst.Rs1, inst.Imm = rd, rs1, imm
-	case isa.FmtBranch:
-		if err := need(3); err != nil {
-			return inst, "", err
-		}
-		rs1, err1 := xreg(args[0])
-		rs2, err2 := xreg(args[1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		inst.Rs1, inst.Rs2 = rs1, rs2
-		return inst, args[2], nil
-	case isa.FmtJump:
-		if err := need(1); err != nil {
-			return inst, "", err
-		}
-		return inst, args[0], nil
-	case isa.FmtNone:
-		if err := need(0); err != nil {
-			return inst, "", err
-		}
-	case isa.FmtVVV:
-		if err := need(3); err != nil {
-			return inst, "", err
-		}
-		vd, err1 := vreg(args[0])
-		vs2, err2 := vreg(args[1])
-		vs1, err3 := vreg(args[2])
-		if err := firstErr(err1, err2, err3); err != nil {
-			return inst, "", err
-		}
-		inst.Vd, inst.Vs2, inst.Vs1 = vd, vs2, vs1
-	case isa.FmtVVX:
-		if err := need(3); err != nil {
-			return inst, "", err
-		}
-		vd, err1 := vreg(args[0])
-		vs2, err2 := vreg(args[1])
-		rs1, err3 := xreg(args[2])
-		if err := firstErr(err1, err2, err3); err != nil {
-			return inst, "", err
-		}
-		inst.Vd, inst.Vs2, inst.Rs1 = vd, vs2, rs1
-	case isa.FmtVX:
-		if err := need(2); err != nil {
-			return inst, "", err
-		}
-		vd, err1 := vreg(args[0])
-		rs1, err2 := xreg(args[1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		inst.Vd, inst.Rs1 = vd, rs1
-	case isa.FmtXV:
-		if err := need(2); err != nil {
-			return inst, "", err
-		}
-		rd, err1 := xreg(args[0])
-		vs2, err2 := vreg(args[1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		inst.Rd, inst.Vs2 = rd, vs2
-	case isa.FmtVMem:
-		if err := need(2); err != nil {
-			return inst, "", err
-		}
-		vd, err1 := vreg(args[0])
-		addr := strings.TrimSpace(args[1])
-		if !strings.HasPrefix(addr, "(") || !strings.HasSuffix(addr, ")") {
-			return inst, "", fmt.Errorf("vector memory operand must be (xN), got %q", addr)
-		}
-		rs1, err2 := xreg(addr[1 : len(addr)-1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		inst.Vd, inst.Rs1 = vd, rs1
-	case isa.FmtVLRW:
-		if err := need(3); err != nil {
-			return inst, "", err
-		}
-		vd, err1 := vreg(args[0])
-		rs1, err2 := xreg(args[1])
-		rs2, err3 := xreg(args[2])
-		if err := firstErr(err1, err2, err3); err != nil {
-			return inst, "", err
-		}
-		inst.Vd, inst.Rs1, inst.Rs2 = vd, rs1, rs2
-	case isa.FmtVMerge:
-		if err := need(4); err != nil {
-			return inst, "", err
-		}
-		vd, err1 := vreg(args[0])
-		vs2, err2 := vreg(args[1])
-		vs1, err3 := vreg(args[2])
-		if err := firstErr(err1, err2, err3); err != nil {
-			return inst, "", err
-		}
-		if m, err := vreg(args[3]); err != nil || m != 0 {
-			return inst, "", fmt.Errorf("vmerge mask must be v0")
-		}
-		inst.Vd, inst.Vs2, inst.Vs1 = vd, vs2, vs1
-	case isa.FmtVsetvli:
-		if err := need(3); err != nil {
-			return inst, "", err
-		}
-		rd, err1 := xreg(args[0])
-		rs1, err2 := xreg(args[1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		switch args[2] {
-		case "e8":
-			inst.Imm = 8
-		case "e16":
-			inst.Imm = 16
-		case "e32":
-			inst.Imm = 32
-		default:
-			return inst, "", fmt.Errorf("element width must be e8, e16 or e32, got %q", args[2])
-		}
-		inst.Rd, inst.Rs1 = rd, rs1
-	case isa.FmtR:
-		if err := need(1); err != nil {
-			return inst, "", err
-		}
-		rs1, err := xreg(args[0])
-		if err != nil {
-			return inst, "", err
-		}
-		inst.Rs1 = rs1
-	case isa.FmtVVCopy:
-		if err := need(2); err != nil {
-			return inst, "", err
-		}
-		vd, err1 := vreg(args[0])
-		vs2, err2 := vreg(args[1])
-		if err := firstErr(err1, err2); err != nil {
-			return inst, "", err
-		}
-		inst.Vd, inst.Vs2 = vd, vs2
-	case isa.FmtVVI:
-		if err := need(3); err != nil {
-			return inst, "", err
-		}
-		vd, err1 := vreg(args[0])
-		vs2, err2 := vreg(args[1])
-		imm, err3 := immediate(args[2])
-		if err := firstErr(err1, err2, err3); err != nil {
-			return inst, "", err
-		}
-		inst.Vd, inst.Vs2, inst.Imm = vd, vs2, imm
-	default:
-		return inst, "", fmt.Errorf("unhandled format for %s", mnemonic)
-	}
-	return inst, "", nil
-}
-
-// splitArgs splits an operand list on commas, keeping "8(x6)" intact.
-func splitArgs(s string) []string {
-	s = strings.TrimSpace(s)
-	if s == "" {
-		return nil
-	}
-	parts := strings.Split(s, ",")
-	for i := range parts {
-		parts[i] = strings.TrimSpace(parts[i])
-	}
-	return parts
-}
-
-func xreg(s string) (uint8, error) {
-	return reg(s, "x", isa.NumXRegs)
-}
-
-func vreg(s string) (uint8, error) {
-	return reg(s, "v", isa.NumVRegs)
-}
-
-func reg(s, prefix string, limit int) (uint8, error) {
-	s = strings.TrimSpace(s)
-	if !strings.HasPrefix(s, prefix) {
-		return 0, fmt.Errorf("expected %s-register, got %q", prefix, s)
-	}
-	n, err := strconv.Atoi(s[len(prefix):])
-	if err != nil || n < 0 || n >= limit {
-		return 0, fmt.Errorf("bad register %q", s)
-	}
-	return uint8(n), nil
-}
-
-func immediate(s string) (int64, error) {
-	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+// AssembleOpts runs the full pipeline: lex, parse (expanding macros
+// and includes), and generate code. On failure the error is a
+// DiagnosticList in which every entry carries file:line:col and the
+// offending source line.
+func AssembleOpts(name, src string, opts Options) (*isa.Program, error) {
+	f, err := ast.Parse(name, src, ast.Options{
+		Include:          opts.Include,
+		MaxMacroDepth:    opts.MaxMacroDepth,
+		MaxExpandedLines: opts.MaxExpandedLines,
+		MaxIncludeDepth:  opts.MaxIncludeDepth,
+	})
 	if err != nil {
-		return 0, fmt.Errorf("bad immediate %q", s)
+		return nil, err
 	}
-	return v, nil
-}
-
-// memOperand parses "imm(xN)" (imm optional).
-func memOperand(s string) (int64, uint8, error) {
-	s = strings.TrimSpace(s)
-	open := strings.Index(s, "(")
-	if open < 0 || !strings.HasSuffix(s, ")") {
-		return 0, 0, fmt.Errorf("expected imm(xN), got %q", s)
-	}
-	var imm int64
-	if open > 0 {
-		var err error
-		if imm, err = immediate(s[:open]); err != nil {
-			return 0, 0, err
-		}
-	}
-	r, err := xreg(s[open+1 : len(s)-1])
-	return imm, r, err
-}
-
-func firstErr(errs ...error) error {
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
-}
-
-// Format disassembles a program back to parseable text, synthesizing
-// labels for branch targets.
-func Format(p *isa.Program) string {
-	targets := map[int]string{}
-	for i := range p.Insts {
-		f := p.Insts[i].Op.Info().Format
-		if f == isa.FmtBranch || f == isa.FmtJump {
-			t := p.Insts[i].Target
-			if _, ok := targets[t]; !ok {
-				targets[t] = fmt.Sprintf("L%d", len(targets))
-			}
-		}
-	}
-	var b strings.Builder
-	for pc := range p.Insts {
-		if label, ok := targets[pc]; ok {
-			fmt.Fprintf(&b, "%s:\n", label)
-		}
-		text := p.Insts[pc].String()
-		f := p.Insts[pc].Op.Info().Format
-		if f == isa.FmtBranch || f == isa.FmtJump {
-			text = strings.Replace(text, fmt.Sprintf("@%d", p.Insts[pc].Target),
-				targets[p.Insts[pc].Target], 1)
-		}
-		fmt.Fprintf(&b, "    %s\n", text)
-	}
-	if label, ok := targets[len(p.Insts)]; ok {
-		fmt.Fprintf(&b, "%s:\n", label)
-	}
-	return b.String()
+	return generate(f)
 }

@@ -1,0 +1,506 @@
+package asm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"cape/internal/core"
+)
+
+func testMachine() *core.Machine {
+	cfg := core.CAPE32k()
+	cfg.Chains = 2
+	cfg.RAMBytes = 1 << 20
+	return core.New(cfg)
+}
+
+// TestKernelSaxpy runs a DSL kernel over more elements than one strip
+// holds, so the chunked loop advances pointers and count correctly.
+func TestKernelSaxpy(t *testing.T) {
+	src := `
+.const SCALE, 3
+    li x20, 0x1000
+    li x21, 0x2000
+    li x22, 0x3000
+    li x23, 300
+.kernel saxpy
+.in x, x20
+.in y, x21
+.out z, x22
+.count x23
+z = SCALE * x + y
+.endkernel
+    halt
+`
+	prog, err := Assemble("saxpy", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine()
+	n := 300
+	xs := make([]uint32, n)
+	ys := make([]uint32, n)
+	for i := range xs {
+		xs[i] = uint32(i)
+		ys[i] = uint32(1000 + i)
+	}
+	m.RAM().WriteWords(0x1000, xs)
+	m.RAM().WriteWords(0x2000, ys)
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := m.RAM().ReadWords(0x3000, n)
+	for i := range out {
+		want := 3*xs[i] + ys[i]
+		if out[i] != want {
+			t.Fatalf("elem %d: got %d, want %d", i, out[i], want)
+		}
+	}
+	if got := m.CP().X(23); got != 0 {
+		t.Fatalf("count register after loop: %d", got)
+	}
+}
+
+// TestKernelDot checks reductions: the accumulator register holds the
+// dot product after the loop drains.
+func TestKernelDot(t *testing.T) {
+	src := `
+    li x20, 0x1000
+    li x21, 0x2000
+    li x23, 100
+.kernel dot
+.in a, x20
+.in b, x21
+.reduce s, x10
+.count x23
+s += a * b
+.endkernel
+    halt
+`
+	prog, err := Assemble("dot", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine()
+	n := 100
+	as := make([]uint32, n)
+	bs := make([]uint32, n)
+	var want int64
+	for i := range as {
+		as[i] = uint32(i + 1)
+		bs[i] = uint32(2 * i)
+		want += int64(int32(as[i] * bs[i]))
+	}
+	m.RAM().WriteWords(0x1000, as)
+	m.RAM().WriteWords(0x2000, bs)
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	got := m.CP().X(10)
+	// The accumulator adds 32-bit partial sums as signed values; for
+	// these small inputs no wrapping occurs.
+	if got != want {
+		t.Fatalf("dot: got %d, want %d", got, want)
+	}
+}
+
+// TestKernelTile pins that .tile bounds each strip (the loop must
+// still cover everything, in more iterations).
+func TestKernelTile(t *testing.T) {
+	src := `
+    li x20, 0x1000
+    li x22, 0x3000
+    li x23, 50
+.kernel double
+.in x, x20
+.out z, x22
+.count x23
+.tile 8
+z = x + x
+.endkernel
+    halt
+`
+	prog, err := Assemble("double", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine()
+	n := 50
+	xs := make([]uint32, n)
+	for i := range xs {
+		xs[i] = uint32(i * 7)
+	}
+	m.RAM().WriteWords(0x1000, xs)
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := m.RAM().ReadWords(0x3000, n)
+	for i := range out {
+		if out[i] != 2*xs[i] {
+			t.Fatalf("elem %d: got %d, want %d", i, out[i], 2*xs[i])
+		}
+	}
+}
+
+// TestKernelOpsAndBuiltins exercises shifts, bitwise ops, unary minus,
+// and min/max against a scalar model.
+func TestKernelOpsAndBuiltins(t *testing.T) {
+	src := `
+    li x20, 0x1000
+    li x21, 0x2000
+    li x22, 0x3000
+    li x23, 64
+.kernel mix
+.in a, x20
+.in b, x21
+.out z, x22
+.count x23
+z = min(a, b) + max(a & 15, b ^ 3) - (a >> 2) + (b << 1) - (-a)
+.endkernel
+    halt
+`
+	prog, err := Assemble("mix", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine()
+	n := 64
+	as := make([]uint32, n)
+	bs := make([]uint32, n)
+	for i := range as {
+		as[i] = uint32(i * 13)
+		bs[i] = uint32(i * 5)
+	}
+	m.RAM().WriteWords(0x1000, as)
+	m.RAM().WriteWords(0x2000, bs)
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	model := func(a, b uint32) uint32 {
+		mn := a
+		if int32(b) < int32(a) {
+			mn = b
+		}
+		mx := a & 15
+		if int32(b^3) > int32(mx) {
+			mx = b ^ 3
+		}
+		return mn + mx - (a >> 2) + (b << 1) - (-a)
+	}
+	out := m.RAM().ReadWords(0x3000, n)
+	for i := range out {
+		if want := model(as[i], bs[i]); out[i] != want {
+			t.Fatalf("elem %d: got %#x, want %#x", i, out[i], want)
+		}
+	}
+}
+
+// TestKernelSEW16 checks non-default element widths drive the matching
+// loads/stores and byte stride.
+func TestKernelSEW16(t *testing.T) {
+	src := `
+    li x20, 0x1000
+    li x22, 0x3000
+    li x23, 40
+.kernel inc16
+.in x, x20
+.out z, x22
+.count x23
+.sew 16
+z = x + 1
+.endkernel
+    halt
+`
+	prog, err := Assemble("inc16", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine()
+	n := 40
+	buf := make([]byte, 2*n)
+	for i := 0; i < n; i++ {
+		v := uint16(1000 + 3*i)
+		buf[2*i] = byte(v)
+		buf[2*i+1] = byte(v >> 8)
+	}
+	m.RAM().WriteBytes(0x1000, buf)
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		got := m.RAM().Load16(uint64(0x3000 + 2*i))
+		want := uint16(1000+3*i) + 1
+		if got != want {
+			t.Fatalf("elem %d: got %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestMacroAndConstAssemble(t *testing.T) {
+	src := `
+.const BASE, 0x1000
+.const N, 8*8
+.macro load2 a, b, r1, r2
+    li r1, a
+    li r2, b
+.endmacro
+    load2 BASE, N, x10, x11
+    halt
+`
+	prog, err := Assemble("m", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := testMachine()
+	if _, err := m.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CP().X(10); got != 0x1000 {
+		t.Fatalf("x10 = %#x", got)
+	}
+	if got := m.CP().X(11); got != 64 {
+		t.Fatalf("x11 = %d", got)
+	}
+}
+
+func TestAssembleDiagnosticsAreTyped(t *testing.T) {
+	_, err := Assemble("bad.s", "add x1, x2\nbogus x1\nadd x99, x1, x2\n")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	var list DiagnosticList
+	if !errors.As(err, &list) {
+		t.Fatalf("error is %T, want DiagnosticList", err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("diagnostics: %d (%v)", len(list), list)
+	}
+	checks := []struct {
+		line int
+		msg  string
+	}{
+		{1, "expects 3 operands"},
+		{2, "unknown mnemonic"},
+		{3, "bad register"},
+	}
+	for i, c := range checks {
+		if list[i].Line != c.line || list[i].File != "bad.s" {
+			t.Fatalf("diag %d pos: %v", i, list[i].Pos)
+		}
+		if !strings.Contains(list[i].Msg, c.msg) {
+			t.Fatalf("diag %d msg: %q, want %q", i, list[i].Msg, c.msg)
+		}
+		if list[i].Snippet == "" {
+			t.Fatalf("diag %d has no snippet", i)
+		}
+	}
+}
+
+func TestKernelErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"reserved reg", ".kernel k\n.in x, x29\n.out z, x1\n.count x2\nz = x\n.endkernel\n", "reserved by kernel lowering"},
+		{"count aliases base", ".kernel k\n.in x, x2\n.out z, x1\n.count x2\nz = x\n.endkernel\n", "also holds a base pointer"},
+		{"unknown name", ".kernel k\n.in x, x1\n.out z, x2\n.count x3\nz = q + 1\n.endkernel\n", "unknown name"},
+		{"read output", ".kernel k\n.in x, x1\n.out z, x2\n.count x3\nz = z + 1\n.endkernel\n", "cannot read output"},
+		{"assign input", ".kernel k\n.in x, x1\n.out z, x2\n.count x3\nx = z\n.endkernel\n", "must be a .out name"},
+		{"double assign", ".kernel k\n.in x, x1\n.out z, x2\n.count x3\nz = x\nz = x\n.endkernel\n", "assigned more than once"},
+		{"never assigned", ".kernel k\n.in x, x1\n.out z, x2\n.count x3\ns = x\n.endkernel\n", "must be a .out name"},
+		{"shift non-const", ".kernel k\n.in x, x1\n.out z, x2\n.count x3\nz = x << x\n.endkernel\n", "shift amount must be a constant"},
+		{"division", ".kernel k\n.in x, x1\n.out z, x2\n.count x3\nz = x / 2\n.endkernel\n", "only supported in constant expressions"},
+		{"too many consts", ".kernel k\n.in x, x1\n.out z, x2\n.count x3\nz = x*3 + x*5 + x*7 + x*11 + x*13\n.endkernel\n", "more than 4 distinct constants"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Assemble("k.s", c.src)
+			if err == nil {
+				t.Fatalf("assembled cleanly, want %q", c.want)
+			}
+			var list DiagnosticList
+			if !errors.As(err, &list) {
+				t.Fatalf("error is %T", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err %q does not contain %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+// TestKernelVsHandwritten pins that the DSL and a hand-written loop
+// produce identical memory contents.
+func TestKernelVsHandwritten(t *testing.T) {
+	dsl := `
+    li x20, 0x1000
+    li x22, 0x3000
+    li x23, 77
+.kernel addk
+.in x, x20
+.out z, x22
+.count x23
+z = x + 5
+.endkernel
+    halt
+`
+	hand := `
+    li x20, 0x1000
+    li x22, 0x3000
+    li x23, 77
+    li x24, 5
+    beq x23, x0, done
+loop:
+    vsetvli x29, x23, e32
+    vle32.v v1, (x20)
+    vadd.vx v2, v1, x24
+    vse32.v v2, (x22)
+    slli x30, x29, 2
+    add x20, x20, x30
+    add x22, x22, x30
+    sub x23, x23, x29
+    bne x23, x0, loop
+done:
+    halt
+`
+	run := func(src string) []uint32 {
+		prog, err := Assemble("p", src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := testMachine()
+		xs := make([]uint32, 77)
+		for i := range xs {
+			xs[i] = uint32(i * 3)
+		}
+		m.RAM().WriteWords(0x1000, xs)
+		if _, err := m.Run(prog); err != nil {
+			t.Fatal(err)
+		}
+		return m.RAM().ReadWords(0x3000, 77)
+	}
+	a, b := run(dsl), run(hand)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("elem %d: dsl %d, hand %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCacheHitReturnsIdenticalProgram(t *testing.T) {
+	c := NewCache(4)
+	p1, err := c.Assemble("p", vvaddSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Assemble("p", vvaddSrc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Insts) != len(p2.Insts) {
+		t.Fatalf("lengths differ: %d vs %d", len(p1.Insts), len(p2.Insts))
+	}
+	for i := range p1.Insts {
+		if p1.Insts[i] != p2.Insts[i] {
+			t.Fatalf("inst %d differs: %v vs %v", i, p1.Insts[i], p2.Insts[i])
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheKeyIncludesName(t *testing.T) {
+	c := NewCache(4)
+	if _, err := c.Assemble("a", "halt\n", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Assemble("b", "halt\n", Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// The hit must carry the requested name, not the cached one.
+	p, err := c.Assemble("a", "halt\n", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "a" {
+		t.Fatalf("name: %q", p.Name)
+	}
+}
+
+func TestCacheCachesFailures(t *testing.T) {
+	c := NewCache(4)
+	_, err1 := c.Assemble("bad", "bogus\n", Options{})
+	_, err2 := c.Assemble("bad", "bogus\n", Options{})
+	if err1 == nil || err2 == nil {
+		t.Fatal("want errors")
+	}
+	var list DiagnosticList
+	if !errors.As(err2, &list) {
+		t.Fatalf("cached error is %T", err2)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	c := NewCache(2)
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf("li x1, %d\nhalt\n", i)
+		if _, err := c.Assemble("p", src, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestCacheNilReceiver(t *testing.T) {
+	var c *Cache
+	p, err := c.Assemble("p", "halt\n", Options{})
+	if err != nil || len(p.Insts) != 1 {
+		t.Fatalf("p=%v err=%v", p, err)
+	}
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil stats: %+v", st)
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := NewCache(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				src := fmt.Sprintf("li x1, %d\nhalt\n", i%4)
+				p, err := c.Assemble("p", src, Options{})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if p.Insts[0].Imm != int64(i%4) {
+					t.Errorf("wrong program: imm %d want %d", p.Insts[0].Imm, i%4)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits+st.Misses != 400 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

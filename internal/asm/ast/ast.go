@@ -1,0 +1,165 @@
+// Package ast defines the syntax tree for CAPE assembler v2 source and
+// the parser that builds it from lexer tokens. The tree keeps every
+// source position so the codegen stage (internal/asm) can attach
+// file:line:col diagnostics to type errors it discovers later —
+// unknown mnemonics, bad registers, out-of-range immediates.
+package ast
+
+import (
+	"strings"
+
+	"cape/internal/asm/diag"
+)
+
+// File is one parsed translation unit: the top-level statement list in
+// source order plus the constant table accumulated from .const lines.
+// Included files and expanded macros are already flattened into Stmts.
+type File struct {
+	Name   string
+	Stmts  []Stmt
+	Consts map[string]Const
+	// sources holds the split lines of every file that contributed
+	// tokens (the root buffer and all includes), keyed by file name,
+	// so diagnostics raised after parsing can still quote source.
+	sources map[string][]string
+}
+
+// Const is a named assemble-time integer from a .const directive.
+type Const struct {
+	Val int64
+	Pos diag.Pos
+}
+
+// Line returns the source line pos points into, or "" if the file or
+// line is unknown (e.g. a synthesized position).
+func (f *File) Line(pos diag.Pos) string {
+	lines, ok := f.sources[pos.File]
+	if !ok || pos.Line < 1 || pos.Line > len(lines) {
+		return ""
+	}
+	return strings.TrimSuffix(lines[pos.Line-1], "\r")
+}
+
+// Stmt is a top-level statement: *LabelDef, *Inst, or *Kernel.
+type Stmt interface {
+	stmt()
+	Position() diag.Pos
+}
+
+// LabelDef is one "name:" definition. Labels are their own statements
+// so any number can precede an instruction (or the end of program) and
+// codegen binds them in order.
+type LabelDef struct {
+	Name string
+	Pos  diag.Pos
+}
+
+func (*LabelDef) stmt()                {}
+func (l *LabelDef) Position() diag.Pos { return l.Pos }
+
+// Inst is one instruction line: a mnemonic and its operands.
+type Inst struct {
+	Mnemonic string
+	Pos      diag.Pos
+	Args     []Arg
+}
+
+func (*Inst) stmt()                {}
+func (i *Inst) Position() diag.Pos { return i.Pos }
+
+// Arg is one operand. Either Mem is non-nil (an imm(xN) memory
+// operand) or Text holds the operand token — a register name, an
+// immediate / constant name, or a label reference; codegen decides
+// which from the instruction format.
+type Arg struct {
+	Text string
+	Pos  diag.Pos
+	Mem  *Mem
+}
+
+// Mem is a base+offset memory operand "off(reg)".
+type Mem struct {
+	OffText string // immediate or constant name; "0" when omitted
+	OffPos  diag.Pos
+	Reg     string
+	RegPos  diag.Pos
+}
+
+// Kernel is a ".kernel name ... .endkernel" DSL block.
+type Kernel struct {
+	Name string
+	Pos  diag.Pos
+
+	Ins     []Param // .in name, xN — input base pointers
+	Outs    []Param // .out name, xN — output base pointers
+	Count   *Param  // .count xN — element count register
+	Reduces []Param // .reduce name, xN — scalar accumulator outputs
+	Tile    int64   // .tile N — max elements per strip (0 = hardware VL)
+	SEW     int     // .sew 8|16|32 (default 32)
+
+	Stmts []KernelStmt
+}
+
+func (*Kernel) stmt()                {}
+func (k *Kernel) Position() diag.Pos { return k.Pos }
+
+// Param is one named kernel binding: a DSL identifier tied to a
+// scalar register holding its pointer, count, or accumulator.
+type Param struct {
+	Name string
+	Reg  string
+	Pos  diag.Pos
+}
+
+// KernelStmt is one kernel body statement: "target = expr" (element
+// assignment to an output) or "target += expr" (reduction accumulate).
+type KernelStmt struct {
+	Target    string
+	TargetPos diag.Pos
+	Reduce    bool // += form
+	Expr      Expr
+}
+
+// Expr is a kernel DSL expression node.
+type Expr interface {
+	Position() diag.Pos
+}
+
+// NumExpr is an integer literal.
+type NumExpr struct {
+	At  diag.Pos
+	Val int64
+}
+
+// RefExpr names a kernel parameter or a .const symbol.
+type RefExpr struct {
+	At   diag.Pos
+	Name string
+}
+
+// UnExpr is a unary operation (only "-").
+type UnExpr struct {
+	At diag.Pos
+	Op string
+	X  Expr
+}
+
+// BinExpr is a binary operation: + - * / & | ^ << >>.
+type BinExpr struct {
+	At   diag.Pos
+	Op   string
+	X, Y Expr
+}
+
+// CallExpr is a builtin call: min(a, b) or max(a, b).
+type CallExpr struct {
+	At   diag.Pos
+	Fn   string
+	Args []Expr
+}
+
+func (e *NumExpr) Position() diag.Pos  { return e.At }
+func (e *RefExpr) Position() diag.Pos  { return e.At }
+func (e *UnExpr) Position() diag.Pos   { return e.At }
+func (e *BinExpr) Position() diag.Pos  { return e.At }
+func (e *CallExpr) Position() diag.Pos { return e.At }

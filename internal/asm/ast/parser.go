@@ -1,0 +1,911 @@
+package ast
+
+import (
+	"strconv"
+
+	"cape/internal/asm/diag"
+	"cape/internal/asm/lexer"
+)
+
+// Options bounds the parser's expansion machinery.
+type Options struct {
+	// Include resolves a .include path to file contents. Nil disables
+	// includes entirely (every .include is a diagnostic) — the safe
+	// default for server-submitted source.
+	Include func(path string) ([]byte, error)
+	// MaxMacroDepth caps nested macro expansion (default 16).
+	MaxMacroDepth int
+	// MaxExpandedLines caps the total number of lines produced by all
+	// macro expansions together (default 10000).
+	MaxExpandedLines int
+	// MaxIncludeDepth caps nested .include files (default 8).
+	MaxIncludeDepth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxMacroDepth <= 0 {
+		o.MaxMacroDepth = 16
+	}
+	if o.MaxExpandedLines <= 0 {
+		o.MaxExpandedLines = 10000
+	}
+	if o.MaxIncludeDepth <= 0 {
+		o.MaxIncludeDepth = 8
+	}
+	return o
+}
+
+// Parse builds the AST for one source buffer. On failure the error is
+// a diag.List; the returned *File is still populated with whatever
+// parsed cleanly (its Line method serves later diagnostics either way).
+func Parse(name, src string, opts Options) (*File, error) {
+	p := &parser{
+		opts: opts.withDefaults(),
+		file: &File{
+			Name:    name,
+			Consts:  map[string]Const{},
+			sources: map[string][]string{},
+		},
+		macros:   map[string]*macro{},
+		includes: []string{name},
+	}
+	p.pushLexer(lexer.New(name, src))
+	p.parseAll()
+	return p.file, p.col.Err()
+}
+
+// macro is one .macro definition: parameter names plus the recorded
+// body token stream (EOL tokens included, definition-site positions).
+type macro struct {
+	name   string
+	pos    diag.Pos
+	params []string
+	body   []lexer.Token
+	lines  int
+}
+
+// frame is one token source on the expansion stack: a live lexer (root
+// buffer or an include) or a replayed token slice (a macro expansion).
+type frame struct {
+	lx        *lexer.Lexer
+	toks      []lexer.Token
+	i         int
+	depth     int  // macro nesting depth of this frame
+	isInclude bool // pop must also pop the include stack
+}
+
+type parser struct {
+	opts     Options
+	col      diag.Collector
+	file     *File
+	frames   []*frame
+	macros   map[string]*macro
+	includes []string // open include chain, for cycle detection
+	expanded int      // total macro-expanded lines so far
+	peekBuf  []lexer.Token
+}
+
+func (p *parser) pushLexer(lx *lexer.Lexer) {
+	p.file.sources[lx.Name()] = lx.Lines()
+	p.frames = append(p.frames, &frame{lx: lx})
+}
+
+func (p *parser) popFrame() {
+	f := p.frames[len(p.frames)-1]
+	if f.isInclude && len(p.includes) > 0 {
+		p.includes = p.includes[:len(p.includes)-1]
+	}
+	p.frames = p.frames[:len(p.frames)-1]
+}
+
+// read pulls the next raw token, crossing frame boundaries.
+func (p *parser) read() lexer.Token {
+	for {
+		if len(p.frames) == 0 {
+			return lexer.Token{Kind: lexer.EOF}
+		}
+		f := p.frames[len(p.frames)-1]
+		if f.lx != nil {
+			t := f.lx.Next()
+			if t.Kind == lexer.EOF && len(p.frames) > 1 {
+				p.popFrame()
+				// Terminate the included file's last statement even
+				// when it lacks a trailing newline.
+				return lexer.Token{Kind: lexer.EOL, Text: "\n", Pos: t.Pos}
+			}
+			return t
+		}
+		if f.i < len(f.toks) {
+			t := f.toks[f.i]
+			f.i++
+			return t
+		}
+		p.popFrame()
+	}
+}
+
+func (p *parser) next() lexer.Token {
+	if len(p.peekBuf) > 0 {
+		t := p.peekBuf[0]
+		p.peekBuf = p.peekBuf[1:]
+		return t
+	}
+	return p.read()
+}
+
+func (p *parser) peek(n int) lexer.Token {
+	for len(p.peekBuf) <= n {
+		p.peekBuf = append(p.peekBuf, p.read())
+	}
+	return p.peekBuf[n]
+}
+
+// curDepth is the macro depth of the frame currently supplying tokens.
+func (p *parser) curDepth() int {
+	if len(p.frames) == 0 {
+		return 0
+	}
+	return p.frames[len(p.frames)-1].depth
+}
+
+func (p *parser) errAt(pos diag.Pos, format string, args ...any) {
+	p.col.Addf(pos, p.file.Line(pos), format, args...)
+}
+
+// skipToEOL consumes tokens through the next EOL (error recovery).
+func (p *parser) skipToEOL() {
+	for {
+		t := p.next()
+		if t.Kind == lexer.EOL || t.Kind == lexer.EOF {
+			return
+		}
+	}
+}
+
+func (p *parser) parseAll() {
+	for {
+		t := p.peek(0)
+		switch t.Kind {
+		case lexer.EOF:
+			return
+		case lexer.EOL:
+			p.next()
+		case lexer.Illegal:
+			p.next()
+			p.errAt(t.Pos, "%s", t.Text)
+			p.skipToEOL()
+		case lexer.Directive:
+			p.parseDirective()
+		case lexer.Ident, lexer.Number:
+			if p.peek(1).Kind == lexer.Colon {
+				lbl := p.next()
+				p.next() // colon
+				p.file.Stmts = append(p.file.Stmts, &LabelDef{Name: lbl.Text, Pos: lbl.Pos})
+				continue
+			}
+			if t.Kind == lexer.Number {
+				p.next()
+				p.errAt(t.Pos, "expected mnemonic, label, or directive, got number %q", t.Text)
+				p.skipToEOL()
+				continue
+			}
+			p.parseInstOrMacro()
+		default:
+			p.next()
+			p.errAt(t.Pos, "expected mnemonic, label, or directive, got %s", t.Kind)
+			p.skipToEOL()
+		}
+	}
+}
+
+// parseInstOrMacro handles an Ident statement head: a macro invocation
+// when the name matches a defined macro, otherwise an instruction.
+func (p *parser) parseInstOrMacro() {
+	head := p.next()
+	if m, ok := p.macros[head.Text]; ok {
+		p.expandMacro(head, m)
+		return
+	}
+	inst := &Inst{Mnemonic: head.Text, Pos: head.Pos}
+	if !p.parseArgs(inst) {
+		return
+	}
+	p.file.Stmts = append(p.file.Stmts, inst)
+}
+
+// parseArgs parses the operand list through EOL. Returns false after
+// reporting a diagnostic (the line is already consumed).
+func (p *parser) parseArgs(inst *Inst) bool {
+	if t := p.peek(0); t.Kind == lexer.EOL || t.Kind == lexer.EOF {
+		p.next()
+		return true
+	}
+	for {
+		arg, ok := p.parseArg()
+		if !ok {
+			p.skipToEOL()
+			return false
+		}
+		inst.Args = append(inst.Args, arg)
+		t := p.next()
+		switch t.Kind {
+		case lexer.Comma:
+			continue
+		case lexer.EOL, lexer.EOF:
+			return true
+		default:
+			p.errAt(t.Pos, "expected %q or end of line after operand, got %s", ",", t.Kind)
+			p.skipToEOL()
+			return false
+		}
+	}
+}
+
+// parseArg parses one operand: "(xN)", "[-]token", or "[-]token(xN)".
+func (p *parser) parseArg() (Arg, bool) {
+	t := p.peek(0)
+
+	// Bare "(xN)" memory operand with implicit zero offset.
+	if t.Kind == lexer.LParen {
+		p.next()
+		mem, ok := p.parseMemTail("0", t.Pos)
+		if !ok {
+			return Arg{}, false
+		}
+		return Arg{Text: "", Pos: t.Pos, Mem: mem}, true
+	}
+
+	neg := false
+	pos := t.Pos
+	if t.Kind == lexer.Minus {
+		neg = true
+		p.next()
+		t = p.peek(0)
+	}
+	if t.Kind != lexer.Ident && t.Kind != lexer.Number {
+		if t.Kind == lexer.Illegal {
+			// Surface the lexer's own message ("unexpected character …")
+			// rather than the generic token-kind name.
+			p.errAt(t.Pos, "%s", t.Text)
+		} else {
+			p.errAt(t.Pos, "expected operand, got %s", t.Kind)
+		}
+		return Arg{}, false
+	}
+	p.next()
+	text := t.Text
+	if neg {
+		text = "-" + text
+	}
+
+	if p.peek(0).Kind == lexer.LParen {
+		p.next()
+		mem, ok := p.parseMemTail(text, pos)
+		if !ok {
+			return Arg{}, false
+		}
+		return Arg{Text: "", Pos: pos, Mem: mem}, true
+	}
+	return Arg{Text: text, Pos: pos}, true
+}
+
+// parseMemTail parses "xN)" after the opening paren was consumed.
+func (p *parser) parseMemTail(offText string, offPos diag.Pos) (*Mem, bool) {
+	reg := p.next()
+	if reg.Kind != lexer.Ident {
+		p.errAt(reg.Pos, "expected base register inside %q, got %s", "()", reg.Kind)
+		return nil, false
+	}
+	if close := p.next(); close.Kind != lexer.RParen {
+		p.errAt(close.Pos, "expected %q after base register, got %s", ")", close.Kind)
+		return nil, false
+	}
+	return &Mem{OffText: offText, OffPos: offPos, Reg: reg.Text, RegPos: reg.Pos}, true
+}
+
+func (p *parser) parseDirective() {
+	d := p.next()
+	switch d.Text {
+	case ".const":
+		p.parseConst(d)
+	case ".macro":
+		p.parseMacroDef(d)
+	case ".endmacro":
+		p.errAt(d.Pos, ".endmacro without matching .macro")
+		p.skipToEOL()
+	case ".include":
+		p.parseInclude(d)
+	case ".kernel":
+		p.parseKernel(d)
+	case ".endkernel":
+		p.errAt(d.Pos, ".endkernel without matching .kernel")
+		p.skipToEOL()
+	default:
+		p.errAt(d.Pos, "unknown directive %q", d.Text)
+		p.skipToEOL()
+	}
+}
+
+// parseConst handles ".const NAME, expr" — expr folds at parse time
+// and may reference previously defined constants.
+func (p *parser) parseConst(d lexer.Token) {
+	name := p.next()
+	if name.Kind != lexer.Ident {
+		p.errAt(name.Pos, ".const expects a name, got %s", name.Kind)
+		p.skipToEOL()
+		return
+	}
+	if c := p.next(); c.Kind != lexer.Comma {
+		p.errAt(c.Pos, ".const expects %q after the name, got %s", ",", c.Kind)
+		p.skipToEOL()
+		return
+	}
+	expr, ok := p.parseExpr(0)
+	if !ok {
+		p.skipToEOL()
+		return
+	}
+	if !p.expectEOL(".const") {
+		return
+	}
+	val, ok := p.evalConst(expr)
+	if !ok {
+		return
+	}
+	if prev, exists := p.file.Consts[name.Text]; exists {
+		p.errAt(name.Pos, "duplicate constant %q (first defined at %s)", name.Text, prev.Pos)
+		return
+	}
+	p.file.Consts[name.Text] = Const{Val: val, Pos: name.Pos}
+}
+
+// evalConst folds a parse-time constant expression.
+func (p *parser) evalConst(e Expr) (int64, bool) {
+	switch e := e.(type) {
+	case *NumExpr:
+		return e.Val, true
+	case *RefExpr:
+		c, ok := p.file.Consts[e.Name]
+		if !ok {
+			p.errAt(e.At, "undefined constant %q", e.Name)
+			return 0, false
+		}
+		return c.Val, true
+	case *UnExpr:
+		x, ok := p.evalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		return -x, true
+	case *BinExpr:
+		x, ok := p.evalConst(e.X)
+		if !ok {
+			return 0, false
+		}
+		y, ok := p.evalConst(e.Y)
+		if !ok {
+			return 0, false
+		}
+		switch e.Op {
+		case "+":
+			return x + y, true
+		case "-":
+			return x - y, true
+		case "*":
+			return x * y, true
+		case "/":
+			if y == 0 {
+				p.errAt(e.At, "division by zero in constant expression")
+				return 0, false
+			}
+			return x / y, true
+		case "&":
+			return x & y, true
+		case "|":
+			return x | y, true
+		case "^":
+			return x ^ y, true
+		case "<<":
+			if y < 0 || y > 63 {
+				p.errAt(e.At, "shift amount %d out of range in constant expression", y)
+				return 0, false
+			}
+			return x << uint(y), true
+		case ">>":
+			if y < 0 || y > 63 {
+				p.errAt(e.At, "shift amount %d out of range in constant expression", y)
+				return 0, false
+			}
+			return x >> uint(y), true
+		}
+		p.errAt(e.At, "operator %q not allowed in constant expression", e.Op)
+		return 0, false
+	case *CallExpr:
+		if e.Fn != "min" && e.Fn != "max" {
+			p.errAt(e.At, "unknown function %q in constant expression", e.Fn)
+			return 0, false
+		}
+		if len(e.Args) != 2 {
+			p.errAt(e.At, "%s expects 2 arguments, got %d", e.Fn, len(e.Args))
+			return 0, false
+		}
+		x, ok := p.evalConst(e.Args[0])
+		if !ok {
+			return 0, false
+		}
+		y, ok := p.evalConst(e.Args[1])
+		if !ok {
+			return 0, false
+		}
+		if (e.Fn == "min") == (x < y) {
+			return x, true
+		}
+		return y, true
+	}
+	p.errAt(e.Position(), "invalid constant expression")
+	return 0, false
+}
+
+// parseMacroDef records ".macro name [p, p...]" through ".endmacro".
+func (p *parser) parseMacroDef(d lexer.Token) {
+	name := p.next()
+	if name.Kind != lexer.Ident {
+		p.errAt(name.Pos, ".macro expects a name, got %s", name.Kind)
+		p.skipToEOL()
+		return
+	}
+	m := &macro{name: name.Text, pos: name.Pos}
+	for p.peek(0).Kind != lexer.EOL && p.peek(0).Kind != lexer.EOF {
+		param := p.next()
+		if param.Kind == lexer.Comma {
+			continue
+		}
+		if param.Kind != lexer.Ident {
+			p.errAt(param.Pos, ".macro parameter must be an identifier, got %s", param.Kind)
+			p.skipToEOL()
+			return
+		}
+		m.params = append(m.params, param.Text)
+	}
+	p.next() // EOL
+
+	// Record the body verbatim until .endmacro at statement start.
+	for {
+		t := p.next()
+		switch {
+		case t.Kind == lexer.EOF:
+			p.errAt(d.Pos, "unterminated .macro %q (missing .endmacro)", m.name)
+			return
+		case t.Kind == lexer.Directive && t.Text == ".endmacro":
+			p.skipToEOL()
+			if prev, exists := p.macros[m.name]; exists {
+				p.errAt(name.Pos, "duplicate macro %q (first defined at %s)", m.name, prev.pos)
+				return
+			}
+			p.macros[m.name] = m
+			return
+		case t.Kind == lexer.Directive && t.Text == ".macro":
+			p.errAt(t.Pos, "nested .macro definitions are not supported")
+			p.skipToEOL()
+		default:
+			if t.Kind == lexer.EOL {
+				m.lines++
+			}
+			m.body = append(m.body, t)
+		}
+	}
+}
+
+// expandMacro consumes the invocation's argument list, substitutes
+// parameters, and pushes the body as a replay frame.
+func (p *parser) expandMacro(head lexer.Token, m *macro) {
+	var args [][]lexer.Token
+	cur := []lexer.Token{}
+	flush := func() {
+		if len(cur) > 0 {
+			args = append(args, cur)
+			cur = nil
+		}
+	}
+	for {
+		t := p.next()
+		if t.Kind == lexer.EOL || t.Kind == lexer.EOF {
+			flush()
+			break
+		}
+		if t.Kind == lexer.Comma {
+			flush()
+			continue
+		}
+		cur = append(cur, t)
+	}
+	if len(args) != len(m.params) {
+		p.errAt(head.Pos, "macro %q expects %d arguments, got %d", m.name, len(m.params), len(args))
+		return
+	}
+	depth := p.curDepth() + 1
+	if depth > p.opts.MaxMacroDepth {
+		p.errAt(head.Pos, "macro expansion too deep (limit %d) expanding %q", p.opts.MaxMacroDepth, m.name)
+		return
+	}
+	p.expanded += m.lines + 1
+	if p.expanded > p.opts.MaxExpandedLines {
+		p.errAt(head.Pos, "macro expansion too large (limit %d lines)", p.opts.MaxExpandedLines)
+		return
+	}
+
+	sub := map[string][]lexer.Token{}
+	for i, name := range m.params {
+		sub[name] = args[i]
+	}
+	body := make([]lexer.Token, 0, len(m.body)+2)
+	for _, t := range m.body {
+		if t.Kind == lexer.Ident {
+			if rep, ok := sub[t.Text]; ok {
+				body = append(body, rep...)
+				continue
+			}
+		}
+		body = append(body, t)
+	}
+	body = append(body, lexer.Token{Kind: lexer.EOL, Text: "\n", Pos: head.Pos})
+	p.frames = append(p.frames, &frame{toks: body, depth: depth})
+}
+
+// parseInclude resolves ".include \"path\"" and pushes its lexer.
+func (p *parser) parseInclude(d lexer.Token) {
+	path := p.next()
+	if path.Kind != lexer.String {
+		p.errAt(path.Pos, ".include expects a quoted path, got %s", path.Kind)
+		p.skipToEOL()
+		return
+	}
+	if !p.expectEOL(".include") {
+		return
+	}
+	if p.opts.Include == nil {
+		p.errAt(d.Pos, ".include is not allowed here (no include resolver configured)")
+		return
+	}
+	if len(p.includes) >= p.opts.MaxIncludeDepth {
+		p.errAt(d.Pos, "includes nested too deep (limit %d)", p.opts.MaxIncludeDepth)
+		return
+	}
+	for _, open := range p.includes {
+		if open == path.Text {
+			p.errAt(d.Pos, "include cycle: %q is already being included", path.Text)
+			return
+		}
+	}
+	src, err := p.opts.Include(path.Text)
+	if err != nil {
+		p.errAt(d.Pos, "cannot include %q: %v", path.Text, err)
+		return
+	}
+	p.includes = append(p.includes, path.Text)
+	lx := lexer.New(path.Text, string(src))
+	p.file.sources[lx.Name()] = lx.Lines()
+	p.frames = append(p.frames, &frame{lx: lx, isInclude: true, depth: p.curDepth()})
+}
+
+// expectEOL consumes the end of a directive line, diagnosing trailing
+// tokens.
+func (p *parser) expectEOL(what string) bool {
+	t := p.next()
+	if t.Kind == lexer.EOL || t.Kind == lexer.EOF {
+		return true
+	}
+	p.errAt(t.Pos, "unexpected %s after %s", t.Kind, what)
+	p.skipToEOL()
+	return false
+}
+
+// ---- kernel DSL ----
+
+func (p *parser) parseKernel(d lexer.Token) {
+	name := p.next()
+	if name.Kind != lexer.Ident {
+		p.errAt(name.Pos, ".kernel expects a name, got %s", name.Kind)
+		p.skipToEOL()
+		return
+	}
+	if !p.expectEOL(".kernel") {
+		return
+	}
+	k := &Kernel{Name: name.Text, Pos: d.Pos, SEW: 32}
+	for {
+		t := p.peek(0)
+		switch t.Kind {
+		case lexer.EOF:
+			p.errAt(d.Pos, "unterminated .kernel %q (missing .endkernel)", k.Name)
+			return
+		case lexer.EOL:
+			p.next()
+		case lexer.Directive:
+			if t.Text == ".endkernel" {
+				p.next()
+				p.expectEOL(".endkernel")
+				p.finishKernel(k)
+				return
+			}
+			p.parseKernelDirective(k)
+		case lexer.Ident:
+			p.parseKernelStmt(k)
+		case lexer.Illegal:
+			p.next()
+			p.errAt(t.Pos, "%s", t.Text)
+			p.skipToEOL()
+		default:
+			p.next()
+			p.errAt(t.Pos, "unexpected %s in kernel body", t.Kind)
+			p.skipToEOL()
+		}
+	}
+}
+
+// finishKernel validates block-level requirements before emitting.
+func (p *parser) finishKernel(k *Kernel) {
+	ok := true
+	if k.Count == nil {
+		p.errAt(k.Pos, "kernel %q needs a .count register", k.Name)
+		ok = false
+	}
+	if len(k.Outs) == 0 && len(k.Reduces) == 0 {
+		p.errAt(k.Pos, "kernel %q produces nothing: add .out or .reduce", k.Name)
+		ok = false
+	}
+	if len(k.Stmts) == 0 {
+		p.errAt(k.Pos, "kernel %q has no statements", k.Name)
+		ok = false
+	}
+	if ok {
+		p.file.Stmts = append(p.file.Stmts, k)
+	}
+}
+
+func (p *parser) parseKernelDirective(k *Kernel) {
+	d := p.next()
+	switch d.Text {
+	case ".in":
+		if prm, ok := p.parseParam(d.Text); ok {
+			k.Ins = append(k.Ins, prm)
+		}
+	case ".out":
+		if prm, ok := p.parseParam(d.Text); ok {
+			k.Outs = append(k.Outs, prm)
+		}
+	case ".reduce":
+		if prm, ok := p.parseParam(d.Text); ok {
+			k.Reduces = append(k.Reduces, prm)
+		}
+	case ".count":
+		reg := p.next()
+		if reg.Kind != lexer.Ident {
+			p.errAt(reg.Pos, ".count expects a register, got %s", reg.Kind)
+			p.skipToEOL()
+			return
+		}
+		if !p.expectEOL(".count") {
+			return
+		}
+		if k.Count != nil {
+			p.errAt(reg.Pos, "duplicate .count")
+			return
+		}
+		k.Count = &Param{Reg: reg.Text, Pos: reg.Pos}
+	case ".tile":
+		expr, ok := p.parseExpr(0)
+		if !ok {
+			p.skipToEOL()
+			return
+		}
+		if !p.expectEOL(".tile") {
+			return
+		}
+		val, ok := p.evalConst(expr)
+		if !ok {
+			return
+		}
+		if val < 1 {
+			p.errAt(expr.Position(), ".tile must be positive, got %d", val)
+			return
+		}
+		k.Tile = val
+	case ".sew":
+		w := p.next()
+		if w.Kind != lexer.Number {
+			p.errAt(w.Pos, ".sew expects 8, 16, or 32, got %s", w.Kind)
+			p.skipToEOL()
+			return
+		}
+		if !p.expectEOL(".sew") {
+			return
+		}
+		switch w.Text {
+		case "8", "16", "32":
+			k.SEW = int(mustInt(w.Text))
+		default:
+			p.errAt(w.Pos, ".sew element width must be 8, 16, or 32, got %s", w.Text)
+		}
+	default:
+		p.errAt(d.Pos, "unknown kernel directive %q", d.Text)
+		p.skipToEOL()
+	}
+}
+
+func mustInt(s string) int64 {
+	v, _ := strconv.ParseInt(s, 0, 64)
+	return v
+}
+
+// parseParam parses "name, xN" after .in/.out/.reduce.
+func (p *parser) parseParam(dir string) (Param, bool) {
+	name := p.next()
+	if name.Kind != lexer.Ident {
+		p.errAt(name.Pos, "%s expects a name, got %s", dir, name.Kind)
+		p.skipToEOL()
+		return Param{}, false
+	}
+	if c := p.next(); c.Kind != lexer.Comma {
+		p.errAt(c.Pos, "%s expects %q between name and register, got %s", dir, ",", c.Kind)
+		p.skipToEOL()
+		return Param{}, false
+	}
+	reg := p.next()
+	if reg.Kind != lexer.Ident {
+		p.errAt(reg.Pos, "%s expects a register, got %s", dir, reg.Kind)
+		p.skipToEOL()
+		return Param{}, false
+	}
+	if !p.expectEOL(dir) {
+		return Param{}, false
+	}
+	return Param{Name: name.Text, Reg: reg.Text, Pos: name.Pos}, true
+}
+
+// parseKernelStmt parses "target = expr" or "target += expr".
+func (p *parser) parseKernelStmt(k *Kernel) {
+	target := p.next()
+	op := p.next()
+	if op.Kind != lexer.Assign && op.Kind != lexer.PlusAssign {
+		p.errAt(op.Pos, "expected %q or %q after %q, got %s", "=", "+=", target.Text, op.Kind)
+		p.skipToEOL()
+		return
+	}
+	expr, ok := p.parseExpr(0)
+	if !ok {
+		p.skipToEOL()
+		return
+	}
+	if t := p.next(); t.Kind != lexer.EOL && t.Kind != lexer.EOF {
+		p.errAt(t.Pos, "unexpected %s after expression", t.Kind)
+		p.skipToEOL()
+		return
+	}
+	k.Stmts = append(k.Stmts, KernelStmt{
+		Target:    target.Text,
+		TargetPos: target.Pos,
+		Reduce:    op.Kind == lexer.PlusAssign,
+		Expr:      expr,
+	})
+}
+
+// ---- expression parsing (Pratt) ----
+
+func binPrec(k lexer.Kind) int {
+	switch k {
+	case lexer.Pipe:
+		return 1
+	case lexer.Caret:
+		return 2
+	case lexer.Amp:
+		return 3
+	case lexer.Shl, lexer.Shr:
+		return 4
+	case lexer.Plus, lexer.Minus:
+		return 5
+	case lexer.Star, lexer.Slash:
+		return 6
+	}
+	return 0
+}
+
+// parseExpr parses an expression with operators of precedence >
+// minPrec (precedence climbing; all binary operators left-associate).
+func (p *parser) parseExpr(minPrec int) (Expr, bool) {
+	lhs, ok := p.parseUnary()
+	if !ok {
+		return nil, false
+	}
+	for {
+		op := p.peek(0)
+		prec := binPrec(op.Kind)
+		if prec == 0 || prec <= minPrec {
+			return lhs, true
+		}
+		p.next()
+		rhs, ok := p.parseExpr(prec)
+		if !ok {
+			return nil, false
+		}
+		lhs = &BinExpr{At: op.Pos, Op: op.Text, X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, bool) {
+	t := p.peek(0)
+	if t.Kind == lexer.Minus {
+		p.next()
+		x, ok := p.parseUnary()
+		if !ok {
+			return nil, false
+		}
+		// Fold -literal immediately so plain negative numbers stay
+		// simple NumExprs.
+		if n, isNum := x.(*NumExpr); isNum {
+			return &NumExpr{At: t.Pos, Val: -n.Val}, true
+		}
+		return &UnExpr{At: t.Pos, Op: "-", X: x}, true
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, bool) {
+	t := p.next()
+	switch t.Kind {
+	case lexer.Number:
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			p.errAt(t.Pos, "bad number %q", t.Text)
+			return nil, false
+		}
+		return &NumExpr{At: t.Pos, Val: v}, true
+	case lexer.Ident:
+		if p.peek(0).Kind == lexer.LParen {
+			p.next()
+			return p.parseCall(t)
+		}
+		return &RefExpr{At: t.Pos, Name: t.Text}, true
+	case lexer.LParen:
+		e, ok := p.parseExpr(0)
+		if !ok {
+			return nil, false
+		}
+		if c := p.next(); c.Kind != lexer.RParen {
+			p.errAt(c.Pos, "expected %q, got %s", ")", c.Kind)
+			return nil, false
+		}
+		return e, true
+	}
+	if t.Kind == lexer.Illegal {
+		p.errAt(t.Pos, "%s", t.Text)
+	} else {
+		p.errAt(t.Pos, "expected expression, got %s", t.Kind)
+	}
+	return nil, false
+}
+
+func (p *parser) parseCall(fn lexer.Token) (Expr, bool) {
+	call := &CallExpr{At: fn.Pos, Fn: fn.Text}
+	if p.peek(0).Kind == lexer.RParen {
+		p.next()
+		return call, true
+	}
+	for {
+		arg, ok := p.parseExpr(0)
+		if !ok {
+			return nil, false
+		}
+		call.Args = append(call.Args, arg)
+		t := p.next()
+		switch t.Kind {
+		case lexer.Comma:
+			continue
+		case lexer.RParen:
+			return call, true
+		default:
+			p.errAt(t.Pos, "expected %q or %q in %s(...), got %s", ",", ")", fn.Text, t.Kind)
+			return nil, false
+		}
+	}
+}

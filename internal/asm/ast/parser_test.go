@@ -1,0 +1,306 @@
+package ast
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"cape/internal/asm/diag"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := Parse("t.s", src, Options{})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return f
+}
+
+func parseErr(t *testing.T, src string) diag.List {
+	t.Helper()
+	_, err := Parse("t.s", src, Options{})
+	if err == nil {
+		t.Fatalf("Parse succeeded, want error")
+	}
+	var list diag.List
+	if !errors.As(err, &list) {
+		t.Fatalf("error is %T, want diag.List", err)
+	}
+	return list
+}
+
+func TestParseInstruction(t *testing.T) {
+	f := mustParse(t, "add x1, x2, x3\n")
+	if len(f.Stmts) != 1 {
+		t.Fatalf("stmts: %d", len(f.Stmts))
+	}
+	inst, ok := f.Stmts[0].(*Inst)
+	if !ok {
+		t.Fatalf("stmt type %T", f.Stmts[0])
+	}
+	if inst.Mnemonic != "add" || len(inst.Args) != 3 {
+		t.Fatalf("inst: %+v", inst)
+	}
+	if inst.Args[1].Text != "x2" {
+		t.Fatalf("arg1: %+v", inst.Args[1])
+	}
+}
+
+func TestParseLabels(t *testing.T) {
+	f := mustParse(t, "loop:\n  add x1, x2, x3\n  bne x1, x0, loop\ndone: halt\n")
+	var labels []string
+	for _, s := range f.Stmts {
+		if l, ok := s.(*LabelDef); ok {
+			labels = append(labels, l.Name)
+		}
+	}
+	if len(labels) != 2 || labels[0] != "loop" || labels[1] != "done" {
+		t.Fatalf("labels: %v", labels)
+	}
+	// "done: halt" must produce the label then the instruction.
+	if inst, ok := f.Stmts[len(f.Stmts)-1].(*Inst); !ok || inst.Mnemonic != "halt" {
+		t.Fatalf("last stmt: %+v", f.Stmts[len(f.Stmts)-1])
+	}
+}
+
+func TestParseMemOperand(t *testing.T) {
+	f := mustParse(t, "lw x1, -8(x2)\nsw x3, (x4)\n")
+	lw := f.Stmts[0].(*Inst)
+	if lw.Args[1].Mem == nil || lw.Args[1].Mem.OffText != "-8" || lw.Args[1].Mem.Reg != "x2" {
+		t.Fatalf("lw mem: %+v", lw.Args[1].Mem)
+	}
+	sw := f.Stmts[1].(*Inst)
+	if sw.Args[1].Mem == nil || sw.Args[1].Mem.OffText != "0" || sw.Args[1].Mem.Reg != "x4" {
+		t.Fatalf("sw mem: %+v", sw.Args[1].Mem)
+	}
+}
+
+func TestParseNegativeImmediate(t *testing.T) {
+	f := mustParse(t, "addi x1, x2, -12\n")
+	inst := f.Stmts[0].(*Inst)
+	if inst.Args[2].Text != "-12" {
+		t.Fatalf("imm: %q", inst.Args[2].Text)
+	}
+}
+
+func TestParseConst(t *testing.T) {
+	f := mustParse(t, ".const N, 16\n.const M, N*2 + 1\nli x1, N\n")
+	if f.Consts["N"].Val != 16 {
+		t.Fatalf("N = %d", f.Consts["N"].Val)
+	}
+	if f.Consts["M"].Val != 33 {
+		t.Fatalf("M = %d", f.Consts["M"].Val)
+	}
+}
+
+func TestParseConstForwardRefFails(t *testing.T) {
+	list := parseErr(t, ".const M, N+1\n.const N, 2\n")
+	if !strings.Contains(list[0].Msg, "undefined constant") {
+		t.Fatalf("msg: %q", list[0].Msg)
+	}
+	if list[0].Line != 1 {
+		t.Fatalf("line: %d", list[0].Line)
+	}
+}
+
+func TestParseDuplicateConst(t *testing.T) {
+	list := parseErr(t, ".const N, 1\n.const N, 2\n")
+	if !strings.Contains(list[0].Msg, "duplicate constant") {
+		t.Fatalf("msg: %q", list[0].Msg)
+	}
+}
+
+func TestParseMacro(t *testing.T) {
+	src := `.macro swap3 a, b, t
+add t, a, x0
+add a, b, x0
+add b, t, x0
+.endmacro
+swap3 x1, x2, x31
+`
+	f := mustParse(t, src)
+	if len(f.Stmts) != 3 {
+		t.Fatalf("stmts: %d", len(f.Stmts))
+	}
+	first := f.Stmts[0].(*Inst)
+	if first.Mnemonic != "add" || first.Args[0].Text != "x31" || first.Args[1].Text != "x1" {
+		t.Fatalf("first expanded: %+v", first)
+	}
+}
+
+func TestMacroRecursionDepthLimited(t *testing.T) {
+	src := `.macro boom
+boom
+.endmacro
+boom
+`
+	list := parseErr(t, src)
+	found := false
+	for _, d := range list {
+		if strings.Contains(d.Msg, "too deep") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no depth diagnostic in: %v", list)
+	}
+}
+
+func TestMacroWrongArity(t *testing.T) {
+	src := ".macro two a, b\nadd a, b, x0\n.endmacro\ntwo x1\n"
+	list := parseErr(t, src)
+	if !strings.Contains(list[0].Msg, "expects 2 arguments, got 1") {
+		t.Fatalf("msg: %q", list[0].Msg)
+	}
+}
+
+func TestIncludeDisabledByDefault(t *testing.T) {
+	list := parseErr(t, `.include "x.s"`+"\n")
+	if !strings.Contains(list[0].Msg, "include is not allowed") {
+		t.Fatalf("msg: %q", list[0].Msg)
+	}
+}
+
+func TestInclude(t *testing.T) {
+	files := map[string]string{
+		"lib.s": "li x5, 7\n",
+	}
+	f, err := Parse("t.s", `.include "lib.s"`+"\nhalt\n", Options{
+		Include: func(path string) ([]byte, error) {
+			src, ok := files[path]
+			if !ok {
+				return nil, fmt.Errorf("not found")
+			}
+			return []byte(src), nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(f.Stmts) != 2 {
+		t.Fatalf("stmts: %d", len(f.Stmts))
+	}
+	li := f.Stmts[0].(*Inst)
+	if li.Mnemonic != "li" || li.Pos.File != "lib.s" {
+		t.Fatalf("included inst: %+v", li)
+	}
+	// Snippets from the included file resolve too.
+	if got := f.Line(li.Pos); got != "li x5, 7" {
+		t.Fatalf("included snippet: %q", got)
+	}
+}
+
+func TestIncludeCycle(t *testing.T) {
+	_, err := Parse("t.s", `.include "a.s"`+"\n", Options{
+		Include: func(path string) ([]byte, error) {
+			return []byte(`.include "a.s"` + "\n"), nil
+		},
+	})
+	if err == nil || !strings.Contains(err.Error(), "include cycle") {
+		t.Fatalf("err: %v", err)
+	}
+}
+
+func TestParseKernel(t *testing.T) {
+	src := `.kernel saxpy
+.in x, x20
+.in y, x21
+.out z, x22
+.count x23
+.sew 32
+z = 3 * x + y
+.endkernel
+halt
+`
+	f := mustParse(t, src)
+	var k *Kernel
+	for _, s := range f.Stmts {
+		if kk, ok := s.(*Kernel); ok {
+			k = kk
+		}
+	}
+	if k == nil {
+		t.Fatal("no kernel parsed")
+	}
+	if k.Name != "saxpy" || len(k.Ins) != 2 || len(k.Outs) != 1 || k.Count == nil || k.SEW != 32 {
+		t.Fatalf("kernel: %+v", k)
+	}
+	if len(k.Stmts) != 1 || k.Stmts[0].Target != "z" || k.Stmts[0].Reduce {
+		t.Fatalf("stmt: %+v", k.Stmts[0])
+	}
+	bin, ok := k.Stmts[0].Expr.(*BinExpr)
+	if !ok || bin.Op != "+" {
+		t.Fatalf("expr root: %+v", k.Stmts[0].Expr)
+	}
+	mul, ok := bin.X.(*BinExpr)
+	if !ok || mul.Op != "*" {
+		t.Fatalf("precedence wrong: %+v", bin.X)
+	}
+}
+
+func TestParseKernelReduce(t *testing.T) {
+	src := `.kernel dot
+.in a, x20
+.in b, x21
+.reduce s, x10
+.count x23
+s += a * b
+.endkernel
+`
+	f := mustParse(t, src)
+	k := f.Stmts[0].(*Kernel)
+	if len(k.Reduces) != 1 || k.Reduces[0].Name != "s" || k.Reduces[0].Reg != "x10" {
+		t.Fatalf("reduces: %+v", k.Reduces)
+	}
+	if !k.Stmts[0].Reduce {
+		t.Fatal("stmt not a reduction")
+	}
+}
+
+func TestKernelMissingCount(t *testing.T) {
+	list := parseErr(t, ".kernel k\n.out z, x22\nz = 1\n.endkernel\n")
+	if !strings.Contains(list.Error(), "needs a .count") {
+		t.Fatalf("err: %v", list)
+	}
+}
+
+func TestKernelUnterminated(t *testing.T) {
+	list := parseErr(t, ".kernel k\n.count x23\n")
+	if !strings.Contains(list.Error(), "unterminated .kernel") {
+		t.Fatalf("err: %v", list)
+	}
+}
+
+func TestKernelBadSEW(t *testing.T) {
+	list := parseErr(t, ".kernel k\n.count x1\n.out z, x2\n.sew 64\nz = 1\n.endkernel\n")
+	if !strings.Contains(list.Error(), "element width must be 8, 16, or 32") {
+		t.Fatalf("err: %v", list)
+	}
+}
+
+func TestErrorPositionsAndSnippets(t *testing.T) {
+	list := parseErr(t, "add x1, x2, x3\nbogus &&&\n")
+	d := list[0]
+	if d.File != "t.s" || d.Line != 2 {
+		t.Fatalf("pos: %v", d.Pos)
+	}
+	if d.Snippet != "bogus &&&" {
+		t.Fatalf("snippet: %q", d.Snippet)
+	}
+}
+
+func TestManyErrorsTruncated(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < diag.MaxDiagnostics+10; i++ {
+		b.WriteString("@@@\n")
+	}
+	list := parseErr(t, b.String())
+	if len(list) != diag.MaxDiagnostics+1 {
+		t.Fatalf("len: %d", len(list))
+	}
+	if !strings.Contains(list[len(list)-1].Msg, "more not shown") {
+		t.Fatalf("last: %q", list[len(list)-1].Msg)
+	}
+}

@@ -1,0 +1,146 @@
+package asm
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+
+	"cape/internal/isa"
+)
+
+// DefaultCacheSize bounds the compiled-program cache when no explicit
+// size is configured. Serving workloads resubmit the same program text
+// with different register bindings, so a few hundred distinct sources
+// cover a server's working set while bounding adversarial churn.
+const DefaultCacheSize = 256
+
+// CacheKey identifies one (name, source) pair by content hash, so the
+// cache is immune to both collisions between different programs and
+// unbounded key growth from huge sources.
+type CacheKey [sha256.Size]byte
+
+func cacheKey(name, src string) CacheKey {
+	h := sha256.New()
+	h.Write([]byte(name))
+	h.Write([]byte{0}) // name/source separator
+	h.Write([]byte(src))
+	var k CacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Capacity  int    `json:"capacity"`
+}
+
+// Cache is a concurrency-safe LRU of compiled programs keyed by source
+// hash — the compile-once pattern of internal/ucode lifted to whole
+// programs. Failed compiles are cached too (as their DiagnosticList),
+// so a client hammering the server with the same malformed source is
+// rejected without re-running the pipeline. The nil *Cache is valid
+// everywhere and means "uncached".
+type Cache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[CacheKey]*list.Element
+	lru     *list.List // front = most recently used; values are *cacheEntry
+
+	hits, misses, evictions atomic.Uint64
+}
+
+type cacheEntry struct {
+	key   CacheKey
+	insts []isa.Inst // nil when err != nil
+	err   error      // a DiagnosticList for cached failures
+}
+
+// NewCache builds a program cache holding up to size programs;
+// size <= 0 selects DefaultCacheSize.
+func NewCache(size int) *Cache {
+	if size <= 0 {
+		size = DefaultCacheSize
+	}
+	return &Cache{
+		max:     size,
+		entries: make(map[CacheKey]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Stats snapshots the counters. Safe on a nil cache (all zero).
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	entries := len(c.entries)
+	capacity := c.max
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Capacity:  capacity,
+	}
+}
+
+// Assemble is AssembleOpts through the cache. A hit returns a fresh
+// *isa.Program sharing the immutable instruction slice; a nil receiver
+// compiles directly. opts must be identical across callers of one
+// Cache (the server uses one fixed Options per process), because the
+// key covers only name and source.
+func (c *Cache) Assemble(name, src string, opts Options) (*isa.Program, error) {
+	if c == nil {
+		return AssembleOpts(name, src, opts)
+	}
+	k := cacheKey(name, src)
+
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		e := el.Value.(*cacheEntry)
+		c.lru.MoveToFront(el)
+		c.mu.Unlock()
+		c.hits.Add(1)
+		if e.err != nil {
+			return nil, e.err
+		}
+		return &isa.Program{Name: name, Insts: e.insts}, nil
+	}
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	// Compile outside the lock: two racing compiles of one source both
+	// produce identical programs, and the insert keeps the first.
+	p, err := AssembleOpts(name, src, opts)
+
+	e := &cacheEntry{key: k, err: err}
+	if err == nil {
+		e.insts = p.Insts
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[k]; ok {
+		// Lost the compile race; share the winner's entry.
+		c.lru.MoveToFront(el)
+		e = el.Value.(*cacheEntry)
+	} else {
+		c.entries[k] = c.lru.PushFront(e)
+		for len(c.entries) > c.max {
+			back := c.lru.Back()
+			c.lru.Remove(back)
+			delete(c.entries, back.Value.(*cacheEntry).key)
+			c.evictions.Add(1)
+		}
+	}
+	c.mu.Unlock()
+	if e.err != nil {
+		return nil, e.err
+	}
+	return &isa.Program{Name: name, Insts: e.insts}, nil
+}

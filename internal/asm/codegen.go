@@ -1,0 +1,407 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"cape/internal/asm/ast"
+	"cape/internal/asm/diag"
+	"cape/internal/isa"
+)
+
+// gen is the codegen stage: it walks the AST, resolves registers,
+// constants, and labels, and emits through isa.Builder. All type
+// errors (unknown mnemonics, bad registers, out-of-range operands)
+// surface here as positioned diagnostics.
+type gen struct {
+	f       *ast.File
+	col     diag.Collector
+	b       *isa.Builder
+	defined map[string]diag.Pos
+	uses    []labelUse
+	kernels int
+}
+
+type labelUse struct {
+	name string
+	pos  diag.Pos
+}
+
+func generate(f *ast.File) (*isa.Program, error) {
+	g := &gen{f: f, b: isa.NewBuilder(f.Name), defined: map[string]diag.Pos{}}
+	for _, s := range f.Stmts {
+		switch s := s.(type) {
+		case *ast.LabelDef:
+			g.labelDef(s)
+		case *ast.Inst:
+			g.inst(s)
+		case *ast.Kernel:
+			g.kernel(s)
+		}
+	}
+	for _, u := range g.uses {
+		if _, ok := g.defined[u.name]; !ok {
+			g.errAt(u.pos, "undefined label %q", u.name)
+		}
+	}
+	if err := g.col.Err(); err != nil {
+		return nil, err
+	}
+	p, err := g.b.Build()
+	if err != nil {
+		// Label bookkeeping above should make Build infallible; keep
+		// the error typed if it ever fires.
+		return nil, diag.List{{
+			Pos: diag.Pos{File: f.Name, Line: 1, Col: 1},
+			Msg: err.Error(),
+		}}
+	}
+	return p, nil
+}
+
+func (g *gen) errAt(pos diag.Pos, format string, args ...any) {
+	g.col.Addf(pos, g.f.Line(pos), format, args...)
+}
+
+func (g *gen) labelDef(s *ast.LabelDef) {
+	if prev, dup := g.defined[s.Name]; dup {
+		g.errAt(s.Pos, "duplicate label %q (first defined at %s)", s.Name, prev)
+		return
+	}
+	g.defined[s.Name] = s.Pos
+	g.b.Label(s.Name)
+}
+
+// argText renders an operand for error messages.
+func argText(a ast.Arg) string {
+	if a.Mem != nil {
+		return fmt.Sprintf("%s(%s)", a.Mem.OffText, a.Mem.Reg)
+	}
+	return a.Text
+}
+
+// xreg resolves a scalar register operand.
+func (g *gen) xreg(a ast.Arg) (uint8, bool) {
+	return g.regText(a.Text, a.Pos, "x", isa.NumXRegs, a)
+}
+
+// vreg resolves a vector register operand.
+func (g *gen) vreg(a ast.Arg) (uint8, bool) {
+	return g.regText(a.Text, a.Pos, "v", isa.NumVRegs, a)
+}
+
+func (g *gen) regText(s string, pos diag.Pos, prefix string, limit int, a ast.Arg) (uint8, bool) {
+	if a.Mem != nil || !strings.HasPrefix(s, prefix) {
+		g.errAt(pos, "expected %s-register, got %q", prefix, argText(a))
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[len(prefix):])
+	if err != nil || n < 0 || n >= limit {
+		g.errAt(pos, "bad register %q", s)
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+// xregName resolves a register given as bare text (kernel params).
+func (g *gen) xregName(s string, pos diag.Pos) (uint8, bool) {
+	return g.regText(s, pos, "x", isa.NumXRegs, ast.Arg{Text: s, Pos: pos})
+}
+
+// immText resolves immediate text: a .const name (optionally negated)
+// or an integer literal in any base strconv accepts.
+func (g *gen) immText(s string, pos diag.Pos) (int64, bool) {
+	if c, ok := g.f.Consts[s]; ok {
+		return c.Val, true
+	}
+	if rest, neg := strings.CutPrefix(s, "-"); neg {
+		if c, ok := g.f.Consts[rest]; ok {
+			return -c.Val, true
+		}
+	}
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		g.errAt(pos, "bad immediate %q", s)
+		return 0, false
+	}
+	return v, true
+}
+
+// immediate resolves an immediate operand.
+func (g *gen) immediate(a ast.Arg) (int64, bool) {
+	if a.Mem != nil {
+		g.errAt(a.Pos, "bad immediate %q", argText(a))
+		return 0, false
+	}
+	return g.immText(a.Text, a.Pos)
+}
+
+// memOperand resolves an off(xN) operand.
+func (g *gen) memOperand(a ast.Arg) (int64, uint8, bool) {
+	if a.Mem == nil {
+		g.errAt(a.Pos, "expected imm(xN), got %q", a.Text)
+		return 0, 0, false
+	}
+	off, ok := g.immText(a.Mem.OffText, a.Mem.OffPos)
+	if !ok {
+		return 0, 0, false
+	}
+	r, ok := g.regText(a.Mem.Reg, a.Mem.RegPos, "x", isa.NumXRegs, ast.Arg{Text: a.Mem.Reg, Pos: a.Mem.RegPos})
+	if !ok {
+		return 0, 0, false
+	}
+	return off, r, true
+}
+
+// branchTarget records a label use for the post-walk definedness check.
+func (g *gen) branchTarget(a ast.Arg) (string, bool) {
+	if a.Mem != nil || a.Text == "" {
+		g.errAt(a.Pos, "expected label, got %q", argText(a))
+		return "", false
+	}
+	g.uses = append(g.uses, labelUse{name: a.Text, pos: a.Pos})
+	return a.Text, true
+}
+
+func (g *gen) inst(s *ast.Inst) {
+	op, ok := isa.OpcodeByName(s.Mnemonic)
+	if !ok {
+		g.errAt(s.Pos, "unknown mnemonic %q", s.Mnemonic)
+		return
+	}
+	info := op.Info()
+	inst := isa.Inst{Op: op}
+	args := s.Args
+
+	need := func(n int) bool {
+		if len(args) != n {
+			g.errAt(s.Pos, "%s expects %d operands, got %d", s.Mnemonic, n, len(args))
+			return false
+		}
+		return true
+	}
+
+	switch info.Format {
+	case isa.FmtRRR:
+		if !need(3) {
+			return
+		}
+		rd, ok1 := g.xreg(args[0])
+		rs1, ok2 := g.xreg(args[1])
+		rs2, ok3 := g.xreg(args[2])
+		if !(ok1 && ok2 && ok3) {
+			return
+		}
+		inst.Rd, inst.Rs1, inst.Rs2 = rd, rs1, rs2
+	case isa.FmtRRI:
+		if !need(3) {
+			return
+		}
+		rd, ok1 := g.xreg(args[0])
+		rs1, ok2 := g.xreg(args[1])
+		imm, ok3 := g.immediate(args[2])
+		if !(ok1 && ok2 && ok3) {
+			return
+		}
+		inst.Rd, inst.Rs1, inst.Imm = rd, rs1, imm
+	case isa.FmtRI:
+		if !need(2) {
+			return
+		}
+		rd, ok1 := g.xreg(args[0])
+		imm, ok2 := g.immediate(args[1])
+		if !(ok1 && ok2) {
+			return
+		}
+		inst.Rd, inst.Imm = rd, imm
+	case isa.FmtRR:
+		if !need(2) {
+			return
+		}
+		rd, ok1 := g.xreg(args[0])
+		rs1, ok2 := g.xreg(args[1])
+		if !(ok1 && ok2) {
+			return
+		}
+		inst.Rd, inst.Rs1 = rd, rs1
+	case isa.FmtMem:
+		if !need(2) {
+			return
+		}
+		rd, ok1 := g.xreg(args[0])
+		imm, rs1, ok2 := g.memOperand(args[1])
+		if !(ok1 && ok2) {
+			return
+		}
+		inst.Rd, inst.Rs1, inst.Imm = rd, rs1, imm
+	case isa.FmtBranch:
+		if !need(3) {
+			return
+		}
+		rs1, ok1 := g.xreg(args[0])
+		rs2, ok2 := g.xreg(args[1])
+		label, ok3 := g.branchTarget(args[2])
+		if !(ok1 && ok2 && ok3) {
+			return
+		}
+		inst.Rs1, inst.Rs2 = rs1, rs2
+		g.b.EmitBranch(inst, label)
+		return
+	case isa.FmtJump:
+		if !need(1) {
+			return
+		}
+		label, ok := g.branchTarget(args[0])
+		if !ok {
+			return
+		}
+		g.b.EmitBranch(inst, label)
+		return
+	case isa.FmtNone:
+		if !need(0) {
+			return
+		}
+	case isa.FmtVVV:
+		if !need(3) {
+			return
+		}
+		vd, ok1 := g.vreg(args[0])
+		vs2, ok2 := g.vreg(args[1])
+		vs1, ok3 := g.vreg(args[2])
+		if !(ok1 && ok2 && ok3) {
+			return
+		}
+		inst.Vd, inst.Vs2, inst.Vs1 = vd, vs2, vs1
+	case isa.FmtVVX:
+		if !need(3) {
+			return
+		}
+		vd, ok1 := g.vreg(args[0])
+		vs2, ok2 := g.vreg(args[1])
+		rs1, ok3 := g.xreg(args[2])
+		if !(ok1 && ok2 && ok3) {
+			return
+		}
+		inst.Vd, inst.Vs2, inst.Rs1 = vd, vs2, rs1
+	case isa.FmtVX:
+		if !need(2) {
+			return
+		}
+		vd, ok1 := g.vreg(args[0])
+		rs1, ok2 := g.xreg(args[1])
+		if !(ok1 && ok2) {
+			return
+		}
+		inst.Vd, inst.Rs1 = vd, rs1
+	case isa.FmtXV:
+		if !need(2) {
+			return
+		}
+		rd, ok1 := g.xreg(args[0])
+		vs2, ok2 := g.vreg(args[1])
+		if !(ok1 && ok2) {
+			return
+		}
+		inst.Rd, inst.Vs2 = rd, vs2
+	case isa.FmtVMem:
+		if !need(2) {
+			return
+		}
+		vd, ok1 := g.vreg(args[0])
+		if !ok1 {
+			return
+		}
+		m := args[1].Mem
+		if m == nil || m.OffText != "0" {
+			g.errAt(args[1].Pos, "vector memory operand must be (xN), got %q", argText(args[1]))
+			return
+		}
+		rs1, ok2 := g.regText(m.Reg, m.RegPos, "x", isa.NumXRegs, ast.Arg{Text: m.Reg, Pos: m.RegPos})
+		if !ok2 {
+			return
+		}
+		inst.Vd, inst.Rs1 = vd, rs1
+	case isa.FmtVLRW:
+		if !need(3) {
+			return
+		}
+		vd, ok1 := g.vreg(args[0])
+		rs1, ok2 := g.xreg(args[1])
+		rs2, ok3 := g.xreg(args[2])
+		if !(ok1 && ok2 && ok3) {
+			return
+		}
+		inst.Vd, inst.Rs1, inst.Rs2 = vd, rs1, rs2
+	case isa.FmtVMerge:
+		if !need(4) {
+			return
+		}
+		vd, ok1 := g.vreg(args[0])
+		vs2, ok2 := g.vreg(args[1])
+		vs1, ok3 := g.vreg(args[2])
+		if !(ok1 && ok2 && ok3) {
+			return
+		}
+		if args[3].Mem != nil || args[3].Text != "v0" {
+			g.errAt(args[3].Pos, "vmerge mask must be v0")
+			return
+		}
+		inst.Vd, inst.Vs2, inst.Vs1 = vd, vs2, vs1
+	case isa.FmtVsetvli:
+		if !need(3) {
+			return
+		}
+		rd, ok1 := g.xreg(args[0])
+		rs1, ok2 := g.xreg(args[1])
+		if !(ok1 && ok2) {
+			return
+		}
+		switch args[2].Text {
+		case "e8":
+			inst.Imm = 8
+		case "e16":
+			inst.Imm = 16
+		case "e32":
+			inst.Imm = 32
+		default:
+			g.errAt(args[2].Pos, "element width must be e8, e16 or e32, got %q", argText(args[2]))
+			return
+		}
+		inst.Rd, inst.Rs1 = rd, rs1
+	case isa.FmtR:
+		if !need(1) {
+			return
+		}
+		rs1, ok := g.xreg(args[0])
+		if !ok {
+			return
+		}
+		inst.Rs1 = rs1
+	case isa.FmtVVCopy:
+		if !need(2) {
+			return
+		}
+		vd, ok1 := g.vreg(args[0])
+		vs2, ok2 := g.vreg(args[1])
+		if !(ok1 && ok2) {
+			return
+		}
+		inst.Vd, inst.Vs2 = vd, vs2
+	case isa.FmtVVI:
+		if !need(3) {
+			return
+		}
+		vd, ok1 := g.vreg(args[0])
+		vs2, ok2 := g.vreg(args[1])
+		imm, ok3 := g.immediate(args[2])
+		if !(ok1 && ok2 && ok3) {
+			return
+		}
+		inst.Vd, inst.Vs2, inst.Imm = vd, vs2, imm
+	default:
+		g.errAt(s.Pos, "unhandled format for %s", s.Mnemonic)
+		return
+	}
+	g.b.Emit(inst)
+}

@@ -1,0 +1,135 @@
+// Package diag carries source positions and typed diagnostics for the
+// staged assembler pipeline (internal/asm/lexer → internal/asm/ast →
+// codegen). Every stage reports errors as a Diagnostic: a precise
+// file:line:col position, a message, and the offending source line so
+// a caret can point at the column — the error contract the HTTP edge
+// serializes as structured 422 JSON.
+package diag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Pos is a location in assembler source. Line and Col are 1-based;
+// Col counts runes from the start of the line.
+type Pos struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+func (p Pos) String() string {
+	if p.File == "" {
+		return fmt.Sprintf("%d:%d", p.Line, p.Col)
+	}
+	return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col)
+}
+
+// Diagnostic is one positioned assembler error. Snippet is the raw
+// source line the position points into (no trailing newline).
+type Diagnostic struct {
+	Pos
+	Msg     string `json:"msg"`
+	Snippet string `json:"snippet,omitempty"`
+}
+
+// Error renders the diagnostic GCC-style:
+//
+//	file:line:col: message
+//	    the offending line
+//	    ^
+func (d Diagnostic) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s", d.Pos.String(), d.Msg)
+	if d.Snippet != "" {
+		fmt.Fprintf(&b, "\n\t%s\n\t%s^", d.Snippet, caretPad(d.Snippet, d.Col))
+	}
+	return b.String()
+}
+
+// caretPad builds the whitespace run that aligns a caret under column
+// col of line: every rune before the column becomes a space, except
+// tabs, which stay tabs so the caret tracks however the terminal
+// expands them.
+func caretPad(line string, col int) string {
+	var b strings.Builder
+	n := 1
+	for _, r := range line {
+		if n >= col {
+			break
+		}
+		if r == '\t' {
+			b.WriteByte('\t')
+		} else {
+			b.WriteByte(' ')
+		}
+		n++
+	}
+	return b.String()
+}
+
+// List is an ordered collection of diagnostics that itself implements
+// error, so a whole failed compile travels as one typed value.
+type List []Diagnostic
+
+func (l List) Error() string {
+	if len(l) == 0 {
+		return "no diagnostics"
+	}
+	msgs := make([]string, len(l))
+	for i, d := range l {
+		msgs[i] = d.Error()
+	}
+	return strings.Join(msgs, "\n")
+}
+
+// MaxDiagnostics bounds how many diagnostics a Collector keeps before
+// it truncates: enough to be useful, small enough that a pathological
+// source cannot balloon an error response.
+const MaxDiagnostics = 20
+
+// Collector accumulates diagnostics up to MaxDiagnostics, counting
+// overflow so the truncation itself is reported.
+type Collector struct {
+	list    List
+	dropped int
+}
+
+// Add records one diagnostic (dropping it silently past the cap).
+func (c *Collector) Add(d Diagnostic) {
+	if len(c.list) >= MaxDiagnostics {
+		c.dropped++
+		return
+	}
+	c.list = append(c.list, d)
+}
+
+// Addf formats and records a diagnostic at pos with snippet.
+func (c *Collector) Addf(pos Pos, snippet, format string, args ...any) {
+	c.Add(Diagnostic{Pos: pos, Msg: fmt.Sprintf(format, args...), Snippet: snippet})
+}
+
+// Empty reports whether nothing was collected.
+func (c *Collector) Empty() bool { return len(c.list) == 0 }
+
+// Count returns how many diagnostics were recorded (dropped ones
+// included), so multi-pass stages can tell whether a pass added any.
+func (c *Collector) Count() int { return len(c.list) + c.dropped }
+
+// Err returns the collected diagnostics as a List error, or nil when
+// none were recorded. Truncation is surfaced as a final summary entry.
+func (c *Collector) Err() error {
+	if len(c.list) == 0 {
+		return nil
+	}
+	l := c.list
+	if c.dropped > 0 {
+		last := l[len(l)-1]
+		l = append(l[:len(l):len(l)], Diagnostic{
+			Pos: last.Pos,
+			Msg: fmt.Sprintf("too many errors: %d more not shown", c.dropped),
+		})
+	}
+	return l
+}

@@ -1,0 +1,541 @@
+package asm
+
+// This file pins the staged pipeline (lexer → AST → codegen) against
+// the original one-pass assembler, preserved verbatim below as
+// seedAssemble. Every classic-syntax source must produce a
+// byte-identical instruction stream; the fuzzer extends the pin to
+// arbitrary inputs via the assemble → Format → reassemble round trip.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"cape/internal/isa"
+)
+
+// diffCorpus is the set of in-tree classic-syntax programs the
+// differential test replays through both assemblers, alongside every
+// .s file shipped in the repository.
+var diffCorpus = map[string]string{
+	"vvadd": vvaddSrc,
+	"all-formats": `
+start:
+    add   x1, x2, x3
+    addi  x4, x5, -12
+    li    x6, 0x1F
+    mv    x7, x8
+    lw    x9, 8(x10)
+    sw    x9, -4(x10)
+    lbu   x9, (x10)
+    beq   x1, x2, start
+    blt   x3, x4, start
+    j     end
+    nop
+    vsetvli x1, x2, e32
+    csrw.vstart x3
+    vle32.v  v1, (x4)
+    vse32.v  v2, (x5)
+    vlrw.v   v3, x6, x7
+    vadd.vx  v4, v5, x8
+    vmseq.vx v0, v6, x9
+    vmerge.vvm v7, v8, v9, v0
+    vmv.v.x  v10, x11
+    vmv.x.s  x12, v13
+    vredsum.vs v14, v15, v16
+    vcpop.m  x17, v18
+    vfirst.m x19, v20
+    vmsne.vv v21, v22, v23
+    vmsne.vx v0, v24, x20
+    vmax.vv  v25, v26, v27
+    vmin.vv  v25, v26, v27
+    vrsub.vx v28, v29, x21
+    vmv.v.v  v30, v31
+    vsll.vi  v1, v2, 5
+    vsrl.vi  v1, v2, 31
+end:
+    halt
+`,
+	"comments":       "li x1, 5 # trailing\n// full line\n; also\nhalt",
+	"label-on-line":  "top: addi x1, x1, 1\nj top",
+	"double-label":   "a: b: halt\nj a\nj b",
+	"trailing-label": "j end\nhalt\nend:",
+	"numeric-bases":  "li x1, 0x10\nli x2, 0o17\nli x3, 0b101\nli x4, -42\nhalt",
+}
+
+// repoSources returns every .s file shipped in the repository,
+// relative to this package directory.
+func repoSources(t *testing.T) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && (d.Name() == ".git" || d.Name() == "testdata") {
+			// testdata holds negative corpora (asm_errors, fuzz inputs)
+			// that are broken by design.
+			return filepath.SkipDir
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".s") {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			rel, _ := filepath.Rel(root, path)
+			out[rel] = string(b)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// usesV2Syntax reports whether a source leans on pipeline-only syntax
+// (directives), which the seed assembler never accepted.
+func usesV2Syntax(src string) bool {
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDifferentialSeedCorpus pins that every classic-syntax source in
+// the tree assembles to the exact instruction stream the seed
+// assembler produced.
+func TestDifferentialSeedCorpus(t *testing.T) {
+	corpus := map[string]string{}
+	for name, src := range diffCorpus {
+		corpus[name] = src
+	}
+	files := repoSources(t)
+	if len(files) == 0 {
+		t.Fatal("no .s files found in the repository")
+	}
+	for name, src := range files {
+		corpus[name] = src
+	}
+	for name, src := range corpus {
+		t.Run(name, func(t *testing.T) {
+			if usesV2Syntax(src) {
+				t.Skipf("uses v2-only directives; seed assembler never accepted it")
+			}
+			want, err := seedAssemble(name, src)
+			if err != nil {
+				t.Fatalf("seed assembler rejects corpus source: %v", err)
+			}
+			got, err := Assemble(name, src)
+			if err != nil {
+				t.Fatalf("pipeline rejects what the seed accepted: %v", err)
+			}
+			if !reflect.DeepEqual(got.Insts, want.Insts) {
+				t.Fatalf("instruction streams differ\nseed:\n%s\npipeline:\n%s",
+					Format(want), Format(got))
+			}
+		})
+	}
+}
+
+// FuzzAssembleRoundTrip holds two properties over arbitrary inputs:
+// (1) anything that assembles must survive assemble → Format →
+// reassemble with a byte-identical instruction stream and fixed-point
+// disassembly, and (2) whenever the seed assembler and the pipeline
+// both accept an input, they agree on every instruction.
+func FuzzAssembleRoundTrip(f *testing.F) {
+	for _, src := range diffCorpus {
+		f.Add(src)
+	}
+	f.Add(".const N, 8\nli x1, N\nhalt")
+	f.Add(".macro put r, v\nli r, v\n.endmacro\nput x1, 7\nhalt")
+	f.Add(".kernel k\n.in a, x1\n.out b, x2\n.count x3\nb = a + 1\n.endkernel\nhalt")
+	f.Fuzz(func(t *testing.T, src string) {
+		p1, err := Assemble("f", src)
+		if err != nil {
+			return
+		}
+		text := Format(p1)
+		p2, err := Assemble("f", text)
+		if err != nil {
+			t.Fatalf("Format output does not reassemble: %v\n%s", err, text)
+		}
+		if !reflect.DeepEqual(p1.Insts, p2.Insts) {
+			t.Fatalf("round trip changed the program\nfirst:\n%s\nsecond:\n%s", text, Format(p2))
+		}
+		if text2 := Format(p2); text != text2 {
+			t.Fatalf("Format is not a fixed point\nfirst:\n%s\nsecond:\n%s", text, text2)
+		}
+		if sp, err := seedAssemble("f", src); err == nil {
+			if !reflect.DeepEqual(p1.Insts, sp.Insts) {
+				t.Fatalf("pipeline and seed assembler disagree\nseed:\n%s\npipeline:\n%s",
+					Format(sp), Format(p1))
+			}
+		}
+	})
+}
+
+// seedAssemble is the original one-pass assembler, copied verbatim
+// (helpers renamed with a seed prefix) as the differential oracle. Do
+// not modify it.
+func seedAssemble(name, src string) (*isa.Program, error) {
+	type fixup struct {
+		pc    int
+		label string
+		line  int
+	}
+	var (
+		insts  []isa.Inst
+		labels = map[string]int{}
+		fixups []fixup
+	)
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := seedStripComment(raw)
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Labels (possibly followed by an instruction on the same line).
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 || strings.ContainsAny(line[:colon], " \t,") {
+				break
+			}
+			label := line[:colon]
+			if _, dup := labels[label]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", lineNo+1, label)
+			}
+			labels[label] = len(insts)
+			line = strings.TrimSpace(line[colon+1:])
+		}
+		if line == "" {
+			continue
+		}
+		inst, label, err := seedParseInst(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		if label != "" {
+			fixups = append(fixups, fixup{pc: len(insts), label: label, line: lineNo + 1})
+		}
+		insts = append(insts, inst)
+	}
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: undefined label %q", f.line, f.label)
+		}
+		insts[f.pc].Target = target
+	}
+	return &isa.Program{Name: name, Insts: insts}, nil
+}
+
+func seedStripComment(line string) string {
+	for _, marker := range []string{"#", "//", ";"} {
+		if i := strings.Index(line, marker); i >= 0 {
+			line = line[:i]
+		}
+	}
+	return line
+}
+
+func seedParseInst(line string) (isa.Inst, string, error) {
+	mnemonic, rest, _ := strings.Cut(line, " ")
+	mnemonic = strings.TrimSpace(mnemonic)
+	op, ok := isa.OpcodeByName(mnemonic)
+	if !ok {
+		return isa.Inst{}, "", fmt.Errorf("unknown mnemonic %q", mnemonic)
+	}
+	args := seedSplitArgs(rest)
+	inst := isa.Inst{Op: op}
+	info := op.Info()
+
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mnemonic, n, len(args))
+		}
+		return nil
+	}
+
+	switch info.Format {
+	case isa.FmtRRR:
+		if err := need(3); err != nil {
+			return inst, "", err
+		}
+		rd, err1 := seedXreg(args[0])
+		rs1, err2 := seedXreg(args[1])
+		rs2, err3 := seedXreg(args[2])
+		if err := seedFirstErr(err1, err2, err3); err != nil {
+			return inst, "", err
+		}
+		inst.Rd, inst.Rs1, inst.Rs2 = rd, rs1, rs2
+	case isa.FmtRRI:
+		if err := need(3); err != nil {
+			return inst, "", err
+		}
+		rd, err1 := seedXreg(args[0])
+		rs1, err2 := seedXreg(args[1])
+		imm, err3 := seedImmediate(args[2])
+		if err := seedFirstErr(err1, err2, err3); err != nil {
+			return inst, "", err
+		}
+		inst.Rd, inst.Rs1, inst.Imm = rd, rs1, imm
+	case isa.FmtRI:
+		if err := need(2); err != nil {
+			return inst, "", err
+		}
+		rd, err1 := seedXreg(args[0])
+		imm, err2 := seedImmediate(args[1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		inst.Rd, inst.Imm = rd, imm
+	case isa.FmtRR:
+		if err := need(2); err != nil {
+			return inst, "", err
+		}
+		rd, err1 := seedXreg(args[0])
+		rs1, err2 := seedXreg(args[1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		inst.Rd, inst.Rs1 = rd, rs1
+	case isa.FmtMem:
+		if err := need(2); err != nil {
+			return inst, "", err
+		}
+		rd, err1 := seedXreg(args[0])
+		imm, rs1, err2 := seedMemOperand(args[1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		inst.Rd, inst.Rs1, inst.Imm = rd, rs1, imm
+	case isa.FmtBranch:
+		if err := need(3); err != nil {
+			return inst, "", err
+		}
+		rs1, err1 := seedXreg(args[0])
+		rs2, err2 := seedXreg(args[1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		inst.Rs1, inst.Rs2 = rs1, rs2
+		return inst, args[2], nil
+	case isa.FmtJump:
+		if err := need(1); err != nil {
+			return inst, "", err
+		}
+		return inst, args[0], nil
+	case isa.FmtNone:
+		if err := need(0); err != nil {
+			return inst, "", err
+		}
+	case isa.FmtVVV:
+		if err := need(3); err != nil {
+			return inst, "", err
+		}
+		vd, err1 := seedVreg(args[0])
+		vs2, err2 := seedVreg(args[1])
+		vs1, err3 := seedVreg(args[2])
+		if err := seedFirstErr(err1, err2, err3); err != nil {
+			return inst, "", err
+		}
+		inst.Vd, inst.Vs2, inst.Vs1 = vd, vs2, vs1
+	case isa.FmtVVX:
+		if err := need(3); err != nil {
+			return inst, "", err
+		}
+		vd, err1 := seedVreg(args[0])
+		vs2, err2 := seedVreg(args[1])
+		rs1, err3 := seedXreg(args[2])
+		if err := seedFirstErr(err1, err2, err3); err != nil {
+			return inst, "", err
+		}
+		inst.Vd, inst.Vs2, inst.Rs1 = vd, vs2, rs1
+	case isa.FmtVX:
+		if err := need(2); err != nil {
+			return inst, "", err
+		}
+		vd, err1 := seedVreg(args[0])
+		rs1, err2 := seedXreg(args[1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		inst.Vd, inst.Rs1 = vd, rs1
+	case isa.FmtXV:
+		if err := need(2); err != nil {
+			return inst, "", err
+		}
+		rd, err1 := seedXreg(args[0])
+		vs2, err2 := seedVreg(args[1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		inst.Rd, inst.Vs2 = rd, vs2
+	case isa.FmtVMem:
+		if err := need(2); err != nil {
+			return inst, "", err
+		}
+		vd, err1 := seedVreg(args[0])
+		addr := strings.TrimSpace(args[1])
+		if !strings.HasPrefix(addr, "(") || !strings.HasSuffix(addr, ")") {
+			return inst, "", fmt.Errorf("vector memory operand must be (xN), got %q", addr)
+		}
+		rs1, err2 := seedXreg(addr[1 : len(addr)-1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		inst.Vd, inst.Rs1 = vd, rs1
+	case isa.FmtVLRW:
+		if err := need(3); err != nil {
+			return inst, "", err
+		}
+		vd, err1 := seedVreg(args[0])
+		rs1, err2 := seedXreg(args[1])
+		rs2, err3 := seedXreg(args[2])
+		if err := seedFirstErr(err1, err2, err3); err != nil {
+			return inst, "", err
+		}
+		inst.Vd, inst.Rs1, inst.Rs2 = vd, rs1, rs2
+	case isa.FmtVMerge:
+		if err := need(4); err != nil {
+			return inst, "", err
+		}
+		vd, err1 := seedVreg(args[0])
+		vs2, err2 := seedVreg(args[1])
+		vs1, err3 := seedVreg(args[2])
+		if err := seedFirstErr(err1, err2, err3); err != nil {
+			return inst, "", err
+		}
+		if m, err := seedVreg(args[3]); err != nil || m != 0 {
+			return inst, "", fmt.Errorf("vmerge mask must be v0")
+		}
+		inst.Vd, inst.Vs2, inst.Vs1 = vd, vs2, vs1
+	case isa.FmtVsetvli:
+		if err := need(3); err != nil {
+			return inst, "", err
+		}
+		rd, err1 := seedXreg(args[0])
+		rs1, err2 := seedXreg(args[1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		switch args[2] {
+		case "e8":
+			inst.Imm = 8
+		case "e16":
+			inst.Imm = 16
+		case "e32":
+			inst.Imm = 32
+		default:
+			return inst, "", fmt.Errorf("element width must be e8, e16 or e32, got %q", args[2])
+		}
+		inst.Rd, inst.Rs1 = rd, rs1
+	case isa.FmtR:
+		if err := need(1); err != nil {
+			return inst, "", err
+		}
+		rs1, err := seedXreg(args[0])
+		if err != nil {
+			return inst, "", err
+		}
+		inst.Rs1 = rs1
+	case isa.FmtVVCopy:
+		if err := need(2); err != nil {
+			return inst, "", err
+		}
+		vd, err1 := seedVreg(args[0])
+		vs2, err2 := seedVreg(args[1])
+		if err := seedFirstErr(err1, err2); err != nil {
+			return inst, "", err
+		}
+		inst.Vd, inst.Vs2 = vd, vs2
+	case isa.FmtVVI:
+		if err := need(3); err != nil {
+			return inst, "", err
+		}
+		vd, err1 := seedVreg(args[0])
+		vs2, err2 := seedVreg(args[1])
+		imm, err3 := seedImmediate(args[2])
+		if err := seedFirstErr(err1, err2, err3); err != nil {
+			return inst, "", err
+		}
+		inst.Vd, inst.Vs2, inst.Imm = vd, vs2, imm
+	default:
+		return inst, "", fmt.Errorf("unhandled format for %s", mnemonic)
+	}
+	return inst, "", nil
+}
+
+func seedSplitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func seedXreg(s string) (uint8, error) {
+	return seedReg(s, "x", isa.NumXRegs)
+}
+
+func seedVreg(s string) (uint8, error) {
+	return seedReg(s, "v", isa.NumVRegs)
+}
+
+func seedReg(s, prefix string, limit int) (uint8, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, prefix) {
+		return 0, fmt.Errorf("expected %s-register, got %q", prefix, s)
+	}
+	n, err := strconv.Atoi(s[len(prefix):])
+	if err != nil || n < 0 || n >= limit {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func seedImmediate(s string) (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	return v, nil
+}
+
+func seedMemOperand(s string) (int64, uint8, error) {
+	s = strings.TrimSpace(s)
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("expected imm(xN), got %q", s)
+	}
+	var imm int64
+	if open > 0 {
+		var err error
+		if imm, err = seedImmediate(s[:open]); err != nil {
+			return 0, 0, err
+		}
+	}
+	r, err := seedXreg(s[open+1 : len(s)-1])
+	return imm, r, err
+}
+
+func seedFirstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

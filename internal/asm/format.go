@@ -1,0 +1,40 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"cape/internal/isa"
+)
+
+// Format disassembles a program back to parseable text, synthesizing
+// labels for branch targets.
+func Format(p *isa.Program) string {
+	targets := map[int]string{}
+	for i := range p.Insts {
+		f := p.Insts[i].Op.Info().Format
+		if f == isa.FmtBranch || f == isa.FmtJump {
+			t := p.Insts[i].Target
+			if _, ok := targets[t]; !ok {
+				targets[t] = fmt.Sprintf("L%d", len(targets))
+			}
+		}
+	}
+	var b strings.Builder
+	for pc := range p.Insts {
+		if label, ok := targets[pc]; ok {
+			fmt.Fprintf(&b, "%s:\n", label)
+		}
+		text := p.Insts[pc].String()
+		f := p.Insts[pc].Op.Info().Format
+		if f == isa.FmtBranch || f == isa.FmtJump {
+			text = strings.Replace(text, fmt.Sprintf("@%d", p.Insts[pc].Target),
+				targets[p.Insts[pc].Target], 1)
+		}
+		fmt.Fprintf(&b, "    %s\n", text)
+	}
+	if label, ok := targets[len(p.Insts)]; ok {
+		fmt.Fprintf(&b, "%s:\n", label)
+	}
+	return b.String()
+}

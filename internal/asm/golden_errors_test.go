@@ -1,0 +1,65 @@
+package asm
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the asm_errors golden .want files")
+
+// TestGoldenErrors pins the exact rendered diagnostics — positions,
+// messages, snippets, carets — for a corpus of malformed sources under
+// testdata/asm_errors. Each NAME.s has a NAME.want holding the full
+// error text; regenerate with:
+//
+//	go test ./internal/asm -run TestGoldenErrors -update
+func TestGoldenErrors(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "asm_errors", "*.s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no error corpus under testdata/asm_errors")
+	}
+	for _, file := range files {
+		name := filepath.Base(file)
+		t.Run(strings.TrimSuffix(name, ".s"), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, aerr := Assemble(name, string(src))
+			if aerr == nil {
+				t.Fatalf("%s assembled cleanly; it belongs in the corpus only if it errors", name)
+			}
+			var dl DiagnosticList
+			if !errors.As(aerr, &dl) {
+				t.Fatalf("error is not a typed DiagnosticList: %T %v", aerr, aerr)
+			}
+			for i, d := range dl {
+				if d.Line <= 0 || d.Col <= 0 || d.File != name {
+					t.Errorf("diagnostic %d lacks a full position: %+v", i, d)
+				}
+			}
+			got := aerr.Error() + "\n"
+			wantFile := strings.TrimSuffix(file, ".s") + ".want"
+			if *updateGolden {
+				if err := os.WriteFile(wantFile, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(wantFile)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics changed for %s\n--- want ---\n%s--- got ---\n%s", name, want, got)
+			}
+		})
+	}
+}

@@ -1,0 +1,644 @@
+package asm
+
+import (
+	"fmt"
+
+	"cape/internal/asm/ast"
+	"cape/internal/asm/diag"
+	"cape/internal/isa"
+)
+
+// Kernel DSL lowering: a .kernel block becomes a chunked VLA loop over
+// the RVV subset, inlined at the block's position in the program.
+//
+// Register contract (diagnosed, not silent):
+//   - user registers (.in/.out/.count/.reduce) must be x1..x23
+//   - x24..x27 hold the kernel's constant pool (≤4 distinct values)
+//   - x28 holds the .tile bound, x29 the active vl, x30 the byte step,
+//     x31 is scratch
+//   - vector registers are assigned v1.. to inputs in declaration
+//     order, then expression temporaries; v0 is never touched
+//
+// Lowering runs twice: a dry pass that validates the block and
+// discovers the constant pool (so pool loads can sit in the preamble),
+// then an emit pass that produces identical allocation decisions.
+
+const (
+	kPoolBase  = 24 // x24..x27: constant pool
+	kPoolSize  = 4
+	kTileReg   = 28
+	kVLReg     = 29
+	kStepReg   = 30
+	kScratch   = 31
+	kUserRegHi = 23 // user registers must be x1..x23
+)
+
+type kval struct {
+	isConst bool
+	c       int64
+	v       uint8
+	temp    bool
+}
+
+type kgen struct {
+	g   *gen
+	k   *ast.Kernel
+	seq int
+	dry bool
+
+	inputs   map[string]uint8 // DSL name -> pinned vreg
+	inOrder  []uint8          // input vregs in declaration order
+	outBase  map[string]uint8 // out name -> base xreg
+	accs     map[string]uint8 // reduce name -> accumulator xreg
+	countReg uint8
+	bases    []uint8 // unique in/out base regs, declaration order
+
+	pool      map[int64]uint8
+	poolOrder []int64
+
+	vz        uint8 // zero vector for vredsum (0 = unused)
+	firstTemp uint8
+	nextV     uint8
+	freeV     []uint8
+	assigned  map[string]bool // outs assigned this pass
+}
+
+func (g *gen) kernel(k *ast.Kernel) {
+	kg := &kgen{
+		g: g, k: k, seq: g.kernels,
+		inputs:  map[string]uint8{},
+		outBase: map[string]uint8{},
+		accs:    map[string]uint8{},
+		pool:    map[int64]uint8{},
+	}
+	g.kernels++
+	if !kg.setup() {
+		return
+	}
+	before := g.col.Count()
+	kg.dry = true
+	kg.resetAlloc()
+	kg.run()
+	if g.col.Count() != before {
+		return
+	}
+	kg.dry = false
+	kg.resetAlloc()
+	kg.run()
+}
+
+// setup validates params and fixes the register plan.
+func (kg *kgen) setup() bool {
+	g, k := kg.g, kg.k
+	ok := true
+	names := map[string]diag.Pos{}
+	userReg := func(p ast.Param, what string) (uint8, bool) {
+		r, rok := g.xregName(p.Reg, p.Pos)
+		if !rok {
+			return 0, false
+		}
+		if r == 0 || r > kUserRegHi {
+			g.errAt(p.Pos, "%s register %s is reserved by kernel lowering (use x1..x%d)", what, p.Reg, kUserRegHi)
+			return 0, false
+		}
+		return r, true
+	}
+	claimName := func(p ast.Param) bool {
+		if p.Name == "" {
+			return true
+		}
+		if prev, dup := names[p.Name]; dup {
+			g.errAt(p.Pos, "duplicate kernel name %q (first used at %s)", p.Name, prev)
+			return false
+		}
+		names[p.Name] = p.Pos
+		return true
+	}
+
+	nextV := uint8(1)
+	for _, p := range k.Ins {
+		r, rok := userReg(p, ".in")
+		if !rok || !claimName(p) {
+			ok = false
+			continue
+		}
+		if int(nextV) >= isa.NumVRegs {
+			g.errAt(p.Pos, "too many kernel inputs")
+			ok = false
+			continue
+		}
+		kg.inputs[p.Name] = nextV
+		kg.inOrder = append(kg.inOrder, nextV)
+		nextV++
+		kg.addBase(r)
+	}
+	for _, p := range k.Outs {
+		r, rok := userReg(p, ".out")
+		if !rok || !claimName(p) {
+			ok = false
+			continue
+		}
+		kg.outBase[p.Name] = r
+		kg.addBase(r)
+	}
+	for _, p := range k.Reduces {
+		r, rok := userReg(p, ".reduce")
+		if !rok || !claimName(p) {
+			ok = false
+			continue
+		}
+		kg.accs[p.Name] = r
+	}
+	if k.Count != nil {
+		r, rok := userReg(*k.Count, ".count")
+		if !rok {
+			ok = false
+		} else {
+			kg.countReg = r
+		}
+	}
+	if !ok {
+		return false
+	}
+
+	// The count register is decremented and the accumulators are
+	// rewritten every strip: they must not alias pointers or each
+	// other.
+	for _, b := range kg.bases {
+		if b == kg.countReg {
+			g.errAt(k.Count.Pos, ".count register x%d also holds a base pointer", b)
+			ok = false
+		}
+	}
+	seen := map[uint8]diag.Pos{}
+	for _, p := range k.Reduces {
+		r := kg.accs[p.Name]
+		if r == kg.countReg {
+			g.errAt(p.Pos, ".reduce register %s aliases the .count register", p.Reg)
+			ok = false
+		}
+		for _, b := range kg.bases {
+			if b == r {
+				g.errAt(p.Pos, ".reduce register %s also holds a base pointer", p.Reg)
+				ok = false
+			}
+		}
+		if prev, dup := seen[r]; dup {
+			g.errAt(p.Pos, ".reduce register %s already used at %s", p.Reg, prev)
+			ok = false
+		}
+		seen[r] = p.Pos
+	}
+
+	// Reserve a zero vector only when a reduction needs one.
+	for _, s := range k.Stmts {
+		if s.Reduce {
+			kg.vz = nextV
+			nextV++
+			break
+		}
+	}
+	kg.firstTemp = nextV
+	return ok
+}
+
+func (kg *kgen) addBase(r uint8) {
+	for _, b := range kg.bases {
+		if b == r {
+			return
+		}
+	}
+	kg.bases = append(kg.bases, r)
+}
+
+func (kg *kgen) resetAlloc() {
+	kg.nextV = kg.firstTemp
+	kg.freeV = nil
+	kg.assigned = map[string]bool{}
+}
+
+// --- emit plumbing (no-ops during the dry pass) ---
+
+func (kg *kgen) emit(i isa.Inst) {
+	if !kg.dry {
+		kg.g.b.Emit(i)
+	}
+}
+
+func (kg *kgen) emitBranch(i isa.Inst, label string) {
+	if !kg.dry {
+		kg.g.b.EmitBranch(i, label)
+	}
+}
+
+func (kg *kgen) label(name string) {
+	if !kg.dry {
+		kg.g.b.Label(name)
+	}
+}
+
+// lbl builds an internal label name; "·" cannot be lexed, so user
+// labels can never collide with these.
+func (kg *kgen) lbl(suffix string) string {
+	return fmt.Sprintf("%s·%d·%s", kg.k.Name, kg.seq, suffix)
+}
+
+// poolReg returns a scalar register holding constant c: x0 for zero,
+// otherwise a pool slot (allocated during the dry pass).
+func (kg *kgen) poolReg(c int64, pos diag.Pos) uint8 {
+	if c == 0 {
+		return 0
+	}
+	if r, ok := kg.pool[c]; ok {
+		return r
+	}
+	if !kg.dry {
+		// The dry pass saw every constant; missing here is a bug.
+		kg.g.errAt(pos, "internal: constant %d missing from pool", c)
+		return kPoolBase
+	}
+	if len(kg.pool) >= kPoolSize {
+		kg.g.errAt(pos, "kernel %q uses more than %d distinct constants", kg.k.Name, kPoolSize)
+		return kPoolBase
+	}
+	r := uint8(kPoolBase + len(kg.pool))
+	kg.pool[c] = r
+	kg.poolOrder = append(kg.poolOrder, c)
+	return r
+}
+
+func (kg *kgen) allocV(pos diag.Pos) (uint8, bool) {
+	if n := len(kg.freeV); n > 0 {
+		r := kg.freeV[n-1]
+		kg.freeV = kg.freeV[:n-1]
+		return r, true
+	}
+	if int(kg.nextV) >= isa.NumVRegs {
+		kg.g.errAt(pos, "kernel expression too complex: out of vector registers")
+		return 0, false
+	}
+	r := kg.nextV
+	kg.nextV++
+	return r, true
+}
+
+func (kg *kgen) release(v kval) {
+	if v.temp {
+		kg.freeV = append(kg.freeV, v.v)
+	}
+}
+
+// vecOf materializes v into a vector register, splatting constants.
+func (kg *kgen) vecOf(v kval, pos diag.Pos) (kval, bool) {
+	if !v.isConst {
+		return v, true
+	}
+	d, ok := kg.allocV(pos)
+	if !ok {
+		return kval{}, false
+	}
+	kg.emit(isa.Inst{Op: isa.OpVMV_VX, Vd: d, Rs1: kg.poolReg(v.c, pos)})
+	return kval{v: d, temp: true}, true
+}
+
+// --- the loop skeleton ---
+
+var vleBySEW = map[int]isa.Opcode{8: isa.OpVLE8, 16: isa.OpVLE16, 32: isa.OpVLE32}
+var vseBySEW = map[int]isa.Opcode{8: isa.OpVSE8, 16: isa.OpVSE16, 32: isa.OpVSE32}
+var shiftBySEW = map[int]int64{8: 0, 16: 1, 32: 2}
+
+func (kg *kgen) run() {
+	k := kg.k
+
+	// Preamble: constant pool, zeroed accumulators, tile bound.
+	for _, c := range kg.poolOrder {
+		kg.emit(isa.Inst{Op: isa.OpLI, Rd: kg.pool[c], Imm: c})
+	}
+	for _, p := range k.Reduces {
+		kg.emit(isa.Inst{Op: isa.OpLI, Rd: kg.accs[p.Name], Imm: 0})
+	}
+	if k.Tile > 0 {
+		kg.emit(isa.Inst{Op: isa.OpLI, Rd: kTileReg, Imm: k.Tile})
+	}
+
+	kg.emitBranch(isa.Inst{Op: isa.OpBEQ, Rs1: kg.countReg, Rs2: 0}, kg.lbl("done"))
+	kg.label(kg.lbl("loop"))
+
+	// vl = min(count, tile) when tiled, else min(count, VLMAX).
+	if k.Tile > 0 {
+		kg.emitBranch(isa.Inst{Op: isa.OpBLT, Rs1: kg.countReg, Rs2: kTileReg}, kg.lbl("small"))
+		kg.emit(isa.Inst{Op: isa.OpMV, Rd: kScratch, Rs1: kTileReg})
+		kg.emitBranch(isa.Inst{Op: isa.OpJ}, kg.lbl("setvl"))
+		kg.label(kg.lbl("small"))
+		kg.emit(isa.Inst{Op: isa.OpMV, Rd: kScratch, Rs1: kg.countReg})
+		kg.label(kg.lbl("setvl"))
+		kg.emit(isa.Inst{Op: isa.OpVSETVLI, Rd: kVLReg, Rs1: kScratch, Imm: int64(k.SEW)})
+	} else {
+		kg.emit(isa.Inst{Op: isa.OpVSETVLI, Rd: kVLReg, Rs1: kg.countReg, Imm: int64(k.SEW)})
+	}
+
+	// Load each input strip.
+	for i, p := range k.Ins {
+		kg.emit(isa.Inst{Op: vleBySEW[k.SEW], Vd: kg.inOrder[i], Rs1: kg.outOrInBase(p)})
+	}
+	if kg.vz != 0 {
+		kg.emit(isa.Inst{Op: isa.OpVMV_VX, Vd: kg.vz, Rs1: 0})
+	}
+
+	for _, s := range k.Stmts {
+		kg.stmt(s)
+	}
+	if kg.dry {
+		for _, p := range k.Outs {
+			if !kg.assigned[p.Name] {
+				kg.g.errAt(p.Pos, "output %q is never assigned", p.Name)
+			}
+		}
+	}
+
+	// Advance pointers and count.
+	kg.emit(isa.Inst{Op: isa.OpSLLI, Rd: kStepReg, Rs1: kVLReg, Imm: shiftBySEW[k.SEW]})
+	for _, b := range kg.bases {
+		kg.emit(isa.Inst{Op: isa.OpADD, Rd: b, Rs1: b, Rs2: kStepReg})
+	}
+	kg.emit(isa.Inst{Op: isa.OpSUB, Rd: kg.countReg, Rs1: kg.countReg, Rs2: kVLReg})
+	kg.emitBranch(isa.Inst{Op: isa.OpBNE, Rs1: kg.countReg, Rs2: 0}, kg.lbl("loop"))
+	kg.label(kg.lbl("done"))
+}
+
+// outOrInBase maps an input param back to its base register (inputs
+// were validated in setup, so the parse cannot fail here).
+func (kg *kgen) outOrInBase(p ast.Param) uint8 {
+	r, _ := kg.g.xregName(p.Reg, p.Pos)
+	return r
+}
+
+func (kg *kgen) stmt(s ast.KernelStmt) {
+	if s.Reduce {
+		acc, ok := kg.accs[s.Target]
+		if !ok {
+			kg.g.errAt(s.TargetPos, "target of %q must be a .reduce name, %q is not", "+=", s.Target)
+			return
+		}
+		v, ok := kg.expr(s.Expr)
+		if !ok {
+			return
+		}
+		ev, ok := kg.vecOf(v, s.TargetPos)
+		if !ok {
+			return
+		}
+		tmp, ok := kg.allocV(s.TargetPos)
+		if !ok {
+			return
+		}
+		// tmp[0] = vz[0] + Σ ev[0..vl) ; acc += tmp[0]
+		kg.emit(isa.Inst{Op: isa.OpVREDSUM_VS, Vd: tmp, Vs2: ev.v, Vs1: kg.vz})
+		kg.emit(isa.Inst{Op: isa.OpVMV_XS, Rd: kScratch, Vs2: tmp})
+		kg.emit(isa.Inst{Op: isa.OpADD, Rd: acc, Rs1: acc, Rs2: kScratch})
+		kg.release(ev)
+		kg.release(kval{v: tmp, temp: true})
+		return
+	}
+
+	base, ok := kg.outBase[s.Target]
+	if !ok {
+		kg.g.errAt(s.TargetPos, "target of %q must be a .out name, %q is not", "=", s.Target)
+		return
+	}
+	if kg.assigned[s.Target] {
+		kg.g.errAt(s.TargetPos, "output %q assigned more than once", s.Target)
+		return
+	}
+	kg.assigned[s.Target] = true
+	v, ok := kg.expr(s.Expr)
+	if !ok {
+		return
+	}
+	ev, ok := kg.vecOf(v, s.TargetPos)
+	if !ok {
+		return
+	}
+	kg.emit(isa.Inst{Op: vseBySEW[kg.k.SEW], Vd: ev.v, Rs1: base})
+	kg.release(ev)
+}
+
+// --- expression lowering ---
+
+func (kg *kgen) expr(e ast.Expr) (kval, bool) {
+	switch e := e.(type) {
+	case *ast.NumExpr:
+		return kval{isConst: true, c: e.Val}, true
+	case *ast.RefExpr:
+		if v, ok := kg.inputs[e.Name]; ok {
+			return kval{v: v}, true
+		}
+		if c, ok := kg.g.f.Consts[e.Name]; ok {
+			return kval{isConst: true, c: c.Val}, true
+		}
+		if _, ok := kg.outBase[e.Name]; ok {
+			kg.g.errAt(e.At, "cannot read output %q in an expression", e.Name)
+			return kval{}, false
+		}
+		if _, ok := kg.accs[e.Name]; ok {
+			kg.g.errAt(e.At, "cannot read reduction accumulator %q in an expression", e.Name)
+			return kval{}, false
+		}
+		kg.g.errAt(e.At, "unknown name %q in kernel expression", e.Name)
+		return kval{}, false
+	case *ast.UnExpr:
+		x, ok := kg.expr(e.X)
+		if !ok {
+			return kval{}, false
+		}
+		if x.isConst {
+			return kval{isConst: true, c: -x.c}, true
+		}
+		// -v lowers to vrsub.vx d, v, x0 (0 - v).
+		kg.release(x)
+		d, ok := kg.allocV(e.At)
+		if !ok {
+			return kval{}, false
+		}
+		kg.emit(isa.Inst{Op: isa.OpVRSUB_VX, Vd: d, Vs2: x.v, Rs1: 0})
+		return kval{v: d, temp: true}, true
+	case *ast.BinExpr:
+		l, ok := kg.expr(e.X)
+		if !ok {
+			return kval{}, false
+		}
+		r, ok := kg.expr(e.Y)
+		if !ok {
+			return kval{}, false
+		}
+		return kg.binop(e, l, r)
+	case *ast.CallExpr:
+		return kg.call(e)
+	}
+	kg.g.errAt(e.Position(), "unsupported kernel expression")
+	return kval{}, false
+}
+
+func (kg *kgen) binop(e *ast.BinExpr, l, r kval) (kval, bool) {
+	if l.isConst && r.isConst {
+		return kg.foldBin(e, l.c, r.c)
+	}
+	switch e.Op {
+	case "+":
+		if r.isConst {
+			return kg.vx(isa.OpVADD_VX, l, r.c, e.At)
+		}
+		if l.isConst {
+			return kg.vx(isa.OpVADD_VX, r, l.c, e.At)
+		}
+		return kg.vv(isa.OpVADD_VV, l, r, e.At)
+	case "-":
+		if r.isConst {
+			return kg.vx(isa.OpVSUB_VX, l, r.c, e.At)
+		}
+		if l.isConst {
+			// const - v lowers to vrsub.vx.
+			return kg.vx(isa.OpVRSUB_VX, r, l.c, e.At)
+		}
+		return kg.vv(isa.OpVSUB_VV, l, r, e.At)
+	case "*":
+		return kg.vvSplat(isa.OpVMUL_VV, l, r, e.At)
+	case "&":
+		return kg.vvSplat(isa.OpVAND_VV, l, r, e.At)
+	case "|":
+		return kg.vvSplat(isa.OpVOR_VV, l, r, e.At)
+	case "^":
+		return kg.vvSplat(isa.OpVXOR_VV, l, r, e.At)
+	case "<<", ">>":
+		if !r.isConst {
+			kg.g.errAt(e.At, "shift amount must be a constant expression")
+			return kval{}, false
+		}
+		if r.c < 0 || r.c > 31 {
+			kg.g.errAt(e.At, "shift amount %d out of range (0..31)", r.c)
+			return kval{}, false
+		}
+		lv, ok := kg.vecOf(l, e.At)
+		if !ok {
+			return kval{}, false
+		}
+		kg.release(lv)
+		d, ok := kg.allocV(e.At)
+		if !ok {
+			return kval{}, false
+		}
+		op := isa.OpVSLL_VI
+		if e.Op == ">>" {
+			op = isa.OpVSRL_VI
+		}
+		kg.emit(isa.Inst{Op: op, Vd: d, Vs2: lv.v, Imm: r.c})
+		return kval{v: d, temp: true}, true
+	case "/":
+		kg.g.errAt(e.At, "division is only supported in constant expressions")
+		return kval{}, false
+	}
+	kg.g.errAt(e.At, "unsupported operator %q in kernel expression", e.Op)
+	return kval{}, false
+}
+
+func (kg *kgen) foldBin(e *ast.BinExpr, x, y int64) (kval, bool) {
+	switch e.Op {
+	case "+":
+		return kval{isConst: true, c: x + y}, true
+	case "-":
+		return kval{isConst: true, c: x - y}, true
+	case "*":
+		return kval{isConst: true, c: x * y}, true
+	case "/":
+		if y == 0 {
+			kg.g.errAt(e.At, "division by zero in constant expression")
+			return kval{}, false
+		}
+		return kval{isConst: true, c: x / y}, true
+	case "&":
+		return kval{isConst: true, c: x & y}, true
+	case "|":
+		return kval{isConst: true, c: x | y}, true
+	case "^":
+		return kval{isConst: true, c: x ^ y}, true
+	case "<<", ">>":
+		if y < 0 || y > 63 {
+			kg.g.errAt(e.At, "shift amount %d out of range in constant expression", y)
+			return kval{}, false
+		}
+		if e.Op == "<<" {
+			return kval{isConst: true, c: x << uint(y)}, true
+		}
+		return kval{isConst: true, c: x >> uint(y)}, true
+	}
+	kg.g.errAt(e.At, "unsupported operator %q in kernel expression", e.Op)
+	return kval{}, false
+}
+
+// vv emits op d, l, r with both operands already in vector registers.
+func (kg *kgen) vv(op isa.Opcode, l, r kval, pos diag.Pos) (kval, bool) {
+	kg.release(l)
+	kg.release(r)
+	d, ok := kg.allocV(pos)
+	if !ok {
+		return kval{}, false
+	}
+	kg.emit(isa.Inst{Op: op, Vd: d, Vs2: l.v, Vs1: r.v})
+	return kval{v: d, temp: true}, true
+}
+
+// vvSplat is vv for ops with no .vx form: constants splat first.
+func (kg *kgen) vvSplat(op isa.Opcode, l, r kval, pos diag.Pos) (kval, bool) {
+	lv, ok := kg.vecOf(l, pos)
+	if !ok {
+		return kval{}, false
+	}
+	rv, ok := kg.vecOf(r, pos)
+	if !ok {
+		return kval{}, false
+	}
+	return kg.vv(op, lv, rv, pos)
+}
+
+// vx emits op d, vec, x(scalar const) for ops with a .vx form.
+func (kg *kgen) vx(op isa.Opcode, vec kval, c int64, pos diag.Pos) (kval, bool) {
+	kg.release(vec)
+	d, ok := kg.allocV(pos)
+	if !ok {
+		return kval{}, false
+	}
+	kg.emit(isa.Inst{Op: op, Vd: d, Vs2: vec.v, Rs1: kg.poolReg(c, pos)})
+	return kval{v: d, temp: true}, true
+}
+
+func (kg *kgen) call(e *ast.CallExpr) (kval, bool) {
+	var op isa.Opcode
+	switch e.Fn {
+	case "min":
+		op = isa.OpVMIN_VV
+	case "max":
+		op = isa.OpVMAX_VV
+	default:
+		kg.g.errAt(e.At, "unknown function %q (kernels support min and max)", e.Fn)
+		return kval{}, false
+	}
+	if len(e.Args) != 2 {
+		kg.g.errAt(e.At, "%s expects 2 arguments, got %d", e.Fn, len(e.Args))
+		return kval{}, false
+	}
+	l, ok := kg.expr(e.Args[0])
+	if !ok {
+		return kval{}, false
+	}
+	r, ok := kg.expr(e.Args[1])
+	if !ok {
+		return kval{}, false
+	}
+	if l.isConst && r.isConst {
+		if (e.Fn == "min") == (l.c < r.c) {
+			return l, true
+		}
+		return r, true
+	}
+	return kg.vvSplat(op, l, r, e.At)
+}

@@ -1,0 +1,386 @@
+// Package lexer tokenizes CAPE assembler source with a DFA of state
+// functions (the lexer-as-state-machine idiom: each state is a
+// function that consumes input and returns the next state). Every
+// token carries a precise file:line:col position, and the lexer keeps
+// the split source lines so diagnostics can quote the offending line.
+//
+// The token set covers both the classic assembly surface (mnemonics,
+// registers, immediates, labels, memory operands) and the v2 surface:
+// dot-directives (.const, .macro, .include, .kernel), string literals
+// for include paths, and the expression operators of the kernel DSL.
+package lexer
+
+import (
+	"strings"
+	"unicode/utf8"
+
+	"cape/internal/asm/diag"
+)
+
+// Kind classifies a token.
+type Kind uint8
+
+const (
+	EOF   Kind = iota
+	EOL        // end of a statement (newline)
+	Ident      // mnemonic, register, label, symbol ("vmv.x.s", "x10", "e32")
+	Directive
+	Number // integer literal, validated downstream by strconv (base 0)
+	String // quoted include path
+	Comma
+	Colon
+	LParen
+	RParen
+	Plus
+	Minus
+	Star
+	Slash
+	Amp
+	Pipe
+	Caret
+	Shl // <<
+	Shr // >>
+	Assign
+	PlusAssign // +=
+	Illegal    // lexing error; Text holds the message
+)
+
+var kindNames = [...]string{
+	EOF: "end of input", EOL: "end of line", Ident: "identifier",
+	Directive: "directive", Number: "number", String: "string",
+	Comma: `","`, Colon: `":"`, LParen: `"("`, RParen: `")"`,
+	Plus: `"+"`, Minus: `"-"`, Star: `"*"`, Slash: `"/"`,
+	Amp: `"&"`, Pipe: `"|"`, Caret: `"^"`, Shl: `"<<"`, Shr: `">>"`,
+	Assign: `"="`, PlusAssign: `"+="`, Illegal: "invalid token",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "token"
+}
+
+// Token is one lexeme with its source position.
+type Token struct {
+	Kind Kind
+	Text string
+	Pos  diag.Pos
+}
+
+// Lexer scans one source buffer. It is driven either token-by-token
+// with Next or drained with Tokens.
+type Lexer struct {
+	name  string
+	input string
+	start int // start offset of the pending token
+	pos   int // current scan offset
+	width int // byte width of the rune last returned by next (0 at eof)
+	queue []Token
+	lines []string // source split by line, for diagnostics
+	// lineStarts[i] is the byte offset where 1-based line i+1 begins.
+	lineStarts []int
+	done       bool
+}
+
+// New builds a lexer over input named name (the File of every Pos).
+func New(name, input string) *Lexer {
+	l := &Lexer{name: name, input: input}
+	l.lineStarts = append(l.lineStarts, 0)
+	for i := 0; i < len(input); i++ {
+		if input[i] == '\n' {
+			l.lineStarts = append(l.lineStarts, i+1)
+		}
+	}
+	l.lines = strings.Split(strings.ReplaceAll(input, "\r\n", "\n"), "\n")
+	return l
+}
+
+// Line returns the 1-based source line n (no newline), or "".
+func (l *Lexer) Line(n int) string {
+	if n < 1 || n > len(l.lines) {
+		return ""
+	}
+	return strings.TrimSuffix(l.lines[n-1], "\r")
+}
+
+// Lines returns a copy of the split source lines.
+func (l *Lexer) Lines() []string {
+	out := make([]string, len(l.lines))
+	for i := range l.lines {
+		out[i] = strings.TrimSuffix(l.lines[i], "\r")
+	}
+	return out
+}
+
+// Name returns the buffer name (the File of emitted positions).
+func (l *Lexer) Name() string { return l.name }
+
+// posAt converts a byte offset to a file:line:col position.
+func (l *Lexer) posAt(off int) diag.Pos {
+	// Binary search the line table.
+	lo, hi := 0, len(l.lineStarts)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if l.lineStarts[mid] <= off {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	col := utf8.RuneCountInString(l.input[l.lineStarts[lo]:off]) + 1
+	return diag.Pos{File: l.name, Line: lo + 1, Col: col}
+}
+
+const eof = rune(-1)
+
+func (l *Lexer) next() rune {
+	if l.pos >= len(l.input) {
+		l.width = 0
+		return eof
+	}
+	// DecodeRuneInString returns RuneError with width 1 on invalid
+	// UTF-8, so backup must rewind by the consumed width, never by
+	// utf8.RuneLen of the returned rune (3 for RuneError).
+	r, w := utf8.DecodeRuneInString(l.input[l.pos:])
+	l.pos += w
+	l.width = w
+	return r
+}
+
+// backup undoes the most recent next (only valid immediately after
+// it — the width of earlier runes is gone).
+func (l *Lexer) backup(rune) {
+	l.pos -= l.width
+	l.width = 0
+}
+
+func (l *Lexer) peek() rune {
+	r := l.next()
+	l.backup(r)
+	return r
+}
+
+func (l *Lexer) emit(k Kind) {
+	l.queue = append(l.queue, Token{Kind: k, Text: l.input[l.start:l.pos], Pos: l.posAt(l.start)})
+	l.start = l.pos
+}
+
+func (l *Lexer) emitText(k Kind, text string) {
+	l.queue = append(l.queue, Token{Kind: k, Text: text, Pos: l.posAt(l.start)})
+	l.start = l.pos
+}
+
+// stateFn is one DFA state; it consumes input, emits tokens, and
+// returns the next state (nil stops the machine).
+type stateFn func(*Lexer) stateFn
+
+// Next returns the next token; after the end of input it returns EOF
+// tokens forever.
+func (l *Lexer) Next() Token {
+	for len(l.queue) == 0 && !l.done {
+		state := lexLine
+		for state != nil && len(l.queue) == 0 {
+			state = state(l)
+		}
+		if len(l.queue) == 0 && l.pos >= len(l.input) {
+			l.done = true
+		}
+	}
+	if len(l.queue) == 0 {
+		return Token{Kind: EOF, Pos: l.posAt(len(l.input))}
+	}
+	t := l.queue[0]
+	l.queue = l.queue[1:]
+	if t.Kind == EOF {
+		l.done = true
+	}
+	return t
+}
+
+// Tokens drains the whole input, always ending with one EOF token.
+func (l *Lexer) Tokens() []Token {
+	var out []Token
+	for {
+		t := l.Next()
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out
+		}
+	}
+}
+
+// lexLine is the start state: skip horizontal space, then dispatch on
+// the first rune of the token.
+func lexLine(l *Lexer) stateFn {
+	for {
+		r := l.next()
+		switch {
+		case r == eof:
+			l.start = l.pos
+			l.emit(EOF)
+			return nil
+		case r == ' ' || r == '\t' || r == '\r':
+			l.start = l.pos
+		case r == '\n':
+			l.emitText(EOL, "\n")
+			return lexLine
+		case r == '#' || r == ';':
+			return lexComment
+		case r == '/':
+			if l.peek() == '/' {
+				l.next()
+				return lexComment
+			}
+			l.emit(Slash)
+			return lexLine
+		case r == '"':
+			return lexString
+		case r == '.' && isIdentPart(l.peek()):
+			return lexWord(Directive)
+		case isIdentStart(r):
+			return lexWord(Ident)
+		case r >= '0' && r <= '9':
+			return lexNumber
+		case r == ',':
+			l.emit(Comma)
+			return lexLine
+		case r == ':':
+			l.emit(Colon)
+			return lexLine
+		case r == '(':
+			l.emit(LParen)
+			return lexLine
+		case r == ')':
+			l.emit(RParen)
+			return lexLine
+		case r == '+':
+			if l.peek() == '=' {
+				l.next()
+				l.emit(PlusAssign)
+			} else {
+				l.emit(Plus)
+			}
+			return lexLine
+		case r == '-':
+			l.emit(Minus)
+			return lexLine
+		case r == '*':
+			l.emit(Star)
+			return lexLine
+		case r == '&':
+			l.emit(Amp)
+			return lexLine
+		case r == '|':
+			l.emit(Pipe)
+			return lexLine
+		case r == '^':
+			l.emit(Caret)
+			return lexLine
+		case r == '=':
+			l.emit(Assign)
+			return lexLine
+		case r == '<':
+			if l.peek() == '<' {
+				l.next()
+				l.emit(Shl)
+				return lexLine
+			}
+			l.emitText(Illegal, `unexpected "<"`)
+			return lexLine
+		case r == '>':
+			if l.peek() == '>' {
+				l.next()
+				l.emit(Shr)
+				return lexLine
+			}
+			l.emitText(Illegal, `unexpected ">"`)
+			return lexLine
+		default:
+			l.emitText(Illegal, "unexpected character "+strconv(r))
+			return lexLine
+		}
+	}
+}
+
+// strconv quotes a rune for an error message without importing fmt.
+func strconv(r rune) string { return `"` + string(r) + `"` }
+
+// lexComment discards to end of line (the newline is not consumed, so
+// the EOL token still fires).
+func lexComment(l *Lexer) stateFn {
+	for {
+		r := l.next()
+		if r == eof || r == '\n' {
+			l.backup(r)
+			l.start = l.pos
+			return lexLine
+		}
+	}
+}
+
+// lexWord scans an identifier or dot-directive: mnemonics keep their
+// interior dots ("vmv.x.s"), so the charset includes '.'.
+func lexWord(kind Kind) stateFn {
+	return func(l *Lexer) stateFn {
+		for isIdentPart(l.peek()) {
+			l.next()
+		}
+		l.emit(kind)
+		return lexLine
+	}
+}
+
+// lexNumber scans a maximal alphanumeric run; strconv.ParseInt with
+// base 0 downstream validates hex/octal/binary/underscore forms, so
+// the DFA stays permissive here and errors carry the full lexeme.
+func lexNumber(l *Lexer) stateFn {
+	for {
+		r := l.peek()
+		if (r >= '0' && r <= '9') || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' {
+			l.next()
+			continue
+		}
+		break
+	}
+	l.emit(Number)
+	return lexLine
+}
+
+// lexString scans a double-quoted literal with \" and \\ escapes; the
+// emitted Text excludes the quotes.
+func lexString(l *Lexer) stateFn {
+	var b []byte
+	for {
+		r := l.next()
+		switch r {
+		case eof, '\n':
+			l.backup(r)
+			l.emitText(Illegal, "unterminated string")
+			return lexLine
+		case '\\':
+			esc := l.next()
+			switch esc {
+			case '"', '\\':
+				b = append(b, byte(esc))
+			default:
+				l.backup(esc)
+				l.emitText(Illegal, "bad string escape")
+				return lexLine
+			}
+		case '"':
+			l.emitText(String, string(b))
+			return lexLine
+		default:
+			b = append(b, string(r)...)
+		}
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || r == '$' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+}
+
+func isIdentPart(r rune) bool {
+	return isIdentStart(r) || r == '.' || (r >= '0' && r <= '9')
+}

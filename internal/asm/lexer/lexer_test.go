@@ -1,0 +1,233 @@
+package lexer
+
+import (
+	"testing"
+
+	"cape/internal/asm/diag"
+)
+
+func kinds(ts []Token) []Kind {
+	out := make([]Kind, len(ts))
+	for i, t := range ts {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestBasicInstruction(t *testing.T) {
+	l := New("t.s", "add x1, x2, x3\n")
+	got := l.Tokens()
+	want := []Kind{Ident, Ident, Comma, Ident, Comma, Ident, EOL, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(got), kinds(got), len(want))
+	}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Fatalf("token %d: got %v %q, want %v", i, got[i].Kind, got[i].Text, k)
+		}
+	}
+	if got[0].Text != "add" || got[1].Text != "x1" {
+		t.Fatalf("texts: %q %q", got[0].Text, got[1].Text)
+	}
+	if got[0].Pos != (diag.Pos{File: "t.s", Line: 1, Col: 1}) {
+		t.Fatalf("pos of add: %v", got[0].Pos)
+	}
+	if got[3].Pos.Col != 9 {
+		t.Fatalf("pos of x2: %v, want col 9", got[3].Pos)
+	}
+}
+
+func TestDottedMnemonicIsOneIdent(t *testing.T) {
+	l := New("t.s", "vmv.x.s x1, v2")
+	got := l.Tokens()
+	if got[0].Kind != Ident || got[0].Text != "vmv.x.s" {
+		t.Fatalf("got %v %q", got[0].Kind, got[0].Text)
+	}
+}
+
+func TestDirectiveVsIdent(t *testing.T) {
+	l := New("t.s", ".const N, 16")
+	got := l.Tokens()
+	if got[0].Kind != Directive || got[0].Text != ".const" {
+		t.Fatalf("got %v %q", got[0].Kind, got[0].Text)
+	}
+	if got[1].Kind != Ident || got[1].Text != "N" {
+		t.Fatalf("got %v %q", got[1].Kind, got[1].Text)
+	}
+	if got[3].Kind != Number || got[3].Text != "16" {
+		t.Fatalf("got %v %q", got[3].Kind, got[3].Text)
+	}
+}
+
+func TestComments(t *testing.T) {
+	for _, src := range []string{
+		"add x1, x2, x3 # comment\n",
+		"add x1, x2, x3 // comment\n",
+		"add x1, x2, x3 ; comment\n",
+	} {
+		l := New("t.s", src)
+		got := l.Tokens()
+		want := []Kind{Ident, Ident, Comma, Ident, Comma, Ident, EOL, EOF}
+		if len(got) != len(want) {
+			t.Fatalf("%q: got %v", src, kinds(got))
+		}
+		for i, k := range want {
+			if got[i].Kind != k {
+				t.Fatalf("%q token %d: got %v, want %v", src, i, got[i].Kind, k)
+			}
+		}
+	}
+}
+
+func TestMemOperand(t *testing.T) {
+	l := New("t.s", "lw x1, -8(x2)")
+	got := l.Tokens()
+	want := []Kind{Ident, Ident, Comma, Minus, Number, LParen, Ident, RParen, EOF}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Fatalf("token %d: got %v %q, want %v (all: %v)", i, got[i].Kind, got[i].Text, k, kinds(got))
+		}
+	}
+}
+
+func TestOperatorsAndNumbers(t *testing.T) {
+	l := New("t.s", `z = 3*x + y - (w << 2) & m | n ^ p >> 1`)
+	got := l.Tokens()
+	want := []Kind{Ident, Assign, Number, Star, Ident, Plus, Ident, Minus,
+		LParen, Ident, Shl, Number, RParen, Amp, Ident, Pipe, Ident,
+		Caret, Ident, Shr, Number, EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", kinds(got))
+	}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Fatalf("token %d: got %v %q, want %v", i, got[i].Kind, got[i].Text, k)
+		}
+	}
+}
+
+func TestPlusAssign(t *testing.T) {
+	l := New("t.s", "s += x")
+	got := l.Tokens()
+	want := []Kind{Ident, PlusAssign, Ident, EOF}
+	for i, k := range want {
+		if got[i].Kind != k {
+			t.Fatalf("token %d: got %v, want %v", i, got[i].Kind, k)
+		}
+	}
+}
+
+func TestHexBinUnderscoreNumbers(t *testing.T) {
+	l := New("t.s", "li x1, 0xFF\nli x2, 0b1010\nli x3, 1_000")
+	var nums []string
+	for _, tok := range l.Tokens() {
+		if tok.Kind == Number {
+			nums = append(nums, tok.Text)
+		}
+	}
+	want := []string{"0xFF", "0b1010", "1_000"}
+	if len(nums) != len(want) {
+		t.Fatalf("numbers: %v", nums)
+	}
+	for i := range want {
+		if nums[i] != want[i] {
+			t.Fatalf("number %d: got %q, want %q", i, nums[i], want[i])
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	l := New("t.s", `.include "lib/macros.s"`)
+	got := l.Tokens()
+	if got[1].Kind != String || got[1].Text != "lib/macros.s" {
+		t.Fatalf("got %v %q", got[1].Kind, got[1].Text)
+	}
+}
+
+func TestUnterminatedString(t *testing.T) {
+	l := New("t.s", `.include "oops`+"\n")
+	got := l.Tokens()
+	found := false
+	for _, tok := range got {
+		if tok.Kind == Illegal {
+			found = true
+			if tok.Text != "unterminated string" {
+				t.Fatalf("msg: %q", tok.Text)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no Illegal token in %v", kinds(got))
+	}
+}
+
+func TestIllegalRune(t *testing.T) {
+	l := New("t.s", "add x1, @, x3")
+	var ill *Token
+	for _, tok := range l.Tokens() {
+		if tok.Kind == Illegal {
+			cp := tok
+			ill = &cp
+			break
+		}
+	}
+	if ill == nil {
+		t.Fatal("no Illegal token")
+	}
+	if ill.Pos.Col != 9 {
+		t.Fatalf("pos: %v, want col 9", ill.Pos)
+	}
+}
+
+func TestPositionsAcrossLines(t *testing.T) {
+	l := New("t.s", "add x1, x2, x3\n\n  sub x4, x5, x6\n")
+	var sub *Token
+	for _, tok := range l.Tokens() {
+		if tok.Kind == Ident && tok.Text == "sub" {
+			cp := tok
+			sub = &cp
+		}
+	}
+	if sub == nil {
+		t.Fatal("sub not lexed")
+	}
+	if sub.Pos != (diag.Pos{File: "t.s", Line: 3, Col: 3}) {
+		t.Fatalf("pos: %v", sub.Pos)
+	}
+}
+
+func TestLineAccessor(t *testing.T) {
+	l := New("t.s", "one\ntwo\r\nthree")
+	if got := l.Line(2); got != "two" {
+		t.Fatalf("Line(2) = %q", got)
+	}
+	if got := l.Line(99); got != "" {
+		t.Fatalf("Line(99) = %q", got)
+	}
+}
+
+func TestEOFForever(t *testing.T) {
+	l := New("t.s", "add")
+	for i := 0; i < 3; i++ {
+		last := l.Next()
+		if i > 0 && last.Kind != EOF {
+			t.Fatalf("call %d: got %v", i, last.Kind)
+		}
+	}
+}
+
+func TestLabelColon(t *testing.T) {
+	l := New("t.s", "loop: add x1, x2, x3")
+	got := l.Tokens()
+	if got[0].Kind != Ident || got[0].Text != "loop" || got[1].Kind != Colon {
+		t.Fatalf("got %v %q then %v", got[0].Kind, got[0].Text, got[1].Kind)
+	}
+}
+
+func TestNumericLabel(t *testing.T) {
+	l := New("t.s", "1: beq x1, x2, 1")
+	got := l.Tokens()
+	if got[0].Kind != Number || got[1].Kind != Colon {
+		t.Fatalf("got %v then %v", got[0].Kind, got[1].Kind)
+	}
+}

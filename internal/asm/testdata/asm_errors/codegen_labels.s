@@ -1,0 +1,6 @@
+# codegen: duplicate and undefined labels
+top:
+top:
+    beq x1, x0, top
+    j missing
+    halt

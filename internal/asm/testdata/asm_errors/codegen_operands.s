@@ -1,0 +1,11 @@
+# codegen: seed-compatible operand diagnostics, now with positions
+    fmadd x1, x2, x3
+    add x1, x99, x3
+    add x1, x2
+    lw x1, x2
+    li x1, zork
+    vmerge.vvm v1, v2, v3, v4
+    vsetvli x1, x2, e64
+    vle32.v v1, x2
+    j nowhere
+    halt

@@ -1,0 +1,14 @@
+# kernel DSL: lowering errors — reserved registers, variable shift,
+# runtime division
+    li x10, 0x1000
+    li x11, 0x2000
+    li x12, 16
+.kernel bad
+.in a, x10
+.in b, x28
+.out z, x11
+.count x12
+z = a << b
+z = a / b
+.endkernel
+    halt

@@ -1,0 +1,8 @@
+# kernel DSL: structural errors — missing .count, unknown name, bad width
+.kernel broken
+.in a, x10
+.out z, x11
+.sew 24
+z = a + q
+.endkernel
+    halt

@@ -1,0 +1,4 @@
+# lexer: an illegal character mid-line must carry its exact column
+    li x1, 5
+    add x1, x2, @x3
+    halt

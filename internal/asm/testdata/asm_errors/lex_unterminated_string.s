@@ -1,0 +1,2 @@
+.include "no_closing_quote
+halt

@@ -1,0 +1,3 @@
+# parser: unknown directive
+.section text
+halt

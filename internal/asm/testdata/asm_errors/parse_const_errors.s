@@ -1,0 +1,7 @@
+# parser: bad constant expressions
+.const ZERO, 0
+.const BOOM, 7 / ZERO
+.const DUP, 1
+.const DUP, 2
+    li x1, UNDEFINED_CONST
+    halt

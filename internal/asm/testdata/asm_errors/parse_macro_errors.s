@@ -1,0 +1,9 @@
+# parser: macro arity mismatch, reported at the invocation site
+.macro store2 base, a, b
+    li x1, a
+    sw x1, 0(base)
+    li x1, b
+    sw x1, 4(base)
+.endmacro
+    store2 x10, 1
+    halt

@@ -42,6 +42,19 @@ func (b *Builder) emitBranch(i Inst, label string) *Builder {
 	return b.emit(i)
 }
 
+// Emit appends a raw instruction. It is the escape hatch for code
+// generators (the assembler's codegen stage) that decode operands
+// themselves instead of going through the typed helpers.
+func (b *Builder) Emit(i Inst) *Builder { return b.emit(i) }
+
+// EmitBranch appends a raw branch/jump instruction whose Target is
+// fixed up to label at Build time.
+func (b *Builder) EmitBranch(i Inst, label string) *Builder { return b.emitBranch(i, label) }
+
+// Len returns the number of instructions emitted so far (the pc the
+// next instruction will occupy).
+func (b *Builder) Len() int { return len(b.insts) }
+
 // Build resolves labels and returns the program.
 func (b *Builder) Build() (*Program, error) {
 	if b.err != nil {

@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"cape/internal/asm"
+)
+
+// TestHTTPMalformedSource422 pins the edge contract for malformed
+// assembly: a structured 422 with typed diagnostics — never a 500 —
+// regardless of how the source is broken.
+func TestHTTPMalformedSource422(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	cases := []struct {
+		name   string
+		source string
+	}{
+		{"unknown mnemonic", "bogus x1, x2\nhalt"},
+		{"bad register", "addi q1, x2, 3\nhalt"},
+		{"undefined label", "j nowhere\nhalt"},
+		{"duplicate label", "a:\na:\nhalt"},
+		{"bad immediate", "li x1, zzz\nhalt"},
+		{"unterminated string", ".include \"oops\nhalt"},
+		{"kernel without count", ".kernel k\n.in a, x1\n.out b, x2\nb = a\n.endkernel\nhalt"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			httpResp, body := postJob(t, ts, Request{Source: c.source, Chains: 4})
+			if httpResp.StatusCode >= 500 {
+				t.Fatalf("malformed source produced a server error %d: %s", httpResp.StatusCode, body)
+			}
+			if httpResp.StatusCode != http.StatusUnprocessableEntity {
+				t.Fatalf("status %d, want 422: %s", httpResp.StatusCode, body)
+			}
+			var e errorBody
+			if err := json.Unmarshal(body, &e); err != nil {
+				t.Fatalf("decode error body: %v\n%s", err, body)
+			}
+			if e.Status != "bad_source" {
+				t.Fatalf("status field %q, want bad_source: %s", e.Status, body)
+			}
+			if len(e.Diagnostics) == 0 {
+				t.Fatalf("422 body has no diagnostics: %s", body)
+			}
+			for _, d := range e.Diagnostics {
+				if d.Line <= 0 || d.Col <= 0 {
+					t.Errorf("diagnostic without a position: %+v", d)
+				}
+				if d.Msg == "" {
+					t.Errorf("diagnostic without a message: %+v", d)
+				}
+			}
+		})
+	}
+}
+
+// TestHTTPProgramFault422 pins that a program which assembles but dies
+// at run time (wild store) is a 422 program_fault, not a 5xx.
+func TestHTTPProgramFault422(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	httpResp, body := postJob(t, ts, Request{
+		Source: "li x1, 0x7fffffff\nsw x2, 0(x1)\nhalt",
+		Chains: 4,
+	})
+	if httpResp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", httpResp.StatusCode, body)
+	}
+	var e errorBody
+	if err := json.Unmarshal(body, &e); err != nil || e.Status != "program_fault" {
+		t.Fatalf("error body: %s", body)
+	}
+}
+
+// TestSubmitDiagnosticsTyped pins that the Go API surface keeps the
+// typed DiagnosticList through Submit's error wrapping.
+func TestSubmitDiagnosticsTyped(t *testing.T) {
+	s := New(testOptions())
+	defer s.Close()
+	_, err := s.Submit(context.Background(), Request{Source: "bogus x1\nhalt", Name: "bad.s"})
+	var dl asm.DiagnosticList
+	if !errors.As(err, &dl) {
+		t.Fatalf("want asm.DiagnosticList in chain, got %v", err)
+	}
+	if len(dl) == 0 || dl[0].File != "bad.s" || dl[0].Line != 1 {
+		t.Fatalf("diagnostic position wrong: %+v", dl)
+	}
+	if !errors.Is(ErrProgramFault, ErrProgramFault) {
+		t.Fatal("sanity")
+	}
+}
+
+// TestAsmCacheMetrics pins the program cache's hit/miss/entries
+// exposition: the same source twice is one miss then one hit, and a
+// malformed source is cached too (second submission is a hit).
+func TestAsmCacheMetrics(t *testing.T) {
+	s, ts := newHTTPServer(t)
+
+	postJob(t, ts, probeRequest(1, false))
+	postJob(t, ts, probeRequest(1, false)) // same name+source → hit
+	postJob(t, ts, Request{Source: "bogus x1\nhalt"})
+	postJob(t, ts, Request{Source: "bogus x1\nhalt"}) // cached failure → hit
+
+	st := s.Options().AsmCache.Stats()
+	if st.Misses != 2 {
+		t.Fatalf("misses = %d, want 2 (probe + malformed)", st.Misses)
+	}
+	if st.Hits != 2 {
+		t.Fatalf("hits = %d, want 2", st.Hits)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"caped_asm_cache_hits_total 2",
+		"caped_asm_cache_misses_total 2",
+		"caped_asm_cache_entries 2",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestServerRejectsInclude pins that server-submitted source can never
+// read the server's filesystem: .include is rejected (422), not
+// resolved.
+func TestServerRejectsInclude(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	httpResp, body := postJob(t, ts, Request{Source: ".include \"/etc/hostname\"\nhalt"})
+	if httpResp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422: %s", httpResp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "include is not allowed here") {
+		t.Fatalf("want include rejection, got: %s", body)
+	}
+}
+
+// TestKernelSourceOverHTTP pins that the kernel DSL works end-to-end
+// through the serving path, dump included.
+func TestKernelSourceOverHTTP(t *testing.T) {
+	_, ts := newHTTPServer(t)
+	src := `
+	li x20, 0x1000
+	li x22, 0x3000
+	li x23, 8
+.kernel scale
+.in a, x20
+.out b, x22
+.count x23
+b = a * 3
+.endkernel
+	halt
+`
+	httpResp, body := postJob(t, ts, Request{
+		Source: src,
+		Name:   "scale.s",
+		Chains: 4,
+		Dump:   &DumpSpec{Addr: 0x3000, Words: 8},
+	})
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", httpResp.StatusCode, body)
+	}
+	var resp Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatal(err)
+	}
+	// Input memory is zeroed, so every output word is 0*3 = 0; the point
+	// is that the program compiled, ran, and dumped without error.
+	if len(resp.Memory) != 8 {
+		t.Fatalf("dump has %d words", len(resp.Memory))
+	}
+}

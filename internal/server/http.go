@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"cape/internal/asm"
 	"cape/internal/cp"
 	"cape/internal/fault"
 	"cape/internal/telemetry"
@@ -25,11 +26,15 @@ const maxRequestBytes = 4 << 20
 // whenever the failure concerns a specific job, so clients can
 // correlate the error with the server's job log. FlightDump points at
 // the flight-recorder snapshot captured for a 5xx failure.
+// Diagnostics carries the assembler's typed errors for a malformed
+// source job (422): one entry per error, each with file/line/col, the
+// message, and the offending source line.
 type errorBody struct {
-	Error      string `json:"error"`
-	Status     string `json:"status"`
-	JobID      uint64 `json:"job_id,omitempty"`
-	FlightDump string `json:"flight_dump,omitempty"`
+	Error       string           `json:"error"`
+	Status      string           `json:"status"`
+	JobID       uint64           `json:"job_id,omitempty"`
+	FlightDump  string           `json:"flight_dump,omitempty"`
+	Diagnostics []asm.Diagnostic `json:"diagnostics,omitempty"`
 }
 
 // Handler returns the service's HTTP API:
@@ -82,6 +87,13 @@ func httpStatusOf(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, cp.ErrBudgetExceeded):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrProgramFault):
+		// The program assembled but died of its own behavior at run
+		// time: semantically unprocessable, and decidedly not a 5xx.
+		return http.StatusUnprocessableEntity
+	case errors.As(err, new(asm.DiagnosticList)):
+		// Malformed source: well-formed request, uncompilable content.
+		return http.StatusUnprocessableEntity
 	default:
 		return http.StatusBadRequest
 	}
@@ -107,6 +119,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	resp, id, err := s.SubmitJob(r.Context(), req)
 	if err != nil {
 		body := errorBody{Error: err.Error(), Status: statusOf(err), JobID: id}
+		var dl asm.DiagnosticList
+		if errors.As(err, &dl) {
+			body.Diagnostics = dl
+		}
 		code := httpStatusOf(err)
 		if code >= 500 {
 			// Capture the flight recorder at failure time: the dump holds

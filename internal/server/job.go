@@ -10,7 +10,6 @@ import (
 	"strings"
 	"time"
 
-	"cape/internal/asm"
 	"cape/internal/core"
 	"cape/internal/fault"
 	"cape/internal/isa"
@@ -73,6 +72,13 @@ type DumpSpec struct {
 
 // maxDumpWords bounds a response's memory payload (4 MB).
 const maxDumpWords = 1 << 20
+
+// ErrProgramFault marks a job killed by its own program's behavior at
+// run time — wild addresses, malformed vector state — as distinct from
+// a service failure. It is a client error: HTTP maps it to 422, and it
+// does not burn availability budget. Exec attaches it both on typed
+// core faults and in the panic backstop.
+var ErrProgramFault = errors.New("program fault")
 
 // Response carries a completed job's results: the full simulator
 // Result plus the host-side latency breakdown.
@@ -231,7 +237,13 @@ func Compile(req Request, opts Options) (*Spec, error) {
 		if name == "" {
 			name = "job"
 		}
-		prog, err := asm.Assemble(name, req.Source)
+		// Source compiles through the shared program cache (nil = direct):
+		// repeat submissions of one program skip the whole pipeline, and
+		// repeat submissions of one *malformed* program are rejected from
+		// the cached DiagnosticList. The error chain keeps the typed
+		// asm.DiagnosticList so the HTTP edge can serialize structured
+		// 422 diagnostics.
+		prog, err := opts.AsmCache.Assemble(name, req.Source, opts.Asm)
 		if err != nil {
 			return nil, fmt.Errorf("server: assemble: %w", err)
 		}
@@ -283,7 +295,9 @@ func Compile(req Request, opts Options) (*Spec, error) {
 // instruction budget, presets registers, runs under the spec's
 // timeout, validates workload output, and captures the dump range.
 // Panics from malformed programs (e.g. out-of-range addresses) are
-// converted to errors so a service worker survives them. The machine
+// converted to typed ErrProgramFault errors as a last-resort backstop,
+// so a service worker survives them and the edge reports a client
+// error rather than a server failure. The machine
 // is left mid-program on error; the pool resets it before reuse.
 func Exec(ctx context.Context, m *core.Machine, spec *Spec) (resp *Response, err error) {
 	defer func() {
@@ -295,7 +309,7 @@ func Exec(ctx context.Context, m *core.Machine, spec *Spec) (resp *Response, err
 				err = fmt.Errorf("server: %w", e)
 				return
 			}
-			err = fmt.Errorf("server: program fault: %v", p)
+			err = fmt.Errorf("server: %w: %v", ErrProgramFault, p)
 		}
 	}()
 	m.CP().SetMaxInsts(spec.MaxInsts)

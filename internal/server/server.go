@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"cape/internal/asm"
 	"cape/internal/core"
 	"cape/internal/cp"
 	"cape/internal/fault"
@@ -68,6 +69,18 @@ type Options struct {
 	// CSBParallelThreshold is the minimum chain count before a machine
 	// actually uses its CSB workers (0 = csb.DefaultParallelThreshold).
 	CSBParallelThreshold int
+	// AsmCache is the compiled-program cache source jobs assemble
+	// through. Nil makes New allocate one of AsmCacheSize; set it to
+	// share a cache across servers or pre-warm programs. Compile with a
+	// nil cache (e.g. capesim's one-shot path) compiles directly.
+	AsmCache *asm.Cache
+	// AsmCacheSize bounds the allocated AsmCache in programs (0 =
+	// asm.DefaultCacheSize, 256).
+	AsmCacheSize int
+	// Asm configures the assembler pipeline for source jobs. The zero
+	// value rejects .include — the right stance for server-submitted
+	// source, which must never read the server's filesystem.
+	Asm asm.Options
 	// UcodeCacheSize bounds each pool shard's shared microcode template
 	// cache in templates: 0 selects ucode.DefaultCacheSize, negative
 	// disables template caching (every instruction lowers directly).
@@ -249,6 +262,12 @@ type Server struct {
 // New builds a server and starts its workers.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	// The program cache is allocated here, NOT in withDefaults: Compile
+	// re-defaults the options per request, and allocating there would
+	// hand every request a fresh (useless) cache.
+	if opts.AsmCache == nil {
+		opts.AsmCache = asm.NewCache(opts.AsmCacheSize)
+	}
 	reg := opts.Registry
 	s := &Server{
 		opts:    opts,
@@ -345,6 +364,15 @@ func New(opts Options) *Server {
 	reg.GaugeFunc("caped_ucode_cache_entries",
 		"Cached microcode templates across all pool shards.", nil,
 		func() int64 { return int64(s.pool.UcodeStats().Entries) })
+	reg.CounterFunc("caped_asm_cache_hits_total",
+		"Compiled-program cache hits for source jobs.", nil,
+		func() uint64 { return s.opts.AsmCache.Stats().Hits })
+	reg.CounterFunc("caped_asm_cache_misses_total",
+		"Compiled-program cache misses for source jobs.", nil,
+		func() uint64 { return s.opts.AsmCache.Stats().Misses })
+	reg.GaugeFunc("caped_asm_cache_entries",
+		"Compiled programs (including cached failures) resident in the program cache.", nil,
+		func() int64 { return int64(s.opts.AsmCache.Stats().Entries) })
 	for i := 0; i < opts.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -557,6 +585,10 @@ func statusOf(err error) string {
 		return "breaker_open"
 	case errors.Is(err, fault.ErrInjected):
 		return "fault"
+	case errors.Is(err, ErrProgramFault):
+		return "program_fault"
+	case errors.As(err, new(asm.DiagnosticList)):
+		return "bad_source"
 	default:
 		return "error"
 	}
