@@ -1,0 +1,290 @@
+// The cluster experiment measures coordinator/worker scale-out: the
+// same job mix is pushed through a coordinator fronting 1, 2, and 4
+// in-process workers (each a single-executor caped behind a real
+// loopback HTTP listener), and the report tracks aggregate throughput,
+// tail latency, and routing behavior per node count. Results go to
+// stdout as a table and to -cluster-out as BENCH_cluster.json; the
+// regression gate floors the 2- and 4-worker speedups over 1 worker.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"slices"
+	"sync"
+	"time"
+
+	"cape/internal/cluster"
+	"cape/internal/metrics"
+	"cape/internal/server"
+)
+
+var clusterOut = flag.String("cluster-out", "BENCH_cluster.json", "output path for the cluster JSON report")
+
+// clusterJobs is the job batch pushed through each cluster size;
+// clusterClients is the submitter concurrency (enough to keep every
+// worker of the largest fleet busy through the batching window).
+const (
+	clusterJobs    = 96
+	clusterClients = 8
+)
+
+// clusterChainMix varies the pool ShardKey so consistent hashing has
+// several keys to spread: one configuration would pin the whole batch
+// to a single primary worker and measure only the spill path. The
+// counts are high enough that simulator work dominates the HTTP/JSON
+// routing overhead — scale-out measures execution, not serialization.
+var clusterChainMix = []int{256, 384, 512, 768}
+
+// clusterEntry is one cluster size's measurement.
+type clusterEntry struct {
+	Workers       int     `json:"workers"`
+	Jobs          int     `json:"jobs"`
+	Concurrency   int     `json:"concurrency"`
+	ThroughputJPS float64 `json:"throughput_jobs_per_sec"`
+	P50MS         float64 `json:"p50_ms"`
+	P99MS         float64 `json:"p99_ms"`
+	Speedup       float64 `json:"speedup_vs_1w"`
+	Routed        uint64  `json:"jobs_routed"`
+	Rerouted      uint64  `json:"jobs_rerouted"`
+	LocalFallback uint64  `json:"jobs_local_fallback"`
+	Batches       uint64  `json:"batches"`
+	BitIdentical  bool    `json:"bit_identical"`
+}
+
+// clusterBenchReport is the BENCH_cluster.json payload.
+type clusterBenchReport struct {
+	Jobs        int            `json:"jobs_per_run"`
+	Concurrency int            `json:"concurrency"`
+	Entries     []clusterEntry `json:"entries"`
+}
+
+func (r clusterBenchReport) String() string {
+	out := fmt.Sprintf("Cluster scale-out: %d jobs at concurrency %d per node count\n",
+		r.Jobs, r.Concurrency)
+	out += fmt.Sprintf("%-8s %10s %8s %8s %8s %9s %8s %5s\n",
+		"workers", "jobs/s", "speedup", "p50 ms", "p99 ms", "rerouted", "batches", "bit=")
+	for _, e := range r.Entries {
+		out += fmt.Sprintf("%-8d %10.1f %7.2fx %8.2f %8.2f %9d %8d %5v\n",
+			e.Workers, e.ThroughputJPS, e.Speedup, e.P50MS, e.P99MS,
+			e.Rerouted, e.Batches, e.BitIdentical)
+	}
+	return out
+}
+
+// gateEntries feeds the -check-against regression gate: aggregate
+// throughput at 2 and 4 workers relative to 1.
+func (r clusterBenchReport) gateEntries() map[string]float64 {
+	out := map[string]float64{}
+	for _, e := range r.Entries {
+		switch e.Workers {
+		case 2:
+			out["speedup_2w"] = e.Speedup
+		case 4:
+			out["speedup_4w"] = e.Speedup
+		}
+	}
+	return out
+}
+
+// clusterWorkerOptions keeps each worker to one executor so aggregate
+// throughput is a direct function of node count.
+func clusterWorkerOptions() server.Options {
+	return server.Options{
+		Workers:           1,
+		QueueDepth:        2 * clusterJobs,
+		MachinesPerConfig: 1,
+		RAMBytes:          1 << 20,
+		Registry:          metrics.NewRegistry(),
+	}
+}
+
+func clusterRequest(chains int) server.Request {
+	return server.Request{
+		Source:  chaosKernel,
+		Name:    fmt.Sprintf("cluster-probe-%d", chains),
+		Chains:  chains,
+		Backend: "bitlevel",
+		Dump:    &server.DumpSpec{Addr: 0x1000, Words: 64},
+	}
+}
+
+// runClusterCell boots a coordinator with n workers, pushes the job
+// batch through the real HTTP edge, and tears everything down.
+func runClusterCell(n int, refs map[int][]uint32) (clusterEntry, error) {
+	local := server.New(clusterWorkerOptions())
+	defer local.Close()
+	coord := cluster.NewCoordinator(local, cluster.CoordinatorOptions{
+		// A tight in-flight bound turns routing into work-stealing:
+		// whatever the hash split of the chain mix, a busy primary
+		// spills to its ring successor and every worker stays hot.
+		MaxWorkerInflight: 2,
+	})
+	defer coord.Close()
+	cts := httptest.NewServer(coord.Handler())
+	defer cts.Close()
+
+	var workers []*cluster.Worker
+	var wts []*httptest.Server
+	defer func() {
+		for i, w := range workers {
+			w.Close()
+			wts[i].Close()
+			w.Server().Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		w := cluster.NewWorker(server.New(clusterWorkerOptions()), cluster.WorkerOptions{
+			ID:                fmt.Sprintf("bench-w%d", i),
+			CoordinatorURL:    cts.URL,
+			HeartbeatInterval: 100 * time.Millisecond,
+		})
+		ts := httptest.NewServer(w.Handler())
+		w.SetAdvertiseURL(ts.URL)
+		w.Start()
+		workers = append(workers, w)
+		wts = append(wts, ts)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for coord.WorkerCount() < n {
+		if time.Now().After(deadline) {
+			return clusterEntry{}, fmt.Errorf("cluster: only %d of %d workers registered", coord.WorkerCount(), n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	e := clusterEntry{Workers: n, Jobs: clusterJobs, Concurrency: clusterClients, BitIdentical: true}
+	lat := metrics.NewRegistry().Histogram("cluster_latency_seconds", "", chaosLatencyBuckets, nil)
+	var mu sync.Mutex
+	var firstErr error
+	jobs := make(chan int, clusterJobs)
+	for i := 0; i < clusterJobs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clusterClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				chains := clusterChainMix[i%len(clusterChainMix)]
+				t0 := time.Now()
+				resp, err := postClusterJob(cts.URL, clusterRequest(chains))
+				lat.Observe(time.Since(t0).Seconds())
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("cluster: %d workers, job %d: %w", n, i, err)
+				}
+				if err == nil && !slices.Equal(resp.Memory, refs[chains]) {
+					e.BitIdentical = false
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return clusterEntry{}, firstErr
+	}
+
+	e.ThroughputJPS = float64(clusterJobs) / elapsed.Seconds()
+	e.P50MS = 1000 * lat.Quantile(0.50)
+	e.P99MS = 1000 * lat.Quantile(0.99)
+	var status cluster.StatusBody
+	if err := getJSON(cts.URL+"/v1/cluster/status", &status); err != nil {
+		return clusterEntry{}, fmt.Errorf("cluster: status: %w", err)
+	}
+	e.Routed = status.Routed
+	e.Rerouted = status.Rerouted
+	e.LocalFallback = status.LocalFallback
+	e.Batches = local.Registry().Counter("caped_cluster_batches_total", "", nil).Value()
+	return e, nil
+}
+
+// postClusterJob submits one job over HTTP and decodes the response.
+func postClusterJob(url string, req server.Request) (*server.Response, error) {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hresp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		return nil, err
+	}
+	defer hresp.Body.Close()
+	var resp server.Response
+	if hresp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(hresp.Body).Decode(&eb)
+		return nil, fmt.Errorf("status %d: %s", hresp.StatusCode, eb.Error)
+	}
+	if err := json.NewDecoder(hresp.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// clusterBench runs the experiment and writes the JSON report.
+func clusterBench() (fmt.Stringer, error) {
+	// Standalone references per chain count: every routed job must be
+	// bit-identical to a single-node execution.
+	refSrv := server.New(clusterWorkerOptions())
+	refs := map[int][]uint32{}
+	for _, chains := range clusterChainMix {
+		resp, err := refSrv.Submit(context.Background(), clusterRequest(chains))
+		if err != nil {
+			refSrv.Close()
+			return nil, fmt.Errorf("cluster: standalone reference (chains=%d): %w", chains, err)
+		}
+		refs[chains] = resp.Memory
+	}
+	refSrv.Close()
+
+	report := clusterBenchReport{Jobs: clusterJobs, Concurrency: clusterClients}
+	var oneWorker float64
+	for _, n := range []int{1, 2, 4} {
+		e, err := runClusterCell(n, refs)
+		if err != nil {
+			return nil, err
+		}
+		if !e.BitIdentical {
+			return nil, fmt.Errorf("cluster: %d workers: a routed job diverged from standalone execution", n)
+		}
+		if n == 1 {
+			oneWorker = e.ThroughputJPS
+		}
+		if oneWorker > 0 {
+			e.Speedup = e.ThroughputJPS / oneWorker
+		}
+		report.Entries = append(report.Entries, e)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(*clusterOut, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("cluster: writing %s: %w", *clusterOut, err)
+	}
+	return report, nil
+}

@@ -43,6 +43,9 @@ type benchBaseline struct {
 	// "kernel_cache_speedup" (.kernel DSL program): compiled-program
 	// cache hit vs. cold staged compile.
 	Asm map[string]float64 `json:"asm,omitempty"`
+	// Cluster keys are "speedup_2w" and "speedup_4w": aggregate
+	// coordinator throughput at 2/4 workers relative to 1 worker.
+	Cluster map[string]float64 `json:"cluster,omitempty"`
 }
 
 // checkBaseline compares this run's experiment results against the
@@ -106,79 +109,94 @@ func checkBaseline(path string, results map[string]fmt.Stringer) error {
 		}
 	}
 
+	// notRun records a floored section whose experiment was skipped —
+	// as a failure, not an early return, so one missing experiment
+	// doesn't mask every other floor miss in the run.
+	notRun := func(section string) {
+		fail("baseline has %s floors but the experiment did not run (add -exp %s)", section, section)
+	}
+
 	if len(bl.CSBParallel) > 0 {
-		r, ok := results["csbparallel"].(csbBenchReport)
-		if !ok {
-			return fmt.Errorf("baseline has csbparallel floors but the experiment did not run (add -exp csbparallel)")
+		if r, ok := results["csbparallel"].(csbBenchReport); ok {
+			cur := map[string]float64{}
+			for _, e := range r.Entries {
+				cur[e.Config+"/"+e.Inst] = e.Speedup
+			}
+			gateSection("csbparallel", bl.CSBParallel, cur)
+		} else {
+			notRun("csbparallel")
 		}
-		cur := map[string]float64{}
-		for _, e := range r.Entries {
-			cur[e.Config+"/"+e.Inst] = e.Speedup
-		}
-		gateSection("csbparallel", bl.CSBParallel, cur)
 	}
 
 	if len(bl.Ucode) > 0 {
-		r, ok := results["ucode"].(ucodeBenchReport)
-		if !ok {
-			return fmt.Errorf("baseline has ucode floors but the experiment did not run (add -exp ucode)")
+		if r, ok := results["ucode"].(ucodeBenchReport); ok {
+			cur := map[string]float64{"stream_speedup": r.StreamSpeedup}
+			if len(r.EndToEnd) > 0 {
+				cur["e2e_speedup"] = r.EndToEnd[0].Speedup
+			}
+			gateSection("ucode", bl.Ucode, cur)
+		} else {
+			notRun("ucode")
 		}
-		cur := map[string]float64{"stream_speedup": r.StreamSpeedup}
-		if len(r.EndToEnd) > 0 {
-			cur["e2e_speedup"] = r.EndToEnd[0].Speedup
-		}
-		gateSection("ucode", bl.Ucode, cur)
 	}
 
 	if len(bl.Query) > 0 {
-		r, ok := results["query"].(queryBenchReport)
-		if !ok {
-			return fmt.Errorf("baseline has query floors but the experiment did not run (add -exp query)")
+		if r, ok := results["query"].(queryBenchReport); ok {
+			cur := map[string]float64{}
+			for _, e := range r.Entries {
+				cur[e.Scenario] = e.Speedup
+			}
+			gateSection("query", bl.Query, cur)
+		} else {
+			notRun("query")
 		}
-		cur := map[string]float64{}
-		for _, e := range r.Entries {
-			cur[e.Scenario] = e.Speedup
-		}
-		gateSection("query", bl.Query, cur)
 	}
 
 	if len(bl.Bitslice) > 0 {
-		r, ok := results["bitslice"].(bitsliceBenchReport)
-		if !ok {
-			return fmt.Errorf("baseline has bitslice floors but the experiment did not run (add -exp bitslice)")
+		if r, ok := results["bitslice"].(bitsliceBenchReport); ok {
+			cur := map[string]float64{}
+			for _, e := range r.Entries {
+				cur[e.Config+"/"+e.Inst] = e.Speedup
+			}
+			gateSection("bitslice", bl.Bitslice, cur)
+		} else {
+			notRun("bitslice")
 		}
-		cur := map[string]float64{}
-		for _, e := range r.Entries {
-			cur[e.Config+"/"+e.Inst] = e.Speedup
-		}
-		gateSection("bitslice", bl.Bitslice, cur)
 	}
 
 	if len(bl.Telemetry) > 0 {
-		r, ok := results["telemetry"].(telemetryBenchReport)
-		if !ok {
-			return fmt.Errorf("baseline has telemetry floors but the experiment did not run (add -exp telemetry)")
+		if r, ok := results["telemetry"].(telemetryBenchReport); ok {
+			cur := map[string]float64{
+				"counters_ratio": r.CountersRatio,
+				"flight_meps":    r.FlightMEPS,
+			}
+			gateSection("telemetry", bl.Telemetry, cur)
+		} else {
+			notRun("telemetry")
 		}
-		cur := map[string]float64{
-			"counters_ratio": r.CountersRatio,
-			"flight_meps":    r.FlightMEPS,
-		}
-		gateSection("telemetry", bl.Telemetry, cur)
 	}
 
 	if len(bl.Asm) > 0 {
-		r, ok := results["asm"].(asmBenchReport)
-		if !ok {
-			return fmt.Errorf("baseline has asm floors but the experiment did not run (add -exp asm)")
+		if r, ok := results["asm"].(asmBenchReport); ok {
+			gateSection("asm", bl.Asm, r.gateEntries())
+		} else {
+			notRun("asm")
 		}
-		gateSection("asm", bl.Asm, r.gateEntries())
+	}
+
+	if len(bl.Cluster) > 0 {
+		if r, ok := results["cluster"].(clusterBenchReport); ok {
+			gateSection("cluster", bl.Cluster, r.gateEntries())
+		} else {
+			notRun("cluster")
+		}
 	}
 
 	if checked == 0 && len(failures) == 0 {
-		return fmt.Errorf("%s gates nothing (no csbparallel, ucode, query, bitslice, telemetry or asm floors)", path)
+		return fmt.Errorf("%s gates nothing (no csbparallel, ucode, query, bitslice, telemetry, asm or cluster floors)", path)
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("%d of %d checks failed:\n  %s",
+		return fmt.Errorf("%d failures (%d floor checks ran):\n  %s",
 			len(failures), checked, strings.Join(failures, "\n  "))
 	}
 	fmt.Printf("[%d baseline checks passed, tolerance %.0f%%]\n", checked, 100*tol)

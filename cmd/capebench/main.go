@@ -109,6 +109,9 @@ func experiments() []experiment {
 		{"asm", "staged assembler pipeline: cold compile vs. program-cache hit (writes BENCH_asm.json)", func() (fmt.Stringer, error) {
 			return asmBench()
 		}},
+		{"cluster", "coordinator/worker scale-out: aggregate throughput vs. node count (writes BENCH_cluster.json)", func() (fmt.Stringer, error) {
+			return clusterBench()
+		}},
 		{"ablations", "design-choice ablations: vlrw.v, redsum-vs-add, narrow elements, CSB scaling", func() (fmt.Stringer, error) {
 			vlrw, err := report.AblationReplicaLoad()
 			if err != nil {

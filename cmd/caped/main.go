@@ -42,9 +42,33 @@
 //	-slo-latency D         SLO latency objective per request (default 2s)
 //	-debug-addr ADDR       serve net/http/pprof on a second listener
 //
+// Cluster flags (see the README's "Cluster mode" section):
+//
+//	-mode MODE             standalone (default), coordinator, or worker
+//	-coordinator URL       coordinator base URL a worker registers with
+//	-advertise URL         base URL the coordinator reaches this worker at
+//	                       (default derived from -addr on loopback)
+//	-worker-id ID          worker's ring identity (default the advertise
+//	                       host:port)
+//	-heartbeat D           worker heartbeat interval (default 1s)
+//	-worker-timeout D      coordinator evicts workers silent this long
+//	                       (default 5s)
+//	-cluster-retries N     extra workers a retryable failure may be
+//	                       rerouted to (default 2)
+//	-cluster-inflight N    per-worker in-flight bound before bounded-load
+//	                       spill to the next ring worker (default 32)
+//	-cluster-admission N   aggregate queue-depth limit before 503
+//	                       cluster_busy (default 1024, negative = off)
+//	-cluster-batch N       max jobs per batch round trip to one worker
+//	                       (default 8, 1 = no batching)
+//	-cluster-batch-window D  linger before an unfilled batch ships
+//	                       (default 500us)
+//
 // Endpoints: POST /v1/jobs (?trace=1 inlines the Chrome timeline),
 // GET /v1/jobs/{id}/trace, GET /v1/workloads, GET /v1/status,
 // GET /v1/debug/flightrecorder[/{id}], GET /healthz, GET /metrics.
+// Coordinators add GET /v1/cluster/status and the membership protocol;
+// workers add POST /v1/cluster/batch and POST /v1/cluster/drain.
 // See the README's "Running caped" and "Observability" sections for
 // curl examples.
 //
@@ -60,14 +84,17 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"cape"
+	"cape/internal/cluster"
 	"cape/internal/fault"
 )
 
@@ -131,6 +158,18 @@ func run() error {
 		brkThresh = flag.Int("breaker-threshold", 0, "consecutive job failures that open a shard's circuit breaker (0 = default 8, negative = off)")
 		brkCool   = flag.Duration("breaker-cooldown", 0, "open-breaker duration before a half-open probe (0 = 500ms)")
 		degrAfter = flag.Int("degrade-after", 0, "consecutive chain panics that degrade a shard to serial CSB execution (0 = default 2, negative = off)")
+
+		mode         = flag.String("mode", "standalone", "standalone, coordinator, or worker")
+		coordURL     = flag.String("coordinator", "", "coordinator base URL a worker registers with")
+		advertise    = flag.String("advertise", "", "base URL the coordinator reaches this worker at (empty = derived from -addr on loopback)")
+		workerID     = flag.String("worker-id", "", "worker's ring identity (empty = advertise host:port)")
+		heartbeat    = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = 1s)")
+		workerTO     = flag.Duration("worker-timeout", 0, "coordinator evicts workers silent this long (0 = 5s)")
+		clRetries    = flag.Int("cluster-retries", 0, "extra workers a retryable failure may be rerouted to (0 = default 2, negative = off)")
+		clInflight   = flag.Int("cluster-inflight", 0, "per-worker in-flight bound before bounded-load spill (0 = 32)")
+		clAdmission  = flag.Int("cluster-admission", 0, "aggregate queue-depth limit before 503 cluster_busy (0 = 1024, negative = off)")
+		clBatch      = flag.Int("cluster-batch", 0, "max jobs per batch round trip to one worker (0 = 8, 1 = no batching)")
+		clBatchLingr = flag.Duration("cluster-batch-window", 0, "linger before an unfilled batch ships (0 = 500us)")
 	)
 	flag.Parse()
 	if flag.NArg() != 0 {
@@ -212,9 +251,79 @@ func run() error {
 		}
 	}()
 
-	logger.Info("listening", "addr", *addr)
+	var handler http.Handler = srv.Handler()
+	serveCtx := ctx
+	switch *mode {
+	case "standalone":
+		// Today's single-node daemon, unchanged.
+	case "coordinator":
+		coord := cluster.NewCoordinator(srv, cluster.CoordinatorOptions{
+			RouteRetries:      *clRetries,
+			MaxWorkerInflight: *clInflight,
+			AdmissionLimit:    *clAdmission,
+			BatchMax:          *clBatch,
+			BatchWindow:       *clBatchLingr,
+			HeartbeatTimeout:  *workerTO,
+			Logger:            logger,
+		})
+		defer coord.Close()
+		handler = coord.Handler()
+	case "worker":
+		adv := *advertise
+		if adv == "" {
+			adv = defaultAdvertise(*addr)
+		}
+		if adv == "" {
+			return fmt.Errorf("-mode=worker: set -advertise (cannot derive a URL from -addr %q)", *addr)
+		}
+		id := *workerID
+		if id == "" {
+			id = strings.TrimPrefix(strings.TrimPrefix(adv, "https://"), "http://")
+		}
+		w := cluster.NewWorker(srv, cluster.WorkerOptions{
+			ID:                id,
+			AdvertiseURL:      adv,
+			CoordinatorURL:    *coordURL,
+			HeartbeatInterval: *heartbeat,
+			Logger:            logger,
+		})
+		handler = w.Handler()
+		w.Start()
+		defer w.Close()
+		// Graceful drain: SIGTERM deregisters first so the coordinator
+		// rebalances the ring and stops routing here, then the listener
+		// shuts down and in-flight jobs finish.
+		srvCtx, srvCancel := context.WithCancel(context.Background())
+		defer srvCancel()
+		go func() {
+			<-ctx.Done()
+			dctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			w.Drain(dctx)
+			cancel()
+			srvCancel()
+		}()
+		serveCtx = srvCtx
+	default:
+		return fmt.Errorf("-mode: want standalone, coordinator or worker, got %q", *mode)
+	}
+
+	logger.Info("listening", "addr", *addr, "mode", *mode)
 	start := time.Now()
-	err = cape.ServeWith(ctx, *addr, srv)
+	err = cape.ServeHandler(serveCtx, *addr, handler)
 	logger.Info("shut down", "after", time.Since(start).Round(time.Millisecond).String())
 	return err
+}
+
+// defaultAdvertise derives a loopback advertise URL from a listen
+// address like ":8081" or "0.0.0.0:8081" — the single-host topology
+// the CI matrix and local experiments run.
+func defaultAdvertise(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil || port == "" {
+		return ""
+	}
+	if host == "" || host == "0.0.0.0" || host == "::" {
+		host = "127.0.0.1"
+	}
+	return "http://" + net.JoinHostPort(host, port)
 }

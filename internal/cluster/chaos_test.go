@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Killing a worker mid-load (listener and heartbeats die together, as
+// under SIGKILL) must cost almost nothing: in-flight jobs on the dead
+// worker reroute, the coordinator evicts it on heartbeat timeout, and
+// every completed job stays bit-identical. The availability floor
+// matches the nightly chaos gate: > 99%.
+func TestClusterWorkerKillChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run is seconds long")
+	}
+	tc := startCluster(t, 2, CoordinatorOptions{
+		HeartbeatTimeout: 400 * time.Millisecond,
+		BreakerThreshold: 2,
+		BreakerCooldown:  200 * time.Millisecond,
+	})
+
+	const (
+		clients     = 8
+		jobsPerSide = 15 // per client, jobs total = clients * jobsPerSide
+		killAfter   = jobsPerSide / 3
+	)
+	var (
+		completed atomic.Int64
+		failed    atomic.Int64
+		corrupt   atomic.Int64
+		killOnce  sync.Once
+		wg        sync.WaitGroup
+	)
+	kill := func() {
+		killOnce.Do(func() {
+			// SIGKILL semantics: no drain, no deregister — the listener
+			// vanishes and heartbeats stop at the same instant.
+			tc.workers[0].Close()
+			tc.wts[0].CloseClientConnections()
+			tc.wts[0].Close()
+			tc.wts[0] = nil
+		})
+	}
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for i := 0; i < jobsPerSide; i++ {
+				if cl == 0 && i == killAfter {
+					kill()
+				}
+				seed := int64(cl*jobsPerSide + i + 1)
+				resp, code, errBody := submitHTTP(t, tc.ts.URL, probeReq(seed, false))
+				if resp == nil {
+					failed.Add(1)
+					t.Logf("seed %d failed: status %d: %s", seed, code, errBody)
+					continue
+				}
+				completed.Add(1)
+				for w, word := range resp.Memory {
+					if word != uint32(seed) {
+						corrupt.Add(1)
+						t.Errorf("seed %d: word %d is %#x, want %#x", seed, w, word, seed)
+						break
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+
+	total := completed.Load() + failed.Load()
+	availability := float64(completed.Load()) / float64(total)
+	t.Logf("chaos: %d/%d jobs completed (availability %.4f), rerouted %d, local fallback %d",
+		completed.Load(), total, availability, tc.coord.rerouted.Value(), tc.coord.localFallback.Value())
+	if availability <= 0.99 {
+		t.Fatalf("availability %.4f with a worker killed mid-load, want > 0.99", availability)
+	}
+	if corrupt.Load() != 0 {
+		t.Fatalf("%d corrupt results after worker kill — bit-identity broken", corrupt.Load())
+	}
+
+	// The dead worker must fall off the ring on heartbeat timeout.
+	waitFor(t, 5*time.Second, func() bool { return tc.coord.WorkerCount() == 1 },
+		"dead worker evicted from ring")
+	if tc.coord.flight.Recorded() == 0 {
+		t.Fatal("no flight events recorded during chaos")
+	}
+	found := false
+	for _, ev := range tc.coord.flight.SnapshotAll() {
+		if ev.Kind == "worker_evicted" {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("flight recorder has no worker_evicted event")
+	}
+}

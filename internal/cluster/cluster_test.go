@@ -1,0 +1,457 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"cape/internal/metrics"
+	"cape/internal/query"
+	"cape/internal/server"
+)
+
+// probeSource mirrors the server package's probe kernel: load 64
+// words, add the per-job seed from x11, store back. Any routing or
+// state bug shows up in the dumped memory.
+const probeSource = `
+	li      x1, 64
+	vsetvli x2, x1, e32
+	li      x10, 0x1000
+	vle32.v v1, (x10)
+	vadd.vx v1, v1, x11
+	vse32.v v1, (x10)
+	halt
+`
+
+func testServerOptions() server.Options {
+	return server.Options{
+		Workers:           4,
+		QueueDepth:        128,
+		MachinesPerConfig: 2,
+		RAMBytes:          1 << 20,
+		Registry:          metrics.NewRegistry(),
+	}
+}
+
+func probeReq(seed int64, big bool) server.Request {
+	cfg, chains := "CAPE32k", 4
+	if big {
+		cfg, chains = "CAPE131k", 8
+	}
+	return server.Request{
+		Source:    probeSource,
+		Name:      fmt.Sprintf("probe-%d", seed),
+		Config:    cfg,
+		Chains:    chains,
+		Registers: map[string]int64{"x11": seed},
+		Dump:      &server.DumpSpec{Addr: 0x1000, Words: 64},
+	}
+}
+
+func queryReq(backend string) server.Request {
+	return server.Request{
+		Backend: backend,
+		Chains:  4,
+		Query: &query.Request{
+			Kind:   query.KindKVGet,
+			Keys:   []uint32{11, 22, 33, 44},
+			Vals:   []uint32{1, 2, 3, 4},
+			Probes: []uint32{33, 99, 11},
+		},
+	}
+}
+
+// testCluster is a coordinator plus n workers, all in-process behind
+// real loopback HTTP servers.
+type testCluster struct {
+	coord   *Coordinator
+	ts      *httptest.Server
+	workers []*Worker
+	wts     []*httptest.Server
+}
+
+func startCluster(t *testing.T, n int, copts CoordinatorOptions) *testCluster {
+	t.Helper()
+	local := server.New(testServerOptions())
+	coord := NewCoordinator(local, copts)
+	ts := httptest.NewServer(coord.Handler())
+	tc := &testCluster{coord: coord, ts: ts}
+	t.Cleanup(func() {
+		for i, w := range tc.workers {
+			w.Close()
+			if tc.wts[i] != nil {
+				tc.wts[i].Close()
+			}
+			w.Server().Close()
+		}
+		ts.Close()
+		coord.Close()
+		local.Close()
+	})
+	hb := copts.HeartbeatTimeout / 4
+	if hb <= 0 {
+		hb = 50 * time.Millisecond
+	}
+	for i := 0; i < n; i++ {
+		srv := server.New(testServerOptions())
+		w := NewWorker(srv, WorkerOptions{
+			ID:                fmt.Sprintf("w%d", i),
+			CoordinatorURL:    ts.URL,
+			HeartbeatInterval: hb,
+		})
+		wts := httptest.NewServer(w.Handler())
+		w.SetAdvertiseURL(wts.URL)
+		w.Start()
+		tc.workers = append(tc.workers, w)
+		tc.wts = append(tc.wts, wts)
+	}
+	waitFor(t, 10*time.Second, func() bool { return coord.WorkerCount() == n },
+		fmt.Sprintf("%d workers registered", n))
+	return tc
+}
+
+func waitFor(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// submitHTTP posts one job through the real HTTP edge.
+func submitHTTP(t *testing.T, url string, req server.Request) (*server.Response, int, string) {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp, err := http.Post(url+"/v1/jobs", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(hresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hresp.StatusCode != http.StatusOK {
+		return nil, hresp.StatusCode, string(body)
+	}
+	var resp server.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, body)
+	}
+	return &resp, hresp.StatusCode, ""
+}
+
+// assertSamePayload checks the deterministic payload — everything but
+// job IDs, host-side timings, and the worker attribution — matches
+// bit-for-bit between a cluster execution and a standalone one.
+func assertSamePayload(t *testing.T, name string, got, want *server.Response) {
+	t.Helper()
+	if got.Program != want.Program || got.Config != want.Config ||
+		got.Chains != want.Chains || got.Backend != want.Backend {
+		t.Fatalf("%s: job identity differs: got %s/%s/%d/%s want %s/%s/%d/%s", name,
+			got.Program, got.Config, got.Chains, got.Backend,
+			want.Program, want.Config, want.Chains, want.Backend)
+	}
+	if !reflect.DeepEqual(got.Result, want.Result) {
+		t.Fatalf("%s: simulator result differs:\n got %+v\nwant %+v", name, got.Result, want.Result)
+	}
+	if got.SimSeconds != want.SimSeconds {
+		t.Fatalf("%s: modeled time %v != %v", name, got.SimSeconds, want.SimSeconds)
+	}
+	if !reflect.DeepEqual(got.Memory, want.Memory) {
+		t.Fatalf("%s: memory dump differs:\n got %v\nwant %v", name, got.Memory, want.Memory)
+	}
+	if !reflect.DeepEqual(got.Query, want.Query) {
+		t.Fatalf("%s: query payload differs:\n got %+v\nwant %+v", name, got.Query, want.Query)
+	}
+	switch {
+	case (got.CheckOK == nil) != (want.CheckOK == nil):
+		t.Fatalf("%s: check presence differs", name)
+	case got.CheckOK != nil && *got.CheckOK != *want.CheckOK:
+		t.Fatalf("%s: check_ok %v != %v", name, *got.CheckOK, *want.CheckOK)
+	}
+}
+
+// The tentpole acceptance test: a coordinator with two workers must
+// produce bit-identical payloads to a standalone server for every job
+// kind — assembly exec, named workloads, and both query backends.
+func TestClusterBitIdenticalToStandalone(t *testing.T) {
+	standalone := server.New(testServerOptions())
+	defer standalone.Close()
+	tc := startCluster(t, 2, CoordinatorOptions{})
+
+	jobs := []struct {
+		name string
+		req  server.Request
+	}{
+		{"exec-small", probeReq(7, false)},
+		{"exec-big", probeReq(40, true)},
+		{"workload-vvadd", server.Request{Workload: "vvadd", Chains: 64}},
+		{"query-fast", queryReq("fast")},
+		{"query-bitlevel", queryReq("bitlevel")},
+	}
+	for _, j := range jobs {
+		want, err := standalone.Submit(context.Background(), j.req)
+		if err != nil {
+			t.Fatalf("%s: standalone: %v", j.name, err)
+		}
+		got, code, errBody := submitHTTP(t, tc.ts.URL, j.req)
+		if got == nil {
+			t.Fatalf("%s: cluster: status %d: %s", j.name, code, errBody)
+		}
+		if got.Worker != "w0" && got.Worker != "w1" {
+			t.Fatalf("%s: executed on %q, want a registered worker", j.name, got.Worker)
+		}
+		assertSamePayload(t, j.name, got, want)
+	}
+}
+
+// Concurrent same-key load must spill across workers (bounded-load
+// routing) and flow through the batch path, with every job still
+// bit-identical to its expected output.
+func TestClusterConcurrentBatchedLoad(t *testing.T) {
+	tc := startCluster(t, 2, CoordinatorOptions{
+		MaxWorkerInflight: 1,
+		BatchMax:          8,
+		BatchWindow:       2 * time.Millisecond,
+	})
+	const jobs = 48
+	var wg sync.WaitGroup
+	errs := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			resp, code, errBody := submitHTTP(t, tc.ts.URL, probeReq(seed, false))
+			if resp == nil {
+				errs <- fmt.Errorf("seed %d: status %d: %s", seed, code, errBody)
+				return
+			}
+			for w, word := range resp.Memory {
+				if word != uint32(seed) {
+					errs <- fmt.Errorf("seed %d: word %d is %#x (cross-job corruption)", seed, w, word)
+					return
+				}
+			}
+		}(int64(i + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	var routed uint64
+	for _, w := range tc.workers {
+		tc.coord.mu.RLock()
+		rw := tc.coord.workers[w.opts.ID]
+		tc.coord.mu.RUnlock()
+		routed += rw.routed.Value()
+	}
+	if routed != jobs {
+		t.Fatalf("workers executed %d of %d jobs (local fallback %d, rerouted %d)",
+			routed, jobs, tc.coord.localFallback.Value(), tc.coord.rerouted.Value())
+	}
+	if tc.coord.batches.Value() == 0 {
+		t.Fatal("no batch envelopes shipped under concurrent load")
+	}
+}
+
+// Draining a worker must deregister it, shrink the ring, and leave the
+// survivor serving everything — no failed jobs, no local fallback.
+func TestClusterDrainRebalances(t *testing.T) {
+	tc := startCluster(t, 2, CoordinatorOptions{})
+	if resp, code, errBody := submitHTTP(t, tc.ts.URL, probeReq(1, false)); resp == nil {
+		t.Fatalf("pre-drain job: status %d: %s", code, errBody)
+	}
+
+	tc.workers[0].Drain(context.Background())
+	waitFor(t, 5*time.Second, func() bool { return tc.coord.WorkerCount() == 1 }, "ring to shrink after drain")
+
+	for seed := int64(10); seed < 20; seed++ {
+		resp, code, errBody := submitHTTP(t, tc.ts.URL, probeReq(seed, seed%2 == 0))
+		if resp == nil {
+			t.Fatalf("post-drain seed %d: status %d: %s", seed, code, errBody)
+		}
+		if resp.Worker != "w1" {
+			t.Fatalf("post-drain seed %d ran on %q, want the surviving worker", seed, resp.Worker)
+		}
+	}
+}
+
+// A coordinator with no workers degrades to its local pool and behaves
+// exactly like a standalone caped.
+func TestClusterLocalFallbackNoWorkers(t *testing.T) {
+	standalone := server.New(testServerOptions())
+	defer standalone.Close()
+	tc := startCluster(t, 0, CoordinatorOptions{})
+	want, err := standalone.Submit(context.Background(), probeReq(3, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, code, errBody := submitHTTP(t, tc.ts.URL, probeReq(3, false))
+	if got == nil {
+		t.Fatalf("status %d: %s", code, errBody)
+	}
+	if got.Worker != "local" {
+		t.Fatalf("ran on %q, want local fallback", got.Worker)
+	}
+	assertSamePayload(t, "fallback", got, want)
+	if tc.coord.localFallback.Value() == 0 {
+		t.Fatal("local fallback counter did not move")
+	}
+}
+
+// A worker that only ever answers 500 must trip its breaker and push
+// jobs to local fallback — and the client still sees success.
+func TestClusterBrokenWorkerFallsBackLocally(t *testing.T) {
+	tc := startCluster(t, 0, CoordinatorOptions{
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+	})
+	var hits int64
+	var mu sync.Mutex
+	broken := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hits++
+		mu.Unlock()
+		http.Error(w, `{"error":"boom","status":"error"}`, http.StatusInternalServerError)
+	}))
+	defer broken.Close()
+	tc.coord.addWorker("bad", broken.URL)
+
+	for seed := int64(1); seed <= 4; seed++ {
+		resp, code, errBody := submitHTTP(t, tc.ts.URL, probeReq(seed, false))
+		if resp == nil {
+			t.Fatalf("seed %d: status %d: %s", seed, code, errBody)
+		}
+		if resp.Worker != "local" {
+			t.Fatalf("seed %d ran on %q, want local fallback", seed, resp.Worker)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hits == 0 {
+		t.Fatal("broken worker was never tried")
+	}
+	tc.coord.mu.RLock()
+	state := server.BreakerStateName(tc.coord.workers["bad"].breaker.StateVal())
+	tc.coord.mu.RUnlock()
+	if state != "open" {
+		t.Fatalf("breaker is %s after repeated 500s, want open", state)
+	}
+}
+
+// Admission control: when aggregate in-flight load reaches the limit,
+// new jobs bounce with 503 cluster_busy instead of piling up.
+func TestClusterAdmissionControl(t *testing.T) {
+	tc := startCluster(t, 0, CoordinatorOptions{
+		AdmissionLimit: 1,
+		BatchMax:       1, // direct sends so in-flight tracking is immediate
+	})
+	release := make(chan struct{})
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		http.Error(w, `{"error":"late","status":"error"}`, http.StatusInternalServerError)
+	}))
+	defer slow.Close()
+	defer close(release)
+	tc.coord.addWorker("slow", slow.URL)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		submitHTTP(t, tc.ts.URL, probeReq(1, false))
+	}()
+	waitFor(t, 5*time.Second, func() bool {
+		tc.coord.mu.RLock()
+		defer tc.coord.mu.RUnlock()
+		return tc.coord.workers["slow"].inflight.Load() >= 1
+	}, "first job to be in flight")
+
+	resp, code, errBody := submitHTTP(t, tc.ts.URL, probeReq(2, false))
+	if resp != nil || code != http.StatusServiceUnavailable {
+		t.Fatalf("admission: got status %d (%s), want 503", code, errBody)
+	}
+	var eb struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal([]byte(errBody), &eb); err != nil || eb.Status != "cluster_busy" {
+		t.Fatalf("admission error body: %s", errBody)
+	}
+	if tc.coord.admissionRej.Value() == 0 {
+		t.Fatal("admission rejection counter did not move")
+	}
+	release <- struct{}{}
+	<-done
+}
+
+// Cluster status and metrics surfaces: the coordinator must expose the
+// ring and per-worker health over /v1/cluster/status, and the
+// caped_cluster_* series over the standard /metrics endpoint.
+func TestClusterStatusAndMetrics(t *testing.T) {
+	tc := startCluster(t, 2, CoordinatorOptions{})
+	if resp, code, errBody := submitHTTP(t, tc.ts.URL, probeReq(5, false)); resp == nil {
+		t.Fatalf("job: status %d: %s", code, errBody)
+	}
+
+	hresp, err := http.Get(tc.ts.URL + "/v1/cluster/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var body StatusBody
+	if err := json.NewDecoder(hresp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RingSize != 2 || len(body.Workers) != 2 {
+		t.Fatalf("status: ring %d, %d workers, want 2/2", body.RingSize, len(body.Workers))
+	}
+	if body.Workers[0].ID != "w0" || body.Workers[1].ID != "w1" {
+		t.Fatalf("status workers out of order: %+v", body.Workers)
+	}
+	if body.Routed == 0 {
+		t.Fatalf("status reports no routed jobs: %+v", body)
+	}
+
+	mresp, err := http.Get(tc.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metricsText, _ := io.ReadAll(mresp.Body)
+	for _, want := range []string{
+		"caped_cluster_ring_size 2",
+		"caped_cluster_jobs_routed_total",
+		"caped_cluster_worker_queue_depth",
+	} {
+		if !bytes.Contains(metricsText, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Cluster flight events ride the local server's flight recorder.
+	frresp, err := http.Get(tc.ts.URL + "/v1/debug/flightrecorder")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer frresp.Body.Close()
+	frText, _ := io.ReadAll(frresp.Body)
+	if !bytes.Contains(frText, []byte("worker_registered")) {
+		t.Errorf("flight recorder missing worker_registered event: %.300s", frText)
+	}
+}

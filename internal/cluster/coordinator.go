@@ -1,0 +1,831 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cape/internal/metrics"
+	"cape/internal/server"
+	"cape/internal/telemetry"
+)
+
+// maxJobBytes bounds a routed job submission body, matching the
+// standalone edge.
+const maxJobBytes = 4 << 20
+
+// clusterShard is the flight-recorder ring coordinator-level events
+// land on; per-worker events land on "worker:<id>" rings.
+const clusterShard = "cluster"
+
+// CoordinatorOptions configures routing, batching, and admission.
+type CoordinatorOptions struct {
+	// BreakerThreshold consecutive transport failures open a worker's
+	// circuit breaker (default 4; negative disables). BreakerCooldown
+	// is the open duration before a half-open probe (default 1s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// RouteRetries is how many additional workers a retryable failure
+	// may be rerouted to (default 2; negative disables rerouting).
+	RouteRetries int
+	// RetryBaseDelay/RetryMaxDelay bound the backoff between route
+	// attempts (defaults 2ms and 50ms).
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// MaxWorkerInflight is the bounded-load spill threshold: a job
+	// whose ring-primary worker already has this many coordinator-side
+	// in-flight jobs spills to the next worker on the ring (default 32;
+	// affinity is a warm-cache optimization, not a correctness rule).
+	MaxWorkerInflight int
+	// AdmissionLimit bounds the aggregate cluster load (coordinator
+	// in-flight plus worker-reported queue depth); beyond it new jobs
+	// are rejected with 503 cluster_busy so clients shed load upstream
+	// (default 1024; negative disables admission control).
+	AdmissionLimit int
+	// BatchMax is the largest job batch sent to one worker in a single
+	// round trip (default 8; <= 1 sends every job individually).
+	// BatchWindow is the longest a batch waits to fill after its first
+	// job arrives (default 500µs).
+	BatchMax    int
+	BatchWindow time.Duration
+	// HeartbeatTimeout evicts a worker whose last heartbeat is older
+	// than this (default 5s); evicted workers re-register on their next
+	// heartbeat attempt.
+	HeartbeatTimeout time.Duration
+	// Vnodes is the consistent-hash virtual-node count per worker
+	// (default DefaultVnodes).
+	Vnodes int
+	// Logger receives membership and routing events (nil = discard).
+	Logger *slog.Logger
+}
+
+func (o CoordinatorOptions) withDefaults() CoordinatorOptions {
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 4
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
+	if o.RouteRetries == 0 {
+		o.RouteRetries = 2
+	}
+	if o.RouteRetries < 0 {
+		o.RouteRetries = 0
+	}
+	if o.RetryBaseDelay <= 0 {
+		o.RetryBaseDelay = 2 * time.Millisecond
+	}
+	if o.RetryMaxDelay <= 0 {
+		o.RetryMaxDelay = 50 * time.Millisecond
+	}
+	if o.MaxWorkerInflight <= 0 {
+		o.MaxWorkerInflight = 32
+	}
+	if o.AdmissionLimit == 0 {
+		o.AdmissionLimit = 1024
+	}
+	if o.BatchMax <= 0 {
+		o.BatchMax = 8
+	}
+	if o.BatchWindow <= 0 {
+		o.BatchWindow = 500 * time.Microsecond
+	}
+	if o.HeartbeatTimeout <= 0 {
+		o.HeartbeatTimeout = 5 * time.Second
+	}
+	return o
+}
+
+// remoteWorker is the coordinator's view of one registered worker: a
+// shard that can fail, so it sits behind its own circuit breaker.
+type remoteWorker struct {
+	id  string
+	url string
+
+	breaker *server.Breaker
+	// inflight counts coordinator-side jobs currently on the wire to
+	// this worker (the bounded-load signal); queueLen and repInflight
+	// mirror the worker's own heartbeat-reported load.
+	inflight    atomic.Int64
+	queueLen    atomic.Int64
+	repInflight atomic.Int64
+	lastSeen    atomic.Int64 // unix nanos of the last register/heartbeat
+	draining    atomic.Bool
+
+	routed *metrics.Counter
+	// batch feeds the worker's batcher goroutine; nil when batching is
+	// disabled. done (closed once by stopWorkerLocked) stops the
+	// batcher and unblocks enqueued jobs.
+	batch    chan *batchJob
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// batchJob is one job waiting in a worker's batcher.
+type batchJob struct {
+	req  server.Request
+	done chan batchResult
+}
+
+// batchResult is one attempt's outcome: Response on success, Err for a
+// worker-reported job error, transportErr when the worker could not be
+// reached at all (retryable on another worker).
+type batchResult struct {
+	resp         *server.Response
+	jerr         *JobError
+	transportErr error
+}
+
+// Coordinator routes jobs across registered workers by consistent
+// hashing on the job's pool ShardKey, with bounded-load spill, batch
+// aggregation, per-worker circuit breakers, admission control, and
+// degradation to local execution. It embeds a full standalone server:
+// the local pool is the fallback executor and also serves the
+// non-routing endpoints (status, metrics, flight recorder).
+type Coordinator struct {
+	opts   CoordinatorOptions
+	local  *server.Server
+	client *http.Client
+	logger *slog.Logger
+	flight *telemetry.Flight
+	reg    *metrics.Registry
+
+	mu      sync.RWMutex
+	workers map[string]*remoteWorker
+	ring    *Ring
+
+	rerouted      *metrics.Counter
+	localFallback *metrics.Counter
+	admissionRej  *metrics.Counter
+	batches       *metrics.Counter
+	batchJobs     *metrics.Counter
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// NewCoordinator wraps local (the fallback executor, whose registry
+// and flight recorder also carry the cluster telemetry) and starts the
+// eviction loop. The caller owns local's lifecycle.
+func NewCoordinator(local *server.Server, opts CoordinatorOptions) *Coordinator {
+	opts = opts.withDefaults()
+	logger := opts.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
+	c := &Coordinator{
+		opts:    opts,
+		local:   local,
+		client:  &http.Client{Timeout: 2 * time.Minute},
+		logger:  logger,
+		flight:  local.Flight(),
+		reg:     local.Registry(),
+		workers: make(map[string]*remoteWorker),
+		ring:    NewRing(opts.Vnodes),
+		closed:  make(chan struct{}),
+	}
+	c.reg.GaugeFunc("caped_cluster_ring_size",
+		"Workers on the coordinator's consistent-hash ring.", nil,
+		func() int64 { c.mu.RLock(); defer c.mu.RUnlock(); return int64(c.ring.Size()) })
+	c.reg.GaugeFunc("caped_cluster_workers_healthy",
+		"Registered workers with a fresh heartbeat, not draining.", nil,
+		func() int64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			var n int64
+			for _, rw := range c.workers {
+				if c.healthy(rw) {
+					n++
+				}
+			}
+			return n
+		})
+	c.rerouted = c.reg.Counter("caped_cluster_jobs_rerouted_total",
+		"Jobs that ran on a worker other than their ring primary (spill or retry).", nil)
+	c.localFallback = c.reg.Counter("caped_cluster_local_fallback_total",
+		"Jobs degraded to the coordinator's local pool because no worker could take them.", nil)
+	c.admissionRej = c.reg.Counter("caped_cluster_admission_rejected_total",
+		"Jobs rejected at admission because aggregate cluster load exceeded the limit.", nil)
+	c.batches = c.reg.Counter("caped_cluster_batches_total",
+		"Batch envelopes sent to workers.", nil)
+	c.batchJobs = c.reg.Counter("caped_cluster_batch_jobs_total",
+		"Jobs carried inside batch envelopes.", nil)
+	go c.evictLoop()
+	return c
+}
+
+// Local returns the embedded fallback server.
+func (c *Coordinator) Local() *server.Server { return c.local }
+
+// Close stops the eviction loop and the per-worker batchers. It does
+// not close the local server — the caller owns it.
+func (c *Coordinator) Close() {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		for id, rw := range c.workers {
+			c.stopWorkerLocked(rw)
+			delete(c.workers, id)
+		}
+		c.ring = NewRing(c.opts.Vnodes)
+	})
+}
+
+// WorkerCount reports the current ring size (tests poll it while
+// workers register).
+func (c *Coordinator) WorkerCount() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ring.Size()
+}
+
+// healthy reports whether rw may receive new jobs. Caller holds c.mu.
+func (c *Coordinator) healthy(rw *remoteWorker) bool {
+	if rw.draining.Load() {
+		return false
+	}
+	return time.Since(time.Unix(0, rw.lastSeen.Load())) < c.opts.HeartbeatTimeout
+}
+
+// evictLoop removes workers whose heartbeats stopped: a SIGKILLed
+// worker never deregisters, so liveness is the coordinator's job. The
+// ring rebalances immediately; the worker re-registers if it returns.
+func (c *Coordinator) evictLoop() {
+	t := time.NewTicker(c.opts.HeartbeatTimeout / 2)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.closed:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		for id, rw := range c.workers {
+			if time.Since(time.Unix(0, rw.lastSeen.Load())) >= c.opts.HeartbeatTimeout {
+				c.flight.Record("worker:"+id, "worker_evicted", 0, "heartbeat timeout")
+				c.logger.Warn("worker evicted", "id", id, "url", rw.url)
+				c.stopWorkerLocked(rw)
+				delete(c.workers, id)
+				c.ring = c.ring.Without(id)
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// stopWorkerLocked signals a worker's batcher to stop. The batch
+// channel itself is never closed — concurrent Route calls may still be
+// enqueuing — the done signal makes both sides bail out instead.
+func (c *Coordinator) stopWorkerLocked(rw *remoteWorker) {
+	rw.stopOnce.Do(func() { close(rw.done) })
+}
+
+// addWorker registers (or re-registers) a worker and rebalances the
+// ring. Re-registration with a new URL replaces the old record.
+func (c *Coordinator) addWorker(id, url string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.workers[id]; ok {
+		c.stopWorkerLocked(old)
+	}
+	rw := &remoteWorker{
+		id:      id,
+		url:     url,
+		breaker: server.NewBreaker(c.opts.BreakerThreshold, c.opts.BreakerCooldown),
+		done:    make(chan struct{}),
+		routed: c.reg.Counter("caped_cluster_jobs_routed_total",
+			"Jobs routed to each worker.", metrics.Labels{"worker": id}),
+	}
+	rw.breaker.SetOnTransition(func(from, to int64) {
+		detail := server.BreakerStateName(from) + "->" + server.BreakerStateName(to)
+		c.flight.Record("worker:"+id, "worker_breaker_"+server.BreakerStateName(to), 0, detail)
+	})
+	rw.lastSeen.Store(time.Now().UnixNano())
+	if c.opts.BatchMax > 1 {
+		rw.batch = make(chan *batchJob, 4*c.opts.BatchMax)
+		go c.batcher(rw)
+	}
+	labels := metrics.Labels{"worker": id}
+	c.reg.GaugeFunc("caped_cluster_worker_queue_depth",
+		"Worker-reported job queue depth from its last heartbeat.", labels,
+		rw.queueLen.Load)
+	c.reg.GaugeFunc("caped_cluster_worker_inflight",
+		"Coordinator-side jobs currently on the wire to the worker.", labels,
+		rw.inflight.Load)
+	c.reg.GaugeFunc("caped_cluster_worker_healthy",
+		"Whether the worker is routable (fresh heartbeat, not draining).", labels,
+		func() int64 {
+			c.mu.RLock()
+			defer c.mu.RUnlock()
+			if w, ok := c.workers[id]; ok && c.healthy(w) {
+				return 1
+			}
+			return 0
+		})
+	c.workers[id] = rw
+	c.ring = c.ring.With(id)
+	c.flight.Record("worker:"+id, "worker_registered", 0, url)
+	c.logger.Info("worker registered", "id", id, "url", url, "ring_size", c.ring.Size())
+}
+
+// removeWorker deregisters a worker (graceful drain or explicit
+// deregister) and rebalances the ring.
+func (c *Coordinator) removeWorker(id, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rw, ok := c.workers[id]
+	if !ok {
+		return
+	}
+	c.stopWorkerLocked(rw)
+	delete(c.workers, id)
+	c.ring = c.ring.Without(id)
+	c.flight.Record("worker:"+id, "worker_drained", 0, reason)
+	c.logger.Info("worker removed", "id", id, "reason", reason, "ring_size", c.ring.Size())
+}
+
+// aggregateLoad sums coordinator-side in-flight and worker-reported
+// queue depth across healthy workers — the backpressure signal
+// admission control gates on.
+func (c *Coordinator) aggregateLoad() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var n int64
+	for _, rw := range c.workers {
+		n += rw.inflight.Load() + rw.queueLen.Load()
+	}
+	return n
+}
+
+// candidates returns the job's preference list: every healthy worker
+// in ring order from the key's primary, with the breaker consulted at
+// send time (not here) so half-open probes happen on real jobs.
+func (c *Coordinator) candidates(key string) []*remoteWorker {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	ids := c.ring.Successors(key, c.ring.Size())
+	out := make([]*remoteWorker, 0, len(ids))
+	for _, id := range ids {
+		if rw, ok := c.workers[id]; ok && c.healthy(rw) {
+			out = append(out, rw)
+		}
+	}
+	return out
+}
+
+// pickOrder applies bounded-load spill to the preference list: the
+// first worker under the in-flight bound leads, the rest follow in
+// ring order as retry fallbacks.
+func (c *Coordinator) pickOrder(cands []*remoteWorker) []*remoteWorker {
+	bound := int64(c.opts.MaxWorkerInflight)
+	for i, rw := range cands {
+		if rw.inflight.Load() < bound {
+			if i == 0 {
+				return cands
+			}
+			ordered := make([]*remoteWorker, 0, len(cands))
+			ordered = append(ordered, cands[i:]...)
+			ordered = append(ordered, cands[:i]...)
+			return ordered
+		}
+	}
+	// Everyone is over the bound: keep affinity order; admission
+	// control is the pressure valve, not routing.
+	return cands
+}
+
+// Route executes one job on the cluster: consistent-hash routing with
+// bounded-load spill, per-worker breakers, retry with backoff across
+// ring successors, and local-pool fallback. The returned JobError is a
+// worker- or cluster-attributed failure ready for the HTTP edge.
+func (c *Coordinator) Route(ctx context.Context, req server.Request) (*server.Response, *JobError) {
+	key, err := server.RoutingKey(req, c.local.Options())
+	if err != nil {
+		return nil, &JobError{Error: err.Error(), Status: "error", Code: http.StatusBadRequest}
+	}
+	if lim := c.opts.AdmissionLimit; lim > 0 && c.aggregateLoad() >= int64(lim) {
+		c.admissionRej.Inc()
+		c.flight.Record(clusterShard, "admission_rejected", 0,
+			fmt.Sprintf("aggregate load >= %d", lim))
+		return nil, &JobError{
+			Error:  fmt.Sprintf("cluster: aggregate queue depth at limit (%d); retry with backoff", lim),
+			Status: "cluster_busy",
+			Code:   http.StatusServiceUnavailable,
+		}
+	}
+
+	cands := c.candidates(key)
+	var primary *remoteWorker
+	if len(cands) > 0 {
+		primary = cands[0]
+	}
+	cands = c.pickOrder(cands)
+	attempts := 1 + c.opts.RouteRetries
+	sent := 0
+	for _, rw := range cands {
+		if sent >= attempts {
+			break
+		}
+		if !rw.breaker.Allow() {
+			continue
+		}
+		if sent > 0 {
+			// Backoff between reroutes so a glitching fleet is not
+			// hammered in a tight loop.
+			if !sleepCtx(ctx, backoff(c.opts, sent-1)) {
+				return nil, ctxJobError(ctx)
+			}
+		}
+		sent++
+		rw.inflight.Add(1)
+		res := c.send(ctx, rw, req)
+		rw.inflight.Add(-1)
+		alive := res.transportErr == nil &&
+			(res.jerr == nil || (res.jerr.Code != http.StatusInternalServerError && res.jerr.Code != http.StatusBadGateway))
+		rw.breaker.OnResult(alive)
+		switch {
+		case res.transportErr != nil:
+			c.flight.Record("worker:"+rw.id, "route_retry", 0, res.transportErr.Error())
+			c.logger.Warn("worker unreachable", "id", rw.id, "error", res.transportErr.Error())
+			continue
+		case res.jerr != nil && retryableCode(res.jerr.Code):
+			c.flight.Record("worker:"+rw.id, "route_retry", 0,
+				fmt.Sprintf("%d %s", res.jerr.Code, res.jerr.Status))
+			continue
+		case res.jerr != nil:
+			return nil, res.jerr
+		}
+		rw.routed.Inc()
+		if rw != primary {
+			// Served off the ring primary: bounded-load spill or a
+			// retry landed it elsewhere.
+			c.rerouted.Inc()
+		}
+		res.resp.Worker = rw.id
+		c.flight.Record("worker:"+rw.id, "job_routed", res.resp.JobID, key)
+		return res.resp, nil
+	}
+
+	// No worker could take the job: degrade to the local pool. The
+	// coordinator alone behaves exactly like a standalone caped.
+	c.localFallback.Inc()
+	c.flight.Record(clusterShard, "local_fallback", 0, key)
+	resp, err := c.local.Submit(ctx, req)
+	if err != nil {
+		return nil, &JobError{
+			Error:  err.Error(),
+			Status: server.StatusOf(err),
+			Code:   server.HTTPStatusOf(err),
+		}
+	}
+	resp.Worker = "local"
+	return resp, nil
+}
+
+// retryableCode reports whether a worker-returned HTTP status means
+// "another worker might succeed": saturation and internal failures
+// reroute, client errors and job timeouts do not (a 504 job already
+// consumed its budget once; rerouting would double the damage).
+func retryableCode(code int) bool {
+	switch code {
+	case http.StatusServiceUnavailable, http.StatusInternalServerError, http.StatusBadGateway:
+		return true
+	}
+	return false
+}
+
+// ctxJobError converts a dead submission context.
+func ctxJobError(ctx context.Context) *JobError {
+	return &JobError{Error: ctx.Err().Error(), Status: "timeout", Code: http.StatusGatewayTimeout}
+}
+
+// backoff is the reroute delay before attempt+1: exponential from the
+// base, capped.
+func backoff(o CoordinatorOptions, attempt int) time.Duration {
+	d := o.RetryBaseDelay
+	for i := 0; i < attempt && d < o.RetryMaxDelay; i++ {
+		d *= 2
+	}
+	if d > o.RetryMaxDelay {
+		d = o.RetryMaxDelay
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx dies; reports whether it slept.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// errWorkerGone marks a job parked for a worker that was removed
+// (evicted, drained, or coordinator shutdown) before the job shipped;
+// Route treats it as a transport error and retries elsewhere.
+var errWorkerGone = fmt.Errorf("cluster: worker removed before job was sent")
+
+// send runs one job on one worker, through the batcher when batching
+// is on, else as a direct single-job POST. rw.batch is written once at
+// registration, before the worker is published, so it is read without
+// a lock.
+func (c *Coordinator) send(ctx context.Context, rw *remoteWorker, req server.Request) batchResult {
+	if rw.batch == nil {
+		return c.postJob(ctx, rw, req)
+	}
+	j := &batchJob{req: req, done: make(chan batchResult, 1)}
+	select {
+	case rw.batch <- j:
+	case <-rw.done:
+		return batchResult{transportErr: errWorkerGone}
+	case <-ctx.Done():
+		return batchResult{transportErr: ctx.Err()}
+	}
+	select {
+	case res := <-j.done:
+		return res
+	case <-rw.done:
+		return batchResult{transportErr: errWorkerGone}
+	case <-ctx.Done():
+		return batchResult{transportErr: ctx.Err()}
+	}
+}
+
+// batcher aggregates jobs bound for one worker: the first job opens a
+// batch, the window bounds how long it lingers filling, and the full
+// or expired batch ships as one round trip. The done signal stops it;
+// Route's select on the same signal fails any job still parked, which
+// then reroutes as a transport error.
+func (c *Coordinator) batcher(rw *remoteWorker) {
+	for {
+		var first *batchJob
+		select {
+		case <-rw.done:
+			return
+		case first = <-rw.batch:
+		}
+		batch := []*batchJob{first}
+		timer := time.NewTimer(c.opts.BatchWindow)
+	fill:
+		for len(batch) < c.opts.BatchMax {
+			select {
+			case j := <-rw.batch:
+				batch = append(batch, j)
+			case <-timer.C:
+				break fill
+			case <-rw.done:
+				break fill
+			}
+		}
+		timer.Stop()
+		c.shipBatch(rw, batch)
+	}
+}
+
+// shipBatch sends one batch (a lone job uses the public single-job
+// endpoint, so batching is invisible at batch size 1).
+func (c *Coordinator) shipBatch(rw *remoteWorker, batch []*batchJob) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.client.Timeout)
+	defer cancel()
+	if len(batch) == 1 {
+		batch[0].done <- c.postJob(ctx, rw, batch[0].req)
+		return
+	}
+	c.batches.Inc()
+	c.batchJobs.Add(uint64(len(batch)))
+	breq := BatchRequest{Jobs: make([]server.Request, len(batch))}
+	for i, j := range batch {
+		breq.Jobs[i] = j.req
+	}
+	var bresp BatchResponse
+	err := c.postJSON(ctx, rw.url+"/v1/cluster/batch", breq, &bresp)
+	if err != nil || len(bresp.Items) != len(batch) {
+		if err == nil {
+			err = fmt.Errorf("cluster: batch answered %d of %d items", len(bresp.Items), len(batch))
+		}
+		for _, j := range batch {
+			j.done <- batchResult{transportErr: err}
+		}
+		return
+	}
+	for i, j := range batch {
+		item := bresp.Items[i]
+		switch {
+		case item.Response != nil:
+			j.done <- batchResult{resp: item.Response}
+		case item.Err != nil:
+			j.done <- batchResult{jerr: item.Err}
+		default:
+			j.done <- batchResult{transportErr: fmt.Errorf("cluster: empty batch item")}
+		}
+	}
+}
+
+// postJob sends one job to the worker's standard single-job endpoint
+// and folds the response into a batchResult.
+func (c *Coordinator) postJob(ctx context.Context, rw *remoteWorker, req server.Request) batchResult {
+	b, err := json.Marshal(req)
+	if err != nil {
+		return batchResult{jerr: &JobError{Error: err.Error(), Status: "error", Code: http.StatusBadRequest}}
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, rw.url+"/v1/jobs", bytes.NewReader(b))
+	if err != nil {
+		return batchResult{transportErr: err}
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hresp, err := c.client.Do(hreq)
+	if err != nil {
+		return batchResult{transportErr: err}
+	}
+	defer hresp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(hresp.Body, maxJobBytes))
+	if err != nil {
+		return batchResult{transportErr: err}
+	}
+	if hresp.StatusCode != http.StatusOK {
+		var eb struct {
+			Error  string `json:"error"`
+			Status string `json:"status"`
+		}
+		if json.Unmarshal(body, &eb) != nil || eb.Error == "" {
+			eb.Error = fmt.Sprintf("worker returned %d", hresp.StatusCode)
+			eb.Status = "error"
+		}
+		return batchResult{jerr: &JobError{Error: eb.Error, Status: eb.Status, Code: hresp.StatusCode}}
+	}
+	var resp server.Response
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return batchResult{transportErr: fmt.Errorf("cluster: bad worker response: %w", err)}
+	}
+	return batchResult{resp: &resp}
+}
+
+// postJSON is the batch/management POST helper.
+func (c *Coordinator) postJSON(ctx context.Context, url string, in, out any) error {
+	b, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s returned %d", url, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Handler returns the coordinator's HTTP API: the routed job endpoint
+// and the membership protocol, with everything else (status, metrics,
+// flight recorder, workloads) served by the embedded local server.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", c.handleSubmit)
+	mux.HandleFunc("POST /v1/cluster/register", c.handleRegister)
+	mux.HandleFunc("POST /v1/cluster/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/deregister", c.handleDeregister)
+	mux.HandleFunc("GET /v1/cluster/status", c.handleClusterStatus)
+	mux.Handle("/", c.local.Handler())
+	return mux
+}
+
+// handleSubmit is the coordinator's job edge: decode, route, answer
+// with the worker's own payload.
+func (c *Coordinator) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req server.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error": "bad request body: " + err.Error(), "status": "error"})
+		return
+	}
+	if q := r.URL.Query(); q.Get("trace") == "1" || q.Get("trace") == "true" {
+		req.Trace = true
+	}
+	resp, jerr := c.Route(r.Context(), req)
+	if jerr != nil {
+		writeJSON(w, jerr.Code, map[string]string{"error": jerr.Error, "status": jerr.Status})
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" || req.URL == "" {
+		http.Error(w, "register needs id and url", http.StatusBadRequest)
+		return
+	}
+	c.addWorker(req.ID, req.URL)
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"status":"registered"}`)
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var hb Heartbeat
+	if err := json.NewDecoder(r.Body).Decode(&hb); err != nil || hb.ID == "" {
+		http.Error(w, "bad heartbeat", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	rw, ok := c.workers[hb.ID]
+	if ok {
+		rw.lastSeen.Store(time.Now().UnixNano())
+		rw.queueLen.Store(int64(hb.QueueLen))
+		rw.repInflight.Store(hb.Inflight)
+		if hb.Draining && !rw.draining.Swap(true) {
+			// First drain heartbeat: take the worker off the ring now;
+			// its in-flight jobs finish on their own.
+			c.ring = c.ring.Without(hb.ID)
+			c.flight.Record("worker:"+hb.ID, "worker_draining", 0, "")
+		}
+	}
+	c.mu.Unlock()
+	if !ok {
+		http.Error(w, "unknown worker (re-register)", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (c *Coordinator) handleDeregister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
+		http.Error(w, "deregister needs id", http.StatusBadRequest)
+		return
+	}
+	c.removeWorker(req.ID, "deregistered")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, `{"status":"deregistered"}`)
+}
+
+func (c *Coordinator) handleClusterStatus(w http.ResponseWriter, _ *http.Request) {
+	c.mu.RLock()
+	body := StatusBody{
+		Mode:     "coordinator",
+		RingSize: c.ring.Size(),
+	}
+	for id, rw := range c.workers {
+		body.Workers = append(body.Workers, WorkerStatus{
+			ID:       id,
+			URL:      rw.url,
+			Healthy:  c.healthy(rw),
+			Breaker:  server.BreakerStateName(rw.breaker.StateVal()),
+			Draining: rw.draining.Load(),
+			QueueLen: int(rw.queueLen.Load()),
+			Inflight: rw.inflight.Load(),
+			Routed:   rw.routed.Value(),
+			AgeSec:   int64(time.Since(time.Unix(0, rw.lastSeen.Load())).Seconds()),
+		})
+		body.Routed += rw.routed.Value()
+	}
+	c.mu.RUnlock()
+	sortWorkers(body.Workers)
+	body.Rerouted = c.rerouted.Value()
+	body.LocalFallback = c.localFallback.Value()
+	body.Rejected = c.admissionRej.Value()
+	writeJSON(w, http.StatusOK, body)
+}
+
+func sortWorkers(ws []WorkerStatus) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].ID < ws[j-1].ID; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,82 @@
+// Wire types of the internal coordinator↔worker RPC. Job payloads
+// reuse the existing server.Request/server.Response JSON verbatim —
+// the worker-facing protocol IS the public caped job API plus a batch
+// envelope and a little membership signaling, so a worker is
+// indistinguishable from a standalone caped to any client that finds
+// it.
+package cluster
+
+import (
+	"cape/internal/server"
+)
+
+// RegisterRequest announces a worker to the coordinator. URL is the
+// base URL the coordinator reaches the worker at (scheme://host:port).
+type RegisterRequest struct {
+	ID  string `json:"id"`
+	URL string `json:"url"`
+}
+
+// Heartbeat is the worker's periodic liveness + load report. QueueLen
+// and Inflight feed the coordinator's backpressure and spill
+// decisions; Draining workers stop receiving new jobs but keep their
+// in-flight ones.
+type Heartbeat struct {
+	ID       string `json:"id"`
+	QueueLen int    `json:"queue_len"`
+	Inflight int64  `json:"inflight"`
+	Draining bool   `json:"draining,omitempty"`
+}
+
+// BatchRequest carries several small jobs to one worker in a single
+// round trip; the worker runs them concurrently through its normal
+// submit path.
+type BatchRequest struct {
+	Jobs []server.Request `json:"jobs"`
+}
+
+// JobError is a failed batch item, mirroring the single-job endpoint's
+// error body: the same status string and HTTP code the worker would
+// have returned had the job been submitted alone.
+type JobError struct {
+	Error  string `json:"error"`
+	Status string `json:"status"`
+	Code   int    `json:"code"`
+}
+
+// BatchItem is one batch slot's outcome: exactly one of Response and
+// Err is set.
+type BatchItem struct {
+	Response *server.Response `json:"response,omitempty"`
+	Err      *JobError        `json:"error,omitempty"`
+}
+
+// BatchResponse answers a BatchRequest, item i answering job i.
+type BatchResponse struct {
+	Items []BatchItem `json:"items"`
+}
+
+// WorkerStatus is one worker's row in the coordinator's
+// /v1/cluster/status body.
+type WorkerStatus struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Breaker  string `json:"breaker"`
+	Draining bool   `json:"draining,omitempty"`
+	QueueLen int    `json:"queue_len"`
+	Inflight int64  `json:"inflight"`
+	Routed   uint64 `json:"jobs_routed"`
+	AgeSec   int64  `json:"last_heartbeat_age_sec"`
+}
+
+// StatusBody is the GET /v1/cluster/status response.
+type StatusBody struct {
+	Mode          string         `json:"mode"`
+	RingSize      int            `json:"ring_size"`
+	Workers       []WorkerStatus `json:"workers"`
+	Routed        uint64         `json:"jobs_routed_total"`
+	Rerouted      uint64         `json:"jobs_rerouted_total"`
+	LocalFallback uint64         `json:"jobs_local_fallback_total"`
+	Rejected      uint64         `json:"jobs_admission_rejected_total"`
+}

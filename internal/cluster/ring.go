@@ -1,0 +1,147 @@
+// Package cluster scales caped beyond one machine: a coordinator
+// routes jobs across a fleet of workers, each of which runs today's
+// sharded machine pool behind the standard HTTP/JSON job API. Routing
+// consistent-hashes the job's pool ShardKey onto a ring of workers, so
+// jobs of one configuration concentrate where machines and microcode
+// templates are already warm, with bounded-load spill to ring
+// successors when the primary is saturated. Each remote worker sits
+// behind its own circuit breaker (a remote worker is just a shard that
+// can fail); when every worker is unreachable the coordinator degrades
+// to executing jobs on its own local pool.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// DefaultVnodes is the virtual-node count per ring member. 128 points
+// per worker keeps the load split within a few percent of even for
+// small fleets while the ring stays tiny (a 16-worker ring is 2048
+// points, one binary search per routed job).
+const DefaultVnodes = 128
+
+// ringPoint is one virtual node: a hash position owned by a member.
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// Ring is an immutable consistent-hash ring over worker IDs. Routing
+// is a pure function of the member set and the key — independent of
+// insertion order, process, or host — so every coordinator replica
+// and every test agrees on placement. Membership changes build a new
+// Ring (copy-on-write); readers never lock.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint
+	members []string
+}
+
+// hash64 maps a string to a ring position. sha256 (truncated) rather
+// than a fast non-cryptographic hash: routing cost is one hash per
+// job, and the uniformity guarantees make the remap-1/N property hold
+// tightly even at small vnode counts.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// NewRing builds a ring of the given members with vnodes virtual
+// nodes each (vnodes <= 0 selects DefaultVnodes). Duplicate members
+// are collapsed.
+func NewRing(vnodes int, members ...string) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	seen := make(map[string]bool, len(members))
+	uniq := make([]string, 0, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{vnodes: vnodes, members: uniq}
+	r.points = make([]ringPoint, 0, vnodes*len(uniq))
+	for _, m := range uniq {
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", m, i)),
+				member: m,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by member so placement
+		// stays order-independent.
+		return r.points[i].member < r.points[j].member
+	})
+	return r
+}
+
+// With returns a new ring with member added (no-op copy if present).
+func (r *Ring) With(member string) *Ring {
+	return NewRing(r.vnodes, append(append([]string{}, r.members...), member)...)
+}
+
+// Without returns a new ring with member removed.
+func (r *Ring) Without(member string) *Ring {
+	keep := make([]string, 0, len(r.members))
+	for _, m := range r.members {
+		if m != member {
+			keep = append(keep, m)
+		}
+	}
+	return NewRing(r.vnodes, keep...)
+}
+
+// Members returns the member set, sorted.
+func (r *Ring) Members() []string { return append([]string{}, r.members...) }
+
+// Size reports the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Route returns the member owning key (the first virtual node at or
+// clockwise after the key's hash), or "" on an empty ring.
+func (r *Ring) Route(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member
+}
+
+// Successors returns up to n distinct members in ring order starting
+// at key's owner: the preference list bounded-load routing walks when
+// earlier choices are saturated or broken.
+func (r *Ring) Successors(key string, n int) []string {
+	if len(r.points) == 0 || n <= 0 {
+		return nil
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		m := r.points[(start+i)%len(r.points)].member
+		if !seen[m] {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	return out
+}

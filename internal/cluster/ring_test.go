@@ -1,0 +1,118 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		// Shaped like real routing keys (pool ShardKeys) rather than
+		// random strings.
+		keys[i] = fmt.Sprintf("CAPE32k/chains=%d/backend=0/ram=%d/csbw=4/csbt=64/ucode=128/faults=", i%512, 1<<20+i)
+	}
+	return keys
+}
+
+// Removing one of N members must remap exactly the keys that member
+// owned — about 1/N of them — and no others. This is the property that
+// makes worker loss cheap: the surviving workers keep their warm
+// machine pools for every key they already owned.
+func TestRingRemovalRemapsOnlyOwnedKeys(t *testing.T) {
+	members := []string{"w0", "w1", "w2", "w3", "w4"}
+	r := NewRing(0, members...)
+	keys := ringKeys(20000)
+
+	before := make(map[string]string, len(keys))
+	owned := 0
+	for _, k := range keys {
+		before[k] = r.Route(k)
+		if before[k] == "w2" {
+			owned++
+		}
+	}
+
+	after := r.Without("w2")
+	for _, k := range keys {
+		got := after.Route(k)
+		if before[k] == "w2" {
+			if got == "w2" {
+				t.Fatalf("key %q still routes to removed member", k)
+			}
+			continue
+		}
+		if got != before[k] {
+			t.Fatalf("key %q remapped %s -> %s though its owner survived", k, before[k], got)
+		}
+	}
+
+	frac := float64(owned) / float64(len(keys))
+	want := 1.0 / float64(len(members))
+	if frac < want/2 || frac > want*2 {
+		t.Fatalf("removed member owned %.3f of keys, want ~%.3f (vnode distribution broken?)", frac, want)
+	}
+}
+
+// Routing must be a pure function of the member set: same members in
+// any insertion order, or reached via different With/Without paths,
+// place every key identically. sha256 has no process-local seed, so
+// this is also the cross-process guarantee a multi-coordinator
+// deployment depends on.
+func TestRingDeterministicAcrossConstruction(t *testing.T) {
+	keys := ringKeys(2000)
+	a := NewRing(0, "alpha", "beta", "gamma", "delta")
+	b := NewRing(0, "delta", "gamma", "beta", "alpha")
+	c := NewRing(0, "beta", "alpha").With("delta").With("gamma")
+	d := NewRing(0, "alpha", "beta", "gamma", "delta", "epsilon").Without("epsilon")
+	for _, k := range keys {
+		want := a.Route(k)
+		for i, r := range []*Ring{b, c, d} {
+			if got := r.Route(k); got != want {
+				t.Fatalf("ring %d routes %q to %s, ring a to %s", i, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"w0", "w1", "w2", "w3"}
+	r := NewRing(0, members...)
+	keys := ringKeys(20000)
+	counts := make(map[string]int)
+	for _, k := range keys {
+		counts[r.Route(k)]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / float64(len(keys))
+		if frac < 0.15 || frac > 0.40 {
+			t.Fatalf("member %s owns %.3f of keys (counts %v), want ~0.25", m, frac, counts)
+		}
+	}
+}
+
+func TestRingSuccessors(t *testing.T) {
+	r := NewRing(0, "w0", "w1", "w2")
+	key := "CAPE32k/chains=4"
+	succ := r.Successors(key, 10)
+	if len(succ) != 3 {
+		t.Fatalf("successors: %v, want all 3 distinct members", succ)
+	}
+	if succ[0] != r.Route(key) {
+		t.Fatalf("successors[0] = %s, Route = %s", succ[0], r.Route(key))
+	}
+	seen := map[string]bool{}
+	for _, m := range succ {
+		if seen[m] {
+			t.Fatalf("duplicate member %s in %v", m, succ)
+		}
+		seen[m] = true
+	}
+	if got := r.Successors(key, 2); len(got) != 2 || got[0] != succ[0] || got[1] != succ[1] {
+		t.Fatalf("truncated successors %v, want prefix of %v", got, succ)
+	}
+	empty := NewRing(0)
+	if empty.Route(key) != "" || empty.Successors(key, 3) != nil {
+		t.Fatal("empty ring must route nowhere")
+	}
+}

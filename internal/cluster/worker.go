@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cape/internal/server"
+	"cape/internal/telemetry"
+)
+
+// maxBatchJobs bounds one batch envelope; the coordinator's batcher
+// never builds batches anywhere near this, so hitting it means a
+// malformed client.
+const maxBatchJobs = 256
+
+// WorkerOptions configures the cluster face of a worker node.
+type WorkerOptions struct {
+	// ID names the worker on the ring (must be unique per fleet;
+	// cmd/caped defaults it to host:port).
+	ID string
+	// AdvertiseURL is the base URL the coordinator reaches this worker
+	// at, e.g. "http://10.0.0.7:8081".
+	AdvertiseURL string
+	// CoordinatorURL is the coordinator to register with; empty runs
+	// the worker unregistered (it still serves jobs and batches, and a
+	// coordinator can be pointed at it manually).
+	CoordinatorURL string
+	// HeartbeatInterval paces liveness/load reports (default 1s).
+	HeartbeatInterval time.Duration
+	// Logger receives registration and drain events (nil = discard).
+	Logger *slog.Logger
+}
+
+// Worker wraps a standalone server.Server with the cluster protocol:
+// the standard job API plus POST /v1/cluster/batch and POST
+// /v1/cluster/drain, a registration loop, and heartbeats carrying
+// queue depth so the coordinator can apply backpressure.
+type Worker struct {
+	srv    *server.Server
+	opts   WorkerOptions
+	client *http.Client
+	logger *slog.Logger
+
+	draining atomic.Bool
+
+	mu      sync.Mutex
+	stop    context.CancelFunc
+	stopped chan struct{}
+}
+
+// NewWorker wraps srv. Call Start to register and heartbeat, Handler
+// to serve, and Drain before shutdown.
+func NewWorker(srv *server.Server, opts WorkerOptions) *Worker {
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = time.Second
+	}
+	logger := opts.Logger
+	if logger == nil {
+		logger = telemetry.NopLogger()
+	}
+	return &Worker{
+		srv:    srv,
+		opts:   opts,
+		client: &http.Client{Timeout: 5 * time.Second},
+		logger: logger,
+	}
+}
+
+// Server returns the wrapped standalone server.
+func (w *Worker) Server() *server.Server { return w.srv }
+
+// SetAdvertiseURL updates the advertised base URL; callers that bind
+// their listener after NewWorker (tests, capebench) learn it late.
+// Call before Start.
+func (w *Worker) SetAdvertiseURL(u string) { w.opts.AdvertiseURL = u }
+
+// Draining reports whether drain has begun.
+func (w *Worker) Draining() bool { return w.draining.Load() }
+
+// Handler returns the worker's HTTP API: the full standalone caped
+// surface (jobs, status, metrics, flight recorder) plus the cluster
+// batch and drain endpoints.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/cluster/batch", w.handleBatch)
+	mux.HandleFunc("POST /v1/cluster/drain", w.handleDrain)
+	mux.Handle("/", w.srv.Handler())
+	return mux
+}
+
+// handleBatch runs every job of the envelope concurrently through the
+// normal submit path and answers item-for-item. A job's failure is a
+// failed item, never a failed batch: the coordinator decides per item
+// whether to retry elsewhere.
+func (w *Worker) handleBatch(rw http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(rw, "bad batch body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Jobs) == 0 || len(req.Jobs) > maxBatchJobs {
+		http.Error(rw, fmt.Sprintf("batch of %d jobs (want 1..%d)", len(req.Jobs), maxBatchJobs),
+			http.StatusBadRequest)
+		return
+	}
+	resp := BatchResponse{Items: make([]BatchItem, len(req.Jobs))}
+	var wg sync.WaitGroup
+	for i, jr := range req.Jobs {
+		wg.Add(1)
+		go func(i int, jr server.Request) {
+			defer wg.Done()
+			jresp, err := w.srv.Submit(r.Context(), jr)
+			if err != nil {
+				resp.Items[i] = BatchItem{Err: &JobError{
+					Error:  err.Error(),
+					Status: server.StatusOf(err),
+					Code:   server.HTTPStatusOf(err),
+				}}
+				return
+			}
+			resp.Items[i] = BatchItem{Response: jresp}
+		}(i, jr)
+	}
+	wg.Wait()
+	rw.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(rw).Encode(resp)
+}
+
+// handleDrain begins a graceful drain: the worker deregisters from its
+// coordinator and heartbeats Draining until the process shuts down.
+// In-flight and already-queued jobs still complete — drain only stops
+// new routing.
+func (w *Worker) handleDrain(rw http.ResponseWriter, r *http.Request) {
+	w.beginDrain(r.Context())
+	rw.WriteHeader(http.StatusOK)
+	fmt.Fprintln(rw, `{"status":"draining"}`)
+}
+
+// Start launches the registration + heartbeat loop (no-op without a
+// coordinator URL). It returns immediately; Close stops the loop.
+func (w *Worker) Start() {
+	if w.opts.CoordinatorURL == "" {
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w.mu.Lock()
+	w.stop = cancel
+	w.stopped = make(chan struct{})
+	stopped := w.stopped
+	w.mu.Unlock()
+	go func() {
+		defer close(stopped)
+		w.loop(ctx)
+	}()
+}
+
+// Close stops the registration loop (it does not drain; call Drain
+// first for a graceful exit).
+func (w *Worker) Close() {
+	w.mu.Lock()
+	stop, stopped := w.stop, w.stopped
+	w.stop = nil
+	w.mu.Unlock()
+	if stop != nil {
+		stop()
+		<-stopped
+	}
+}
+
+// Drain deregisters from the coordinator and marks the worker
+// draining. The caller then shuts its HTTP server down gracefully so
+// in-flight jobs finish; the coordinator has already rebalanced the
+// ring by the time this returns.
+func (w *Worker) Drain(ctx context.Context) {
+	w.beginDrain(ctx)
+	w.Close()
+}
+
+func (w *Worker) beginDrain(ctx context.Context) {
+	if w.draining.Swap(true) {
+		return
+	}
+	w.logger.Info("worker draining", "id", w.opts.ID)
+	if w.opts.CoordinatorURL != "" {
+		if err := w.post(ctx, "/v1/cluster/deregister", RegisterRequest{ID: w.opts.ID, URL: w.opts.AdvertiseURL}); err != nil {
+			w.logger.Warn("deregister failed", "error", err.Error())
+		}
+	}
+}
+
+// loop registers (with retry) and then heartbeats; a heartbeat
+// rejected with 404 means the coordinator restarted or evicted us, so
+// the worker re-registers.
+func (w *Worker) loop(ctx context.Context) {
+	registered := false
+	t := time.NewTicker(w.opts.HeartbeatInterval)
+	defer t.Stop()
+	for {
+		if w.draining.Load() {
+			// A draining worker keeps heartbeating its drain state but
+			// never re-registers.
+			registered = true
+		}
+		if !registered {
+			err := w.post(ctx, "/v1/cluster/register", RegisterRequest{ID: w.opts.ID, URL: w.opts.AdvertiseURL})
+			if err == nil {
+				registered = true
+				w.logger.Info("registered with coordinator",
+					"coordinator", w.opts.CoordinatorURL, "id", w.opts.ID)
+			} else if ctx.Err() == nil {
+				w.logger.Warn("register failed, retrying", "error", err.Error())
+			}
+		} else {
+			hb := Heartbeat{
+				ID:       w.opts.ID,
+				QueueLen: w.srv.QueueLen(),
+				Inflight: w.srv.InflightJobs(),
+				Draining: w.draining.Load(),
+			}
+			if err := w.post(ctx, "/v1/cluster/heartbeat", hb); err != nil {
+				if errors.Is(err, errUnknownWorker) {
+					registered = false
+				} else if ctx.Err() == nil {
+					w.logger.Warn("heartbeat failed", "error", err.Error())
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}
+
+// errUnknownWorker marks a 404 heartbeat: the coordinator no longer
+// knows this worker and it must re-register.
+var errUnknownWorker = errors.New("cluster: coordinator does not know this worker")
+
+// post sends one JSON message to the coordinator.
+func (w *Worker) post(ctx context.Context, path string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opts.CoordinatorURL+path, bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return errUnknownWorker
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("cluster: %s: coordinator returned %d", path, resp.StatusCode)
+	}
+	return nil
+}

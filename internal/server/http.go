@@ -71,6 +71,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
+// HTTPStatusOf maps a Submit error to the HTTP status the caped edge
+// would return for it. Cluster workers use it to serialize batch-item
+// errors with the same semantics as the single-job endpoint.
+func HTTPStatusOf(err error) int { return httpStatusOf(err) }
+
+// StatusOf classifies a Submit error the way the job log and the
+// caped_jobs_completed_total status label do ("ok" for nil).
+func StatusOf(err error) string { return statusOf(err) }
+
 // httpStatusOf maps a Submit error to an HTTP status.
 func httpStatusOf(err error) int {
 	switch {

@@ -120,6 +120,13 @@ type Response struct {
 	QueueNS int64 `json:"queue_ns"`
 	RunNS   int64 `json:"run_ns"`
 	TotalNS int64 `json:"total_ns"`
+
+	// Worker names the cluster worker that executed the job when it was
+	// routed through a coordinator ("local" for coordinator-side
+	// fallback execution); standalone servers leave it empty. The field
+	// is informational: the payload is bit-identical wherever the job
+	// ran.
+	Worker string `json:"worker,omitempty"`
 }
 
 // Spec is a compiled, validated job ready to execute on a machine of
@@ -157,6 +164,66 @@ func parseXReg(s string) (int, error) {
 	return n, nil
 }
 
+// resolveConfig validates the machine-selection fields of req (config,
+// chains, backend) against the server options and returns the
+// core.Config a job of this request executes on, plus the backend
+// name. It is the pre-compilation half of Compile, shared with the
+// cluster coordinator's RoutingKey — routing must agree exactly with
+// what the executing worker builds, or a job would land on a worker
+// whose pool shard differs from the one the hash ring picked.
+func resolveConfig(req Request, opts Options) (core.Config, string, error) {
+	var cfg core.Config
+	switch req.Config {
+	case "", "CAPE32k":
+		cfg = core.CAPE32k()
+	case "CAPE131k":
+		cfg = core.CAPE131k()
+	default:
+		return cfg, "", fmt.Errorf("server: unknown config %q (want CAPE32k or CAPE131k)", req.Config)
+	}
+	if req.Chains != 0 {
+		if req.Chains < 0 {
+			return cfg, "", fmt.Errorf("server: bad chain count %d", req.Chains)
+		}
+		cfg.Chains = req.Chains
+	}
+	var backend string
+	switch req.Backend {
+	case "", "fast":
+		cfg.Backend = core.BackendFast
+		backend = "fast"
+	case "bitlevel":
+		cfg.Backend = core.BackendBitLevel
+		backend = "bitlevel"
+	default:
+		return cfg, "", fmt.Errorf("server: unknown backend %q (want fast or bitlevel)", req.Backend)
+	}
+	cfg.RAMBytes = opts.RAMBytes
+	cfg.CSBWorkers = opts.CSBWorkers
+	cfg.CSBParallelThreshold = opts.CSBParallelThreshold
+	cfg.UcodeCacheSize = opts.UcodeCacheSize
+	cfg.Faults = opts.Faults
+	// Workload jobs bump RAM to the standard input-set layout; mirror
+	// that here so RoutingKey matches the executed ShardKey.
+	if req.Workload != "" && cfg.RAMBytes < workloads.RAMBytes {
+		cfg.RAMBytes = workloads.RAMBytes
+	}
+	return cfg, backend, nil
+}
+
+// RoutingKey returns the pool-shard key jobs of this request execute
+// on — the value a cluster coordinator consistent-hashes to pick a
+// worker. It performs only machine-selection validation, not
+// compilation: a malformed program routes like a well-formed one and
+// is rejected by the worker that would have executed it.
+func RoutingKey(req Request, opts Options) (string, error) {
+	cfg, _, err := resolveConfig(req, opts.withDefaults())
+	if err != nil {
+		return "", err
+	}
+	return ShardKey(cfg), nil
+}
+
 // Compile resolves a Request against the given options (zero value =
 // defaults) into an executable Spec. It performs all validation that
 // does not need a machine: config and backend selection, assembly, and
@@ -178,35 +245,11 @@ func Compile(req Request, opts Options) (*Spec, error) {
 		spec.Timeout = opts.MaxTimeout
 	}
 
-	switch req.Config {
-	case "", "CAPE32k":
-		spec.Config = core.CAPE32k()
-	case "CAPE131k":
-		spec.Config = core.CAPE131k()
-	default:
-		return nil, fmt.Errorf("server: unknown config %q (want CAPE32k or CAPE131k)", req.Config)
+	var err error
+	spec.Config, spec.BackendName, err = resolveConfig(req, opts)
+	if err != nil {
+		return nil, err
 	}
-	if req.Chains != 0 {
-		if req.Chains < 0 {
-			return nil, fmt.Errorf("server: bad chain count %d", req.Chains)
-		}
-		spec.Config.Chains = req.Chains
-	}
-	switch req.Backend {
-	case "", "fast":
-		spec.Config.Backend = core.BackendFast
-		spec.BackendName = "fast"
-	case "bitlevel":
-		spec.Config.Backend = core.BackendBitLevel
-		spec.BackendName = "bitlevel"
-	default:
-		return nil, fmt.Errorf("server: unknown backend %q (want fast or bitlevel)", req.Backend)
-	}
-	spec.Config.RAMBytes = opts.RAMBytes
-	spec.Config.CSBWorkers = opts.CSBWorkers
-	spec.Config.CSBParallelThreshold = opts.CSBParallelThreshold
-	spec.Config.UcodeCacheSize = opts.UcodeCacheSize
-	spec.Config.Faults = opts.Faults
 	spec.Trace = req.Trace || opts.TraceAll
 	spec.TraceSample = req.TraceSample
 	if spec.TraceSample <= 0 {
@@ -256,12 +299,10 @@ func Compile(req Request, opts Options) (*Spec, error) {
 		if !ok {
 			return nil, fmt.Errorf("server: unknown workload %q", req.Workload)
 		}
+		// Workload input sets assume the standard layout; resolveConfig
+		// already sized the machines for it regardless of the pool's RAM
+		// option.
 		spec.Workload = &w
-		// Workload input sets assume the standard layout; make sure the
-		// machines are big enough regardless of the pool's RAM option.
-		if spec.Config.RAMBytes < workloads.RAMBytes {
-			spec.Config.RAMBytes = workloads.RAMBytes
-		}
 	default:
 		return nil, fmt.Errorf("server: request needs source, workload or query")
 	}

@@ -27,11 +27,13 @@ const (
 	breakerOpen
 )
 
-// breaker is a per-shard circuit breaker over final job outcomes.
-// Threshold consecutive failures open it; after cooldown one probe job
-// is let through (half-open), and its outcome closes or re-opens the
-// circuit. A zero threshold disables the breaker entirely.
-type breaker struct {
+// Breaker is a circuit breaker over final job outcomes. Threshold
+// consecutive failures open it; after cooldown one probe job is let
+// through (half-open), and its outcome closes or re-opens the circuit.
+// A zero threshold disables the breaker entirely. The server wraps one
+// around every pool shard, and a cluster coordinator wraps one around
+// every remote worker — a remote worker is just a shard that can fail.
+type Breaker struct {
 	threshold int
 	cooldown  time.Duration
 	// onTransition, when non-nil, observes every state change (flight
@@ -46,8 +48,19 @@ type breaker struct {
 	probing  bool
 }
 
-// breakerStateName names a breaker state for events and logs.
-func breakerStateName(s int64) string {
+// NewBreaker builds a breaker that opens after threshold consecutive
+// failures and half-opens after cooldown (threshold <= 0 disables it).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	return &Breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// SetOnTransition installs the state-change observer (flight recorder,
+// logs). The hook runs with the breaker's lock held: implementations
+// must not call back into the breaker.
+func (b *Breaker) SetOnTransition(f func(from, to int64)) { b.onTransition = f }
+
+// BreakerStateName names a breaker state for events and logs.
+func BreakerStateName(s int64) string {
 	switch s {
 	case breakerClosed:
 		return "closed"
@@ -60,7 +73,7 @@ func breakerStateName(s int64) string {
 
 // setState transitions the breaker, firing the observer hook. Caller
 // holds b.mu.
-func (b *breaker) setState(to int64) {
+func (b *Breaker) setState(to int64) {
 	if b.state == to {
 		return
 	}
@@ -71,8 +84,8 @@ func (b *breaker) setState(to int64) {
 	}
 }
 
-// allow reports whether a job may run now.
-func (b *breaker) allow() bool {
+// Allow reports whether a job may run now.
+func (b *Breaker) Allow() bool {
 	if b.threshold <= 0 {
 		return true
 	}
@@ -97,9 +110,9 @@ func (b *breaker) allow() bool {
 	}
 }
 
-// onResult records a job's final outcome (not individual retry
+// OnResult records a job's final outcome (not individual retry
 // attempts: a job saved by its retries is a success).
-func (b *breaker) onResult(ok bool) {
+func (b *Breaker) OnResult(ok bool) {
 	if b.threshold <= 0 {
 		return
 	}
@@ -119,8 +132,9 @@ func (b *breaker) onResult(ok bool) {
 	}
 }
 
-// stateVal samples the state for the gauge.
-func (b *breaker) stateVal() int64 {
+// StateVal samples the state for the gauge (0 closed, 1 half-open, 2
+// open).
+func (b *Breaker) StateVal() int64 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.state
@@ -128,7 +142,7 @@ func (b *breaker) stateVal() int64 {
 
 // shardHealth tracks one pool shard's breaker and degradation state.
 type shardHealth struct {
-	breaker breaker
+	breaker Breaker
 	// degradeAfter consecutive chain-panic faults force the shard's
 	// machines onto the serial CSB path (where fan-out workers cannot
 	// panic); the same count of consecutive successes lifts it.
@@ -145,7 +159,7 @@ type shardHealth struct {
 
 func newShardHealth(opts Options) *shardHealth {
 	return &shardHealth{
-		breaker:      breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
+		breaker:      Breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
 		degradeAfter: opts.DegradeAfter,
 	}
 }

@@ -208,53 +208,53 @@ func TestBreakerOpens(t *testing.T) {
 		t.Fatalf("httpStatusOf = %d, want 503", got)
 	}
 	h := s.health(mustCompile(t, s, chaosRequest()).Config)
-	if h.breaker.stateVal() != breakerOpen {
-		t.Fatalf("breaker state = %d, want open", h.breaker.stateVal())
+	if h.breaker.StateVal() != breakerOpen {
+		t.Fatalf("breaker state = %d, want open", h.breaker.StateVal())
 	}
 }
 
 // TestBreakerStateMachine drives the breaker directly through
 // open → half-open probe → re-open → half-open → closed.
 func TestBreakerStateMachine(t *testing.T) {
-	b := breaker{threshold: 2, cooldown: 5 * time.Millisecond}
-	if !b.allow() {
+	b := Breaker{threshold: 2, cooldown: 5 * time.Millisecond}
+	if !b.Allow() {
 		t.Fatal("fresh breaker must be closed")
 	}
-	b.onResult(false)
-	b.onResult(false)
-	if b.stateVal() != breakerOpen {
+	b.OnResult(false)
+	b.OnResult(false)
+	if b.StateVal() != breakerOpen {
 		t.Fatal("threshold failures did not open")
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("open breaker allowed a job inside the cooldown")
 	}
 	time.Sleep(6 * time.Millisecond)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("cooldown elapsed but no probe allowed")
 	}
-	if b.allow() {
+	if b.Allow() {
 		t.Fatal("second probe allowed while the first is in flight")
 	}
-	b.onResult(false)
-	if b.stateVal() != breakerOpen {
+	b.OnResult(false)
+	if b.StateVal() != breakerOpen {
 		t.Fatal("failed probe did not re-open")
 	}
 	time.Sleep(6 * time.Millisecond)
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("no probe after second cooldown")
 	}
-	b.onResult(true)
-	if b.stateVal() != breakerClosed {
+	b.OnResult(true)
+	if b.StateVal() != breakerClosed {
 		t.Fatal("successful probe did not close")
 	}
-	if !b.allow() {
+	if !b.Allow() {
 		t.Fatal("closed breaker rejected a job")
 	}
 	// A disabled breaker is always closed.
-	off := breaker{}
-	off.onResult(false)
-	off.onResult(false)
-	if !off.allow() {
+	off := Breaker{}
+	off.OnResult(false)
+	off.OnResult(false)
+	if !off.Allow() {
 		t.Fatal("disabled breaker rejected a job")
 	}
 }

@@ -387,6 +387,13 @@ func (s *Server) Registry() *metrics.Registry { return s.reg }
 // Pool returns the machine pool (health reporting, tests).
 func (s *Server) Pool() *Pool { return s.pool }
 
+// QueueLen reports the jobs currently waiting for a worker; cluster
+// workers ship it in heartbeats so the coordinator sees backpressure.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// InflightJobs reports jobs queued or executing right now.
+func (s *Server) InflightJobs() int64 { return s.inflight.Value() }
+
 // Options returns the effective (defaulted) options.
 func (s *Server) Options() Options { return s.opts }
 
@@ -605,12 +612,12 @@ func (s *Server) health(cfg core.Config) *shardHealth {
 		h = newShardHealth(s.opts)
 		// Breaker and degradation flips land on the shard's flight ring
 		// and the operational log, correlated by shard key.
-		h.breaker.onTransition = func(from, to int64) {
-			detail := breakerStateName(from) + "->" + breakerStateName(to)
-			s.flight.Record(key, "breaker_"+breakerStateName(to), 0, detail)
+		h.breaker.SetOnTransition(func(from, to int64) {
+			detail := BreakerStateName(from) + "->" + BreakerStateName(to)
+			s.flight.Record(key, "breaker_"+BreakerStateName(to), 0, detail)
 			s.logger.LogAttrs(context.Background(), slog.LevelWarn, "breaker transition",
 				slog.String("shard", key), slog.String("transition", detail))
-		}
+		})
 		h.onDegrade = func(degraded bool) {
 			kind := "degraded_serial"
 			if !degraded {
@@ -623,7 +630,7 @@ func (s *Server) health(cfg core.Config) *shardHealth {
 		s.healths[key] = h
 		s.reg.GaugeFunc("caped_breaker_state",
 			"Per-shard circuit breaker state (0 closed, 1 half-open, 2 open).",
-			metrics.Labels{"shard": key}, h.breaker.stateVal)
+			metrics.Labels{"shard": key}, h.breaker.StateVal)
 		s.reg.GaugeFunc("caped_degraded_serial",
 			"Whether the shard's machines are degraded to serial CSB execution.",
 			metrics.Labels{"shard": key}, h.degradedVal)
@@ -684,7 +691,7 @@ func (s *Server) runJob(j *job) {
 	case j.ctx.Err() != nil:
 		// The submitter is gone; skip the run entirely.
 		d.err = j.ctx.Err()
-	case !h.breaker.allow():
+	case !h.breaker.Allow():
 		d.err = ErrBreakerOpen
 		s.flight.Record(j.shard, "breaker_rejected", j.id, "")
 	default:
@@ -692,7 +699,7 @@ func (s *Server) runJob(j *job) {
 			m, d = s.attempt(j, h)
 			if d.err == nil {
 				h.noteSuccess()
-				h.breaker.onResult(true)
+				h.breaker.OnResult(true)
 				break
 			}
 			if cls, ok := fault.ClassOf(d.err); ok {
@@ -701,7 +708,7 @@ func (s *Server) runJob(j *job) {
 					fmt.Sprintf("attempt %d: %s", attempt, cls))
 			}
 			if attempt >= retries || !fault.IsTransient(d.err) || j.ctx.Err() != nil {
-				h.breaker.onResult(false)
+				h.breaker.OnResult(false)
 				break
 			}
 			s.retries.Inc()
@@ -709,7 +716,7 @@ func (s *Server) runJob(j *job) {
 				fmt.Sprintf("attempt %d failed: %v", attempt, d.err))
 			if !sleepCtx(j.ctx, backoffDelay(s.opts, attempt)) {
 				d.err = j.ctx.Err()
-				h.breaker.onResult(false)
+				h.breaker.OnResult(false)
 				break
 			}
 		}

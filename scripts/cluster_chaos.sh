@@ -1,0 +1,161 @@
+#!/usr/bin/env bash
+# Cluster kill/restart chaos: boot a coordinator and two workers (with
+# deterministic fault injection enabled so the internal/fault counters
+# and retry machinery are exercised under cluster routing), SIGKILL one
+# worker mid-load, and require availability above 99% with every
+# completed job bit-identical to the probe's expected output. The dead
+# worker must fall off the ring via heartbeat timeout.
+#
+# Usage: scripts/cluster_chaos.sh [path-to-caped-binary]
+set -u
+
+CAPED="${1:-}"
+DUMP_DIR="${DUMP_DIR:-cluster-dumps}"
+WORK="$(mktemp -d)"
+COORD_PORT=18090
+W1_PORT=18091
+W2_PORT=18092
+JOBS=200
+CONCURRENCY=8
+SEED=7
+PIDS=()
+
+fail() {
+  echo "cluster_chaos: FAIL: $*" >&2
+  mkdir -p "$DUMP_DIR"
+  for port in $COORD_PORT $W1_PORT $W2_PORT; do
+    curl -s "http://127.0.0.1:$port/v1/debug/flightrecorder" \
+      -o "$DUMP_DIR/flight-$port.json" 2>/dev/null || true
+  done
+  cp "$WORK"/*.log "$DUMP_DIR/" 2>/dev/null || true
+  cleanup
+  exit 1
+}
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+if [ -z "$CAPED" ]; then
+  CAPED="$WORK/caped"
+  echo "== building caped"
+  go build -o "$CAPED" ./cmd/caped || { echo "build failed" >&2; exit 1; }
+fi
+
+wait_healthy() {
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "$2 (port $1) never became healthy"
+}
+
+# Workers run with fault injection on: transient HBM faults force the
+# per-shard retry/resilience path to fire on top of cluster rerouting.
+echo "== starting coordinator + 2 fault-injecting workers"
+# -cluster-inflight 2 turns routing into work-stealing: both workers
+# stay busy whatever the hash split, so the SIGKILL is guaranteed to
+# catch in-flight jobs and exercise reroute.
+"$CAPED" -mode=coordinator -addr "127.0.0.1:$COORD_PORT" \
+  -worker-timeout 1s -cluster-inflight 2 -job-log off >"$WORK/coordinator.log" 2>&1 & PIDS+=($!)
+"$CAPED" -mode=worker -addr "127.0.0.1:$W1_PORT" -worker-id w1 \
+  -coordinator "http://127.0.0.1:$COORD_PORT" -heartbeat 250ms \
+  -faults "seed=1,hbm-late=0.05" -job-log off >"$WORK/worker1.log" 2>&1 & W1_PID=$!; PIDS+=($W1_PID)
+"$CAPED" -mode=worker -addr "127.0.0.1:$W2_PORT" -worker-id w2 \
+  -coordinator "http://127.0.0.1:$COORD_PORT" -heartbeat 250ms \
+  -faults "seed=2,hbm-late=0.05" -job-log off >"$WORK/worker2.log" 2>&1 & PIDS+=($!)
+
+wait_healthy $COORD_PORT coordinator
+wait_healthy $W1_PORT worker1
+wait_healthy $W2_PORT worker2
+for _ in $(seq 1 100); do
+  ring="$(curl -s "http://127.0.0.1:$COORD_PORT/v1/cluster/status" | jq -r '.ring_size')"
+  [ "$ring" = "2" ] && break
+  sleep 0.1
+done
+[ "$ring" = "2" ] || fail "ring_size is '$ring', want 2"
+
+# Four chain counts — four pool ShardKeys — so consistent hashing has
+# keys to spread over both workers. The probe's output (64 words, each
+# the seed) is independent of the chain count.
+for chains in 16 32 64 128; do
+  cat >"$WORK/probe.$chains.json" <<EOF
+{"source": "li x1, 64\nvsetvli x2, x1, e32\nli x10, 0x1000\nvle32.v v1, (x10)\nvadd.vx v1, v1, x11\nvse32.v v1, (x10)\nhalt\n",
+ "name": "chaos-probe-$chains", "chains": $chains, "registers": {"x11": $SEED},
+ "dump": {"addr": 4096, "words": 64}}
+EOF
+done
+
+echo "== firing $JOBS jobs at concurrency $CONCURRENCY, SIGKILL w1 mid-load"
+(
+  sleep 2
+  echo "   [killing worker1 pid $W1_PID]"
+  kill -KILL "$W1_PID" 2>/dev/null || true
+) &
+KILLER=$!; PIDS+=($KILLER)
+
+# xargs owns the submitter pool, so waiting for the load is just
+# waiting for xargs — the server daemons in this shell's job table
+# keep running.
+seq 1 "$JOBS" | WORK="$WORK" COORD_PORT="$COORD_PORT" xargs -P "$CONCURRENCY" -I{} sh -c '
+  i={}
+  case $((i % 4)) in
+    0) chains=16 ;; 1) chains=32 ;; 2) chains=64 ;; 3) chains=128 ;;
+  esac
+  curl -s -m 30 -o "$WORK/resp.$i.json" -w "%{http_code}" -X POST \
+    -H "Content-Type: application/json" \
+    --data-binary @"$WORK/probe.$chains.json" \
+    "http://127.0.0.1:$COORD_PORT/v1/jobs" >"$WORK/code.$i" 2>/dev/null \
+    || echo 000 >"$WORK/code.$i"
+'
+wait "$KILLER" 2>/dev/null || true
+
+ok=0
+corrupt=0
+for i in $(seq 1 "$JOBS"); do
+  code="$(cat "$WORK/code.$i" 2>/dev/null || echo 000)"
+  if [ "$code" = "200" ]; then
+    ok=$((ok + 1))
+    # Bit-identity: every dumped word must equal the probe seed.
+    if ! jq -e --argjson s "$SEED" '.memory | length == 64 and all(. == $s)' \
+        "$WORK/resp.$i.json" >/dev/null; then
+      corrupt=$((corrupt + 1))
+      echo "   corrupt result in job $i: $(jq -c '.memory[:8]' "$WORK/resp.$i.json")" >&2
+    fi
+  fi
+done
+
+avail_pct=$((ok * 100 / JOBS))
+echo "== $ok/$JOBS jobs completed (~${avail_pct}%), $corrupt corrupt"
+status="$(curl -s "http://127.0.0.1:$COORD_PORT/v1/cluster/status")"
+echo "   coordinator: $(echo "$status" | jq -c '{ring_size, jobs_rerouted_total, jobs_local_fallback_total}')"
+
+[ "$corrupt" -eq 0 ] || fail "$corrupt corrupt results — bit-identity broken under worker kill"
+# >99%: at most 1 failure per 100 jobs.
+[ $((ok * 100)) -gt $((99 * JOBS)) ] || fail "availability $ok/$JOBS is not > 99%"
+
+echo "== dead worker must be evicted from the ring"
+for _ in $(seq 1 100); do
+  ring="$(curl -s "http://127.0.0.1:$COORD_PORT/v1/cluster/status" | jq -r '.ring_size')"
+  [ "$ring" = "1" ] && break
+  sleep 0.1
+done
+[ "$ring" = "1" ] || fail "ring_size is '$ring' after SIGKILL, want 1"
+
+echo "== restart w1: it must rejoin the ring"
+"$CAPED" -mode=worker -addr "127.0.0.1:$W1_PORT" -worker-id w1 \
+  -coordinator "http://127.0.0.1:$COORD_PORT" -heartbeat 250ms \
+  -faults "seed=1,hbm-late=0.05" -job-log off >"$WORK/worker1-restarted.log" 2>&1 & PIDS+=($!)
+for _ in $(seq 1 100); do
+  ring="$(curl -s "http://127.0.0.1:$COORD_PORT/v1/cluster/status" | jq -r '.ring_size')"
+  [ "$ring" = "2" ] && break
+  sleep 0.1
+done
+[ "$ring" = "2" ] || fail "restarted worker never rejoined (ring_size '$ring')"
+
+echo "cluster_chaos: PASS"

@@ -1,0 +1,152 @@
+#!/usr/bin/env bash
+# Cluster e2e smoke: boot a coordinator and two workers as real caped
+# processes on loopback, push exec / workload / query jobs through the
+# coordinator, and require the payloads to be bit-identical to a
+# standalone caped answering the same jobs. Then SIGTERM one worker
+# (graceful drain) and require the cluster to keep answering from the
+# survivor. On any failure the flight recorders of every node are
+# dumped to $DUMP_DIR for artifact upload.
+#
+# Usage: scripts/cluster_smoke.sh [path-to-caped-binary]
+set -u
+
+CAPED="${1:-}"
+DUMP_DIR="${DUMP_DIR:-cluster-dumps}"
+WORK="$(mktemp -d)"
+COORD_PORT=18080
+W1_PORT=18081
+W2_PORT=18082
+STANDALONE_PORT=18083
+PIDS=()
+
+fail() {
+  echo "cluster_smoke: FAIL: $*" >&2
+  mkdir -p "$DUMP_DIR"
+  for port in $COORD_PORT $W1_PORT $W2_PORT $STANDALONE_PORT; do
+    curl -s "http://127.0.0.1:$port/v1/debug/flightrecorder" \
+      -o "$DUMP_DIR/flight-$port.json" 2>/dev/null || true
+  done
+  cp "$WORK"/*.log "$DUMP_DIR/" 2>/dev/null || true
+  cleanup
+  exit 1
+}
+
+cleanup() {
+  for pid in "${PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+if [ -z "$CAPED" ]; then
+  CAPED="$WORK/caped"
+  echo "== building caped"
+  go build -o "$CAPED" ./cmd/caped || { echo "build failed" >&2; exit 1; }
+fi
+
+wait_healthy() { # port what
+  for _ in $(seq 1 100); do
+    if curl -sf "http://127.0.0.1:$1/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  fail "$2 (port $1) never became healthy"
+}
+
+echo "== starting coordinator + 2 workers + standalone reference"
+"$CAPED" -mode=coordinator -addr "127.0.0.1:$COORD_PORT" -job-log off \
+  >"$WORK/coordinator.log" 2>&1 & PIDS+=($!)
+"$CAPED" -mode=worker -addr "127.0.0.1:$W1_PORT" -worker-id w1 \
+  -coordinator "http://127.0.0.1:$COORD_PORT" -heartbeat 250ms -job-log off \
+  >"$WORK/worker1.log" 2>&1 & W1_PID=$!; PIDS+=($W1_PID)
+"$CAPED" -mode=worker -addr "127.0.0.1:$W2_PORT" -worker-id w2 \
+  -coordinator "http://127.0.0.1:$COORD_PORT" -heartbeat 250ms -job-log off \
+  >"$WORK/worker2.log" 2>&1 & PIDS+=($!)
+"$CAPED" -addr "127.0.0.1:$STANDALONE_PORT" -job-log off \
+  >"$WORK/standalone.log" 2>&1 & PIDS+=($!)
+
+wait_healthy $COORD_PORT coordinator
+wait_healthy $W1_PORT worker1
+wait_healthy $W2_PORT worker2
+wait_healthy $STANDALONE_PORT standalone
+
+echo "== waiting for both workers on the ring"
+for _ in $(seq 1 100); do
+  ring="$(curl -s "http://127.0.0.1:$COORD_PORT/v1/cluster/status" | jq -r '.ring_size')"
+  [ "$ring" = "2" ] && break
+  sleep 0.1
+done
+[ "$ring" = "2" ] || fail "ring_size is '$ring', want 2"
+
+# Job bodies: assembly exec with a memory dump, a checked workload
+# kernel, and a content-addressable query on each backend.
+cat >"$WORK/exec.json" <<'EOF'
+{"source": "li x1, 64\nvsetvli x2, x1, e32\nli x10, 0x1000\nvle32.v v1, (x10)\nvadd.vx v1, v1, x11\nvse32.v v1, (x10)\nhalt\n",
+ "name": "smoke-exec", "chains": 8, "registers": {"x11": 7},
+ "dump": {"addr": 4096, "words": 64}}
+EOF
+cat >"$WORK/workload.json" <<'EOF'
+{"workload": "vvadd", "chains": 64}
+EOF
+cat >"$WORK/query-fast.json" <<'EOF'
+{"backend": "fast", "chains": 4,
+ "query": {"kind": "kv.get", "keys": [11,22,33,44], "vals": [1,2,3,4], "probes": [33,99,11]}}
+EOF
+cat >"$WORK/query-bitlevel.json" <<'EOF'
+{"backend": "bitlevel", "chains": 4,
+ "query": {"kind": "kv.get", "keys": [11,22,33,44], "vals": [1,2,3,4], "probes": [33,99,11]}}
+EOF
+
+# normalize strips the per-run fields (job id, host-side timings, the
+# executing worker) so what remains must be bit-identical.
+normalize() { jq -S 'del(.job_id, .queue_ns, .run_ns, .total_ns, .worker)'; }
+
+submit() { # port body outfile
+  code="$(curl -s -o "$3" -w '%{http_code}' -X POST \
+    -H 'Content-Type: application/json' \
+    --data-binary @"$2" "http://127.0.0.1:$1/v1/jobs")"
+  [ "$code" = "200" ] || fail "POST $2 to port $1: HTTP $code: $(cat "$3")"
+}
+
+check_job() { # name body
+  submit $COORD_PORT "$2" "$WORK/$1.cluster.json"
+  submit $STANDALONE_PORT "$2" "$WORK/$1.standalone.json"
+  worker="$(jq -r '.worker' "$WORK/$1.cluster.json")"
+  case "$worker" in
+    w1|w2) ;;
+    *) fail "$1 executed on '$worker', want a registered worker" ;;
+  esac
+  if ! diff <(normalize <"$WORK/$1.cluster.json") \
+            <(normalize <"$WORK/$1.standalone.json") >"$WORK/$1.diff"; then
+    fail "$1: cluster payload differs from standalone: $(cat "$WORK/$1.diff")"
+  fi
+  echo "   $1: bit-identical (ran on $worker)"
+}
+
+echo "== differential: coordinator vs standalone"
+check_job exec "$WORK/exec.json"
+check_job workload "$WORK/workload.json"
+check_job query-fast "$WORK/query-fast.json"
+check_job query-bitlevel "$WORK/query-bitlevel.json"
+
+echo "== cluster metrics present"
+curl -s "http://127.0.0.1:$COORD_PORT/metrics" | grep -q 'caped_cluster_ring_size 2' \
+  || fail "/metrics missing caped_cluster_ring_size 2"
+
+echo "== graceful drain: SIGTERM worker1, survivor keeps serving"
+kill -TERM "$W1_PID"
+for _ in $(seq 1 100); do
+  ring="$(curl -s "http://127.0.0.1:$COORD_PORT/v1/cluster/status" | jq -r '.ring_size')"
+  [ "$ring" = "1" ] && break
+  sleep 0.1
+done
+[ "$ring" = "1" ] || fail "ring_size is '$ring' after drain, want 1"
+for i in 1 2 3 4; do
+  submit $COORD_PORT "$WORK/exec.json" "$WORK/postdrain.$i.json"
+  worker="$(jq -r '.worker' "$WORK/postdrain.$i.json")"
+  [ "$worker" = "w2" ] || fail "post-drain job $i ran on '$worker', want w2"
+done
+echo "   post-drain jobs served by w2"
+
+echo "cluster_smoke: PASS"

@@ -44,7 +44,15 @@ func Serve(ctx context.Context, addr string, opts ServerOptions) error {
 // the Server — e.g. cmd/caped dumps s.Flight() on SIGQUIT. The caller
 // owns the Server's lifecycle (Close it after ServeWith returns).
 func ServeWith(ctx context.Context, addr string, s *Server) error {
-	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	return ServeHandler(ctx, addr, s.Handler())
+}
+
+// ServeHandler serves an arbitrary handler on addr with the same
+// graceful-shutdown contract as ServeWith: when ctx is canceled the
+// listener closes and in-flight requests finish. Cluster mode mounts
+// the coordinator and worker surfaces through it.
+func ServeHandler(ctx context.Context, addr string, h http.Handler) error {
+	hs := &http.Server{Addr: addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
